@@ -1,0 +1,71 @@
+/// \file bench_a1_fit_ablation.cpp
+/// A1 — fit-method and pruning ablation.
+///
+/// The design choices DESIGN.md calls out for the folding fit, quantified on
+/// the dominant cluster of each application: PCHIP (monotone, the paper's
+/// character) versus Gaussian-kernel regression versus naive binned-linear,
+/// each with and without MAD outlier pruning. Also reports the worst
+/// negative reconstructed rate — only the monotone fit guarantees none.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "unveil/folding/accuracy.hpp"
+#include "unveil/folding/fit.hpp"
+#include "unveil/folding/prune.hpp"
+#include "unveil/support/math.hpp"
+
+int main() {
+  using namespace unveil;
+
+  support::Table t({"app", "phase", "fit", "pruned", "vs exact truth (%)",
+                    "min rate (negative = bad)"});
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/43);
+    const auto mc = sim::MeasurementConfig::folding();
+    const auto run = analysis::runMeasured(appName, params, mc);
+    const auto cfg = analysis::calibratedPipelineConfig(mc);
+    const auto result = analysis::analyze(run.trace, cfg);
+
+    const analysis::ClusterReport* dominant = nullptr;
+    for (const auto& c : result.clusters)
+      if (c.folded && (!dominant || c.totalTimeFraction > dominant->totalTimeFraction))
+        dominant = &c;
+    if (dominant == nullptr) continue;
+
+    const auto rawFolded =
+        folding::foldCluster(run.trace, result.bursts, dominant->memberIdx,
+                             counters::CounterId::TotIns, cfg.reconstruct.fold);
+    const auto& shape = run.app->phase(dominant->modalTruthPhase)
+                            .model.profile(counters::CounterId::TotIns)
+                            .shape;
+    const auto grid = support::linspace(0.0, 1.0, 201);
+    const auto truth = folding::truthNormalizedRate(shape, grid);
+
+    for (const auto method : {folding::FitMethod::Pchip, folding::FitMethod::Kernel,
+                              folding::FitMethod::BinnedLinear}) {
+      for (const bool prune : {false, true}) {
+        auto folded = rawFolded;
+        if (prune) folded = folding::pruneOutliers(folded).pruned;
+        folding::FitParams fp;
+        fp.method = method;
+        const auto fit = folding::fitCumulative(folded, fp);
+        std::vector<double> rate(grid.size());
+        double minRate = 0.0;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+          rate[i] = fit->derivative(grid[i]);
+          minRate = std::min(minRate, rate[i]);
+        }
+        folding::movingAverage(rate, 9);
+        t.addRow({appName,
+                  run.app->phase(dominant->modalTruthPhase).model.name(),
+                  std::string(folding::fitMethodName(method)),
+                  std::string(prune ? "yes" : "no"),
+                  folding::meanAbsDiffPercent(rate, truth), minRate});
+      }
+    }
+  }
+  t.print(std::cout, "A1: fit-method x pruning ablation (dominant clusters)");
+  t.saveCsv(bench::outPath("a1_fit_ablation.csv"));
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// \file bench_a2_cluster_ablation.cpp
+/// A2 — clustering-algorithm ablation.
+///
+/// DBSCAN (the paper's choice) versus k-means at several k, and a DBSCAN
+/// minPts/eps-quantile sweep, all scored by ARI against ground-truth phase
+/// labels. Shows why density clustering fits computation bursts: no k to
+/// guess, stragglers become noise instead of polluting a cluster, and
+/// non-spherical duration spreads stay together.
+
+#include "bench_common.hpp"
+#include "unveil/cluster/kmeans.hpp"
+#include "unveil/cluster/quality.hpp"
+
+int main() {
+  using namespace unveil;
+
+  support::Table t({"app", "algorithm", "parameter", "clusters", "ARI", "purity"});
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/47);
+    const auto run =
+        analysis::runMeasured(appName, params, sim::MeasurementConfig::folding());
+    const cluster::BurstExtraction extraction;
+    const auto bursts = extraction.fromPhaseEvents(run.trace);
+    std::vector<std::uint32_t> truth;
+    truth.reserve(bursts.size());
+    for (const auto& b : bursts) truth.push_back(b.truthPhase);
+
+    const auto features = cluster::buildFeatures(bursts, cluster::defaultFeatures());
+    const auto normalized = cluster::ZScoreNormalizer::fit(features).apply(features);
+
+    // DBSCAN sweep over eps quantiles.
+    for (double q : {0.80, 0.90, 0.95}) {
+      cluster::DbscanParams dp;
+      dp.eps = cluster::estimateEps(normalized, dp.minPts, q);
+      const auto clustering = cluster::dbscan(normalized, dp);
+      t.addRow({appName, std::string("dbscan"), "eps q=" + std::to_string(q),
+                static_cast<long long>(clustering.numClusters),
+                cluster::adjustedRandIndex(clustering.labels, truth),
+                cluster::purity(clustering.labels, truth)});
+    }
+    // minPts sweep at the default quantile.
+    for (std::size_t minPts : {5u, 20u, 40u}) {
+      cluster::DbscanParams dp;
+      dp.minPts = minPts;
+      dp.eps = cluster::estimateEps(normalized, minPts, 0.92);
+      const auto clustering = cluster::dbscan(normalized, dp);
+      t.addRow({appName, std::string("dbscan"),
+                "minPts=" + std::to_string(minPts),
+                static_cast<long long>(clustering.numClusters),
+                cluster::adjustedRandIndex(clustering.labels, truth),
+                cluster::purity(clustering.labels, truth)});
+    }
+    // k-means baseline.
+    for (std::size_t k : {2u, 3u, 4u, 6u}) {
+      cluster::KmeansParams kp;
+      kp.k = k;
+      const auto km = cluster::kmeans(normalized, kp);
+      t.addRow({appName, std::string("k-means"), "k=" + std::to_string(k),
+                static_cast<long long>(km.clustering.numClusters),
+                cluster::adjustedRandIndex(km.clustering.labels, truth),
+                cluster::purity(km.clustering.labels, truth)});
+    }
+  }
+  t.print(std::cout, "A2: clustering ablation (scored by ARI vs ground truth)");
+  t.saveCsv(bench::outPath("a2_cluster_ablation.csv"));
+  return 0;
+}

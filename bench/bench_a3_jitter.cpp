@@ -1,0 +1,90 @@
+/// \file bench_a3_jitter.cpp
+/// A3 — sampling-decorrelation ablation.
+///
+/// Folding relies on samples being *uncorrelated* with phase position: only
+/// then do a few samples per instance spread across [0,1] over hundreds of
+/// instances. Two mechanisms provide that: per-gap timer jitter and random
+/// per-rank clock offsets. This ablation removes them one at a time and
+/// measures (a) how uniformly the folded points cover [0,1] — scored by the
+/// coefficient of variation of decile occupancy, 0 = perfectly uniform —
+/// and (b) the reconstruction error of the dominant wavesim cluster.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "unveil/folding/accuracy.hpp"
+#include "unveil/folding/folded.hpp"
+
+namespace {
+
+/// Coefficient of variation of decile occupancy of the folded cloud.
+double coverageCv(const unveil::folding::FoldedCounter& folded) {
+  std::array<double, 10> bins{};
+  for (const auto& p : folded.points)
+    ++bins[std::min(static_cast<std::size_t>(p.t * 10.0), std::size_t{9})];
+  double mean = 0.0;
+  for (double b : bins) mean += b;
+  mean /= 10.0;
+  if (mean == 0.0) return 10.0;
+  double var = 0.0;
+  for (double b : bins) var += (b - mean) * (b - mean);
+  return std::sqrt(var / 10.0) / mean;
+}
+
+}  // namespace
+
+int main() {
+  using namespace unveil;
+
+  struct Setup {
+    const char* label;
+    double jitterFrac;
+    bool randomOffsets;
+  };
+  const Setup setups[] = {
+      {"jitter + random offsets (default)", 0.2, true},
+      {"no jitter, random offsets", 0.0, true},
+      {"jitter, aligned offsets", 0.2, false},
+      {"no jitter, aligned offsets (aliasing)", 0.0, false},
+  };
+
+  support::Table t({"configuration", "folded points", "coverage CV",
+                    "vs exact truth (%)"});
+  for (const auto& s : setups) {
+    auto mc = sim::MeasurementConfig::folding();
+    mc.sampling.jitterFrac = s.jitterFrac;
+    mc.sampling.randomOffsets = s.randomOffsets;
+    const auto params = analysis::standardParams(/*seed=*/53);
+    const auto run = analysis::runMeasured("wavesim", params, mc);
+    const auto cfg = analysis::calibratedPipelineConfig(mc);
+    const auto result = analysis::analyze(run.trace, cfg);
+
+    const analysis::ClusterReport* dominant = nullptr;
+    for (const auto& c : result.clusters)
+      if (c.folded && (!dominant || c.totalTimeFraction > dominant->totalTimeFraction))
+        dominant = &c;
+    if (dominant == nullptr) {
+      t.addRow({std::string(s.label), 0LL, 10.0, 100.0});
+      continue;
+    }
+    const auto folded =
+        folding::foldCluster(run.trace, result.bursts, dominant->memberIdx,
+                             counters::CounterId::TotIns, cfg.reconstruct.fold);
+    const auto it = dominant->rates.find(counters::CounterId::TotIns);
+    double err = 100.0;
+    if (it != dominant->rates.end()) {
+      const auto& shape = run.app->phase(dominant->modalTruthPhase)
+                              .model.profile(counters::CounterId::TotIns)
+                              .shape;
+      const auto truth = folding::truthNormalizedRate(shape, it->second.t);
+      err = folding::meanAbsDiffPercent(it->second.normRate, truth);
+    }
+    t.addRow({std::string(s.label), static_cast<long long>(folded.points.size()),
+              coverageCv(folded), err});
+  }
+  t.print(std::cout, "A3: sampling decorrelation ablation (wavesim sweep)");
+  t.saveCsv(bench::outPath("a3_jitter.csv"));
+  std::cout << "\nhigher coverage CV = clumpier folded cloud; the aliasing row\n"
+               "shows why uncorrelated sampling is a load-bearing design choice.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the experiment benches: output directory handling and
+/// the canonical application list. Every bench binary regenerates one table
+/// or figure from the paper's evaluation (see DESIGN.md §4) and prints its
+/// rows to stdout; figure benches additionally save series data under
+/// bench_out/.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/analysis/report.hpp"
+#include "unveil/support/series.hpp"
+#include "unveil/support/table.hpp"
+
+namespace unveil::bench {
+
+/// Applications every experiment sweeps, in canonical order.
+inline const std::vector<std::string>& apps() {
+  return sim::apps::applicationNames();
+}
+
+/// Ensures bench_out/ exists and returns the path for \p filename inside it.
+inline std::string outPath(const std::string& filename) {
+  std::filesystem::create_directories("bench_out");
+  return (std::filesystem::path("bench_out") / filename).string();
+}
+
+/// Saves a series set under bench_out/ and prints its summary to stdout.
+inline void emitFigure(const support::SeriesSet& set, const std::string& filename) {
+  const std::string path = outPath(filename);
+  set.save(path);
+  set.printSummary(std::cout);
+  std::cout << "  -> saved " << path << "\n";
+}
+
+}  // namespace unveil::bench

@@ -1,0 +1,24 @@
+/// \file bench_f1_scatter.cpp
+/// F1 — computation-burst scatter plots.
+///
+/// The canonical clustering figure: every burst as a point in
+/// (log duration × IPC) space, one series per DBSCAN cluster plus noise, for
+/// each application. Dense blobs are the application's computation phases.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace unveil;
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/17);
+    const auto run =
+        analysis::runMeasured(appName, params, sim::MeasurementConfig::folding());
+    const auto result = analysis::analyze(run.trace);
+    const auto set =
+        analysis::scatterSeries(result, cluster::FeatureId::LogDurationNs,
+                                cluster::FeatureId::Ipc, "F1." + appName);
+    bench::emitFigure(set, "f1_scatter_" + appName + ".dat");
+    std::cout << '\n';
+  }
+  return 0;
+}

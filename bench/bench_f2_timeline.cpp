@@ -1,0 +1,28 @@
+/// \file bench_f2_timeline.cpp
+/// F2 — per-rank cluster timelines.
+///
+/// The detected structure over time: each rank's burst sequence colored by
+/// cluster id (here: emitted as series of (start time, cluster id)). The
+/// repeating pattern is the application's iterative skeleton; the detected
+/// period is printed alongside.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace unveil;
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/17);
+    const auto run =
+        analysis::runMeasured(appName, params, sim::MeasurementConfig::folding());
+    const auto result = analysis::analyze(run.trace);
+    const auto set = analysis::timelineSeries(result, "F2." + appName);
+    bench::emitFigure(set, "f2_timeline_" + appName + ".dat");
+    std::cout << "  detected period: " << result.period.period
+              << " bursts/iteration, self-similarity "
+              << result.period.matchFraction * 100.0 << "%\n";
+    std::cout << "  iteration signature:";
+    for (int label : result.period.signature) std::cout << " " << label;
+    std::cout << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// \file bench_f3_folding_curves.cpp
+/// F3 — the headline folding figure.
+///
+/// For the dominant (longest-total-time) cluster of each application: the
+/// folded point cloud (cumulative fractions), the fitted monotone cumulative
+/// curve, and the derived instantaneous MIPS, together with the exact ground
+/// truth the simulator knows. This is the figure that shows coarse samples
+/// from many instances becoming one fine-grain intra-phase profile.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "unveil/folding/accuracy.hpp"
+#include "unveil/folding/band.hpp"
+#include "unveil/folding/fit.hpp"
+#include "unveil/folding/prune.hpp"
+#include "unveil/support/math.hpp"
+
+int main() {
+  using namespace unveil;
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/29);
+    const auto mc = sim::MeasurementConfig::folding();
+    const auto run = analysis::runMeasured(appName, params, mc);
+    const auto cfg = analysis::calibratedPipelineConfig(mc);
+    const auto result = analysis::analyze(run.trace, cfg);
+
+    // Dominant folded cluster by time share.
+    const analysis::ClusterReport* dominant = nullptr;
+    for (const auto& c : result.clusters)
+      if (c.folded && (!dominant || c.totalTimeFraction > dominant->totalTimeFraction))
+        dominant = &c;
+    if (dominant == nullptr) {
+      std::cout << appName << ": no folded cluster\n";
+      continue;
+    }
+
+    auto folded = folding::foldCluster(run.trace, result.bursts, dominant->memberIdx,
+                                       counters::CounterId::TotIns,
+                                       cfg.reconstruct.fold);
+    folded = folding::pruneOutliers(folded).pruned;
+    const auto fit = folding::fitCumulative(folded, cfg.reconstruct.fit);
+
+    support::SeriesSet set("F3." + appName, "normalized intra-phase time",
+                           "cumulative fraction / normalized rate");
+    // Folded cloud (subsampled to keep files readable).
+    {
+      support::Series cloud;
+      cloud.label = "folded samples (cumulative)";
+      const std::size_t stride = std::max<std::size_t>(1, folded.points.size() / 800);
+      for (std::size_t i = 0; i < folded.points.size(); i += stride) {
+        cloud.x.push_back(folded.points[i].t);
+        cloud.y.push_back(folded.points[i].y);
+      }
+      set.add(std::move(cloud));
+    }
+    const auto grid = support::linspace(0.0, 1.0, 201);
+    {
+      support::Series fitted;
+      fitted.label = "fitted cumulative (pchip)";
+      for (double t : grid) {
+        fitted.x.push_back(t);
+        fitted.y.push_back(fit->value(t));
+      }
+      set.add(std::move(fitted));
+    }
+    {
+      support::Series rate;
+      rate.label = "reconstructed normalized rate";
+      for (double t : grid) {
+        rate.x.push_back(t);
+        rate.y.push_back(fit->derivative(t));
+      }
+      set.add(std::move(rate));
+    }
+    {
+      const auto& shape = run.app->phase(dominant->modalTruthPhase)
+                              .model.profile(counters::CounterId::TotIns)
+                              .shape;
+      support::Series truth;
+      truth.label = "ground-truth normalized rate";
+      for (double t : grid) {
+        truth.x.push_back(t);
+        truth.y.push_back(shape.normalizedRate(t));
+      }
+      set.add(std::move(truth));
+    }
+    const auto band = folding::foldBand(folded);
+    set.add("rate band (lo)", band.t, band.rateLo);
+    set.add("rate band (hi)", band.t, band.rateHi);
+    bench::emitFigure(set, "f3_folding_" + appName + ".dat");
+    std::cout << "  dispersion band mean half-width: " << band.meanHalfWidth
+              << " (cumulative fraction units)\n";
+    std::cout << "  dominant cluster " << dominant->clusterId << " ("
+              << run.app->phase(dominant->modalTruthPhase).model.name() << "), "
+              << folded.points.size() << " folded points from "
+              << folded.instances << " instances\n\n";
+  }
+  return 0;
+}

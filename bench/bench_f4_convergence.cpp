@@ -1,0 +1,59 @@
+/// \file bench_f4_convergence.cpp
+/// F4 — folding accuracy versus the number of folded instances.
+///
+/// Folding works *because* iterative applications repeat each phase many
+/// times. Sweeping the iteration count shows the reconstruction error of the
+/// dominant wavesim cluster (the stencil sweep) falling as instances — and
+/// therefore folded samples — accumulate. The paper's qualitative claim:
+/// a few hundred instances of a phase suffice for a faithful profile.
+
+#include "bench_common.hpp"
+#include "unveil/folding/accuracy.hpp"
+
+int main() {
+  using namespace unveil;
+
+  support::Table t({"iterations", "instances", "folded points",
+                    "vs exact truth (%)"});
+  support::SeriesSet fig("F4.convergence", "folded instances",
+                         "mean abs diff vs truth (%)");
+  support::Series curve;
+  curve.label = "wavesim stencil_sweep";
+
+  for (std::uint32_t iters : {10u, 20u, 40u, 80u, 150u, 300u}) {
+    auto params = analysis::standardParams(/*seed=*/31);
+    params.iterations = iters;
+    const auto mc = sim::MeasurementConfig::folding();
+    const auto run = analysis::runMeasured("wavesim", params, mc);
+    auto cfg = analysis::calibratedPipelineConfig(mc);
+    cfg.minClusterInstances = 4;  // allow folding at tiny instance counts
+    const auto result = analysis::analyze(run.trace, cfg);
+
+    // The stencil sweep is ground-truth phase 1; when drift splits it, track
+    // the largest matching cluster only.
+    const analysis::ClusterReport* sweep = nullptr;
+    for (const auto& c : result.clusters)
+      if (c.folded && c.modalTruthPhase == 1 &&
+          (!sweep || c.instances > sweep->instances))
+        sweep = &c;
+    if (sweep != nullptr) {
+      const auto it = sweep->rates.find(counters::CounterId::TotIns);
+      if (it != sweep->rates.end()) {
+        const auto& shape =
+            run.app->phase(1).model.profile(counters::CounterId::TotIns).shape;
+        const auto truth = folding::truthNormalizedRate(shape, it->second.t);
+        const double err = folding::meanAbsDiffPercent(it->second.normRate, truth);
+        t.addRow({static_cast<long long>(iters),
+                  static_cast<long long>(it->second.sourceInstances),
+                  static_cast<long long>(it->second.sourcePoints), err});
+        curve.x.push_back(static_cast<double>(it->second.sourceInstances));
+        curve.y.push_back(err);
+      }
+    }
+  }
+  fig.add(std::move(curve));
+  t.print(std::cout, "F4: accuracy convergence with folded instances");
+  bench::emitFigure(fig, "f4_convergence.dat");
+  t.saveCsv(bench::outPath("f4_convergence.csv"));
+  return 0;
+}

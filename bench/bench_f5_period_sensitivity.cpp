@@ -1,0 +1,60 @@
+/// \file bench_f5_period_sensitivity.cpp
+/// F5 — sensitivity to the sampling period.
+///
+/// Sweeping the sampling period from fine (50 µs) to very coarse (8 ms)
+/// shows the trade folding navigates: shorter periods give more folded
+/// points (lower reconstruction error) but dilate the run; longer periods
+/// are nearly free but starve the fit. The crossover argument: at ~1 ms the
+/// error is already close to the fine-grain floor while the overhead is two
+/// orders of magnitude lower.
+
+#include "bench_common.hpp"
+#include "unveil/folding/accuracy.hpp"
+
+int main() {
+  using namespace unveil;
+
+  support::Table t({"period (us)", "dilation (%)", "folded points",
+                    "vs exact truth (%)"});
+  support::SeriesSet fig("F5.period", "sampling period (us)",
+                         "error (%) / dilation (%)");
+  support::Series errSeries, dilSeries;
+  errSeries.label = "reconstruction error vs truth (%)";
+  dilSeries.label = "runtime dilation (%)";
+
+  const auto params = analysis::standardParams(/*seed=*/37);
+  const auto baseline =
+      analysis::runMeasured("wavesim", params, sim::MeasurementConfig::none());
+  const double baseSeconds = static_cast<double>(baseline.totalRuntimeNs);
+
+  for (double periodUs : {50.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
+    const auto mc = sim::MeasurementConfig::folding(periodUs * 1e3);
+    const auto run = analysis::runMeasured("wavesim", params, mc);
+    const double dilation =
+        (static_cast<double>(run.totalRuntimeNs) / baseSeconds - 1.0) * 100.0;
+    auto cfg = analysis::calibratedPipelineConfig(mc);
+    const auto result = analysis::analyze(run.trace, cfg);
+
+    for (const auto& c : result.clusters) {
+      if (!c.folded || c.modalTruthPhase != 1) continue;  // stencil sweep
+      const auto it = c.rates.find(counters::CounterId::TotIns);
+      if (it == c.rates.end()) continue;
+      const auto& shape =
+          run.app->phase(1).model.profile(counters::CounterId::TotIns).shape;
+      const auto truth = folding::truthNormalizedRate(shape, it->second.t);
+      const double err = folding::meanAbsDiffPercent(it->second.normRate, truth);
+      t.addRow({periodUs, dilation, static_cast<long long>(it->second.sourcePoints),
+                err});
+      errSeries.x.push_back(periodUs);
+      errSeries.y.push_back(err);
+      dilSeries.x.push_back(periodUs);
+      dilSeries.y.push_back(dilation);
+    }
+  }
+  fig.add(std::move(errSeries));
+  fig.add(std::move(dilSeries));
+  t.print(std::cout, "F5: sampling-period sensitivity (wavesim stencil sweep)");
+  bench::emitFigure(fig, "f5_period.dat");
+  t.saveCsv(bench::outPath("f5_period.csv"));
+  return 0;
+}

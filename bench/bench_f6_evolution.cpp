@@ -1,0 +1,40 @@
+/// \file bench_f6_evolution.cpp
+/// F6 — the internal-evolution gallery.
+///
+/// For every folded cluster of every application: the reconstructed
+/// instantaneous MIPS and L2-miss-per-microsecond curves. These are the
+/// plots the paper's title promises — what happens *inside* each
+/// computation phase: the stencil sweep's cache-overflow decay, the SpMV
+/// sawtooth, the force evaluation's memory-bound tail.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace unveil;
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/41);
+    const auto mc = sim::MeasurementConfig::folding();
+    const auto run = analysis::runMeasured(appName, params, mc);
+    const auto result =
+        analysis::analyze(run.trace, analysis::calibratedPipelineConfig(mc));
+
+    const auto mips =
+        analysis::rateSeries(result, counters::CounterId::TotIns, "F6." + appName + ".mips");
+    bench::emitFigure(mips, "f6_mips_" + appName + ".dat");
+    const auto l2 =
+        analysis::rateSeries(result, counters::CounterId::L2Dcm, "F6." + appName + ".l2");
+    bench::emitFigure(l2, "f6_l2_" + appName + ".dat");
+
+    for (const auto& c : result.clusters) {
+      if (!c.folded) continue;
+      std::cout << "  cluster " << c.clusterId << " = phase '"
+                << (c.modalTruthPhase != cluster::kNoPhase
+                        ? run.app->phase(c.modalTruthPhase).model.name()
+                        : std::string("?"))
+                << "', " << c.instances << " instances, time share "
+                << c.totalTimeFraction * 100.0 << "%\n";
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

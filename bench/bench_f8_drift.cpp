@@ -1,0 +1,63 @@
+/// \file bench_f8_drift.cpp
+/// F8 — cross-run evolution of the detected phases (extension).
+///
+/// The inverse validation of the simulator/analysis pair: wavesim's stencil
+/// sweep carries a built-in +8 % duration drift and particlemesh's force
+/// evaluation +5 %, everything else is stationary. The evolution analysis
+/// must recover exactly that from the measured trace. Also emits the
+/// per-instance duration series (subsampled) for the drifting clusters.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "unveil/analysis/evolution.hpp"
+
+int main() {
+  using namespace unveil;
+
+  support::Table t({"app", "cluster", "phase", "built-in drift (%)",
+                    "detected drift (%)", "t score", "trend"});
+  // Built-in drifts from the application definitions.
+  const std::map<std::string, std::map<std::uint32_t, double>> builtIn = {
+      {"wavesim", {{0, 0.0}, {1, 8.0}, {2, 0.0}}},
+      {"nbsolver", {{0, 2.0}, {1, 0.0}, {2, 0.0}}},
+      {"particlemesh", {{0, 0.0}, {1, 5.0}, {2, 0.0}}},
+  };
+
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/79);
+    const auto run =
+        analysis::runMeasured(appName, params, sim::MeasurementConfig::folding());
+    const auto result = analysis::analyze(run.trace);
+    support::SeriesSet fig("F8." + appName, "run position",
+                           "instance duration (us)");
+    for (const auto& r : analysis::durationEvolution(result)) {
+      if (r.modalTruthPhase == cluster::kNoPhase) continue;
+      t.addRow({appName, static_cast<long long>(r.clusterId),
+                run.app->phase(r.modalTruthPhase).model.name(),
+                builtIn.at(appName).at(r.modalTruthPhase),
+                r.relativeDrift * 100.0, r.tScore,
+                std::string(analysis::trendKindName(r.kind))});
+      if (r.kind == analysis::TrendKind::Drifting) {
+        support::Series s;
+        s.label = "cluster " + std::to_string(r.clusterId) + " durations";
+        const auto& members = result.clusters[static_cast<std::size_t>(
+                                                  r.clusterId)]
+                                  .memberIdx;
+        const std::size_t stride = std::max<std::size_t>(1, members.size() / 400);
+        for (std::size_t i = 0; i < members.size(); i += stride) {
+          const auto& b = result.bursts[members[i]];
+          s.x.push_back(static_cast<double>(b.begin) /
+                        static_cast<double>(run.trace.durationNs()));
+          s.y.push_back(static_cast<double>(b.durationNs()) / 1e3);
+        }
+        fig.add(std::move(s));
+      }
+    }
+    if (!fig.series().empty())
+      bench::emitFigure(fig, "f8_drift_" + appName + ".dat");
+  }
+  t.print(std::cout, "F8: cross-run drift detection vs built-in ground truth");
+  t.saveCsv(bench::outPath("f8_drift.csv"));
+  return 0;
+}

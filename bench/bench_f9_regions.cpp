@@ -1,0 +1,51 @@
+/// \file bench_f9_regions.cpp
+/// F9 — code-region attribution inside detected phases (extension).
+///
+/// Folding the sampled callstacks' region ids locates each phase's internal
+/// code structure on the normalized timeline: which source region owns which
+/// part of the phase, and hence which code is responsible for an observed
+/// regime (e.g. wavesim's MIPS collapse after t = 0.6 lands exactly in
+/// "overflow_tail"). Rows compare the recovered boundaries and time shares
+/// against the phase models' ground-truth region tables.
+
+#include "bench_common.hpp"
+#include "unveil/folding/regions.hpp"
+
+int main() {
+  using namespace unveil;
+
+  support::Table t({"app", "phase", "region", "true span", "folded span",
+                    "time share (%)", "confidence"});
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/89);
+    const auto mc = sim::MeasurementConfig::folding();
+    const auto run = analysis::runMeasured(appName, params, mc);
+    const auto cfg = analysis::calibratedPipelineConfig(mc);
+    const auto result = analysis::analyze(run.trace, cfg);
+
+    for (const auto& c : result.clusters) {
+      if (c.modalTruthPhase == cluster::kNoPhase || !c.folded) continue;
+      const auto& model = run.app->phase(c.modalTruthPhase).model;
+      if (model.numRegions() < 2) continue;  // single-region phases are trivial
+      folding::RegionParams rp;
+      rp.fold = cfg.reconstruct.fold;
+      const auto profile =
+          folding::regionProfile(run.trace, result.bursts, c.memberIdx, rp);
+      for (const auto& seg : profile.segments) {
+        const std::size_t idx = seg.regionId - 1;  // 1-based ids
+        const auto& truth = model.regions()[idx];
+        char trueSpan[48], foldedSpan[48];
+        std::snprintf(trueSpan, sizeof(trueSpan), "[%.2f, %.2f]", truth.begin,
+                      truth.end);
+        std::snprintf(foldedSpan, sizeof(foldedSpan), "[%.2f, %.2f]", seg.begin,
+                      seg.end);
+        t.addRow({appName, model.name(), truth.name, std::string(trueSpan),
+                  std::string(foldedSpan),
+                  profile.timeShare.at(seg.regionId) * 100.0, seg.confidence});
+      }
+    }
+  }
+  t.print(std::cout, "F9: folded code-region structure vs ground truth");
+  t.saveCsv(bench::outPath("f9_regions.csv"));
+  return 0;
+}

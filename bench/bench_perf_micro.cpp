@@ -1,0 +1,148 @@
+/// \file bench_perf_micro.cpp
+/// Performance microbenchmarks (google-benchmark) for the library's hot
+/// paths: DBSCAN scaling, folding + fitting throughput, trace serialization
+/// and the simulation engine itself. These guard the tool's own efficiency —
+/// an analysis that cannot keep up with trace sizes is useless at scale.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/cluster/dbscan.hpp"
+#include "unveil/folding/band.hpp"
+#include "unveil/folding/fit.hpp"
+#include "unveil/folding/folded.hpp"
+#include "unveil/support/rng.hpp"
+#include "unveil/trace/binary_io.hpp"
+#include "unveil/trace/io.hpp"
+
+namespace {
+
+using namespace unveil;
+
+/// Synthetic feature matrix: `blobs` Gaussian blobs of `n` points in 2D.
+cluster::FeatureMatrix makeBlobs(std::size_t n, std::size_t blobs) {
+  support::Rng rng(99, "blobs");
+  cluster::FeatureMatrix m(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<double>(i % blobs);
+    m.at(i, 0) = rng.normal(b * 3.0, 0.15);
+    m.at(i, 1) = rng.normal(b * -2.0, 0.15);
+  }
+  return m;
+}
+
+void BM_Dbscan(benchmark::State& state) {
+  const auto m = makeBlobs(static_cast<std::size_t>(state.range(0)), 4);
+  cluster::DbscanParams params;
+  params.eps = 0.5;
+  params.minPts = 8;
+  for (auto _ : state) {
+    auto c = cluster::dbscan(m, params);
+    benchmark::DoNotOptimize(c.numClusters);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Dbscan)->Arg(1000)->Arg(10000)->Arg(50000);
+
+folding::FoldedCounter makeCloud(std::size_t n) {
+  support::Rng rng(7, "cloud");
+  folding::FoldedCounter f;
+  f.counter = counters::CounterId::TotIns;
+  f.instances = n / 2;
+  f.meanDurationNs = 1e6;
+  f.meanTotal = 2e6;
+  for (std::size_t i = 0; i < n; ++i) {
+    folding::FoldedPoint p;
+    p.t = rng.uniform(0.0, 1.0);
+    p.y = p.t * p.t;  // quadratic cumulative profile
+    f.points.push_back(p);
+  }
+  std::sort(f.points.begin(), f.points.end(),
+            [](const auto& a, const auto& b) { return a.t < b.t; });
+  return f;
+}
+
+void BM_FitPchip(benchmark::State& state) {
+  const auto cloud = makeCloud(static_cast<std::size_t>(state.range(0)));
+  folding::FitParams params;
+  for (auto _ : state) {
+    auto fit = folding::fitCumulative(cloud, params);
+    benchmark::DoNotOptimize(fit->value(0.5));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FitPchip)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TraceRoundTrip(benchmark::State& state) {
+  auto params = analysis::standardParams(3);
+  params.ranks = 4;
+  params.iterations = static_cast<std::uint32_t>(state.range(0));
+  const auto run =
+      analysis::runMeasured("wavesim", params, sim::MeasurementConfig::folding());
+  for (auto _ : state) {
+    std::stringstream ss;
+    trace::write(run.trace, ss);
+    auto back = trace::read(ss);
+    benchmark::DoNotOptimize(back.stats().totalRecords);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(run.trace.stats().totalRecords));
+}
+BENCHMARK(BM_TraceRoundTrip)->Arg(20)->Arg(100);
+
+void BM_SimulateWavesim(benchmark::State& state) {
+  auto params = analysis::standardParams(3);
+  params.ranks = static_cast<trace::Rank>(state.range(0));
+  params.iterations = 50;
+  for (auto _ : state) {
+    auto run =
+        analysis::runMeasured("wavesim", params, sim::MeasurementConfig::folding());
+    benchmark::DoNotOptimize(run.totalRuntimeNs);
+  }
+}
+BENCHMARK(BM_SimulateWavesim)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FoldBand(benchmark::State& state) {
+  const auto cloud = makeCloud(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto band = folding::foldBand(cloud);
+    benchmark::DoNotOptimize(band.meanHalfWidth);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FoldBand)->Arg(1000)->Arg(10000);
+
+void BM_BinaryTraceWrite(benchmark::State& state) {
+  auto params = analysis::standardParams(3);
+  params.ranks = 4;
+  params.iterations = static_cast<std::uint32_t>(state.range(0));
+  const auto run =
+      analysis::runMeasured("wavesim", params, sim::MeasurementConfig::folding());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::binarySize(run.trace));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(run.trace.stats().totalRecords));
+}
+BENCHMARK(BM_BinaryTraceWrite)->Arg(20)->Arg(100);
+
+void BM_FullPipeline(benchmark::State& state) {
+  auto params = analysis::standardParams(3);
+  params.ranks = 8;
+  params.iterations = 60;
+  const auto run =
+      analysis::runMeasured("wavesim", params, sim::MeasurementConfig::folding());
+  for (auto _ : state) {
+    auto result = analysis::analyze(run.trace);
+    benchmark::DoNotOptimize(result.clusters.size());
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

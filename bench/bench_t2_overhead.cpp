@@ -1,0 +1,45 @@
+/// \file bench_t2_overhead.cpp
+/// T2 — measurement overhead table.
+///
+/// Runtime dilation per application under: no measurement, instrumentation
+/// only, coarse sampling (folding's input), and fine-grain sampling. The
+/// paper's claim: folding delivers fine-grain insight "without overhead of
+/// fine grain" — i.e. the coarse-sampling column should sit near the
+/// instrumentation-only column while fine-grain dilation is an order of
+/// magnitude larger.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace unveil;
+
+  struct Setup {
+    const char* label;
+    sim::MeasurementConfig config;
+  };
+  const Setup setups[] = {
+      {"none", sim::MeasurementConfig::none()},
+      {"instrumentation", sim::MeasurementConfig::instrumentationOnly()},
+      {"coarse sampling (folding)", sim::MeasurementConfig::folding()},
+      {"fine-grain sampling", sim::MeasurementConfig::fineGrain()},
+  };
+
+  support::Table t({"app", "configuration", "runtime (s)", "dilation (%)",
+                    "samples", "events"});
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/5);
+    double baseline = 0.0;
+    for (const auto& s : setups) {
+      const auto run = analysis::runMeasured(appName, params, s.config);
+      const double seconds = static_cast<double>(run.totalRuntimeNs) / 1e9;
+      if (baseline == 0.0) baseline = seconds;
+      t.addRow({appName, std::string(s.label), seconds,
+                (seconds / baseline - 1.0) * 100.0,
+                static_cast<long long>(run.trace.samples().size()),
+                static_cast<long long>(run.trace.events().size())});
+    }
+  }
+  t.print(std::cout, "T2: measurement overhead (runtime dilation)");
+  t.saveCsv(bench::outPath("t2_overhead.csv"));
+  return 0;
+}

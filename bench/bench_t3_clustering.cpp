@@ -1,0 +1,52 @@
+/// \file bench_t3_clustering.cpp
+/// T3 — structure detection quality.
+///
+/// DBSCAN's cluster assignment versus the ground-truth phase labels for all
+/// three applications: adjusted Rand index, purity, silhouette, clusters
+/// found versus true phases, and the detected iteration period versus the
+/// true phases-per-iteration.
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "unveil/cluster/quality.hpp"
+
+int main() {
+  using namespace unveil;
+
+  // True bursts per iteration per app (from the application definitions).
+  const std::map<std::string, std::size_t> truePeriod = {
+      {"wavesim", 3}, {"nbsolver", 4}, {"particlemesh", 3}};
+  const std::map<std::string, std::size_t> truePhases = {
+      {"wavesim", 3}, {"nbsolver", 3}, {"particlemesh", 3}};
+
+  support::Table t({"app", "true phases", "clusters found", "noise (%)", "ARI",
+                    "purity", "silhouette", "period found", "true period"});
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/13);
+    const auto run =
+        analysis::runMeasured(appName, params, sim::MeasurementConfig::folding());
+    const auto result = analysis::analyze(run.trace);
+
+    std::vector<std::uint32_t> truth;
+    truth.reserve(result.bursts.size());
+    for (const auto& b : result.bursts) truth.push_back(b.truthPhase);
+
+    const auto features =
+        cluster::buildFeatures(result.bursts, cluster::defaultFeatures());
+    const auto normalized = cluster::ZScoreNormalizer::fit(features).apply(features);
+
+    t.addRow({appName, static_cast<long long>(truePhases.at(appName)),
+              static_cast<long long>(result.clustering.numClusters),
+              100.0 * static_cast<double>(result.clustering.noiseCount()) /
+                  static_cast<double>(result.bursts.size()),
+              cluster::adjustedRandIndex(result.clustering.labels, truth),
+              cluster::purity(result.clustering.labels, truth),
+              cluster::silhouette(normalized, result.clustering.labels),
+              static_cast<long long>(result.period.period),
+              static_cast<long long>(truePeriod.at(appName))});
+  }
+  t.print(std::cout, "T3: clustering quality vs ground truth");
+  t.saveCsv(bench::outPath("t3_clustering.csv"));
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// \file bench_t4_datavolume.cpp
+/// T4 — trace data volume.
+///
+/// Folding's second selling point besides overhead: the coarse-sampled trace
+/// it consumes is far smaller than a fine-grain-sampled trace carrying the
+/// same analytical value. Rows report record counts and in-memory footprint
+/// per configuration, plus the reduction factor.
+
+#include "bench_common.hpp"
+#include "unveil/trace/binary_io.hpp"
+
+int main() {
+  using namespace unveil;
+
+  support::Table t({"app", "configuration", "events", "samples", "records",
+                    "binary (MiB)", "reduction vs fine"});
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/5);
+    const auto coarse =
+        analysis::runMeasured(appName, params, sim::MeasurementConfig::folding());
+    const auto fine =
+        analysis::runMeasured(appName, params, sim::MeasurementConfig::fineGrain());
+    const auto cs = coarse.trace.stats();
+    const auto fs = fine.trace.stats();
+    const auto coarseBytes = trace::binarySize(coarse.trace);
+    const auto fineBytes = trace::binarySize(fine.trace);
+    auto mib = [](std::size_t b) { return static_cast<double>(b) / (1024.0 * 1024.0); };
+    t.addRow({appName, std::string("fine-grain sampling"),
+              static_cast<long long>(fs.events), static_cast<long long>(fs.samples),
+              static_cast<long long>(fs.totalRecords), mib(fineBytes), 1.0});
+    t.addRow({appName, std::string("coarse sampling (folding)"),
+              static_cast<long long>(cs.events), static_cast<long long>(cs.samples),
+              static_cast<long long>(cs.totalRecords), mib(coarseBytes),
+              static_cast<double>(fineBytes) / static_cast<double>(coarseBytes)});
+  }
+  t.print(std::cout, "T4: trace data volume (compact binary serialization)");
+  t.saveCsv(bench::outPath("t4_datavolume.csv"));
+  return 0;
+}

@@ -1,0 +1,46 @@
+/// \file bench_t5_imbalance.cpp
+/// T5 — per-cluster load-balance characterization (companion analysis).
+///
+/// For each application: imbalance factor, persistent cross-rank CV and
+/// transfer potential per detected phase. Expected shape: particlemesh's
+/// force evaluation dominates every imbalance column (its per-rank duration
+/// spread is built into the model), while wavesim/nbsolver stay near 1.0.
+/// Also cross-validates the two period detectors (burst-sequence vs
+/// signal-autocorrelation).
+
+#include "bench_common.hpp"
+#include "unveil/analysis/imbalance.hpp"
+#include "unveil/analysis/spectral.hpp"
+
+int main() {
+  using namespace unveil;
+
+  support::Table t({"app", "cluster", "phase", "imbalance factor",
+                    "persistent CV", "time share (%)", "transfer potential (%)"});
+  support::Table periods({"app", "burst-sequence period (bursts)",
+                          "spectral period (ms)", "mean iteration (ms)"});
+  for (const auto& appName : bench::apps()) {
+    const auto params = analysis::standardParams(/*seed=*/67);
+    const auto run =
+        analysis::runMeasured(appName, params, sim::MeasurementConfig::folding());
+    const auto result = analysis::analyze(run.trace);
+    for (const auto& r : analysis::imbalanceAnalysis(result, params.ranks)) {
+      t.addRow({appName, static_cast<long long>(r.clusterId),
+                r.modalTruthPhase == cluster::kNoPhase
+                    ? support::Cell{std::string("-")}
+                    : support::Cell{run.app->phase(r.modalTruthPhase).model.name()},
+                r.imbalanceFactor, r.durationCovAcrossRanks, r.timeShare * 100.0,
+                r.transferPotential * 100.0});
+    }
+    const auto spectral = analysis::detectSpectralPeriod(run.trace, 0);
+    periods.addRow({appName, static_cast<long long>(result.period.period),
+                    spectral.periodNs / 1e6,
+                    static_cast<double>(run.totalRuntimeNs) /
+                        static_cast<double>(params.iterations) / 1e6});
+  }
+  t.print(std::cout, "T5: load-balance characterization per cluster");
+  std::cout << '\n';
+  periods.print(std::cout, "T5b: period detectors cross-validation");
+  t.saveCsv(bench::outPath("t5_imbalance.csv"));
+  return 0;
+}

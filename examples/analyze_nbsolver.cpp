@@ -1,0 +1,9 @@
+/// \file analyze_nbsolver.cpp
+/// Deep-dive analysis of the Krylov-solver application: the SpMV cluster's
+/// instantaneous MIPS shows the row-block sawtooth (invisible in aggregate
+/// profiles), and the AXPY cluster appears with twice the instance count —
+/// the structure detector reports the 4-phase iteration signature.
+
+#include "example_common.hpp"
+
+int main() { return unveil::examples::deepDive("nbsolver"); }

@@ -1,0 +1,9 @@
+/// \file analyze_particlemesh.cpp
+/// Deep-dive analysis of the particle/tree application: strong per-rank load
+/// imbalance widens the force-evaluation cluster along the duration axis,
+/// yet folding still recovers its compute-bound head / memory-bound tail
+/// profile because normalization removes instance-length variation.
+
+#include "example_common.hpp"
+
+int main() { return unveil::examples::deepDive("particlemesh"); }

@@ -1,0 +1,9 @@
+/// \file analyze_wavesim.cpp
+/// Deep-dive analysis of the stencil/PDE application: expect three phase
+/// clusters; the dominant one (the sweep) shows MIPS decaying and the L2
+/// miss rate climbing mid-burst — the cache-overflow signature that
+/// motivates splitting the sweep's loop nest.
+
+#include "example_common.hpp"
+
+int main() { return unveil::examples::deepDive("wavesim"); }

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file example_common.hpp
+/// Shared driver for the per-application deep-dive examples: simulate a
+/// measured run, analyze it, print the paper-style report, save figure data
+/// next to the binary, and check folding accuracy against the exact ground
+/// truth the simulator knows.
+
+#include <iostream>
+#include <string>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/analysis/report.hpp"
+#include "unveil/sim/engine.hpp"
+#include "unveil/support/table.hpp"
+
+namespace unveil::examples {
+
+/// Full deep-dive on one bundled application. Writes figure data files
+/// prefixed with the app name into the working directory.
+inline int deepDive(const std::string& appName) {
+  const auto params = analysis::standardParams(/*seed=*/7);
+  std::cout << "=== " << appName << ": " << params.ranks << " ranks, "
+            << params.iterations << " iterations ===\n\n";
+
+  // Folding-setup run (coarse sampling) and fine-grain reference run.
+  const auto coarse =
+      analysis::runMeasured(appName, params, sim::MeasurementConfig::folding());
+  const auto fine =
+      analysis::runMeasured(appName, params, sim::MeasurementConfig::fineGrain());
+
+  std::cout << "coarse run: " << coarse.trace.samples().size() << " samples, runtime "
+            << static_cast<double>(coarse.totalRuntimeNs) / 1e9 << " s\n";
+  std::cout << "fine run:   " << fine.trace.samples().size() << " samples, runtime "
+            << static_cast<double>(fine.totalRuntimeNs) / 1e9 << " s\n\n";
+
+  const auto result = analysis::analyze(
+      coarse.trace,
+      analysis::calibratedPipelineConfig(sim::MeasurementConfig::folding()));
+  analysis::clusterSummaryTable(result).print(std::cout, appName + " clusters");
+
+  std::cout << "\niteration structure: period " << result.period.period
+            << ", self-similarity " << result.period.matchFraction * 100.0 << "%\n";
+
+  // Folding accuracy against both references.
+  support::Table acc({"cluster", "phase", "instances", "folded points",
+                      "vs fine-grain (%)", "vs exact truth (%)"});
+  for (const auto& a : analysis::foldingAccuracy(coarse, fine, result,
+                                                 counters::CounterId::TotIns)) {
+    acc.addRow({static_cast<long long>(a.clusterId), a.phaseName,
+                static_cast<long long>(a.instances),
+                static_cast<long long>(a.foldedPoints), a.vsFinePercent,
+                a.vsTruthPercent});
+  }
+  std::cout << '\n';
+  acc.print(std::cout, "folding accuracy (instantaneous MIPS)");
+
+  // Figure data files.
+  const auto scatter = analysis::scatterSeries(
+      result, cluster::FeatureId::LogDurationNs, cluster::FeatureId::Ipc,
+      appName + ".scatter");
+  scatter.save(appName + "_scatter.dat");
+  const auto mips =
+      analysis::rateSeries(result, counters::CounterId::TotIns, appName + ".mips");
+  mips.save(appName + "_mips.dat");
+  const auto l2 =
+      analysis::rateSeries(result, counters::CounterId::L2Dcm, appName + ".l2");
+  l2.save(appName + "_l2.dat");
+
+  std::cout << "\nfigure data written: " << appName << "_scatter.dat, " << appName
+            << "_mips.dat, " << appName << "_l2.dat\n";
+  return 0;
+}
+
+}  // namespace unveil::examples

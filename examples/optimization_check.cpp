@@ -1,0 +1,43 @@
+/// \file optimization_check.cpp
+/// The before/after workflow: did the cache-blocking of wavesim's stencil
+/// sweep actually work, and *how*? Aggregate timers would show a runtime
+/// win; the run diff shows where it came from — the sweep cluster's duration
+/// drops ~22%, its average MIPS and IPC rise, and its internal profile
+/// flattens (large profile distance) while every other phase is untouched
+/// (near-zero deltas) — exactly the surgical change the optimization made.
+
+#include <iostream>
+
+#include "unveil/analysis/diffrun.hpp"
+#include "unveil/analysis/experiments.hpp"
+
+int main() {
+  using namespace unveil;
+  const auto params = analysis::standardParams(/*seed=*/101);
+  const auto mc = sim::MeasurementConfig::folding();
+  const auto cfg = analysis::calibratedPipelineConfig(mc);
+
+  const auto baseline = analysis::runMeasured("wavesim", params, mc);
+  const auto blocked = analysis::runMeasured("wavesim-blocked", params, mc);
+
+  const auto before = analysis::analyze(baseline.trace, cfg);
+  const auto after = analysis::analyze(blocked.trace, cfg);
+  const auto diff = analysis::diffRuns(before, after);
+
+  analysis::diffTable(diff).print(
+      std::cout, "wavesim: baseline vs cache-blocked sweep (B rel. to A)");
+
+  std::cout << "\ntotal runtime: "
+            << static_cast<double>(baseline.totalRuntimeNs) / 1e9 << " s -> "
+            << static_cast<double>(blocked.totalRuntimeNs) / 1e9 << " s ("
+            << (static_cast<double>(blocked.totalRuntimeNs) /
+                    static_cast<double>(baseline.totalRuntimeNs) -
+                1.0) *
+                   100.0
+            << "%)\n";
+  std::cout << "\nreading the table: the sweep row shows the duration win, the\n"
+               "MIPS/IPC gain and a large profile distance (the overflow collapse\n"
+               "is gone); halo pack and pointwise update rows sit near zero —\n"
+               "the optimization changed exactly what it claimed to change.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// \file overhead_study.cpp
+/// Measurement perturbation study: the same application under no
+/// measurement, instrumentation only, coarse sampling (the folding setup)
+/// and fine-grain sampling. Demonstrates the paper's motivating trade-off:
+/// fine-grain detail at fine-grain cost versus folding's fine-grain detail
+/// at coarse-grain cost.
+
+#include <iostream>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/support/table.hpp"
+
+int main() {
+  using namespace unveil;
+  const auto params = analysis::standardParams(/*seed=*/3);
+
+  struct Setup {
+    const char* label;
+    sim::MeasurementConfig config;
+  };
+  const Setup setups[] = {
+      {"no measurement", sim::MeasurementConfig::none()},
+      {"instrumentation only", sim::MeasurementConfig::instrumentationOnly()},
+      {"coarse sampling (folding)", sim::MeasurementConfig::folding()},
+      {"fine-grain sampling", sim::MeasurementConfig::fineGrain()},
+  };
+
+  support::Table t({"configuration", "runtime (s)", "dilation (%)", "samples",
+                    "probe events"});
+  double baseline = 0.0;
+  for (const auto& s : setups) {
+    const auto run = analysis::runMeasured("wavesim", params, s.config);
+    const double seconds = static_cast<double>(run.totalRuntimeNs) / 1e9;
+    if (baseline == 0.0) baseline = seconds;
+    t.addRow({std::string(s.label), seconds, (seconds / baseline - 1.0) * 100.0,
+              static_cast<long long>(run.trace.samples().size()),
+              static_cast<long long>(run.trace.events().size())});
+  }
+  t.print(std::cout, "measurement overhead on wavesim");
+  std::cout << "\nfolding consumes the coarse-sampling run yet reconstructs the\n"
+               "fine-grain view — compare the dilation columns above.\n";
+  return 0;
+}

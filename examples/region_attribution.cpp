@@ -1,0 +1,59 @@
+/// \file region_attribution.cpp
+/// From regime to source line: combine rate folding with code-region folding
+/// to answer the analyst's real question — *which code* is responsible for
+/// the performance regime observed inside a phase.
+///
+/// On wavesim's stencil sweep the reconstruction shows MIPS collapsing after
+/// t ≈ 0.6; the folded callstack regions show that exact interval belongs to
+/// the "overflow_tail" region. No fine-grain measurement, no extra
+/// instrumentation — just coarse samples folded two ways.
+
+#include <iostream>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/folding/regions.hpp"
+
+int main() {
+  using namespace unveil;
+  const auto params = analysis::standardParams(/*seed=*/97);
+  const auto mc = sim::MeasurementConfig::folding();
+  const auto run = analysis::runMeasured("wavesim", params, mc);
+  const auto cfg = analysis::calibratedPipelineConfig(mc);
+  const auto result = analysis::analyze(run.trace, cfg);
+
+  for (const auto& c : result.clusters) {
+    if (c.modalTruthPhase != 1 || !c.folded) continue;  // the sweep
+    const auto mips = c.rates.at(counters::CounterId::TotIns).ratePerMicrosecond();
+    const auto& grid = c.rates.at(counters::CounterId::TotIns).t;
+
+    folding::RegionParams rp;
+    rp.fold = cfg.reconstruct.fold;
+    const auto profile =
+        folding::regionProfile(run.trace, result.bursts, c.memberIdx, rp);
+
+    std::cout << "stencil sweep: instantaneous MIPS with code-region ownership\n\n";
+    std::cout << "  t      MIPS   region\n";
+    for (double t : {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}) {
+      const auto gi = static_cast<std::size_t>(t * static_cast<double>(grid.size() - 1));
+      const folding::RegionSegment* owner = nullptr;
+      for (const auto& seg : profile.segments)
+        if (t >= seg.begin && t < seg.end) owner = &seg;
+      std::cout << "  " << t << "   " << static_cast<long long>(mips[gi]) << "   "
+                << (owner ? run.app->phase(1).model
+                                .regions()[owner->regionId - 1]
+                                .name
+                          : std::string("?"))
+                << '\n';
+    }
+    std::cout << "\nverdict: the MIPS collapse (~"
+              << static_cast<long long>(mips[static_cast<std::size_t>(
+                     0.45 * static_cast<double>(grid.size()))])
+              << " -> "
+              << static_cast<long long>(mips.back())
+              << ") is owned by region '"
+              << run.app->phase(1).model.regions().back().name
+              << "' — that loop is where cache-blocking effort should go.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+/// \file uninstrumented_structure.cpp
+/// Structure detection without phase instrumentation: bursts are extracted
+/// from the gaps between MPI events only (the paper-faithful mode). Phases
+/// not separated by MPI merge into one burst — here wavesim's sweep and
+/// pointwise update become a single cluster — yet the iteration skeleton is
+/// still recovered, and folding unveils the merged burst's interior, showing
+/// *both* regimes inside one detected phase.
+
+#include <iostream>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/analysis/report.hpp"
+
+int main() {
+  using namespace unveil;
+  const auto params = analysis::standardParams(/*seed=*/11);
+  const auto run =
+      analysis::runMeasured("wavesim", params, sim::MeasurementConfig::folding());
+
+  analysis::PipelineConfig config;
+  config.useMpiGaps = true;  // no phase probes consulted
+  const auto result = analysis::analyze(run.trace, config);
+
+  analysis::clusterSummaryTable(result).print(
+      std::cout, "wavesim phases from MPI gaps only (no phase probes)");
+  std::cout << "\niteration period: " << result.period.period
+            << " bursts per iteration (self-similarity "
+            << result.period.matchFraction * 100.0 << "%)\n";
+
+  for (const auto& c : result.clusters) {
+    const auto it = c.rates.find(counters::CounterId::TotIns);
+    if (it == c.rates.end()) continue;
+    const auto mips = it->second.ratePerMicrosecond();
+    std::cout << "\ncluster " << c.clusterId << " (" << c.instances
+              << " instances) MIPS profile:";
+    for (double t : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      const auto idx =
+          static_cast<std::size_t>(t * static_cast<double>(mips.size() - 1));
+      std::cout << ' ' << static_cast<long long>(mips[idx]);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nnote the merged sweep+update cluster: high-MIPS plateau at the\n"
+               "end of the burst is the pointwise update hiding inside.\n";
+  return 0;
+}

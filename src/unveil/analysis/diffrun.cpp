@@ -1,0 +1,135 @@
+#include "unveil/analysis/diffrun.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "unveil/cluster/structure.hpp"
+#include "unveil/folding/accuracy.hpp"
+#include "unveil/support/error.hpp"
+
+namespace unveil::analysis {
+
+namespace {
+
+/// Modal period position per cluster id (kNoiseLabel excluded).
+std::map<int, std::size_t> modalPositions(const PipelineResult& r) {
+  std::map<int, std::map<std::size_t, std::size_t>> hist;
+  const auto sequences = cluster::clusterSequences(r.bursts, r.clustering);
+  const std::size_t period = r.period.period;
+  if (period == 0) return {};
+  for (const auto& seq : sequences) {
+    for (std::size_t i = 0; i < seq.labels.size(); ++i) {
+      if (seq.labels[i] < 0) continue;
+      ++hist[seq.labels[i]][i % period];
+    }
+  }
+  std::map<int, std::size_t> out;
+  for (const auto& [label, positions] : hist) {
+    std::size_t best = 0, bestCount = 0;
+    for (const auto& [pos, count] : positions) {
+      if (count > bestCount) {
+        bestCount = count;
+        best = pos;
+      }
+    }
+    out[label] = best;
+  }
+  return out;
+}
+
+double percentDelta(double a, double b) {
+  return a != 0.0 ? (b - a) / a * 100.0 : 0.0;
+}
+
+}  // namespace
+
+RunDiff diffRuns(const PipelineResult& a, const PipelineResult& b) {
+  RunDiff diff;
+  diff.periodsMatch =
+      a.period.period != 0 && a.period.period == b.period.period;
+
+  // position -> cluster id (largest cluster wins a contested position).
+  auto assign = [](const PipelineResult& r,
+                   const std::map<int, std::size_t>& positions) {
+    std::map<std::size_t, int> byPosition;
+    for (const auto& [label, pos] : positions) {
+      auto it = byPosition.find(pos);
+      if (it == byPosition.end() ||
+          r.clusters[static_cast<std::size_t>(label)].instances >
+              r.clusters[static_cast<std::size_t>(it->second)].instances) {
+        byPosition[pos] = label;
+      }
+    }
+    return byPosition;
+  };
+
+  std::map<std::size_t, int> posA, posB;
+  if (diff.periodsMatch) {
+    posA = assign(a, modalPositions(a));
+    posB = assign(b, modalPositions(b));
+  } else {
+    // Fallback: pair by cluster id.
+    for (std::size_t c = 0; c < a.clustering.numClusters; ++c)
+      posA[c] = static_cast<int>(c);
+    for (std::size_t c = 0; c < b.clustering.numClusters; ++c)
+      posB[c] = static_cast<int>(c);
+  }
+
+  std::map<int, bool> usedB;
+  for (const auto& [pos, idA] : posA) {
+    const auto itB = posB.find(pos);
+    if (itB == posB.end()) {
+      diff.unmatchedA.push_back(idA);
+      continue;
+    }
+    const auto& ca = a.clusters[static_cast<std::size_t>(idA)];
+    const auto& cb = b.clusters[static_cast<std::size_t>(itB->second)];
+    usedB[itB->second] = true;
+
+    ClusterDelta row;
+    row.clusterA = idA;
+    row.clusterB = itB->second;
+    row.periodPosition = pos;
+    row.durationDeltaPercent = percentDelta(ca.meanDurationNs, cb.meanDurationNs);
+    row.mipsDeltaPercent = percentDelta(ca.avgMips, cb.avgMips);
+    row.ipcDeltaPercent = percentDelta(ca.avgIpc, cb.avgIpc);
+    row.timeShareA = ca.totalTimeFraction;
+    row.timeShareB = cb.totalTimeFraction;
+    const auto ra = ca.rates.find(counters::CounterId::TotIns);
+    const auto rb = cb.rates.find(counters::CounterId::TotIns);
+    if (ra != ca.rates.end() && rb != cb.rates.end() &&
+        ra->second.normRate.size() == rb->second.normRate.size()) {
+      row.profileDistancePercent =
+          folding::meanAbsDiffPercent(rb->second.normRate, ra->second.normRate);
+    }
+    diff.clusters.push_back(row);
+  }
+  for (const auto& [pos, idB] : posB) {
+    (void)pos;
+    if (!usedB.contains(idB)) diff.unmatchedB.push_back(idB);
+  }
+  std::sort(diff.clusters.begin(), diff.clusters.end(),
+            [](const ClusterDelta& x, const ClusterDelta& y) {
+              return x.periodPosition < y.periodPosition;
+            });
+  return diff;
+}
+
+support::Table diffTable(const RunDiff& diff) {
+  support::Table t({"position", "cluster A", "cluster B", "duration delta (%)",
+                    "MIPS delta (%)", "IPC delta (%)", "profile distance (%)",
+                    "time share A->B (%)"});
+  for (const auto& row : diff.clusters) {
+    char share[48];
+    std::snprintf(share, sizeof(share), "%.1f -> %.1f", row.timeShareA * 100.0,
+                  row.timeShareB * 100.0);
+    t.addRow({static_cast<long long>(row.periodPosition),
+              static_cast<long long>(row.clusterA),
+              static_cast<long long>(row.clusterB), row.durationDeltaPercent,
+              row.mipsDeltaPercent, row.ipcDeltaPercent,
+              row.profileDistancePercent, std::string(share)});
+  }
+  return t;
+}
+
+}  // namespace unveil::analysis

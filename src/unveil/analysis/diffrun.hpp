@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file diffrun.hpp
+/// Run-to-run comparison: the before/after-optimization workflow.
+///
+/// Given the analyses of two runs of the same application (e.g. baseline vs
+/// cache-blocked build), clusters are matched across runs by their position
+/// in the iteration structure — the stable invariant under optimization;
+/// feature-space positions move, that is the point — and each matched pair
+/// is compared: duration, MIPS/IPC, and the *internal evolution* distance
+/// between the folded rate curves. A flattened profile with unchanged
+/// aggregate duration, or a duration win concentrated in one region, is
+/// exactly what aggregate-only tools cannot show.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/support/table.hpp"
+
+namespace unveil::analysis {
+
+/// One matched cluster pair's deltas (B relative to A, in percent).
+struct ClusterDelta {
+  int clusterA = -1;
+  int clusterB = -1;
+  std::size_t periodPosition = 0;  ///< Shared position in the iteration.
+  double durationDeltaPercent = 0.0;   ///< Mean instance duration change.
+  double mipsDeltaPercent = 0.0;       ///< Average MIPS change.
+  double ipcDeltaPercent = 0.0;        ///< Average IPC change.
+  /// Mean absolute difference between the two normalized TOT_INS rate
+  /// curves (percent of mean level) — how much the *internal shape* moved.
+  /// Negative when either side lacks a folded curve.
+  double profileDistancePercent = -1.0;
+  double timeShareA = 0.0;
+  double timeShareB = 0.0;
+};
+
+/// Whole-run comparison.
+struct RunDiff {
+  std::vector<ClusterDelta> clusters;  ///< Ordered by period position.
+  /// Clusters of either run with no counterpart at their position.
+  std::vector<int> unmatchedA;
+  std::vector<int> unmatchedB;
+  bool periodsMatch = false;
+};
+
+/// Compares two analyzed runs. Matching is by modal period position of each
+/// cluster (requires both analyses to have detected the same period);
+/// falls back to cluster-id order with periodsMatch = false otherwise.
+[[nodiscard]] RunDiff diffRuns(const PipelineResult& a, const PipelineResult& b);
+
+/// Renders the diff as a printable table.
+[[nodiscard]] support::Table diffTable(const RunDiff& diff);
+
+}  // namespace unveil::analysis

@@ -1,0 +1,136 @@
+#include "unveil/analysis/evolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/stats.hpp"
+
+namespace unveil::analysis {
+
+std::string_view trendKindName(TrendKind k) noexcept {
+  switch (k) {
+    case TrendKind::Stable: return "stable";
+    case TrendKind::Drifting: return "drifting";
+    case TrendKind::Irregular: return "irregular";
+  }
+  return "?";
+}
+
+void EvolutionParams::validate() const {
+  if (driftThreshold < 0.0) throw ConfigError("evolution driftThreshold must be >= 0");
+  if (minTScore <= 0.0) throw ConfigError("evolution minTScore must be > 0");
+  if (irregularCov <= 0.0) throw ConfigError("evolution irregularCov must be > 0");
+}
+
+LinearFit fitLine(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 3)
+    throw AnalysisError("fitLine requires >= 3 paired points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.intercept = sy / n;
+    return fit;  // vertical stack of x: flat line, r2 = 0
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double meanY = sy / n;
+  const double meanX = sx / n;
+  double ssTot = 0.0, ssRes = 0.0, sxxCentered = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * x[i];
+    ssTot += (y[i] - meanY) * (y[i] - meanY);
+    ssRes += (y[i] - pred) * (y[i] - pred);
+    sxxCentered += (x[i] - meanX) * (x[i] - meanX);
+  }
+  fit.r2 = ssTot > 0.0 ? std::max(0.0, 1.0 - ssRes / ssTot) : 0.0;
+  if (x.size() > 2 && sxxCentered > 0.0 && ssRes > 0.0) {
+    fit.slopeStdError =
+        std::sqrt(ssRes / (n - 2.0) / sxxCentered);
+  }
+  return fit;
+}
+
+std::vector<ClusterEvolution> durationEvolution(const PipelineResult& result,
+                                                const EvolutionParams& params) {
+  params.validate();
+  std::vector<ClusterEvolution> out;
+  for (const auto& report : result.clusters) {
+    ClusterEvolution row;
+    row.clusterId = report.clusterId;
+    row.modalTruthPhase = report.modalTruthPhase;
+    row.instances = report.instances;
+    if (report.instances < 3) {
+      out.push_back(row);
+      continue;
+    }
+
+    // Per-instance duration over normalized run position.
+    std::vector<std::pair<trace::TimeNs, double>> points;
+    points.reserve(report.memberIdx.size());
+    for (std::size_t i : report.memberIdx) {
+      const auto& b = result.bursts[i];
+      points.emplace_back(b.begin, static_cast<double>(b.durationNs()));
+    }
+    std::sort(points.begin(), points.end());
+    const double t0 = static_cast<double>(points.front().first);
+    const double t1 = static_cast<double>(points.back().first);
+    const double span = std::max(t1 - t0, 1.0);
+    std::vector<double> xs, ys;
+    xs.reserve(points.size());
+    ys.reserve(points.size());
+    for (const auto& [t, d] : points) {
+      xs.push_back((static_cast<double>(t) - t0) / span);
+      ys.push_back(d);
+    }
+
+    const LinearFit fit = fitLine(xs, ys);
+    const double start = fit.intercept;
+    const double end = fit.intercept + fit.slope;
+    row.relativeDrift = start != 0.0 ? (end - start) / start : 0.0;
+    row.r2 = fit.r2;
+    row.tScore = fit.tScore();
+
+    support::RunningStats residuals;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      residuals.add(ys[i] - (fit.intercept + fit.slope * xs[i]));
+    const double meanDuration = support::mean(ys);
+    row.residualCov =
+        meanDuration > 0.0 ? residuals.stddev() / meanDuration : 0.0;
+
+    if (std::abs(row.relativeDrift) >= params.driftThreshold &&
+        std::abs(row.tScore) >= params.minTScore) {
+      row.kind = TrendKind::Drifting;
+    } else if (row.residualCov >= params.irregularCov) {
+      row.kind = TrendKind::Irregular;
+    } else {
+      row.kind = TrendKind::Stable;
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+support::Table evolutionTable(const std::vector<ClusterEvolution>& rows) {
+  support::Table t({"cluster", "phase", "instances", "drift over run (%)",
+                    "t score", "residual CV", "trend"});
+  for (const auto& r : rows) {
+    t.addRow({static_cast<long long>(r.clusterId),
+              r.modalTruthPhase == cluster::kNoPhase
+                  ? support::Cell{std::string("-")}
+                  : support::Cell{static_cast<long long>(r.modalTruthPhase)},
+              static_cast<long long>(r.instances), r.relativeDrift * 100.0,
+              r.tScore, r.residualCov, std::string(trendKindName(r.kind))});
+  }
+  return t;
+}
+
+}  // namespace unveil::analysis

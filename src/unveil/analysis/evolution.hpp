@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file evolution.hpp
+/// Cross-run evolution of cluster metrics — the complement of folding.
+///
+/// Folding answers "what happens *inside* one instance of a phase";
+/// this module answers "how does the phase change *across* the run": is the
+/// duration drifting (slowly growing working set, fragmentation), is the
+/// IPC degrading, did a step change occur? For each cluster it builds the
+/// per-instance metric series ordered by time and fits a robust linear
+/// trend; the relative slope over the run plus the fit quality classify the
+/// cluster as stable, drifting, or irregular.
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/support/table.hpp"
+
+namespace unveil::analysis {
+
+/// Trend classification of a cluster metric across the run.
+enum class TrendKind : std::uint8_t {
+  Stable = 0,   ///< No significant change across the run.
+  Drifting,     ///< Significant monotone linear trend.
+  Irregular,    ///< Significant variation not explained by a line.
+};
+
+/// Name of a TrendKind ("stable"/"drifting"/"irregular").
+[[nodiscard]] std::string_view trendKindName(TrendKind k) noexcept;
+
+/// Per-cluster evolution findings for one metric.
+struct ClusterEvolution {
+  int clusterId = 0;
+  std::uint32_t modalTruthPhase = cluster::kNoPhase;
+  std::size_t instances = 0;
+  /// Relative change of the metric across the run implied by the linear
+  /// trend: (end − start) / start. +0.08 = grew 8 %.
+  double relativeDrift = 0.0;
+  /// Coefficient of determination of the linear fit, in [0, 1].
+  double r2 = 0.0;
+  /// Slope t statistic (signed).
+  double tScore = 0.0;
+  /// Residual coefficient of variation (spread not explained by the trend).
+  double residualCov = 0.0;
+  TrendKind kind = TrendKind::Stable;
+};
+
+/// Evolution-analysis parameters.
+struct EvolutionParams {
+  /// |relativeDrift| below this counts as stable.
+  double driftThreshold = 0.03;
+  /// Minimum |t statistic| of the slope for a drift to count. R² is the
+  /// wrong gate here: with strong static rank imbalance the cross-rank
+  /// variance dwarfs the trend (low R²) while thousands of instances make
+  /// even a small slope statistically unambiguous (huge t).
+  double minTScore = 3.5;
+  /// Residual CV above this marks the cluster irregular even without trend.
+  double irregularCov = 0.15;
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// Analyzes the evolution of per-instance mean duration for every cluster.
+[[nodiscard]] std::vector<ClusterEvolution> durationEvolution(
+    const PipelineResult& result, const EvolutionParams& params = {});
+
+/// Renders the analysis as a printable table.
+[[nodiscard]] support::Table evolutionTable(const std::vector<ClusterEvolution>& rows);
+
+/// Robust linear fit y = a + b·x via least squares; returns {a, b, r2}.
+/// Exposed for testing. Throws AnalysisError for fewer than 3 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+  double slopeStdError = 0.0;  ///< 0 when degenerate.
+
+  /// Slope t statistic; 0 when the standard error is degenerate.
+  [[nodiscard]] double tScore() const noexcept {
+    return slopeStdError > 0.0 ? slope / slopeStdError : 0.0;
+  }
+};
+[[nodiscard]] LinearFit fitLine(std::span<const double> x, std::span<const double> y);
+
+}  // namespace unveil::analysis

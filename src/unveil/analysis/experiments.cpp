@@ -1,0 +1,96 @@
+#include "unveil/analysis/experiments.hpp"
+
+#include <algorithm>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::analysis {
+
+sim::apps::AppParams standardParams(std::uint64_t seed) {
+  sim::apps::AppParams p;
+  p.ranks = 16;
+  p.iterations = 150;
+  p.seed = seed;
+  p.scale = 1.0;
+  return p;
+}
+
+sim::RunResult runMeasured(const std::string& appName,
+                           const sim::apps::AppParams& params,
+                           const sim::MeasurementConfig& measurement) {
+  sim::SimConfig cfg;
+  cfg.measurement = measurement;
+  cfg.seed = params.seed + 1000;  // sampling stream distinct from app stream
+  return sim::run(sim::apps::makeApplication(appName, params), cfg);
+}
+
+PipelineConfig calibratedPipelineConfig(const sim::MeasurementConfig& measurement) {
+  PipelineConfig config;
+  if (measurement.sampling.enabled)
+    config.reconstruct.fold.perSampleOverheadNs = measurement.sampling.sampleCostNs;
+  if (measurement.instrumentation.enabled)
+    config.reconstruct.fold.probeOverheadNs = measurement.instrumentation.probeCostNs;
+  return config;
+}
+
+folding::EmpiricalRateParams calibratedEmpiricalParams(
+    const sim::MeasurementConfig& measurement) {
+  folding::EmpiricalRateParams params;
+  if (measurement.sampling.enabled)
+    params.perSampleOverheadNs = measurement.sampling.sampleCostNs;
+  if (measurement.instrumentation.enabled)
+    params.probeOverheadNs = measurement.instrumentation.probeCostNs;
+  return params;
+}
+
+std::vector<ClusterAccuracy> foldingAccuracy(const sim::RunResult& coarse,
+                                             const sim::RunResult& fine,
+                                             const PipelineResult& coarseAnalysis,
+                                             counters::CounterId counter,
+                                             const sim::MeasurementConfig& fineMeasurement) {
+  UNVEIL_ASSERT(coarse.app != nullptr && fine.app != nullptr,
+                "runs must carry their application");
+  // Fine-grain reference bursts, grouped by ground-truth phase.
+  const cluster::BurstExtraction extraction;
+  const auto fineBursts = extraction.fromPhaseEvents(fine.trace);
+
+  std::vector<ClusterAccuracy> out;
+  for (const auto& report : coarseAnalysis.clusters) {
+    if (!report.folded) continue;
+    auto rateIt = report.rates.find(counter);
+    if (rateIt == report.rates.end()) continue;
+    if (report.modalTruthPhase == cluster::kNoPhase) continue;
+    const folding::RateCurve& curve = rateIt->second;
+
+    ClusterAccuracy acc;
+    acc.clusterId = report.clusterId;
+    acc.truthPhase = report.modalTruthPhase;
+    acc.phaseName = coarse.app->phase(report.modalTruthPhase).model.name();
+    acc.instances = report.instances;
+    acc.foldedPoints = curve.sourcePoints;
+
+    // Exact reference: the phase model's analytic normalized rate.
+    const auto& shape =
+        coarse.app->phase(report.modalTruthPhase).model.profile(counter).shape;
+    const auto truthCurve = folding::truthNormalizedRate(shape, curve.t);
+    acc.vsTruthPercent = folding::meanAbsDiffPercent(curve.normRate, truthCurve);
+
+    // Empirical reference: densely sampled instances of the same phase in
+    // the fine-grain run.
+    std::vector<std::size_t> fineMembers;
+    for (std::size_t i = 0; i < fineBursts.size(); ++i)
+      if (fineBursts[i].truthPhase == report.modalTruthPhase) fineMembers.push_back(i);
+    const auto fineCurve = folding::empiricalNormalizedRate(
+        fine.trace, fineBursts, fineMembers, counter, curve.t,
+        calibratedEmpiricalParams(fineMeasurement));
+    acc.vsFinePercent = folding::meanAbsDiffPercent(curve.normRate, fineCurve);
+
+    out.push_back(std::move(acc));
+  }
+  std::sort(out.begin(), out.end(), [](const ClusterAccuracy& a, const ClusterAccuracy& b) {
+    return a.clusterId < b.clusterId;
+  });
+  return out;
+}
+
+}  // namespace unveil::analysis

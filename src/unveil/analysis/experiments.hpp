@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file experiments.hpp
+/// Shared drivers for the benchmark harness: standard application
+/// parameters, measured-run helpers and the accuracy computation used by
+/// T1/F4/F5 so every bench reports numbers computed the same way.
+
+#include <string>
+#include <vector>
+
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/folding/accuracy.hpp"
+#include "unveil/sim/apps/apps.hpp"
+#include "unveil/sim/engine.hpp"
+
+namespace unveil::analysis {
+
+/// Standard experiment scale (chosen so every bench finishes in seconds
+/// while keeping thousands of burst instances per application).
+[[nodiscard]] sim::apps::AppParams standardParams(std::uint64_t seed = 1);
+
+/// Runs \p appName at \p params under \p measurement with the default
+/// network model.
+[[nodiscard]] sim::RunResult runMeasured(const std::string& appName,
+                                         const sim::apps::AppParams& params,
+                                         const sim::MeasurementConfig& measurement);
+
+/// Pipeline configuration whose folding compensates the measurement's own
+/// calibrated intrusion (probe and per-sample costs), the way production
+/// tools subtract their known overheads.
+[[nodiscard]] PipelineConfig calibratedPipelineConfig(
+    const sim::MeasurementConfig& measurement);
+
+/// Empirical-reference parameters with the same intrusion compensation.
+[[nodiscard]] folding::EmpiricalRateParams calibratedEmpiricalParams(
+    const sim::MeasurementConfig& measurement);
+
+/// Accuracy of one cluster's folding reconstruction for one counter.
+struct ClusterAccuracy {
+  int clusterId = 0;
+  std::uint32_t truthPhase = cluster::kNoPhase;
+  std::string phaseName;             ///< Ground-truth phase label.
+  double vsTruthPercent = 0.0;       ///< Mean abs diff vs analytic truth.
+  double vsFinePercent = 0.0;        ///< Mean abs diff vs fine-grain reference.
+  std::size_t instances = 0;
+  std::size_t foldedPoints = 0;
+};
+
+/// Computes folding accuracy for every folded cluster of \p coarse (the
+/// folding run) using \p fine (the fine-grain-sampled run of the *same*
+/// application and seed) for the empirical reference, and the application's
+/// phase models for the exact reference. Clusters whose modal truth phase
+/// cannot be determined are skipped. \p fineMeasurement describes the fine
+/// run's measurement setup so its intrusion can be compensated.
+[[nodiscard]] std::vector<ClusterAccuracy> foldingAccuracy(
+    const sim::RunResult& coarse, const sim::RunResult& fine,
+    const PipelineResult& coarseAnalysis, counters::CounterId counter,
+    const sim::MeasurementConfig& fineMeasurement = sim::MeasurementConfig::fineGrain());
+
+}  // namespace unveil::analysis

@@ -1,0 +1,97 @@
+#include "unveil/analysis/imbalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "unveil/support/stats.hpp"
+
+namespace unveil::analysis {
+
+std::vector<ClusterImbalance> imbalanceAnalysis(const PipelineResult& result,
+                                                trace::Rank numRanks) {
+  std::vector<ClusterImbalance> out;
+  for (const auto& report : result.clusters) {
+    ClusterImbalance row;
+    row.clusterId = report.clusterId;
+    row.modalTruthPhase = report.modalTruthPhase;
+    row.timeShare = report.totalTimeFraction;
+
+    // Group instance durations by rank, in time order (extraction order).
+    std::map<trace::Rank, std::vector<double>> byRank;
+    for (std::size_t i : report.memberIdx) {
+      const auto& b = result.bursts[i];
+      byRank[b.rank].push_back(static_cast<double>(b.durationNs()));
+    }
+    if (byRank.size() < 2) {
+      out.push_back(row);
+      continue;
+    }
+
+    // Persistent imbalance: CV of per-rank means.
+    support::RunningStats rankMeans;
+    std::size_t minInstances = std::numeric_limits<std::size_t>::max();
+    for (const auto& [rank, durations] : byRank) {
+      (void)rank;
+      support::RunningStats s;
+      for (double d : durations) s.add(d);
+      rankMeans.add(s.mean());
+      minInstances = std::min(minInstances, durations.size());
+    }
+    row.durationCovAcrossRanks =
+        rankMeans.mean() > 0.0 ? rankMeans.stddev() / rankMeans.mean() : 0.0;
+
+    // Per-iteration imbalance factor: k-th instance across ranks.
+    row.iterationsMeasured = minInstances;
+    if (minInstances > 0 && byRank.size() == numRanks) {
+      support::RunningStats factor;
+      for (std::size_t k = 0; k < minInstances; ++k) {
+        double maxD = 0.0, sum = 0.0;
+        for (const auto& [rank, durations] : byRank) {
+          (void)rank;
+          maxD = std::max(maxD, durations[k]);
+          sum += durations[k];
+        }
+        const double mean = sum / static_cast<double>(byRank.size());
+        if (mean > 0.0) factor.add(maxD / mean);
+      }
+      row.imbalanceFactor = factor.count() > 0 ? factor.mean() : 1.0;
+    } else {
+      // Not every rank runs this cluster: fall back to the persistent metric
+      // view (the factor over per-rank means).
+      double maxMean = 0.0;
+      support::RunningStats means;
+      for (const auto& [rank, durations] : byRank) {
+        (void)rank;
+        support::RunningStats s;
+        for (double d : durations) s.add(d);
+        maxMean = std::max(maxMean, s.mean());
+        means.add(s.mean());
+      }
+      row.imbalanceFactor = means.mean() > 0.0 ? maxMean / means.mean() : 1.0;
+    }
+    row.transferPotential =
+        std::max(row.imbalanceFactor - 1.0, 0.0) / row.imbalanceFactor *
+        row.timeShare;
+    out.push_back(row);
+  }
+  return out;
+}
+
+support::Table imbalanceTable(const std::vector<ClusterImbalance>& rows) {
+  support::Table t({"cluster", "phase", "iterations", "imbalance factor",
+                    "persistent CV", "time share (%)", "transfer potential (%)"});
+  for (const auto& r : rows) {
+    t.addRow({static_cast<long long>(r.clusterId),
+              r.modalTruthPhase == cluster::kNoPhase
+                  ? support::Cell{std::string("-")}
+                  : support::Cell{static_cast<long long>(r.modalTruthPhase)},
+              static_cast<long long>(r.iterationsMeasured), r.imbalanceFactor,
+              r.durationCovAcrossRanks, r.timeShare * 100.0,
+              r.transferPotential * 100.0});
+  }
+  return t;
+}
+
+}  // namespace unveil::analysis

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file imbalance.hpp
+/// Load-balance characterization of clustered bursts — the companion
+/// analysis of the same group's "Detailed Load Balance Analysis of Large
+/// Scale Parallel Applications" (Huck & Labarta, ICPP 2010). Once bursts are
+/// clustered, imbalance is a per-cluster property: how unevenly the
+/// instances of one phase are distributed across ranks in time.
+///
+/// Metrics per cluster:
+///  - imbalanceFactor: mean over iterations of max/mean rank duration — the
+///    classic LB metric; 1.0 is perfect balance, the excess is the fraction
+///    of parallel time wasted waiting for the slowest rank.
+///  - durationCovAcrossRanks: coefficient of variation of per-rank mean
+///    durations — separates *persistent* imbalance (decomposition inequity)
+///    from per-iteration jitter.
+///  - transferPotential: runtime fraction the application would save if this
+///    cluster were perfectly balanced (excess × cluster time share).
+
+#include <vector>
+
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/support/table.hpp"
+
+namespace unveil::analysis {
+
+/// Per-cluster imbalance findings.
+struct ClusterImbalance {
+  int clusterId = 0;
+  std::uint32_t modalTruthPhase = cluster::kNoPhase;
+  double imbalanceFactor = 1.0;        ///< mean_iter(max_rank / mean_rank).
+  double durationCovAcrossRanks = 0.0; ///< CV of per-rank mean durations.
+  double timeShare = 0.0;              ///< Cluster share of all burst time.
+  double transferPotential = 0.0;      ///< Achievable runtime saving fraction.
+  std::size_t iterationsMeasured = 0;
+};
+
+/// Computes imbalance per cluster of \p result. Iterations are identified by
+/// each rank's k-th instance of the cluster (valid for SPMD codes, which is
+/// what clustering-based LB analysis assumes). Clusters whose instance
+/// counts differ wildly across ranks are reported with iterationsMeasured =
+/// min instances per rank.
+[[nodiscard]] std::vector<ClusterImbalance> imbalanceAnalysis(
+    const PipelineResult& result, trace::Rank numRanks);
+
+/// Renders the analysis as a printable table.
+[[nodiscard]] support::Table imbalanceTable(const std::vector<ClusterImbalance>& rows);
+
+}  // namespace unveil::analysis

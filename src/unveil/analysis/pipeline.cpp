@@ -1,0 +1,166 @@
+#include "unveil/analysis/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "unveil/counters/counter.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/log.hpp"
+
+namespace unveil::analysis {
+
+PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) {
+  PipelineResult result;
+
+  // 1. Burst extraction.
+  result.bursts = config.useMpiGaps ? config.extraction.fromMpiGaps(trace)
+                                    : config.extraction.fromPhaseEvents(trace);
+  if (result.bursts.empty())
+    throw AnalysisError("pipeline: trace yields no computation bursts");
+  support::logInfo("pipeline: extracted " + std::to_string(result.bursts.size()) +
+                   " bursts");
+
+  // 2. Features + normalization + clustering.
+  const auto raw = cluster::buildFeatures(result.bursts, config.features);
+  const auto normalizer = cluster::ZScoreNormalizer::fit(raw);
+  const auto normalized = normalizer.apply(raw);
+  cluster::DbscanParams params = config.dbscan;
+  if (config.autoEps) {
+    params.eps =
+        cluster::estimateEps(normalized, params.minPts, config.epsQuantile);
+    support::logInfo("pipeline: estimated eps = " + std::to_string(params.eps));
+  }
+  result.epsUsed = params.eps;
+  result.clustering = cluster::dbscan(normalized, params);
+  support::logInfo("pipeline: found " + std::to_string(result.clustering.numClusters) +
+                   " clusters (" + std::to_string(result.clustering.noiseCount()) +
+                   " noise bursts)");
+
+  // 3. Structure detection, then structural refinement of fragments; a
+  //    successful merge changes the sequences, so re-detect afterwards.
+  {
+    auto sequences = cluster::clusterSequences(result.bursts, result.clustering);
+    result.period = cluster::detectGlobalPeriod(sequences);
+    if (config.refineFragments && result.period.period > 0) {
+      auto refined = cluster::refineByStructure(result.bursts, result.clustering,
+                                                result.period.period, config.refine);
+      result.refinementMerges = refined.mergesApplied;
+      if (refined.mergesApplied > 0) {
+        support::logInfo("pipeline: refinement merged " +
+                         std::to_string(refined.mergesApplied) + " fragment pairs");
+        result.clustering = std::move(refined.clustering);
+        sequences = cluster::clusterSequences(result.bursts, result.clustering);
+        result.period = cluster::detectGlobalPeriod(sequences);
+      }
+    }
+  }
+
+  // 4. Per-cluster aggregate metrics and folding.
+  double allBurstTime = 0.0;
+  for (const auto& b : result.bursts)
+    allBurstTime += static_cast<double>(b.durationNs());
+
+  for (std::size_t c = 0; c < result.clustering.numClusters; ++c) {
+    ClusterReport report;
+    report.clusterId = static_cast<int>(c);
+    report.memberIdx = result.clustering.members(static_cast<int>(c));
+    report.instances = report.memberIdx.size();
+
+    double durSum = 0.0;
+    double ipcSum = 0.0;
+    double mipsSum = 0.0;
+    std::map<std::uint32_t, std::size_t> phaseHist;
+    for (std::size_t i : report.memberIdx) {
+      const auto& b = result.bursts[i];
+      const auto delta = b.delta();
+      durSum += static_cast<double>(b.durationNs());
+      ipcSum += counters::DerivedMetrics::ipc(delta);
+      mipsSum += counters::DerivedMetrics::mips(delta, b.durationNs());
+      ++phaseHist[b.truthPhase];
+    }
+    if (report.instances > 0) {
+      report.meanDurationNs = durSum / static_cast<double>(report.instances);
+      report.avgIpc = ipcSum / static_cast<double>(report.instances);
+      report.avgMips = mipsSum / static_cast<double>(report.instances);
+      report.totalTimeFraction = allBurstTime > 0.0 ? durSum / allBurstTime : 0.0;
+      std::size_t best = 0;
+      for (const auto& [phase, count] : phaseHist) {
+        if (count > best) {
+          best = count;
+          report.modalTruthPhase = phase;
+        }
+      }
+    }
+
+    result.clusters.push_back(std::move(report));
+  }
+
+  // 5. Folding — each (cluster, counter) reconstruction is independent, so
+  //    run them on a worker pool. Results are written to pre-allocated
+  //    slots, keeping the outcome bit-identical to the sequential order.
+  {
+    struct Job {
+      std::size_t clusterIdx;
+      counters::CounterId counter;
+      std::optional<folding::RateCurve> curve;
+      std::string error;
+    };
+    std::vector<Job> jobs;
+    for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
+      if (result.clusters[ci].instances < config.minClusterInstances) continue;
+      for (counters::CounterId id : config.rateCounters)
+        jobs.push_back(Job{ci, id, std::nullopt, {}});
+    }
+
+    const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t threads = std::min(
+        config.foldThreads == 0 ? hardware : config.foldThreads, jobs.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t j = next.fetch_add(1); j < jobs.size();
+           j = next.fetch_add(1)) {
+        Job& job = jobs[j];
+        try {
+          job.curve = folding::reconstructClusterRate(
+              trace, result.bursts, result.clusters[job.clusterIdx].memberIdx,
+              job.counter, config.reconstruct);
+        } catch (const AnalysisError& e) {
+          job.error = e.what();
+        }
+      }
+    };
+    if (threads <= 1) {
+      worker();
+    } else {
+      std::vector<std::jthread> pool;
+      pool.reserve(threads);
+      for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    }
+
+    std::vector<bool> anyFailure(result.clusters.size(), false);
+    for (auto& job : jobs) {
+      auto& report = result.clusters[job.clusterIdx];
+      if (job.curve) {
+        report.rates.emplace(job.counter, std::move(*job.curve));
+      } else {
+        anyFailure[job.clusterIdx] = true;
+        support::logWarn("pipeline: cluster " +
+                         std::to_string(report.clusterId) + " counter " +
+                         std::string(counters::counterName(job.counter)) +
+                         " not folded: " + job.error);
+      }
+    }
+    for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
+      auto& report = result.clusters[ci];
+      report.folded = !anyFailure[ci] && !report.rates.empty();
+    }
+  }
+
+  return result;
+}
+
+}  // namespace unveil::analysis

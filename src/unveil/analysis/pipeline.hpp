@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// The end-to-end analysis pipeline — the paper's automated methodology as
+/// one call: trace → burst extraction → clustering → per-cluster folding →
+/// instantaneous-rate reconstruction → structure detection.
+///
+/// This is the primary public API of the library. Examples and benches are
+/// thin wrappers around analyze().
+
+#include <map>
+#include <vector>
+
+#include "unveil/cluster/burst.hpp"
+#include "unveil/cluster/dbscan.hpp"
+#include "unveil/cluster/features.hpp"
+#include "unveil/cluster/refine.hpp"
+#include "unveil/cluster/structure.hpp"
+#include "unveil/folding/rate.hpp"
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::analysis {
+
+/// Pipeline configuration with sensible defaults for the bundled apps.
+struct PipelineConfig {
+  /// Burst extraction settings.
+  cluster::BurstExtraction extraction;
+  /// Use MPI-gap extraction (paper-faithful, no phase probes needed) instead
+  /// of phase-event extraction.
+  bool useMpiGaps = false;
+  /// Clustering feature space.
+  std::vector<cluster::FeatureId> features = cluster::defaultFeatures();
+  /// DBSCAN parameters; eps is replaced by estimateEps() when autoEps.
+  cluster::DbscanParams dbscan{};
+  bool autoEps = true;
+  /// Quantile fed to estimateEps when autoEps.
+  double epsQuantile = 0.94;
+  /// Folding/fitting options.
+  folding::ReconstructOptions reconstruct;
+  /// Counters to reconstruct per cluster.
+  std::vector<counters::CounterId> rateCounters = {counters::CounterId::TotIns,
+                                                   counters::CounterId::L2Dcm};
+  /// Clusters with fewer instances than this are reported but not folded.
+  std::size_t minClusterInstances = 30;
+  /// Merge DBSCAN fragments that are structurally one phase (same iteration
+  /// position, never co-occurring) — see cluster::refineByStructure.
+  bool refineFragments = true;
+  cluster::RefineParams refine{};
+  /// Fold clusters on worker threads (each cluster × counter reconstruction
+  /// is independent and deterministic, so results are identical to the
+  /// sequential path). 0 = one thread per hardware core; 1 = sequential.
+  std::size_t foldThreads = 0;
+};
+
+/// Per-cluster findings.
+struct ClusterReport {
+  int clusterId = 0;
+  std::vector<std::size_t> memberIdx;  ///< Indices into PipelineResult::bursts.
+  std::size_t instances = 0;
+  double meanDurationNs = 0.0;
+  double totalTimeFraction = 0.0;  ///< Share of all-burst time in this cluster.
+  double avgIpc = 0.0;
+  double avgMips = 0.0;
+  /// Modal ground-truth phase (evaluation only; kNoPhase when unknown).
+  std::uint32_t modalTruthPhase = cluster::kNoPhase;
+  /// Reconstructed instantaneous rates per requested counter; empty when
+  /// the cluster was too small to fold.
+  std::map<counters::CounterId, folding::RateCurve> rates;
+  bool folded = false;
+};
+
+/// Everything the pipeline produced.
+struct PipelineResult {
+  std::vector<cluster::Burst> bursts;
+  cluster::Clustering clustering;
+  double epsUsed = 0.0;
+  std::vector<ClusterReport> clusters;  ///< Ordered by cluster id.
+  /// Structure detected by majority vote over rank sequences.
+  cluster::PeriodResult period;
+  /// Fragment merges applied by structural refinement (0 when disabled).
+  std::size_t refinementMerges = 0;
+};
+
+/// Runs the full methodology on a finalized trace.
+/// Throws AnalysisError when the trace contains no usable bursts.
+[[nodiscard]] PipelineResult analyze(const trace::Trace& trace,
+                                     const PipelineConfig& config = {});
+
+}  // namespace unveil::analysis

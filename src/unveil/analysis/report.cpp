@@ -1,0 +1,87 @@
+#include "unveil/analysis/report.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "unveil/cluster/structure.hpp"
+
+namespace unveil::analysis {
+
+support::Table clusterSummaryTable(const PipelineResult& result) {
+  support::Table t({"cluster", "instances", "mean duration (us)", "time share (%)",
+                    "avg IPC", "avg MIPS", "modal truth phase", "folded"});
+  for (const auto& c : result.clusters) {
+    t.addRow({static_cast<long long>(c.clusterId),
+              static_cast<long long>(c.instances), c.meanDurationNs / 1e3,
+              c.totalTimeFraction * 100.0, c.avgIpc, c.avgMips,
+              c.modalTruthPhase == cluster::kNoPhase
+                  ? support::Cell{std::string("-")}
+                  : support::Cell{static_cast<long long>(c.modalTruthPhase)},
+              std::string(c.folded ? "yes" : "no")});
+  }
+  t.addRow({std::string("noise"),
+            static_cast<long long>(result.clustering.noiseCount()), 0.0, 0.0, 0.0,
+            0.0, std::string("-"), std::string("no")});
+  return t;
+}
+
+support::SeriesSet scatterSeries(const PipelineResult& result, cluster::FeatureId x,
+                                 cluster::FeatureId y,
+                                 const std::string& figureName) {
+  support::SeriesSet set(figureName, std::string(cluster::featureName(x)),
+                         std::string(cluster::featureName(y)));
+  auto makeSeries = [&](int label, const std::string& name) {
+    support::Series s;
+    s.label = name;
+    for (std::size_t i = 0; i < result.bursts.size(); ++i) {
+      if (result.clustering.labels[i] != label) continue;
+      s.x.push_back(cluster::burstFeature(result.bursts[i], x));
+      s.y.push_back(cluster::burstFeature(result.bursts[i], y));
+    }
+    if (!s.x.empty()) set.add(std::move(s));
+  };
+  for (std::size_t c = 0; c < result.clustering.numClusters; ++c)
+    makeSeries(static_cast<int>(c), "cluster " + std::to_string(c));
+  makeSeries(cluster::kNoiseLabel, "noise");
+  return set;
+}
+
+support::SeriesSet rateSeries(const PipelineResult& result, counters::CounterId counter,
+                              const std::string& figureName) {
+  const bool isIns = counter == counters::CounterId::TotIns;
+  support::SeriesSet set(figureName, "normalized intra-phase time",
+                         isIns ? "instantaneous MIPS"
+                               : std::string(counters::counterName(counter)) +
+                                     " per microsecond");
+  for (const auto& c : result.clusters) {
+    auto it = c.rates.find(counter);
+    if (it == c.rates.end()) continue;
+    support::Series s;
+    s.label = "cluster " + std::to_string(c.clusterId);
+    s.x = it->second.t;
+    s.y = it->second.ratePerMicrosecond();
+    set.add(std::move(s));
+  }
+  return set;
+}
+
+support::SeriesSet timelineSeries(const PipelineResult& result,
+                                  const std::string& figureName,
+                                  std::size_t maxRanks) {
+  support::SeriesSet set(figureName, "time (ms)", "cluster id");
+  const auto sequences = cluster::clusterSequences(result.bursts, result.clustering);
+  std::size_t shown = 0;
+  for (const auto& seq : sequences) {
+    if (shown++ >= maxRanks) break;
+    support::Series s;
+    s.label = "rank " + std::to_string(seq.rank);
+    for (std::size_t i = 0; i < seq.labels.size(); ++i) {
+      s.x.push_back(static_cast<double>(seq.begins[i]) / 1e6);
+      s.y.push_back(static_cast<double>(seq.labels[i]));
+    }
+    set.add(std::move(s));
+  }
+  return set;
+}
+
+}  // namespace unveil::analysis

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file report.hpp
+/// Turns pipeline results into the tables and figure series the paper
+/// reports (and the bench binaries print).
+
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/support/series.hpp"
+#include "unveil/support/table.hpp"
+
+namespace unveil::analysis {
+
+/// Cluster summary: one row per cluster (id, instances, mean duration, time
+/// share, IPC, MIPS, modal ground-truth phase).
+[[nodiscard]] support::Table clusterSummaryTable(const PipelineResult& result);
+
+/// Burst scatter in a 2-feature space, one series per cluster plus noise —
+/// the canonical clustering figure (F1).
+[[nodiscard]] support::SeriesSet scatterSeries(const PipelineResult& result,
+                                               cluster::FeatureId x,
+                                               cluster::FeatureId y,
+                                               const std::string& figureName);
+
+/// Reconstructed instantaneous-rate curves of one counter for every folded
+/// cluster (F3/F6). Rates in physical units per microsecond (MIPS for
+/// TOT_INS).
+[[nodiscard]] support::SeriesSet rateSeries(const PipelineResult& result,
+                                            counters::CounterId counter,
+                                            const std::string& figureName);
+
+/// Per-rank cluster timeline as series: x = burst start (ms), y = cluster id
+/// (F2). Limited to \p maxRanks ranks to keep figures readable.
+[[nodiscard]] support::SeriesSet timelineSeries(const PipelineResult& result,
+                                                const std::string& figureName,
+                                                std::size_t maxRanks = 4);
+
+}  // namespace unveil::analysis

@@ -1,0 +1,71 @@
+#include "unveil/analysis/representative.hpp"
+
+#include <algorithm>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::analysis {
+
+void RepresentativeParams::validate() const {
+  if (iterations == 0) throw ConfigError("representative iterations must be >= 1");
+  if (skipFraction < 0.0 || skipFraction >= 1.0)
+    throw ConfigError("representative skipFraction must be in [0, 1)");
+}
+
+std::optional<RepresentativeWindow> representativeWindow(
+    const PipelineResult& result, const RepresentativeParams& params) {
+  params.validate();
+  const std::size_t period = result.period.period;
+  if (period == 0 || result.period.signature.empty()) return std::nullopt;
+
+  const auto sequences = cluster::clusterSequences(result.bursts, result.clustering);
+  if (sequences.empty()) return std::nullopt;
+
+  // Anchor on the rank whose own period detection agrees best with the
+  // global signature.
+  const cluster::RankSequence* anchor = nullptr;
+  double bestMatch = -1.0;
+  for (const auto& seq : sequences) {
+    const auto p = cluster::detectPeriod(seq.labels);
+    if (p.period == period && p.matchFraction > bestMatch) {
+      bestMatch = p.matchFraction;
+      anchor = &seq;
+    }
+  }
+  if (anchor == nullptr) anchor = &sequences.front();
+
+  const auto& labels = anchor->labels;
+  const auto& begins = anchor->begins;
+  const std::size_t needed = period * params.iterations;
+  if (labels.size() < needed) return std::nullopt;
+
+  const auto skip = static_cast<std::size_t>(
+      params.skipFraction * static_cast<double>(labels.size()));
+
+  // Align the start to the signature: find the first index >= skip where the
+  // next `needed` labels tile the modal signature (noise labels tolerated as
+  // wildcards, consistent with detectPeriod).
+  const auto& sig = result.period.signature;
+  for (std::size_t start = skip; start + needed < labels.size(); ++start) {
+    bool ok = true;
+    for (std::size_t i = 0; i < needed && ok; ++i) {
+      const int expected = sig[i % period];
+      const int actual = labels[start + i];
+      if (actual != cluster::kNoiseLabel && expected != cluster::kNoiseLabel &&
+          actual != expected)
+        ok = false;
+    }
+    if (!ok) continue;
+    RepresentativeWindow w;
+    w.begin = begins[start];
+    // End at the start of the burst after the covered run (the window then
+    // contains whole iterations including their trailing communication).
+    w.end = begins[start + needed];
+    w.iterationsCovered = params.iterations;
+    w.anchorRank = anchor->rank;
+    return w;
+  }
+  return std::nullopt;
+}
+
+}  // namespace unveil::analysis

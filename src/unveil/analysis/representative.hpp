@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file representative.hpp
+/// Representative-region selection — the workflow of the group's ICPADS 2011
+/// follow-up ("Trace Spectral Analysis toward Dynamic Levels of Detail"):
+/// once the iteration structure is known, full-detail analysis only needs a
+/// few *representative* iterations; the rest of the trace can be kept at
+/// coarse detail or dropped.
+///
+/// The selector picks, on the structurally cleanest rank, a run of
+/// consecutive iterations (after a warm-up skip) whose cluster-label
+/// signature matches the application's modal signature exactly, and returns
+/// its time window — ready to feed trace::sliceTime.
+
+#include <optional>
+
+#include "unveil/analysis/pipeline.hpp"
+
+namespace unveil::analysis {
+
+/// Selection parameters.
+struct RepresentativeParams {
+  /// Iterations the window should cover.
+  std::size_t iterations = 10;
+  /// Fraction of each rank's burst sequence skipped as warm-up.
+  double skipFraction = 0.1;
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// A selected representative region.
+struct RepresentativeWindow {
+  trace::TimeNs begin = 0;
+  trace::TimeNs end = 0;
+  std::size_t iterationsCovered = 0;
+  trace::Rank anchorRank = 0;  ///< Rank whose sequence anchored the choice.
+};
+
+/// Selects a representative window from an analyzed trace. Returns
+/// std::nullopt when no period was detected or no matching run of
+/// iterations exists (highly irregular execution).
+[[nodiscard]] std::optional<RepresentativeWindow> representativeWindow(
+    const PipelineResult& result, const RepresentativeParams& params = {});
+
+}  // namespace unveil::analysis

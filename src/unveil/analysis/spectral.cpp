@@ -1,0 +1,103 @@
+#include "unveil/analysis/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/stats.hpp"
+
+namespace unveil::analysis {
+
+void SpectralParams::validate() const {
+  if (stepNs <= 0.0) throw ConfigError("spectral stepNs must be positive");
+  if (maxLagFraction <= 0.0 || maxLagFraction > 0.5)
+    throw ConfigError("spectral maxLagFraction must be in (0, 0.5]");
+  if (minCorrelation <= 0.0 || minCorrelation >= 1.0)
+    throw ConfigError("spectral minCorrelation must be in (0, 1)");
+  if (minProminence <= 0.0 || minProminence >= 2.0)
+    throw ConfigError("spectral minProminence must be in (0, 2)");
+}
+
+std::vector<double> computeSignal(const trace::Trace& trace, trace::Rank rank,
+                                  const SpectralParams& params) {
+  params.validate();
+  const auto n = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(trace.durationNs()) / params.stepNs));
+  std::vector<double> signal(n, 0.0);
+  bool any = false;
+  for (const auto& s : trace.states()) {
+    if (s.rank != rank || s.state != trace::State::Compute) continue;
+    any = true;
+    // Distribute the interval over the bins it overlaps.
+    const double b = static_cast<double>(s.begin) / params.stepNs;
+    const double e = static_cast<double>(s.end) / params.stepNs;
+    const auto first = static_cast<std::size_t>(b);
+    const auto last = std::min(static_cast<std::size_t>(e), n - 1);
+    for (std::size_t i = first; i <= last && i < n; ++i) {
+      const double lo = std::max(b, static_cast<double>(i));
+      const double hi = std::min(e, static_cast<double>(i + 1));
+      if (hi > lo) signal[i] += hi - lo;
+    }
+  }
+  if (!any)
+    throw AnalysisError("computeSignal: no compute state intervals for rank " +
+                        std::to_string(rank));
+  for (double& v : signal) v = std::min(v, 1.0);
+  return signal;
+}
+
+std::vector<double> autocorrelation(const std::vector<double>& signal,
+                                    std::size_t maxLag) {
+  if (signal.size() < 4) throw AnalysisError("autocorrelation: signal too short");
+  maxLag = std::min(maxLag, signal.size() - 2);
+  double mean = 0.0;
+  for (double v : signal) mean += v;
+  mean /= static_cast<double>(signal.size());
+  double var = 0.0;
+  for (double v : signal) var += (v - mean) * (v - mean);
+  std::vector<double> out(maxLag, 0.0);
+  // Constant signal (variance at rounding-noise level): no structure.
+  if (var <= 1e-12 * static_cast<double>(signal.size())) return out;
+  for (std::size_t k = 1; k <= maxLag; ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i + k < signal.size(); ++i)
+      s += (signal[i] - mean) * (signal[i + k] - mean);
+    out[k - 1] = s / var;
+  }
+  return out;
+}
+
+SpectralPeriod detectSpectralPeriod(const trace::Trace& trace, trace::Rank rank,
+                                    const SpectralParams& params) {
+  params.validate();
+  SpectralPeriod result;
+  const auto signal = computeSignal(trace, rank, params);
+  result.signalLength = signal.size();
+  const auto maxLag = static_cast<std::size_t>(
+      static_cast<double>(signal.size()) * params.maxLagFraction);
+  if (maxLag < 3) return result;
+  const auto ac = autocorrelation(signal, maxLag);
+
+  // Skip the initial short-lag decay (any smooth signal self-correlates at
+  // tiny lags): start the search where the autocorrelation first drops to 0.
+  std::size_t start = 0;
+  while (start < ac.size() && ac[start] > 0.0) ++start;
+  if (start + 2 >= ac.size()) return result;
+
+  // Accept the window's global maximum if it is both positive enough and
+  // prominent over the window's median baseline.
+  std::size_t best = start;
+  for (std::size_t i = start; i < ac.size(); ++i)
+    if (ac[i] > ac[best]) best = i;
+  const std::vector<double> window(ac.begin() + static_cast<std::ptrdiff_t>(start),
+                                   ac.end());
+  const double baseline = support::median(window);
+  if (ac[best] >= params.minCorrelation &&
+      ac[best] - baseline >= params.minProminence) {
+    result.periodNs = static_cast<double>(best + 1) * params.stepNs;
+    result.correlation = ac[best];
+  }
+  return result;
+}
+
+}  // namespace unveil::analysis

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file spectral.hpp
+/// Signal-based periodicity detection — the discrete-burst period detector's
+/// continuous-time sibling, after the group's follow-up "Trace Spectral
+/// Analysis toward Dynamic Levels of Detail" (Llort et al., ICPADS 2011).
+///
+/// A rank's activity is rendered as a binary "useful computation" signal
+/// sampled at a fixed Δt from the trace's state intervals; the normalized
+/// autocorrelation of that signal peaks at lags that are multiples of the
+/// iteration period *in nanoseconds*. Unlike the label-sequence detector it
+/// needs no clustering at all — it runs straight off the state records —
+/// and the two estimates cross-validate each other.
+
+#include <cstddef>
+#include <vector>
+
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::analysis {
+
+/// Parameters of the signal-based detector.
+struct SpectralParams {
+  /// Signal sampling step (ns). Must resolve the shortest phase; the default
+  /// 50 µs is ~3x below the bundled apps' shortest phase.
+  double stepNs = 50'000.0;
+  /// Search window for the period as a fraction of the signal length.
+  double maxLagFraction = 0.25;
+  /// Minimum *prominence* of the accepted peak: its autocorrelation minus
+  /// the median autocorrelation over the search window. Mostly-computing
+  /// applications produce narrow dips, so the absolute correlation at the
+  /// iteration lag can be modest (0.1–0.3) while still towering over the
+  /// baseline — prominence is the robust criterion.
+  double minProminence = 0.15;
+  /// Additionally require the peak's absolute autocorrelation to exceed
+  /// this floor (rejects "peaks" of an aperiodic decaying signal).
+  double minCorrelation = 0.08;
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// Result of signal-based period detection.
+struct SpectralPeriod {
+  double periodNs = 0.0;       ///< Detected iteration period; 0 when none.
+  double correlation = 0.0;    ///< Autocorrelation at the detected lag.
+  std::size_t signalLength = 0;  ///< Samples in the analyzed signal.
+};
+
+/// Builds rank \p r's binary compute signal from the trace's state
+/// intervals: signal[i] = fraction of [i·Δt, (i+1)·Δt) spent in Compute.
+/// Throws AnalysisError when the trace has no state intervals for the rank.
+[[nodiscard]] std::vector<double> computeSignal(const trace::Trace& trace,
+                                                trace::Rank rank,
+                                                const SpectralParams& params = {});
+
+/// Normalized autocorrelation of \p signal at lags 1..maxLag (index 0 of the
+/// result corresponds to lag 1).
+[[nodiscard]] std::vector<double> autocorrelation(const std::vector<double>& signal,
+                                                  std::size_t maxLag);
+
+/// Detects the iteration period of rank \p r via the first prominent
+/// autocorrelation peak. Returns periodNs = 0 when no peak qualifies.
+[[nodiscard]] SpectralPeriod detectSpectralPeriod(const trace::Trace& trace,
+                                                  trace::Rank rank,
+                                                  const SpectralParams& params = {});
+
+}  // namespace unveil::analysis

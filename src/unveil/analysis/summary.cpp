@@ -1,0 +1,93 @@
+#include "unveil/analysis/summary.hpp"
+
+#include <ostream>
+
+#include "unveil/analysis/report.hpp"
+#include "unveil/cluster/structure.hpp"
+#include "unveil/support/error.hpp"
+
+namespace unveil::analysis {
+
+PerformanceReport buildReport(const trace::Trace& trace, const ReportOptions& options) {
+  PerformanceReport report;
+  report.pipeline = analyze(trace, options.pipeline);
+
+  if (options.includeImbalance)
+    report.imbalance = imbalanceAnalysis(report.pipeline, trace.numRanks());
+  if (options.includeEvolution)
+    report.evolution = durationEvolution(report.pipeline);
+  if (options.includeRegions) {
+    for (const auto& c : report.pipeline.clusters) {
+      if (!c.folded) continue;
+      folding::RegionParams params;
+      params.fold = options.pipeline.reconstruct.fold;
+      try {
+        report.regions.emplace(
+            c.clusterId, folding::regionProfile(trace, report.pipeline.bursts,
+                                                c.memberIdx, params));
+      } catch (const AnalysisError&) {
+        // No callstack samples in this cluster; nothing to report.
+      }
+    }
+  }
+  try {
+    report.spectral = detectSpectralPeriod(trace, 0);
+  } catch (const AnalysisError&) {
+    // No state intervals (instrumentation without states): leave zero.
+  }
+  report.spmdness = cluster::spmdScore(report.pipeline.bursts,
+                                       report.pipeline.clustering, trace.numRanks());
+  RepresentativeParams rp;
+  rp.iterations = options.representativeIterations;
+  report.representative = representativeWindow(report.pipeline, rp);
+  return report;
+}
+
+void printReport(const PerformanceReport& report, const trace::Trace& trace,
+                 std::ostream& os) {
+  os << "================ unveil performance report ================\n";
+  os << "application: " << trace.appName() << ", " << trace.numRanks()
+     << " ranks, " << static_cast<double>(trace.durationNs()) / 1e9 << " s\n\n";
+
+  clusterSummaryTable(report.pipeline).print(os, "computation phases");
+
+  os << "\nstructure: " << report.pipeline.period.period
+     << " bursts/iteration (self-similarity "
+     << report.pipeline.period.matchFraction * 100.0 << "%)";
+  if (report.spectral.periodNs > 0.0)
+    os << ", iteration time " << report.spectral.periodNs / 1e6
+       << " ms (spectral, r=" << report.spectral.correlation << ")";
+  os << "\nSPMD-ness: " << report.spmdness << '\n';
+
+  if (!report.imbalance.empty()) {
+    os << '\n';
+    imbalanceTable(report.imbalance).print(os, "load balance");
+  }
+  if (!report.evolution.empty()) {
+    os << '\n';
+    evolutionTable(report.evolution).print(os, "cross-run evolution");
+  }
+  if (!report.regions.empty()) {
+    os << "\n== code-region structure (folded callstacks) ==\n";
+    for (const auto& [clusterId, profile] : report.regions) {
+      os << "cluster " << clusterId << ": ";
+      for (std::size_t i = 0; i < profile.segments.size(); ++i) {
+        const auto& seg = profile.segments[i];
+        os << (i ? " -> " : "") << "region#" << seg.regionId << " [" << seg.begin
+           << ", " << seg.end << ")";
+      }
+      os << '\n';
+    }
+  }
+  if (report.representative) {
+    os << "\nrepresentative window: ["
+       << static_cast<double>(report.representative->begin) / 1e6 << " ms, "
+       << static_cast<double>(report.representative->end) / 1e6 << " ms] ("
+       << report.representative->iterationsCovered
+       << " iterations, anchor rank " << report.representative->anchorRank
+       << ")\n";
+  }
+  os << "===========================================================\n";
+}
+
+}  // namespace unveil::analysis

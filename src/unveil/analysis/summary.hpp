@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file summary.hpp
+/// The analyst-facing deliverable: one call that runs every analysis this
+/// library implements over a trace and renders a single coherent report —
+/// detected phases, their internal evolution, load balance, cross-run
+/// drift, code-region structure, iteration structure (both detectors) and a
+/// suggested representative window for full-detail follow-up.
+
+#include <optional>
+
+#include "unveil/analysis/evolution.hpp"
+#include "unveil/analysis/imbalance.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/analysis/representative.hpp"
+#include "unveil/analysis/spectral.hpp"
+#include "unveil/folding/regions.hpp"
+
+namespace unveil::analysis {
+
+/// What to include in the report.
+struct ReportOptions {
+  PipelineConfig pipeline;
+  bool includeImbalance = true;
+  bool includeEvolution = true;
+  /// Region folding is attempted per folded cluster and silently skipped
+  /// when the trace carries no callstack samples.
+  bool includeRegions = true;
+  /// Iterations the suggested representative window should cover.
+  std::size_t representativeIterations = 10;
+};
+
+/// Everything the report contains, in analyzable form.
+struct PerformanceReport {
+  PipelineResult pipeline;
+  std::vector<ClusterImbalance> imbalance;
+  std::vector<ClusterEvolution> evolution;
+  /// Region profiles keyed by cluster id (only clusters with attributed
+  /// samples appear).
+  std::map<int, folding::RegionProfile> regions;
+  SpectralPeriod spectral;  ///< Signal-based period of rank 0.
+  double spmdness = 0.0;
+  std::optional<RepresentativeWindow> representative;
+};
+
+/// Runs the full analysis battery over \p trace.
+[[nodiscard]] PerformanceReport buildReport(const trace::Trace& trace,
+                                            const ReportOptions& options = {});
+
+/// Renders the report as human-readable text.
+void printReport(const PerformanceReport& report, const trace::Trace& trace,
+                 std::ostream& os);
+
+}  // namespace unveil::analysis

@@ -1,0 +1,71 @@
+#include "unveil/cli/args.hpp"
+
+#include <cstdlib>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::cli {
+
+Args Args::parse(const std::vector<std::string>& argv) {
+  Args args;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& tok = argv[i];
+    if (tok.rfind("--", 0) != 0 || tok.size() <= 2)
+      throw ConfigError("unexpected argument '" + tok + "' (flags are --name [value])");
+    const std::string name = tok.substr(2);
+    std::string value;
+    if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+      value = argv[i + 1];
+      ++i;
+    }
+    args.values_[name] = value;
+    args.used_[name] = false;
+  }
+  return args;
+}
+
+bool Args::has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  used_[name] = true;
+  return true;
+}
+
+std::string Args::get(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  used_[name] = true;
+  return it->second;
+}
+
+long long Args::getInt(const std::string& name, long long fallback) const {
+  const std::string v = get(name, "");
+  if (v.empty() && values_.find(name) == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end == nullptr || *end != '\0')
+    throw ConfigError("flag --" + name + " expects an integer, got '" + v + "'");
+  return out;
+}
+
+double Args::getDouble(const std::string& name, double fallback) const {
+  const std::string v = get(name, "");
+  if (v.empty() && values_.find(name) == values_.end()) return fallback;
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  if (v.empty() || end == nullptr || *end != '\0')
+    throw ConfigError("flag --" + name + " expects a number, got '" + v + "'");
+  return out;
+}
+
+std::vector<std::string> Args::unusedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    auto it = used_.find(name);
+    if (it == used_.end() || !it->second) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace unveil::cli

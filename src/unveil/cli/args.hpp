@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file args.hpp
+/// Minimal command-line option parser for the unveil tool. Flags are
+/// `--name value` or boolean `--name`; positional arguments are rejected to
+/// keep invocations explicit.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace unveil::cli {
+
+/// Parsed options: name → value ("" for boolean flags).
+class Args {
+ public:
+  /// Parses `--key [value]` pairs from \p argv. Throws ConfigError on
+  /// malformed input (positional args, missing flag names).
+  static Args parse(const std::vector<std::string>& argv);
+
+  /// True when the flag was given (with or without value).
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// String value; \p fallback when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+  /// Integer value; throws ConfigError on non-numeric input.
+  [[nodiscard]] long long getInt(const std::string& name, long long fallback) const;
+  /// Floating-point value; throws ConfigError on non-numeric input.
+  [[nodiscard]] double getDouble(const std::string& name, double fallback) const;
+
+  /// Names that were parsed but never queried — used to reject typos.
+  [[nodiscard]] std::vector<std::string> unusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace unveil::cli

@@ -1,0 +1,332 @@
+#include "unveil/cli/commands.hpp"
+
+#include <ostream>
+
+#include <algorithm>
+
+#include "unveil/analysis/diffrun.hpp"
+#include "unveil/analysis/evolution.hpp"
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/imbalance.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/analysis/report.hpp"
+#include "unveil/analysis/representative.hpp"
+#include "unveil/analysis/summary.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/trace/filter.hpp"
+#include "unveil/trace/binary_io.hpp"
+#include "unveil/trace/io.hpp"
+#include "unveil/trace/paraver.hpp"
+
+namespace unveil::cli {
+
+namespace {
+
+sim::MeasurementConfig measurementFromArgs(const Args& args) {
+  const std::string mode = args.get("mode", "folding");
+  sim::MeasurementConfig mc;
+  if (mode == "none") mc = sim::MeasurementConfig::none();
+  else if (mode == "instr") mc = sim::MeasurementConfig::instrumentationOnly();
+  else if (mode == "folding") mc = sim::MeasurementConfig::folding();
+  else if (mode == "fine") mc = sim::MeasurementConfig::fineGrain();
+  else throw ConfigError("unknown --mode '" + mode + "' (none|instr|folding|fine)");
+  if (args.has("period-us"))
+    mc.sampling.periodNs = args.getDouble("period-us", 1000.0) * 1e3;
+  return mc;
+}
+
+sim::apps::AppParams paramsFromArgs(const Args& args) {
+  sim::apps::AppParams p;
+  p.ranks = static_cast<trace::Rank>(args.getInt("ranks", 16));
+  p.iterations = static_cast<std::uint32_t>(args.getInt("iterations", 150));
+  p.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  p.scale = args.getDouble("scale", 1.0);
+  return p;
+}
+
+int failOnUnused(const Args& args, std::ostream& out) {
+  const auto unused = args.unusedFlags();
+  if (unused.empty()) return 0;
+  out << "error: unknown flag(s):";
+  for (const auto& f : unused) out << " --" << f;
+  out << '\n';
+  return 2;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "usage: unveil <command> [--flags]\n"
+         "commands:\n"
+         "  simulate --app NAME [--ranks N] [--iterations N] [--seed N]\n"
+         "           [--scale X] [--mode none|instr|folding|fine]\n"
+         "           [--period-us X] --out TRACE [--binary] [--paraver BASE]\n"
+         "  info --trace TRACE\n"
+         "  analyze --trace TRACE [--mpi-gaps] [--eps X] [--min-instances N]\n"
+         "          [--sample-cost-ns X] [--probe-cost-ns X] [--figures DIR]\n"
+         "          [--focus N]   analyze N representative iterations only\n"
+         "  accuracy --app NAME [--ranks N] [--iterations N] [--seed N]\n"
+         "  report --trace TRACE [--sample-cost-ns X] [--probe-cost-ns X]\n"
+         "                               full report: phases, rates, balance,\n"
+         "                               drift, regions, structure\n"
+         "  diff --trace A --trace-b B   per-phase before/after comparison\n"
+         "  imbalance --trace TRACE      per-cluster load-balance table\n"
+         "  evolution --trace TRACE      per-cluster drift detection\n"
+         "  export-paraver --trace TRACE --out BASE\n";
+}
+
+int cmdSimulate(const Args& args, std::ostream& out) {
+  const std::string app = args.get("app");
+  const std::string outPath = args.get("out");
+  if (app.empty() || outPath.empty()) {
+    out << "error: simulate requires --app and --out\n" << usage();
+    return 2;
+  }
+  const auto params = paramsFromArgs(args);
+  const auto mc = measurementFromArgs(args);
+  const std::string paraverBase = args.get("paraver", "");
+  const bool binary = args.has("binary");
+  if (const int rc = failOnUnused(args, out)) return rc;
+
+  const auto run = analysis::runMeasured(app, params, mc);
+  if (binary) trace::writeBinaryFile(run.trace, outPath);
+  else trace::writeFile(run.trace, outPath);
+  out << "simulated " << app << ": " << run.trace.numRanks() << " ranks, runtime "
+      << static_cast<double>(run.totalRuntimeNs) / 1e9 << " s, "
+      << run.trace.stats().totalRecords << " records -> " << outPath << '\n';
+  if (!paraverBase.empty()) {
+    trace::exportParaver(run.trace, paraverBase);
+    out << "paraver triple -> " << paraverBase << ".{prv,pcf,row}\n";
+  }
+  return 0;
+}
+
+int cmdInfo(const Args& args, std::ostream& out) {
+  const std::string path = args.get("trace");
+  if (path.empty()) {
+    out << "error: info requires --trace\n";
+    return 2;
+  }
+  if (const int rc = failOnUnused(args, out)) return rc;
+  const auto t = trace::readAutoFile(path);
+  const auto stats = t.stats();
+  out << "app:      " << t.appName() << '\n';
+  out << "ranks:    " << t.numRanks() << '\n';
+  out << "duration: " << static_cast<double>(t.durationNs()) / 1e9 << " s\n";
+  out << "events:   " << stats.events << '\n';
+  out << "samples:  " << stats.samples << '\n';
+  out << "states:   " << stats.states << '\n';
+  out << "footprint " << static_cast<double>(stats.estimatedBytes) / (1024.0 * 1024.0)
+      << " MiB\n";
+  return 0;
+}
+
+int cmdAnalyze(const Args& args, std::ostream& out) {
+  const std::string path = args.get("trace");
+  if (path.empty()) {
+    out << "error: analyze requires --trace\n";
+    return 2;
+  }
+  analysis::PipelineConfig config;
+  config.useMpiGaps = args.has("mpi-gaps");
+  if (args.has("eps")) {
+    config.autoEps = false;
+    config.dbscan.eps = args.getDouble("eps", 0.1);
+  }
+  config.minClusterInstances =
+      static_cast<std::size_t>(args.getInt("min-instances", 30));
+  config.reconstruct.fold.perSampleOverheadNs = args.getDouble("sample-cost-ns", 0.0);
+  config.reconstruct.fold.probeOverheadNs = args.getDouble("probe-cost-ns", 0.0);
+  const std::string figDir = args.get("figures", "");
+  const auto focusIterations =
+      static_cast<std::size_t>(args.getInt("focus", 0));
+  if (const int rc = failOnUnused(args, out)) return rc;
+
+  const auto t = trace::readAutoFile(path);
+  auto result = analysis::analyze(t, config);
+
+  if (focusIterations > 0) {
+    analysis::RepresentativeParams rp;
+    rp.iterations = focusIterations;
+    const auto window = analysis::representativeWindow(result, rp);
+    if (!window) {
+      out << "no representative window of " << focusIterations
+          << " iterations found; analyzing the full trace\n";
+    } else {
+      out << "focusing on " << window->iterationsCovered
+          << " representative iterations: ["
+          << static_cast<double>(window->begin) / 1e6 << " ms, "
+          << static_cast<double>(window->end) / 1e6 << " ms] (anchor rank "
+          << window->anchorRank << ")\n";
+      const auto cut = trace::sliceTime(t, window->begin, window->end);
+      // The slice holds far fewer bursts; scale density knobs down.
+      config.dbscan.minPts = std::max<std::size_t>(3, config.dbscan.minPts / 3);
+      config.minClusterInstances =
+          std::max<std::size_t>(4, config.minClusterInstances / 6);
+      result = analysis::analyze(cut, config);
+    }
+  }
+  analysis::clusterSummaryTable(result).print(out, "detected computation phases");
+  out << "\neps used: " << result.epsUsed << '\n';
+  out << "iteration period: " << result.period.period << " (self-similarity "
+      << result.period.matchFraction * 100.0 << "%)\n";
+  out << "SPMD-ness: "
+      << cluster::spmdScore(result.bursts, result.clustering, t.numRanks()) << '\n';
+
+  if (!figDir.empty()) {
+    analysis::scatterSeries(result, cluster::FeatureId::LogDurationNs,
+                            cluster::FeatureId::Ipc, "scatter")
+        .save(figDir + "/scatter.dat");
+    analysis::rateSeries(result, counters::CounterId::TotIns, "mips")
+        .save(figDir + "/mips.dat");
+    analysis::rateSeries(result, counters::CounterId::L2Dcm, "l2")
+        .save(figDir + "/l2.dat");
+    out << "figure data -> " << figDir << "/{scatter,mips,l2}.dat\n";
+  }
+  return 0;
+}
+
+int cmdAccuracy(const Args& args, std::ostream& out) {
+  const std::string app = args.get("app");
+  if (app.empty()) {
+    out << "error: accuracy requires --app\n";
+    return 2;
+  }
+  const auto params = paramsFromArgs(args);
+  if (const int rc = failOnUnused(args, out)) return rc;
+
+  const auto coarseMc = sim::MeasurementConfig::folding();
+  const auto coarse = analysis::runMeasured(app, params, coarseMc);
+  const auto fine =
+      analysis::runMeasured(app, params, sim::MeasurementConfig::fineGrain());
+  const auto result =
+      analysis::analyze(coarse.trace, analysis::calibratedPipelineConfig(coarseMc));
+  support::Table table({"cluster", "phase", "instances", "vs fine-grain (%)",
+                        "vs exact truth (%)"});
+  for (const auto& a : analysis::foldingAccuracy(coarse, fine, result,
+                                                 counters::CounterId::TotIns)) {
+    table.addRow({static_cast<long long>(a.clusterId), a.phaseName,
+                  static_cast<long long>(a.instances), a.vsFinePercent,
+                  a.vsTruthPercent});
+  }
+  table.print(out, "folding accuracy on " + app);
+  return 0;
+}
+
+int cmdDiff(const Args& args, std::ostream& out) {
+  const std::string pathA = args.get("trace");
+  const std::string pathB = args.get("trace-b");
+  if (pathA.empty() || pathB.empty()) {
+    out << "error: diff requires --trace and --trace-b\n";
+    return 2;
+  }
+  analysis::PipelineConfig config;
+  config.reconstruct.fold.perSampleOverheadNs = args.getDouble("sample-cost-ns", 0.0);
+  config.reconstruct.fold.probeOverheadNs = args.getDouble("probe-cost-ns", 0.0);
+  if (const int rc = failOnUnused(args, out)) return rc;
+  const auto ta = trace::readAutoFile(pathA);
+  const auto tb = trace::readAutoFile(pathB);
+  const auto ra = analysis::analyze(ta, config);
+  const auto rb = analysis::analyze(tb, config);
+  const auto diff = analysis::diffRuns(ra, rb);
+  analysis::diffTable(diff).print(out, "run comparison (B relative to A)");
+  if (!diff.periodsMatch)
+    out << "warning: iteration periods differ; clusters paired by id only\n";
+  for (int id : diff.unmatchedA) out << "only in A: cluster " << id << '\n';
+  for (int id : diff.unmatchedB) out << "only in B: cluster " << id << '\n';
+  out << "total runtime: " << static_cast<double>(ta.durationNs()) / 1e9 << " s -> "
+      << static_cast<double>(tb.durationNs()) / 1e9 << " s ("
+      << (static_cast<double>(tb.durationNs()) /
+              static_cast<double>(ta.durationNs()) -
+          1.0) *
+             100.0
+      << "%)\n";
+  return 0;
+}
+
+int cmdReport(const Args& args, std::ostream& out) {
+  const std::string path = args.get("trace");
+  if (path.empty()) {
+    out << "error: report requires --trace\n";
+    return 2;
+  }
+  analysis::ReportOptions options;
+  options.pipeline.reconstruct.fold.perSampleOverheadNs =
+      args.getDouble("sample-cost-ns", 0.0);
+  options.pipeline.reconstruct.fold.probeOverheadNs =
+      args.getDouble("probe-cost-ns", 0.0);
+  if (const int rc = failOnUnused(args, out)) return rc;
+  const auto t = trace::readAutoFile(path);
+  analysis::printReport(analysis::buildReport(t, options), t, out);
+  return 0;
+}
+
+int cmdImbalance(const Args& args, std::ostream& out) {
+  const std::string path = args.get("trace");
+  if (path.empty()) {
+    out << "error: imbalance requires --trace\n";
+    return 2;
+  }
+  if (const int rc = failOnUnused(args, out)) return rc;
+  const auto t = trace::readAutoFile(path);
+  const auto result = analysis::analyze(t);
+  analysis::imbalanceTable(analysis::imbalanceAnalysis(result, t.numRanks()))
+      .print(out, "load-balance characterization");
+  return 0;
+}
+
+int cmdEvolution(const Args& args, std::ostream& out) {
+  const std::string path = args.get("trace");
+  if (path.empty()) {
+    out << "error: evolution requires --trace\n";
+    return 2;
+  }
+  if (const int rc = failOnUnused(args, out)) return rc;
+  const auto t = trace::readAutoFile(path);
+  const auto result = analysis::analyze(t);
+  analysis::evolutionTable(analysis::durationEvolution(result))
+      .print(out, "cross-run evolution (per-cluster duration trends)");
+  return 0;
+}
+
+int cmdExportParaver(const Args& args, std::ostream& out) {
+  const std::string path = args.get("trace");
+  const std::string base = args.get("out");
+  if (path.empty() || base.empty()) {
+    out << "error: export-paraver requires --trace and --out\n";
+    return 2;
+  }
+  if (const int rc = failOnUnused(args, out)) return rc;
+  const auto t = trace::readAutoFile(path);
+  trace::exportParaver(t, base);
+  out << "paraver triple -> " << base << ".{prv,pcf,row}\n";
+  return 0;
+}
+
+int runCli(const std::vector<std::string>& argv, std::ostream& out) {
+  if (argv.empty()) {
+    out << usage();
+    return 2;
+  }
+  const std::string command = argv.front();
+  const std::vector<std::string> rest(argv.begin() + 1, argv.end());
+  try {
+    const Args args = Args::parse(rest);
+    if (command == "simulate") return cmdSimulate(args, out);
+    if (command == "info") return cmdInfo(args, out);
+    if (command == "analyze") return cmdAnalyze(args, out);
+    if (command == "accuracy") return cmdAccuracy(args, out);
+    if (command == "report") return cmdReport(args, out);
+    if (command == "diff") return cmdDiff(args, out);
+    if (command == "imbalance") return cmdImbalance(args, out);
+    if (command == "evolution") return cmdEvolution(args, out);
+    if (command == "export-paraver") return cmdExportParaver(args, out);
+    out << "error: unknown command '" << command << "'\n" << usage();
+    return 2;
+  } catch (const Error& e) {
+    out << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace unveil::cli

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file commands.hpp
+/// Subcommand implementations of the `unveil` tool, as library functions so
+/// they are unit-testable. Each returns a process exit code and writes
+/// human-readable output to \p out.
+///
+/// Commands:
+///   simulate        run a bundled application model under a measurement
+///                   setup and write the trace (unveil text format).
+///   info            print record counts and metadata of a trace file.
+///   analyze         run the clustering+folding pipeline on a trace file and
+///                   print the paper-style report; optionally save figures.
+///   accuracy        the T1 experiment for one application (coarse vs fine).
+///   imbalance       per-cluster load-balance characterization of a trace.
+///   evolution       per-cluster cross-run drift detection of a trace.
+///   export-paraver  convert a trace file to a Paraver .prv/.pcf/.row triple.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "unveil/cli/args.hpp"
+
+namespace unveil::cli {
+
+/// Dispatches `unveil <command> [--flags]`. Returns the exit code; prints
+/// usage to \p out when the command is missing or unknown.
+int runCli(const std::vector<std::string>& argv, std::ostream& out);
+
+/// Individual commands (argv excludes the command word).
+int cmdSimulate(const Args& args, std::ostream& out);
+int cmdInfo(const Args& args, std::ostream& out);
+int cmdAnalyze(const Args& args, std::ostream& out);
+int cmdAccuracy(const Args& args, std::ostream& out);
+int cmdReport(const Args& args, std::ostream& out);
+int cmdImbalance(const Args& args, std::ostream& out);
+int cmdEvolution(const Args& args, std::ostream& out);
+int cmdExportParaver(const Args& args, std::ostream& out);
+
+/// Usage text for all commands.
+[[nodiscard]] std::string usage();
+
+}  // namespace unveil::cli

@@ -1,0 +1,16 @@
+/// \file main.cpp
+/// Entry point of the `unveil` command-line tool. All logic lives in
+/// unveil::cli so it can be unit-tested; this file only adapts argv.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "unveil/cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return unveil::cli::runCli(args, std::cout);
+}

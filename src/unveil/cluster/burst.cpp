@@ -1,0 +1,117 @@
+#include "unveil/cluster/burst.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::cluster {
+
+namespace {
+
+/// Attaches sample indices to bursts. Both inputs are sorted by (rank, time)
+/// (guaranteed by Trace::finalize), so a single merge pass suffices.
+void attachSamples(const trace::Trace& trace, std::vector<Burst>& bursts) {
+  const auto& samples = trace.samples();
+  std::size_t si = 0;
+  for (auto& b : bursts) {
+    while (si < samples.size() &&
+           (samples[si].rank < b.rank ||
+            (samples[si].rank == b.rank && samples[si].time < b.begin)))
+      ++si;
+    std::size_t sj = si;
+    while (sj < samples.size() && samples[sj].rank == b.rank &&
+           samples[sj].time < b.end) {
+      b.sampleIdx.push_back(sj);
+      ++sj;
+    }
+    // Do not advance si past sj: bursts never overlap per rank, so the next
+    // burst starts at or after b.end; si will catch up in its skip loop.
+  }
+}
+
+}  // namespace
+
+std::vector<Burst> BurstExtraction::fromPhaseEvents(const trace::Trace& trace) const {
+  if (!trace.finalized()) throw TraceError("burst extraction requires a finalized trace");
+  std::vector<Burst> bursts;
+  std::optional<trace::Event> open;
+  for (const auto& e : trace.events()) {
+    if (e.kind == trace::EventKind::PhaseBegin) {
+      if (open && open->rank == e.rank)
+        throw TraceError("nested PhaseBegin on rank " + std::to_string(e.rank) +
+                         " at t=" + std::to_string(e.time));
+      open = e;
+    } else if (e.kind == trace::EventKind::PhaseEnd) {
+      if (!open || open->rank != e.rank || open->value != e.value)
+        throw TraceError("unmatched PhaseEnd on rank " + std::to_string(e.rank) +
+                         " at t=" + std::to_string(e.time));
+      Burst b;
+      b.rank = e.rank;
+      b.begin = open->time;
+      b.end = e.time;
+      b.beginCounters = open->counters;
+      b.endCounters = e.counters;
+      b.truthPhase = e.value;
+      if (b.durationNs() >= minDurationNs) bursts.push_back(std::move(b));
+      open.reset();
+    }
+    // MPI events between a PhaseEnd and the next PhaseBegin are ignored here.
+  }
+  std::sort(bursts.begin(), bursts.end(), [](const Burst& a, const Burst& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.begin < b.begin;
+  });
+  attachSamples(trace, bursts);
+  return bursts;
+}
+
+std::vector<Burst> BurstExtraction::fromMpiGaps(const trace::Trace& trace) const {
+  if (!trace.finalized()) throw TraceError("burst extraction requires a finalized trace");
+  std::vector<Burst> bursts;
+  // Events are sorted by (rank, time); walk each rank's stream and emit a
+  // burst for every MpiEnd -> next MpiBegin gap. The run prologue (before
+  // the first MPI call) is also a burst.
+  std::optional<trace::Event> lastMpiEnd;
+  trace::Rank currentRank = 0;
+  bool first = true;
+  std::optional<trace::Event> rankFirstEvent;
+  for (const auto& e : trace.events()) {
+    if (first || e.rank != currentRank) {
+      currentRank = e.rank;
+      lastMpiEnd.reset();
+      rankFirstEvent.reset();
+      first = false;
+    }
+    if (e.kind == trace::EventKind::MpiBegin) {
+      const trace::Event* openFrom = nullptr;
+      if (lastMpiEnd) openFrom = &*lastMpiEnd;
+      else if (rankFirstEvent) openFrom = &*rankFirstEvent;
+      if (openFrom != nullptr && e.time > openFrom->time) {
+        Burst b;
+        b.rank = e.rank;
+        b.begin = openFrom->time;
+        b.end = e.time;
+        b.beginCounters = openFrom->counters;
+        b.endCounters = e.counters;
+        b.truthPhase = kNoPhase;
+        if (b.durationNs() >= minDurationNs) bursts.push_back(std::move(b));
+      }
+      lastMpiEnd.reset();
+    } else if (e.kind == trace::EventKind::MpiEnd) {
+      lastMpiEnd = e;
+    } else if (!rankFirstEvent && !lastMpiEnd) {
+      // A phase probe before any MPI activity anchors the prologue burst.
+      if (!rankFirstEvent) rankFirstEvent = e;
+    }
+  }
+  std::sort(bursts.begin(), bursts.end(), [](const Burst& a, const Burst& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.begin < b.begin;
+  });
+  attachSamples(trace, bursts);
+  return bursts;
+}
+
+}  // namespace unveil::cluster

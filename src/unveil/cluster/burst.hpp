@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file burst.hpp
+/// Computation-burst extraction from traces.
+///
+/// A burst is a maximal region of uninterrupted computation on one rank. Two
+/// extraction strategies are provided, mirroring what real tools can do:
+///
+///  - fromPhaseEvents: pair PhaseBegin/PhaseEnd probes. Requires phase
+///    instrumentation; yields one burst per phase instance. The event's
+///    phase id is kept in truthPhase strictly for *evaluation* (ARI against
+///    ground truth) — clustering never reads it.
+///  - fromMpiGaps: the paper-faithful strategy. A burst is whatever happens
+///    between an MpiEnd and the next MpiBegin on the same rank; no knowledge
+///    of application phases is needed, and adjacent phases that are not
+///    separated by MPI merge into one burst.
+///
+/// Extraction also associates every sample falling inside a burst with that
+/// burst — the raw material folding consumes.
+
+#include <cstdint>
+#include <vector>
+
+#include "unveil/counters/counter.hpp"
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::cluster {
+
+/// Sentinel for "no ground-truth phase known" (MPI-gap extraction).
+inline constexpr std::uint32_t kNoPhase = 0xffffffffu;
+
+/// One computation burst with its aggregate metrics and attached samples.
+struct Burst {
+  trace::Rank rank = 0;
+  trace::TimeNs begin = 0;
+  trace::TimeNs end = 0;
+  counters::CounterSet beginCounters;  ///< Snapshot at burst start.
+  counters::CounterSet endCounters;    ///< Snapshot at burst end.
+  /// Indices into Trace::samples() of samples with begin <= time < end.
+  std::vector<std::size_t> sampleIdx;
+  /// Ground-truth phase id for evaluation only; kNoPhase when unknown.
+  std::uint32_t truthPhase = kNoPhase;
+
+  /// Burst duration in ns.
+  [[nodiscard]] trace::TimeNs durationNs() const noexcept { return end - begin; }
+  /// Counter delta across the burst.
+  [[nodiscard]] counters::CounterSet delta() const {
+    return endCounters.minus(beginCounters);
+  }
+};
+
+/// Burst-extraction entry points.
+struct BurstExtraction {
+  /// Minimum burst duration to keep (ns); shorter bursts are measurement
+  /// artifacts and are dropped (paper does the same with a duration filter).
+  trace::TimeNs minDurationNs = 1000;
+
+  /// Extracts one burst per PhaseBegin/PhaseEnd pair. Throws TraceError on
+  /// unbalanced or interleaved phase events. \p trace must be finalized.
+  [[nodiscard]] std::vector<Burst> fromPhaseEvents(const trace::Trace& trace) const;
+
+  /// Extracts one burst per (MpiEnd, next MpiBegin) gap per rank.
+  /// \p trace must be finalized.
+  [[nodiscard]] std::vector<Burst> fromMpiGaps(const trace::Trace& trace) const;
+};
+
+}  // namespace unveil::cluster

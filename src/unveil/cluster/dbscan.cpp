@@ -1,0 +1,197 @@
+#include "unveil/cluster/dbscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/stats.hpp"
+
+namespace unveil::cluster {
+
+void DbscanParams::validate() const {
+  if (eps <= 0.0) throw ConfigError("dbscan eps must be positive");
+  if (minPts < 1) throw ConfigError("dbscan minPts must be >= 1");
+}
+
+std::size_t Clustering::clusterSize(int c) const noexcept {
+  std::size_t n = 0;
+  for (int l : labels) n += (l == c) ? 1 : 0;
+  return n;
+}
+
+std::size_t Clustering::noiseCount() const noexcept { return clusterSize(kNoiseLabel); }
+
+std::vector<std::size_t> Clustering::members(int c) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (labels[i] == c) out.push_back(i);
+  return out;
+}
+
+namespace {
+
+/// Uniform grid over d-dimensional points with cell edge = eps. Neighbor
+/// queries inspect the 3^d adjacent cells.
+class EpsGrid {
+ public:
+  EpsGrid(const FeatureMatrix& m, double eps) : m_(m), inv_(1.0 / eps) {
+    cells_.reserve(m.rows());
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      cells_[keyOf(m.row(i))].push_back(i);
+  }
+
+  /// Indices within eps (Euclidean) of row \p i, including i itself.
+  void neighbors(std::size_t i, double eps2, std::vector<std::size_t>& out) const {
+    out.clear();
+    const auto p = m_.row(i);
+    const std::size_t d = p.size();
+    std::vector<std::int64_t> base(d);
+    for (std::size_t k = 0; k < d; ++k)
+      base[k] = static_cast<std::int64_t>(std::floor(p[k] * inv_));
+    // Enumerate 3^d neighbor cells via mixed-radix counter.
+    std::vector<int> offs(d, -1);
+    while (true) {
+      std::vector<std::int64_t> cell(d);
+      for (std::size_t k = 0; k < d; ++k) cell[k] = base[k] + offs[k];
+      auto it = cells_.find(hashCell(cell));
+      if (it != cells_.end()) {
+        for (std::size_t j : it->second) {
+          double dist2 = 0.0;
+          const auto q = m_.row(j);
+          for (std::size_t k = 0; k < d; ++k) {
+            const double diff = p[k] - q[k];
+            dist2 += diff * diff;
+          }
+          if (dist2 <= eps2) out.push_back(j);
+        }
+      }
+      // Advance counter.
+      std::size_t k = 0;
+      while (k < d && offs[k] == 1) {
+        offs[k] = -1;
+        ++k;
+      }
+      if (k == d) break;
+      ++offs[k];
+    }
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t keyOf(std::span<const double> p) const {
+    std::vector<std::int64_t> cell(p.size());
+    for (std::size_t k = 0; k < p.size(); ++k)
+      cell[k] = static_cast<std::int64_t>(std::floor(p[k] * inv_));
+    return hashCell(cell);
+  }
+
+  [[nodiscard]] static std::uint64_t hashCell(const std::vector<std::int64_t>& cell) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::int64_t v : cell) {
+      h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  const FeatureMatrix& m_;
+  double inv_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> cells_;
+};
+
+}  // namespace
+
+Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
+  params.validate();
+  const std::size_t n = features.rows();
+  Clustering out;
+  out.labels.assign(n, kNoiseLabel);
+  if (n == 0) return out;
+
+  const EpsGrid grid(features, params.eps);
+  const double eps2 = params.eps * params.eps;
+
+  constexpr int kUnvisited = -2;
+  std::vector<int> label(n, kUnvisited);
+  int nextCluster = 0;
+  std::vector<std::size_t> neigh;
+  std::vector<std::size_t> seedNeigh;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (label[i] != kUnvisited) continue;
+    grid.neighbors(i, eps2, neigh);
+    if (neigh.size() < params.minPts) {
+      label[i] = kNoiseLabel;
+      continue;
+    }
+    const int cluster = nextCluster++;
+    label[i] = cluster;
+    std::deque<std::size_t> queue(neigh.begin(), neigh.end());
+    while (!queue.empty()) {
+      const std::size_t j = queue.front();
+      queue.pop_front();
+      if (label[j] == kNoiseLabel) label[j] = cluster;  // border point
+      if (label[j] != kUnvisited) continue;
+      label[j] = cluster;
+      grid.neighbors(j, eps2, seedNeigh);
+      if (seedNeigh.size() >= params.minPts)
+        queue.insert(queue.end(), seedNeigh.begin(), seedNeigh.end());
+    }
+  }
+
+  // Relabel clusters by descending size so cluster 0 is always the largest —
+  // the convention the paper's plots use.
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(nextCluster), 0);
+  for (int l : label)
+    if (l >= 0) ++sizes[static_cast<std::size_t>(l)];
+  std::vector<int> order(static_cast<std::size_t>(nextCluster));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (sizes[static_cast<std::size_t>(a)] != sizes[static_cast<std::size_t>(b)])
+      return sizes[static_cast<std::size_t>(a)] > sizes[static_cast<std::size_t>(b)];
+    return a < b;
+  });
+  std::vector<int> remap(static_cast<std::size_t>(nextCluster));
+  for (int newId = 0; newId < nextCluster; ++newId)
+    remap[static_cast<std::size_t>(order[static_cast<std::size_t>(newId)])] = newId;
+
+  for (std::size_t i = 0; i < n; ++i)
+    out.labels[i] = label[i] >= 0 ? remap[static_cast<std::size_t>(label[i])]
+                                  : kNoiseLabel;
+  out.numClusters = static_cast<std::size_t>(nextCluster);
+  return out;
+}
+
+double estimateEps(const FeatureMatrix& features, std::size_t minPts, double quantile) {
+  const std::size_t n = features.rows();
+  if (n < 2) throw AnalysisError("estimateEps needs >= 2 points");
+  if (minPts < 1) throw ConfigError("estimateEps minPts must be >= 1");
+  // Exact k-NN by brute force on a subsample to keep this O(s·n) — eps
+  // calibration does not need every point.
+  const std::size_t sampleStride = std::max<std::size_t>(1, n / 2000);
+  std::vector<double> kDist;
+  std::vector<double> dists;
+  for (std::size_t i = 0; i < n; i += sampleStride) {
+    dists.clear();
+    const auto p = features.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double d2 = 0.0;
+      const auto q = features.row(j);
+      for (std::size_t k = 0; k < p.size(); ++k) {
+        const double diff = p[k] - q[k];
+        d2 += diff * diff;
+      }
+      dists.push_back(d2);
+    }
+    const std::size_t k = std::min(minPts, dists.size()) - 1;
+    std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k),
+                     dists.end());
+    kDist.push_back(std::sqrt(dists[k]));
+  }
+  return support::quantile(kDist, quantile);
+}
+
+}  // namespace unveil::cluster

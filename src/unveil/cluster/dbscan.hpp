@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file dbscan.hpp
+/// DBSCAN density-based clustering — the paper's structure-detection
+/// algorithm (per González et al., "Automatic detection of parallel
+/// applications computation phases", which the methodology builds on).
+///
+/// DBSCAN needs no cluster count, finds arbitrarily shaped clusters and
+/// leaves low-density bursts unclustered as noise — all three properties
+/// matter for computation bursts, whose feature-space footprint is dense
+/// blobs (phases) plus stragglers (perturbed instances).
+///
+/// Neighbor queries use a uniform grid with cell size eps, so clustering is
+/// O(n · k) for k the typical neighborhood size instead of O(n²).
+
+#include <cstdint>
+#include <vector>
+
+#include "unveil/cluster/features.hpp"
+
+namespace unveil::cluster {
+
+/// Label given to noise points.
+inline constexpr int kNoiseLabel = -1;
+
+/// DBSCAN parameters.
+struct DbscanParams {
+  /// Neighborhood radius in normalized feature space.
+  double eps = 0.08;
+  /// Minimum neighborhood size (including the point itself) to be core.
+  std::size_t minPts = 10;
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// Clustering outcome: one label per input row.
+struct Clustering {
+  /// Per-row labels: kNoiseLabel or 0-based cluster id. Cluster ids are
+  /// ordered by descending member count (cluster 0 is the largest).
+  std::vector<int> labels;
+  /// Number of clusters found.
+  std::size_t numClusters = 0;
+
+  /// Member count of cluster \p c.
+  [[nodiscard]] std::size_t clusterSize(int c) const noexcept;
+  /// Number of noise points.
+  [[nodiscard]] std::size_t noiseCount() const noexcept;
+  /// Row indices of cluster \p c, in input order.
+  [[nodiscard]] std::vector<std::size_t> members(int c) const;
+};
+
+/// Runs DBSCAN over the (already normalized) feature matrix.
+[[nodiscard]] Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params);
+
+/// Heuristic eps estimation: the \p quantile of the distribution of
+/// k-nearest-neighbor distances (k = minPts), the standard knee heuristic.
+/// Useful when calibrating eps for an unknown application.
+[[nodiscard]] double estimateEps(const FeatureMatrix& features, std::size_t minPts,
+                                 double quantile = 0.90);
+
+}  // namespace unveil::cluster

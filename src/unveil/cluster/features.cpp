@@ -1,0 +1,106 @@
+#include "unveil/cluster/features.hpp"
+
+#include <cmath>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/stats.hpp"
+
+namespace unveil::cluster {
+
+std::string_view featureName(FeatureId id) noexcept {
+  switch (id) {
+    case FeatureId::LogDurationNs: return "log10(duration ns)";
+    case FeatureId::LogInstructions: return "log10(instructions)";
+    case FeatureId::Ipc: return "IPC";
+    case FeatureId::AvgMips: return "avg MIPS";
+    case FeatureId::L2PerKIns: return "L2 misses/kIns";
+  }
+  return "?";
+}
+
+FeatureMatrix::FeatureMatrix(std::size_t rows, std::size_t dims)
+    : rows_(rows), dims_(dims), data_(rows * dims, 0.0) {
+  if (dims == 0) throw ConfigError("feature matrix requires dims > 0");
+}
+
+double& FeatureMatrix::at(std::size_t row, std::size_t dim) {
+  UNVEIL_ASSERT(row < rows_ && dim < dims_, "feature matrix index out of range");
+  return data_[row * dims_ + dim];
+}
+
+double FeatureMatrix::at(std::size_t row, std::size_t dim) const {
+  UNVEIL_ASSERT(row < rows_ && dim < dims_, "feature matrix index out of range");
+  return data_[row * dims_ + dim];
+}
+
+std::span<const double> FeatureMatrix::row(std::size_t r) const {
+  UNVEIL_ASSERT(r < rows_, "feature matrix row out of range");
+  return {data_.data() + r * dims_, dims_};
+}
+
+double burstFeature(const Burst& burst, FeatureId id) {
+  using counters::CounterId;
+  using counters::DerivedMetrics;
+  const auto delta = burst.delta();
+  switch (id) {
+    case FeatureId::LogDurationNs:
+      return std::log10(static_cast<double>(std::max<trace::TimeNs>(burst.durationNs(), 1)));
+    case FeatureId::LogInstructions:
+      return std::log10(1.0 + static_cast<double>(delta[CounterId::TotIns]));
+    case FeatureId::Ipc:
+      return DerivedMetrics::ipc(delta);
+    case FeatureId::AvgMips:
+      return DerivedMetrics::mips(delta, burst.durationNs());
+    case FeatureId::L2PerKIns:
+      return DerivedMetrics::l2MissesPerKiloIns(delta);
+  }
+  return 0.0;
+}
+
+FeatureMatrix buildFeatures(std::span<const Burst> bursts,
+                            std::span<const FeatureId> features) {
+  if (features.empty()) throw ConfigError("buildFeatures requires >= 1 feature");
+  FeatureMatrix m(bursts.size(), features.size());
+  for (std::size_t i = 0; i < bursts.size(); ++i)
+    for (std::size_t d = 0; d < features.size(); ++d)
+      m.at(i, d) = burstFeature(bursts[i], features[d]);
+  return m;
+}
+
+std::vector<FeatureId> defaultFeatures() {
+  return {FeatureId::LogInstructions, FeatureId::Ipc};
+}
+
+ZScoreNormalizer ZScoreNormalizer::fit(const FeatureMatrix& m) {
+  ZScoreNormalizer n;
+  n.mean_.assign(m.dims(), 0.0);
+  n.scale_.assign(m.dims(), 1.0);
+  for (std::size_t d = 0; d < m.dims(); ++d) {
+    support::RunningStats rs;
+    for (std::size_t r = 0; r < m.rows(); ++r) rs.add(m.at(r, d));
+    n.mean_[d] = rs.mean();
+    const double sd = rs.stddev();
+    n.scale_[d] = sd > 0.0 ? sd : 1.0;
+  }
+  return n;
+}
+
+FeatureMatrix ZScoreNormalizer::apply(const FeatureMatrix& m) const {
+  if (m.dims() != mean_.size())
+    throw ConfigError("normalizer dims mismatch");
+  FeatureMatrix out(m.rows(), m.dims());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t d = 0; d < m.dims(); ++d)
+      out.at(r, d) = (m.at(r, d) - mean_[d]) / scale_[d];
+  return out;
+}
+
+std::vector<double> ZScoreNormalizer::invert(std::span<const double> row) const {
+  if (row.size() != mean_.size()) throw ConfigError("normalizer dims mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t d = 0; d < row.size(); ++d)
+    out[d] = row[d] * scale_[d] + mean_[d];
+  return out;
+}
+
+}  // namespace unveil::cluster

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file features.hpp
+/// Feature extraction and normalization for burst clustering.
+///
+/// The paper's clustering (following González et al.) describes each burst
+/// by a small set of aggregate metrics — canonically completed instructions
+/// and IPC, with duration as a common alternative — and clusters in that
+/// space after normalization. This file provides the feature builders and a
+/// reusable z-score normalizer.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "unveil/cluster/burst.hpp"
+
+namespace unveil::cluster {
+
+/// Per-burst scalar features available for clustering.
+enum class FeatureId : std::uint8_t {
+  LogDurationNs,   ///< log10 of the burst duration (ns).
+  LogInstructions, ///< log10(1 + completed instructions).
+  Ipc,             ///< Instructions per cycle.
+  AvgMips,         ///< Average MIPS over the burst.
+  L2PerKIns,       ///< L2 misses per kilo-instruction.
+};
+
+/// Human-readable feature name.
+[[nodiscard]] std::string_view featureName(FeatureId id) noexcept;
+
+/// Dense row-major feature matrix.
+class FeatureMatrix {
+ public:
+  /// Creates a rows × dims matrix initialized to zero.
+  FeatureMatrix(std::size_t rows, std::size_t dims);
+
+  /// Mutable element access.
+  [[nodiscard]] double& at(std::size_t row, std::size_t dim);
+  /// Element read access.
+  [[nodiscard]] double at(std::size_t row, std::size_t dim) const;
+  /// One row as a span.
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  /// Number of rows (bursts).
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  /// Number of feature dimensions.
+  [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t dims_;
+  std::vector<double> data_;
+};
+
+/// Computes one feature value for one burst.
+[[nodiscard]] double burstFeature(const Burst& burst, FeatureId id);
+
+/// Builds the feature matrix for \p bursts over \p features.
+/// Throws ConfigError when \p features is empty.
+[[nodiscard]] FeatureMatrix buildFeatures(std::span<const Burst> bursts,
+                                          std::span<const FeatureId> features);
+
+/// The paper's default feature space: log completed instructions × IPC.
+[[nodiscard]] std::vector<FeatureId> defaultFeatures();
+
+/// Column-wise z-score normalizer (fit once, apply to any matrix with the
+/// same dimensionality — e.g. cluster centroids back-projection).
+class ZScoreNormalizer {
+ public:
+  /// Learns per-column mean and stddev from \p m. Columns with zero spread
+  /// keep scale 1 so they pass through unchanged.
+  static ZScoreNormalizer fit(const FeatureMatrix& m);
+
+  /// Returns a normalized copy of \p m (must match fitted dims).
+  [[nodiscard]] FeatureMatrix apply(const FeatureMatrix& m) const;
+
+  /// Maps one normalized row back to original units.
+  [[nodiscard]] std::vector<double> invert(std::span<const double> row) const;
+
+  /// Per-column means.
+  [[nodiscard]] const std::vector<double>& means() const noexcept { return mean_; }
+  /// Per-column standard deviations (1 where degenerate).
+  [[nodiscard]] const std::vector<double>& scales() const noexcept { return scale_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace unveil::cluster

@@ -1,0 +1,138 @@
+#include "unveil/cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::cluster {
+
+void KmeansParams::validate() const {
+  if (k == 0) throw ConfigError("kmeans k must be >= 1");
+  if (maxIterations == 0) throw ConfigError("kmeans maxIterations must be >= 1");
+}
+
+namespace {
+
+double dist2(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+KmeansResult kmeans(const FeatureMatrix& features, const KmeansParams& params) {
+  params.validate();
+  const std::size_t n = features.rows();
+  const std::size_t d = features.dims();
+  if (n < params.k) throw AnalysisError("kmeans: fewer points than clusters");
+
+  support::Rng rng(params.seed, "kmeans");
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centers;
+  centers.reserve(params.k);
+  {
+    const auto first = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(n) - 1));
+    centers.emplace_back(features.row(first).begin(), features.row(first).end());
+    std::vector<double> minD2(n, std::numeric_limits<double>::infinity());
+    while (centers.size() < params.k) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        minD2[i] = std::min(minD2[i], dist2(features.row(i), centers.back()));
+        total += minD2[i];
+      }
+      std::size_t chosen = 0;
+      if (total > 0.0) {
+        const double target = rng.uniform(0.0, total);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          acc += minD2[i];
+          if (acc >= target) {
+            chosen = i;
+            break;
+          }
+        }
+      } else {
+        chosen = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(n) - 1));
+      }
+      centers.emplace_back(features.row(chosen).begin(), features.row(chosen).end());
+    }
+  }
+
+  std::vector<int> assign(n, 0);
+  KmeansResult result;
+  bool converged = false;
+  std::size_t iter = 0;
+  for (; iter < params.maxIterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double bestD = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < centers.size(); ++c) {
+        const double dd = dist2(features.row(i), centers[c]);
+        if (dd < bestD) {
+          bestD = dd;
+          best = static_cast<int>(c);
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    std::vector<std::vector<double>> sums(params.k, std::vector<double>(d, 0.0));
+    std::vector<std::size_t> counts(params.k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = features.row(i);
+      auto& s = sums[static_cast<std::size_t>(assign[i])];
+      for (std::size_t k = 0; k < d; ++k) s[k] += row[k];
+      ++counts[static_cast<std::size_t>(assign[i])];
+    }
+    for (std::size_t c = 0; c < params.k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its old center
+      for (std::size_t k = 0; k < d; ++k)
+        centers[c][k] = sums[c][k] / static_cast<double>(counts[c]);
+    }
+    if (!changed) {
+      converged = true;
+      break;
+    }
+  }
+
+  // Order clusters by size (largest = 0) for parity with dbscan().
+  std::vector<std::size_t> sizes(params.k, 0);
+  for (int a : assign) ++sizes[static_cast<std::size_t>(a)];
+  std::vector<int> order(params.k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (sizes[static_cast<std::size_t>(a)] != sizes[static_cast<std::size_t>(b)])
+      return sizes[static_cast<std::size_t>(a)] > sizes[static_cast<std::size_t>(b)];
+    return a < b;
+  });
+  std::vector<int> remap(params.k);
+  for (std::size_t newId = 0; newId < params.k; ++newId)
+    remap[static_cast<std::size_t>(order[newId])] = static_cast<int>(newId);
+
+  result.clustering.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    result.clustering.labels[i] = remap[static_cast<std::size_t>(assign[i])];
+  result.clustering.numClusters = params.k;
+  result.centroids.resize(params.k);
+  for (std::size_t c = 0; c < params.k; ++c)
+    result.centroids[static_cast<std::size_t>(remap[c])] = centers[c];
+  result.iterationsRun = iter + (converged ? 1 : 0);
+  result.converged = converged;
+  return result;
+}
+
+}  // namespace unveil::cluster

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file kmeans.hpp
+/// k-means baseline clustering (k-means++ seeding, Lloyd iterations).
+///
+/// Included as the comparison algorithm for the clustering ablation (A2):
+/// unlike DBSCAN it requires the cluster count up front, assigns every
+/// straggler to some cluster (no noise concept) and prefers spherical
+/// clusters — exactly the weaknesses the paper's choice of DBSCAN avoids.
+
+#include <cstdint>
+
+#include "unveil/cluster/dbscan.hpp"
+#include "unveil/cluster/features.hpp"
+#include "unveil/support/rng.hpp"
+
+namespace unveil::cluster {
+
+/// k-means parameters.
+struct KmeansParams {
+  std::size_t k = 3;            ///< Cluster count.
+  std::size_t maxIterations = 100;  ///< Lloyd iteration cap.
+  std::uint64_t seed = 7;       ///< Seeding randomness.
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// k-means result: a Clustering (no noise labels) plus centroids.
+struct KmeansResult {
+  Clustering clustering;
+  /// Centroids in normalized feature space, row-major k × dims, indexed by
+  /// final (size-ordered) cluster id.
+  std::vector<std::vector<double>> centroids;
+  std::size_t iterationsRun = 0;
+  bool converged = false;
+};
+
+/// Runs k-means++ / Lloyd on the (already normalized) features.
+/// Throws AnalysisError when k exceeds the number of points.
+[[nodiscard]] KmeansResult kmeans(const FeatureMatrix& features, const KmeansParams& params);
+
+}  // namespace unveil::cluster

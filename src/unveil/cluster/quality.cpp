@@ -1,0 +1,163 @@
+#include "unveil/cluster/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::cluster {
+
+namespace {
+
+/// Maps arbitrary label values to dense 0-based indices.
+template <typename T>
+std::unordered_map<T, std::size_t> denseIndex(std::span<const T> labels) {
+  std::unordered_map<T, std::size_t> idx;
+  for (const T& l : labels)
+    if (!idx.contains(l)) idx.emplace(l, idx.size());
+  return idx;
+}
+
+double comb2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+double adjustedRandIndex(std::span<const int> predicted,
+                         std::span<const std::uint32_t> truth) {
+  if (predicted.size() != truth.size())
+    throw ConfigError("ARI: label vectors must have equal length");
+  const std::size_t n = predicted.size();
+  if (n == 0) return 1.0;
+
+  auto pIdx = denseIndex(predicted);
+  auto tIdx = denseIndex(truth);
+  std::vector<std::vector<std::size_t>> table(pIdx.size(),
+                                              std::vector<std::size_t>(tIdx.size(), 0));
+  for (std::size_t i = 0; i < n; ++i)
+    ++table[pIdx.at(predicted[i])][tIdx.at(truth[i])];
+
+  std::vector<std::size_t> rowSum(pIdx.size(), 0), colSum(tIdx.size(), 0);
+  double sumComb = 0.0;
+  for (std::size_t r = 0; r < table.size(); ++r) {
+    for (std::size_t c = 0; c < table[r].size(); ++c) {
+      rowSum[r] += table[r][c];
+      colSum[c] += table[r][c];
+      sumComb += comb2(static_cast<double>(table[r][c]));
+    }
+  }
+  double rowComb = 0.0, colComb = 0.0;
+  for (std::size_t s : rowSum) rowComb += comb2(static_cast<double>(s));
+  for (std::size_t s : colSum) colComb += comb2(static_cast<double>(s));
+  const double total = comb2(static_cast<double>(n));
+  const double expected = rowComb * colComb / total;
+  const double maxIndex = 0.5 * (rowComb + colComb);
+  if (maxIndex == expected) return 1.0;  // degenerate: single cluster both sides
+  return (sumComb - expected) / (maxIndex - expected);
+}
+
+double purity(std::span<const int> predicted, std::span<const std::uint32_t> truth) {
+  if (predicted.size() != truth.size())
+    throw ConfigError("purity: label vectors must have equal length");
+  if (predicted.empty()) return 1.0;
+  std::map<int, std::map<std::uint32_t, std::size_t>> byCluster;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    ++byCluster[predicted[i]][truth[i]];
+  std::size_t correct = 0;
+  for (const auto& [cluster, hist] : byCluster) {
+    if (cluster < 0) continue;  // noise is never correct
+    std::size_t best = 0;
+    for (const auto& [label, count] : hist) best = std::max(best, count);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+double silhouette(const FeatureMatrix& features, std::span<const int> labels,
+                  std::size_t maxPoints) {
+  if (features.rows() != labels.size())
+    throw ConfigError("silhouette: labels must match feature rows");
+  // Collect clustered points.
+  std::vector<std::size_t> pts;
+  std::map<int, std::size_t> clusterSizes;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= 0) {
+      pts.push_back(i);
+      ++clusterSizes[labels[i]];
+    }
+  }
+  if (clusterSizes.size() < 2) return 0.0;
+  const std::size_t stride = std::max<std::size_t>(1, pts.size() / maxPoints);
+
+  auto d = [&](std::size_t a, std::size_t b) {
+    double s = 0.0;
+    const auto pa = features.row(a);
+    const auto pb = features.row(b);
+    for (std::size_t k = 0; k < pa.size(); ++k) {
+      const double diff = pa[k] - pb[k];
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  };
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t ii = 0; ii < pts.size(); ii += stride) {
+    const std::size_t i = pts[ii];
+    std::map<int, std::pair<double, std::size_t>> sums;  // cluster -> (sum, n)
+    for (std::size_t j : pts) {
+      if (j == i) continue;
+      auto& [sum, cnt] = sums[labels[j]];
+      sum += d(i, j);
+      ++cnt;
+    }
+    double a = 0.0;
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [cluster, sc] : sums) {
+      const double avg = sc.first / static_cast<double>(sc.second);
+      if (cluster == labels[i]) a = avg;
+      else b = std::min(b, avg);
+    }
+    if (!std::isfinite(b)) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+ConfusionMatrix confusionMatrix(std::span<const int> predicted,
+                                std::span<const std::uint32_t> truth) {
+  if (predicted.size() != truth.size())
+    throw ConfigError("confusionMatrix: label vectors must have equal length");
+  ConfusionMatrix cm;
+  // Dense, sorted truth columns for stable output.
+  std::map<std::uint32_t, std::size_t> tIdx;
+  for (auto t : truth) tIdx.emplace(t, 0);
+  std::size_t next = 0;
+  for (auto& [label, idx] : tIdx) {
+    idx = next++;
+    cm.truthLabels.push_back(label);
+  }
+  int maxCluster = -1;
+  for (int p : predicted) maxCluster = std::max(maxCluster, p);
+  bool hasNoise = std::any_of(predicted.begin(), predicted.end(),
+                              [](int p) { return p < 0; });
+  const std::size_t rows = static_cast<std::size_t>(maxCluster + 1) + (hasNoise ? 1 : 0);
+  cm.counts.assign(std::max<std::size_t>(rows, 1),
+                   std::vector<std::size_t>(cm.truthLabels.size(), 0));
+  cm.hasNoiseRow = hasNoise;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const std::size_t row = predicted[i] >= 0
+                                ? static_cast<std::size_t>(predicted[i])
+                                : static_cast<std::size_t>(maxCluster + 1);
+    ++cm.counts[row][tIdx.at(truth[i])];
+  }
+  return cm;
+}
+
+}  // namespace unveil::cluster

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file quality.hpp
+/// External and internal clustering quality metrics used by the structure-
+/// detection experiments (T3, A2): adjusted Rand index and purity against
+/// ground-truth phase labels, silhouette as the label-free criterion, and a
+/// confusion matrix for reports.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "unveil/cluster/dbscan.hpp"
+#include "unveil/cluster/features.hpp"
+
+namespace unveil::cluster {
+
+/// Adjusted Rand index between predicted labels and truth labels (same
+/// length). Noise points (label < 0) count as their own singleton-style
+/// class via a dedicated bucket, matching common DBSCAN evaluation practice.
+/// Returns a value in [-1, 1]; 1 means identical partitions.
+[[nodiscard]] double adjustedRandIndex(std::span<const int> predicted,
+                                       std::span<const std::uint32_t> truth);
+
+/// Purity: fraction of points whose cluster's majority truth label matches
+/// their own. Noise points count as errors (they were not explained).
+[[nodiscard]] double purity(std::span<const int> predicted,
+                            std::span<const std::uint32_t> truth);
+
+/// Mean silhouette coefficient over clustered (non-noise) points, computed
+/// on at most \p maxPoints points (uniform stride subsample) to bound cost.
+/// Returns 0 when fewer than two clusters exist.
+[[nodiscard]] double silhouette(const FeatureMatrix& features,
+                                std::span<const int> labels,
+                                std::size_t maxPoints = 2000);
+
+/// cluster × truth contingency counts; row index = cluster id (last row =
+/// noise when present), column index = dense truth-label index.
+struct ConfusionMatrix {
+  std::vector<std::uint32_t> truthLabels;  ///< Column meaning.
+  std::vector<std::vector<std::size_t>> counts;  ///< [row][col].
+  bool hasNoiseRow = false;
+};
+
+/// Builds the contingency table between \p predicted and \p truth.
+[[nodiscard]] ConfusionMatrix confusionMatrix(std::span<const int> predicted,
+                                              std::span<const std::uint32_t> truth);
+
+}  // namespace unveil::cluster

@@ -1,0 +1,154 @@
+#include "unveil/cluster/refine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::cluster {
+
+void RefineParams::validate() const {
+  if (positionPurity <= 0.0 || positionPurity > 1.0)
+    throw ConfigError("refine positionPurity must be in (0, 1]");
+  if (maxCooccurrence < 0.0 || maxCooccurrence >= 1.0)
+    throw ConfigError("refine maxCooccurrence must be in [0, 1)");
+  if (minTemporalOverlap < 0.0 || minTemporalOverlap > 1.0)
+    throw ConfigError("refine minTemporalOverlap must be in [0, 1]");
+}
+
+namespace {
+
+/// Union-find over cluster ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[std::max(a, b)] = std::min(a, b);
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+RefineResult refineByStructure(std::span<const Burst> bursts,
+                               const Clustering& clustering, std::size_t period,
+                               const RefineParams& params) {
+  params.validate();
+  RefineResult result;
+  result.clustering = clustering;
+  result.mapping.resize(clustering.numClusters);
+  std::iota(result.mapping.begin(), result.mapping.end(), 0);
+  if (period == 0 || clustering.numClusters < 2) return result;
+
+  const auto sequences = clusterSequences(bursts, clustering);
+  const std::size_t k = clustering.numClusters;
+
+  // Position histograms, (rank, iteration) occupancy and lifetime per
+  // cluster.
+  std::vector<std::map<std::size_t, std::size_t>> posHist(k);
+  std::vector<std::size_t> totals(k, 0);
+  std::vector<std::set<std::pair<trace::Rank, std::size_t>>> cells(k);
+  std::vector<trace::TimeNs> firstSeen(k, ~trace::TimeNs{0});
+  std::vector<trace::TimeNs> lastSeen(k, 0);
+  for (const auto& seq : sequences) {
+    for (std::size_t i = 0; i < seq.labels.size(); ++i) {
+      const int label = seq.labels[i];
+      if (label < 0) continue;
+      const auto c = static_cast<std::size_t>(label);
+      ++posHist[c][i % period];
+      ++totals[c];
+      cells[c].insert({seq.rank, i / period});
+      firstSeen[c] = std::min(firstSeen[c], seq.begins[i]);
+      lastSeen[c] = std::max(lastSeen[c], seq.begins[i]);
+    }
+  }
+
+  // Modal position and purity per cluster.
+  std::vector<std::size_t> modalPos(k, 0);
+  std::vector<double> purity(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::size_t best = 0;
+    for (const auto& [pos, count] : posHist[c]) {
+      if (count > best) {
+        best = count;
+        modalPos[c] = pos;
+      }
+    }
+    purity[c] = totals[c] > 0
+                    ? static_cast<double>(best) / static_cast<double>(totals[c])
+                    : 0.0;
+  }
+
+  UnionFind uf(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    if (purity[a] < params.positionPurity) continue;
+    for (std::size_t b = a + 1; b < k; ++b) {
+      if (purity[b] < params.positionPurity) continue;
+      if (modalPos[a] != modalPos[b]) continue;
+      // Exclusivity: overlapping (rank, iteration) cells.
+      const auto& small = cells[a].size() <= cells[b].size() ? cells[a] : cells[b];
+      const auto& large = cells[a].size() <= cells[b].size() ? cells[b] : cells[a];
+      std::size_t both = 0;
+      for (const auto& cell : small) both += large.contains(cell) ? 1 : 0;
+      const double cooccur =
+          small.empty() ? 1.0
+                        : static_cast<double>(both) / static_cast<double>(small.size());
+      if (cooccur > params.maxCooccurrence) continue;
+      // Temporal coexistence: a regime split (same position, exclusive, but
+      // living in different halves of the run) must not merge.
+      const double overlap =
+          static_cast<double>(std::min(lastSeen[a], lastSeen[b])) -
+          static_cast<double>(std::max(firstSeen[a], firstSeen[b]));
+      const double shorterSpan = static_cast<double>(
+          std::min(lastSeen[a] - firstSeen[a], lastSeen[b] - firstSeen[b]));
+      const double overlapFrac =
+          shorterSpan > 0.0 ? std::max(overlap, 0.0) / shorterSpan
+                            : (overlap >= 0.0 ? 1.0 : 0.0);
+      if (overlapFrac < params.minTemporalOverlap) continue;
+      if (uf.unite(a, b)) ++result.mergesApplied;
+    }
+  }
+  if (result.mergesApplied == 0) return result;
+
+  // Relabel: roots -> dense ids ordered by merged size (largest first).
+  std::vector<std::size_t> mergedSize(k, 0);
+  for (std::size_t c = 0; c < k; ++c) mergedSize[uf.find(c)] += totals[c];
+  std::vector<std::size_t> roots;
+  for (std::size_t c = 0; c < k; ++c)
+    if (uf.find(c) == c) roots.push_back(c);
+  std::sort(roots.begin(), roots.end(), [&](std::size_t a, std::size_t b) {
+    if (mergedSize[a] != mergedSize[b]) return mergedSize[a] > mergedSize[b];
+    return a < b;
+  });
+  std::vector<int> rootToNew(k, -1);
+  for (std::size_t newId = 0; newId < roots.size(); ++newId)
+    rootToNew[roots[newId]] = static_cast<int>(newId);
+
+  for (std::size_t c = 0; c < k; ++c)
+    result.mapping[c] = rootToNew[uf.find(c)];
+  for (auto& label : result.clustering.labels) {
+    if (label >= 0) label = result.mapping[static_cast<std::size_t>(label)];
+  }
+  result.clustering.numClusters = roots.size();
+  return result;
+}
+
+}  // namespace unveil::cluster

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file refine.hpp
+/// Structure-driven cluster refinement.
+///
+/// DBSCAN occasionally fragments one application phase into several clusters
+/// — typically when static rank imbalance stretches the phase along the
+/// instructions/duration axis until density gaps open. Fragments are easy to
+/// recognize *structurally*: the application executes its phases in a fixed
+/// per-iteration order, so two clusters that are really one phase occupy the
+/// same position of the iteration pattern and never co-occur in one
+/// iteration of one rank. This pass (a pragmatic take on the group's
+/// aggregative-refinement follow-up work) merges such fragments.
+///
+/// Merge criterion for clusters A and B:
+///  1. positional coincidence — considering each rank's burst sequence
+///     modulo the detected period, A and B occur at the same position;
+///  2. exclusivity — no (rank, iteration) executes both A and B; and
+///  3. temporal coexistence — A's and B's lifetimes overlap substantially.
+/// (1)+(2) follow from "A and B are the same phase" but also hold for a
+/// phase that *changed regime* mid-run (e.g. after a mesh refinement) —
+/// those clusters are genuinely different performance phases and must stay
+/// split, which is what (3) enforces: rank-split fragments coexist for the
+/// whole run, regime splits are temporally disjoint.
+
+#include "unveil/cluster/structure.hpp"
+
+namespace unveil::cluster {
+
+/// Refinement parameters.
+struct RefineParams {
+  /// Minimum fraction of a cluster's occurrences at its modal period
+  /// position for the position to count as well-defined.
+  double positionPurity = 0.75;
+  /// Maximum fraction of (rank, iteration) cells where both clusters occur
+  /// for them to still count as mutually exclusive.
+  double maxCooccurrence = 0.05;
+  /// Minimum overlap of the two clusters' [first, last] lifetime intervals,
+  /// as a fraction of the shorter lifetime, for a merge (criterion 3).
+  double minTemporalOverlap = 0.5;
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// Outcome of a refinement pass.
+struct RefineResult {
+  Clustering clustering;       ///< Relabelled (size-ordered) clustering.
+  std::size_t mergesApplied = 0;
+  /// For each input cluster id, the output cluster id it was mapped to.
+  std::vector<int> mapping;
+};
+
+/// Merges structurally identical cluster fragments. \p period is the
+/// iteration period in bursts (from detectGlobalPeriod); when 0 the input is
+/// returned unchanged. Noise labels are preserved.
+[[nodiscard]] RefineResult refineByStructure(std::span<const Burst> bursts,
+                                             const Clustering& clustering,
+                                             std::size_t period,
+                                             const RefineParams& params = {});
+
+}  // namespace unveil::cluster

@@ -1,0 +1,134 @@
+#include "unveil/cluster/structure.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::cluster {
+
+std::vector<RankSequence> clusterSequences(std::span<const Burst> bursts,
+                                           const Clustering& clustering) {
+  if (bursts.size() != clustering.labels.size())
+    throw ConfigError("clusterSequences: bursts and labels must align");
+  std::map<trace::Rank, RankSequence> byRank;
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    auto& rs = byRank[bursts[i].rank];
+    rs.rank = bursts[i].rank;
+    rs.labels.push_back(clustering.labels[i]);
+    rs.begins.push_back(bursts[i].begin);
+  }
+  std::vector<RankSequence> out;
+  out.reserve(byRank.size());
+  for (auto& [rank, rs] : byRank) {
+    // Bursts arrive sorted by (rank, begin) from extraction, but sort
+    // defensively: structure detection is meaningless on unordered input.
+    std::vector<std::size_t> order(rs.labels.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return rs.begins[a] < rs.begins[b]; });
+    RankSequence sorted;
+    sorted.rank = rank;
+    sorted.labels.reserve(order.size());
+    sorted.begins.reserve(order.size());
+    for (std::size_t i : order) {
+      sorted.labels.push_back(rs.labels[i]);
+      sorted.begins.push_back(rs.begins[i]);
+    }
+    out.push_back(std::move(sorted));
+  }
+  return out;
+}
+
+PeriodResult detectGlobalPeriod(std::span<const RankSequence> sequences,
+                                std::size_t maxPeriod, double threshold) {
+  std::map<std::size_t, std::size_t> votes;
+  std::map<std::size_t, PeriodResult> bestByPeriod;
+  for (const auto& seq : sequences) {
+    const PeriodResult r = detectPeriod(seq.labels, maxPeriod, threshold);
+    if (r.period == 0) continue;
+    ++votes[r.period];
+    auto& best = bestByPeriod[r.period];
+    if (r.matchFraction > best.matchFraction) best = r;
+  }
+  std::size_t modal = 0;
+  std::size_t modalVotes = 0;
+  for (const auto& [period, count] : votes) {
+    if (count > modalVotes) {
+      modal = period;
+      modalVotes = count;
+    }
+  }
+  return modal == 0 ? PeriodResult{} : bestByPeriod[modal];
+}
+
+double spmdScore(std::span<const Burst> bursts, const Clustering& clustering,
+                 trace::Rank numRanks) {
+  if (bursts.size() != clustering.labels.size())
+    throw ConfigError("spmdScore: bursts and labels must align");
+  if (numRanks == 0) throw ConfigError("spmdScore: numRanks must be > 0");
+  std::map<int, std::set<trace::Rank>> ranksPerCluster;
+  std::map<int, std::size_t> sizePerCluster;
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    const int label = clustering.labels[i];
+    if (label < 0) continue;
+    ranksPerCluster[label].insert(bursts[i].rank);
+    ++sizePerCluster[label];
+  }
+  double weighted = 0.0;
+  std::size_t total = 0;
+  for (const auto& [label, ranks] : ranksPerCluster) {
+    const std::size_t size = sizePerCluster[label];
+    weighted += static_cast<double>(size) * static_cast<double>(ranks.size()) /
+                static_cast<double>(numRanks);
+    total += size;
+  }
+  return total > 0 ? weighted / static_cast<double>(total) : 1.0;
+}
+
+PeriodResult detectPeriod(std::span<const int> sequence, std::size_t maxPeriod,
+                          double threshold) {
+  PeriodResult best;
+  const std::size_t n = sequence.size();
+  if (n < 4) return best;
+  const std::size_t cap = std::min(maxPeriod, n / 2);
+  for (std::size_t p = 1; p <= cap; ++p) {
+    std::size_t match = 0;
+    std::size_t considered = 0;
+    for (std::size_t i = 0; i + p < n; ++i) {
+      // Noise labels are wildcards: an unexplained burst should not break
+      // an otherwise perfect period.
+      if (sequence[i] == kNoiseLabel || sequence[i + p] == kNoiseLabel) continue;
+      ++considered;
+      match += (sequence[i] == sequence[i + p]) ? 1 : 0;
+    }
+    if (considered == 0) continue;
+    const double frac = static_cast<double>(match) / static_cast<double>(considered);
+    if (frac >= threshold) {
+      best.period = p;
+      best.matchFraction = frac;
+      break;  // smallest qualifying period wins
+    }
+  }
+  if (best.period == 0) return best;
+
+  // Modal label per period position.
+  best.signature.resize(best.period);
+  for (std::size_t pos = 0; pos < best.period; ++pos) {
+    std::map<int, std::size_t> hist;
+    for (std::size_t i = pos; i < n; i += best.period) ++hist[sequence[i]];
+    int mode = kNoiseLabel;
+    std::size_t modeCount = 0;
+    for (const auto& [label, count] : hist) {
+      if (count > modeCount) {
+        mode = label;
+        modeCount = count;
+      }
+    }
+    best.signature[pos] = mode;
+  }
+  return best;
+}
+
+}  // namespace unveil::cluster

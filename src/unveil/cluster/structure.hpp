@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file structure.hpp
+/// Application-structure recovery from clustered bursts.
+///
+/// Once bursts carry cluster labels, each rank's chronological label
+/// sequence reveals the application's iterative skeleton: a repeating
+/// pattern whose length is the number of computation phases per iteration.
+/// detectPeriod finds that length by self-similarity (the discrete analogue
+/// of the spectral analysis the same group published in their follow-up
+/// ICPADS 2011 paper), and iterationSignature extracts the canonical phase
+/// order within one iteration.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "unveil/cluster/burst.hpp"
+#include "unveil/cluster/dbscan.hpp"
+
+namespace unveil::cluster {
+
+/// One rank's chronological cluster-label sequence.
+struct RankSequence {
+  trace::Rank rank = 0;
+  std::vector<int> labels;            ///< Cluster label per burst, in time order.
+  std::vector<trace::TimeNs> begins;  ///< Matching burst start times.
+};
+
+/// Splits clustered bursts into per-rank chronological sequences.
+/// \p bursts and \p clustering.labels must be index-aligned.
+[[nodiscard]] std::vector<RankSequence> clusterSequences(std::span<const Burst> bursts,
+                                                         const Clustering& clustering);
+
+/// Outcome of period detection on one label sequence.
+struct PeriodResult {
+  std::size_t period = 0;       ///< Detected period; 0 when none found.
+  double matchFraction = 0.0;   ///< Self-similarity at that period, in [0,1].
+  std::vector<int> signature;   ///< Modal label at each position of one period.
+};
+
+/// Finds the smallest period p <= maxPeriod with self-match fraction >=
+/// \p threshold (noise labels are wildcards); signature is the per-position
+/// modal label. Returns period 0 when no period qualifies.
+[[nodiscard]] PeriodResult detectPeriod(std::span<const int> sequence,
+                                        std::size_t maxPeriod = 64,
+                                        double threshold = 0.9);
+
+/// Runs detectPeriod on every rank's sequence and returns the modal nonzero
+/// period's result (the rank whose match fraction is highest among those
+/// agreeing with the modal period). Returns a zero PeriodResult when no rank
+/// exhibits a period.
+[[nodiscard]] PeriodResult detectGlobalPeriod(
+    std::span<const RankSequence> sequences, std::size_t maxPeriod = 64,
+    double threshold = 0.9);
+
+/// SPMD-ness of a clustering (after González et al.'s "SPMDiness" concept):
+/// how uniformly the detected phases are executed by all ranks. Per cluster,
+/// the coverage is (#distinct ranks with a member)/numRanks; the score is
+/// the member-count-weighted mean coverage over clusters, in (0, 1]. A pure
+/// SPMD application scores 1; rank-specialized structure (master/worker)
+/// scores low. Noise bursts are excluded. Returns 1.0 when nothing is
+/// clustered.
+[[nodiscard]] double spmdScore(std::span<const Burst> bursts,
+                               const Clustering& clustering, trace::Rank numRanks);
+
+}  // namespace unveil::cluster

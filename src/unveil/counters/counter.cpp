@@ -1,0 +1,62 @@
+#include "unveil/counters/counter.hpp"
+
+#include <string>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::counters {
+
+std::string_view counterName(CounterId id) noexcept {
+  switch (id) {
+    case CounterId::TotIns: return "PAPI_TOT_INS";
+    case CounterId::TotCyc: return "PAPI_TOT_CYC";
+    case CounterId::L1Dcm: return "PAPI_L1_DCM";
+    case CounterId::L2Dcm: return "PAPI_L2_DCM";
+    case CounterId::FpOps: return "PAPI_FP_OPS";
+    case CounterId::BrMsp: return "PAPI_BR_MSP";
+  }
+  return "PAPI_UNKNOWN";
+}
+
+CounterId counterFromName(std::string_view name) {
+  for (CounterId id : kAllCounters) {
+    if (counterName(id) == name) return id;
+  }
+  throw unveil::Error("unknown counter name: " + std::string(name));
+}
+
+CounterSet& CounterSet::operator+=(const CounterSet& other) noexcept {
+  for (std::size_t i = 0; i < kNumCounters; ++i) values[i] += other.values[i];
+  return *this;
+}
+
+CounterSet CounterSet::minus(const CounterSet& other) const {
+  CounterSet out;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    UNVEIL_ASSERT(values[i] >= other.values[i],
+                  "counter delta would be negative; counters are monotone");
+    out.values[i] = values[i] - other.values[i];
+  }
+  return out;
+}
+
+double DerivedMetrics::ipc(const CounterSet& delta) noexcept {
+  const auto cyc = delta[CounterId::TotCyc];
+  if (cyc == 0) return 0.0;
+  return static_cast<double>(delta[CounterId::TotIns]) / static_cast<double>(cyc);
+}
+
+double DerivedMetrics::mips(const CounterSet& delta, std::uint64_t durationNs) noexcept {
+  if (durationNs == 0) return 0.0;
+  // instructions / ns * 1e9 = instructions/s; / 1e6 = MIPS.
+  return static_cast<double>(delta[CounterId::TotIns]) /
+         static_cast<double>(durationNs) * 1e3;
+}
+
+double DerivedMetrics::l2MissesPerKiloIns(const CounterSet& delta) noexcept {
+  const auto ins = delta[CounterId::TotIns];
+  if (ins == 0) return 0.0;
+  return static_cast<double>(delta[CounterId::L2Dcm]) / static_cast<double>(ins) * 1e3;
+}
+
+}  // namespace unveil::counters

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file counter.hpp
+/// Hardware-counter identities and snapshot containers.
+///
+/// Mirrors the PAPI preset counters the paper's tooling (Extrae + PAPI)
+/// collects at instrumentation probes and sampling interrupts. Counters are
+/// modelled as monotonically non-decreasing 64-bit counts per rank.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace unveil::counters {
+
+/// The counters every probe and sample snapshots.
+enum class CounterId : std::uint8_t {
+  TotIns = 0,  ///< PAPI_TOT_INS — completed instructions.
+  TotCyc,      ///< PAPI_TOT_CYC — total cycles.
+  L1Dcm,       ///< PAPI_L1_DCM — level-1 data-cache misses.
+  L2Dcm,       ///< PAPI_L2_DCM — level-2 data-cache misses.
+  FpOps,       ///< PAPI_FP_OPS — floating-point operations.
+  BrMsp,       ///< PAPI_BR_MSP — mispredicted branches.
+};
+
+/// Number of modelled counters.
+inline constexpr std::size_t kNumCounters = 6;
+
+/// All counter ids, for range-for iteration.
+inline constexpr std::array<CounterId, kNumCounters> kAllCounters = {
+    CounterId::TotIns, CounterId::TotCyc, CounterId::L1Dcm,
+    CounterId::L2Dcm,  CounterId::FpOps,  CounterId::BrMsp,
+};
+
+/// PAPI-style name of a counter id.
+[[nodiscard]] std::string_view counterName(CounterId id) noexcept;
+
+/// Parses a PAPI-style name back to an id; throws unveil::Error on unknown
+/// names (used by the trace reader).
+[[nodiscard]] CounterId counterFromName(std::string_view name);
+
+/// Index of a counter id inside CounterSet storage.
+[[nodiscard]] constexpr std::size_t counterIndex(CounterId id) noexcept {
+  return static_cast<std::size_t>(id);
+}
+
+/// A snapshot of all counters (cumulative counts since rank start).
+struct CounterSet {
+  std::array<std::uint64_t, kNumCounters> values{};
+
+  /// Mutable access by id.
+  [[nodiscard]] std::uint64_t& operator[](CounterId id) noexcept {
+    return values[counterIndex(id)];
+  }
+  /// Read access by id.
+  [[nodiscard]] std::uint64_t operator[](CounterId id) const noexcept {
+    return values[counterIndex(id)];
+  }
+
+  /// Component-wise sum.
+  CounterSet& operator+=(const CounterSet& other) noexcept;
+
+  /// Component-wise difference (asserts this >= other per component, since
+  /// counters are monotone).
+  [[nodiscard]] CounterSet minus(const CounterSet& other) const;
+
+  friend bool operator==(const CounterSet&, const CounterSet&) = default;
+};
+
+/// Derived-metric helpers over a counter delta and a wall-clock duration.
+/// Times are nanoseconds throughout unveil.
+struct DerivedMetrics {
+  /// Instructions per cycle; 0 when cycles are 0.
+  [[nodiscard]] static double ipc(const CounterSet& delta) noexcept;
+  /// Millions of instructions per second over \p durationNs.
+  [[nodiscard]] static double mips(const CounterSet& delta, std::uint64_t durationNs) noexcept;
+  /// L2 misses per kilo-instruction; 0 when instructions are 0.
+  [[nodiscard]] static double l2MissesPerKiloIns(const CounterSet& delta) noexcept;
+};
+
+}  // namespace unveil::counters

@@ -1,0 +1,29 @@
+#include "unveil/counters/noise.hpp"
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::counters {
+
+void NoiseModel::validate() const {
+  if (commonSigma < 0.0 || counterSigma < 0.0 || warpSigma < 0.0 ||
+      outlierWarpSigma < 0.0)
+    throw unveil::ConfigError("noise sigmas must be non-negative");
+  if (outlierProb < 0.0 || outlierProb > 1.0)
+    throw unveil::ConfigError("outlierProb must be in [0,1]");
+}
+
+double NoiseModel::realizeWarp(support::Rng& rng) const {
+  const double sigma = rng.bernoulli(outlierProb) ? outlierWarpSigma : warpSigma;
+  return rng.lognormalMedian(1.0, sigma);
+}
+
+std::array<double, kNumCounters> NoiseModel::realize(support::Rng& rng) const {
+  std::array<double, kNumCounters> factors{};
+  const double common = rng.lognormalMedian(1.0, commonSigma);
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    factors[i] = common * rng.lognormalMedian(1.0, counterSigma);
+  }
+  return factors;
+}
+
+}  // namespace unveil::counters

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file noise.hpp
+/// Stochastic variability of counter totals across burst instances.
+///
+/// Real applications never repeat a phase with bit-identical counts: OS
+/// noise, data-dependent branches and cache state perturb every instance.
+/// The model is multiplicative and lognormal: one *common* factor shared by
+/// all counters of a burst (the whole instance ran slower/did more work) and
+/// one independent per-counter factor (e.g. cache misses fluctuate more than
+/// retired instructions). Median factors are exactly 1 so expected totals
+/// stay calibrated.
+
+#include <array>
+
+#include "unveil/counters/counter.hpp"
+#include "unveil/support/rng.hpp"
+
+namespace unveil::counters {
+
+/// Parameters of the per-burst multiplicative noise.
+struct NoiseModel {
+  /// Sigma of the common lognormal factor applied to every counter.
+  double commonSigma = 0.02;
+  /// Sigma of the independent per-counter lognormal factor.
+  double counterSigma = 0.01;
+  /// Sigma of the per-instance *time warp*: instance i's internal evolution
+  /// is shape(t^w_i) with w_i lognormal(median 1, warpSigma). Models the
+  /// within-phase regime boundaries (cache overflow point, block edges)
+  /// shifting from instance to instance — the cross-instance dispersion the
+  /// folding fit must filter. Endpoints are preserved (0^w=0, 1^w=1), and
+  /// the warp is monotone, so counter monotonicity is unaffected.
+  double warpSigma = 0.03;
+  /// Probability that an instance is an *outlier*: something external (page
+  /// fault burst, OS preemption, network interrupt storm) grossly distorted
+  /// its internal timeline. Outlier instances draw their warp with
+  /// outlierWarpSigma instead of warpSigma and produce folded points far off
+  /// the cluster profile — the contamination MAD pruning exists to reject.
+  double outlierProb = 0.01;
+  /// Warp sigma used for outlier instances.
+  double outlierWarpSigma = 0.5;
+
+  /// Validates parameter ranges; throws ConfigError on negative sigmas.
+  void validate() const;
+
+  /// Draws one burst's multiplicative factors (per counter).
+  [[nodiscard]] std::array<double, kNumCounters> realize(support::Rng& rng) const;
+
+  /// Draws one burst's time-warp exponent.
+  [[nodiscard]] double realizeWarp(support::Rng& rng) const;
+};
+
+}  // namespace unveil::counters

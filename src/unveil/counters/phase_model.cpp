@@ -1,0 +1,84 @@
+#include "unveil/counters/phase_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::counters {
+
+PhaseModel::PhaseModel(std::string name) : name_(std::move(name)) {}
+
+void PhaseModel::setCounter(CounterId id, double baseTotal, RateShape shape) {
+  if (baseTotal < 0.0) throw unveil::ConfigError("counter baseTotal must be >= 0");
+  profiles_[counterIndex(id)] = CounterProfile{baseTotal, std::move(shape)};
+}
+
+void PhaseModel::setRegions(std::vector<std::pair<std::string, double>> namedWidths) {
+  if (namedWidths.empty())
+    throw unveil::ConfigError("setRegions requires at least one region");
+  double total = 0.0;
+  for (const auto& [name, width] : namedWidths) {
+    (void)name;
+    if (width <= 0.0)
+      throw unveil::ConfigError("region widths must be positive");
+    total += width;
+  }
+  regions_.clear();
+  double cursor = 0.0;
+  for (auto& [name, width] : namedWidths) {
+    const double next = cursor + width / total;
+    regions_.push_back(PhaseRegion{std::move(name), cursor, next});
+    cursor = next;
+  }
+  regions_.back().end = 1.0;  // absorb rounding
+}
+
+std::uint32_t PhaseModel::regionAt(double frac) const noexcept {
+  frac = std::clamp(frac, 0.0, 1.0);
+  for (std::size_t i = 0; i + 1 < regions_.size(); ++i) {
+    if (frac < regions_[i].end) return static_cast<std::uint32_t>(i);
+  }
+  return static_cast<std::uint32_t>(regions_.size() - 1);
+}
+
+const CounterProfile& PhaseModel::profile(CounterId id) const noexcept {
+  return profiles_[counterIndex(id)];
+}
+
+double PhaseModel::normalizedRate(CounterId id, double t) const noexcept {
+  return profiles_[counterIndex(id)].shape.normalizedRate(t);
+}
+
+double PhaseModel::cdf(CounterId id, double t) const noexcept {
+  return profiles_[counterIndex(id)].shape.cdf(t);
+}
+
+RealizedBurst::RealizedBurst(const PhaseModel& model,
+                             std::array<double, kNumCounters> factors)
+    : model_(&model) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const auto id = static_cast<CounterId>(i);
+    totals_[i] = model.profile(id).baseTotal * factors[i];
+  }
+}
+
+double RealizedBurst::total(CounterId id) const noexcept {
+  return totals_[counterIndex(id)];
+}
+
+std::uint64_t RealizedBurst::cumulativeAt(CounterId id, double t) const noexcept {
+  return static_cast<std::uint64_t>(std::llround(cumulativeAtExact(id, t)));
+}
+
+double RealizedBurst::cumulativeAtExact(CounterId id, double t) const noexcept {
+  return totals_[counterIndex(id)] * model_->cdf(id, t);
+}
+
+CounterSet RealizedBurst::snapshotAt(double t) const noexcept {
+  CounterSet out;
+  for (CounterId id : kAllCounters) out[id] = cumulativeAt(id, t);
+  return out;
+}
+
+}  // namespace unveil::counters

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file phase_model.hpp
+/// Ground-truth counter behaviour of one computation phase.
+///
+/// A PhaseModel says, for every hardware counter, how many counts a nominal
+/// instance of the phase accumulates (baseTotal) and how those counts are
+/// distributed over the instance's lifetime (a RateShape). A RealizedBurst
+/// binds a PhaseModel to one concrete burst instance (noise factors applied)
+/// and answers "what is the cumulative count at intra-burst time t?" — the
+/// primitive from which the simulator produces both probe snapshots and
+/// sample snapshots.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "unveil/counters/counter.hpp"
+#include "unveil/counters/noise.hpp"
+#include "unveil/counters/shape.hpp"
+
+namespace unveil::counters {
+
+/// Per-counter behaviour within a phase.
+struct CounterProfile {
+  double baseTotal = 0.0;  ///< Expected counts per nominal instance.
+  RateShape shape = RateShape::constant();  ///< Internal evolution.
+};
+
+/// A named code region occupying a contiguous slice of a phase's work.
+struct PhaseRegion {
+  std::string name;
+  double begin = 0.0;  ///< Work fraction where the region starts.
+  double end = 1.0;    ///< Work fraction where it ends (exclusive).
+};
+
+/// Ground-truth model of one phase's counters.
+class PhaseModel {
+ public:
+  /// \param name phase label used in reports and ground-truth records.
+  explicit PhaseModel(std::string name);
+
+  /// Defines counter \p id's behaviour. baseTotal must be >= 0.
+  void setCounter(CounterId id, double baseTotal, RateShape shape);
+
+  /// Defines the phase's code regions as (name, relative width) pairs that
+  /// tile [0,1] in order; widths are normalized. Models what a sampled
+  /// callstack would attribute each part of the phase to. Default: one
+  /// region named "body". Throws ConfigError on empty input or non-positive
+  /// widths.
+  void setRegions(std::vector<std::pair<std::string, double>> namedWidths);
+
+  /// Number of regions (>= 1).
+  [[nodiscard]] std::size_t numRegions() const noexcept { return regions_.size(); }
+  /// Region table in order.
+  [[nodiscard]] const std::vector<PhaseRegion>& regions() const noexcept {
+    return regions_;
+  }
+  /// Index of the region containing work fraction \p frac.
+  [[nodiscard]] std::uint32_t regionAt(double frac) const noexcept;
+
+  /// Profile of counter \p id (all counters have a default: 0 counts, flat).
+  [[nodiscard]] const CounterProfile& profile(CounterId id) const noexcept;
+
+  /// Phase label.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Ground-truth normalized instantaneous rate of counter \p id at
+  /// normalized time t (integral over [0,1] is 1).
+  [[nodiscard]] double normalizedRate(CounterId id, double t) const noexcept;
+
+  /// Ground-truth cumulative fraction of counter \p id at normalized time t.
+  [[nodiscard]] double cdf(CounterId id, double t) const noexcept;
+
+ private:
+  std::string name_;
+  std::array<CounterProfile, kNumCounters> profiles_;
+  std::vector<PhaseRegion> regions_{{"body", 0.0, 1.0}};
+};
+
+/// One burst instance: a PhaseModel with realized noise factors.
+///
+/// Cumulative counts are monotone non-decreasing in t by construction
+/// (rounding of a monotone function), so probe/sample snapshots derived from
+/// a RealizedBurst always satisfy the hardware-counter monotonicity
+/// invariant.
+class RealizedBurst {
+ public:
+  /// \param model   phase ground truth (must outlive this object).
+  /// \param factors per-counter multiplicative noise factors.
+  RealizedBurst(const PhaseModel& model, std::array<double, kNumCounters> factors);
+
+  /// Realized total count of counter \p id for this instance.
+  [[nodiscard]] double total(CounterId id) const noexcept;
+
+  /// Cumulative count of counter \p id at normalized intra-burst time t.
+  [[nodiscard]] std::uint64_t cumulativeAt(CounterId id, double t) const noexcept;
+
+  /// Exact (unrounded) cumulative count at normalized time t. Callers that
+  /// add this to an external accumulator must round the *sum*, never the
+  /// parts — rounding parts separately can break counter monotonicity by 1.
+  [[nodiscard]] double cumulativeAtExact(CounterId id, double t) const noexcept;
+
+  /// All counters' cumulative counts at normalized time t.
+  [[nodiscard]] CounterSet snapshotAt(double t) const noexcept;
+
+  /// The underlying phase model.
+  [[nodiscard]] const PhaseModel& model() const noexcept { return *model_; }
+
+ private:
+  const PhaseModel* model_;
+  std::array<double, kNumCounters> totals_{};
+};
+
+}  // namespace unveil::counters

@@ -1,0 +1,165 @@
+#include "unveil/counters/shape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::counters {
+
+namespace {
+/// Resolution of the precomputed integral table. 4096 segments keeps cdf
+/// error well below the noise floor of any experiment (~1e-7 for smooth
+/// shapes) while construction stays microseconds.
+constexpr std::size_t kGridSegments = 4096;
+}  // namespace
+
+RateShape::RateShape(std::string name, std::function<double(double)> fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {
+  cumulative_.resize(kGridSegments + 1);
+  cumulative_[0] = 0.0;
+  double prev = fn_(0.0);
+  UNVEIL_ASSERT(prev >= 0.0, "rate shape must be non-negative");
+  for (std::size_t i = 1; i <= kGridSegments; ++i) {
+    const double t = static_cast<double>(i) / kGridSegments;
+    const double cur = fn_(t);
+    UNVEIL_ASSERT(cur >= 0.0, "rate shape must be non-negative");
+    cumulative_[i] = cumulative_[i - 1] + 0.5 * (prev + cur) / kGridSegments;
+    prev = cur;
+  }
+  meanRate_ = cumulative_.back();
+  if (meanRate_ <= 0.0)
+    throw unveil::ConfigError("rate shape '" + name_ + "' integrates to zero");
+}
+
+double RateShape::value(double t) const noexcept {
+  t = std::clamp(t, 0.0, 1.0);
+  return fn_(t);
+}
+
+double RateShape::cdf(double t) const noexcept {
+  t = std::clamp(t, 0.0, 1.0);
+  const double pos = t * kGridSegments;
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo >= kGridSegments) return 1.0;
+  const double frac = pos - static_cast<double>(lo);
+  const double raw = cumulative_[lo] * (1.0 - frac) + cumulative_[lo + 1] * frac;
+  return raw / meanRate_;
+}
+
+double RateShape::normalizedRate(double t) const noexcept {
+  return value(t) / meanRate_;
+}
+
+RateShape RateShape::constant() {
+  return RateShape("constant", [](double) { return 1.0; });
+}
+
+RateShape RateShape::ramp(double startLevel, double endLevel) {
+  if (startLevel < 0.0 || endLevel < 0.0)
+    throw unveil::ConfigError("ramp levels must be non-negative");
+  return RateShape("ramp", [startLevel, endLevel](double t) {
+    return startLevel + (endLevel - startLevel) * t;
+  });
+}
+
+RateShape RateShape::piecewiseLinear(std::vector<std::pair<double, double>> points) {
+  if (points.size() < 2) throw unveil::ConfigError("piecewiseLinear needs >= 2 points");
+  if (points.front().first != 0.0 || points.back().first != 1.0)
+    throw unveil::ConfigError("piecewiseLinear must span t in [0,1]");
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (!(points[i].first > points[i - 1].first))
+      throw unveil::ConfigError("piecewiseLinear abscissae must strictly increase");
+  }
+  for (const auto& [t, r] : points) {
+    (void)t;
+    if (r < 0.0) throw unveil::ConfigError("piecewiseLinear rates must be >= 0");
+  }
+  return RateShape("piecewiseLinear", [pts = std::move(points)](double t) {
+    if (t <= pts.front().first) return pts.front().second;
+    if (t >= pts.back().first) return pts.back().second;
+    std::size_t lo = 0, hi = pts.size() - 1;
+    while (hi - lo > 1) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (pts[mid].first <= t) lo = mid;
+      else hi = mid;
+    }
+    const double frac = (t - pts[lo].first) / (pts[hi].first - pts[lo].first);
+    return pts[lo].second + (pts[hi].second - pts[lo].second) * frac;
+  });
+}
+
+RateShape RateShape::plateau(double head, double body, double tail, double headFrac,
+                             double tailFrac) {
+  if (head < 0.0 || body < 0.0 || tail < 0.0)
+    throw unveil::ConfigError("plateau levels must be non-negative");
+  if (headFrac < 0.0 || tailFrac < 0.0 || headFrac + tailFrac > 0.9)
+    throw unveil::ConfigError("plateau head/tail fractions invalid");
+  // 3% of the burst for each transition keeps the shape continuous, which
+  // matters for the fit-quality experiments (discontinuities inflate any
+  // smoother's error for reasons unrelated to folding itself).
+  const double ramp = 0.03;
+  std::vector<std::pair<double, double>> pts;
+  pts.emplace_back(0.0, head);
+  if (headFrac > 0.0) {
+    pts.emplace_back(headFrac, head);
+    pts.emplace_back(std::min(headFrac + ramp, 1.0 - tailFrac), body);
+  }
+  if (tailFrac > 0.0) {
+    pts.emplace_back(std::max(1.0 - tailFrac - ramp, headFrac + ramp), body);
+    pts.emplace_back(1.0 - tailFrac, tail);
+  }
+  pts.emplace_back(1.0, tailFrac > 0.0 ? tail : body);
+  // Deduplicate / enforce strictly increasing abscissae.
+  std::vector<std::pair<double, double>> clean;
+  for (const auto& p : pts) {
+    if (!clean.empty() && p.first <= clean.back().first) continue;
+    clean.push_back(p);
+  }
+  if (clean.size() < 2) return constant();
+  if (clean.front().first != 0.0) clean.insert(clean.begin(), {0.0, clean.front().second});
+  if (clean.back().first != 1.0) clean.emplace_back(1.0, clean.back().second);
+  return piecewiseLinear(std::move(clean));
+}
+
+RateShape RateShape::sawtooth(int teeth, double low, double high) {
+  if (teeth < 1) throw unveil::ConfigError("sawtooth needs >= 1 tooth");
+  if (low < 0.0 || high < low) throw unveil::ConfigError("sawtooth needs 0 <= low <= high");
+  return RateShape("sawtooth", [teeth, low, high](double t) {
+    const double phase = t * teeth;
+    const double frac = phase - std::floor(phase);
+    return high - (high - low) * frac;
+  });
+}
+
+RateShape RateShape::bump(double base, double amplitude, double center, double width) {
+  if (base < 0.0) throw unveil::ConfigError("bump base must be >= 0");
+  if (width <= 0.0) throw unveil::ConfigError("bump width must be > 0");
+  if (base + std::min(amplitude, 0.0) < 0.0)
+    throw unveil::ConfigError("bump must stay non-negative");
+  return RateShape("bump", [base, amplitude, center, width](double t) {
+    const double z = (t - center) / width;
+    return base + amplitude * std::exp(-0.5 * z * z);
+  });
+}
+
+RateShape RateShape::blend(std::vector<std::pair<double, RateShape>> weighted) {
+  if (weighted.empty()) throw unveil::ConfigError("blend needs >= 1 shape");
+  for (const auto& [w, s] : weighted) {
+    (void)s;
+    if (w <= 0.0) throw unveil::ConfigError("blend weights must be positive");
+  }
+  return RateShape("blend", [parts = std::move(weighted)](double t) {
+    double v = 0.0;
+    for (const auto& [w, s] : parts) v += w * s.value(t);
+    return v;
+  });
+}
+
+RateShape RateShape::fromFunction(std::string name, std::function<double(double)> fn) {
+  if (!fn) throw unveil::ConfigError("fromFunction requires a callable");
+  return RateShape(std::move(name), std::move(fn));
+}
+
+}  // namespace unveil::counters

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file shape.hpp
+/// Rate shapes: the ground-truth *internal evolution* of a metric inside a
+/// computation burst.
+///
+/// A RateShape is a non-negative relative rate r(t) on normalized intra-burst
+/// time t ∈ [0, 1]. The simulator assigns each (phase, counter) pair a shape
+/// and a total count; the cumulative count at intra-burst time t is
+/// total × cdf(t), where cdf is r's normalized integral. Folding's entire job
+/// is to recover r(t)/mean(r) — the normalized instantaneous rate — from
+/// scattered samples, so these shapes are the reference every accuracy
+/// experiment compares against.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace unveil::counters {
+
+/// Immutable rate shape with fast normalized-integral queries.
+///
+/// Construction precomputes a dense trapezoidal integral table, so cdf() and
+/// value() are O(1)/O(log n). Shapes are value types (cheap shared internals).
+class RateShape {
+ public:
+  /// Flat shape r(t) = 1.
+  [[nodiscard]] static RateShape constant();
+
+  /// Linear ramp from \p startLevel at t=0 to \p endLevel at t=1.
+  /// Levels must be >= 0 and not both zero.
+  [[nodiscard]] static RateShape ramp(double startLevel, double endLevel);
+
+  /// Piecewise-linear shape through control points (t_i, r_i). t must start
+  /// at 0, end at 1 and be strictly increasing; r_i >= 0.
+  [[nodiscard]] static RateShape piecewiseLinear(
+      std::vector<std::pair<double, double>> points);
+
+  /// Head/body/tail plateau: level \p head on [0, headFrac), \p body on
+  /// [headFrac, 1-tailFrac), \p tail on [1-tailFrac, 1], with short linear
+  /// transitions so the shape stays continuous.
+  [[nodiscard]] static RateShape plateau(double head, double body, double tail,
+                                         double headFrac, double tailFrac);
+
+  /// Sawtooth with \p teeth linear descents from \p high to \p low —
+  /// models row-block structured kernels (e.g. SpMV over banded blocks).
+  [[nodiscard]] static RateShape sawtooth(int teeth, double low, double high);
+
+  /// Gaussian bump: base + amplitude * exp(-(t-center)^2 / (2 width^2)).
+  [[nodiscard]] static RateShape bump(double base, double amplitude, double center,
+                                      double width);
+
+  /// Weighted pointwise sum of shapes: sum_i w_i * s_i(t), weights > 0.
+  [[nodiscard]] static RateShape blend(
+      std::vector<std::pair<double, RateShape>> weighted);
+
+  /// Arbitrary user function (must be >= 0 on [0,1]); \p name for reports.
+  [[nodiscard]] static RateShape fromFunction(std::string name,
+                                              std::function<double(double)> fn);
+
+  /// Relative rate at normalized time t (clamped to [0,1]).
+  [[nodiscard]] double value(double t) const noexcept;
+
+  /// Normalized cumulative integral: cdf(0)=0, cdf(1)=1, monotone.
+  [[nodiscard]] double cdf(double t) const noexcept;
+
+  /// Mean relative rate over [0,1] (the raw integral).
+  [[nodiscard]] double meanRate() const noexcept { return meanRate_; }
+
+  /// value(t) / meanRate(): the normalized instantaneous rate whose integral
+  /// over [0,1] is exactly 1. This is what folding reconstructs.
+  [[nodiscard]] double normalizedRate(double t) const noexcept;
+
+  /// Human-readable shape description.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  RateShape(std::string name, std::function<double(double)> fn);
+
+  std::string name_;
+  std::function<double(double)> fn_;
+  std::vector<double> cumulative_;  ///< cumulative_[i] = ∫0^{i/N} r, unnormalized.
+  double meanRate_ = 1.0;
+};
+
+}  // namespace unveil::counters

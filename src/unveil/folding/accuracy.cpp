@@ -1,0 +1,114 @@
+#include "unveil/folding/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/math.hpp"
+
+namespace unveil::folding {
+
+double meanAbsDiffPercent(std::span<const double> candidate,
+                          std::span<const double> reference) {
+  if (candidate.size() != reference.size() || candidate.empty())
+    throw ConfigError("meanAbsDiffPercent: grids must match and be non-empty");
+  double diff = 0.0;
+  double level = 0.0;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    diff += std::abs(candidate[i] - reference[i]);
+    level += std::abs(reference[i]);
+  }
+  if (level == 0.0) throw AnalysisError("meanAbsDiffPercent: zero reference level");
+  return 100.0 * diff / level;
+}
+
+std::vector<double> truthNormalizedRate(const counters::RateShape& shape,
+                                        std::span<const double> grid) {
+  std::vector<double> out(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    out[i] = shape.normalizedRate(grid[i]);
+  return out;
+}
+
+std::vector<double> empiricalNormalizedRate(const trace::Trace& trace,
+                                            std::span<const cluster::Burst> bursts,
+                                            std::span<const std::size_t> memberIdx,
+                                            counters::CounterId counter,
+                                            std::span<const double> grid,
+                                            const EmpiricalRateParams& params) {
+  if (params.bins < 2) throw ConfigError("empirical reference needs >= 2 bins");
+  const auto& samples = trace.samples();
+  std::vector<double> binSum(params.bins, 0.0);
+  std::vector<std::size_t> binCount(params.bins, 0);
+  std::size_t denseInstances = 0;
+
+  for (std::size_t mi : memberIdx) {
+    UNVEIL_ASSERT(mi < bursts.size(), "empirical member index out of range");
+    const cluster::Burst& b = bursts[mi];
+    if (b.sampleIdx.size() < params.minSamplesPerInstance) continue;
+    const double overhead =
+        params.probeOverheadNs +
+        params.perSampleOverheadNs * static_cast<double>(b.sampleIdx.size());
+    const double duration =
+        std::max(static_cast<double>(b.durationNs()) - overhead, 1.0);
+    const double total = static_cast<double>(b.endCounters[counter]) -
+                         static_cast<double>(b.beginCounters[counter]);
+    if (duration <= 0.0 || total <= 0.0) continue;
+    ++denseInstances;
+    // Finite differences between consecutive samples, anchored at the burst
+    // begin/end probes so the full [0,1] range contributes.
+    double prevT = 0.0;
+    double prevY = 0.0;
+    auto addSegment = [&](double t0, double y0, double t1, double y1) {
+      if (t1 <= t0) return;
+      const double rate = (y1 - y0) / (t1 - t0);
+      const double mid = 0.5 * (t0 + t1);
+      auto bin = static_cast<std::size_t>(mid * static_cast<double>(params.bins));
+      bin = std::min(bin, params.bins - 1);
+      binSum[bin] += rate;
+      ++binCount[bin];
+    };
+    std::size_t samplesBefore = 0;
+    for (std::size_t si : b.sampleIdx) {
+      const trace::Sample& s = samples[si];
+      if (!trace::maskHas(s.validMask, counter)) {
+        ++samplesBefore;
+        continue;
+      }
+      const double elapsed =
+          static_cast<double>(s.time - b.begin) - params.probeOverheadNs -
+          params.perSampleOverheadNs * static_cast<double>(samplesBefore);
+      const double t = std::clamp(elapsed / duration, 0.0, 1.0);
+      const double y = (static_cast<double>(s.counters[counter]) -
+                        static_cast<double>(b.beginCounters[counter])) /
+                       total;
+      addSegment(prevT, prevY, t, y);
+      prevT = t;
+      prevY = y;
+      ++samplesBefore;
+    }
+    addSegment(prevT, prevY, 1.0, 1.0);
+  }
+
+  if (denseInstances == 0)
+    throw AnalysisError("empiricalNormalizedRate: no instance has enough samples (need " +
+                        std::to_string(params.minSamplesPerInstance) + "+)");
+
+  std::vector<double> xs, ys;
+  xs.reserve(params.bins);
+  ys.reserve(params.bins);
+  for (std::size_t bIdx = 0; bIdx < params.bins; ++bIdx) {
+    if (binCount[bIdx] == 0) continue;
+    xs.push_back((static_cast<double>(bIdx) + 0.5) / static_cast<double>(params.bins));
+    ys.push_back(binSum[bIdx] / static_cast<double>(binCount[bIdx]));
+  }
+  if (xs.size() < 2)
+    throw AnalysisError("empiricalNormalizedRate: insufficient bin coverage");
+
+  std::vector<double> out(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    out[i] = support::interpLinear(xs, ys, grid[i]);
+  return out;
+}
+
+}  // namespace unveil::folding

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file accuracy.hpp
+/// Accuracy accounting for folding reconstructions.
+///
+/// The paper's headline validation: folding's reconstruction differs from
+/// directly measured fine-grain sampling by an absolute mean difference
+/// below 5 %. Two reference curves are supported:
+///
+///  - the *empirical* reference, built from a fine-grain-sampled run by
+///    differentiating each densely sampled instance and averaging (what the
+///    paper compared against), and
+///  - the *exact* ground truth, available here because the substrate is a
+///    simulator (the phase model's analytic normalized rate).
+
+#include <span>
+#include <vector>
+
+#include "unveil/cluster/burst.hpp"
+#include "unveil/counters/shape.hpp"
+#include "unveil/folding/rate.hpp"
+
+namespace unveil::folding {
+
+/// Mean absolute difference between \p candidate and \p reference, expressed
+/// as a percentage of the reference's mean absolute level. Vectors must have
+/// equal, non-zero length (same grid).
+[[nodiscard]] double meanAbsDiffPercent(std::span<const double> candidate,
+                                        std::span<const double> reference);
+
+/// Samples the ground-truth normalized rate of \p shape on \p grid.
+[[nodiscard]] std::vector<double> truthNormalizedRate(const counters::RateShape& shape,
+                                                      std::span<const double> grid);
+
+/// Empirical fine-grain reference: for every burst (selected by memberIdx)
+/// with at least \p minSamplesPerInstance samples, compute finite-difference
+/// normalized rates between consecutive samples and average them into
+/// \p bins time bins; returns the binned curve interpolated onto \p grid.
+/// Throws AnalysisError when no instance is densely sampled enough.
+struct EmpiricalRateParams {
+  std::size_t minSamplesPerInstance = 6;
+  std::size_t bins = 48;
+  /// Measurement-intrusion compensation, as in FoldOptions. Matters even
+  /// more here: fine-grain sampling dilates each instance by samples ×
+  /// perSampleOverheadNs (≈10 % at a 20 µs period).
+  double perSampleOverheadNs = 0.0;
+  double probeOverheadNs = 0.0;
+};
+
+[[nodiscard]] std::vector<double> empiricalNormalizedRate(
+    const trace::Trace& trace, std::span<const cluster::Burst> bursts,
+    std::span<const std::size_t> memberIdx, counters::CounterId counter,
+    std::span<const double> grid, const EmpiricalRateParams& params = {});
+
+}  // namespace unveil::folding

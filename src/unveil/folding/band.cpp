@@ -1,0 +1,96 @@
+#include "unveil/folding/band.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/math.hpp"
+#include "unveil/support/stats.hpp"
+
+namespace unveil::folding {
+
+void BandParams::validate() const {
+  if (sigmas <= 0.0) throw ConfigError("band sigmas must be positive");
+  if (bins == 1) throw ConfigError("band bins must be 0 (auto) or >= 2");
+  if (gridPoints < 2) throw ConfigError("band gridPoints must be >= 2");
+}
+
+FoldBand foldBand(const FoldedCounter& folded, const BandParams& params) {
+  params.validate();
+  if (folded.points.empty()) throw AnalysisError("foldBand: folded cloud is empty");
+
+  const std::size_t bins =
+      params.bins != 0 ? params.bins
+                       : std::clamp<std::size_t>(folded.points.size() / 100, 8, 24);
+
+  // Dispersion is measured as residuals around the central fit — the raw
+  // per-bin spread of y would conflate the curve's own slope across the bin
+  // with genuine cross-instance variation.
+  const auto centralFit = fitCumulative(folded, FitParams{});
+  std::vector<std::vector<double>> binResidual(bins), binT(bins);
+  for (const auto& p : folded.points) {
+    const double t = std::clamp(p.t, 0.0, 1.0);
+    auto b = static_cast<std::size_t>(t * static_cast<double>(bins));
+    b = std::min(b, bins - 1);
+    binResidual[b].push_back(p.y - centralFit->value(t));
+    binT[b].push_back(t);
+  }
+  std::vector<double> xs{0.0}, lo{0.0}, hi{0.0};
+  double widthSum = 0.0;
+  std::size_t widthCount = 0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (binResidual[b].empty()) continue;
+    const double x = support::median(binT[b]);
+    if (x <= xs.back() + 1e-9 || x >= 1.0 - 1e-9) continue;
+    const double medResidual = support::median(binResidual[b]);
+    const double sigma =
+        binResidual[b].size() >= 4 ? support::madSigma(binResidual[b]) : 0.0;
+    const double half = params.sigmas * sigma;
+    const double center = centralFit->value(x) + medResidual;
+    xs.push_back(x);
+    lo.push_back(std::clamp(center - half, 0.0, 1.0));
+    hi.push_back(std::clamp(center + half, 0.0, 1.0));
+    widthSum += half;
+    ++widthCount;
+  }
+  xs.push_back(1.0);
+  lo.push_back(1.0);
+  hi.push_back(1.0);
+
+  // Envelopes must stay monotone to have meaningful derivatives.
+  for (std::size_t i = 1; i < lo.size(); ++i) {
+    lo[i] = std::max(lo[i], lo[i - 1]);
+    hi[i] = std::max(hi[i], hi[i - 1]);
+  }
+
+  FoldBand band;
+  band.t = support::linspace(0.0, 1.0, params.gridPoints);
+  band.cumulativeLo.resize(band.t.size());
+  band.cumulativeHi.resize(band.t.size());
+  band.rateLo.resize(band.t.size());
+  band.rateHi.resize(band.t.size());
+  for (std::size_t i = 0; i < band.t.size(); ++i) {
+    band.cumulativeLo[i] = support::interpLinear(xs, lo, band.t[i]);
+    band.cumulativeHi[i] = support::interpLinear(xs, hi, band.t[i]);
+  }
+  // Rate envelopes from finite differences of the cumulative envelopes. The
+  // *upper* rate envelope comes from the steepest admissible cumulative
+  // path: hi - lo difference across the step bounds the local slope range.
+  const double dt = band.t[1] - band.t[0];
+  for (std::size_t i = 0; i < band.t.size(); ++i) {
+    const std::size_t a = i > 0 ? i - 1 : 0;
+    const std::size_t b = std::min(i + 1, band.t.size() - 1);
+    const double span = static_cast<double>(b - a) * dt;
+    const double centerSlopeLo =
+        (band.cumulativeLo[b] - band.cumulativeLo[a]) / span;
+    const double centerSlopeHi =
+        (band.cumulativeHi[b] - band.cumulativeHi[a]) / span;
+    band.rateLo[i] = std::max(0.0, std::min(centerSlopeLo, centerSlopeHi));
+    band.rateHi[i] = std::max(centerSlopeLo, centerSlopeHi);
+  }
+  band.meanHalfWidth =
+      widthCount > 0 ? widthSum / static_cast<double>(widthCount) : 0.0;
+  return band;
+}
+
+}  // namespace unveil::folding

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file band.hpp
+/// Dispersion bands for folded reconstructions.
+///
+/// The folded cloud's per-bin spread measures how consistently the phase's
+/// instances follow the prototype profile — tight bands mean the
+/// reconstruction speaks for every instance, wide bands flag intra-cluster
+/// heterogeneity (e.g. a data-dependent branch or contamination the
+/// clustering missed). The band is robust: per-bin median ± k·MAD-sigma of
+/// the cumulative fractions, interpolated and differentiated the same way
+/// as the central fit so it can be drawn around the instantaneous rate.
+
+#include "unveil/folding/fit.hpp"
+#include "unveil/folding/folded.hpp"
+
+namespace unveil::folding {
+
+/// Band parameters.
+struct BandParams {
+  /// Half-width in MAD-sigmas (1.0 ≈ one robust standard deviation).
+  double sigmas = 1.0;
+  /// Bin count; 0 = the same adaptive rule as the central fit.
+  std::size_t bins = 0;
+  /// Grid resolution of the band curves.
+  std::size_t gridPoints = 201;
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// A cumulative-profile band with its induced rate band.
+struct FoldBand {
+  std::vector<double> t;             ///< Uniform grid over [0,1].
+  std::vector<double> cumulativeLo;  ///< Lower cumulative envelope.
+  std::vector<double> cumulativeHi;  ///< Upper cumulative envelope.
+  std::vector<double> rateLo;        ///< Lower normalized-rate envelope.
+  std::vector<double> rateHi;        ///< Upper normalized-rate envelope.
+  /// Mean band half-width of the cumulative profile — the single-number
+  /// heterogeneity score of the cluster.
+  double meanHalfWidth = 0.0;
+};
+
+/// Computes the dispersion band of \p folded. Throws AnalysisError when the
+/// cloud is empty.
+[[nodiscard]] FoldBand foldBand(const FoldedCounter& folded,
+                                const BandParams& params = {});
+
+}  // namespace unveil::folding

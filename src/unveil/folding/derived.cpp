@@ -1,0 +1,43 @@
+#include "unveil/folding/derived.hpp"
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::folding {
+
+namespace {
+
+void checkGrids(const RateCurve& a, const RateCurve& b) {
+  if (a.t.size() != b.t.size() || a.t.empty())
+    throw ConfigError("derived metrics require matching non-empty grids");
+  // Grids come from the same linspace; spot-check the endpoints.
+  if (a.t.front() != b.t.front() || a.t.back() != b.t.back())
+    throw ConfigError("derived metrics require identical grids");
+}
+
+DerivedCurve ratio(const RateCurve& num, const RateCurve& den, double scale,
+                   double denFloor) {
+  DerivedCurve out;
+  out.t = num.t;
+  out.value.resize(num.t.size());
+  for (std::size_t i = 0; i < num.t.size(); ++i) {
+    const double d = den.physRate[i];
+    out.value[i] = d > denFloor ? scale * num.physRate[i] / d : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+DerivedCurve instantaneousIpc(const RateCurve& instructions, const RateCurve& cycles) {
+  checkGrids(instructions, cycles);
+  // Floor: 1e-6 cycles/ns is far below any real execution; treat as stall.
+  return ratio(instructions, cycles, 1.0, 1e-6);
+}
+
+DerivedCurve instantaneousPerKiloIns(const RateCurve& misses,
+                                     const RateCurve& instructions) {
+  checkGrids(misses, instructions);
+  return ratio(misses, instructions, 1e3, 1e-9);
+}
+
+}  // namespace unveil::folding

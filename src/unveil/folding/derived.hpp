@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file derived.hpp
+/// Derived instantaneous metrics from pairs of folded counters.
+///
+/// The paper's figures show not only raw rates (MIPS) but intra-phase
+/// *ratio* metrics: instantaneous IPC and cache misses per kilo-instruction.
+/// A ratio of two independently fitted cumulative curves is the right
+/// estimator: IPC(t) = (dIns/dt) / (dCyc/dt), with both derivatives coming
+/// from the same folding machinery, evaluated on a common grid.
+
+#include "unveil/folding/rate.hpp"
+
+namespace unveil::folding {
+
+/// A derived intra-phase metric curve.
+struct DerivedCurve {
+  std::vector<double> t;      ///< Common grid over [0,1].
+  std::vector<double> value;  ///< Metric value at each grid point.
+};
+
+/// Instantaneous IPC inside the phase: ratio of instruction and cycle rates.
+/// Points where the cycle rate is ~0 are clamped to 0. Grids must match.
+[[nodiscard]] DerivedCurve instantaneousIpc(const RateCurve& instructions,
+                                            const RateCurve& cycles);
+
+/// Instantaneous misses per kilo-instruction: miss rate / instruction rate
+/// × 1000. Points with ~0 instruction rate are clamped to 0.
+[[nodiscard]] DerivedCurve instantaneousPerKiloIns(const RateCurve& misses,
+                                                   const RateCurve& instructions);
+
+}  // namespace unveil::folding

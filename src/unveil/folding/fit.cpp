@@ -1,0 +1,295 @@
+#include "unveil/folding/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/math.hpp"
+#include "unveil/support/stats.hpp"
+
+namespace unveil::folding {
+
+std::string_view fitMethodName(FitMethod m) noexcept {
+  switch (m) {
+    case FitMethod::Pchip: return "pchip";
+    case FitMethod::Kernel: return "kernel";
+    case FitMethod::BinnedLinear: return "binned-linear";
+  }
+  return "?";
+}
+
+void FitParams::validate() const {
+  if (bins == 1) throw ConfigError("fit bins must be 0 (auto) or >= 2");
+  if (kernelBandwidth <= 0.0) throw ConfigError("kernel bandwidth must be positive");
+}
+
+namespace {
+/// Resolves bins == 0 to an adaptive knot count.
+std::size_t effectiveBins(const FitParams& params, std::size_t points) {
+  if (params.bins != 0) return params.bins;
+  return std::clamp<std::size_t>(points / 100, 8, 24);
+}
+}  // namespace
+
+namespace {
+
+/// Robust knots from binned medians, with (0,0) and (1,1) anchors.
+/// Returns parallel xs/ys with strictly increasing xs.
+void binnedKnots(const FoldedCounter& folded, std::size_t bins, bool useMedian,
+                 std::vector<double>& xs, std::vector<double>& ys) {
+  std::vector<std::vector<double>> binY(bins);
+  std::vector<std::vector<double>> binT(bins);
+  for (const auto& p : folded.points) {
+    const double t = std::clamp(p.t, 0.0, 1.0);
+    auto b = static_cast<std::size_t>(t * static_cast<double>(bins));
+    b = std::min(b, bins - 1);
+    binY[b].push_back(p.y);
+    binT[b].push_back(t);
+  }
+  xs.clear();
+  ys.clear();
+  xs.push_back(0.0);
+  ys.push_back(0.0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (binY[b].empty()) continue;
+    // Pair matching statistics: the median of y equals the curve at the
+    // median of t for any monotone profile (medians commute with monotone
+    // maps), so median/median knots lie exactly on noise-free data. Mixing
+    // mean(t) with median(y) would bias knots off the curve.
+    const double x =
+        useMedian ? support::median(binT[b]) : support::mean(binT[b]);
+    const double y =
+        useMedian ? support::median(binY[b]) : support::mean(binY[b]);
+    if (x <= xs.back() + 1e-9) continue;
+    if (x >= 1.0 - 1e-9) continue;
+    xs.push_back(x);
+    ys.push_back(std::clamp(y, 0.0, 1.0));
+  }
+  xs.push_back(1.0);
+  ys.push_back(1.0);
+}
+
+/// Pool-adjacent-violators: least-squares monotone non-decreasing fit.
+void isotonic(std::vector<double>& y) {
+  const std::size_t n = y.size();
+  std::vector<double> level(n);
+  std::vector<double> weight(n);
+  std::vector<std::size_t> size(n);
+  std::size_t blocks = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    level[blocks] = y[i];
+    weight[blocks] = 1.0;
+    size[blocks] = 1;
+    ++blocks;
+    while (blocks > 1 && level[blocks - 2] > level[blocks - 1]) {
+      const double w = weight[blocks - 2] + weight[blocks - 1];
+      level[blocks - 2] =
+          (level[blocks - 2] * weight[blocks - 2] + level[blocks - 1] * weight[blocks - 1]) / w;
+      weight[blocks - 2] = w;
+      size[blocks - 2] += size[blocks - 1];
+      --blocks;
+    }
+  }
+  std::size_t idx = 0;
+  for (std::size_t b = 0; b < blocks; ++b)
+    for (std::size_t k = 0; k < size[b]; ++k) y[idx++] = level[b];
+}
+
+/// Monotone cubic Hermite interpolation (Fritsch–Carlson slopes).
+class PchipFit final : public CumulativeFit {
+ public:
+  PchipFit(std::vector<double> xs, std::vector<double> ys)
+      : xs_(std::move(xs)), ys_(std::move(ys)) {
+    const std::size_t n = xs_.size();
+    UNVEIL_ASSERT(n >= 2, "pchip needs >= 2 knots");
+    slopes_.assign(n, 0.0);
+    std::vector<double> delta(n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      delta[i] = (ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]);
+    // Endpoint slopes: one-sided; interior: harmonic-mean style FC formula.
+    slopes_[0] = delta[0];
+    slopes_[n - 1] = delta[n - 2];
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      if (delta[i - 1] * delta[i] <= 0.0) {
+        slopes_[i] = 0.0;
+      } else {
+        const double w1 = 2.0 * (xs_[i + 1] - xs_[i]) + (xs_[i] - xs_[i - 1]);
+        const double w2 = (xs_[i + 1] - xs_[i]) + 2.0 * (xs_[i] - xs_[i - 1]);
+        slopes_[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+      }
+    }
+    // FC monotonicity clamp on the endpoints.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (delta[i] == 0.0) {
+        slopes_[i] = 0.0;
+        slopes_[i + 1] = 0.0;
+      } else {
+        const double a = slopes_[i] / delta[i];
+        const double b = slopes_[i + 1] / delta[i];
+        const double s = a * a + b * b;
+        if (s > 9.0) {
+          const double tau = 3.0 / std::sqrt(s);
+          slopes_[i] = tau * a * delta[i];
+          slopes_[i + 1] = tau * b * delta[i];
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] double value(double t) const override {
+    t = std::clamp(t, 0.0, 1.0);
+    const std::size_t i = segment(t);
+    const double h = xs_[i + 1] - xs_[i];
+    const double s = (t - xs_[i]) / h;
+    const double h00 = (1.0 + 2.0 * s) * (1.0 - s) * (1.0 - s);
+    const double h10 = s * (1.0 - s) * (1.0 - s);
+    const double h01 = s * s * (3.0 - 2.0 * s);
+    const double h11 = s * s * (s - 1.0);
+    return h00 * ys_[i] + h10 * h * slopes_[i] + h01 * ys_[i + 1] +
+           h11 * h * slopes_[i + 1];
+  }
+
+  [[nodiscard]] double derivative(double t) const override {
+    t = std::clamp(t, 0.0, 1.0);
+    const std::size_t i = segment(t);
+    const double h = xs_[i + 1] - xs_[i];
+    const double s = (t - xs_[i]) / h;
+    const double dh00 = 6.0 * s * s - 6.0 * s;
+    const double dh10 = 3.0 * s * s - 4.0 * s + 1.0;
+    const double dh01 = -6.0 * s * s + 6.0 * s;
+    const double dh11 = 3.0 * s * s - 2.0 * s;
+    return (dh00 * ys_[i] + dh01 * ys_[i + 1]) / h + dh10 * slopes_[i] +
+           dh11 * slopes_[i + 1];
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "pchip"; }
+
+ private:
+  [[nodiscard]] std::size_t segment(double t) const {
+    std::size_t lo = 0, hi = xs_.size() - 1;
+    while (hi - lo > 1) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (xs_[mid] <= t) lo = mid;
+      else hi = mid;
+    }
+    return lo;
+  }
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> slopes_;
+};
+
+/// Nadaraya–Watson Gaussian-kernel regression over the raw folded points
+/// plus endpoint anchors.
+class KernelFit final : public CumulativeFit {
+ public:
+  KernelFit(const FoldedCounter& folded, double bandwidth) : h_(bandwidth) {
+    ts_.reserve(folded.points.size() + 2);
+    ys_.reserve(folded.points.size() + 2);
+    ws_.reserve(folded.points.size() + 2);
+    // Anchors carry extra weight so the fit respects the known endpoints.
+    const double anchorWeight =
+        std::max(5.0, static_cast<double>(folded.points.size()) / 20.0);
+    ts_.push_back(0.0);
+    ys_.push_back(0.0);
+    ws_.push_back(anchorWeight);
+    for (const auto& p : folded.points) {
+      ts_.push_back(std::clamp(p.t, 0.0, 1.0));
+      ys_.push_back(p.y);
+      ws_.push_back(1.0);
+    }
+    ts_.push_back(1.0);
+    ys_.push_back(1.0);
+    ws_.push_back(anchorWeight);
+  }
+
+  [[nodiscard]] double value(double t) const override {
+    t = std::clamp(t, 0.0, 1.0);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      const double z = (t - ts_[i]) / h_;
+      const double k = ws_[i] * std::exp(-0.5 * z * z);
+      num += k * ys_[i];
+      den += k;
+    }
+    return den > 0.0 ? num / den : 0.0;
+  }
+
+  [[nodiscard]] double derivative(double t) const override {
+    constexpr double dt = 1e-3;
+    const double lo = std::max(0.0, t - dt);
+    const double hi = std::min(1.0, t + dt);
+    return (value(hi) - value(lo)) / (hi - lo);
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "kernel"; }
+
+ private:
+  double h_;
+  std::vector<double> ts_;
+  std::vector<double> ys_;
+  std::vector<double> ws_;
+};
+
+/// Per-bin means joined linearly.
+class BinnedLinearFit final : public CumulativeFit {
+ public:
+  BinnedLinearFit(std::vector<double> xs, std::vector<double> ys)
+      : xs_(std::move(xs)), ys_(std::move(ys)) {}
+
+  [[nodiscard]] double value(double t) const override {
+    return support::interpLinear(xs_, ys_, std::clamp(t, 0.0, 1.0));
+  }
+
+  [[nodiscard]] double derivative(double t) const override {
+    t = std::clamp(t, 0.0, 1.0);
+    std::size_t lo = 0, hi = xs_.size() - 1;
+    while (hi - lo > 1) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (xs_[mid] <= t) lo = mid;
+      else hi = mid;
+    }
+    return (ys_[lo + 1] - ys_[lo]) / (xs_[lo + 1] - xs_[lo]);
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "binned-linear";
+  }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace
+
+std::unique_ptr<CumulativeFit> fitCumulative(const FoldedCounter& folded,
+                                             const FitParams& params) {
+  params.validate();
+  if (folded.points.empty())
+    throw AnalysisError("fitCumulative: folded cloud is empty");
+
+  switch (params.method) {
+    case FitMethod::Pchip: {
+      std::vector<double> xs, ys;
+      binnedKnots(folded, effectiveBins(params, folded.points.size()),
+                  /*useMedian=*/true, xs, ys);
+      isotonic(ys);
+      for (double& y : ys) y = std::clamp(y, 0.0, 1.0);
+      return std::make_unique<PchipFit>(std::move(xs), std::move(ys));
+    }
+    case FitMethod::Kernel:
+      return std::make_unique<KernelFit>(folded, params.kernelBandwidth);
+    case FitMethod::BinnedLinear: {
+      std::vector<double> xs, ys;
+      binnedKnots(folded, effectiveBins(params, folded.points.size()),
+                  /*useMedian=*/false, xs, ys);
+      return std::make_unique<BinnedLinearFit>(std::move(xs), std::move(ys));
+    }
+  }
+  throw ConfigError("unknown fit method");
+}
+
+}  // namespace unveil::folding

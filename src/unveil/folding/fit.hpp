@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file fit.hpp
+/// Curve fitting of folded cumulative profiles.
+///
+/// Folding yields a scatter of (t, y) points approximating the prototype
+/// instance's *cumulative* counter profile — a monotone function with
+/// f(0)=0 and f(1)=1. Its derivative is the instantaneous rate the analyst
+/// wants. Three fitters are provided:
+///
+///  - Pchip (primary, the method the evaluation uses): robust per-bin
+///    medians → isotonic regression (pool-adjacent-violators) → monotone
+///    Fritsch–Carlson cubic interpolation. Monotone by construction, so the
+///    derived rate is never negative; endpoints pinned at (0,0) and (1,1).
+///  - Kernel: Nadaraya–Watson regression with a Gaussian kernel. Smooth but
+///    neither monotone nor endpoint-exact; the fit-method ablation (A1)
+///    quantifies what that costs.
+///  - BinnedLinear: per-bin means joined linearly — the naive baseline.
+
+#include <memory>
+#include <string_view>
+
+#include "unveil/folding/folded.hpp"
+
+namespace unveil::folding {
+
+/// Available fitters.
+enum class FitMethod : std::uint8_t { Pchip = 0, Kernel, BinnedLinear };
+
+/// Name of a fit method ("pchip"/"kernel"/"binned-linear").
+[[nodiscard]] std::string_view fitMethodName(FitMethod m) noexcept;
+
+/// Fitting parameters.
+struct FitParams {
+  FitMethod method = FitMethod::Pchip;
+  /// Knot count for Pchip/BinnedLinear binning. 0 (default) selects the
+  /// count adaptively from the folded cloud size: points/60 clamped to
+  /// [8, 32]. Sparse clouds get wide bins (robust medians), dense clouds get
+  /// fine bins (temporal resolution).
+  std::size_t bins = 0;
+  /// Gaussian bandwidth for the kernel fitter (normalized time units).
+  double kernelBandwidth = 0.05;
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// A fitted cumulative profile y(t) with analytic/numeric derivative.
+class CumulativeFit {
+ public:
+  virtual ~CumulativeFit() = default;
+
+  /// Fitted cumulative fraction at t (clamped to [0,1]).
+  [[nodiscard]] virtual double value(double t) const = 0;
+  /// Fitted instantaneous normalized rate dy/dt at t.
+  [[nodiscard]] virtual double derivative(double t) const = 0;
+  /// Fitter name for reports.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Fits the folded cumulative profile. Throws AnalysisError when \p folded
+/// has no points (nothing to fit).
+[[nodiscard]] std::unique_ptr<CumulativeFit> fitCumulative(const FoldedCounter& folded,
+                                                           const FitParams& params = {});
+
+}  // namespace unveil::folding

@@ -1,0 +1,81 @@
+#include "unveil/folding/folded.hpp"
+
+#include <algorithm>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::folding {
+
+FoldedCounter foldCluster(const trace::Trace& trace,
+                          std::span<const cluster::Burst> bursts,
+                          std::span<const std::size_t> memberIdx,
+                          counters::CounterId counter, const FoldOptions& options) {
+  FoldedCounter out;
+  out.counter = counter;
+  const auto& samples = trace.samples();
+
+  double durationSum = 0.0;
+  double totalSum = 0.0;
+  for (std::size_t bi = 0; bi < memberIdx.size(); ++bi) {
+    UNVEIL_ASSERT(memberIdx[bi] < bursts.size(), "fold member index out of range");
+    const cluster::Burst& b = bursts[memberIdx[bi]];
+    const auto duration = b.durationNs();
+    if (duration < options.minDurationNs) continue;
+    const std::uint64_t c0 = b.beginCounters[counter];
+    const std::uint64_t c1 = b.endCounters[counter];
+    const double increment = static_cast<double>(c1 - c0);
+    if (increment < options.minCounterIncrement) continue;
+
+    // Work duration after removing the measurement's own intrusion.
+    const double overhead =
+        options.probeOverheadNs +
+        options.perSampleOverheadNs * static_cast<double>(b.sampleIdx.size());
+    const double workNs =
+        std::max(static_cast<double>(duration) - overhead, 1.0);
+
+    ++out.instances;
+    durationSum += workNs;
+    totalSum += increment;
+
+    bool any = false;
+    std::size_t samplesBefore = 0;
+    for (std::size_t si : b.sampleIdx) {
+      const trace::Sample& s = samples[si];
+      UNVEIL_ASSERT(s.rank == b.rank, "sample attached to wrong rank");
+      UNVEIL_ASSERT(s.time >= b.begin && s.time < b.end,
+                    "sample outside its burst window");
+      // Multiplexed samples that did not read this counter still dilate the
+      // burst (they count toward samplesBefore below) but contribute no
+      // folded point.
+      if (!trace::maskHas(s.validMask, counter)) {
+        ++samplesBefore;
+        continue;
+      }
+      FoldedPoint p;
+      const double elapsed =
+          static_cast<double>(s.time - b.begin) - options.probeOverheadNs -
+          options.perSampleOverheadNs * static_cast<double>(samplesBefore);
+      p.t = std::clamp(elapsed / workNs, 0.0, 1.0);
+      // Counter monotonicity guarantees c0 <= sample <= c1, so y in [0,1].
+      p.y = static_cast<double>(s.counters[counter] - c0) / increment;
+      p.burstIdx = bi;
+      p.rank = b.rank;
+      out.points.push_back(p);
+      any = true;
+      ++samplesBefore;
+    }
+    if (any) ++out.instancesWithSamples;
+  }
+
+  if (out.instances == 0)
+    throw AnalysisError("foldCluster: no instance qualifies for counter " +
+                        std::string(counters::counterName(counter)));
+
+  out.meanDurationNs = durationSum / static_cast<double>(out.instances);
+  out.meanTotal = totalSum / static_cast<double>(out.instances);
+  std::sort(out.points.begin(), out.points.end(),
+            [](const FoldedPoint& a, const FoldedPoint& b) { return a.t < b.t; });
+  return out;
+}
+
+}  // namespace unveil::folding

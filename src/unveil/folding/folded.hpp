@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file folded.hpp
+/// Folding: projecting samples from many burst instances into one synthetic
+/// instance — the paper's core mechanism.
+///
+/// Given a cluster of bursts (instances of the same computation phase) and
+/// the coarse samples that happened to land inside them, each sample is
+/// mapped to a point (t, y):
+///   t = (sampleTime − burstBegin) / burstDuration        ∈ [0, 1)
+///   y = (sampleCounter − beginCounter) / (endCounter − beginCounter) ∈ [0, 1]
+/// t is the fraction of the instance elapsed; y is the fraction of the
+/// instance's total counter increment already accumulated. Because sampling
+/// is uncorrelated with phase position, hundreds of instances scatter their
+/// few samples all over [0,1], yielding a dense picture of the cumulative
+/// counter profile of the *prototype* instance — from which the fitted
+/// derivative recovers the instantaneous rate inside the phase.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "unveil/cluster/burst.hpp"
+#include "unveil/counters/counter.hpp"
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::folding {
+
+/// One folded sample.
+struct FoldedPoint {
+  double t = 0.0;           ///< Normalized intra-instance time.
+  double y = 0.0;           ///< Normalized cumulative counter fraction.
+  std::size_t burstIdx = 0; ///< Index of the source burst (into the member list).
+  trace::Rank rank = 0;     ///< Source rank.
+};
+
+/// All folded samples of one (cluster, counter) pair plus the statistics
+/// needed to convert normalized rates back to physical units.
+struct FoldedCounter {
+  counters::CounterId counter = counters::CounterId::TotIns;
+  std::vector<FoldedPoint> points;  ///< Sorted by t after foldCluster().
+  std::size_t instances = 0;        ///< Burst instances contributing >= 0 samples.
+  std::size_t instancesWithSamples = 0;  ///< Instances contributing >= 1 sample.
+  double meanDurationNs = 0.0;      ///< Mean instance duration.
+  double meanTotal = 0.0;           ///< Mean instance counter increment.
+
+  /// Physical average rate (counts per ns) of the prototype instance.
+  [[nodiscard]] double meanRatePerNs() const noexcept {
+    return meanDurationNs > 0.0 ? meanTotal / meanDurationNs : 0.0;
+  }
+};
+
+/// Folding options.
+struct FoldOptions {
+  /// Instances whose counter increment is below this are skipped (a zero or
+  /// near-zero increment makes y ill-defined).
+  double minCounterIncrement = 1.0;
+  /// Skip instances shorter than this (ns); their samples carry no
+  /// intra-burst information.
+  trace::TimeNs minDurationNs = 1000;
+  /// Measurement-intrusion compensation (the tool's own calibrated costs,
+  /// as Extrae subtracts its known probe/interrupt overheads). Each sample
+  /// inside a burst dilates the burst window by perSampleOverheadNs; the
+  /// begin probe delays work start by probeOverheadNs. With these set, the
+  /// normalized time of a sample is computed against the *work* timeline,
+  /// removing the systematic leftward compression that otherwise biases the
+  /// tail of every reconstruction. Defaults to 0 (no compensation).
+  double perSampleOverheadNs = 0.0;
+  double probeOverheadNs = 0.0;
+};
+
+/// Folds the samples of the bursts selected by \p memberIdx (indices into
+/// \p bursts) for counter \p counter. \p trace provides the sample records.
+/// Throws AnalysisError when no instance qualifies.
+[[nodiscard]] FoldedCounter foldCluster(const trace::Trace& trace,
+                                        std::span<const cluster::Burst> bursts,
+                                        std::span<const std::size_t> memberIdx,
+                                        counters::CounterId counter,
+                                        const FoldOptions& options = {});
+
+}  // namespace unveil::folding

@@ -1,0 +1,56 @@
+#include "unveil/folding/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/stats.hpp"
+
+namespace unveil::folding {
+
+void PruneParams::validate() const {
+  if (bins == 0) throw ConfigError("prune bins must be >= 1");
+  if (madK <= 0.0) throw ConfigError("prune madK must be positive");
+  if (minSigma < 0.0) throw ConfigError("prune minSigma must be non-negative");
+}
+
+PruneResult pruneOutliers(const FoldedCounter& folded, const PruneParams& params) {
+  params.validate();
+  PruneResult result;
+  result.pruned = folded;
+  if (folded.points.empty()) return result;
+
+  // Bin membership by t.
+  std::vector<std::vector<std::size_t>> binPoints(params.bins);
+  for (std::size_t i = 0; i < folded.points.size(); ++i) {
+    const double t = std::clamp(folded.points[i].t, 0.0, 1.0);
+    auto bin = static_cast<std::size_t>(t * static_cast<double>(params.bins));
+    bin = std::min(bin, params.bins - 1);
+    binPoints[bin].push_back(i);
+  }
+
+  std::vector<bool> keep(folded.points.size(), true);
+  std::vector<double> ys;
+  for (const auto& members : binPoints) {
+    if (members.size() < 4) continue;
+    ys.clear();
+    for (std::size_t i : members) ys.push_back(folded.points[i].y);
+    const double med = support::median(ys);
+    const double sigma = std::max(support::madSigma(ys), params.minSigma);
+    for (std::size_t i : members) {
+      if (std::abs(folded.points[i].y - med) > params.madK * sigma) keep[i] = false;
+    }
+  }
+
+  std::vector<FoldedPoint> kept;
+  kept.reserve(folded.points.size());
+  for (std::size_t i = 0; i < folded.points.size(); ++i) {
+    if (keep[i]) kept.push_back(folded.points[i]);
+    else ++result.removed;
+  }
+  result.pruned.points = std::move(kept);
+  return result;
+}
+
+}  // namespace unveil::folding

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file prune.hpp
+/// Robust outlier pruning of folded point clouds.
+///
+/// Instances perturbed by external noise (OS jitter, a page fault inside the
+/// burst) produce folded points far from the cluster's cumulative profile.
+/// Left in place they bias the fit; the paper prunes them before fitting.
+/// The criterion is per-bin robust: bin the points by t, compute the median
+/// and the MAD of y in each bin, and drop points deviating more than
+/// madK × MAD-sigma from their bin median.
+
+#include <cstddef>
+
+#include "unveil/folding/folded.hpp"
+
+namespace unveil::folding {
+
+/// Pruning parameters.
+struct PruneParams {
+  std::size_t bins = 20;   ///< Number of t-bins for local statistics.
+  double madK = 4.0;       ///< Rejection threshold in MAD-sigmas.
+  /// Lower bound on the MAD-sigma so a perfectly tight bin (MAD 0) does not
+  /// reject everything but its median.
+  double minSigma = 0.005;
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// Result of a pruning pass.
+struct PruneResult {
+  FoldedCounter pruned;      ///< Copy of the input with outliers removed.
+  std::size_t removed = 0;   ///< Number of points dropped.
+};
+
+/// Prunes outliers from \p folded. Bins with fewer than 4 points are left
+/// untouched (no reliable local statistics).
+[[nodiscard]] PruneResult pruneOutliers(const FoldedCounter& folded,
+                                        const PruneParams& params = {});
+
+}  // namespace unveil::folding

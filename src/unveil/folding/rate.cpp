@@ -1,0 +1,68 @@
+#include "unveil/folding/rate.hpp"
+
+#include <algorithm>
+
+#include "unveil/folding/prune.hpp"
+#include "unveil/support/math.hpp"
+
+namespace unveil::folding {
+
+std::vector<double> RateCurve::ratePerMicrosecond() const {
+  std::vector<double> out(physRate.size());
+  for (std::size_t i = 0; i < physRate.size(); ++i) out[i] = physRate[i] * 1e3;
+  return out;
+}
+
+RateCurve reconstructRate(const FoldedCounter& folded, const CumulativeFit& fit,
+                          std::size_t gridPoints) {
+  RateCurve curve;
+  curve.counter = folded.counter;
+  curve.meanDurationNs = folded.meanDurationNs;
+  curve.meanTotal = folded.meanTotal;
+  curve.sourcePoints = folded.points.size();
+  curve.sourceInstances = folded.instances;
+  curve.t = support::linspace(0.0, 1.0, gridPoints);
+  curve.normRate.resize(gridPoints);
+  curve.physRate.resize(gridPoints);
+  const double meanRate = folded.meanRatePerNs();
+  for (std::size_t i = 0; i < gridPoints; ++i) {
+    const double d = fit.derivative(curve.t[i]);
+    curve.normRate[i] = d;
+    curve.physRate[i] = std::max(d, 0.0) * meanRate;
+  }
+  return curve;
+}
+
+void movingAverage(std::vector<double>& values, std::size_t window) {
+  if (window < 3 || values.size() < 3) return;
+  if (window % 2 == 0) --window;
+  const std::size_t half = window / 2;
+  const std::vector<double> src = values;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(i + half, src.size() - 1);
+    double s = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) s += src[j];
+    values[i] = s / static_cast<double>(hi - lo + 1);
+  }
+}
+
+RateCurve reconstructClusterRate(const trace::Trace& trace,
+                                 std::span<const cluster::Burst> bursts,
+                                 std::span<const std::size_t> memberIdx,
+                                 counters::CounterId counter,
+                                 const ReconstructOptions& options) {
+  FoldedCounter folded = foldCluster(trace, bursts, memberIdx, counter, options.fold);
+  if (options.prune) {
+    folded = pruneOutliers(folded).pruned;
+  }
+  const auto fit = fitCumulative(folded, options.fit);
+  RateCurve curve = reconstructRate(folded, *fit, options.gridPoints);
+  if (options.smoothWindow >= 3) {
+    movingAverage(curve.normRate, options.smoothWindow);
+    movingAverage(curve.physRate, options.smoothWindow);
+  }
+  return curve;
+}
+
+}  // namespace unveil::folding

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file rate.hpp
+/// Instantaneous-rate reconstruction from a fitted cumulative profile — the
+/// "unveiled" internal evolution the paper's figures show.
+
+#include <memory>
+#include <vector>
+
+#include "unveil/folding/fit.hpp"
+#include "unveil/folding/folded.hpp"
+
+namespace unveil::folding {
+
+/// A reconstructed instantaneous-rate curve on a uniform grid over [0,1].
+struct RateCurve {
+  counters::CounterId counter = counters::CounterId::TotIns;
+  std::vector<double> t;         ///< Uniform grid over [0,1].
+  std::vector<double> normRate;  ///< Normalized rate dy/dt (integral ≈ 1).
+  std::vector<double> physRate;  ///< Physical rate in counts per ns.
+  double meanDurationNs = 0.0;   ///< Prototype instance duration.
+  double meanTotal = 0.0;        ///< Prototype instance counter total.
+  std::size_t sourcePoints = 0;  ///< Folded points the fit consumed.
+  std::size_t sourceInstances = 0;  ///< Instances that contributed.
+
+  /// Physical rate expressed as MIPS when counter == TotIns
+  /// (counts/ns × 1e3); for other counters this is events per microsecond.
+  [[nodiscard]] std::vector<double> ratePerMicrosecond() const;
+};
+
+/// Samples \p fit's derivative on \p gridPoints uniform points and scales by
+/// the folded statistics to physical units. Negative derivatives (possible
+/// with the kernel fitter) are clamped to zero in physRate but preserved in
+/// normRate so ablations can observe them.
+[[nodiscard]] RateCurve reconstructRate(const FoldedCounter& folded,
+                                        const CumulativeFit& fit,
+                                        std::size_t gridPoints = 201);
+
+/// Convenience: fold → prune → fit → reconstruct in one call with default
+/// parameters (the pipeline the examples use).
+struct ReconstructOptions {
+  FoldOptions fold;
+  FitParams fit;
+  bool prune = true;
+  std::size_t gridPoints = 201;
+  /// Moving-average window (grid points, odd) applied to the derivative —
+  /// damps knot-scale wiggle that differentiation amplifies while leaving
+  /// features wider than a knot intact. 0 disables smoothing.
+  std::size_t smoothWindow = 9;
+};
+
+/// In-place centered moving average with shrinking windows at the edges.
+/// \p window is clamped to odd; no-op when window < 3.
+void movingAverage(std::vector<double>& values, std::size_t window);
+
+/// End-to-end reconstruction for one (cluster, counter) pair.
+[[nodiscard]] RateCurve reconstructClusterRate(const trace::Trace& trace,
+                                               std::span<const cluster::Burst> bursts,
+                                               std::span<const std::size_t> memberIdx,
+                                               counters::CounterId counter,
+                                               const ReconstructOptions& options = {});
+
+}  // namespace unveil::folding

@@ -1,0 +1,94 @@
+#include "unveil/folding/regions.hpp"
+
+#include <algorithm>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::folding {
+
+void RegionParams::validate() const {
+  if (cells < 2) throw ConfigError("region profile needs >= 2 cells");
+}
+
+RegionProfile regionProfile(const trace::Trace& trace,
+                            std::span<const cluster::Burst> bursts,
+                            std::span<const std::size_t> memberIdx,
+                            const RegionParams& params) {
+  params.validate();
+  RegionProfile out;
+  const auto& samples = trace.samples();
+
+  // Per-cell histograms of region ids.
+  std::vector<std::map<std::uint32_t, std::size_t>> cellHist(params.cells);
+  std::map<std::uint32_t, std::size_t> regionCounts;
+
+  for (std::size_t mi : memberIdx) {
+    UNVEIL_ASSERT(mi < bursts.size(), "region member index out of range");
+    const cluster::Burst& b = bursts[mi];
+    const double duration = static_cast<double>(b.durationNs());
+    if (duration <= 0.0) continue;
+    const double overhead =
+        params.fold.probeOverheadNs +
+        params.fold.perSampleOverheadNs * static_cast<double>(b.sampleIdx.size());
+    const double workNs = std::max(duration - overhead, 1.0);
+    std::size_t samplesBefore = 0;
+    for (std::size_t si : b.sampleIdx) {
+      const trace::Sample& s = samples[si];
+      ++out.totalSamples;
+      const double elapsed =
+          static_cast<double>(s.time - b.begin) - params.fold.probeOverheadNs -
+          params.fold.perSampleOverheadNs * static_cast<double>(samplesBefore);
+      ++samplesBefore;
+      if (s.regionId == trace::kNoRegion) continue;
+      ++out.attributedSamples;
+      const double t = std::clamp(elapsed / workNs, 0.0, 1.0);
+      auto cell = static_cast<std::size_t>(t * static_cast<double>(params.cells));
+      cell = std::min(cell, params.cells - 1);
+      ++cellHist[cell][s.regionId];
+      ++regionCounts[s.regionId];
+    }
+  }
+  if (out.attributedSamples == 0)
+    throw AnalysisError("regionProfile: no sample carries a region id "
+                        "(callstack sampling disabled?)");
+
+  for (const auto& [region, count] : regionCounts)
+    out.timeShare[region] = static_cast<double>(count) /
+                            static_cast<double>(out.attributedSamples);
+
+  // Modal region per cell, merged into segments.
+  const double cellWidth = 1.0 / static_cast<double>(params.cells);
+  for (std::size_t cell = 0; cell < params.cells; ++cell) {
+    const auto& hist = cellHist[cell];
+    if (hist.empty()) continue;  // uncovered cell: previous segment stands
+    std::uint32_t modal = trace::kNoRegion;
+    std::size_t modalCount = 0;
+    std::size_t total = 0;
+    for (const auto& [region, count] : hist) {
+      total += count;
+      if (count > modalCount) {
+        modalCount = count;
+        modal = region;
+      }
+    }
+    const double cellConfidence =
+        static_cast<double>(modalCount) / static_cast<double>(total);
+    const double begin = static_cast<double>(cell) * cellWidth;
+    const double end = begin + cellWidth;
+    if (!out.segments.empty() && out.segments.back().regionId == modal) {
+      auto& seg = out.segments.back();
+      // Confidence: sample-weighted mean over the segment's cells.
+      seg.confidence = (seg.confidence * static_cast<double>(seg.samples) +
+                        cellConfidence * static_cast<double>(total)) /
+                       static_cast<double>(seg.samples + total);
+      seg.samples += total;
+      seg.end = end;
+    } else {
+      out.segments.push_back(
+          RegionSegment{modal, begin, end, cellConfidence, total});
+    }
+  }
+  return out;
+}
+
+}  // namespace unveil::folding

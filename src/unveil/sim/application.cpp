@@ -1,0 +1,102 @@
+#include "unveil/sim/application.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::sim {
+
+void DurationSpec::validate() const {
+  if (nominalNs <= 0.0) throw ConfigError("phase nominal duration must be positive");
+  if (rankImbalanceSigma < 0.0 || instanceSigma < 0.0)
+    throw ConfigError("duration sigmas must be non-negative");
+  if (drift < -0.9) throw ConfigError("duration drift must be > -0.9");
+}
+
+IterativeApplication::IterativeApplication(std::string name, trace::Rank numRanks,
+                                           std::uint32_t iterations, std::uint64_t seed)
+    : name_(std::move(name)), numRanks_(numRanks), iterations_(iterations), seed_(seed) {
+  if (numRanks == 0) throw ConfigError("application requires numRanks > 0");
+  if (iterations == 0) throw ConfigError("application requires iterations > 0");
+}
+
+const PhaseSpec& IterativeApplication::phase(std::uint32_t id) const {
+  UNVEIL_ASSERT(id < phases_.size(), "phase id out of range");
+  return phases_[id];
+}
+
+std::uint32_t IterativeApplication::addPhase(PhaseSpec spec) {
+  spec.duration.validate();
+  spec.noise.validate();
+  phases_.push_back(std::move(spec));
+  return static_cast<std::uint32_t>(phases_.size() - 1);
+}
+
+double IterativeApplication::rankFactor(std::uint32_t phaseId, trace::Rank r) const {
+  const auto& spec = phases_[phaseId].duration;
+  if (spec.rankImbalanceSigma == 0.0) return 1.0;
+  support::Rng rng(seed_, name_ + "/imbalance/p" + std::to_string(phaseId) + "/r" +
+                              std::to_string(r));
+  return rng.lognormalMedian(1.0, spec.rankImbalanceSigma);
+}
+
+Program IterativeApplication::buildProgram(trace::Rank r) const {
+  if (r >= numRanks_) throw ConfigError("buildProgram rank out of range");
+  Program prog;
+  support::Rng rng(seed_, name_ + "/program/r" + std::to_string(r));
+  for (std::uint32_t iter = 0; iter < iterations_; ++iter) {
+    IterationBuilder builder(*this, r, iter, rng, prog);
+    buildIteration(r, iter, builder);
+  }
+  return prog;
+}
+
+IterativeApplication::IterationBuilder::IterationBuilder(const IterativeApplication& app,
+                                                         trace::Rank rank,
+                                                         std::uint32_t iter,
+                                                         support::Rng& rng, Program& out)
+    : app_(app), rank_(rank), iter_(iter), rng_(rng), out_(out) {}
+
+void IterativeApplication::IterationBuilder::compute(std::uint32_t phaseId) {
+  UNVEIL_ASSERT(phaseId < app_.phases_.size(), "compute phase id out of range");
+  const PhaseSpec& spec = app_.phases_[phaseId];
+  const double driftFactor =
+      app_.iterations_ > 1
+          ? 1.0 + spec.duration.drift * static_cast<double>(iter_) /
+                      static_cast<double>(app_.iterations_ - 1)
+          : 1.0;
+  const double instanceFactor = rng_.lognormalMedian(1.0, spec.duration.instanceSigma);
+  const double ns = spec.duration.nominalNs * app_.rankFactor(phaseId, rank_) *
+                    instanceFactor * driftFactor;
+  ComputeAction a;
+  a.phaseId = phaseId;
+  a.iteration = iter_;
+  a.workNs = static_cast<trace::TimeNs>(std::llround(std::max(ns, 1.0)));
+  a.noiseFactors = spec.noise.realize(rng_);
+  a.warp = spec.noise.realizeWarp(rng_);
+  // Counter totals scale with the duration factors: a longer instance did
+  // proportionally more work. This keeps IPC/MIPS stable per phase (the
+  // clustering feature space) while durations vary.
+  const double workScale = ns / spec.duration.nominalNs;
+  for (double& f : a.noiseFactors) f *= workScale;
+  out_.emplace_back(a);
+}
+
+void IterativeApplication::IterationBuilder::send(trace::Rank peer, std::uint32_t tag,
+                                                  std::uint64_t bytes) {
+  UNVEIL_ASSERT(peer < app_.numRanks_, "send peer out of range");
+  out_.emplace_back(SendAction{peer, tag, bytes});
+}
+
+void IterativeApplication::IterationBuilder::recv(trace::Rank peer, std::uint32_t tag) {
+  UNVEIL_ASSERT(peer < app_.numRanks_, "recv peer out of range");
+  out_.emplace_back(RecvAction{peer, tag});
+}
+
+void IterativeApplication::IterationBuilder::collective(trace::MpiOp op,
+                                                        std::uint64_t bytes) {
+  out_.emplace_back(CollectiveAction{op, bytes});
+}
+
+}  // namespace unveil::sim

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file application.hpp
+/// Application models: the simulated "production applications".
+///
+/// An Application owns a table of PhaseModels (ground-truth counter
+/// behaviour per phase) and compiles a deterministic per-rank Program. The
+/// IterativeApplication base captures the SPMD-iterative skeleton all three
+/// bundled applications share: a fixed iteration body repeated N times, with
+/// per-phase duration variability (static rank imbalance, per-instance
+/// noise, slow drift across iterations).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "unveil/counters/noise.hpp"
+#include "unveil/counters/phase_model.hpp"
+#include "unveil/sim/program.hpp"
+#include "unveil/support/rng.hpp"
+
+namespace unveil::sim {
+
+/// Duration variability of one phase.
+struct DurationSpec {
+  /// Nominal pure-work duration of one instance (ns).
+  double nominalNs = 1'000'000.0;
+  /// Lognormal sigma of the *static* per-rank factor (load imbalance that
+  /// persists across iterations, e.g. domain decomposition inequity).
+  double rankImbalanceSigma = 0.0;
+  /// Lognormal sigma of the per-instance factor (OS noise, data dependence).
+  double instanceSigma = 0.02;
+  /// Multiplicative drift across the run: the last iteration's nominal
+  /// duration is (1 + drift) × the first's. Models slowly evolving work.
+  double drift = 0.0;
+
+  /// Throws ConfigError on invalid ranges.
+  void validate() const;
+};
+
+/// One phase: ground-truth counters + duration variability + counter noise.
+struct PhaseSpec {
+  counters::PhaseModel model;
+  DurationSpec duration;
+  counters::NoiseModel noise;
+};
+
+/// Abstract application model.
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Application label used in traces and reports.
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+  /// Number of ranks.
+  [[nodiscard]] virtual trace::Rank numRanks() const noexcept = 0;
+  /// Number of phases in the phase table.
+  [[nodiscard]] virtual std::size_t numPhases() const noexcept = 0;
+  /// Phase ground truth by id.
+  [[nodiscard]] virtual const PhaseSpec& phase(std::uint32_t id) const = 0;
+  /// Compiles rank \p r's deterministic action sequence.
+  [[nodiscard]] virtual Program buildProgram(trace::Rank r) const = 0;
+};
+
+/// SPMD-iterative base: subclasses define one iteration body.
+class IterativeApplication : public Application {
+ public:
+  /// \param name       application label.
+  /// \param numRanks   ranks (> 0).
+  /// \param iterations outer iterations (> 0).
+  /// \param seed       root seed; all variability derives from it.
+  IterativeApplication(std::string name, trace::Rank numRanks,
+                       std::uint32_t iterations, std::uint64_t seed);
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] trace::Rank numRanks() const noexcept override { return numRanks_; }
+  [[nodiscard]] std::size_t numPhases() const noexcept override { return phases_.size(); }
+  [[nodiscard]] const PhaseSpec& phase(std::uint32_t id) const override;
+  [[nodiscard]] Program buildProgram(trace::Rank r) const override;
+
+  /// Outer iteration count.
+  [[nodiscard]] std::uint32_t iterations() const noexcept { return iterations_; }
+  /// Root seed.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ protected:
+  /// Registers a phase; returns its id. Call from subclass constructors.
+  std::uint32_t addPhase(PhaseSpec spec);
+
+  /// Subclass hook: append one iteration's actions for rank \p r to \p out
+  /// using \p ctx to mint ComputeActions.
+  class IterationBuilder;
+  virtual void buildIteration(trace::Rank r, std::uint32_t iter,
+                              IterationBuilder& out) const = 0;
+
+  /// Helper handed to buildIteration for minting actions.
+  class IterationBuilder {
+   public:
+    /// Appends a ComputeAction for \p phaseId with duration and noise drawn
+    /// from the phase's specs.
+    void compute(std::uint32_t phaseId);
+    /// Appends a point-to-point send.
+    void send(trace::Rank peer, std::uint32_t tag, std::uint64_t bytes);
+    /// Appends a point-to-point receive.
+    void recv(trace::Rank peer, std::uint32_t tag);
+    /// Appends a collective.
+    void collective(trace::MpiOp op, std::uint64_t bytes);
+
+   private:
+    friend class IterativeApplication;
+    IterationBuilder(const IterativeApplication& app, trace::Rank rank,
+                     std::uint32_t iter, support::Rng& rng, Program& out);
+    const IterativeApplication& app_;
+    trace::Rank rank_;
+    std::uint32_t iter_;
+    support::Rng& rng_;
+    Program& out_;
+  };
+
+ private:
+  /// Static per-rank imbalance factor for (phase, rank).
+  [[nodiscard]] double rankFactor(std::uint32_t phaseId, trace::Rank r) const;
+
+  std::string name_;
+  trace::Rank numRanks_;
+  std::uint32_t iterations_;
+  std::uint64_t seed_;
+  std::vector<PhaseSpec> phases_;
+};
+
+}  // namespace unveil::sim

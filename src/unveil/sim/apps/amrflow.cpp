@@ -1,0 +1,103 @@
+#include "unveil/sim/apps/apps.hpp"
+#include "unveil/sim/apps/calibrate.hpp"
+
+namespace unveil::sim::apps {
+
+namespace {
+
+using counters::RateShape;
+
+/// Non-stationary AMR-style flow solver (extension beyond the paper's three
+/// applications, used by the robustness study A5). One iteration: advection
+/// sweep → flux exchange → projection → allreduce. At the refinement event
+/// (half-way through the run) the mesh is refined: the advection sweep's
+/// work grows ~1.8x and its internal profile changes from compute-bound to
+/// memory-pressured. Source-wise it is the same loop nest; performance-wise
+/// it is a different phase — and that is exactly what burst clustering
+/// should report (two clusters whose time shares split at the refinement
+/// point). Implemented as two phase models the program switches between.
+class Amrflow final : public IterativeApplication {
+ public:
+  explicit Amrflow(const AppParams& p)
+      : IterativeApplication("amrflow", p.ranks, p.iterations, p.seed) {
+    // Phase 0: advection on the coarse mesh.
+    {
+      PhaseCalibration cal;
+      cal.avgMips = 2500.0;
+      cal.ipc = 1.4;
+      cal.fpFrac = 0.5;
+      cal.l1PerKIns = 6.0;
+      cal.l2PerKIns = 0.8;
+      cal.insShape = RateShape::ramp(1.1, 0.9);
+      cal.memShape = RateShape::constant();
+      PhaseSpec spec{calibratePhase("advect_coarse", 1.2e6 * p.scale, cal),
+                     DurationSpec{1.2e6 * p.scale, 0.03, 0.03, 0.0},
+                     counters::NoiseModel{0.02, 0.01}};
+      advectCoarse_ = addPhase(std::move(spec));
+    }
+    // Phase 1: advection on the refined mesh — more work, cache-pressured.
+    {
+      PhaseCalibration cal;
+      cal.avgMips = 1900.0;
+      cal.ipc = 0.95;
+      cal.fpFrac = 0.5;
+      cal.l1PerKIns = 13.0;
+      cal.l2PerKIns = 2.6;
+      cal.insShape = RateShape::plateau(2.4, 2.0, 1.2, 0.2, 0.25);
+      cal.memShape = RateShape::ramp(0.6, 1.6);
+      PhaseSpec spec{calibratePhase("advect_fine", 2.2e6 * p.scale, cal),
+                     DurationSpec{2.2e6 * p.scale, 0.04, 0.035, 0.03},
+                     counters::NoiseModel{0.022, 0.012}};
+      advectFine_ = addPhase(std::move(spec));
+    }
+    // Phase 2: projection solve (same before/after refinement).
+    {
+      PhaseCalibration cal;
+      cal.avgMips = 2200.0;
+      cal.ipc = 1.2;
+      cal.fpFrac = 0.45;
+      cal.l1PerKIns = 8.0;
+      cal.l2PerKIns = 1.2;
+      cal.insShape = RateShape::bump(1.6, 0.9, 0.5, 0.25);
+      cal.memShape = RateShape::constant();
+      PhaseSpec spec{calibratePhase("projection", 800e3 * p.scale, cal),
+                     DurationSpec{800e3 * p.scale, 0.025, 0.03, 0.0},
+                     counters::NoiseModel{0.02, 0.01}};
+      projection_ = addPhase(std::move(spec));
+    }
+  }
+
+  /// Iteration index at which the mesh refines.
+  [[nodiscard]] std::uint32_t refinementIteration() const noexcept {
+    return iterations() / 2;
+  }
+
+ private:
+  void buildIteration(trace::Rank r, std::uint32_t iter,
+                      IterationBuilder& out) const override {
+    const trace::Rank n = numRanks();
+    const bool refined = iter >= refinementIteration();
+    out.compute(refined ? advectFine_ : advectCoarse_);
+    if (n > 1) {
+      const trace::Rank right = (r + 1) % n;
+      const trace::Rank left = (r + n - 1) % n;
+      out.send(right, /*tag=*/5, 32 * 1024);
+      out.recv(left, /*tag=*/5);
+    }
+    out.compute(projection_);
+    out.collective(trace::MpiOp::Allreduce, 8);
+  }
+
+  std::uint32_t advectCoarse_ = 0;
+  std::uint32_t advectFine_ = 0;
+  std::uint32_t projection_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const Application> makeAmrflow(const AppParams& p) {
+  p.validate();
+  return std::make_shared<Amrflow>(p);
+}
+
+}  // namespace unveil::sim::apps

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file apps.hpp
+/// The three bundled "production application" models and their factory.
+///
+/// Each mimics the structure and internal counter evolution of a class of
+/// real HPC codes (see DESIGN.md §5): `wavesim` a stencil/PDE code whose
+/// sweep overflows the cache mid-burst, `nbsolver` a Krylov solver with a
+/// block-structured SpMV, and `particlemesh` a load-imbalanced particle/tree
+/// code. They are the substitution for the paper's three production
+/// applications.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "unveil/sim/application.hpp"
+
+namespace unveil::sim::apps {
+
+/// Parameters shared by all bundled applications.
+struct AppParams {
+  trace::Rank ranks = 32;        ///< MPI ranks to simulate.
+  std::uint32_t iterations = 200;  ///< Outer iterations.
+  std::uint64_t seed = 1;        ///< Root seed for all variability.
+  double scale = 1.0;            ///< Multiplies nominal phase durations.
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// Iterative stencil/PDE code (halo exchange → sweep → update → allreduce).
+[[nodiscard]] std::shared_ptr<const Application> makeWavesim(const AppParams& p);
+
+/// Krylov solver (SpMV → dot/allreduce → two AXPYs → allreduce).
+[[nodiscard]] std::shared_ptr<const Application> makeNbsolver(const AppParams& p);
+
+/// Particle/tree code (tree build → barrier → imbalanced force evaluation →
+/// alltoall → pack).
+[[nodiscard]] std::shared_ptr<const Application> makeParticlemesh(const AppParams& p);
+
+/// Cache-blocked wavesim variant ("wavesim-blocked") — the "after
+/// optimization" build used by the run-diff workflow. Not in
+/// applicationNames().
+[[nodiscard]] std::shared_ptr<const Application> makeWavesimBlocked(const AppParams& p);
+
+/// Non-stationary AMR-style solver whose advection phase changes regime at
+/// the mid-run refinement event. Extension beyond the paper's three
+/// applications; exercised by the A5 robustness study. Not part of
+/// applicationNames() so the canonical three-app experiments stay faithful.
+[[nodiscard]] std::shared_ptr<const Application> makeAmrflow(const AppParams& p);
+
+/// Names accepted by makeApplication, in canonical order.
+[[nodiscard]] const std::vector<std::string>& applicationNames();
+
+/// Factory by name; throws ConfigError for unknown names.
+[[nodiscard]] std::shared_ptr<const Application> makeApplication(const std::string& name,
+                                                                 const AppParams& p);
+
+}  // namespace unveil::sim::apps

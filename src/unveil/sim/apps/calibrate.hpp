@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file calibrate.hpp
+/// Internal helper to build PhaseModels from human-readable performance
+/// characteristics (average MIPS, IPC, misses per kilo-instruction) instead
+/// of raw counter totals. Used by the bundled application models.
+
+#include <string>
+
+#include "unveil/counters/phase_model.hpp"
+#include "unveil/counters/shape.hpp"
+
+namespace unveil::sim::apps {
+
+/// Aggregate performance character of a phase; shapes describe how the
+/// instruction stream and the memory pressure evolve inside one instance.
+struct PhaseCalibration {
+  double avgMips = 2000.0;    ///< Average MIPS over the burst.
+  double ipc = 1.0;           ///< Average instructions per cycle.
+  double fpFrac = 0.3;        ///< FP operations per instruction.
+  double l1PerKIns = 8.0;     ///< L1D misses per kilo-instruction.
+  double l2PerKIns = 1.0;     ///< L2 misses per kilo-instruction.
+  double brMspPerKIns = 2.0;  ///< Branch mispredictions per kilo-instruction.
+  counters::RateShape insShape = counters::RateShape::constant();
+  counters::RateShape memShape = counters::RateShape::constant();
+};
+
+/// Builds the ground-truth PhaseModel for a phase of nominal duration
+/// \p nominalNs with character \p cal.
+///
+/// Counter totals follow from the calibration:
+///   TOT_INS = avgMips/1e3 × nominalNs      (MIPS = ins/ns × 1e3)
+///   TOT_CYC = TOT_INS / ipc (flat in time — fixed clock frequency)
+///   L1_DCM/L2_DCM/BR_MSP per kilo-instruction; FP_OPS per instruction.
+/// The instruction stream follows insShape; cache misses follow memShape;
+/// FP ops track the instruction stream.
+[[nodiscard]] inline counters::PhaseModel calibratePhase(const std::string& name,
+                                                         double nominalNs,
+                                                         const PhaseCalibration& cal) {
+  using counters::CounterId;
+  counters::PhaseModel m(name);
+  const double ins = cal.avgMips / 1e3 * nominalNs;
+  m.setCounter(CounterId::TotIns, ins, cal.insShape);
+  m.setCounter(CounterId::TotCyc, ins / cal.ipc, counters::RateShape::constant());
+  m.setCounter(CounterId::L1Dcm, cal.l1PerKIns * ins / 1e3, cal.memShape);
+  m.setCounter(CounterId::L2Dcm, cal.l2PerKIns * ins / 1e3, cal.memShape);
+  m.setCounter(CounterId::FpOps, cal.fpFrac * ins, cal.insShape);
+  m.setCounter(CounterId::BrMsp, cal.brMspPerKIns * ins / 1e3,
+               counters::RateShape::constant());
+  return m;
+}
+
+}  // namespace unveil::sim::apps

@@ -1,0 +1,102 @@
+#include <cmath>
+
+#include "unveil/sim/apps/apps.hpp"
+#include "unveil/sim/apps/calibrate.hpp"
+
+namespace unveil::sim::apps {
+
+namespace {
+
+using counters::RateShape;
+
+/// Krylov-style iterative solver. One iteration: a block-structured SpMV
+/// whose MIPS follows a sawtooth (each row block streams a band then stalls
+/// on indirection), a dot product reduced with an allreduce, then two AXPY
+/// sweeps and a convergence-check allreduce. The SpMV's miss rate is the
+/// sawtooth's complement: misses peak exactly where the instruction rate
+/// dips.
+class Nbsolver final : public IterativeApplication {
+ public:
+  explicit Nbsolver(const AppParams& p)
+      : IterativeApplication("nbsolver", p.ranks, p.iterations, p.seed) {
+    constexpr int kTeeth = 4;
+    // Phase 0: SpMV.
+    {
+      PhaseCalibration cal;
+      cal.avgMips = 2100.0;
+      cal.ipc = 0.9;
+      cal.fpFrac = 0.35;
+      cal.l1PerKIns = 14.0;
+      cal.l2PerKIns = 2.4;
+      cal.insShape = RateShape::sawtooth(kTeeth, 1.4, 2.8);
+      cal.memShape = RateShape::fromFunction("invSawtooth", [](double t) {
+        const double phase = t * kTeeth;
+        const double frac = phase - std::floor(phase);
+        // Complement of the instruction sawtooth: 0.5 at tooth start,
+        // climbing to 2.2 at tooth end.
+        return 0.5 + 1.7 * frac;
+      });
+      auto model = calibratePhase("spmv", 1.4e6 * p.scale, cal);
+      model.setRegions({{"row_block_0", 1.0}, {"row_block_1", 1.0},
+                        {"row_block_2", 1.0}, {"row_block_3", 1.0}});
+      PhaseSpec spec{std::move(model),
+                     DurationSpec{1.4e6 * p.scale, 0.03, 0.03, 0.02},
+                     counters::NoiseModel{0.02, 0.012}};
+      spmv_ = addPhase(std::move(spec));
+    }
+    // Phase 1: local dot product.
+    {
+      PhaseCalibration cal;
+      cal.avgMips = 2300.0;
+      cal.ipc = 1.5;
+      cal.fpFrac = 0.5;
+      cal.l1PerKIns = 6.0;
+      cal.l2PerKIns = 0.8;
+      cal.insShape = RateShape::constant();
+      cal.memShape = RateShape::constant();
+      PhaseSpec spec{calibratePhase("dot", 250e3 * p.scale, cal),
+                     DurationSpec{250e3 * p.scale, 0.02, 0.03, 0.0},
+                     counters::NoiseModel{0.02, 0.01}};
+      dot_ = addPhase(std::move(spec));
+    }
+    // Phase 2: AXPY — streaming, bandwidth bound, nearly flat.
+    {
+      PhaseCalibration cal;
+      cal.avgMips = 1600.0;
+      cal.ipc = 0.8;
+      cal.fpFrac = 0.4;
+      cal.l1PerKIns = 20.0;
+      cal.l2PerKIns = 3.5;
+      cal.insShape = RateShape::ramp(1.08, 0.92);
+      cal.memShape = RateShape::constant();
+      PhaseSpec spec{calibratePhase("axpy", 420e3 * p.scale, cal),
+                     DurationSpec{420e3 * p.scale, 0.02, 0.03, 0.0},
+                     counters::NoiseModel{0.02, 0.01}};
+      axpy_ = addPhase(std::move(spec));
+    }
+  }
+
+ private:
+  void buildIteration(trace::Rank /*r*/, std::uint32_t /*iter*/,
+                      IterationBuilder& out) const override {
+    out.compute(spmv_);
+    out.compute(dot_);
+    out.collective(trace::MpiOp::Allreduce, 16);
+    out.compute(axpy_);
+    out.compute(axpy_);
+    out.collective(trace::MpiOp::Allreduce, 16);
+  }
+
+  std::uint32_t spmv_ = 0;
+  std::uint32_t dot_ = 0;
+  std::uint32_t axpy_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const Application> makeNbsolver(const AppParams& p) {
+  p.validate();
+  return std::make_shared<Nbsolver>(p);
+}
+
+}  // namespace unveil::sim::apps

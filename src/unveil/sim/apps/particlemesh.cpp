@@ -1,0 +1,96 @@
+#include "unveil/sim/apps/apps.hpp"
+#include "unveil/sim/apps/calibrate.hpp"
+
+namespace unveil::sim::apps {
+
+namespace {
+
+using counters::RateShape;
+
+/// Particle/tree code with strong load imbalance. One step: build the local
+/// tree (branchy, MIPS bump as the tree's hot levels fit in cache), a global
+/// barrier, the force evaluation — long, with a per-rank lognormal duration
+/// spread that persists across steps — whose compute-bound head gives way to
+/// a memory-bound tail as far-field interactions stream remote particle
+/// data, an alltoall particle exchange, and a short pack phase.
+class Particlemesh final : public IterativeApplication {
+ public:
+  explicit Particlemesh(const AppParams& p)
+      : IterativeApplication("particlemesh", p.ranks, p.iterations, p.seed) {
+    // Phase 0: tree build.
+    {
+      PhaseCalibration cal;
+      cal.avgMips = 1700.0;
+      cal.ipc = 0.85;
+      cal.fpFrac = 0.1;
+      cal.l1PerKIns = 10.0;
+      cal.l2PerKIns = 1.2;
+      cal.brMspPerKIns = 9.0;
+      cal.insShape = RateShape::bump(1.0, 1.3, 0.35, 0.18);
+      cal.memShape = RateShape::ramp(0.7, 1.3);
+      PhaseSpec spec{calibratePhase("tree_build", 900e3 * p.scale, cal),
+                     DurationSpec{900e3 * p.scale, 0.05, 0.04, 0.0},
+                     counters::NoiseModel{0.025, 0.012}};
+      treeBuild_ = addPhase(std::move(spec));
+    }
+    // Phase 1: force evaluation — the imbalanced long phase.
+    {
+      PhaseCalibration cal;
+      cal.avgMips = 2400.0;
+      cal.ipc = 1.3;
+      cal.fpFrac = 0.55;
+      cal.l1PerKIns = 7.0;
+      cal.l2PerKIns = 1.0;
+      cal.insShape = RateShape::plateau(/*head=*/2.9, /*body=*/2.6, /*tail=*/1.1,
+                                        /*headFrac=*/0.25, /*tailFrac=*/0.20);
+      cal.memShape = RateShape::plateau(/*head=*/0.25, /*body=*/0.45, /*tail=*/2.4,
+                                        /*headFrac=*/0.25, /*tailFrac=*/0.20);
+      auto model = calibratePhase("force_eval", 3.0e6 * p.scale, cal);
+      model.setRegions({{"near_field", 0.25}, {"mid_field", 0.55},
+                        {"far_field_stream", 0.20}});
+      PhaseSpec spec{std::move(model),
+                     DurationSpec{3.0e6 * p.scale, /*rankImbalanceSigma=*/0.12,
+                                  /*instanceSigma=*/0.07, /*drift=*/0.05},
+                     counters::NoiseModel{0.03, 0.015}};
+      forceEval_ = addPhase(std::move(spec));
+    }
+    // Phase 2: exchange pack.
+    {
+      PhaseCalibration cal;
+      cal.avgMips = 1500.0;
+      cal.ipc = 1.0;
+      cal.fpFrac = 0.05;
+      cal.l1PerKIns = 16.0;
+      cal.l2PerKIns = 2.0;
+      cal.insShape = RateShape::constant();
+      cal.memShape = RateShape::constant();
+      PhaseSpec spec{calibratePhase("exchange_pack", 300e3 * p.scale, cal),
+                     DurationSpec{300e3 * p.scale, 0.03, 0.05, 0.0},
+                     counters::NoiseModel{0.025, 0.012}};
+      pack_ = addPhase(std::move(spec));
+    }
+  }
+
+ private:
+  void buildIteration(trace::Rank /*r*/, std::uint32_t /*iter*/,
+                      IterationBuilder& out) const override {
+    out.compute(treeBuild_);
+    out.collective(trace::MpiOp::Barrier, 0);
+    out.compute(forceEval_);
+    out.collective(trace::MpiOp::Alltoall, 4096);
+    out.compute(pack_);
+  }
+
+  std::uint32_t treeBuild_ = 0;
+  std::uint32_t forceEval_ = 0;
+  std::uint32_t pack_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const Application> makeParticlemesh(const AppParams& p) {
+  p.validate();
+  return std::make_shared<Particlemesh>(p);
+}
+
+}  // namespace unveil::sim::apps

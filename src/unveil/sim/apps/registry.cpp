@@ -1,0 +1,28 @@
+#include "unveil/sim/apps/apps.hpp"
+#include "unveil/support/error.hpp"
+
+namespace unveil::sim::apps {
+
+void AppParams::validate() const {
+  if (ranks == 0) throw ConfigError("AppParams.ranks must be > 0");
+  if (iterations == 0) throw ConfigError("AppParams.iterations must be > 0");
+  if (scale <= 0.0) throw ConfigError("AppParams.scale must be positive");
+}
+
+const std::vector<std::string>& applicationNames() {
+  static const std::vector<std::string> names = {"wavesim", "nbsolver",
+                                                 "particlemesh"};
+  return names;
+}
+
+std::shared_ptr<const Application> makeApplication(const std::string& name,
+                                                   const AppParams& p) {
+  if (name == "wavesim") return makeWavesim(p);
+  if (name == "nbsolver") return makeNbsolver(p);
+  if (name == "particlemesh") return makeParticlemesh(p);
+  if (name == "wavesim-blocked") return makeWavesimBlocked(p);
+  if (name == "amrflow") return makeAmrflow(p);
+  throw ConfigError("unknown application: " + name);
+}
+
+}  // namespace unveil::sim::apps

@@ -1,0 +1,421 @@
+#include "unveil/sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/log.hpp"
+
+namespace unveil::sim {
+
+namespace {
+
+using counters::CounterId;
+using counters::CounterSet;
+using counters::kNumCounters;
+using trace::Rank;
+using trace::TimeNs;
+
+/// Counter accumulation rates (per ns) while inside MPI: a busy-waiting MPI
+/// library retires instructions at a modest rate with few FP ops and few
+/// cache misses. Indexed like CounterSet.
+constexpr std::array<double, kNumCounters> kMpiRates = {
+    0.8,     // TOT_INS
+    2.6,     // TOT_CYC
+    0.002,   // L1_DCM
+    0.0004,  // L2_DCM
+    0.0005,  // FP_OPS
+    0.004,   // BR_MSP
+};
+
+/// Per-rank execution state.
+struct RankRun {
+  Program program;
+  std::size_t pc = 0;
+  double now = 0.0;  ///< Clock (ns, fractional internally).
+  std::array<double, kNumCounters> counters{};  ///< Cumulative counts.
+  double nextSampleTick = 0.0;
+  std::size_t sampleSeq = 0;  ///< Samples emitted so far (multiplex rotation).
+  support::Rng sampleRng{0};
+  std::size_t collectiveIdx = 0;   ///< Next collective instance to join.
+  bool arrivedAtCurrent = false;   ///< Arrival recorded for collectiveIdx.
+};
+
+/// One in-flight collective instance.
+struct CollectiveInstance {
+  trace::MpiOp op = trace::MpiOp::Barrier;
+  std::uint64_t bytes = 0;
+  std::size_t arrivals = 0;
+  double maxArrival = 0.0;
+  std::vector<double> arrivalTime;  ///< Per rank; NaN until arrived.
+  bool resolved = false;
+  double finish = 0.0;
+};
+
+class Engine {
+ public:
+  Engine(std::shared_ptr<const Application> app, const SimConfig& cfg)
+      : app_(std::move(app)), cfg_(cfg), trace_(app_->name(), app_->numRanks()) {}
+
+  RunResult run();
+
+ private:
+  enum class Step { Executed, Blocked, Done };
+
+  Step advance(Rank r);
+  void execCompute(Rank r, const ComputeAction& a);
+  void execSend(Rank r, const SendAction& a);
+  Step execRecv(Rank r, const RecvAction& a);
+  Step execCollective(Rank r, const CollectiveAction& a);
+
+  /// Advances counters linearly at MPI rates over [t0, t1], draining sample
+  /// ticks inside the window, and emits the MPI begin/end events.
+  void mpiInterval(Rank r, trace::MpiOp op, double t0, double t1);
+
+  /// Emits any pending sample ticks strictly before \p t using the current
+  /// (frozen) counter values — covers probe gaps between regions.
+  void drainStaleTicks(Rank r, double t);
+
+  void advanceSampleTick(Rank r);
+
+  CounterSet snapshot(Rank r) const;
+  void emitEvent(Rank r, double t, trace::EventKind kind, std::uint32_t value);
+  void emitSample(Rank r, double t, const CounterSet& c,
+                  std::uint32_t regionId = trace::kNoRegion);
+  void emitState(Rank r, double t0, double t1, trace::State s);
+
+  std::shared_ptr<const Application> app_;
+  SimConfig cfg_;
+  trace::Trace trace_;
+  GroundTruth truth_;
+  std::vector<RankRun> ranks_;
+  std::map<std::tuple<Rank, Rank, std::uint32_t>, std::deque<double>> channels_;
+  std::vector<CollectiveInstance> collectives_;
+};
+
+CounterSet Engine::snapshot(Rank r) const {
+  CounterSet out;
+  for (std::size_t i = 0; i < kNumCounters; ++i)
+    out.values[i] = static_cast<std::uint64_t>(std::llround(ranks_[r].counters[i]));
+  return out;
+}
+
+void Engine::emitEvent(Rank r, double t, trace::EventKind kind, std::uint32_t value) {
+  if (!cfg_.measurement.instrumentation.enabled) return;
+  trace::Event e;
+  e.rank = r;
+  e.time = static_cast<TimeNs>(std::llround(t));
+  e.kind = kind;
+  e.value = value;
+  e.counters = snapshot(r);
+  trace_.addEvent(e);
+}
+
+void Engine::emitSample(Rank r, double t, const CounterSet& c,
+                        std::uint32_t regionId) {
+  trace::Sample s;
+  s.rank = r;
+  s.time = static_cast<TimeNs>(std::llround(t));
+  s.validMask = multiplexMask(cfg_.measurement.sampling.multiplexGroups,
+                              ranks_[r].sampleSeq++);
+  if (cfg_.measurement.sampling.sampleCallstacks) s.regionId = regionId;
+  s.counters = c;
+  // Counters outside the multiplex group were not read: zero them so no
+  // consumer can accidentally use fabricated values.
+  for (std::size_t i = 0; i < kNumCounters; ++i)
+    if (!trace::maskHas(s.validMask, static_cast<CounterId>(i)))
+      s.counters.values[i] = 0;
+  trace_.addSample(s);
+}
+
+void Engine::emitState(Rank r, double t0, double t1, trace::State s) {
+  if (!cfg_.measurement.instrumentation.enabled ||
+      !cfg_.measurement.instrumentation.emitStates)
+    return;
+  trace::StateInterval iv;
+  iv.rank = r;
+  iv.begin = static_cast<TimeNs>(std::llround(t0));
+  iv.end = static_cast<TimeNs>(std::llround(t1));
+  iv.state = s;
+  trace_.addState(iv);
+}
+
+void Engine::advanceSampleTick(Rank r) {
+  auto& rr = ranks_[r];
+  const auto& sc = cfg_.measurement.sampling;
+  const double jitter = sc.jitterFrac > 0.0 ? rr.sampleRng.uniform(-sc.jitterFrac,
+                                                                   sc.jitterFrac)
+                                            : 0.0;
+  rr.nextSampleTick += sc.periodNs * (1.0 + jitter);
+}
+
+void Engine::drainStaleTicks(Rank r, double t) {
+  if (!cfg_.measurement.sampling.enabled) return;
+  auto& rr = ranks_[r];
+  while (rr.nextSampleTick < t) {
+    emitSample(r, rr.nextSampleTick, snapshot(r));
+    advanceSampleTick(r);
+  }
+}
+
+void Engine::execCompute(Rank r, const ComputeAction& a) {
+  auto& rr = ranks_[r];
+  const auto& instr = cfg_.measurement.instrumentation;
+  const auto& samp = cfg_.measurement.sampling;
+  const PhaseSpec& spec = app_->phase(a.phaseId);
+  const counters::RealizedBurst burst(spec.model, a.noiseFactors);
+
+  const double t0 = rr.now;
+  drainStaleTicks(r, t0);
+  emitEvent(r, t0, trace::EventKind::PhaseBegin, a.phaseId);
+  const double probe = instr.enabled ? instr.probeCostNs : 0.0;
+  const double workStart = t0 + probe;
+  const double workNs = static_cast<double>(a.workNs);
+
+  // Work runs from workStart; every sample serviced inside the burst pauses
+  // the work for sampleCostNs, pushing the end out. Samples observe the
+  // fraction of *work* completed at their tick.
+  double end = workStart + workNs;
+  std::size_t samplesTaken = 0;
+  const std::array<double, kNumCounters> base = rr.counters;
+  if (samp.enabled) {
+    while (rr.nextSampleTick < end) {
+      const double tick = rr.nextSampleTick;
+      const double workElapsed =
+          tick - workStart - static_cast<double>(samplesTaken) * samp.sampleCostNs;
+      // The per-instance time warp shifts this instance's internal regime
+      // boundaries; pow is monotone with 0->0 and 1->1, preserving counter
+      // monotonicity and endpoint totals.
+      const double frac =
+          std::pow(std::clamp(workElapsed / workNs, 0.0, 1.0), a.warp);
+      CounterSet c;
+      for (std::size_t i = 0; i < kNumCounters; ++i) {
+        // Round the sum, not the parts: rounding base and in-burst counts
+        // separately can regress by 1 against the end-probe snapshot.
+        const double v =
+            base[i] + burst.cumulativeAtExact(static_cast<CounterId>(i), frac);
+        c.values[i] = static_cast<std::uint64_t>(std::llround(v));
+      }
+      // The sampled callstack attributes this instant to a code region
+      // (1-based; 0 = none).
+      emitSample(r, tick, c, spec.model.regionAt(frac) + 1);
+      ++samplesTaken;
+      end += samp.sampleCostNs;
+      advanceSampleTick(r);
+    }
+  }
+
+  // Commit realized totals to the cumulative counters.
+  for (std::size_t i = 0; i < kNumCounters; ++i)
+    rr.counters[i] += burst.total(static_cast<CounterId>(i));
+
+  emitEvent(r, end, trace::EventKind::PhaseEnd, a.phaseId);
+  emitState(r, t0, end, trace::State::Compute);
+
+  BurstTruth bt;
+  bt.rank = r;
+  bt.phaseId = a.phaseId;
+  bt.iteration = a.iteration;
+  bt.begin = static_cast<TimeNs>(std::llround(t0));
+  bt.end = static_cast<TimeNs>(std::llround(end));
+  bt.workNs = a.workNs;
+  bt.warp = a.warp;
+  for (std::size_t i = 0; i < kNumCounters; ++i)
+    bt.totals[i] = burst.total(static_cast<CounterId>(i));
+  truth_.bursts.push_back(bt);
+
+  rr.now = end + probe;  // end probe cost delays the next region.
+}
+
+void Engine::mpiInterval(Rank r, trace::MpiOp op, double t0, double t1) {
+  auto& rr = ranks_[r];
+  drainStaleTicks(r, t0);
+  emitEvent(r, t0, trace::EventKind::MpiBegin, static_cast<std::uint32_t>(op));
+  if (cfg_.measurement.sampling.enabled) {
+    const std::array<double, kNumCounters> base = rr.counters;
+    while (rr.nextSampleTick < t1) {
+      const double tick = rr.nextSampleTick;
+      const double dt = std::max(tick - t0, 0.0);
+      CounterSet c;
+      for (std::size_t i = 0; i < kNumCounters; ++i)
+        c.values[i] =
+            static_cast<std::uint64_t>(std::llround(base[i] + kMpiRates[i] * dt));
+      emitSample(r, tick, c);
+      advanceSampleTick(r);
+    }
+  }
+  for (std::size_t i = 0; i < kNumCounters; ++i)
+    rr.counters[i] += kMpiRates[i] * (t1 - t0);
+  emitEvent(r, t1, trace::EventKind::MpiEnd, static_cast<std::uint32_t>(op));
+  emitState(r, t0, t1, trace::State::Mpi);
+  rr.now = t1;
+}
+
+void Engine::execSend(Rank r, const SendAction& a) {
+  auto& rr = ranks_[r];
+  const double probe2 =
+      cfg_.measurement.instrumentation.enabled
+          ? 2.0 * cfg_.measurement.instrumentation.probeCostNs
+          : 0.0;
+  const double t0 = rr.now;
+  const double busy = cfg_.network.sendCostNs(a.bytes) + probe2;
+  const double avail = t0 + cfg_.network.transferNs(a.bytes);
+  channels_[{r, a.peer, a.tag}].push_back(avail);
+  mpiInterval(r, trace::MpiOp::Send, t0, t0 + busy);
+}
+
+Engine::Step Engine::execRecv(Rank r, const RecvAction& a) {
+  auto& rr = ranks_[r];
+  auto it = channels_.find({a.peer, r, a.tag});
+  if (it == channels_.end() || it->second.empty()) return Step::Blocked;
+  const double avail = it->second.front();
+  it->second.pop_front();
+  const double probe2 =
+      cfg_.measurement.instrumentation.enabled
+          ? 2.0 * cfg_.measurement.instrumentation.probeCostNs
+          : 0.0;
+  const double t0 = rr.now;
+  const double finish = std::max(t0, avail) + cfg_.network.recvOverheadNs + probe2;
+  mpiInterval(r, trace::MpiOp::Recv, t0, finish);
+  return Step::Executed;
+}
+
+Engine::Step Engine::execCollective(Rank r, const CollectiveAction& a) {
+  auto& rr = ranks_[r];
+  const std::size_t idx = rr.collectiveIdx;
+  if (collectives_.size() <= idx) collectives_.resize(idx + 1);
+  CollectiveInstance& inst = collectives_[idx];
+  if (inst.arrivalTime.empty())
+    inst.arrivalTime.assign(app_->numRanks(),
+                            std::numeric_limits<double>::quiet_NaN());
+
+  if (!rr.arrivedAtCurrent) {
+    if (inst.arrivals == 0) {
+      inst.op = a.op;
+      inst.bytes = a.bytes;
+    } else if (inst.op != a.op || inst.bytes != a.bytes) {
+      throw Error("mismatched collective at instance " + std::to_string(idx) +
+                  " on rank " + std::to_string(r));
+    }
+    inst.arrivalTime[r] = rr.now;
+    inst.maxArrival = std::max(inst.maxArrival, rr.now);
+    ++inst.arrivals;
+    rr.arrivedAtCurrent = true;
+    if (inst.arrivals == app_->numRanks()) {
+      inst.finish = inst.maxArrival +
+                    cfg_.network.collectiveCostNs(inst.op, inst.bytes, app_->numRanks());
+      inst.resolved = true;
+    }
+  }
+  if (!inst.resolved) return Step::Blocked;
+
+  const double probe2 =
+      cfg_.measurement.instrumentation.enabled
+          ? 2.0 * cfg_.measurement.instrumentation.probeCostNs
+          : 0.0;
+  mpiInterval(r, inst.op, inst.arrivalTime[r], inst.finish + probe2);
+  ++rr.collectiveIdx;
+  rr.arrivedAtCurrent = false;
+  return Step::Executed;
+}
+
+Engine::Step Engine::advance(Rank r) {
+  auto& rr = ranks_[r];
+  if (rr.pc >= rr.program.size()) return Step::Done;
+  const Action& action = rr.program[rr.pc];
+  Step result = Step::Executed;
+  if (const auto* c = std::get_if<ComputeAction>(&action)) {
+    execCompute(r, *c);
+  } else if (const auto* s = std::get_if<SendAction>(&action)) {
+    execSend(r, *s);
+  } else if (const auto* v = std::get_if<RecvAction>(&action)) {
+    result = execRecv(r, *v);
+  } else {
+    result = execCollective(r, std::get<CollectiveAction>(action));
+  }
+  if (result == Step::Executed) ++rr.pc;
+  return result;
+}
+
+RunResult Engine::run() {
+  cfg_.validate();
+  const Rank nRanks = app_->numRanks();
+  ranks_.resize(nRanks);
+  for (Rank r = 0; r < nRanks; ++r) {
+    ranks_[r].program = app_->buildProgram(r);
+    ranks_[r].sampleRng = support::Rng(cfg_.seed, "sampling/r" + std::to_string(r));
+    // Uncorrelated initial offsets are essential: they decorrelate sample
+    // positions from phase positions across ranks and iterations.
+    ranks_[r].nextSampleTick =
+        cfg_.measurement.sampling.randomOffsets
+            ? ranks_[r].sampleRng.uniform(0.0, cfg_.measurement.sampling.periodNs)
+            : cfg_.measurement.sampling.periodNs;
+  }
+
+  bool allDone = false;
+  while (!allDone) {
+    bool progress = false;
+    allDone = true;
+    for (Rank r = 0; r < nRanks; ++r) {
+      Step s;
+      while ((s = advance(r)) == Step::Executed) progress = true;
+      if (s != Step::Done) allDone = false;
+      if (s == Step::Blocked && ranks_[r].arrivedAtCurrent) {
+        // Arrival at a collective counts as progress exactly once; the flag
+        // transition is detected by execCollective having just set it. To
+        // avoid double counting we treat any sweep that records an arrival
+        // as progressing via the Executed path of other ranks; a sweep where
+        // *only* arrivals happen still resolves the collective on the last
+        // arriving rank, which then Executes. Nothing to do here.
+      }
+    }
+    if (!allDone && !progress) {
+      // One more possibility of legitimate progress: a collective resolved
+      // during this sweep by the final arrival, but every rank was visited
+      // before resolution. Detect by checking for any resolved-but-pending
+      // collective; if none, it is a deadlock.
+      bool pendingResolved = false;
+      for (Rank r = 0; r < nRanks; ++r) {
+        auto& rr = ranks_[r];
+        if (rr.pc < rr.program.size() && rr.arrivedAtCurrent &&
+            rr.collectiveIdx < collectives_.size() &&
+            collectives_[rr.collectiveIdx].resolved)
+          pendingResolved = true;
+      }
+      if (!pendingResolved) throw Error("communication deadlock in application program");
+    }
+  }
+
+  double totalRuntime = 0.0;
+  for (const auto& rr : ranks_) totalRuntime = std::max(totalRuntime, rr.now);
+
+  RunResult result;
+  trace_.setDurationNs(static_cast<TimeNs>(std::llround(totalRuntime)) + 1);
+  trace_.finalize();
+  result.trace = std::move(trace_);
+  result.truth = std::move(truth_);
+  result.totalRuntimeNs = static_cast<TimeNs>(std::llround(totalRuntime));
+  result.app = app_;
+  return result;
+}
+
+}  // namespace
+
+void SimConfig::validate() const {
+  network.validate();
+  measurement.validate();
+}
+
+RunResult run(std::shared_ptr<const Application> app, const SimConfig& config) {
+  if (!app) throw ConfigError("run() requires a non-null application");
+  Engine engine(app, config);
+  return engine.run();
+}
+
+}  // namespace unveil::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file engine.hpp
+/// Discrete-event execution of application programs under a network model
+/// and a measurement configuration.
+///
+/// The engine replays each rank's Program, advancing a per-rank clock and
+/// cumulative hardware counters. Point-to-point receives block until the
+/// matching message was produced; collectives synchronize all ranks (finish
+/// = last arrival + postal-model cost). Instrumentation probes and sampling
+/// interrupts are injected according to the MeasurementConfig, *including
+/// their CPU cost*, so measured runs are genuinely perturbed — the basis of
+/// the overhead experiment (T2).
+///
+/// The result bundles the measured trace (what a real tool would see) with
+/// the ground truth (what actually happened), enabling exact accuracy
+/// accounting impossible on real hardware.
+
+#include <memory>
+
+#include "unveil/sim/application.hpp"
+#include "unveil/sim/measurement.hpp"
+#include "unveil/sim/network.hpp"
+#include "unveil/sim/truth.hpp"
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::sim {
+
+/// Full simulation configuration.
+struct SimConfig {
+  NetworkModel network;
+  MeasurementConfig measurement;
+  /// Root seed for sampling jitter/offsets (application variability derives
+  /// from the application's own seed).
+  std::uint64_t seed = 42;
+
+  /// Validates all sub-configs.
+  void validate() const;
+};
+
+/// Everything a simulated run produced.
+struct RunResult {
+  trace::Trace trace;        ///< What the measurement tools observed.
+  GroundTruth truth;         ///< What actually happened.
+  trace::TimeNs totalRuntimeNs = 0;  ///< Wall-clock of the slowest rank.
+  std::shared_ptr<const Application> app;  ///< Keeps phase models alive.
+};
+
+/// Executes \p app under \p config and returns trace + ground truth.
+/// Throws unveil::Error on malformed programs (e.g. communication deadlock,
+/// mismatched collectives).
+[[nodiscard]] RunResult run(std::shared_ptr<const Application> app,
+                            const SimConfig& config);
+
+}  // namespace unveil::sim

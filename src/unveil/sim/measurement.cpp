@@ -1,0 +1,67 @@
+#include "unveil/sim/measurement.hpp"
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::sim {
+
+void InstrumentationConfig::validate() const {
+  if (probeCostNs < 0.0) throw ConfigError("probe cost must be non-negative");
+}
+
+void SamplingConfig::validate() const {
+  if (enabled && periodNs <= 0.0) throw ConfigError("sampling period must be positive");
+  if (jitterFrac < 0.0 || jitterFrac >= 1.0)
+    throw ConfigError("sampling jitter fraction must be in [0, 1)");
+  if (sampleCostNs < 0.0) throw ConfigError("sample cost must be non-negative");
+  if (multiplexGroups == 0) throw ConfigError("multiplexGroups must be >= 1");
+}
+
+trace::CounterMask multiplexMask(std::size_t groups,
+                                 std::size_t sampleIndex) noexcept {
+  if (groups <= 1) return trace::kAllCountersMask;
+  // Fixed counters: TOT_INS (bit 0) and TOT_CYC (bit 1).
+  trace::CounterMask mask = 0b11;
+  const std::size_t active = sampleIndex % groups;
+  for (std::size_t i = 2; i < counters::kNumCounters; ++i) {
+    if ((i - 2) % groups == active)
+      mask = static_cast<trace::CounterMask>(mask | (1u << i));
+  }
+  return mask;
+}
+
+void MeasurementConfig::validate() const {
+  instrumentation.validate();
+  sampling.validate();
+}
+
+MeasurementConfig MeasurementConfig::none() {
+  MeasurementConfig c;
+  c.instrumentation.enabled = false;
+  c.sampling.enabled = false;
+  return c;
+}
+
+MeasurementConfig MeasurementConfig::instrumentationOnly() {
+  MeasurementConfig c;
+  c.instrumentation.enabled = true;
+  c.sampling.enabled = false;
+  return c;
+}
+
+MeasurementConfig MeasurementConfig::folding(double periodNs) {
+  MeasurementConfig c;
+  c.instrumentation.enabled = true;
+  c.sampling.enabled = true;
+  c.sampling.periodNs = periodNs;
+  return c;
+}
+
+MeasurementConfig MeasurementConfig::fineGrain(double periodNs) {
+  MeasurementConfig c;
+  c.instrumentation.enabled = true;
+  c.sampling.enabled = true;
+  c.sampling.periodNs = periodNs;
+  return c;
+}
+
+}  // namespace unveil::sim

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file measurement.hpp
+/// Measurement configuration: instrumentation probes and sampling.
+///
+/// Both mechanisms perturb the application — every probe and every sampling
+/// interrupt steals CPU time from the burst it lands in. The engine applies
+/// these costs to the simulated execution, which is what makes the overhead
+/// experiment (T2) and the period-sensitivity experiment (F5) meaningful:
+/// fine-grain sampling really does dilate the run it measures.
+
+#include <cstdint>
+
+#include "unveil/trace/record.hpp"
+
+namespace unveil::sim {
+
+/// Instrumentation-probe configuration (Extrae-style wrappers).
+struct InstrumentationConfig {
+  bool enabled = true;        ///< Emit phase/MPI events at region boundaries.
+  double probeCostNs = 100.0; ///< CPU cost of one probe (counter read + buffer write).
+  bool emitStates = true;     ///< Also record compute/MPI state intervals.
+
+  /// Throws ConfigError on negative costs.
+  void validate() const;
+};
+
+/// Asynchronous sampling configuration (signal/interrupt-style).
+struct SamplingConfig {
+  bool enabled = true;
+  /// Nominal sampling period (ns). The paper's folding input is *coarse*:
+  /// defaults to 1 ms (≈1000 samples/s/rank).
+  double periodNs = 1'000'000.0;
+  /// Uniform jitter applied to every inter-sample gap as a fraction of the
+  /// period (0.2 means each gap is uniform in [0.8, 1.2] × period). Jitter
+  /// plus phase-uncorrelated offsets are what make folding's coverage of
+  /// [0,1] dense across instances.
+  double jitterFrac = 0.2;
+  /// CPU cost of servicing one sampling interrupt (ns).
+  double sampleCostNs = 2000.0;
+  /// PMU multiplex groups rotated across consecutive samples. 1 (default)
+  /// reads every counter at every sample. With g > 1, TOT_INS and TOT_CYC
+  /// are always read (fixed counters) while the remaining counters are
+  /// partitioned round-robin over the g groups — the standard PAPI
+  /// multiplexing compromise when events outnumber hardware counters.
+  /// Sample k of a rank carries group k mod g; its other counters are
+  /// absent (validMask).
+  std::size_t multiplexGroups = 1;
+  /// Capture the sampled callstack's code region (Sample::regionId). Real
+  /// samplers unwind the stack at each interrupt; here the region comes from
+  /// the phase model's ground-truth region table.
+  bool sampleCallstacks = true;
+  /// Randomize each rank's first tick within one period (default). Disabling
+  /// this aligns every rank's sampling clock — together with jitterFrac = 0
+  /// it reproduces the aliasing failure mode the jitter ablation (A3)
+  /// demonstrates: samples lock onto fixed phase positions and folding's
+  /// coverage of [0,1] collapses.
+  bool randomOffsets = true;
+
+  /// Throws ConfigError on invalid ranges.
+  void validate() const;
+};
+
+/// The counter mask sample number \p sampleIndex carries under \p groups
+/// multiplex groups (see SamplingConfig::multiplexGroups).
+[[nodiscard]] trace::CounterMask multiplexMask(std::size_t groups,
+                                               std::size_t sampleIndex) noexcept;
+
+/// Full measurement setup for one run.
+struct MeasurementConfig {
+  InstrumentationConfig instrumentation;
+  SamplingConfig sampling;
+
+  /// Validates both sub-configs.
+  void validate() const;
+
+  /// A configuration with everything off (overhead baseline).
+  [[nodiscard]] static MeasurementConfig none();
+  /// Instrumentation only (no sampling).
+  [[nodiscard]] static MeasurementConfig instrumentationOnly();
+  /// Instrumentation + coarse sampling — the folding setup.
+  [[nodiscard]] static MeasurementConfig folding(double periodNs = 1'000'000.0);
+  /// Instrumentation + fine-grain sampling — the expensive reference.
+  [[nodiscard]] static MeasurementConfig fineGrain(double periodNs = 20'000.0);
+};
+
+}  // namespace unveil::sim

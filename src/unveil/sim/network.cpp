@@ -1,0 +1,46 @@
+#include "unveil/sim/network.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::sim {
+
+void NetworkModel::validate() const {
+  if (latencyNs < 0.0 || sendOverheadNs < 0.0 || recvOverheadNs < 0.0)
+    throw ConfigError("network latencies/overheads must be non-negative");
+  if (bandwidthBytesPerNs <= 0.0)
+    throw ConfigError("network bandwidth must be positive");
+}
+
+double NetworkModel::transferNs(std::uint64_t bytes) const noexcept {
+  return latencyNs + static_cast<double>(bytes) / bandwidthBytesPerNs;
+}
+
+double NetworkModel::sendCostNs(std::uint64_t bytes) const noexcept {
+  return sendOverheadNs + static_cast<double>(bytes) / bandwidthBytesPerNs;
+}
+
+double NetworkModel::collectiveCostNs(trace::MpiOp op, std::uint64_t bytes,
+                                      trace::Rank ranks) const noexcept {
+  const double steps =
+      ranks <= 1 ? 1.0 : std::ceil(std::log2(static_cast<double>(ranks)));
+  const double step = latencyNs + static_cast<double>(bytes) / bandwidthBytesPerNs;
+  switch (op) {
+    case trace::MpiOp::Barrier:
+      return steps * latencyNs;
+    case trace::MpiOp::Allreduce:
+      // reduce + broadcast along the tree.
+      return 2.0 * steps * step;
+    case trace::MpiOp::Alltoall:
+      // P-1 pairwise exchanges, pipelined; dominated by volume.
+      return static_cast<double>(ranks > 0 ? ranks - 1 : 0) *
+                 (static_cast<double>(bytes) / bandwidthBytesPerNs) +
+             steps * latencyNs;
+    default:
+      return steps * step;
+  }
+}
+
+}  // namespace unveil::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file network.hpp
+/// Interconnect cost model (latency–bandwidth, log-tree collectives).
+///
+/// The paper's applications ran on real clusters; here message and
+/// collective costs come from the classic postal model: a point-to-point
+/// message of b bytes costs latency + b / bandwidth, and a collective over P
+/// ranks costs ceil(log2 P) such steps. This is the same family of models
+/// Dimemas uses to replay Paraver traces, which keeps communication shapes
+/// (who waits for whom, how imbalance surfaces at collectives) realistic
+/// without simulating a full network.
+
+#include <cstdint>
+
+#include "unveil/trace/record.hpp"
+
+namespace unveil::sim {
+
+/// Postal-model interconnect parameters and cost queries.
+struct NetworkModel {
+  /// One-way wire latency (ns). Default ~1 µs (commodity cluster MPI).
+  double latencyNs = 1000.0;
+  /// Link bandwidth in bytes per ns (default 10 GB/s = 10 B/ns).
+  double bandwidthBytesPerNs = 10.0;
+  /// Sender-side CPU overhead per message (ns).
+  double sendOverheadNs = 300.0;
+  /// Receiver-side CPU overhead per message (ns).
+  double recvOverheadNs = 300.0;
+
+  /// Validates parameter ranges; throws ConfigError on non-positive values.
+  void validate() const;
+
+  /// Time from send start until the payload is available at the receiver.
+  [[nodiscard]] double transferNs(std::uint64_t bytes) const noexcept;
+
+  /// CPU time the sender is busy issuing the message.
+  [[nodiscard]] double sendCostNs(std::uint64_t bytes) const noexcept;
+
+  /// Cost of a collective over \p ranks ranks moving \p bytes per rank,
+  /// measured from the instant the last rank arrives.
+  [[nodiscard]] double collectiveCostNs(trace::MpiOp op, std::uint64_t bytes,
+                                        trace::Rank ranks) const noexcept;
+};
+
+}  // namespace unveil::sim

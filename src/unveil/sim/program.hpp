@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file program.hpp
+/// Per-rank action sequences executed by the engine.
+///
+/// An application model compiles, per rank, a deterministic sequence of
+/// actions: computation bursts (with pre-realized durations and counter-noise
+/// factors so runs are reproducible) and communication operations. The
+/// engine replays these sequences under the network model and the
+/// measurement configuration.
+
+#include <array>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "unveil/counters/counter.hpp"
+#include "unveil/trace/record.hpp"
+
+namespace unveil::sim {
+
+/// A computation burst of one phase instance.
+struct ComputeAction {
+  std::uint32_t phaseId = 0;   ///< Index into the application's phase table.
+  std::uint32_t iteration = 0; ///< Outer iteration this instance belongs to.
+  trace::TimeNs workNs = 0;    ///< Pure work duration (before measurement overhead).
+  /// Per-counter multiplicative noise factors realized at program-build time.
+  std::array<double, counters::kNumCounters> noiseFactors{};
+  /// Per-instance time-warp exponent (see NoiseModel::warpSigma).
+  double warp = 1.0;
+};
+
+/// Point-to-point send (non-blocking sender-side cost, eager protocol).
+struct SendAction {
+  trace::Rank peer = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Point-to-point receive; blocks until the matching message arrives.
+struct RecvAction {
+  trace::Rank peer = 0;
+  std::uint32_t tag = 0;
+};
+
+/// A collective operation (Barrier, Allreduce, Alltoall).
+struct CollectiveAction {
+  trace::MpiOp op = trace::MpiOp::Barrier;
+  std::uint64_t bytes = 0;  ///< Per-rank payload.
+};
+
+/// One program step.
+using Action = std::variant<ComputeAction, SendAction, RecvAction, CollectiveAction>;
+
+/// A rank's full action sequence.
+using Program = std::vector<Action>;
+
+}  // namespace unveil::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file truth.hpp
+/// Ground truth the simulator records alongside the trace.
+///
+/// For every burst instance the engine executed, the truth records which
+/// phase produced it, its exact time window and its realized counter totals.
+/// Accuracy experiments compare folding's reconstructions against the phase
+/// model's analytic rate shapes; clustering experiments compare labels
+/// against the phaseId recorded here.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "unveil/counters/counter.hpp"
+#include "unveil/trace/record.hpp"
+
+namespace unveil::sim {
+
+/// One executed burst instance.
+struct BurstTruth {
+  trace::Rank rank = 0;
+  std::uint32_t phaseId = 0;
+  std::uint32_t iteration = 0;
+  trace::TimeNs begin = 0;  ///< Burst start (at the begin probe).
+  trace::TimeNs end = 0;    ///< Burst end (at the end probe).
+  trace::TimeNs workNs = 0; ///< Pure work time (excludes measurement overhead).
+  double warp = 1.0;        ///< Per-instance time-warp exponent.
+  /// Realized per-counter totals for this instance.
+  std::array<double, counters::kNumCounters> totals{};
+};
+
+/// All burst instances of a run, in execution order per rank.
+struct GroundTruth {
+  std::vector<BurstTruth> bursts;
+
+  /// Number of burst instances of phase \p phaseId.
+  [[nodiscard]] std::size_t countForPhase(std::uint32_t phaseId) const noexcept {
+    std::size_t n = 0;
+    for (const auto& b : bursts) n += (b.phaseId == phaseId) ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace unveil::sim

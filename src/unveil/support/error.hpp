@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives shared by every unveil library.
+///
+/// Philosophy (per C++ Core Guidelines E.*): programming errors are checked
+/// with UNVEIL_ASSERT and abort in all build types (an analysis tool that
+/// silently continues on a broken invariant produces wrong science); input
+/// and environment errors throw typed exceptions derived from unveil::Error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace unveil {
+
+/// Base class for all recoverable unveil errors (bad input, malformed trace,
+/// invalid configuration). Catch as `const unveil::Error&`.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a user-supplied configuration value is out of range or
+/// inconsistent (e.g. negative sampling period, eps <= 0).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Thrown when parsing or interpreting a trace fails (truncated file,
+/// unsorted records where sorted are required, unknown record tag).
+class TraceError : public Error {
+ public:
+  explicit TraceError(const std::string& what) : Error("trace error: " + what) {}
+};
+
+/// Thrown when an analysis step cannot proceed on the given data (e.g. a
+/// cluster with no sampled instances, a curve fit with zero support points).
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(const std::string& what) : Error("analysis error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "unveil assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace unveil
+
+/// Invariant check that is active in every build type. `msg` is a string
+/// literal describing the violated invariant.
+#define UNVEIL_ASSERT(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::unveil::detail::assertFail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,42 @@
+#include "unveil/support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace unveil::support {
+
+namespace {
+std::atomic<LogLevel> gLevel{LogLevel::Warn};
+std::mutex gMutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::ErrorLevel: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { gLevel.store(level, std::memory_order_relaxed); }
+
+LogLevel logLevel() noexcept { return gLevel.load(std::memory_order_relaxed); }
+
+void log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  const std::lock_guard<std::mutex> lock(gMutex);
+  std::fprintf(stderr, "[%s] %.*s\n", levelName(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+void logDebug(std::string_view message) { log(LogLevel::Debug, message); }
+void logInfo(std::string_view message) { log(LogLevel::Info, message); }
+void logWarn(std::string_view message) { log(LogLevel::Warn, message); }
+void logError(std::string_view message) { log(LogLevel::ErrorLevel, message); }
+
+}  // namespace unveil::support

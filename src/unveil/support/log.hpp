@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logger. Analysis pipelines narrate their stages through
+/// this so examples and benches can show progress without ad-hoc printf.
+
+#include <string_view>
+
+namespace unveil::support {
+
+/// Severity levels, ordered.
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void setLogLevel(LogLevel level) noexcept;
+
+/// Current global minimum level.
+[[nodiscard]] LogLevel logLevel() noexcept;
+
+/// Emits one log line to stderr as "[level] message" when enabled.
+void log(LogLevel level, std::string_view message);
+
+/// Convenience wrappers.
+void logDebug(std::string_view message);
+void logInfo(std::string_view message);
+void logWarn(std::string_view message);
+void logError(std::string_view message);
+
+}  // namespace unveil::support

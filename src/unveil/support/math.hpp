@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file math.hpp
+/// Small numeric helpers shared across modules (header-only).
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::support {
+
+/// \p n evenly spaced points from \p lo to \p hi inclusive. n >= 2.
+[[nodiscard]] inline std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  UNVEIL_ASSERT(n >= 2, "linspace requires n >= 2");
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;  // avoid drift on the last point
+  return out;
+}
+
+/// Linear interpolation between a and b at fraction t.
+[[nodiscard]] constexpr double lerp(double a, double b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// True when |a-b| <= absTol + relTol * max(|a|,|b|).
+[[nodiscard]] inline bool approxEqual(double a, double b, double relTol = 1e-9,
+                                      double absTol = 1e-12) noexcept {
+  return std::abs(a - b) <= absTol + relTol * std::max(std::abs(a), std::abs(b));
+}
+
+/// Piecewise-linear evaluation of (xs, ys) at \p x. xs must be strictly
+/// increasing; x outside the range is clamped to the end values.
+[[nodiscard]] inline double interpLinear(const std::vector<double>& xs,
+                                         const std::vector<double>& ys, double x) {
+  UNVEIL_ASSERT(xs.size() == ys.size(), "interpLinear: size mismatch");
+  UNVEIL_ASSERT(!xs.empty(), "interpLinear: empty support");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  std::size_t lo = 0, hi = xs.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (xs[mid] <= x) lo = mid;
+    else hi = mid;
+  }
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return lerp(ys[lo], ys[hi], t);
+}
+
+/// Trapezoidal integral of samples ys over xs (same length, xs increasing).
+[[nodiscard]] inline double trapezoid(const std::vector<double>& xs,
+                                      const std::vector<double>& ys) {
+  UNVEIL_ASSERT(xs.size() == ys.size(), "trapezoid: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i)
+    s += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+  return s;
+}
+
+}  // namespace unveil::support

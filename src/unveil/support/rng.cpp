@@ -1,0 +1,73 @@
+#include "unveil/support/rng.hpp"
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::support {
+
+namespace {
+
+/// SplitMix64 finalizer; good avalanche, stable everywhere.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t deriveSeed(std::uint64_t root, std::string_view label) noexcept {
+  std::uint64_t h = mix64(root);
+  for (unsigned char c : label) {
+    h = mix64(h ^ static_cast<std::uint64_t>(c));
+  }
+  return h;
+}
+
+Rng Rng::fork(std::string_view label) {
+  // Consume one draw from the parent so repeated forks with the same label
+  // still yield distinct children.
+  const std::uint64_t salt = engine_();
+  return Rng(deriveSeed(salt, label));
+}
+
+double Rng::uniform(double lo, double hi) {
+  UNVEIL_ASSERT(lo <= hi, "uniform bounds must satisfy lo <= hi");
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  UNVEIL_ASSERT(lo <= hi, "uniformInt bounds must satisfy lo <= hi");
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  UNVEIL_ASSERT(stddev >= 0.0, "normal stddev must be non-negative");
+  if (stddev == 0.0) return mean;
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::lognormalMedian(double median, double sigma) {
+  UNVEIL_ASSERT(median > 0.0, "lognormal median must be positive");
+  UNVEIL_ASSERT(sigma >= 0.0, "lognormal sigma must be non-negative");
+  if (sigma == 0.0) return median;
+  std::lognormal_distribution<double> d(std::log(median), sigma);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  UNVEIL_ASSERT(mean > 0.0, "exponential mean must be positive");
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  UNVEIL_ASSERT(p >= 0.0 && p <= 1.0, "bernoulli p must be in [0,1]");
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+}  // namespace unveil::support

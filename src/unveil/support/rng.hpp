@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation with named substreams.
+///
+/// Every stochastic component in unveil (burst noise, sampling jitter, load
+/// imbalance, k-means seeding) draws from an Rng obtained by deriving a
+/// substream from a root seed and a stable label. Two runs with the same
+/// root seed therefore produce bit-identical traces, cluster assignments and
+/// folded curves, regardless of the order in which components are invoked.
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace unveil::support {
+
+/// Derives a 64-bit stream seed from a root seed and a label using
+/// SplitMix64-style mixing over the label bytes. Stable across platforms.
+[[nodiscard]] std::uint64_t deriveSeed(std::uint64_t root, std::string_view label) noexcept;
+
+/// Deterministic random generator (mt19937_64 core) with convenience
+/// distributions. Cheap to copy; copies continue the same sequence
+/// independently from the copy point.
+class Rng {
+ public:
+  /// Constructs a generator seeded directly with \p seed.
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Constructs the substream identified by (\p root, \p label).
+  Rng(std::uint64_t root, std::string_view label) : engine_(deriveSeed(root, label)) {}
+
+  /// Creates a child substream; children are independent of the parent's
+  /// future draws.
+  [[nodiscard]] Rng fork(std::string_view label);
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Lognormal such that the *median* of the distribution is \p median and
+  /// the underlying normal sigma is \p sigma. Useful for multiplicative
+  /// noise factors: lognormalMedian(1.0, s) has median exactly 1.
+  [[nodiscard]] double lognormalMedian(double median, double sigma);
+
+  /// Exponential with the given mean (mean = 1/lambda).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Bernoulli draw with probability \p p of returning true.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Raw 64-bit draw, for hashing/seeding uses.
+  [[nodiscard]] std::uint64_t next() { return engine_(); }
+
+  /// Access to the underlying engine for use with std:: distributions.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace unveil::support

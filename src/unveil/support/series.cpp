@@ -1,0 +1,54 @@
+#include "unveil/support/series.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::support {
+
+SeriesSet::SeriesSet(std::string name, std::string xLabel, std::string yLabel)
+    : name_(std::move(name)), xLabel_(std::move(xLabel)), yLabel_(std::move(yLabel)) {}
+
+void SeriesSet::add(Series s) {
+  if (s.x.size() != s.y.size())
+    throw ConfigError("series '" + s.label + "' has mismatched x/y lengths");
+  series_.push_back(std::move(s));
+}
+
+void SeriesSet::add(const std::string& label, std::vector<double> x,
+                    std::vector<double> y) {
+  add(Series{label, std::move(x), std::move(y)});
+}
+
+void SeriesSet::write(std::ostream& os) const {
+  os << "# figure: " << name_ << '\n';
+  os << "# xlabel: " << xLabel_ << '\n';
+  os << "# ylabel: " << yLabel_ << '\n';
+  for (const auto& s : series_) {
+    os << "# series: " << s.label << '\n';
+    for (std::size_t i = 0; i < s.x.size(); ++i)
+      os << s.x[i] << ' ' << s.y[i] << '\n';
+    os << '\n';
+  }
+}
+
+void SeriesSet::printSummary(std::ostream& os) const {
+  os << "figure " << name_ << "  [" << xLabel_ << " vs " << yLabel_ << "]\n";
+  for (const auto& s : series_) {
+    os << "  series '" << s.label << "': " << s.x.size() << " points";
+    if (!s.x.empty()) {
+      os << "  x in [" << s.x.front() << ", " << s.x.back() << "]"
+         << "  y(first)=" << s.y.front() << " y(last)=" << s.y.back();
+    }
+    os << '\n';
+  }
+}
+
+void SeriesSet::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open for writing: " + path);
+  write(f);
+}
+
+}  // namespace unveil::support

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file series.hpp
+/// Named (x, y) series — the unit in which figure-reproducing benches emit
+/// their data. A SeriesSet corresponds to one figure: several labelled
+/// curves/point clouds sharing one x axis meaning.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace unveil::support {
+
+/// One labelled curve or point cloud.
+struct Series {
+  std::string label;       ///< Legend entry, e.g. "cluster 1 fitted MIPS".
+  std::vector<double> x;   ///< Abscissae.
+  std::vector<double> y;   ///< Ordinates; same length as x.
+};
+
+/// A figure's worth of series plus axis metadata.
+class SeriesSet {
+ public:
+  /// \param name   figure identifier, e.g. "F3.wavesim".
+  /// \param xLabel x-axis caption.
+  /// \param yLabel y-axis caption.
+  SeriesSet(std::string name, std::string xLabel, std::string yLabel);
+
+  /// Adds a series; x and y must have equal length.
+  void add(Series s);
+
+  /// Convenience: adds a series from parallel vectors.
+  void add(const std::string& label, std::vector<double> x, std::vector<double> y);
+
+  /// Figure identifier.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// All series in insertion order.
+  [[nodiscard]] const std::vector<Series>& series() const noexcept { return series_; }
+
+  /// Writes a gnuplot-friendly block format: one "# series: label" header per
+  /// series followed by "x y" lines and a blank separator.
+  void write(std::ostream& os) const;
+
+  /// Writes a compact preview (first/last points and count per series) so a
+  /// bench's stdout stays readable while full data goes to a file.
+  void printSummary(std::ostream& os) const;
+
+  /// Saves write() output to \p path; throws unveil::Error on failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::string xLabel_;
+  std::string yLabel_;
+  std::vector<Series> series_;
+};
+
+}  // namespace unveil::support

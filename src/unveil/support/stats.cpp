@@ -1,0 +1,104 @@
+#include "unveil/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::support {
+
+void RunningStats::add(double x) noexcept {
+  if (!any_) {
+    min_ = x;
+    max_ = x;
+    any_ = true;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nTotal = na + nb;
+  mean_ += delta * nb / nTotal;
+  m2_ += other.m2_ + delta * delta * na * nb / nTotal;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw AnalysisError("quantile of empty range");
+  UNVEIL_ASSERT(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v.front();
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double madSigma(std::span<const double> values) {
+  const double m = median(values);
+  std::vector<double> dev;
+  dev.reserve(values.size());
+  for (double x : values) dev.push_back(std::abs(x - m));
+  return 1.4826 * median(dev);
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) throw AnalysisError("mean of empty range");
+  double s = 0.0;
+  for (double x : values) s += x;
+  return s / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (!(hi > lo)) throw ConfigError("histogram requires hi > lo");
+  if (bins == 0) throw ConfigError("histogram requires at least one bin");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  double idx = (x - lo_) / width_;
+  idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size()) - 1.0);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t i) const {
+  UNVEIL_ASSERT(i < counts_.size(), "histogram bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::binCenter(std::size_t i) const {
+  UNVEIL_ASSERT(i < counts_.size(), "histogram bin index out of range");
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+}  // namespace unveil::support

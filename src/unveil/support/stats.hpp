@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming and batch statistics used across clustering, folding and the
+/// benchmark harness: Welford running moments, robust location/scale
+/// (median, MAD), percentiles and fixed-width histograms.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace unveil::support {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel reduction friendly).
+  void merge(const RunningStats& other) noexcept;
+
+  /// Number of observations added so far.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// Arithmetic mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  /// Square root of variance().
+  [[nodiscard]] double stddev() const noexcept;
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool any_ = false;
+};
+
+/// Returns the \p q quantile (q in [0,1]) of \p values using linear
+/// interpolation between order statistics. Copies and sorts internally.
+/// Throws AnalysisError when \p values is empty.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Median shorthand for quantile(values, 0.5).
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Median absolute deviation scaled by 1.4826 so it estimates the standard
+/// deviation under normality. Throws AnalysisError when empty.
+[[nodiscard]] double madSigma(std::span<const double> values);
+
+/// Arithmetic mean; throws AnalysisError when empty.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Fixed-width histogram over [lo, hi) with \p bins bins. Values outside the
+/// range are clamped into the first/last bin.
+class Histogram {
+ public:
+  /// Creates a histogram with \p bins equal-width bins spanning [lo, hi).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation (clamped into range).
+  void add(double x) noexcept;
+
+  /// Number of bins.
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  /// Count in bin \p i.
+  [[nodiscard]] std::size_t count(std::size_t i) const;
+  /// Center of bin \p i.
+  [[nodiscard]] double binCenter(std::size_t i) const;
+  /// Total observations added.
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace unveil::support

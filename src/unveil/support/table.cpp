@@ -1,0 +1,104 @@
+#include "unveil/support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw ConfigError("table requires at least one column");
+}
+
+void Table::addRow(std::vector<Cell> row) {
+  if (row.size() != headers_.size())
+    throw ConfigError("table row has " + std::to_string(row.size()) +
+                      " cells, expected " + std::to_string(headers_.size()));
+  rows_.push_back(std::move(row));
+}
+
+const Cell& Table::at(std::size_t row, std::size_t col) const {
+  UNVEIL_ASSERT(row < rows_.size(), "table row index out of range");
+  UNVEIL_ASSERT(col < headers_.size(), "table column index out of range");
+  return rows_[row][col];
+}
+
+std::string Table::formatCell(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<long long>(&cell)) return std::to_string(*i);
+  const double d = std::get<double>(cell);
+  char buf[64];
+  if (d != 0.0 && (std::abs(d) >= 1e7 || std::abs(d) < 1e-4)) {
+    std::snprintf(buf, sizeof(buf), "%.4g", d);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", d);
+  }
+  return buf;
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line.push_back(formatCell(row[c]));
+      width[c] = std::max(width[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto writeLine = [&](const std::vector<std::string>& line) {
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << line[c];
+      for (std::size_t p = line[c].size(); p < width[c]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  writeLine(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c == 0 ? 0 : 2);
+  for (std::size_t i = 0; i < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& line : cells) writeLine(line);
+}
+
+namespace {
+std::string csvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::writeCsv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << csvEscape(headers_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << csvEscape(formatCell(row[c]));
+    os << '\n';
+  }
+}
+
+void Table::saveCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open for writing: " + path);
+  writeCsv(f);
+}
+
+}  // namespace unveil::support

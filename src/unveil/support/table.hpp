@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file table.hpp
+/// Tabular output used by the benchmark harness to print the rows a paper
+/// table reports, and to emit machine-readable CSV alongside.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace unveil::support {
+
+/// One table cell: string, integer or floating-point.
+using Cell = std::variant<std::string, long long, double>;
+
+/// A simple column-oriented table with pretty-printing and CSV export.
+///
+/// Usage:
+///   Table t({"app", "cluster", "mean abs diff (%)"});
+///   t.addRow({"wavesim", 1LL, 2.31});
+///   t.print(std::cout);        // aligned, human readable
+///   t.writeCsv(std::cout);     // machine readable
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void addRow(std::vector<Cell> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  /// Number of columns.
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+  /// Cell accessor (row-major). Asserts on out-of-range indices.
+  [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Pretty-prints with aligned columns; optional \p title line above.
+  void print(std::ostream& os, const std::string& title = {}) const;
+
+  /// Writes RFC-4180-ish CSV (quotes only when needed).
+  void writeCsv(std::ostream& os) const;
+
+  /// Writes CSV to \p path; throws unveil::Error when the file cannot be
+  /// opened.
+  void saveCsv(const std::string& path) const;
+
+  /// Formats a single cell using the same rules as print()/writeCsv().
+  [[nodiscard]] static std::string formatCell(const Cell& cell);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace unveil::support

@@ -1,0 +1,239 @@
+#include "unveil/trace/binary_io.hpp"
+
+#include "unveil/trace/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::trace {
+
+namespace {
+
+constexpr char kMagic[] = "UVTB1\n";
+constexpr std::size_t kMagicLen = 6;
+
+void putVarint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t getVarint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const int c = is.get();
+    if (c == std::char_traits<char>::eof())
+      throw TraceError("binary trace truncated inside varint");
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) throw TraceError("binary trace varint overflow");
+  }
+  return v;
+}
+
+/// Per-rank delta state for timestamps and cumulative counters.
+struct RankDeltas {
+  TimeNs lastTime = 0;
+  counters::CounterSet lastCounters;
+};
+
+void putCounterDeltas(std::ostream& os, RankDeltas& d, const counters::CounterSet& c) {
+  for (std::size_t i = 0; i < counters::kNumCounters; ++i) {
+    UNVEIL_ASSERT(c.values[i] >= d.lastCounters.values[i],
+                  "binary writer requires monotone counters (finalized trace)");
+    putVarint(os, c.values[i] - d.lastCounters.values[i]);
+  }
+  d.lastCounters = c;
+}
+
+counters::CounterSet getCounterDeltas(std::istream& is, RankDeltas& d) {
+  counters::CounterSet c;
+  for (std::size_t i = 0; i < counters::kNumCounters; ++i)
+    c.values[i] = d.lastCounters.values[i] + getVarint(is);
+  d.lastCounters = c;
+  return c;
+}
+
+}  // namespace
+
+void writeBinary(const Trace& trace, std::ostream& os) {
+  if (!trace.finalized())
+    throw TraceError("binary export requires a finalized trace");
+  os.write(kMagic, kMagicLen);
+  putVarint(os, trace.appName().size());
+  os.write(trace.appName().data(),
+           static_cast<std::streamsize>(trace.appName().size()));
+  putVarint(os, trace.numRanks());
+  putVarint(os, trace.durationNs());
+  putVarint(os, trace.events().size());
+  putVarint(os, trace.samples().size());
+  putVarint(os, trace.states().size());
+
+  // Events and samples share one delta context per rank so interleaved
+  // cumulative counters stay small; records are stored stream-by-stream but
+  // each stream is (rank, time)-sorted, so deltas within a stream are
+  // non-negative for time and counters. Separate contexts per stream keep
+  // the invariant simple.
+  {
+    std::vector<RankDeltas> ctx(trace.numRanks());
+    for (const auto& e : trace.events()) {
+      putVarint(os, e.rank);
+      putVarint(os, e.time - ctx[e.rank].lastTime);
+      ctx[e.rank].lastTime = e.time;
+      os.put(static_cast<char>(e.kind));
+      putVarint(os, e.value);
+      putCounterDeltas(os, ctx[e.rank], e.counters);
+    }
+  }
+  {
+    std::vector<RankDeltas> ctx(trace.numRanks());
+    for (const auto& s : trace.samples()) {
+      putVarint(os, s.rank);
+      putVarint(os, s.time - ctx[s.rank].lastTime);
+      ctx[s.rank].lastTime = s.time;
+      os.put(static_cast<char>(s.validMask));
+      putVarint(os, s.regionId);
+      // Only valid counters are stored; the delta context advances per
+      // counter on its own last valid observation.
+      for (std::size_t i = 0; i < counters::kNumCounters; ++i) {
+        if (!maskHas(s.validMask, static_cast<counters::CounterId>(i))) continue;
+        UNVEIL_ASSERT(
+            s.counters.values[i] >= ctx[s.rank].lastCounters.values[i],
+            "binary writer requires monotone counters (finalized trace)");
+        putVarint(os, s.counters.values[i] - ctx[s.rank].lastCounters.values[i]);
+        ctx[s.rank].lastCounters.values[i] = s.counters.values[i];
+      }
+    }
+  }
+  {
+    // States are (rank, begin)-sorted after finalize(), so begin deltas from
+    // the previous *begin* are always non-negative (ends may interleave).
+    std::vector<TimeNs> lastBegin(trace.numRanks(), 0);
+    for (const auto& s : trace.states()) {
+      putVarint(os, s.rank);
+      putVarint(os, s.begin - lastBegin[s.rank]);
+      putVarint(os, s.end - s.begin);
+      os.put(static_cast<char>(s.state));
+      lastBegin[s.rank] = s.begin;
+    }
+  }
+}
+
+Trace readBinary(std::istream& is) {
+  char magic[kMagicLen];
+  is.read(magic, kMagicLen);
+  if (is.gcount() != static_cast<std::streamsize>(kMagicLen) ||
+      std::string_view(magic, kMagicLen) != std::string_view(kMagic, kMagicLen))
+    throw TraceError("not a binary unveil trace (bad magic)");
+  const auto nameLen = getVarint(is);
+  if (nameLen > 4096) throw TraceError("binary trace app name too long");
+  std::string name(nameLen, '\0');
+  is.read(name.data(), static_cast<std::streamsize>(nameLen));
+  if (is.gcount() != static_cast<std::streamsize>(nameLen))
+    throw TraceError("binary trace truncated in app name");
+  const auto ranks = static_cast<Rank>(getVarint(is));
+  if (ranks == 0) throw TraceError("binary trace has zero ranks");
+  const auto duration = getVarint(is);
+  const auto nEvents = getVarint(is);
+  const auto nSamples = getVarint(is);
+  const auto nStates = getVarint(is);
+
+  Trace trace(name, ranks);
+  trace.setDurationNs(duration);
+  {
+    std::vector<RankDeltas> ctx(ranks);
+    for (std::uint64_t i = 0; i < nEvents; ++i) {
+      Event e;
+      e.rank = static_cast<Rank>(getVarint(is));
+      if (e.rank >= ranks) throw TraceError("binary event rank out of range");
+      e.time = ctx[e.rank].lastTime + getVarint(is);
+      ctx[e.rank].lastTime = e.time;
+      const int kind = is.get();
+      if (kind < 0 || kind > static_cast<int>(EventKind::MpiEnd))
+        throw TraceError("binary event kind invalid");
+      e.kind = static_cast<EventKind>(kind);
+      e.value = static_cast<std::uint32_t>(getVarint(is));
+      e.counters = getCounterDeltas(is, ctx[e.rank]);
+      trace.addEvent(e);
+    }
+  }
+  {
+    std::vector<RankDeltas> ctx(ranks);
+    for (std::uint64_t i = 0; i < nSamples; ++i) {
+      Sample s;
+      s.rank = static_cast<Rank>(getVarint(is));
+      if (s.rank >= ranks) throw TraceError("binary sample rank out of range");
+      s.time = ctx[s.rank].lastTime + getVarint(is);
+      ctx[s.rank].lastTime = s.time;
+      const int mask = is.get();
+      if (mask < 0 || mask > static_cast<int>(kAllCountersMask))
+        throw TraceError("binary sample mask invalid");
+      s.validMask = static_cast<CounterMask>(mask);
+      s.regionId = static_cast<std::uint32_t>(getVarint(is));
+      for (std::size_t c = 0; c < counters::kNumCounters; ++c) {
+        if (!maskHas(s.validMask, static_cast<counters::CounterId>(c))) continue;
+        s.counters.values[c] = ctx[s.rank].lastCounters.values[c] + getVarint(is);
+        ctx[s.rank].lastCounters.values[c] = s.counters.values[c];
+      }
+      trace.addSample(s);
+    }
+  }
+  {
+    std::vector<TimeNs> lastBegin(ranks, 0);
+    for (std::uint64_t i = 0; i < nStates; ++i) {
+      StateInterval s;
+      s.rank = static_cast<Rank>(getVarint(is));
+      if (s.rank >= ranks) throw TraceError("binary state rank out of range");
+      s.begin = lastBegin[s.rank] + getVarint(is);
+      s.end = s.begin + getVarint(is);
+      const int state = is.get();
+      if (state < 0 || state > static_cast<int>(State::Idle))
+        throw TraceError("binary state code invalid");
+      s.state = static_cast<State>(state);
+      lastBegin[s.rank] = s.begin;
+      trace.addState(s);
+    }
+  }
+  trace.finalize();
+  return trace;
+}
+
+void writeBinaryFile(const Trace& trace, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for writing: " + path);
+  writeBinary(trace, f);
+}
+
+Trace readBinaryFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for reading: " + path);
+  return readBinary(f);
+}
+
+std::size_t binarySize(const Trace& trace) {
+  std::ostringstream os(std::ios::binary);
+  writeBinary(trace, os);
+  return os.str().size();
+}
+
+Trace readAutoFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open for reading: " + path);
+  char first = 0;
+  f.get(first);
+  f.unget();
+  if (first == 'U') return readBinary(f);
+  return read(f);
+}
+
+}  // namespace unveil::trace

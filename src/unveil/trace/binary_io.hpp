@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file binary_io.hpp
+/// Compact binary trace serialization (.utb).
+///
+/// The text format (io.hpp) is diffable and greppable; this one is for
+/// volume. Layout: magic "UVTB1\n", header (app name, ranks, duration,
+/// record counts), then the three record streams. All integers are LEB128
+/// varints; timestamps and hardware counters are *delta-encoded per rank*,
+/// which is where the big win comes from — counters are cumulative and
+/// timestamps monotone, so deltas are small. Typical traces shrink 4–8x
+/// versus the text format.
+
+#include <iosfwd>
+#include <string>
+
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::trace {
+
+/// Writes \p trace in binary form. \p trace must be finalized (the delta
+/// encoding relies on canonical record order).
+void writeBinary(const Trace& trace, std::ostream& os);
+
+/// Reads a binary trace; throws TraceError on malformed input.
+[[nodiscard]] Trace readBinary(std::istream& is);
+
+/// File variants; throw unveil::Error on IO failure.
+void writeBinaryFile(const Trace& trace, const std::string& path);
+[[nodiscard]] Trace readBinaryFile(const std::string& path);
+
+/// Serialized size in bytes without materializing the output (for data-
+/// volume accounting).
+[[nodiscard]] std::size_t binarySize(const Trace& trace);
+
+/// Reads a trace file in either format, sniffing the magic/header line.
+[[nodiscard]] Trace readAutoFile(const std::string& path);
+
+}  // namespace unveil::trace

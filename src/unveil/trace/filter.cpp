@@ -1,0 +1,46 @@
+#include "unveil/trace/filter.hpp"
+
+#include <algorithm>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::trace {
+
+Trace sliceTime(const Trace& trace, TimeNs beginNs, TimeNs endNs) {
+  if (beginNs >= endNs) throw ConfigError("sliceTime requires begin < end");
+  Trace out(trace.appName(), trace.numRanks());
+  out.setDurationNs(std::min(endNs, trace.durationNs()));
+  for (const auto& e : trace.events())
+    if (e.time >= beginNs && e.time < endNs) out.addEvent(e);
+  for (const auto& s : trace.samples())
+    if (s.time >= beginNs && s.time < endNs) out.addSample(s);
+  for (auto s : trace.states()) {
+    if (s.end <= beginNs || s.begin >= endNs) continue;
+    s.begin = std::max(s.begin, beginNs);
+    s.end = std::min(s.end, endNs);
+    out.addState(s);
+  }
+  out.finalize();
+  return out;
+}
+
+Trace selectRanks(const Trace& trace, const std::vector<Rank>& ranks) {
+  if (ranks.empty()) throw ConfigError("selectRanks requires at least one rank");
+  std::vector<bool> keep(trace.numRanks(), false);
+  for (Rank r : ranks) {
+    if (r >= trace.numRanks()) throw ConfigError("selectRanks rank out of range");
+    keep[r] = true;
+  }
+  Trace out(trace.appName(), trace.numRanks());
+  out.setDurationNs(trace.durationNs());
+  for (const auto& e : trace.events())
+    if (keep[e.rank]) out.addEvent(e);
+  for (const auto& s : trace.samples())
+    if (keep[s.rank]) out.addSample(s);
+  for (const auto& s : trace.states())
+    if (keep[s.rank]) out.addState(s);
+  out.finalize();
+  return out;
+}
+
+}  // namespace unveil::trace

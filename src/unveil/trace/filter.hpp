@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file filter.hpp
+/// Trace slicing utilities: restrict a trace to a time window or a rank
+/// subset. Production traces are routinely cut down before analysis (skip
+/// initialization, focus on a representative region — exactly what the
+/// group's ICPADS'11 follow-up automates); these are the primitives.
+
+#include <vector>
+
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::trace {
+
+/// Returns the sub-trace of records overlapping [beginNs, endNs).
+/// Punctual records (events, samples) are kept when begin <= t < end; state
+/// intervals are kept when they overlap and are clipped to the window.
+/// Timestamps are preserved (not rebased). The result is finalized.
+/// Throws ConfigError when beginNs >= endNs.
+[[nodiscard]] Trace sliceTime(const Trace& trace, TimeNs beginNs, TimeNs endNs);
+
+/// Returns the sub-trace containing only the listed ranks. Rank ids are
+/// preserved; numRanks stays the same so rank identities remain stable.
+/// Throws ConfigError when \p ranks is empty or contains an out-of-range id.
+[[nodiscard]] Trace selectRanks(const Trace& trace, const std::vector<Rank>& ranks);
+
+}  // namespace unveil::trace

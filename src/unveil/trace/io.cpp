@@ -1,0 +1,159 @@
+#include "unveil/trace/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::trace {
+
+namespace {
+
+void writeCounters(std::ostream& os, const counters::CounterSet& c) {
+  for (std::size_t i = 0; i < counters::kNumCounters; ++i) os << ' ' << c.values[i];
+}
+
+counters::CounterSet parseCounters(std::istringstream& ls, int lineNo) {
+  counters::CounterSet c;
+  for (std::size_t i = 0; i < counters::kNumCounters; ++i) {
+    if (!(ls >> c.values[i]))
+      throw TraceError("line " + std::to_string(lineNo) + ": missing counter value");
+  }
+  return c;
+}
+
+}  // namespace
+
+void write(const Trace& trace, std::ostream& os) {
+  os << "#UNVEIL_TRACE v1\n";
+  os << "app " << trace.appName() << '\n';
+  os << "ranks " << trace.numRanks() << '\n';
+  os << "duration " << trace.durationNs() << '\n';
+  os << "counters";
+  for (counters::CounterId id : counters::kAllCounters)
+    os << ' ' << counters::counterName(id);
+  os << '\n';
+  for (const auto& e : trace.events()) {
+    os << "E " << e.rank << ' ' << e.time << ' '
+       << static_cast<unsigned>(e.kind) << ' ' << e.value;
+    writeCounters(os, e.counters);
+    os << '\n';
+  }
+  for (const auto& s : trace.samples()) {
+    os << "S " << s.rank << ' ' << s.time;
+    writeCounters(os, s.counters);
+    // Trailing optional fields (older writers omit them; the reader
+    // defaults): validity mask, then region id. The mask is emitted whenever
+    // the region is, so the trailing-field positions stay unambiguous.
+    if (s.validMask != kAllCountersMask || s.regionId != kNoRegion) {
+      os << ' ' << static_cast<unsigned>(s.validMask);
+      if (s.regionId != kNoRegion) os << ' ' << s.regionId;
+    }
+    os << '\n';
+  }
+  for (const auto& s : trace.states()) {
+    os << "T " << s.rank << ' ' << s.begin << ' ' << s.end << ' '
+       << static_cast<unsigned>(s.state) << '\n';
+  }
+}
+
+void writeFile(const Trace& trace, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open for writing: " + path);
+  write(trace, f);
+}
+
+Trace read(std::istream& is) {
+  std::string line;
+  int lineNo = 0;
+  std::string appName = "unnamed";
+  Rank numRanks = 0;
+  TimeNs duration = 0;
+  bool sawHeader = false;
+  Trace trace;
+  std::vector<Event> events;
+  std::vector<Sample> samples;
+  std::vector<StateInterval> states;
+
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("#UNVEIL_TRACE", 0) == 0) sawHeader = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "app") {
+      ls >> appName;
+    } else if (tag == "ranks") {
+      if (!(ls >> numRanks) || numRanks == 0)
+        throw TraceError("line " + std::to_string(lineNo) + ": bad ranks");
+    } else if (tag == "duration") {
+      if (!(ls >> duration))
+        throw TraceError("line " + std::to_string(lineNo) + ": bad duration");
+    } else if (tag == "counters") {
+      // Column-order documentation line; verify the names match our build.
+      for (counters::CounterId id : counters::kAllCounters) {
+        std::string name;
+        if (!(ls >> name) || name != counters::counterName(id))
+          throw TraceError("line " + std::to_string(lineNo) +
+                           ": counter columns do not match this build");
+      }
+    } else if (tag == "E") {
+      Event e;
+      unsigned kind = 0;
+      if (!(ls >> e.rank >> e.time >> kind >> e.value))
+        throw TraceError("line " + std::to_string(lineNo) + ": bad event");
+      if (kind > static_cast<unsigned>(EventKind::MpiEnd))
+        throw TraceError("line " + std::to_string(lineNo) + ": bad event kind");
+      e.kind = static_cast<EventKind>(kind);
+      e.counters = parseCounters(ls, lineNo);
+      events.push_back(e);
+    } else if (tag == "S") {
+      Sample s;
+      if (!(ls >> s.rank >> s.time))
+        throw TraceError("line " + std::to_string(lineNo) + ": bad sample");
+      s.counters = parseCounters(ls, lineNo);
+      unsigned mask = kAllCountersMask;
+      if (ls >> mask) {
+        if (mask > kAllCountersMask)
+          throw TraceError("line " + std::to_string(lineNo) + ": bad sample mask");
+        s.validMask = static_cast<CounterMask>(mask);
+        std::uint32_t region = kNoRegion;
+        if (ls >> region) s.regionId = region;
+      }
+      samples.push_back(s);
+    } else if (tag == "T") {
+      StateInterval s;
+      unsigned state = 0;
+      if (!(ls >> s.rank >> s.begin >> s.end >> state))
+        throw TraceError("line " + std::to_string(lineNo) + ": bad state interval");
+      if (state > static_cast<unsigned>(State::Idle))
+        throw TraceError("line " + std::to_string(lineNo) + ": bad state code");
+      s.state = static_cast<State>(state);
+      states.push_back(s);
+    } else {
+      throw TraceError("line " + std::to_string(lineNo) + ": unknown tag '" + tag + "'");
+    }
+  }
+  if (!sawHeader) throw TraceError("missing #UNVEIL_TRACE header");
+  if (numRanks == 0) throw TraceError("missing ranks line");
+  trace = Trace(appName, numRanks);
+  trace.setDurationNs(duration);
+  for (const auto& e : events) trace.addEvent(e);
+  for (const auto& s : samples) trace.addSample(s);
+  for (const auto& s : states) trace.addState(s);
+  trace.finalize();
+  return trace;
+}
+
+Trace readFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open for reading: " + path);
+  return read(f);
+}
+
+}  // namespace unveil::trace

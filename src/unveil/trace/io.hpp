@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file io.hpp
+/// Text serialization of traces (a simplified Paraver-like format).
+///
+/// Format (line oriented, '#' comments allowed):
+///   #UNVEIL_TRACE v1
+///   app <name>
+///   ranks <n>
+///   duration <ns>
+///   counters <name>...            (fixed order, documents the columns)
+///   E <rank> <time> <kind> <value> <c0>..<c5>
+///   S <rank> <time> <c0>..<c5>
+///   T <rank> <begin> <end> <state>
+///
+/// write/read round-trips exactly; read() finalizes (sorts + validates) the
+/// returned trace and throws TraceError on malformed input.
+
+#include <iosfwd>
+#include <string>
+
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::trace {
+
+/// Writes \p trace to \p os in the text format above.
+void write(const Trace& trace, std::ostream& os);
+
+/// Writes \p trace to the file at \p path; throws unveil::Error on IO failure.
+void writeFile(const Trace& trace, const std::string& path);
+
+/// Parses a trace from \p is; throws TraceError on malformed input.
+[[nodiscard]] Trace read(std::istream& is);
+
+/// Reads a trace from the file at \p path.
+[[nodiscard]] Trace readFile(const std::string& path);
+
+}  // namespace unveil::trace

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file paraver.hpp
+/// Paraver trace export (.prv / .pcf / .row triple).
+///
+/// The paper's toolchain (Extrae → Paraver) consumes this format, so unveil
+/// traces can be inspected with the same GUI the authors used. We emit the
+/// subset of the Paraver 2.x text format our records map onto:
+///
+///   .prv  header `#Paraver (dd/mm/yy at hh:mm):totalNs:1(nRanks):1:nRanks(1:1,…)`
+///         state records   `1:cpu:app:task:thread:begin:end:state`
+///         event records   `2:cpu:app:task:thread:time:type:value[:type:value…]`
+///   .pcf  labels for state codes, event types and values
+///   .row  per-level object names
+///
+/// Mapping: rank r → (cpu r+1, app 1, task r+1, thread 1). Phase probes emit
+/// event type 60000001 (value = phaseId+1 on entry, 0 on exit); MPI probes
+/// emit 50000001 (value = op+1 / 0), mirroring Extrae's MPI event encoding.
+/// Samples emit the hardware-counter event types 42000050.. with absolute
+/// cumulative values.
+
+#include <iosfwd>
+#include <string>
+
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::trace {
+
+/// Paraver event-type codes used by the exporter.
+struct ParaverCodes {
+  static constexpr std::uint32_t kPhaseType = 60000001;
+  static constexpr std::uint32_t kMpiType = 50000001;
+  /// Counter event types: kCounterBase + counter index.
+  static constexpr std::uint32_t kCounterBase = 42000050;
+};
+
+/// Writes the .prv body for \p trace to \p os. \p trace must be finalized.
+void writeParaverPrv(const Trace& trace, std::ostream& os);
+
+/// Writes the .pcf (configuration/labels) matching writeParaverPrv output.
+void writeParaverPcf(const Trace& trace, std::ostream& os);
+
+/// Writes the .row (object names) for \p trace.
+void writeParaverRow(const Trace& trace, std::ostream& os);
+
+/// Writes the triple `basePath.prv/.pcf/.row`. Throws unveil::Error on IO
+/// failure, TraceError if \p trace is not finalized.
+void exportParaver(const Trace& trace, const std::string& basePath);
+
+}  // namespace unveil::trace

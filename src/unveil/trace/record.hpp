@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file record.hpp
+/// Trace record types — the information content of an Extrae/Paraver trace
+/// reduced to what clustering and folding consume.
+///
+/// Three record kinds exist, mirroring the paper's measurement setup:
+///  - Event:  a punctual instrumentation probe (phase or MPI enter/exit)
+///            carrying a full hardware-counter snapshot;
+///  - Sample: an asynchronous sampling interrupt carrying a counter snapshot;
+///  - StateInterval: a [begin, end) interval labelling what the rank was
+///            doing (useful for timelines and data-volume accounting).
+///
+/// All timestamps are nanoseconds since application start. All counter
+/// snapshots are cumulative per rank since rank start.
+
+#include <cstdint>
+
+#include "unveil/counters/counter.hpp"
+
+namespace unveil::trace {
+
+/// Nanoseconds since application start.
+using TimeNs = std::uint64_t;
+
+/// Zero-based MPI-style rank index.
+using Rank = std::uint32_t;
+
+/// What an instrumentation event marks.
+enum class EventKind : std::uint8_t {
+  PhaseBegin = 0,  ///< Entering a computation phase; value = phase id.
+  PhaseEnd,        ///< Leaving a computation phase; value = phase id.
+  MpiBegin,        ///< Entering an MPI operation; value = MpiOp.
+  MpiEnd,          ///< Leaving an MPI operation; value = MpiOp.
+};
+
+/// MPI operation codes recorded in Mpi* events' value field.
+enum class MpiOp : std::uint32_t {
+  Send = 0,
+  Recv,
+  Allreduce,
+  Barrier,
+  Alltoall,
+  Waitall,
+};
+
+/// Name of an MpiOp, e.g. "MPI_Allreduce".
+[[nodiscard]] const char* mpiOpName(MpiOp op) noexcept;
+
+/// A punctual instrumentation probe with a counter snapshot.
+struct Event {
+  Rank rank = 0;
+  TimeNs time = 0;
+  EventKind kind = EventKind::PhaseBegin;
+  std::uint32_t value = 0;  ///< Phase id or MpiOp, per kind.
+  counters::CounterSet counters;
+};
+
+/// Bit mask over CounterId indices; bit i set = counter i was read.
+using CounterMask = std::uint8_t;
+
+/// Mask with every modelled counter present.
+inline constexpr CounterMask kAllCountersMask =
+    static_cast<CounterMask>((1u << counters::kNumCounters) - 1u);
+
+/// True when \p mask contains counter \p id.
+[[nodiscard]] constexpr bool maskHas(CounterMask mask,
+                                     counters::CounterId id) noexcept {
+  return (mask >> counters::counterIndex(id)) & 1u;
+}
+
+/// An asynchronous sampling interrupt with a counter snapshot.
+///
+/// Real PMUs cannot read arbitrarily many counters at once; tools multiplex
+/// by rotating counter sets between interrupts. validMask records which
+/// counters this sample actually carries — values of absent counters are 0
+/// and must be ignored.
+/// Sample regionId value meaning "no code region attributed" (sample landed
+/// outside computation, or callstack sampling was off).
+inline constexpr std::uint32_t kNoRegion = 0;
+
+struct Sample {
+  Rank rank = 0;
+  TimeNs time = 0;
+  counters::CounterSet counters;
+  CounterMask validMask = kAllCountersMask;
+  /// Code-region attribution from the sampled callstack: 1 + the phase's
+  /// region index, or kNoRegion. Folding region ids over many instances
+  /// recovers the phase's internal code structure (see folding/regions.hpp).
+  std::uint32_t regionId = kNoRegion;
+};
+
+/// What a rank was doing during an interval.
+enum class State : std::uint8_t {
+  Compute = 0,  ///< Useful computation (a burst).
+  Mpi,          ///< Inside an MPI operation (incl. wait time).
+  Idle,         ///< Blocked with nothing to do.
+};
+
+/// Name of a State ("compute"/"mpi"/"idle").
+[[nodiscard]] const char* stateName(State s) noexcept;
+
+/// A [begin, end) interval labelled with a State.
+struct StateInterval {
+  Rank rank = 0;
+  TimeNs begin = 0;
+  TimeNs end = 0;
+  State state = State::Compute;
+};
+
+}  // namespace unveil::trace

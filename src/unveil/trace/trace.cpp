@@ -1,0 +1,155 @@
+#include "unveil/trace/trace.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::trace {
+
+const char* mpiOpName(MpiOp op) noexcept {
+  switch (op) {
+    case MpiOp::Send: return "MPI_Send";
+    case MpiOp::Recv: return "MPI_Recv";
+    case MpiOp::Allreduce: return "MPI_Allreduce";
+    case MpiOp::Barrier: return "MPI_Barrier";
+    case MpiOp::Alltoall: return "MPI_Alltoall";
+    case MpiOp::Waitall: return "MPI_Waitall";
+  }
+  return "MPI_Unknown";
+}
+
+const char* stateName(State s) noexcept {
+  switch (s) {
+    case State::Compute: return "compute";
+    case State::Mpi: return "mpi";
+    case State::Idle: return "idle";
+  }
+  return "?";
+}
+
+Trace::Trace(std::string appName, Rank numRanks)
+    : appName_(std::move(appName)), numRanks_(numRanks) {
+  if (numRanks == 0) throw ConfigError("trace requires numRanks > 0");
+}
+
+void Trace::addEvent(Event e) {
+  finalized_ = false;
+  events_.push_back(e);
+}
+
+void Trace::addSample(Sample s) {
+  finalized_ = false;
+  samples_.push_back(s);
+}
+
+void Trace::addState(StateInterval s) {
+  finalized_ = false;
+  states_.push_back(s);
+}
+
+void Trace::finalize() {
+  auto byRankTime = [](const auto& a, const auto& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.time < b.time;
+  };
+  std::stable_sort(events_.begin(), events_.end(), byRankTime);
+  std::stable_sort(samples_.begin(), samples_.end(), byRankTime);
+  std::stable_sort(states_.begin(), states_.end(), [](const auto& a, const auto& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.begin < b.begin;
+  });
+  if (durationNs_ == 0) {
+    for (const auto& e : events_) durationNs_ = std::max(durationNs_, e.time);
+    for (const auto& s : samples_) durationNs_ = std::max(durationNs_, s.time);
+    for (const auto& s : states_) durationNs_ = std::max(durationNs_, s.end);
+  }
+  validate();
+  finalized_ = true;
+}
+
+void Trace::validate() const {
+  for (const auto& e : events_) {
+    if (e.rank >= numRanks_) throw TraceError("event rank out of range");
+    if (e.time > durationNs_) throw TraceError("event time exceeds duration");
+  }
+  for (const auto& s : samples_) {
+    if (s.rank >= numRanks_) throw TraceError("sample rank out of range");
+    if (s.time > durationNs_) throw TraceError("sample time exceeds duration");
+  }
+  for (const auto& s : states_) {
+    if (s.rank >= numRanks_) throw TraceError("state rank out of range");
+    if (s.begin > s.end) throw TraceError("state interval has begin > end");
+    if (s.end > durationNs_) throw TraceError("state interval exceeds duration");
+  }
+
+  // Hardware counters are cumulative per rank: walking a rank's events and
+  // samples in chronological order, no counter may decrease. Merge the two
+  // sorted streams per rank.
+  for (Rank r = 0; r < numRanks_; ++r) {
+    auto evLo = std::lower_bound(events_.begin(), events_.end(), r,
+                                 [](const Event& e, Rank rank) { return e.rank < rank; });
+    auto evHi = std::upper_bound(events_.begin(), events_.end(), r,
+                                 [](Rank rank, const Event& e) { return rank < e.rank; });
+    auto smLo = std::lower_bound(samples_.begin(), samples_.end(), r,
+                                 [](const Sample& s, Rank rank) { return s.rank < rank; });
+    auto smHi = std::upper_bound(samples_.begin(), samples_.end(), r,
+                                 [](Rank rank, const Sample& s) { return rank < s.rank; });
+    // Records sharing a timestamp are unordered (timestamps are rounded to
+    // ns), so monotonicity is enforced between *time groups*: every record
+    // must dominate the component-wise max of all records at strictly
+    // earlier times.
+    counters::CounterSet committedMax;  // max over all earlier-time records
+    counters::CounterSet groupMax;      // max within the current time group
+    TimeNs groupTime = 0;
+    bool any = false;
+    auto check = [&](const counters::CounterSet& cur, CounterMask mask, TimeNs t) {
+      if (any && t != groupTime) {
+        for (std::size_t i = 0; i < counters::kNumCounters; ++i)
+          committedMax.values[i] =
+              std::max(committedMax.values[i], groupMax.values[i]);
+        groupTime = t;
+        groupMax = counters::CounterSet{};
+      } else if (!any) {
+        groupTime = t;
+        any = true;
+      }
+      for (std::size_t i = 0; i < counters::kNumCounters; ++i) {
+        // Multiplexed-out counters carry no information: skip both the
+        // check and the max update.
+        if (!maskHas(mask, static_cast<counters::CounterId>(i))) continue;
+        groupMax.values[i] = std::max(groupMax.values[i], cur.values[i]);
+        if (cur.values[i] < committedMax.values[i])
+          throw TraceError("counter regression on rank " + std::to_string(r) +
+                           " at t=" + std::to_string(t));
+      }
+    };
+    auto ev = evLo;
+    auto sm = smLo;
+    while (ev != evHi || sm != smHi) {
+      const bool takeEvent =
+          sm == smHi || (ev != evHi && ev->time <= sm->time);
+      if (takeEvent) {
+        check(ev->counters, kAllCountersMask, ev->time);
+        ++ev;
+      } else {
+        check(sm->counters, sm->validMask, sm->time);
+        ++sm;
+      }
+    }
+  }
+}
+
+TraceStats Trace::stats() const noexcept {
+  TraceStats s;
+  s.events = events_.size();
+  s.samples = samples_.size();
+  s.states = states_.size();
+  s.totalRecords = s.events + s.samples + s.states;
+  s.estimatedBytes = events_.size() * sizeof(Event) +
+                     samples_.size() * sizeof(Sample) +
+                     states_.size() * sizeof(StateInterval);
+  return s;
+}
+
+}  // namespace unveil::trace

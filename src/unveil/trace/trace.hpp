@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file trace.hpp
+/// The Trace container: everything a measured run produced, plus validation
+/// and accounting used by the data-volume experiment (T4).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "unveil/trace/record.hpp"
+
+namespace unveil::trace {
+
+/// Record counts and estimated serialized size of a trace.
+struct TraceStats {
+  std::size_t events = 0;
+  std::size_t samples = 0;
+  std::size_t states = 0;
+  std::size_t totalRecords = 0;
+  std::size_t estimatedBytes = 0;  ///< In-memory record footprint.
+};
+
+/// A complete measured run: metadata + events + samples + state intervals.
+///
+/// Records may be appended in any order; finalize() sorts them into canonical
+/// (rank, time) order and validates the invariants every consumer relies on:
+/// timestamps within the run duration and per-rank monotone non-decreasing
+/// hardware counters across interleaved events and samples.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// \param appName application label.
+  /// \param numRanks number of ranks (> 0).
+  Trace(std::string appName, Rank numRanks);
+
+  /// Appends one instrumentation event.
+  void addEvent(Event e);
+  /// Appends one sampling record.
+  void addSample(Sample s);
+  /// Appends one state interval.
+  void addState(StateInterval s);
+
+  /// Sorts all record vectors by (rank, time) and validates invariants.
+  /// Throws TraceError when counters regress or timestamps exceed duration.
+  void finalize();
+
+  /// Application label.
+  [[nodiscard]] const std::string& appName() const noexcept { return appName_; }
+  /// Number of ranks.
+  [[nodiscard]] Rank numRanks() const noexcept { return numRanks_; }
+  /// Total run duration (ns); kept as max record time unless set explicitly.
+  [[nodiscard]] TimeNs durationNs() const noexcept { return durationNs_; }
+  /// Sets the run duration explicitly (e.g. from the simulator's clock).
+  void setDurationNs(TimeNs d) noexcept { durationNs_ = d; }
+
+  /// All instrumentation events (sorted after finalize()).
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+  /// All samples (sorted after finalize()).
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+  /// All state intervals (sorted after finalize()).
+  [[nodiscard]] const std::vector<StateInterval>& states() const noexcept {
+    return states_;
+  }
+
+  /// Record counts and footprint.
+  [[nodiscard]] TraceStats stats() const noexcept;
+
+  /// True once finalize() succeeded and no records were added since.
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+ private:
+  void validate() const;
+
+  std::string appName_ = "unnamed";
+  Rank numRanks_ = 1;
+  TimeNs durationNs_ = 0;
+  std::vector<Event> events_;
+  std::vector<Sample> samples_;
+  std::vector<StateInterval> states_;
+  bool finalized_ = false;
+};
+
+}  // namespace unveil::trace

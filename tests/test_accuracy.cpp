@@ -1,0 +1,99 @@
+/// Tests for the accuracy metrics and reference-curve builders.
+
+#include <gtest/gtest.h>
+
+#include "unveil/cluster/burst.hpp"
+#include "unveil/folding/accuracy.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/math.hpp"
+#include "test_util.hpp"
+
+namespace unveil::folding {
+namespace {
+
+TEST(MeanAbsDiff, ZeroForIdentical) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(meanAbsDiffPercent(a, a), 0.0);
+}
+
+TEST(MeanAbsDiff, KnownValue) {
+  const std::vector<double> a = {1.1, 0.9};
+  const std::vector<double> b = {1.0, 1.0};
+  // diff = 0.2, level = 2.0 -> 10%.
+  EXPECT_NEAR(meanAbsDiffPercent(a, b), 10.0, 1e-12);
+}
+
+TEST(MeanAbsDiff, AsymmetricNormalization) {
+  const std::vector<double> a = {2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_NEAR(meanAbsDiffPercent(a, b), 100.0, 1e-12);
+  EXPECT_NEAR(meanAbsDiffPercent(b, a), 50.0, 1e-12);
+}
+
+TEST(MeanAbsDiff, Validation) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW((void)meanAbsDiffPercent(a, b), ConfigError);
+  EXPECT_THROW((void)meanAbsDiffPercent({}, {}), ConfigError);
+  const std::vector<double> zero = {0.0};
+  EXPECT_THROW((void)meanAbsDiffPercent(a, zero), AnalysisError);
+}
+
+TEST(TruthCurve, SamplesShape) {
+  const auto shape = counters::RateShape::ramp(1.0, 3.0);
+  const auto grid = support::linspace(0.0, 1.0, 5);
+  const auto curve = truthNormalizedRate(shape, grid);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_NEAR(curve.front(), 1.0 / 2.0, 1e-9);
+  EXPECT_NEAR(curve.back(), 3.0 / 2.0, 1e-9);
+}
+
+TEST(EmpiricalRate, RecoversKnownProfileFromDenseSamples) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 40;
+  spec.samplesPerBurst = 50;  // dense: fine-grain style
+  spec.cdf = [](double t) { return t * t; };
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  std::vector<std::size_t> all(bursts.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  const auto grid = support::linspace(0.0, 1.0, 101);
+  const auto rate = empiricalNormalizedRate(trace, bursts, all,
+                                            counters::CounterId::TotIns, grid);
+  ASSERT_EQ(rate.size(), grid.size());
+  // True normalized rate is 2t.
+  for (std::size_t i = 10; i < 91; ++i)
+    EXPECT_NEAR(rate[i], 2.0 * grid[i], 0.15) << "t=" << grid[i];
+}
+
+TEST(EmpiricalRate, RequiresDenseInstances) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 20;
+  spec.samplesPerBurst = 2;  // far below the density threshold
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  std::vector<std::size_t> all(bursts.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const auto grid = support::linspace(0.0, 1.0, 11);
+  EXPECT_THROW((void)empiricalNormalizedRate(trace, bursts, all,
+                                             counters::CounterId::TotIns, grid),
+               AnalysisError);
+}
+
+TEST(EmpiricalRate, BinCountValidated) {
+  testutil::SyntheticSpec spec;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  std::vector<std::size_t> all(bursts.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const auto grid = support::linspace(0.0, 1.0, 11);
+  EmpiricalRateParams params;
+  params.bins = 1;
+  EXPECT_THROW((void)empiricalNormalizedRate(trace, bursts, all,
+                                             counters::CounterId::TotIns, grid, params),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace unveil::folding

@@ -1,0 +1,109 @@
+/// Tests for dispersion bands around folded reconstructions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "unveil/folding/band.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/rng.hpp"
+
+namespace unveil::folding {
+namespace {
+
+FoldedCounter noisyLinearCloud(std::size_t n, double noise, std::uint64_t seed = 1) {
+  support::Rng rng(seed, "band");
+  FoldedCounter f;
+  f.instances = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    FoldedPoint p;
+    p.t = rng.uniform(0.0, 1.0);
+    p.y = std::clamp(p.t + rng.normal(0.0, noise), 0.0, 1.0);
+    f.points.push_back(p);
+  }
+  std::sort(f.points.begin(), f.points.end(),
+            [](const auto& a, const auto& b) { return a.t < b.t; });
+  return f;
+}
+
+TEST(BandParams, Validation) {
+  BandParams p;
+  p.sigmas = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = BandParams{};
+  p.bins = 1;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = BandParams{};
+  p.gridPoints = 1;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Band, EmptyCloudRejected) {
+  FoldedCounter f;
+  EXPECT_THROW((void)foldBand(f), AnalysisError);
+}
+
+TEST(Band, EnvelopesOrderedAndMonotone) {
+  const auto cloud = noisyLinearCloud(2000, 0.03);
+  const auto band = foldBand(cloud);
+  ASSERT_EQ(band.cumulativeLo.size(), band.t.size());
+  for (std::size_t i = 0; i < band.t.size(); ++i) {
+    EXPECT_LE(band.cumulativeLo[i], band.cumulativeHi[i] + 1e-12);
+    EXPECT_LE(band.rateLo[i], band.rateHi[i] + 1e-12);
+    EXPECT_GE(band.rateLo[i], 0.0);
+    if (i > 0) {
+      EXPECT_GE(band.cumulativeLo[i], band.cumulativeLo[i - 1] - 1e-12);
+      EXPECT_GE(band.cumulativeHi[i], band.cumulativeHi[i - 1] - 1e-12);
+    }
+  }
+  EXPECT_NEAR(band.cumulativeLo.front(), 0.0, 1e-9);
+  EXPECT_NEAR(band.cumulativeHi.back(), 1.0, 1e-9);
+}
+
+TEST(Band, WidthTracksDispersion) {
+  const auto tight = foldBand(noisyLinearCloud(2000, 0.005));
+  const auto wide = foldBand(noisyLinearCloud(2000, 0.05));
+  EXPECT_LT(tight.meanHalfWidth, wide.meanHalfWidth);
+  EXPECT_NEAR(tight.meanHalfWidth, 0.005, 0.004);
+  EXPECT_NEAR(wide.meanHalfWidth, 0.05, 0.02);
+}
+
+TEST(Band, SigmasScaleWidth) {
+  const auto cloud = noisyLinearCloud(2000, 0.02);
+  BandParams one;
+  BandParams two;
+  two.sigmas = 2.0;
+  const auto a = foldBand(cloud, one);
+  const auto b = foldBand(cloud, two);
+  EXPECT_NEAR(b.meanHalfWidth / a.meanHalfWidth, 2.0, 0.05);
+}
+
+TEST(Band, NoiseFreeCloudHasNearZeroWidth) {
+  const auto cloud = noisyLinearCloud(2000, 0.0);
+  const auto band = foldBand(cloud);
+  EXPECT_LT(band.meanHalfWidth, 1e-6);
+  // Central rates ~1 everywhere.
+  for (std::size_t i = 10; i + 10 < band.t.size(); ++i) {
+    EXPECT_NEAR(band.rateLo[i], 1.0, 0.1);
+    EXPECT_NEAR(band.rateHi[i], 1.0, 0.1);
+  }
+}
+
+TEST(Band, ContainsTrueCurveMostOfTheTime) {
+  const auto cloud = noisyLinearCloud(3000, 0.02, 5);
+  BandParams p;
+  p.sigmas = 2.0;
+  const auto band = foldBand(cloud, p);
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < band.t.size(); ++i) {
+    const double truth = band.t[i];  // linear cdf
+    inside += (truth >= band.cumulativeLo[i] - 1e-9 &&
+               truth <= band.cumulativeHi[i] + 1e-9)
+                  ? 1
+                  : 0;
+  }
+  EXPECT_GT(static_cast<double>(inside) / static_cast<double>(band.t.size()), 0.9);
+}
+
+}  // namespace
+}  // namespace unveil::folding

@@ -1,0 +1,126 @@
+/// Tests for the compact binary trace format.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "unveil/support/error.hpp"
+#include "unveil/trace/binary_io.hpp"
+#include "unveil/trace/io.hpp"
+#include "test_util.hpp"
+
+namespace unveil::trace {
+namespace {
+
+Trace sampleTrace() {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 8;
+  spec.samplesPerBurst = 4;
+  return testutil::makeSyntheticTrace(spec);
+}
+
+void expectEqualTraces(const Trace& a, const Trace& b) {
+  EXPECT_EQ(a.appName(), b.appName());
+  EXPECT_EQ(a.numRanks(), b.numRanks());
+  EXPECT_EQ(a.durationNs(), b.durationNs());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  ASSERT_EQ(a.states().size(), b.states().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].rank, b.events()[i].rank);
+    EXPECT_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].value, b.events()[i].value);
+    EXPECT_EQ(a.events()[i].counters, b.events()[i].counters);
+  }
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_EQ(a.samples()[i].time, b.samples()[i].time);
+    EXPECT_EQ(a.samples()[i].counters, b.samples()[i].counters);
+  }
+  for (std::size_t i = 0; i < a.states().size(); ++i) {
+    EXPECT_EQ(a.states()[i].begin, b.states()[i].begin);
+    EXPECT_EQ(a.states()[i].end, b.states()[i].end);
+    EXPECT_EQ(a.states()[i].state, b.states()[i].state);
+  }
+}
+
+TEST(BinaryIo, RoundTripSynthetic) {
+  const Trace original = sampleTrace();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  writeBinary(original, ss);
+  expectEqualTraces(original, readBinary(ss));
+}
+
+TEST(BinaryIo, RoundTripSimulatedRun) {
+  const auto& run = testutil::smallWavesimRun();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  writeBinary(run.trace, ss);
+  expectEqualTraces(run.trace, readBinary(ss));
+}
+
+TEST(BinaryIo, MuchSmallerThanText) {
+  const auto& run = testutil::smallWavesimRun();
+  std::ostringstream text;
+  write(run.trace, text);
+  const std::size_t binary = binarySize(run.trace);
+  EXPECT_LT(binary * 3, text.str().size())
+      << "binary " << binary << " vs text " << text.str().size();
+}
+
+TEST(BinaryIo, RequiresFinalizedTrace) {
+  Trace t("x", 1);
+  t.addSample(Sample{});
+  std::ostringstream os;
+  EXPECT_THROW(writeBinary(t, os), TraceError);
+}
+
+TEST(BinaryIo, BadMagicRejected) {
+  std::istringstream is("NOTATRACE");
+  EXPECT_THROW((void)readBinary(is), TraceError);
+}
+
+TEST(BinaryIo, TruncationRejected) {
+  const Trace original = sampleTrace();
+  std::ostringstream os(std::ios::binary);
+  writeBinary(original, os);
+  const std::string full = os.str();
+  for (std::size_t cut : {full.size() / 4, full.size() / 2, full.size() - 3}) {
+    std::istringstream is(full.substr(0, cut));
+    EXPECT_THROW((void)readBinary(is), TraceError) << "cut at " << cut;
+  }
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const Trace original = sampleTrace();
+  const std::string path = ::testing::TempDir() + "/unveil_binary_test.utb";
+  writeBinaryFile(original, path);
+  expectEqualTraces(original, readBinaryFile(path));
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW((void)readBinaryFile("/nonexistent/x.utb"), Error);
+}
+
+TEST(BinaryIo, AutoDetectReadsBothFormats) {
+  const Trace original = sampleTrace();
+  const std::string textPath = ::testing::TempDir() + "/unveil_auto.trace";
+  const std::string binPath = ::testing::TempDir() + "/unveil_auto.utb";
+  writeFile(original, textPath);
+  writeBinaryFile(original, binPath);
+  expectEqualTraces(original, readAutoFile(textPath));
+  expectEqualTraces(original, readAutoFile(binPath));
+}
+
+TEST(BinaryIo, EmptyTraceRoundTrips) {
+  Trace t("empty", 3);
+  t.setDurationNs(1000);
+  t.finalize();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  writeBinary(t, ss);
+  const Trace back = readBinary(ss);
+  EXPECT_EQ(back.numRanks(), 3u);
+  EXPECT_EQ(back.stats().totalRecords, 0u);
+}
+
+}  // namespace
+}  // namespace unveil::trace

@@ -1,0 +1,154 @@
+/// Tests for burst extraction — both modes — and sample attachment.
+
+#include <gtest/gtest.h>
+
+#include "unveil/cluster/burst.hpp"
+#include "unveil/support/error.hpp"
+#include "test_util.hpp"
+
+namespace unveil::cluster {
+namespace {
+
+TEST(BurstExtraction, PhaseEventsYieldOneBurstPerInstance) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 20;
+  spec.samplesPerBurst = 4;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = BurstExtraction{}.fromPhaseEvents(trace);
+  ASSERT_EQ(bursts.size(), 20u);
+  for (const auto& b : bursts) {
+    EXPECT_EQ(b.rank, 0u);
+    EXPECT_EQ(b.truthPhase, spec.phaseId);
+    EXPECT_EQ(b.durationNs(), spec.burstNs);
+    EXPECT_EQ(b.sampleIdx.size(), 4u);
+    EXPECT_EQ(b.delta()[counters::CounterId::TotIns],
+              static_cast<std::uint64_t>(spec.totalIns));
+  }
+}
+
+TEST(BurstExtraction, SamplesAttachedAreInsideWindow) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 10;
+  spec.samplesPerBurst = 6;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = BurstExtraction{}.fromPhaseEvents(trace);
+  std::size_t attached = 0;
+  for (const auto& b : bursts) {
+    for (std::size_t si : b.sampleIdx) {
+      const auto& s = trace.samples()[si];
+      EXPECT_EQ(s.rank, b.rank);
+      EXPECT_GE(s.time, b.begin);
+      EXPECT_LT(s.time, b.end);
+      ++attached;
+    }
+  }
+  EXPECT_EQ(attached, trace.samples().size());
+}
+
+TEST(BurstExtraction, RequiresFinalizedTrace) {
+  trace::Trace t("x", 1);
+  EXPECT_THROW((void)BurstExtraction{}.fromPhaseEvents(t), TraceError);
+  EXPECT_THROW((void)BurstExtraction{}.fromMpiGaps(t), TraceError);
+}
+
+TEST(BurstExtraction, UnbalancedEventsRejected) {
+  trace::Trace t("x", 1);
+  trace::Event e;
+  e.rank = 0;
+  e.time = 10;
+  e.kind = trace::EventKind::PhaseEnd;  // end without begin
+  e.value = 0;
+  t.addEvent(e);
+  t.finalize();
+  EXPECT_THROW((void)BurstExtraction{}.fromPhaseEvents(t), TraceError);
+}
+
+TEST(BurstExtraction, NestedBeginsRejected) {
+  trace::Trace t("x", 1);
+  trace::Event e;
+  e.rank = 0;
+  e.time = 10;
+  e.kind = trace::EventKind::PhaseBegin;
+  t.addEvent(e);
+  e.time = 20;
+  t.addEvent(e);
+  t.finalize();
+  EXPECT_THROW((void)BurstExtraction{}.fromPhaseEvents(t), TraceError);
+}
+
+TEST(BurstExtraction, MinDurationFilters) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 5;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  BurstExtraction ex;
+  ex.minDurationNs = spec.burstNs * 2;  // all bursts too short
+  EXPECT_TRUE(ex.fromPhaseEvents(trace).empty());
+}
+
+TEST(BurstExtraction, MpiGapsFindBursts) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 12;
+  spec.samplesPerBurst = 3;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  // Gap bursts span MpiEnd -> next MpiBegin, i.e. the phase computation plus
+  // the surrounding probe gap; the synthetic trace has one MPI pair per
+  // burst, so there are bursts-1 interior gaps (plus no prologue anchor
+  // before the first MPI here because phase events precede it).
+  const auto bursts = BurstExtraction{}.fromMpiGaps(trace);
+  ASSERT_GE(bursts.size(), spec.bursts - 1);
+  for (const auto& b : bursts) {
+    EXPECT_EQ(b.truthPhase, kNoPhase);
+    EXPECT_GT(b.durationNs(), 0u);
+  }
+}
+
+TEST(BurstExtraction, MpiGapsMergeAdjacentPhases) {
+  // In wavesim, the sweep and the pointwise update are not separated by MPI,
+  // so MPI-gap extraction must merge them into one burst: per iteration the
+  // gaps are [allreduce -> sends] (halo pack) and [recv -> allreduce]
+  // (sweep + update) plus communication-internal gaps between sends/recvs.
+  const auto& run = testutil::smallWavesimRun();
+  const auto phaseBursts = BurstExtraction{}.fromPhaseEvents(run.trace);
+  BurstExtraction gapEx;
+  gapEx.minDurationNs = 50'000;  // ignore inter-MPI micro gaps
+  const auto gapBursts = gapEx.fromMpiGaps(run.trace);
+  EXPECT_LT(gapBursts.size(), phaseBursts.size());
+  // The longest gap burst must cover sweep + update (> 2.4 ms on average),
+  // longer than any single phase burst (~2.1 ms).
+  trace::TimeNs longestGap = 0;
+  for (const auto& b : gapBursts) longestGap = std::max(longestGap, b.durationNs());
+  trace::TimeNs longestPhase = 0;
+  for (const auto& b : phaseBursts)
+    longestPhase = std::max(longestPhase, b.durationNs());
+  EXPECT_GT(longestGap, longestPhase);
+}
+
+TEST(BurstExtraction, SimulatedRunRoundTrip) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto bursts = BurstExtraction{}.fromPhaseEvents(run.trace);
+  EXPECT_EQ(bursts.size(), run.truth.bursts.size());
+  // Every attached sample's counters are bracketed by the burst endpoints.
+  for (const auto& b : bursts) {
+    for (std::size_t si : b.sampleIdx) {
+      const auto& s = run.trace.samples()[si];
+      for (counters::CounterId id : counters::kAllCounters) {
+        EXPECT_GE(s.counters[id], b.beginCounters[id]);
+        EXPECT_LE(s.counters[id], b.endCounters[id]);
+      }
+    }
+  }
+}
+
+TEST(BurstExtraction, BurstsSortedByRankThenTime) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto bursts = BurstExtraction{}.fromPhaseEvents(run.trace);
+  for (std::size_t i = 1; i < bursts.size(); ++i) {
+    const bool ordered = bursts[i - 1].rank < bursts[i].rank ||
+                         (bursts[i - 1].rank == bursts[i].rank &&
+                          bursts[i - 1].begin <= bursts[i].begin);
+    EXPECT_TRUE(ordered);
+  }
+}
+
+}  // namespace
+}  // namespace unveil::cluster

@@ -1,0 +1,192 @@
+/// Tests for the command-line tool (parser + subcommands).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "unveil/cli/commands.hpp"
+#include "unveil/support/error.hpp"
+
+namespace unveil::cli {
+namespace {
+
+TEST(Args, ParsesFlagsAndValues) {
+  const auto args = Args::parse({"--app", "wavesim", "--verbose", "--ranks", "8"});
+  EXPECT_EQ(args.get("app"), "wavesim");
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.getInt("ranks", 0), 8);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.getInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+}
+
+TEST(Args, RejectsPositional) {
+  EXPECT_THROW((void)Args::parse({"positional"}), ConfigError);
+  EXPECT_THROW((void)Args::parse({"--ok", "v", "stray"}), ConfigError);
+}
+
+TEST(Args, RejectsBadNumbers) {
+  const auto args = Args::parse({"--n", "abc", "--x", "1.2.3"});
+  EXPECT_THROW((void)args.getInt("n", 0), ConfigError);
+  EXPECT_THROW((void)args.getDouble("x", 0.0), ConfigError);
+}
+
+TEST(Args, TracksUnused) {
+  const auto args = Args::parse({"--used", "1", "--typo", "2"});
+  (void)args.get("used");
+  const auto unused = args.unusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+class CliRoundTrip : public ::testing::Test {
+ protected:
+  static std::string tracePath() {
+    static const std::string path = [] {
+      const std::string p = ::testing::TempDir() + "/unveil_cli_test.trace";
+      std::ostringstream out;
+      const int rc = runCli({"simulate", "--app", "wavesim", "--ranks", "2",
+                             "--iterations", "10", "--out", p},
+                            out);
+      EXPECT_EQ(rc, 0) << out.str();
+      return p;
+    }();
+    return path;
+  }
+};
+
+TEST_F(CliRoundTrip, SimulateWritesTrace) {
+  EXPECT_TRUE(std::filesystem::exists(tracePath()));
+  EXPECT_GT(std::filesystem::file_size(tracePath()), 1000u);
+}
+
+TEST_F(CliRoundTrip, InfoReadsBack) {
+  std::ostringstream out;
+  const int rc = runCli({"info", "--trace", tracePath()}, out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("app:      wavesim"), std::string::npos);
+  EXPECT_NE(out.str().find("ranks:    2"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, AnalyzePrintsClusters) {
+  std::ostringstream out;
+  const int rc = runCli({"analyze", "--trace", tracePath(), "--sample-cost-ns",
+                         "2000", "--probe-cost-ns", "100"},
+                        out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("detected computation phases"), std::string::npos);
+  EXPECT_NE(out.str().find("iteration period: 3"), std::string::npos);
+  EXPECT_NE(out.str().find("SPMD-ness"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, ExportParaver) {
+  const std::string base = ::testing::TempDir() + "/unveil_cli_paraver";
+  std::ostringstream out;
+  const int rc = runCli({"export-paraver", "--trace", tracePath(), "--out", base}, out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_TRUE(std::filesystem::exists(base + ".prv"));
+  EXPECT_TRUE(std::filesystem::exists(base + ".pcf"));
+  EXPECT_TRUE(std::filesystem::exists(base + ".row"));
+}
+
+TEST_F(CliRoundTrip, ImbalancePrintsTable) {
+  std::ostringstream out;
+  const int rc = runCli({"imbalance", "--trace", tracePath()}, out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("load-balance characterization"), std::string::npos);
+  EXPECT_NE(out.str().find("imbalance factor"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, EvolutionPrintsTable) {
+  std::ostringstream out;
+  const int rc = runCli({"evolution", "--trace", tracePath()}, out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("cross-run evolution"), std::string::npos);
+  EXPECT_NE(out.str().find("trend"), std::string::npos);
+}
+
+TEST(Cli, ImbalanceEvolutionRequireTrace) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"imbalance"}, out), 2);
+  EXPECT_EQ(runCli({"evolution"}, out), 2);
+  EXPECT_EQ(runCli({"report"}, out), 2);
+}
+
+TEST_F(CliRoundTrip, ReportPrintsAllSections) {
+  std::ostringstream out;
+  const int rc = runCli({"report", "--trace", tracePath(), "--sample-cost-ns",
+                         "2000", "--probe-cost-ns", "100"},
+                        out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("performance report"), std::string::npos);
+  EXPECT_NE(out.str().find("computation phases"), std::string::npos);
+  EXPECT_NE(out.str().find("load balance"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, DiffAgainstSelfIsFlat) {
+  std::ostringstream out;
+  const int rc =
+      runCli({"diff", "--trace", tracePath(), "--trace-b", tracePath()}, out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("run comparison"), std::string::npos);
+  EXPECT_NE(out.str().find("(0%)"), std::string::npos);
+}
+
+TEST(Cli, DiffRequiresBothTraces) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"diff", "--trace", "a"}, out), 2);
+  EXPECT_EQ(runCli({"diff", "--trace-b", "b"}, out), 2);
+}
+
+TEST(Cli, UnknownCommand) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"frobnicate"}, out), 2);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(Cli, NoCommandPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({}, out), 2);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(Cli, MissingRequiredFlags) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"simulate", "--app", "wavesim"}, out), 2);  // no --out
+  EXPECT_EQ(runCli({"info"}, out), 2);
+  EXPECT_EQ(runCli({"analyze"}, out), 2);
+  EXPECT_EQ(runCli({"accuracy"}, out), 2);
+  EXPECT_EQ(runCli({"export-paraver", "--trace", "x"}, out), 2);
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  std::ostringstream out;
+  const int rc =
+      runCli({"info", "--trace", "/nonexistent", "--bogus-flag", "1"}, out);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.str().find("--bogus-flag"), std::string::npos);
+}
+
+TEST(Cli, MissingTraceFileIsError) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"info", "--trace", "/nonexistent/trace.txt"}, out), 1);
+  EXPECT_NE(out.str().find("error:"), std::string::npos);
+}
+
+TEST(Cli, UnknownAppIsError) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"simulate", "--app", "nope", "--out", "/tmp/x.trace"}, out), 1);
+}
+
+TEST(Cli, UnknownModeIsError) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"simulate", "--app", "wavesim", "--out", "/tmp/x.trace",
+                    "--mode", "weird"},
+                   out),
+            1);
+}
+
+}  // namespace
+}  // namespace unveil::cli

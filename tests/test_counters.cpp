@@ -1,0 +1,100 @@
+/// Tests for counter identities, snapshot arithmetic and derived metrics.
+
+#include <gtest/gtest.h>
+
+#include "unveil/counters/counter.hpp"
+#include "unveil/support/error.hpp"
+
+namespace unveil::counters {
+namespace {
+
+TEST(CounterNames, RoundTripAll) {
+  for (CounterId id : kAllCounters) {
+    EXPECT_EQ(counterFromName(counterName(id)), id);
+  }
+}
+
+TEST(CounterNames, UnknownThrows) {
+  EXPECT_THROW((void)counterFromName("PAPI_NOPE"), Error);
+  EXPECT_THROW((void)counterFromName(""), Error);
+}
+
+TEST(CounterNames, PapiConventions) {
+  EXPECT_EQ(counterName(CounterId::TotIns), "PAPI_TOT_INS");
+  EXPECT_EQ(counterName(CounterId::L2Dcm), "PAPI_L2_DCM");
+}
+
+TEST(CounterSet, IndexedAccess) {
+  CounterSet c;
+  c[CounterId::TotIns] = 100;
+  c[CounterId::FpOps] = 7;
+  EXPECT_EQ(c[CounterId::TotIns], 100u);
+  EXPECT_EQ(c[CounterId::FpOps], 7u);
+  EXPECT_EQ(c[CounterId::L1Dcm], 0u);
+}
+
+TEST(CounterSet, PlusEquals) {
+  CounterSet a, b;
+  a[CounterId::TotIns] = 10;
+  b[CounterId::TotIns] = 5;
+  b[CounterId::TotCyc] = 3;
+  a += b;
+  EXPECT_EQ(a[CounterId::TotIns], 15u);
+  EXPECT_EQ(a[CounterId::TotCyc], 3u);
+}
+
+TEST(CounterSet, MinusComputesDelta) {
+  CounterSet a, b;
+  a[CounterId::TotIns] = 10;
+  b[CounterId::TotIns] = 4;
+  const CounterSet d = a.minus(b);
+  EXPECT_EQ(d[CounterId::TotIns], 6u);
+}
+
+TEST(CounterSet, Equality) {
+  CounterSet a, b;
+  EXPECT_EQ(a, b);
+  a[CounterId::BrMsp] = 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(DerivedMetrics, Ipc) {
+  CounterSet d;
+  d[CounterId::TotIns] = 300;
+  d[CounterId::TotCyc] = 200;
+  EXPECT_DOUBLE_EQ(DerivedMetrics::ipc(d), 1.5);
+}
+
+TEST(DerivedMetrics, IpcZeroCycles) {
+  CounterSet d;
+  d[CounterId::TotIns] = 300;
+  EXPECT_EQ(DerivedMetrics::ipc(d), 0.0);
+}
+
+TEST(DerivedMetrics, MipsUnits) {
+  CounterSet d;
+  d[CounterId::TotIns] = 2000;  // 2000 instructions over 1000 ns = 2 ins/ns
+  EXPECT_DOUBLE_EQ(DerivedMetrics::mips(d, 1000), 2000.0);  // = 2000 MIPS
+}
+
+TEST(DerivedMetrics, MipsZeroDuration) {
+  CounterSet d;
+  d[CounterId::TotIns] = 2000;
+  EXPECT_EQ(DerivedMetrics::mips(d, 0), 0.0);
+}
+
+TEST(DerivedMetrics, L2PerKiloIns) {
+  CounterSet d;
+  d[CounterId::TotIns] = 10000;
+  d[CounterId::L2Dcm] = 25;
+  EXPECT_DOUBLE_EQ(DerivedMetrics::l2MissesPerKiloIns(d), 2.5);
+}
+
+TEST(DerivedMetrics, L2ZeroInstructions) {
+  CounterSet d;
+  d[CounterId::L2Dcm] = 25;
+  EXPECT_EQ(DerivedMetrics::l2MissesPerKiloIns(d), 0.0);
+}
+
+}  // namespace
+}  // namespace unveil::counters

@@ -1,0 +1,219 @@
+/// Tests for DBSCAN: blob recovery, noise handling, label ordering, the
+/// grid index versus a brute-force reference (property test), and eps
+/// estimation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "unveil/cluster/dbscan.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/rng.hpp"
+
+namespace unveil::cluster {
+namespace {
+
+/// `blobs` tight Gaussian blobs with `per` points each, far apart.
+FeatureMatrix makeBlobs(std::size_t blobs, std::size_t per, double sigma = 0.05,
+                        std::uint64_t seed = 1) {
+  support::Rng rng(seed, "blobs");
+  FeatureMatrix m(blobs * per, 2);
+  for (std::size_t b = 0; b < blobs; ++b) {
+    for (std::size_t i = 0; i < per; ++i) {
+      const std::size_t row = b * per + i;
+      m.at(row, 0) = rng.normal(static_cast<double>(b) * 5.0, sigma);
+      m.at(row, 1) = rng.normal(static_cast<double>(b) * -3.0, sigma);
+    }
+  }
+  return m;
+}
+
+TEST(DbscanParams, Validation) {
+  DbscanParams p;
+  p.eps = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = DbscanParams{};
+  p.minPts = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Dbscan, EmptyInput) {
+  const FeatureMatrix m(0, 2);
+  const auto c = dbscan(m, DbscanParams{});
+  EXPECT_EQ(c.numClusters, 0u);
+  EXPECT_TRUE(c.labels.empty());
+}
+
+TEST(Dbscan, RecoversBlobs) {
+  const auto m = makeBlobs(3, 100);
+  DbscanParams p;
+  p.eps = 0.5;
+  p.minPts = 5;
+  const auto c = dbscan(m, p);
+  EXPECT_EQ(c.numClusters, 3u);
+  EXPECT_EQ(c.noiseCount(), 0u);
+  // All points of one blob share a label.
+  for (std::size_t b = 0; b < 3; ++b) {
+    const int label = c.labels[b * 100];
+    for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(c.labels[b * 100 + i], label);
+  }
+}
+
+TEST(Dbscan, LabelsOrderedBySize) {
+  // Blob sizes 150, 100, 50 -> labels 0, 1, 2 in that order.
+  support::Rng rng(3, "sizes");
+  const std::size_t sizes[] = {50, 150, 100};
+  std::size_t total = 300;
+  FeatureMatrix m(total, 2);
+  std::size_t row = 0;
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < sizes[b]; ++i) {
+      m.at(row, 0) = rng.normal(static_cast<double>(b) * 10.0, 0.05);
+      m.at(row, 1) = rng.normal(0.0, 0.05);
+      ++row;
+    }
+  }
+  DbscanParams p;
+  p.eps = 0.5;
+  p.minPts = 5;
+  const auto c = dbscan(m, p);
+  ASSERT_EQ(c.numClusters, 3u);
+  EXPECT_EQ(c.clusterSize(0), 150u);
+  EXPECT_EQ(c.clusterSize(1), 100u);
+  EXPECT_EQ(c.clusterSize(2), 50u);
+}
+
+TEST(Dbscan, IsolatedPointsAreNoise) {
+  auto m = makeBlobs(1, 50);
+  // Append 3 far-away isolated points.
+  FeatureMatrix withNoise(53, 2);
+  for (std::size_t i = 0; i < 50; ++i) {
+    withNoise.at(i, 0) = m.at(i, 0);
+    withNoise.at(i, 1) = m.at(i, 1);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    withNoise.at(50 + i, 0) = 100.0 + 10.0 * static_cast<double>(i);
+    withNoise.at(50 + i, 1) = -50.0;
+  }
+  DbscanParams p;
+  p.eps = 0.5;
+  p.minPts = 5;
+  const auto c = dbscan(withNoise, p);
+  EXPECT_EQ(c.numClusters, 1u);
+  EXPECT_EQ(c.noiseCount(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(c.labels[50 + i], kNoiseLabel);
+}
+
+TEST(Dbscan, MembersReturnsIndices) {
+  const auto m = makeBlobs(2, 20);
+  DbscanParams p;
+  p.eps = 0.5;
+  p.minPts = 3;
+  const auto c = dbscan(m, p);
+  const auto m0 = c.members(0);
+  const auto m1 = c.members(1);
+  EXPECT_EQ(m0.size() + m1.size(), 40u);
+  for (std::size_t i : m0) EXPECT_EQ(c.labels[i], 0);
+}
+
+/// Brute-force DBSCAN reference for the property test.
+Clustering bruteDbscan(const FeatureMatrix& m, const DbscanParams& params) {
+  const std::size_t n = m.rows();
+  const double eps2 = params.eps * params.eps;
+  auto neighbors = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < m.dims(); ++k) {
+        const double d = m.at(i, k) - m.at(j, k);
+        d2 += d * d;
+      }
+      if (d2 <= eps2) out.push_back(j);
+    }
+    return out;
+  };
+  std::vector<int> label(n, -2);
+  int next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (label[i] != -2) continue;
+    auto nb = neighbors(i);
+    if (nb.size() < params.minPts) {
+      label[i] = kNoiseLabel;
+      continue;
+    }
+    const int cl = next++;
+    label[i] = cl;
+    std::vector<std::size_t> queue(nb.begin(), nb.end());
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const std::size_t j = queue[qi];
+      if (label[j] == kNoiseLabel) label[j] = cl;
+      if (label[j] != -2) continue;
+      label[j] = cl;
+      auto nb2 = neighbors(j);
+      if (nb2.size() >= params.minPts)
+        queue.insert(queue.end(), nb2.begin(), nb2.end());
+    }
+  }
+  Clustering c;
+  c.labels = std::move(label);
+  c.numClusters = static_cast<std::size_t>(next);
+  return c;
+}
+
+class DbscanVsBrute : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbscanVsBrute, SamePartition) {
+  // Random point cloud; grid-accelerated labels must induce the same
+  // partition as the O(n^2) reference (up to label renaming).
+  support::Rng rng(GetParam(), "cloud");
+  FeatureMatrix m(220, 2);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    m.at(i, 0) = rng.uniform(0.0, 4.0);
+    m.at(i, 1) = rng.uniform(0.0, 4.0);
+  }
+  DbscanParams p;
+  p.eps = 0.35;
+  p.minPts = 4;
+  const auto fast = dbscan(m, p);
+  const auto slow = bruteDbscan(m, p);
+  ASSERT_EQ(fast.labels.size(), slow.labels.size());
+  EXPECT_EQ(fast.numClusters, slow.numClusters);
+  // Noise sets identical; clusters identical up to renaming.
+  std::map<int, int> mapping;
+  for (std::size_t i = 0; i < fast.labels.size(); ++i) {
+    if (slow.labels[i] == kNoiseLabel) {
+      // Border points reachable from two clusters may legitimately be
+      // claimed by either cluster, but noise must agree exactly.
+      EXPECT_EQ(fast.labels[i], kNoiseLabel) << "point " << i;
+      continue;
+    }
+    EXPECT_NE(fast.labels[i], kNoiseLabel) << "point " << i;
+    auto [it, inserted] = mapping.emplace(slow.labels[i], fast.labels[i]);
+    if (!inserted) {
+      EXPECT_EQ(it->second, fast.labels[i]) << "point " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbscanVsBrute,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(EstimateEps, SeparatesBlobScales) {
+  const auto tight = makeBlobs(2, 100, 0.02);
+  const auto loose = makeBlobs(2, 100, 0.4);
+  const double epsTight = estimateEps(tight, 5);
+  const double epsLoose = estimateEps(loose, 5);
+  EXPECT_LT(epsTight, epsLoose);
+  EXPECT_GT(epsTight, 0.0);
+}
+
+TEST(EstimateEps, Validation) {
+  const FeatureMatrix tiny(1, 2);
+  EXPECT_THROW((void)estimateEps(tiny, 5), AnalysisError);
+  const auto m = makeBlobs(1, 10);
+  EXPECT_THROW((void)estimateEps(m, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace unveil::cluster

@@ -1,0 +1,66 @@
+/// Tests for derived intra-phase metrics (instantaneous IPC, per-kIns).
+
+#include <gtest/gtest.h>
+
+#include "unveil/folding/derived.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/math.hpp"
+
+namespace unveil::folding {
+namespace {
+
+RateCurve flatCurve(double physRate, std::size_t n = 11) {
+  RateCurve c;
+  c.t = support::linspace(0.0, 1.0, n);
+  c.normRate.assign(n, 1.0);
+  c.physRate.assign(n, physRate);
+  return c;
+}
+
+TEST(DerivedIpc, RatioOfRates) {
+  const auto ins = flatCurve(2.0);   // 2 ins/ns
+  const auto cyc = flatCurve(2.5);   // 2.5 cyc/ns
+  const auto ipc = instantaneousIpc(ins, cyc);
+  ASSERT_EQ(ipc.t.size(), 11u);
+  for (double v : ipc.value) EXPECT_NEAR(v, 0.8, 1e-12);
+}
+
+TEST(DerivedIpc, ZeroCycleRateClamped) {
+  const auto ins = flatCurve(2.0);
+  auto cyc = flatCurve(0.0);
+  const auto ipc = instantaneousIpc(ins, cyc);
+  for (double v : ipc.value) EXPECT_EQ(v, 0.0);
+}
+
+TEST(DerivedIpc, VaryingProfile) {
+  auto ins = flatCurve(2.0, 101);
+  const auto cyc = flatCurve(2.0, 101);
+  // Instructions decay linearly; cycles stay flat -> IPC decays linearly.
+  for (std::size_t i = 0; i < ins.t.size(); ++i)
+    ins.physRate[i] = 3.0 - 2.0 * ins.t[i];
+  const auto ipc = instantaneousIpc(ins, cyc);
+  EXPECT_NEAR(ipc.value.front(), 1.5, 1e-12);
+  EXPECT_NEAR(ipc.value.back(), 0.5, 1e-12);
+}
+
+TEST(DerivedPerKiloIns, Scaling) {
+  const auto misses = flatCurve(0.004);  // 0.004 misses/ns
+  const auto ins = flatCurve(2.0);       // 2 ins/ns
+  const auto mpki = instantaneousPerKiloIns(misses, ins);
+  for (double v : mpki.value) EXPECT_NEAR(v, 2.0, 1e-12);  // 2 per kIns
+}
+
+TEST(Derived, GridMismatchRejected) {
+  const auto a = flatCurve(1.0, 11);
+  const auto b = flatCurve(1.0, 21);
+  EXPECT_THROW((void)instantaneousIpc(a, b), ConfigError);
+  EXPECT_THROW((void)instantaneousPerKiloIns(a, b), ConfigError);
+}
+
+TEST(Derived, EmptyGridRejected) {
+  RateCurve empty;
+  EXPECT_THROW((void)instantaneousIpc(empty, empty), ConfigError);
+}
+
+}  // namespace
+}  // namespace unveil::folding

@@ -1,0 +1,92 @@
+/// Tests for run-to-run comparison.
+
+#include <gtest/gtest.h>
+
+#include "unveil/analysis/diffrun.hpp"
+#include "unveil/analysis/experiments.hpp"
+#include "test_util.hpp"
+
+namespace unveil::analysis {
+namespace {
+
+class DiffFixture : public ::testing::Test {
+ protected:
+  static const RunDiff& sharedDiff() {
+    static const RunDiff diff = [] {
+      sim::apps::AppParams p;
+      p.ranks = 4;
+      p.iterations = 50;
+      p.seed = 41;
+      const auto mc = sim::MeasurementConfig::folding();
+      const auto cfg = calibratedPipelineConfig(mc);
+      const auto a = runMeasured("wavesim", p, mc);
+      const auto b = runMeasured("wavesim-blocked", p, mc);
+      return diffRuns(analyze(a.trace, cfg), analyze(b.trace, cfg));
+    }();
+    return diff;
+  }
+};
+
+TEST_F(DiffFixture, PeriodsMatchAndAllPhasesPaired) {
+  const auto& diff = sharedDiff();
+  EXPECT_TRUE(diff.periodsMatch);
+  EXPECT_EQ(diff.clusters.size(), 3u);
+  EXPECT_TRUE(diff.unmatchedA.empty());
+  EXPECT_TRUE(diff.unmatchedB.empty());
+}
+
+TEST_F(DiffFixture, SweepShowsTheOptimization) {
+  const auto& diff = sharedDiff();
+  // The sweep is the pair with the largest time share in A.
+  const ClusterDelta* sweep = nullptr;
+  for (const auto& row : diff.clusters)
+    if (!sweep || row.timeShareA > sweep->timeShareA) sweep = &row;
+  ASSERT_NE(sweep, nullptr);
+  EXPECT_NEAR(sweep->durationDeltaPercent, -22.0, 6.0);
+  EXPECT_GT(sweep->mipsDeltaPercent, 15.0);
+  EXPECT_GT(sweep->ipcDeltaPercent, 10.0);
+  // Internal shape changed substantially (overflow collapse removed).
+  EXPECT_GT(sweep->profileDistancePercent, 15.0);
+}
+
+TEST_F(DiffFixture, UntouchedPhasesNearZero) {
+  const auto& diff = sharedDiff();
+  const ClusterDelta* sweep = nullptr;
+  for (const auto& row : diff.clusters)
+    if (!sweep || row.timeShareA > sweep->timeShareA) sweep = &row;
+  for (const auto& row : diff.clusters) {
+    if (&row == sweep) continue;
+    EXPECT_NEAR(row.durationDeltaPercent, 0.0, 3.0);
+    EXPECT_NEAR(row.mipsDeltaPercent, 0.0, 3.0);
+    EXPECT_LT(row.profileDistancePercent, 8.0);
+  }
+}
+
+TEST_F(DiffFixture, TableShape) {
+  const auto table = diffTable(sharedDiff());
+  EXPECT_EQ(table.rows(), sharedDiff().clusters.size());
+  EXPECT_EQ(table.cols(), 8u);
+}
+
+TEST(Diff, IdenticalRunsShowNoDeltas) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto r = analyze(run.trace);
+  const auto diff = diffRuns(r, r);
+  EXPECT_TRUE(diff.periodsMatch);
+  for (const auto& row : diff.clusters) {
+    EXPECT_DOUBLE_EQ(row.durationDeltaPercent, 0.0);
+    EXPECT_DOUBLE_EQ(row.mipsDeltaPercent, 0.0);
+    if (row.profileDistancePercent >= 0.0)
+      EXPECT_NEAR(row.profileDistancePercent, 0.0, 1e-9);
+  }
+}
+
+TEST(Diff, FallbackWithoutPeriods) {
+  PipelineResult a, b;  // empty: period 0
+  const auto diff = diffRuns(a, b);
+  EXPECT_FALSE(diff.periodsMatch);
+  EXPECT_TRUE(diff.clusters.empty());
+}
+
+}  // namespace
+}  // namespace unveil::analysis

@@ -1,0 +1,306 @@
+/// Tests for the discrete-event engine: trace well-formedness, measurement
+/// perturbation, communication semantics (including deadlock and mismatched
+/// collectives) and ground-truth bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <variant>
+
+#include "unveil/cluster/burst.hpp"
+#include "unveil/sim/apps/apps.hpp"
+#include "unveil/sim/engine.hpp"
+#include "unveil/support/error.hpp"
+#include "test_util.hpp"
+
+namespace unveil::sim {
+namespace {
+
+using apps::AppParams;
+
+AppParams tinyParams() {
+  AppParams p;
+  p.ranks = 4;
+  p.iterations = 10;
+  p.seed = 3;
+  return p;
+}
+
+RunResult runTiny(const MeasurementConfig& m) {
+  SimConfig cfg;
+  cfg.measurement = m;
+  return run(apps::makeWavesim(tinyParams()), cfg);
+}
+
+TEST(Engine, NullApplicationRejected) {
+  EXPECT_THROW((void)run(nullptr, SimConfig{}), ConfigError);
+}
+
+TEST(Engine, TraceIsFinalizedAndValid) {
+  const auto result = runTiny(MeasurementConfig::folding());
+  EXPECT_TRUE(result.trace.finalized());
+  EXPECT_EQ(result.trace.numRanks(), 4u);
+  EXPECT_GT(result.totalRuntimeNs, 0u);
+}
+
+TEST(Engine, PhaseEventsArePaired) {
+  const auto result = runTiny(MeasurementConfig::folding());
+  std::map<trace::Rank, int> depth;
+  std::size_t begins = 0, ends = 0;
+  for (const auto& e : result.trace.events()) {
+    if (e.kind == trace::EventKind::PhaseBegin) {
+      ++depth[e.rank];
+      ++begins;
+      EXPECT_EQ(depth[e.rank], 1);
+    } else if (e.kind == trace::EventKind::PhaseEnd) {
+      --depth[e.rank];
+      ++ends;
+      EXPECT_EQ(depth[e.rank], 0);
+    }
+  }
+  EXPECT_EQ(begins, ends);
+  // wavesim: 3 phases x 10 iterations x 4 ranks.
+  EXPECT_EQ(begins, 3u * 10u * 4u);
+}
+
+TEST(Engine, GroundTruthMatchesEvents) {
+  const auto result = runTiny(MeasurementConfig::folding());
+  EXPECT_EQ(result.truth.bursts.size(), 3u * 10u * 4u);
+  EXPECT_EQ(result.truth.countForPhase(0), 10u * 4u);
+  EXPECT_EQ(result.truth.countForPhase(1), 10u * 4u);
+  for (const auto& b : result.truth.bursts) {
+    EXPECT_LT(b.begin, b.end);
+    EXPECT_LE(b.workNs, b.end - b.begin + 1);
+    EXPECT_GT(b.totals[counters::counterIndex(counters::CounterId::TotIns)], 0.0);
+  }
+}
+
+TEST(Engine, UninstrumentedRunHasNoRecordsButSameTruth) {
+  const auto measured = runTiny(MeasurementConfig::folding());
+  const auto bare = runTiny(MeasurementConfig::none());
+  EXPECT_EQ(bare.trace.events().size(), 0u);
+  EXPECT_EQ(bare.trace.samples().size(), 0u);
+  EXPECT_EQ(bare.truth.bursts.size(), measured.truth.bursts.size());
+}
+
+TEST(Engine, MeasurementDilatesRuntime) {
+  const auto none = runTiny(MeasurementConfig::none());
+  const auto instr = runTiny(MeasurementConfig::instrumentationOnly());
+  const auto coarse = runTiny(MeasurementConfig::folding());
+  const auto fine = runTiny(MeasurementConfig::fineGrain());
+  EXPECT_LT(none.totalRuntimeNs, instr.totalRuntimeNs);
+  EXPECT_LT(instr.totalRuntimeNs, coarse.totalRuntimeNs);
+  EXPECT_LT(coarse.totalRuntimeNs, fine.totalRuntimeNs);
+  // Fine-grain must hurt by at least 5%; coarse must stay under 2%.
+  const double base = static_cast<double>(none.totalRuntimeNs);
+  EXPECT_GT(static_cast<double>(fine.totalRuntimeNs) / base, 1.05);
+  EXPECT_LT(static_cast<double>(coarse.totalRuntimeNs) / base, 1.02);
+}
+
+TEST(Engine, SampleCountScalesWithPeriod) {
+  const auto coarse = runTiny(MeasurementConfig::folding(2'000'000.0));
+  const auto fine = runTiny(MeasurementConfig::folding(200'000.0));
+  EXPECT_GT(fine.trace.samples().size(), 5 * coarse.trace.samples().size());
+}
+
+TEST(Engine, SamplesCoverAllRanks) {
+  const auto result = runTiny(MeasurementConfig::folding());
+  std::map<trace::Rank, std::size_t> perRank;
+  for (const auto& s : result.trace.samples()) ++perRank[s.rank];
+  EXPECT_EQ(perRank.size(), 4u);
+}
+
+TEST(Engine, StatesEmittedWhenEnabled) {
+  const auto result = runTiny(MeasurementConfig::folding());
+  EXPECT_GT(result.trace.states().size(), 0u);
+  auto cfg = MeasurementConfig::folding();
+  cfg.instrumentation.emitStates = false;
+  SimConfig sim;
+  sim.measurement = cfg;
+  const auto without = run(apps::makeWavesim(tinyParams()), sim);
+  EXPECT_EQ(without.trace.states().size(), 0u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const auto a = runTiny(MeasurementConfig::folding());
+  const auto b = runTiny(MeasurementConfig::folding());
+  EXPECT_EQ(a.totalRuntimeNs, b.totalRuntimeNs);
+  EXPECT_EQ(a.trace.samples().size(), b.trace.samples().size());
+  EXPECT_EQ(a.trace.events().size(), b.trace.events().size());
+}
+
+TEST(Engine, AllAppsProduceValidTraces) {
+  for (const auto& name : apps::applicationNames()) {
+    SimConfig cfg;
+    cfg.measurement = MeasurementConfig::folding();
+    const auto result = run(apps::makeApplication(name, tinyParams()), cfg);
+    EXPECT_TRUE(result.trace.finalized()) << name;
+    EXPECT_GT(result.truth.bursts.size(), 0u) << name;
+  }
+}
+
+/// A pathological application whose rank 0 receives a message nobody sends.
+class DeadlockApp final : public Application {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] trace::Rank numRanks() const noexcept override { return 2; }
+  [[nodiscard]] std::size_t numPhases() const noexcept override { return 1; }
+  [[nodiscard]] const PhaseSpec& phase(std::uint32_t) const override { return spec_; }
+  [[nodiscard]] Program buildProgram(trace::Rank r) const override {
+    Program p;
+    if (r == 0) p.emplace_back(RecvAction{1, 99});
+    // rank 1 sends nothing and finishes immediately.
+    return p;
+  }
+
+ private:
+  std::string name_ = "deadlock";
+  PhaseSpec spec_{counters::PhaseModel("p"), DurationSpec{}, counters::NoiseModel{}};
+};
+
+TEST(Engine, DeadlockDetected) {
+  SimConfig cfg;
+  EXPECT_THROW((void)run(std::make_shared<DeadlockApp>(), cfg), Error);
+}
+
+/// Ranks disagree about the collective operation at the same index.
+class MismatchedCollectiveApp final : public Application {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] trace::Rank numRanks() const noexcept override { return 2; }
+  [[nodiscard]] std::size_t numPhases() const noexcept override { return 1; }
+  [[nodiscard]] const PhaseSpec& phase(std::uint32_t) const override { return spec_; }
+  [[nodiscard]] Program buildProgram(trace::Rank r) const override {
+    Program p;
+    p.emplace_back(CollectiveAction{
+        r == 0 ? trace::MpiOp::Barrier : trace::MpiOp::Allreduce, 8});
+    return p;
+  }
+
+ private:
+  std::string name_ = "mismatch";
+  PhaseSpec spec_{counters::PhaseModel("p"), DurationSpec{}, counters::NoiseModel{}};
+};
+
+TEST(Engine, MismatchedCollectiveDetected) {
+  SimConfig cfg;
+  EXPECT_THROW((void)run(std::make_shared<MismatchedCollectiveApp>(), cfg), Error);
+}
+
+/// Ring exchange that relies on eager sends: must complete, and message
+/// availability must respect the network transfer time.
+class PingApp final : public Application {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] trace::Rank numRanks() const noexcept override { return 2; }
+  [[nodiscard]] std::size_t numPhases() const noexcept override { return 1; }
+  [[nodiscard]] const PhaseSpec& phase(std::uint32_t) const override { return spec_; }
+  [[nodiscard]] Program buildProgram(trace::Rank r) const override {
+    Program p;
+    if (r == 0) {
+      p.emplace_back(SendAction{1, 0, 1 << 20});  // 1 MiB
+    } else {
+      p.emplace_back(RecvAction{0, 0});
+    }
+    return p;
+  }
+
+ private:
+  std::string name_ = "ping";
+  PhaseSpec spec_{counters::PhaseModel("p"), DurationSpec{}, counters::NoiseModel{}};
+};
+
+TEST(Engine, MessageTransferTimeRespected) {
+  SimConfig cfg;
+  cfg.measurement = MeasurementConfig::instrumentationOnly();
+  const auto result = run(std::make_shared<PingApp>(), cfg);
+  // Receiver cannot finish before latency + bytes/bandwidth.
+  const double minTransfer = cfg.network.transferNs(1 << 20);
+  EXPECT_GE(static_cast<double>(result.totalRuntimeNs), minTransfer);
+}
+
+TEST(Engine, CollectiveFinishesTogether) {
+  // All ranks' Allreduce intervals for the same instance end at the same
+  // timestamp (barrier semantics + shared postal cost).
+  const auto result = runTiny(MeasurementConfig::instrumentationOnly());
+  // Collect per rank the end times of Allreduce MpiEnd events, in order.
+  std::map<trace::Rank, std::vector<trace::TimeNs>> ends;
+  for (const auto& e : result.trace.events()) {
+    if (e.kind == trace::EventKind::MpiEnd &&
+        e.value == static_cast<std::uint32_t>(trace::MpiOp::Allreduce))
+      ends[e.rank].push_back(e.time);
+  }
+  ASSERT_EQ(ends.size(), 4u);
+  const auto& reference = ends.begin()->second;
+  for (const auto& [rank, times] : ends) {
+    (void)rank;
+    ASSERT_EQ(times.size(), reference.size());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      // Equal up to the post-collective probe rounding (<= 1 ns).
+      EXPECT_LE(times[i] > reference[i] ? times[i] - reference[i]
+                                        : reference[i] - times[i],
+                1u);
+    }
+  }
+}
+
+TEST(Engine, CollectiveFinishAfterLastArrival) {
+  // The collective cannot complete before the last rank arrives: every
+  // rank's Allreduce MpiEnd is strictly after every rank's MpiBegin of the
+  // same instance.
+  const auto result = runTiny(MeasurementConfig::instrumentationOnly());
+  std::map<trace::Rank, std::vector<trace::TimeNs>> begins, ends;
+  for (const auto& e : result.trace.events()) {
+    if (e.value != static_cast<std::uint32_t>(trace::MpiOp::Allreduce)) continue;
+    if (e.kind == trace::EventKind::MpiBegin) begins[e.rank].push_back(e.time);
+    if (e.kind == trace::EventKind::MpiEnd) ends[e.rank].push_back(e.time);
+  }
+  const std::size_t instances = begins.begin()->second.size();
+  for (std::size_t i = 0; i < instances; ++i) {
+    trace::TimeNs lastArrival = 0;
+    trace::TimeNs firstFinish = ~trace::TimeNs{0};
+    for (const auto& [rank, times] : begins) {
+      (void)rank;
+      lastArrival = std::max(lastArrival, times[i]);
+    }
+    for (const auto& [rank, times] : ends) {
+      (void)rank;
+      firstFinish = std::min(firstFinish, times[i]);
+    }
+    EXPECT_GT(firstFinish, lastArrival) << "instance " << i;
+  }
+}
+
+TEST(Engine, CountersContinuousAcrossBursts) {
+  // A burst's begin snapshot equals the previous burst's end snapshot plus
+  // the MPI-interval accumulation in between — counters never jump.
+  const auto result = runTiny(MeasurementConfig::instrumentationOnly());
+  const cluster::BurstExtraction ex;
+  const auto bursts = ex.fromPhaseEvents(result.trace);
+  for (std::size_t i = 1; i < bursts.size(); ++i) {
+    if (bursts[i].rank != bursts[i - 1].rank) continue;
+    for (counters::CounterId id : counters::kAllCounters) {
+      EXPECT_GE(bursts[i].beginCounters[id], bursts[i - 1].endCounters[id]);
+    }
+  }
+}
+
+TEST(Engine, InstanceWorkDurationsVary) {
+  // Per-instance noise is real: the same phase's burst durations differ
+  // across instances (no accidental constant-folding of the noise path).
+  const auto result = runTiny(MeasurementConfig::instrumentationOnly());
+  std::set<trace::TimeNs> sweepDurations;
+  for (const auto& b : result.truth.bursts)
+    if (b.phaseId == 1) sweepDurations.insert(b.workNs);
+  EXPECT_GT(sweepDurations.size(), 10u);
+}
+
+TEST(Engine, ValidatesConfig) {
+  SimConfig cfg;
+  cfg.measurement.sampling.periodNs = -5.0;
+  EXPECT_THROW((void)run(apps::makeWavesim(tinyParams()), cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace unveil::sim

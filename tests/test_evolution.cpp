@@ -1,0 +1,116 @@
+/// Tests for cross-run evolution analysis (drift detection).
+
+#include <gtest/gtest.h>
+
+#include "unveil/analysis/evolution.hpp"
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/rng.hpp"
+#include "test_util.hpp"
+
+namespace unveil::analysis {
+namespace {
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> x = {0.0, 0.5, 1.0, 1.5};
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  const auto fit = fitLine(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLine) {
+  support::Rng rng(3, "line");
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i / 200.0);
+    y.push_back(5.0 + 3.0 * x.back() + rng.normal(0.0, 0.1));
+  }
+  const auto fit = fitLine(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.2);
+  EXPECT_GT(fit.r2, 0.9);
+}
+
+TEST(FitLine, FlatNoise) {
+  support::Rng rng(5, "flat");
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i / 200.0);
+    y.push_back(rng.normal(10.0, 1.0));
+  }
+  const auto fit = fitLine(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1.0);
+  EXPECT_LT(fit.r2, 0.2);
+}
+
+TEST(FitLine, TooFewPoints) {
+  const std::vector<double> x = {0.0, 1.0};
+  const std::vector<double> y = {0.0, 1.0};
+  EXPECT_THROW((void)fitLine(x, y), AnalysisError);
+}
+
+TEST(EvolutionParams, Validation) {
+  EvolutionParams p;
+  p.driftThreshold = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = EvolutionParams{};
+  p.minTScore = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = EvolutionParams{};
+  p.irregularCov = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Evolution, DetectsBuiltInWavesimDrift) {
+  // wavesim's stencil sweep carries an 8% duration drift by construction;
+  // its other phases carry none.
+  const auto& run = testutil::smallWavesimRun();
+  const auto result = analyze(run.trace);
+  const auto rows = durationEvolution(result);
+  bool sawSweepDrift = false;
+  for (const auto& r : rows) {
+    if (r.modalTruthPhase == 1) {  // stencil_sweep
+      EXPECT_EQ(r.kind, TrendKind::Drifting);
+      EXPECT_NEAR(r.relativeDrift, 0.08, 0.04);
+      sawSweepDrift = true;
+    } else if (r.modalTruthPhase == 0 || r.modalTruthPhase == 2) {
+      EXPECT_NE(r.kind, TrendKind::Drifting) << "phase " << r.modalTruthPhase;
+    }
+  }
+  EXPECT_TRUE(sawSweepDrift);
+}
+
+TEST(Evolution, TrendNames) {
+  EXPECT_EQ(trendKindName(TrendKind::Stable), "stable");
+  EXPECT_EQ(trendKindName(TrendKind::Drifting), "drifting");
+  EXPECT_EQ(trendKindName(TrendKind::Irregular), "irregular");
+}
+
+TEST(Evolution, TableShape) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto result = analyze(run.trace);
+  const auto rows = durationEvolution(result);
+  const auto table = evolutionTable(rows);
+  EXPECT_EQ(table.rows(), rows.size());
+  EXPECT_EQ(table.cols(), 7u);
+}
+
+TEST(Evolution, TinyClustersSkipped) {
+  PipelineResult result;
+  result.bursts.resize(2);
+  result.clustering.labels = {0, 0};
+  result.clustering.numClusters = 1;
+  ClusterReport report;
+  report.clusterId = 0;
+  report.memberIdx = {0, 1};
+  report.instances = 2;
+  result.clusters.push_back(report);
+  const auto rows = durationEvolution(result);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].kind, TrendKind::Stable);
+  EXPECT_EQ(rows[0].relativeDrift, 0.0);
+}
+
+}  // namespace
+}  // namespace unveil::analysis

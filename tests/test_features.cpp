@@ -1,0 +1,127 @@
+/// Tests for feature extraction and z-score normalization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "unveil/cluster/features.hpp"
+#include "unveil/support/error.hpp"
+
+namespace unveil::cluster {
+namespace {
+
+Burst makeBurst(trace::TimeNs duration, std::uint64_t ins, std::uint64_t cyc,
+                std::uint64_t l2 = 0) {
+  Burst b;
+  b.begin = 1000;
+  b.end = 1000 + duration;
+  b.endCounters[counters::CounterId::TotIns] = ins;
+  b.endCounters[counters::CounterId::TotCyc] = cyc;
+  b.endCounters[counters::CounterId::L2Dcm] = l2;
+  return b;
+}
+
+TEST(Features, Values) {
+  const Burst b = makeBurst(1'000'000, 2'000'000, 1'000'000, 4000);
+  EXPECT_NEAR(burstFeature(b, FeatureId::LogDurationNs), 6.0, 1e-9);
+  EXPECT_NEAR(burstFeature(b, FeatureId::LogInstructions),
+              std::log10(2'000'001.0), 1e-9);
+  EXPECT_NEAR(burstFeature(b, FeatureId::Ipc), 2.0, 1e-9);
+  EXPECT_NEAR(burstFeature(b, FeatureId::AvgMips), 2000.0, 1e-9);
+  EXPECT_NEAR(burstFeature(b, FeatureId::L2PerKIns), 2.0, 1e-9);
+}
+
+TEST(Features, NamesDistinct) {
+  EXPECT_NE(featureName(FeatureId::Ipc), featureName(FeatureId::AvgMips));
+  EXPECT_FALSE(std::string_view(featureName(FeatureId::LogDurationNs)).empty());
+}
+
+TEST(FeatureMatrix, Accessors) {
+  FeatureMatrix m(2, 3);
+  m.at(1, 2) = 7.0;
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.dims(), 3u);
+  EXPECT_EQ(m.at(1, 2), 7.0);
+  EXPECT_EQ(m.row(1)[2], 7.0);
+  EXPECT_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(FeatureMatrix, ZeroDimsRejected) { EXPECT_THROW(FeatureMatrix(3, 0), ConfigError); }
+
+TEST(BuildFeatures, ProducesMatrix) {
+  std::vector<Burst> bursts = {makeBurst(1000, 100, 100),
+                               makeBurst(2000, 400, 200)};
+  const std::vector<FeatureId> f = {FeatureId::LogDurationNs, FeatureId::Ipc};
+  const auto m = buildFeatures(bursts, f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.dims(), 2u);
+  EXPECT_NEAR(m.at(1, 1), 2.0, 1e-9);
+}
+
+TEST(BuildFeatures, EmptyFeaturesRejected) {
+  std::vector<Burst> bursts = {makeBurst(1000, 100, 100)};
+  EXPECT_THROW((void)buildFeatures(bursts, {}), ConfigError);
+}
+
+TEST(DefaultFeatures, IsInstructionsByIpc) {
+  const auto f = defaultFeatures();
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], FeatureId::LogInstructions);
+  EXPECT_EQ(f[1], FeatureId::Ipc);
+}
+
+TEST(Normalizer, ZeroMeanUnitVariance) {
+  FeatureMatrix m(4, 1);
+  m.at(0, 0) = 1.0;
+  m.at(1, 0) = 2.0;
+  m.at(2, 0) = 3.0;
+  m.at(3, 0) = 4.0;
+  const auto n = ZScoreNormalizer::fit(m);
+  const auto z = n.apply(m);
+  double sum = 0.0, ss = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sum += z.at(i, 0);
+    ss += z.at(i, 0) * z.at(i, 0);
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_NEAR(ss / 3.0, 1.0, 1e-12);  // sample variance
+}
+
+TEST(Normalizer, DegenerateColumnPassesThrough) {
+  FeatureMatrix m(3, 1);
+  m.at(0, 0) = 5.0;
+  m.at(1, 0) = 5.0;
+  m.at(2, 0) = 5.0;
+  const auto n = ZScoreNormalizer::fit(m);
+  const auto z = n.apply(m);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(z.at(i, 0), 0.0);
+}
+
+TEST(Normalizer, InvertRoundTrips) {
+  FeatureMatrix m(3, 2);
+  m.at(0, 0) = 1.0;
+  m.at(1, 0) = 5.0;
+  m.at(2, 0) = 9.0;
+  m.at(0, 1) = -2.0;
+  m.at(1, 1) = 0.0;
+  m.at(2, 1) = 2.0;
+  const auto n = ZScoreNormalizer::fit(m);
+  const auto z = n.apply(m);
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto back = n.invert(z.row(r));
+    EXPECT_NEAR(back[0], m.at(r, 0), 1e-12);
+    EXPECT_NEAR(back[1], m.at(r, 1), 1e-12);
+  }
+}
+
+TEST(Normalizer, DimsMismatchRejected) {
+  FeatureMatrix m(2, 2);
+  const auto n = ZScoreNormalizer::fit(m);
+  FeatureMatrix other(2, 3);
+  EXPECT_THROW((void)n.apply(other), ConfigError);
+  const std::vector<double> row = {1.0};
+  EXPECT_THROW((void)n.invert(row), ConfigError);
+}
+
+}  // namespace
+}  // namespace unveil::cluster

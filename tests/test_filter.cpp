@@ -1,0 +1,79 @@
+/// Tests for trace slicing (time windows, rank subsets).
+
+#include <gtest/gtest.h>
+
+#include "unveil/support/error.hpp"
+#include "unveil/trace/filter.hpp"
+#include "test_util.hpp"
+
+namespace unveil::trace {
+namespace {
+
+TEST(SliceTime, RejectsEmptyWindow) {
+  const auto& run = testutil::smallWavesimRun();
+  EXPECT_THROW((void)sliceTime(run.trace, 100, 100), ConfigError);
+  EXPECT_THROW((void)sliceTime(run.trace, 200, 100), ConfigError);
+}
+
+TEST(SliceTime, KeepsOnlyWindowRecords) {
+  const auto& run = testutil::smallWavesimRun();
+  const TimeNs mid = run.trace.durationNs() / 2;
+  const auto cut = sliceTime(run.trace, 0, mid);
+  EXPECT_GT(cut.events().size(), 0u);
+  EXPECT_LT(cut.events().size(), run.trace.events().size());
+  for (const auto& e : cut.events()) EXPECT_LT(e.time, mid);
+  for (const auto& s : cut.samples()) EXPECT_LT(s.time, mid);
+  for (const auto& st : cut.states()) EXPECT_LE(st.end, mid);
+}
+
+TEST(SliceTime, ClipsStateIntervals) {
+  Trace t("x", 1);
+  StateInterval iv;
+  iv.rank = 0;
+  iv.begin = 100;
+  iv.end = 500;
+  iv.state = State::Compute;
+  t.addState(iv);
+  t.setDurationNs(1000);
+  t.finalize();
+  const auto cut = sliceTime(t, 200, 400);
+  ASSERT_EQ(cut.states().size(), 1u);
+  EXPECT_EQ(cut.states()[0].begin, 200u);
+  EXPECT_EQ(cut.states()[0].end, 400u);
+}
+
+TEST(SliceTime, ResultIsFinalizedAndAnalyzable) {
+  const auto& run = testutil::smallWavesimRun();
+  // Skip the first quarter (an analyst cutting initialization).
+  const auto cut =
+      sliceTime(run.trace, run.trace.durationNs() / 4, run.trace.durationNs());
+  EXPECT_TRUE(cut.finalized());
+  // Counters inside the cut still satisfy monotonicity (finalize validated).
+  EXPECT_GT(cut.samples().size(), 0u);
+}
+
+TEST(SelectRanks, Validation) {
+  const auto& run = testutil::smallWavesimRun();
+  EXPECT_THROW((void)selectRanks(run.trace, {}), ConfigError);
+  EXPECT_THROW((void)selectRanks(run.trace, {99}), ConfigError);
+}
+
+TEST(SelectRanks, KeepsOnlyListed) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto cut = selectRanks(run.trace, {1, 3});
+  EXPECT_GT(cut.events().size(), 0u);
+  for (const auto& e : cut.events()) EXPECT_TRUE(e.rank == 1 || e.rank == 3);
+  for (const auto& s : cut.samples()) EXPECT_TRUE(s.rank == 1 || s.rank == 3);
+  EXPECT_EQ(cut.numRanks(), run.trace.numRanks());  // ids preserved
+}
+
+TEST(SelectRanks, CountsSplitExactly) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto a = selectRanks(run.trace, {0, 1});
+  const auto b = selectRanks(run.trace, {2, 3});
+  EXPECT_EQ(a.events().size() + b.events().size(), run.trace.events().size());
+  EXPECT_EQ(a.samples().size() + b.samples().size(), run.trace.samples().size());
+}
+
+}  // namespace
+}  // namespace unveil::trace

@@ -1,0 +1,163 @@
+/// Tests for the folding projection itself — the paper's core mechanism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "unveil/cluster/burst.hpp"
+#include "unveil/folding/folded.hpp"
+#include "unveil/support/error.hpp"
+#include "test_util.hpp"
+
+namespace unveil::folding {
+namespace {
+
+using counters::CounterId;
+
+std::vector<std::size_t> allIndices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+TEST(Fold, PointsLieOnKnownCdf) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 30;
+  spec.samplesPerBurst = 8;
+  spec.cdf = [](double t) { return t * t; };  // quadratic cumulative profile
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  const auto folded =
+      foldCluster(trace, bursts, allIndices(bursts.size()), CounterId::TotIns);
+
+  EXPECT_EQ(folded.instances, 30u);
+  EXPECT_EQ(folded.instancesWithSamples, 30u);
+  EXPECT_EQ(folded.points.size(), 30u * 8u);
+  EXPECT_NEAR(folded.meanDurationNs, static_cast<double>(spec.burstNs), 1.0);
+  EXPECT_NEAR(folded.meanTotal, spec.totalIns, 1.0);
+  for (const auto& p : folded.points) {
+    EXPECT_GE(p.t, 0.0);
+    EXPECT_LE(p.t, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+    EXPECT_NEAR(p.y, p.t * p.t, 1e-3);  // quantization only
+  }
+}
+
+TEST(Fold, PointsSortedByT) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 10;
+  spec.samplesPerBurst = 5;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  const auto folded =
+      foldCluster(trace, bursts, allIndices(bursts.size()), CounterId::TotIns);
+  for (std::size_t i = 1; i < folded.points.size(); ++i)
+    EXPECT_LE(folded.points[i - 1].t, folded.points[i].t);
+}
+
+TEST(Fold, MeanRatePerNs) {
+  testutil::SyntheticSpec spec;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  const auto folded =
+      foldCluster(trace, bursts, allIndices(bursts.size()), CounterId::TotIns);
+  EXPECT_NEAR(folded.meanRatePerNs(), spec.totalIns / static_cast<double>(spec.burstNs),
+              1e-6);
+}
+
+TEST(Fold, ZeroIncrementCounterRejected) {
+  testutil::SyntheticSpec spec;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  // FP_OPS never increments in the synthetic trace.
+  EXPECT_THROW((void)foldCluster(trace, bursts, allIndices(bursts.size()),
+                                 CounterId::FpOps),
+               AnalysisError);
+}
+
+TEST(Fold, MinDurationSkipsShortInstances) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 10;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  FoldOptions opt;
+  opt.minDurationNs = spec.burstNs + 1;  // all too short
+  EXPECT_THROW((void)foldCluster(trace, bursts, allIndices(bursts.size()),
+                                 CounterId::TotIns, opt),
+               AnalysisError);
+}
+
+TEST(Fold, SubsetSelection) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 10;
+  spec.samplesPerBurst = 2;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  const std::vector<std::size_t> subset = {0, 2, 4};
+  const auto folded = foldCluster(trace, bursts, subset, CounterId::TotIns);
+  EXPECT_EQ(folded.instances, 3u);
+  EXPECT_EQ(folded.points.size(), 6u);
+}
+
+TEST(Fold, OverheadCompensationShiftsT) {
+  // One burst, one sample placed at mid-time; the burst window contains one
+  // sample's overhead, so uncompensated t is left of compensated t.
+  trace::Trace t("x", 1);
+  const trace::TimeNs begin = 1000;
+  const trace::TimeNs work = 100'000;
+  const double sampleCost = 10'000.0;  // 10% of work
+  const trace::TimeNs end = begin + work + static_cast<trace::TimeNs>(sampleCost);
+
+  trace::Event eb;
+  eb.rank = 0;
+  eb.time = begin;
+  eb.kind = trace::EventKind::PhaseBegin;
+  t.addEvent(eb);
+  trace::Sample s;
+  s.rank = 0;
+  s.time = begin + work / 2;  // sample halfway through the work
+  s.counters[CounterId::TotIns] = 500;
+  t.addSample(s);
+  trace::Event ee = eb;
+  ee.kind = trace::EventKind::PhaseEnd;
+  ee.time = end;
+  ee.counters[CounterId::TotIns] = 1000;
+  t.addEvent(ee);
+  t.finalize();
+
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(t);
+  ASSERT_EQ(bursts.size(), 1u);
+
+  const auto raw = foldCluster(t, bursts, allIndices(1), CounterId::TotIns);
+  FoldOptions comp;
+  comp.perSampleOverheadNs = sampleCost;
+  const auto adjusted = foldCluster(t, bursts, allIndices(1), CounterId::TotIns, comp);
+
+  ASSERT_EQ(raw.points.size(), 1u);
+  ASSERT_EQ(adjusted.points.size(), 1u);
+  // Uncompensated: t = 50k / 110k ~ 0.4545; compensated: 50k / 100k = 0.5.
+  EXPECT_NEAR(raw.points[0].t, 50'000.0 / 110'000.0, 1e-6);
+  EXPECT_NEAR(adjusted.points[0].t, 0.5, 1e-6);
+  // Compensation also corrects the mean duration to pure work time.
+  EXPECT_NEAR(adjusted.meanDurationNs, static_cast<double>(work), 1.0);
+}
+
+TEST(Fold, SimulatedRunCoverageIsDense) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(run.trace);
+  // Select the sweep instances (truth phase 1) — the longest phase.
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < bursts.size(); ++i)
+    if (bursts[i].truthPhase == 1) members.push_back(i);
+  const auto folded = foldCluster(run.trace, bursts, members, CounterId::TotIns);
+  ASSERT_GT(folded.points.size(), 100u);
+  // Coverage: every decile of [0,1] contains folded points.
+  std::array<int, 10> hist{};
+  for (const auto& p : folded.points)
+    ++hist[std::min(static_cast<std::size_t>(p.t * 10.0), std::size_t{9})];
+  for (int count : hist) EXPECT_GT(count, 0);
+}
+
+}  // namespace
+}  // namespace unveil::folding

@@ -1,0 +1,94 @@
+/// Tests for the load-balance characterization.
+
+#include <gtest/gtest.h>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/imbalance.hpp"
+#include "test_util.hpp"
+
+namespace unveil::analysis {
+namespace {
+
+const PipelineResult& balancedResult() {
+  static const PipelineResult result = analyze(testutil::smallWavesimRun().trace);
+  return result;
+}
+
+TEST(Imbalance, BalancedAppNearOne) {
+  const auto rows = imbalanceAnalysis(balancedResult(), 4);
+  ASSERT_GE(rows.size(), 3u);
+  for (const auto& r : rows) {
+    if (r.iterationsMeasured == 0) continue;
+    // wavesim's rank imbalance sigmas are <= 4%: factor stays below ~1.2.
+    EXPECT_GE(r.imbalanceFactor, 1.0);
+    EXPECT_LT(r.imbalanceFactor, 1.25) << "cluster " << r.clusterId;
+    EXPECT_LT(r.durationCovAcrossRanks, 0.15);
+  }
+}
+
+TEST(Imbalance, ImbalancedPhaseStandsOut) {
+  sim::apps::AppParams p;
+  p.ranks = 8;
+  p.iterations = 40;
+  p.seed = 19;
+  const auto run = runMeasured("particlemesh", p, sim::MeasurementConfig::folding());
+  const auto result = analyze(run.trace);
+  const auto rows = imbalanceAnalysis(result, 8);
+
+  // Find the force_eval cluster (truth phase 1, rankImbalanceSigma 0.12) and
+  // a light phase (tree_build, sigma 0.05).
+  double forceFactor = 0.0, packCov = 1.0, forceCov = 0.0;
+  for (const auto& r : rows) {
+    if (r.modalTruthPhase == 1) {
+      forceFactor = std::max(forceFactor, r.imbalanceFactor);
+      forceCov = std::max(forceCov, r.durationCovAcrossRanks);
+    }
+    if (r.modalTruthPhase == 2) packCov = r.durationCovAcrossRanks;
+  }
+  EXPECT_GT(forceFactor, 1.10);  // visible parallel inefficiency
+  EXPECT_GT(forceCov, packCov);  // persistent, not jitter
+}
+
+TEST(Imbalance, TransferPotentialBounded) {
+  const auto rows = imbalanceAnalysis(balancedResult(), 4);
+  double total = 0.0;
+  for (const auto& r : rows) {
+    EXPECT_GE(r.transferPotential, 0.0);
+    EXPECT_LE(r.transferPotential, r.timeShare + 1e-12);
+    total += r.transferPotential;
+  }
+  EXPECT_LE(total, 1.0);
+}
+
+TEST(Imbalance, TableShape) {
+  const auto rows = imbalanceAnalysis(balancedResult(), 4);
+  const auto table = imbalanceTable(rows);
+  EXPECT_EQ(table.rows(), rows.size());
+  EXPECT_EQ(table.cols(), 7u);
+}
+
+TEST(Imbalance, SingleRankClusterReported) {
+  PipelineResult result;
+  // Two bursts, same rank, one cluster: rank coverage < 2 -> defaults kept.
+  result.bursts.resize(2);
+  result.bursts[0].rank = 0;
+  result.bursts[0].begin = 0;
+  result.bursts[0].end = 100;
+  result.bursts[1].rank = 0;
+  result.bursts[1].begin = 200;
+  result.bursts[1].end = 300;
+  result.clustering.labels = {0, 0};
+  result.clustering.numClusters = 1;
+  ClusterReport report;
+  report.clusterId = 0;
+  report.memberIdx = {0, 1};
+  report.instances = 2;
+  result.clusters.push_back(report);
+  const auto rows = imbalanceAnalysis(result, 4);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].imbalanceFactor, 1.0);
+  EXPECT_EQ(rows[0].iterationsMeasured, 0u);
+}
+
+}  // namespace
+}  // namespace unveil::analysis

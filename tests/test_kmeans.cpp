@@ -1,0 +1,122 @@
+/// Tests for the k-means baseline.
+
+#include <gtest/gtest.h>
+
+#include "unveil/cluster/kmeans.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/rng.hpp"
+
+namespace unveil::cluster {
+namespace {
+
+FeatureMatrix makeBlobs(std::size_t blobs, std::size_t per, std::uint64_t seed = 1) {
+  support::Rng rng(seed, "kmblobs");
+  FeatureMatrix m(blobs * per, 2);
+  for (std::size_t b = 0; b < blobs; ++b) {
+    for (std::size_t i = 0; i < per; ++i) {
+      const std::size_t row = b * per + i;
+      m.at(row, 0) = rng.normal(static_cast<double>(b) * 8.0, 0.2);
+      m.at(row, 1) = rng.normal(static_cast<double>(b % 2) * 6.0, 0.2);
+    }
+  }
+  return m;
+}
+
+TEST(KmeansParams, Validation) {
+  KmeansParams p;
+  p.k = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = KmeansParams{};
+  p.maxIterations = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Kmeans, FewerPointsThanClustersRejected) {
+  const FeatureMatrix m(2, 2);
+  KmeansParams p;
+  p.k = 3;
+  EXPECT_THROW((void)kmeans(m, p), AnalysisError);
+}
+
+TEST(Kmeans, RecoversWellSeparatedBlobs) {
+  const auto m = makeBlobs(3, 80);
+  KmeansParams p;
+  p.k = 3;
+  const auto result = kmeans(m, p);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.clustering.numClusters, 3u);
+  // Each blob uniformly labelled.
+  for (std::size_t b = 0; b < 3; ++b) {
+    const int label = result.clustering.labels[b * 80];
+    for (std::size_t i = 0; i < 80; ++i)
+      EXPECT_EQ(result.clustering.labels[b * 80 + i], label);
+  }
+}
+
+TEST(Kmeans, NoNoiseLabels) {
+  const auto m = makeBlobs(2, 30);
+  KmeansParams p;
+  p.k = 2;
+  const auto result = kmeans(m, p);
+  for (int l : result.clustering.labels) EXPECT_GE(l, 0);
+}
+
+TEST(Kmeans, DeterministicPerSeed) {
+  const auto m = makeBlobs(3, 40);
+  KmeansParams p;
+  p.k = 3;
+  p.seed = 42;
+  const auto a = kmeans(m, p);
+  const auto b = kmeans(m, p);
+  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
+}
+
+TEST(Kmeans, CentroidsNearBlobCenters) {
+  const auto m = makeBlobs(2, 100);
+  KmeansParams p;
+  p.k = 2;
+  const auto result = kmeans(m, p);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  for (const auto& c : result.centroids) {
+    ASSERT_EQ(c.size(), 2u);
+    // Centers are (0,0) and (8,6); allow generous tolerance.
+    const bool nearA = std::abs(c[0] - 0.0) < 0.5 && std::abs(c[1] - 0.0) < 0.5;
+    const bool nearB = std::abs(c[0] - 8.0) < 0.5 && std::abs(c[1] - 6.0) < 0.5;
+    EXPECT_TRUE(nearA || nearB);
+  }
+}
+
+TEST(Kmeans, SizeOrderedLabels) {
+  // Blob 0 has 120 points, blob 1 has 30 -> cluster 0 must be the big one.
+  support::Rng rng(9, "sizes");
+  FeatureMatrix m(150, 2);
+  for (std::size_t i = 0; i < 120; ++i) {
+    m.at(i, 0) = rng.normal(0.0, 0.1);
+    m.at(i, 1) = rng.normal(0.0, 0.1);
+  }
+  for (std::size_t i = 120; i < 150; ++i) {
+    m.at(i, 0) = rng.normal(10.0, 0.1);
+    m.at(i, 1) = rng.normal(10.0, 0.1);
+  }
+  KmeansParams p;
+  p.k = 2;
+  const auto result = kmeans(m, p);
+  EXPECT_EQ(result.clustering.clusterSize(0), 120u);
+  EXPECT_EQ(result.clustering.clusterSize(1), 30u);
+}
+
+TEST(Kmeans, KEqualsNAssignsEachPointOwnCluster) {
+  FeatureMatrix m(3, 1);
+  m.at(0, 0) = 0.0;
+  m.at(1, 0) = 10.0;
+  m.at(2, 0) = 20.0;
+  KmeansParams p;
+  p.k = 3;
+  const auto result = kmeans(m, p);
+  std::set<int> labels(result.clustering.labels.begin(),
+                       result.clustering.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+}  // namespace
+}  // namespace unveil::cluster

@@ -1,0 +1,68 @@
+/// Tests for the postal-model interconnect.
+
+#include <gtest/gtest.h>
+
+#include "unveil/sim/network.hpp"
+#include "unveil/support/error.hpp"
+
+namespace unveil::sim {
+namespace {
+
+TEST(Network, ValidateRejectsBadValues) {
+  NetworkModel n;
+  n.latencyNs = -1.0;
+  EXPECT_THROW(n.validate(), ConfigError);
+  n = NetworkModel{};
+  n.bandwidthBytesPerNs = 0.0;
+  EXPECT_THROW(n.validate(), ConfigError);
+  n = NetworkModel{};
+  n.sendOverheadNs = -5.0;
+  EXPECT_THROW(n.validate(), ConfigError);
+  EXPECT_NO_THROW(NetworkModel{}.validate());
+}
+
+TEST(Network, TransferIsLatencyPlusSerialization) {
+  NetworkModel n;
+  n.latencyNs = 1000.0;
+  n.bandwidthBytesPerNs = 10.0;
+  EXPECT_DOUBLE_EQ(n.transferNs(0), 1000.0);
+  EXPECT_DOUBLE_EQ(n.transferNs(100), 1010.0);
+  EXPECT_DOUBLE_EQ(n.transferNs(10000), 2000.0);
+}
+
+TEST(Network, SendCostIncludesOverhead) {
+  NetworkModel n;
+  n.sendOverheadNs = 300.0;
+  n.bandwidthBytesPerNs = 10.0;
+  EXPECT_DOUBLE_EQ(n.sendCostNs(1000), 400.0);
+}
+
+TEST(Network, CollectiveScalesLogarithmically) {
+  NetworkModel n;
+  const double p2 = n.collectiveCostNs(trace::MpiOp::Allreduce, 8, 2);
+  const double p16 = n.collectiveCostNs(trace::MpiOp::Allreduce, 8, 16);
+  const double p17 = n.collectiveCostNs(trace::MpiOp::Allreduce, 8, 17);
+  EXPECT_NEAR(p16 / p2, 4.0, 1e-9);        // log2(16)/log2(2)
+  EXPECT_NEAR(p17 / p16, 5.0 / 4.0, 1e-9); // ceil(log2 17) = 5 steps
+}
+
+TEST(Network, BarrierIgnoresBytes) {
+  NetworkModel n;
+  EXPECT_DOUBLE_EQ(n.collectiveCostNs(trace::MpiOp::Barrier, 0, 8),
+                   n.collectiveCostNs(trace::MpiOp::Barrier, 1 << 20, 8));
+}
+
+TEST(Network, AlltoallGrowsWithRanks) {
+  NetworkModel n;
+  const double p4 = n.collectiveCostNs(trace::MpiOp::Alltoall, 4096, 4);
+  const double p32 = n.collectiveCostNs(trace::MpiOp::Alltoall, 4096, 32);
+  EXPECT_GT(p32, p4);
+}
+
+TEST(Network, SingleRankCollectiveFinite) {
+  NetworkModel n;
+  EXPECT_GT(n.collectiveCostNs(trace::MpiOp::Allreduce, 8, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace unveil::sim

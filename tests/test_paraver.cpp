@@ -1,0 +1,120 @@
+/// Tests for the Paraver exporter (.prv/.pcf/.row).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "unveil/support/error.hpp"
+#include "unveil/trace/paraver.hpp"
+#include "test_util.hpp"
+
+namespace unveil::trace {
+namespace {
+
+Trace sampleTrace() {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 3;
+  spec.samplesPerBurst = 2;
+  return testutil::makeSyntheticTrace(spec);
+}
+
+TEST(Paraver, RequiresFinalizedTrace) {
+  Trace t("x", 1);
+  std::ostringstream os;
+  EXPECT_THROW(writeParaverPrv(t, os), TraceError);
+}
+
+TEST(Paraver, HeaderFormat) {
+  const auto t = sampleTrace();
+  std::ostringstream os;
+  writeParaverPrv(t, os);
+  std::string firstLine = os.str().substr(0, os.str().find('\n'));
+  EXPECT_EQ(firstLine.rfind("#Paraver", 0), 0u);
+  EXPECT_NE(firstLine.find(":" + std::to_string(t.durationNs()) + ":"),
+            std::string::npos);
+  EXPECT_NE(firstLine.find("1(1)"), std::string::npos);  // one rank
+}
+
+TEST(Paraver, RecordCountsMatchTrace) {
+  const auto t = sampleTrace();
+  std::ostringstream os;
+  writeParaverPrv(t, os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t stateLines = 0, eventLines = 0;
+  std::getline(is, line);  // header
+  while (std::getline(is, line)) {
+    if (line.rfind("1:", 0) == 0) ++stateLines;
+    else if (line.rfind("2:", 0) == 0) ++eventLines;
+    else FAIL() << "unexpected line: " << line;
+  }
+  EXPECT_EQ(stateLines, t.states().size());
+  // One line per probe event and one per sample (counters inline).
+  EXPECT_EQ(eventLines, t.events().size() + t.samples().size());
+}
+
+TEST(Paraver, BodyIsTimeOrdered) {
+  const auto& run = testutil::smallWavesimRun();
+  std::ostringstream os;
+  writeParaverPrv(run.trace, os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);  // header
+  TimeNs prev = 0;
+  while (std::getline(is, line)) {
+    // Field 6 is the (begin) timestamp for both record kinds.
+    std::size_t pos = 0;
+    for (int f = 0; f < 5; ++f) pos = line.find(':', pos) + 1;
+    const TimeNs t = std::stoull(line.substr(pos));
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Paraver, PhaseEventsEncodeEnterExit) {
+  const auto t = sampleTrace();
+  std::ostringstream os;
+  writeParaverPrv(t, os);
+  const std::string body = os.str();
+  const std::string typeStr = std::to_string(ParaverCodes::kPhaseType);
+  // Entry: value = phaseId + 1 = 1; exit: value 0.
+  EXPECT_NE(body.find(typeStr + ":1"), std::string::npos);
+  EXPECT_NE(body.find(typeStr + ":0"), std::string::npos);
+}
+
+TEST(Paraver, PcfListsCountersAndMpi) {
+  const auto t = sampleTrace();
+  std::ostringstream os;
+  writeParaverPcf(t, os);
+  const std::string pcf = os.str();
+  EXPECT_NE(pcf.find("PAPI_TOT_INS"), std::string::npos);
+  EXPECT_NE(pcf.find("MPI_Allreduce"), std::string::npos);
+  EXPECT_NE(pcf.find("Computation phase"), std::string::npos);
+  EXPECT_NE(pcf.find("STATES"), std::string::npos);
+}
+
+TEST(Paraver, RowListsRanks) {
+  testutil::SyntheticSpec spec;
+  auto t = testutil::makeSyntheticTrace(spec);
+  std::ostringstream os;
+  writeParaverRow(t, os);
+  EXPECT_NE(os.str().find("LEVEL TASK SIZE 1"), std::string::npos);
+  EXPECT_NE(os.str().find("Rank 0"), std::string::npos);
+}
+
+TEST(Paraver, ExportWritesTriple) {
+  const auto t = sampleTrace();
+  const std::string base = ::testing::TempDir() + "/unveil_paraver_test";
+  exportParaver(t, base);
+  for (const char* ext : {".prv", ".pcf", ".row"}) {
+    std::ifstream f(base + ext);
+    EXPECT_TRUE(f.good()) << ext;
+    std::string first;
+    std::getline(f, first);
+    EXPECT_FALSE(first.empty()) << ext;
+  }
+}
+
+}  // namespace
+}  // namespace unveil::trace

@@ -1,0 +1,145 @@
+/// Tests for PhaseModel / RealizedBurst / NoiseModel — the ground-truth
+/// counter machinery every simulated probe and sample flows through.
+
+#include <gtest/gtest.h>
+
+#include "unveil/counters/noise.hpp"
+#include "unveil/counters/phase_model.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/math.hpp"
+#include "unveil/support/stats.hpp"
+
+namespace unveil::counters {
+namespace {
+
+std::array<double, kNumCounters> unitFactors() {
+  std::array<double, kNumCounters> f;
+  f.fill(1.0);
+  return f;
+}
+
+TEST(PhaseModel, DefaultsToZeroCounters) {
+  const PhaseModel m("empty");
+  for (CounterId id : kAllCounters) {
+    EXPECT_EQ(m.profile(id).baseTotal, 0.0);
+  }
+}
+
+TEST(PhaseModel, SetCounterStoresProfile) {
+  PhaseModel m("p");
+  m.setCounter(CounterId::TotIns, 1e6, RateShape::ramp(2.0, 1.0));
+  EXPECT_DOUBLE_EQ(m.profile(CounterId::TotIns).baseTotal, 1e6);
+  EXPECT_NEAR(m.normalizedRate(CounterId::TotIns, 0.0), 2.0 / 1.5, 1e-9);
+  EXPECT_NEAR(m.cdf(CounterId::TotIns, 1.0), 1.0, 1e-9);
+}
+
+TEST(PhaseModel, NegativeTotalRejected) {
+  PhaseModel m("p");
+  EXPECT_THROW(m.setCounter(CounterId::TotIns, -1.0, RateShape::constant()),
+               ConfigError);
+}
+
+TEST(RealizedBurst, TotalsScaleWithFactors) {
+  PhaseModel m("p");
+  m.setCounter(CounterId::TotIns, 1000.0, RateShape::constant());
+  auto f = unitFactors();
+  f[counterIndex(CounterId::TotIns)] = 2.5;
+  const RealizedBurst b(m, f);
+  EXPECT_DOUBLE_EQ(b.total(CounterId::TotIns), 2500.0);
+  EXPECT_EQ(b.cumulativeAt(CounterId::TotIns, 1.0), 2500u);
+  EXPECT_EQ(b.cumulativeAt(CounterId::TotIns, 0.0), 0u);
+}
+
+TEST(RealizedBurst, SnapshotsMonotoneOnFineGrid) {
+  PhaseModel m("p");
+  m.setCounter(CounterId::TotIns, 123456.0, RateShape::sawtooth(3, 0.5, 2.0));
+  m.setCounter(CounterId::L2Dcm, 777.0, RateShape::bump(0.5, 2.0, 0.3, 0.1));
+  const RealizedBurst b(m, unitFactors());
+  CounterSet prev = b.snapshotAt(0.0);
+  for (double t : support::linspace(0.0, 1.0, 1000)) {
+    const CounterSet cur = b.snapshotAt(t);
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+      EXPECT_GE(cur.values[i], prev.values[i]) << "at t=" << t;
+    prev = cur;
+  }
+}
+
+TEST(RealizedBurst, ExactMatchesRoundedAccessor) {
+  PhaseModel m("p");
+  m.setCounter(CounterId::FpOps, 5000.0, RateShape::ramp(1.0, 3.0));
+  const RealizedBurst b(m, unitFactors());
+  for (double t : {0.0, 0.2, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(b.cumulativeAt(CounterId::FpOps, t),
+              static_cast<std::uint64_t>(
+                  std::llround(b.cumulativeAtExact(CounterId::FpOps, t))));
+  }
+}
+
+TEST(NoiseModel, ValidateRejectsNegativeSigmas) {
+  NoiseModel n;
+  n.commonSigma = -0.1;
+  EXPECT_THROW(n.validate(), ConfigError);
+  n = NoiseModel{};
+  n.counterSigma = -0.1;
+  EXPECT_THROW(n.validate(), ConfigError);
+  n = NoiseModel{};
+  n.warpSigma = -0.1;
+  EXPECT_THROW(n.validate(), ConfigError);
+  n = NoiseModel{};
+  n.outlierProb = 1.5;
+  EXPECT_THROW(n.validate(), ConfigError);
+}
+
+TEST(NoiseModel, FactorsCenterOnOne) {
+  NoiseModel n;
+  n.commonSigma = 0.05;
+  n.counterSigma = 0.02;
+  support::Rng rng(23);
+  support::RunningStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    const auto f = n.realize(rng);
+    for (double x : f) {
+      EXPECT_GT(x, 0.0);
+      stats.add(x);
+    }
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.01);
+}
+
+TEST(NoiseModel, ZeroSigmaGivesUnitFactors) {
+  NoiseModel n;
+  n.commonSigma = 0.0;
+  n.counterSigma = 0.0;
+  support::Rng rng(23);
+  const auto f = n.realize(rng);
+  for (double x : f) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(NoiseModel, WarpMedianNearOne) {
+  NoiseModel n;
+  n.warpSigma = 0.1;
+  n.outlierProb = 0.0;
+  support::Rng rng(29);
+  std::vector<double> w;
+  for (int i = 0; i < 4001; ++i) w.push_back(n.realizeWarp(rng));
+  EXPECT_NEAR(support::median(w), 1.0, 0.02);
+}
+
+TEST(NoiseModel, OutliersWidenWarpTail) {
+  NoiseModel pure;
+  pure.warpSigma = 0.02;
+  pure.outlierProb = 0.0;
+  NoiseModel contaminated = pure;
+  contaminated.outlierProb = 0.2;
+  contaminated.outlierWarpSigma = 1.0;
+  support::Rng r1(31), r2(31);
+  double maxPure = 0.0, maxCont = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    maxPure = std::max(maxPure, pure.realizeWarp(r1));
+    maxCont = std::max(maxCont, contaminated.realizeWarp(r2));
+  }
+  EXPECT_GT(maxCont, maxPure);
+}
+
+}  // namespace
+}  // namespace unveil::counters

@@ -1,0 +1,233 @@
+/// End-to-end pipeline tests, parameterized over the three applications —
+/// the integration layer of the test suite. Each case simulates a measured
+/// run and checks that the full methodology recovers the known structure
+/// and internal evolution.
+
+#include <gtest/gtest.h>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/cluster/quality.hpp"
+#include "unveil/folding/accuracy.hpp"
+#include "unveil/support/error.hpp"
+
+namespace unveil::analysis {
+namespace {
+
+struct AppCase {
+  std::string name;
+  std::size_t truePhases;
+  std::size_t burstsPerIteration;  ///< nbsolver runs AXPY twice per iteration.
+  std::size_t truePeriod;
+};
+
+class PipelinePerApp : public ::testing::TestWithParam<AppCase> {
+ protected:
+  static sim::RunResult makeRun(const std::string& app) {
+    sim::apps::AppParams p;
+    p.ranks = 8;
+    p.iterations = 60;
+    p.seed = 9;
+    return runMeasured(app, p, sim::MeasurementConfig::folding());
+  }
+};
+
+TEST_P(PipelinePerApp, RecoversStructureAndEvolution) {
+  const auto& param = GetParam();
+  const auto run = makeRun(param.name);
+  const auto result =
+      analyze(run.trace, calibratedPipelineConfig(sim::MeasurementConfig::folding()));
+
+  // Bursts: bursts/iteration x iterations x ranks.
+  EXPECT_EQ(result.bursts.size(), param.burstsPerIteration * 60u * 8u);
+
+  // Clustering: at least the true phases, high agreement with ground truth.
+  EXPECT_GE(result.clustering.numClusters, param.truePhases);
+  std::vector<std::uint32_t> truth;
+  for (const auto& b : result.bursts) truth.push_back(b.truthPhase);
+  EXPECT_GT(cluster::adjustedRandIndex(result.clustering.labels, truth), 0.75);
+  EXPECT_GT(cluster::purity(result.clustering.labels, truth), 0.85);
+
+  // Structure: the iteration period.
+  EXPECT_EQ(result.period.period, param.truePeriod);
+
+  // Folding: every large cluster carries reconstructed rates, and each
+  // reconstruction matches the analytic truth of its modal phase. The bound
+  // per cluster is generous (18%) because at this small scale the SpMV
+  // sawtooth is legitimately smeared; the *mean* over clusters must be <10%.
+  std::size_t foldedClusters = 0;
+  double errSum = 0.0;
+  for (const auto& c : result.clusters) {
+    if (!c.folded) continue;
+    ++foldedClusters;
+    const auto it = c.rates.find(counters::CounterId::TotIns);
+    ASSERT_NE(it, c.rates.end());
+    const auto& shape = run.app->phase(c.modalTruthPhase)
+                            .model.profile(counters::CounterId::TotIns)
+                            .shape;
+    const auto truthCurve = folding::truthNormalizedRate(shape, it->second.t);
+    const double err = folding::meanAbsDiffPercent(it->second.normRate, truthCurve);
+    errSum += err;
+    EXPECT_LT(err, 18.0) << param.name << " cluster " << c.clusterId;
+  }
+  ASSERT_GE(foldedClusters, param.truePhases - 1);
+  EXPECT_LT(errSum / static_cast<double>(foldedClusters), 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, PipelinePerApp,
+                         ::testing::Values(AppCase{"wavesim", 3, 3, 3},
+                                           AppCase{"nbsolver", 3, 4, 4},
+                                           AppCase{"particlemesh", 3, 3, 3}),
+                         [](const ::testing::TestParamInfo<AppCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Pipeline, EmptyTraceRejected) {
+  trace::Trace t("empty", 1);
+  t.finalize();
+  EXPECT_THROW((void)analyze(t), AnalysisError);
+}
+
+TEST(Pipeline, MpiGapModeWorks) {
+  sim::apps::AppParams p;
+  p.ranks = 4;
+  p.iterations = 40;
+  p.seed = 9;
+  const auto run = runMeasured("wavesim", p, sim::MeasurementConfig::folding());
+  PipelineConfig config;
+  config.useMpiGaps = true;
+  config.extraction.minDurationNs = 50'000;
+  const auto result = analyze(run.trace, config);
+  // MPI-gap extraction merges sweep+update; expect at least 2 clusters.
+  EXPECT_GE(result.clustering.numClusters, 2u);
+  for (const auto& b : result.bursts) EXPECT_EQ(b.truthPhase, cluster::kNoPhase);
+}
+
+TEST(Pipeline, MinClusterInstancesGatesFolding) {
+  sim::apps::AppParams p;
+  p.ranks = 4;
+  p.iterations = 20;
+  p.seed = 9;
+  const auto run = runMeasured("wavesim", p, sim::MeasurementConfig::folding());
+  PipelineConfig config;
+  config.minClusterInstances = 1'000'000;  // nothing qualifies
+  const auto result = analyze(run.trace, config);
+  for (const auto& c : result.clusters) EXPECT_FALSE(c.folded);
+}
+
+TEST(Pipeline, FixedEpsRespected) {
+  sim::apps::AppParams p;
+  p.ranks = 4;
+  p.iterations = 20;
+  p.seed = 9;
+  const auto run = runMeasured("wavesim", p, sim::MeasurementConfig::folding());
+  PipelineConfig config;
+  config.autoEps = false;
+  config.dbscan.eps = 0.42;
+  const auto result = analyze(run.trace, config);
+  EXPECT_DOUBLE_EQ(result.epsUsed, 0.42);
+}
+
+TEST(Pipeline, ClusterReportsConsistent) {
+  sim::apps::AppParams p;
+  p.ranks = 4;
+  p.iterations = 30;
+  p.seed = 9;
+  const auto run = runMeasured("nbsolver", p, sim::MeasurementConfig::folding());
+  const auto result = analyze(run.trace);
+  double totalShare = 0.0;
+  std::size_t totalMembers = 0;
+  for (const auto& c : result.clusters) {
+    EXPECT_EQ(c.memberIdx.size(), c.instances);
+    for (std::size_t i : c.memberIdx)
+      EXPECT_EQ(result.clustering.labels[i], c.clusterId);
+    totalShare += c.totalTimeFraction;
+    totalMembers += c.instances;
+  }
+  EXPECT_LE(totalShare, 1.0 + 1e-9);
+  EXPECT_EQ(totalMembers + result.clustering.noiseCount(), result.bursts.size());
+}
+
+TEST(Pipeline, AmrflowEndToEnd) {
+  sim::apps::AppParams p;
+  p.ranks = 4;
+  p.iterations = 60;
+  p.seed = 9;
+  const auto run = runMeasured("amrflow", p, sim::MeasurementConfig::folding());
+  const auto result = analyze(run.trace);
+  // 2 computes per iteration (advect + projection) x 60 x 4 ranks.
+  EXPECT_EQ(result.bursts.size(), 2u * 60u * 4u);
+  // Three performance phases: coarse advect, fine advect, projection.
+  EXPECT_EQ(result.clustering.numClusters, 3u);
+  EXPECT_EQ(result.period.period, 2u);
+}
+
+TEST(Pipeline, ParallelFoldingMatchesSequential) {
+  sim::apps::AppParams p;
+  p.ranks = 4;
+  p.iterations = 30;
+  p.seed = 9;
+  const auto run = runMeasured("wavesim", p, sim::MeasurementConfig::folding());
+  PipelineConfig seq;
+  seq.foldThreads = 1;
+  PipelineConfig par;
+  par.foldThreads = 0;  // all cores
+  const auto a = analyze(run.trace, seq);
+  const auto b = analyze(run.trace, par);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    ASSERT_EQ(a.clusters[i].rates.size(), b.clusters[i].rates.size());
+    for (const auto& [counter, curve] : a.clusters[i].rates) {
+      const auto& other = b.clusters[i].rates.at(counter);
+      EXPECT_EQ(curve.normRate, other.normRate);
+      EXPECT_EQ(curve.physRate, other.physRate);
+    }
+  }
+}
+
+TEST(Experiments, StandardParams) {
+  const auto p = standardParams(123);
+  EXPECT_EQ(p.seed, 123u);
+  EXPECT_GT(p.ranks, 0u);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Experiments, CalibratedConfigCopiesCosts) {
+  auto mc = sim::MeasurementConfig::folding();
+  mc.sampling.sampleCostNs = 1234.0;
+  mc.instrumentation.probeCostNs = 55.0;
+  const auto cfg = calibratedPipelineConfig(mc);
+  EXPECT_DOUBLE_EQ(cfg.reconstruct.fold.perSampleOverheadNs, 1234.0);
+  EXPECT_DOUBLE_EQ(cfg.reconstruct.fold.probeOverheadNs, 55.0);
+  const auto ep = calibratedEmpiricalParams(mc);
+  EXPECT_DOUBLE_EQ(ep.perSampleOverheadNs, 1234.0);
+  EXPECT_DOUBLE_EQ(ep.probeOverheadNs, 55.0);
+}
+
+TEST(Experiments, CalibratedConfigZeroWhenDisabled) {
+  const auto cfg = calibratedPipelineConfig(sim::MeasurementConfig::none());
+  EXPECT_DOUBLE_EQ(cfg.reconstruct.fold.perSampleOverheadNs, 0.0);
+  EXPECT_DOUBLE_EQ(cfg.reconstruct.fold.probeOverheadNs, 0.0);
+}
+
+TEST(Experiments, FoldingAccuracyEndToEnd) {
+  sim::apps::AppParams p;
+  p.ranks = 8;
+  p.iterations = 60;
+  p.seed = 2;
+  const auto coarse = runMeasured("wavesim", p, sim::MeasurementConfig::folding());
+  const auto fine = runMeasured("wavesim", p, sim::MeasurementConfig::fineGrain());
+  const auto result =
+      analyze(coarse.trace, calibratedPipelineConfig(sim::MeasurementConfig::folding()));
+  const auto acc = foldingAccuracy(coarse, fine, result, counters::CounterId::TotIns);
+  ASSERT_GE(acc.size(), 2u);
+  for (const auto& a : acc) {
+    EXPECT_LT(a.vsFinePercent, 10.0) << a.phaseName;
+    EXPECT_LT(a.vsTruthPercent, 10.0) << a.phaseName;
+    EXPECT_GT(a.foldedPoints, 0u);
+    EXPECT_FALSE(a.phaseName.empty());
+  }
+}
+
+}  // namespace
+}  // namespace unveil::analysis

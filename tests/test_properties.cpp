@@ -1,0 +1,193 @@
+/// Cross-module property tests: invariants that must hold for *any* input,
+/// checked on simulated runs and randomized synthetic data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/cluster/dbscan.hpp"
+#include "unveil/support/math.hpp"
+#include "unveil/support/rng.hpp"
+#include "unveil/trace/io.hpp"
+#include "test_util.hpp"
+
+namespace unveil {
+namespace {
+
+class PerApp : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const sim::RunResult& run(const std::string& app) {
+    static std::map<std::string, sim::RunResult> cache;
+    auto it = cache.find(app);
+    if (it == cache.end()) {
+      sim::apps::AppParams p;
+      p.ranks = 4;
+      p.iterations = 40;
+      p.seed = 31;
+      it = cache.emplace(app, analysis::runMeasured(
+                                  app, p, sim::MeasurementConfig::folding()))
+               .first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(PerApp, FoldedRateConservesMass) {
+  // The normalized instantaneous rate must integrate to ~1 over [0,1]:
+  // folding reconstructs a *distribution* of the phase's counts over its
+  // lifetime. Smoothing and clamping may only nibble at the edges.
+  const auto& r = run(GetParam());
+  const auto result = analysis::analyze(r.trace);
+  std::size_t checked = 0;
+  for (const auto& c : result.clusters) {
+    for (const auto& [counter, curve] : c.rates) {
+      const double mass = support::trapezoid(curve.t, curve.normRate);
+      EXPECT_NEAR(mass, 1.0, 0.05)
+          << GetParam() << " cluster " << c.clusterId << " counter "
+          << counters::counterName(counter);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(PerApp, EventsMatchGroundTruth) {
+  // Every ground-truth burst has exactly one begin and one end probe with
+  // matching timestamps.
+  const auto& r = run(GetParam());
+  std::size_t begins = 0, ends = 0;
+  for (const auto& e : r.trace.events()) {
+    begins += (e.kind == trace::EventKind::PhaseBegin) ? 1 : 0;
+    ends += (e.kind == trace::EventKind::PhaseEnd) ? 1 : 0;
+  }
+  EXPECT_EQ(begins, r.truth.bursts.size());
+  EXPECT_EQ(ends, r.truth.bursts.size());
+}
+
+TEST_P(PerApp, ComputeTimeBoundedByRuntime) {
+  const auto& r = run(GetParam());
+  std::map<trace::Rank, double> computePerRank;
+  for (const auto& s : r.trace.states())
+    if (s.state == trace::State::Compute)
+      computePerRank[s.rank] += static_cast<double>(s.end - s.begin);
+  for (const auto& [rank, compute] : computePerRank) {
+    (void)rank;
+    EXPECT_LE(compute, static_cast<double>(r.totalRuntimeNs) * (1.0 + 1e-9));
+    EXPECT_GT(compute, 0.0);
+  }
+}
+
+TEST_P(PerApp, AnalysisIsDeterministic) {
+  const auto& r = run(GetParam());
+  const auto a = analysis::analyze(r.trace);
+  const auto b = analysis::analyze(r.trace);
+  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
+  EXPECT_EQ(a.period.period, b.period.period);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    ASSERT_EQ(a.clusters[i].rates.size(), b.clusters[i].rates.size());
+    for (const auto& [counter, curve] : a.clusters[i].rates) {
+      const auto& other = b.clusters[i].rates.at(counter);
+      EXPECT_EQ(curve.normRate, other.normRate);
+    }
+  }
+}
+
+TEST_P(PerApp, TraceSerializationPreservesAnalysis) {
+  // analyze(read(write(trace))) == analyze(trace): serialization is
+  // analysis-lossless.
+  const auto& r = run(GetParam());
+  std::stringstream ss;
+  trace::write(r.trace, ss);
+  const auto back = trace::read(ss);
+  const auto a = analysis::analyze(r.trace);
+  const auto b = analysis::analyze(back);
+  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
+  EXPECT_EQ(a.period.period, b.period.period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, PerApp,
+                         ::testing::Values("wavesim", "nbsolver", "particlemesh",
+                                           "amrflow"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+class DbscanScaleInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(DbscanScaleInvariance, UniformScalingWithEpsScalesLabelsUnchanged) {
+  support::Rng rng(7, "scale");
+  cluster::FeatureMatrix m(300, 2);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double cx = (i % 3) * 5.0;
+    m.at(i, 0) = rng.normal(cx, 0.2);
+    m.at(i, 1) = rng.normal(-cx, 0.2);
+  }
+  const double scale = GetParam();
+  cluster::FeatureMatrix scaled(m.rows(), 2);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    scaled.at(i, 0) = m.at(i, 0) * scale;
+    scaled.at(i, 1) = m.at(i, 1) * scale;
+  }
+  cluster::DbscanParams p;
+  p.eps = 0.8;
+  p.minPts = 5;
+  cluster::DbscanParams ps = p;
+  ps.eps = p.eps * scale;
+  const auto a = cluster::dbscan(m, p);
+  const auto b = cluster::dbscan(scaled, ps);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, DbscanScaleInvariance,
+                         ::testing::Values(0.1, 2.0, 37.5));
+
+class RandomTraceRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTraceRoundTrip, FuzzedTracesSurviveSerialization) {
+  support::Rng rng(GetParam(), "fuzz");
+  const auto ranks = static_cast<trace::Rank>(rng.uniformInt(1, 5));
+  trace::Trace t("fuzz", ranks);
+  for (trace::Rank r = 0; r < ranks; ++r) {
+    counters::CounterSet cum;
+    trace::TimeNs now = static_cast<trace::TimeNs>(rng.uniformInt(0, 1000));
+    const int records = static_cast<int>(rng.uniformInt(5, 60));
+    for (int i = 0; i < records; ++i) {
+      now += static_cast<trace::TimeNs>(rng.uniformInt(1, 100000));
+      for (counters::CounterId id : counters::kAllCounters)
+        cum[id] += static_cast<std::uint64_t>(rng.uniformInt(0, 1000000));
+      if (rng.bernoulli(0.5)) {
+        trace::Sample s;
+        s.rank = r;
+        s.time = now;
+        s.counters = cum;
+        t.addSample(s);
+      } else {
+        trace::Event e;
+        e.rank = r;
+        e.time = now;
+        e.kind = static_cast<trace::EventKind>(rng.uniformInt(0, 3));
+        e.value = static_cast<std::uint32_t>(rng.uniformInt(0, 5));
+        e.counters = cum;
+        t.addEvent(e);
+      }
+    }
+  }
+  t.finalize();
+  std::stringstream ss;
+  trace::write(t, ss);
+  const auto back = trace::read(ss);
+  EXPECT_EQ(back.stats().totalRecords, t.stats().totalRecords);
+  EXPECT_EQ(back.durationNs(), t.durationNs());
+  ASSERT_EQ(back.events().size(), t.events().size());
+  for (std::size_t i = 0; i < t.events().size(); ++i)
+    EXPECT_EQ(back.events()[i].counters, t.events()[i].counters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraceRoundTrip,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace unveil

@@ -1,0 +1,107 @@
+/// Tests for MAD outlier pruning of folded clouds.
+
+#include <gtest/gtest.h>
+
+#include "unveil/folding/prune.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/rng.hpp"
+
+namespace unveil::folding {
+namespace {
+
+FoldedCounter makeCloud(std::size_t n, double noise, std::uint64_t seed = 1) {
+  support::Rng rng(seed, "prune");
+  FoldedCounter f;
+  f.instances = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    FoldedPoint p;
+    p.t = rng.uniform(0.0, 1.0);
+    p.y = p.t + rng.normal(0.0, noise);
+    f.points.push_back(p);
+  }
+  return f;
+}
+
+TEST(PruneParams, Validation) {
+  PruneParams p;
+  p.bins = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = PruneParams{};
+  p.madK = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = PruneParams{};
+  p.minSigma = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Prune, CleanCloudUntouched) {
+  const auto cloud = makeCloud(500, 0.002);
+  const auto result = pruneOutliers(cloud);
+  EXPECT_EQ(result.removed, 0u);
+  EXPECT_EQ(result.pruned.points.size(), 500u);
+}
+
+TEST(Prune, InjectedOutliersRemoved) {
+  auto cloud = makeCloud(500, 0.002);
+  // Inject 10 gross outliers.
+  for (int i = 0; i < 10; ++i) {
+    FoldedPoint p;
+    p.t = 0.5 + 0.01 * i;
+    p.y = 0.0;  // wildly below the y ~ t trend
+    cloud.points.push_back(p);
+  }
+  const auto result = pruneOutliers(cloud);
+  EXPECT_GE(result.removed, 9u);
+  EXPECT_LE(result.removed, 15u);  // almost nothing else removed
+}
+
+TEST(Prune, KeepsStatisticsFields) {
+  auto cloud = makeCloud(100, 0.001);
+  cloud.meanDurationNs = 777.0;
+  cloud.meanTotal = 888.0;
+  cloud.instances = 42;
+  const auto result = pruneOutliers(cloud);
+  EXPECT_EQ(result.pruned.meanDurationNs, 777.0);
+  EXPECT_EQ(result.pruned.meanTotal, 888.0);
+  EXPECT_EQ(result.pruned.instances, 42u);
+}
+
+TEST(Prune, EmptyCloudOk) {
+  FoldedCounter f;
+  const auto result = pruneOutliers(f);
+  EXPECT_EQ(result.removed, 0u);
+  EXPECT_TRUE(result.pruned.points.empty());
+}
+
+TEST(Prune, TinyBinsLeftAlone) {
+  // 3 points in one bin: below the 4-point threshold, nothing is pruned even
+  // though one point is extreme.
+  FoldedCounter f;
+  for (double y : {0.5, 0.51, 5.0}) {
+    FoldedPoint p;
+    p.t = 0.5;
+    p.y = y;
+    f.points.push_back(p);
+  }
+  const auto result = pruneOutliers(f);
+  EXPECT_EQ(result.removed, 0u);
+}
+
+TEST(Prune, LooseThresholdKeepsMore) {
+  auto cloud = makeCloud(400, 0.01);
+  for (int i = 0; i < 20; ++i) {
+    FoldedPoint p;
+    p.t = 0.3;
+    p.y = 0.9;  // moderate outliers
+    cloud.points.push_back(p);
+  }
+  PruneParams strict;
+  strict.madK = 3.0;
+  PruneParams loose;
+  loose.madK = 100.0;
+  EXPECT_GT(pruneOutliers(cloud, strict).removed,
+            pruneOutliers(cloud, loose).removed);
+}
+
+}  // namespace
+}  // namespace unveil::folding

@@ -1,0 +1,129 @@
+/// Tests for clustering quality metrics (ARI, purity, silhouette, confusion).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "unveil/cluster/quality.hpp"
+#include "unveil/support/error.hpp"
+
+namespace unveil::cluster {
+namespace {
+
+TEST(Ari, PerfectAgreement) {
+  const std::vector<int> pred = {0, 0, 1, 1, 2, 2};
+  const std::vector<std::uint32_t> truth = {5, 5, 9, 9, 7, 7};
+  EXPECT_NEAR(adjustedRandIndex(pred, truth), 1.0, 1e-12);
+}
+
+TEST(Ari, LabelPermutationInvariant) {
+  const std::vector<int> pred = {2, 2, 0, 0, 1, 1};
+  const std::vector<std::uint32_t> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(adjustedRandIndex(pred, truth), 1.0, 1e-12);
+}
+
+TEST(Ari, SplittingOneClassScoresZero) {
+  // Splitting a single truth class in two is no better than chance: the
+  // adjusted index is exactly 0.
+  const std::vector<int> pred = {0, 0, 1, 1};
+  const std::vector<std::uint32_t> truth = {0, 0, 0, 0};
+  EXPECT_NEAR(adjustedRandIndex(pred, truth), 0.0, 1e-12);
+}
+
+TEST(Ari, DisagreementIsLow) {
+  const std::vector<int> pred = {0, 1, 0, 1, 0, 1, 0, 1};
+  const std::vector<std::uint32_t> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_LT(adjustedRandIndex(pred, truth), 0.1);
+}
+
+TEST(Ari, MismatchedLengthRejected) {
+  const std::vector<int> pred = {0};
+  const std::vector<std::uint32_t> truth = {0, 1};
+  EXPECT_THROW((void)adjustedRandIndex(pred, truth), ConfigError);
+}
+
+TEST(Ari, EmptyIsPerfect) {
+  EXPECT_EQ(adjustedRandIndex({}, {}), 1.0);
+}
+
+TEST(Purity, PerfectClusters) {
+  const std::vector<int> pred = {0, 0, 1, 1};
+  const std::vector<std::uint32_t> truth = {3, 3, 8, 8};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 1.0);
+}
+
+TEST(Purity, MajorityCounted) {
+  const std::vector<int> pred = {0, 0, 0, 1};
+  const std::vector<std::uint32_t> truth = {1, 1, 2, 2};
+  // Cluster 0: majority label 1 (2 of 3); cluster 1: 1 of 1 -> (2+1)/4.
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 0.75);
+}
+
+TEST(Purity, NoiseCountsAsError) {
+  const std::vector<int> pred = {kNoiseLabel, 0, 0};
+  const std::vector<std::uint32_t> truth = {1, 1, 1};
+  EXPECT_NEAR(purity(pred, truth), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Silhouette, WellSeparatedNearOne) {
+  FeatureMatrix m(8, 1);
+  std::vector<int> labels(8);
+  for (std::size_t i = 0; i < 4; ++i) {
+    m.at(i, 0) = static_cast<double>(i) * 0.01;
+    labels[i] = 0;
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    m.at(i, 0) = 100.0 + static_cast<double>(i) * 0.01;
+    labels[i] = 1;
+  }
+  EXPECT_GT(silhouette(m, labels), 0.95);
+}
+
+TEST(Silhouette, SingleClusterIsZero) {
+  FeatureMatrix m(4, 1);
+  const std::vector<int> labels = {0, 0, 0, 0};
+  EXPECT_EQ(silhouette(m, labels), 0.0);
+}
+
+TEST(Silhouette, IgnoresNoise) {
+  FeatureMatrix m(5, 1);
+  m.at(0, 0) = 0.0;
+  m.at(1, 0) = 0.1;
+  m.at(2, 0) = 50.0;
+  m.at(3, 0) = 50.1;
+  m.at(4, 0) = 25.0;  // noise in the middle
+  const std::vector<int> labels = {0, 0, 1, 1, kNoiseLabel};
+  EXPECT_GT(silhouette(m, labels), 0.9);
+}
+
+TEST(Silhouette, MismatchedSizesRejected) {
+  FeatureMatrix m(2, 1);
+  const std::vector<int> labels = {0};
+  EXPECT_THROW((void)silhouette(m, labels), ConfigError);
+}
+
+TEST(Confusion, CountsAndNoiseRow) {
+  const std::vector<int> pred = {0, 0, 1, kNoiseLabel};
+  const std::vector<std::uint32_t> truth = {7, 8, 8, 7};
+  const auto cm = confusionMatrix(pred, truth);
+  ASSERT_EQ(cm.truthLabels.size(), 2u);
+  EXPECT_EQ(cm.truthLabels[0], 7u);
+  EXPECT_EQ(cm.truthLabels[1], 8u);
+  EXPECT_TRUE(cm.hasNoiseRow);
+  ASSERT_EQ(cm.counts.size(), 3u);  // clusters 0,1 + noise
+  EXPECT_EQ(cm.counts[0][0], 1u);   // cluster 0, truth 7
+  EXPECT_EQ(cm.counts[0][1], 1u);   // cluster 0, truth 8
+  EXPECT_EQ(cm.counts[1][1], 1u);   // cluster 1, truth 8
+  EXPECT_EQ(cm.counts[2][0], 1u);   // noise, truth 7
+}
+
+TEST(Confusion, NoNoise) {
+  const std::vector<int> pred = {0, 1};
+  const std::vector<std::uint32_t> truth = {0, 1};
+  const auto cm = confusionMatrix(pred, truth);
+  EXPECT_FALSE(cm.hasNoiseRow);
+  EXPECT_EQ(cm.counts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace unveil::cluster

@@ -1,0 +1,128 @@
+/// Tests for rate reconstruction and the smoothing helper.
+
+#include <gtest/gtest.h>
+
+#include "unveil/cluster/burst.hpp"
+#include "unveil/folding/rate.hpp"
+#include "unveil/support/rng.hpp"
+#include "test_util.hpp"
+
+namespace unveil::folding {
+namespace {
+
+FoldedCounter linearCloud(std::size_t n) {
+  support::Rng rng(5, "rate");
+  FoldedCounter f;
+  f.counter = counters::CounterId::TotIns;
+  f.instances = n;
+  f.meanDurationNs = 1e6;   // 1 ms
+  f.meanTotal = 2e6;        // 2M instructions -> 2 ins/ns -> 2000 MIPS
+  for (std::size_t i = 0; i < n; ++i) {
+    FoldedPoint p;
+    p.t = rng.uniform(0.0, 1.0);
+    p.y = p.t;
+    f.points.push_back(p);
+  }
+  std::sort(f.points.begin(), f.points.end(),
+            [](const auto& a, const auto& b) { return a.t < b.t; });
+  return f;
+}
+
+TEST(Rate, PhysicalScaling) {
+  const auto cloud = linearCloud(2000);
+  const auto fit = fitCumulative(cloud, FitParams{});
+  const auto curve = reconstructRate(cloud, *fit, 101);
+  ASSERT_EQ(curve.t.size(), 101u);
+  EXPECT_EQ(curve.sourcePoints, 2000u);
+  EXPECT_EQ(curve.sourceInstances, 2000u);
+  // Flat profile at mean rate 2 counts/ns.
+  for (std::size_t i = 10; i < 91; ++i) {
+    EXPECT_NEAR(curve.normRate[i], 1.0, 0.1);
+    EXPECT_NEAR(curve.physRate[i], 2.0, 0.2);
+  }
+  const auto mips = curve.ratePerMicrosecond();
+  EXPECT_NEAR(mips[50], 2000.0, 200.0);
+}
+
+TEST(Rate, NegativeDerivativesClampedInPhysOnly) {
+  // Construct a fit whose derivative is negative somewhere by using the
+  // kernel on adversarial data, then check the clamping contract.
+  support::Rng rng(9, "neg");
+  FoldedCounter f;
+  f.meanDurationNs = 1000.0;
+  f.meanTotal = 1000.0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    FoldedPoint p;
+    p.t = rng.uniform(0.0, 1.0);
+    p.y = (p.t < 0.5) ? 0.9 * p.t * 2.0 : 0.9 - (p.t - 0.5) * 0.5;  // dips down
+    f.points.push_back(p);
+  }
+  std::sort(f.points.begin(), f.points.end(),
+            [](const auto& a, const auto& b) { return a.t < b.t; });
+  FitParams params;
+  params.method = FitMethod::Kernel;
+  const auto fit = fitCumulative(f, params);
+  const auto curve = reconstructRate(f, *fit, 201);
+  bool sawNegativeNorm = false;
+  for (std::size_t i = 0; i < curve.t.size(); ++i) {
+    if (curve.normRate[i] < 0.0) sawNegativeNorm = true;
+    EXPECT_GE(curve.physRate[i], 0.0);
+  }
+  EXPECT_TRUE(sawNegativeNorm);  // norm keeps the raw derivative for ablations
+}
+
+TEST(MovingAverage, PreservesConstant) {
+  std::vector<double> v(50, 3.0);
+  movingAverage(v, 9);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 3.0);
+}
+
+TEST(MovingAverage, SmoothsSpike) {
+  std::vector<double> v(21, 0.0);
+  v[10] = 10.0;
+  movingAverage(v, 5);
+  EXPECT_NEAR(v[10], 2.0, 1e-12);  // spread over 5 points
+  EXPECT_NEAR(v[8], 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(MovingAverage, WindowBelowThreeIsNoop) {
+  std::vector<double> v = {1.0, 5.0, 1.0};
+  auto copy = v;
+  movingAverage(v, 1);
+  EXPECT_EQ(v, copy);
+  movingAverage(v, 0);
+  EXPECT_EQ(v, copy);
+}
+
+TEST(MovingAverage, EvenWindowRoundsDown) {
+  std::vector<double> a = {0, 0, 6, 0, 0, 0};
+  std::vector<double> b = a;
+  movingAverage(a, 4);  // effective 3
+  movingAverage(b, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rate, EndToEndClusterReconstruction) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(run.trace);
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < bursts.size(); ++i)
+    if (bursts[i].truthPhase == 2) members.push_back(i);  // pointwise update
+
+  const auto curve = reconstructClusterRate(run.trace, bursts, members,
+                                            counters::CounterId::TotIns);
+  ASSERT_FALSE(curve.physRate.empty());
+  // The update phase is flat at ~2600 MIPS = 2.6 counts/ns.
+  const auto mips = curve.ratePerMicrosecond();
+  double lo = 1e18, hi = 0.0;
+  for (std::size_t i = 20; i < mips.size() - 20; ++i) {
+    lo = std::min(lo, mips[i]);
+    hi = std::max(hi, mips[i]);
+  }
+  EXPECT_GT(lo, 2000.0);
+  EXPECT_LT(hi, 3100.0);
+}
+
+}  // namespace
+}  // namespace unveil::folding

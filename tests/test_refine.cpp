@@ -1,0 +1,177 @@
+/// Tests for structure-driven cluster refinement.
+
+#include <gtest/gtest.h>
+
+#include "unveil/cluster/refine.hpp"
+#include "unveil/support/error.hpp"
+
+namespace unveil::cluster {
+namespace {
+
+/// Builds bursts for `ranks` ranks × `iters` iterations of a 3-position
+/// pattern, assigning labels via \p labelAt(rank, iter, pos).
+template <typename LabelFn>
+std::pair<std::vector<Burst>, Clustering> makePattern(trace::Rank ranks,
+                                                      std::size_t iters,
+                                                      int numClusters,
+                                                      LabelFn labelAt) {
+  std::vector<Burst> bursts;
+  Clustering c;
+  for (trace::Rank r = 0; r < ranks; ++r) {
+    trace::TimeNs now = 0;
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (std::size_t pos = 0; pos < 3; ++pos) {
+        Burst b;
+        b.rank = r;
+        b.begin = now;
+        b.end = now + 100;
+        now += 200;
+        bursts.push_back(b);
+        c.labels.push_back(labelAt(r, it, pos));
+      }
+    }
+  }
+  c.numClusters = static_cast<std::size_t>(numClusters);
+  return {std::move(bursts), std::move(c)};
+}
+
+TEST(RefineParams, Validation) {
+  RefineParams p;
+  p.positionPurity = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = RefineParams{};
+  p.maxCooccurrence = 1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Refine, ZeroPeriodIsNoop) {
+  auto [bursts, c] = makePattern(2, 10, 3, [](trace::Rank, std::size_t,
+                                              std::size_t pos) {
+    return static_cast<int>(pos);
+  });
+  const auto result = refineByStructure(bursts, c, 0);
+  EXPECT_EQ(result.mergesApplied, 0u);
+  EXPECT_EQ(result.clustering.labels, c.labels);
+}
+
+TEST(Refine, CleanClusteringUntouched) {
+  auto [bursts, c] = makePattern(4, 20, 3, [](trace::Rank, std::size_t,
+                                              std::size_t pos) {
+    return static_cast<int>(pos);
+  });
+  const auto result = refineByStructure(bursts, c, 3);
+  EXPECT_EQ(result.mergesApplied, 0u);
+  EXPECT_EQ(result.clustering.numClusters, 3u);
+}
+
+TEST(Refine, MergesRankSplitFragment) {
+  // Position 2 of the pattern got split by rank: ranks 0-1 labelled 2,
+  // ranks 2-3 labelled 3. Positions 0/1 are clusters 0/1 everywhere.
+  auto [bursts, c] = makePattern(4, 20, 4, [](trace::Rank r, std::size_t,
+                                              std::size_t pos) {
+    if (pos < 2) return static_cast<int>(pos);
+    return r < 2 ? 2 : 3;
+  });
+  const auto result = refineByStructure(bursts, c, 3);
+  EXPECT_EQ(result.mergesApplied, 1u);
+  EXPECT_EQ(result.clustering.numClusters, 3u);
+  // Fragments mapped to the same output id.
+  EXPECT_EQ(result.mapping[2], result.mapping[3]);
+  // All position-2 bursts now share one label.
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    if (i % 3 == 2) {
+      EXPECT_EQ(result.clustering.labels[i], result.clustering.labels[2]);
+    }
+  }
+}
+
+TEST(Refine, DoesNotMergeCooccurringClusters) {
+  // Clusters 0 and 1 alternate positions randomly-ish but both occur in
+  // every iteration of every rank -> not fragments of one phase.
+  auto [bursts, c] = makePattern(2, 20, 3, [](trace::Rank, std::size_t it,
+                                              std::size_t pos) {
+    if (pos == 2) return 2;
+    // Swap positions 0/1 every other iteration: position purity drops.
+    const bool swap = (it % 2 == 1);
+    return static_cast<int>(swap ? 1 - pos : pos);
+  });
+  const auto result = refineByStructure(bursts, c, 3);
+  EXPECT_EQ(result.mergesApplied, 0u);
+}
+
+TEST(Refine, DifferentPositionsNotMerged) {
+  // 3 clusters at 3 distinct positions; also a 4th cluster at position 0 of
+  // odd ranks only (master/worker-ish) — coincides positionally with
+  // cluster 0 but co-occurs with it in the same iterations on... actually
+  // give it position 1 so positions differ from cluster 0.
+  auto [bursts, c] = makePattern(2, 20, 4, [](trace::Rank r, std::size_t,
+                                              std::size_t pos) {
+    if (pos == 1 && r == 1) return 3;
+    return static_cast<int>(pos);
+  });
+  const auto result = refineByStructure(bursts, c, 3);
+  // Cluster 3 shares position 1 with cluster 1 and never co-occurs on the
+  // same rank... it does co-occur per (rank,iter)? Rank 1 iterations have
+  // cluster 3 at position 1 and cluster 1 nowhere; rank 0 iterations have
+  // cluster 1 only. So they merge — which is the *correct* call for an SPMD
+  // refinement (same phase, rank-split). Verify exactly that.
+  EXPECT_EQ(result.mergesApplied, 1u);
+  EXPECT_EQ(result.mapping[1], result.mapping[3]);
+}
+
+TEST(Refine, NoiseLabelsPreserved) {
+  auto [bursts, c] = makePattern(2, 10, 3, [](trace::Rank, std::size_t it,
+                                              std::size_t pos) {
+    if (pos == 2 && it == 5) return kNoiseLabel;
+    return static_cast<int>(pos);
+  });
+  const auto result = refineByStructure(bursts, c, 3);
+  std::size_t noise = 0;
+  for (int l : result.clustering.labels) noise += (l == kNoiseLabel) ? 1 : 0;
+  EXPECT_EQ(noise, 2u);  // one per rank
+}
+
+TEST(Refine, RegimeSplitNotMerged) {
+  // Position 0 is cluster 0 for the first half of the run and cluster 3 for
+  // the second half (a mid-run regime change). Positionally coincident and
+  // exclusive — but temporally disjoint, so it must NOT merge.
+  auto [bursts, c] = makePattern(4, 20, 4, [](trace::Rank, std::size_t it,
+                                              std::size_t pos) {
+    if (pos == 0) return it < 10 ? 0 : 3;
+    return static_cast<int>(pos);
+  });
+  const auto result = refineByStructure(bursts, c, 3);
+  EXPECT_EQ(result.mergesApplied, 0u);
+  EXPECT_EQ(result.clustering.numClusters, 4u);
+}
+
+TEST(Refine, TemporalOverlapThresholdRespected) {
+  // Same regime-split pattern, but with the overlap requirement disabled the
+  // merge happens — documents what the threshold is protecting against.
+  auto [bursts, c] = makePattern(4, 20, 4, [](trace::Rank, std::size_t it,
+                                              std::size_t pos) {
+    if (pos == 0) return it < 10 ? 0 : 3;
+    return static_cast<int>(pos);
+  });
+  RefineParams loose;
+  loose.minTemporalOverlap = 0.0;
+  const auto result = refineByStructure(bursts, c, 3, loose);
+  EXPECT_EQ(result.mergesApplied, 1u);
+}
+
+TEST(Refine, MappingCoversAllClusters) {
+  auto [bursts, c] = makePattern(4, 10, 4, [](trace::Rank r, std::size_t,
+                                              std::size_t pos) {
+    if (pos < 2) return static_cast<int>(pos);
+    return r < 2 ? 2 : 3;
+  });
+  const auto result = refineByStructure(bursts, c, 3);
+  ASSERT_EQ(result.mapping.size(), 4u);
+  for (int m : result.mapping) {
+    EXPECT_GE(m, 0);
+    EXPECT_LT(m, static_cast<int>(result.clustering.numClusters));
+  }
+}
+
+}  // namespace
+}  // namespace unveil::cluster

@@ -1,0 +1,132 @@
+/// Tests for code-region folding (callstack attribution).
+
+#include <gtest/gtest.h>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/cluster/burst.hpp"
+#include "unveil/counters/phase_model.hpp"
+#include "unveil/folding/regions.hpp"
+#include "unveil/support/error.hpp"
+#include "test_util.hpp"
+
+namespace unveil {
+namespace {
+
+TEST(PhaseRegions, DefaultSingleBody) {
+  const counters::PhaseModel m("p");
+  ASSERT_EQ(m.numRegions(), 1u);
+  EXPECT_EQ(m.regions()[0].name, "body");
+  EXPECT_EQ(m.regionAt(0.0), 0u);
+  EXPECT_EQ(m.regionAt(1.0), 0u);
+}
+
+TEST(PhaseRegions, WidthsNormalizedAndTiling) {
+  counters::PhaseModel m("p");
+  m.setRegions({{"a", 1.0}, {"b", 3.0}});  // widths 0.25 / 0.75
+  ASSERT_EQ(m.numRegions(), 2u);
+  EXPECT_NEAR(m.regions()[0].end, 0.25, 1e-12);
+  EXPECT_NEAR(m.regions()[1].begin, 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(m.regions()[1].end, 1.0);
+  EXPECT_EQ(m.regionAt(0.1), 0u);
+  EXPECT_EQ(m.regionAt(0.25), 1u);
+  EXPECT_EQ(m.regionAt(0.9), 1u);
+}
+
+TEST(PhaseRegions, Validation) {
+  counters::PhaseModel m("p");
+  EXPECT_THROW(m.setRegions({}), ConfigError);
+  EXPECT_THROW(m.setRegions({{"a", 0.0}}), ConfigError);
+  EXPECT_THROW(m.setRegions({{"a", 1.0}, {"b", -1.0}}), ConfigError);
+}
+
+TEST(RegionParams, Validation) {
+  folding::RegionParams p;
+  p.cells = 1;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(RegionProfile, NoAttributedSamplesRejected) {
+  // Synthetic traces carry no region ids.
+  testutil::SyntheticSpec spec;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  std::vector<std::size_t> all(bursts.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  EXPECT_THROW((void)folding::regionProfile(trace, bursts, all), AnalysisError);
+}
+
+class RegionsOnSweep : public ::testing::Test {
+ protected:
+  static const sim::RunResult& run() {
+    static const sim::RunResult r = [] {
+      sim::apps::AppParams p;
+      p.ranks = 4;
+      p.iterations = 80;
+      p.seed = 23;
+      return analysis::runMeasured("wavesim", p, sim::MeasurementConfig::folding());
+    }();
+    return r;
+  }
+
+  static folding::RegionProfile sweepProfile() {
+    const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(run().trace);
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < bursts.size(); ++i)
+      if (bursts[i].truthPhase == 1) members.push_back(i);
+    folding::RegionParams params;
+    params.fold.perSampleOverheadNs = 2000.0;
+    params.fold.probeOverheadNs = 100.0;
+    return folding::regionProfile(run().trace, bursts, members, params);
+  }
+};
+
+TEST_F(RegionsOnSweep, RecoversThreeRegionsInOrder) {
+  const auto profile = sweepProfile();
+  // stream_in / transition / overflow_tail as regions 1, 2, 3 (1-based).
+  ASSERT_EQ(profile.segments.size(), 3u);
+  EXPECT_EQ(profile.segments[0].regionId, 1u);
+  EXPECT_EQ(profile.segments[1].regionId, 2u);
+  EXPECT_EQ(profile.segments[2].regionId, 3u);
+}
+
+TEST_F(RegionsOnSweep, BoundariesNearGroundTruth) {
+  const auto profile = sweepProfile();
+  // True boundaries at work fractions 0.40 and 0.60. The folded boundary is
+  // in *time*, which differs slightly because the instruction rate varies;
+  // here duration fraction == work fraction by construction of the model.
+  ASSERT_EQ(profile.segments.size(), 3u);
+  EXPECT_NEAR(profile.segments[0].end, 0.40, 0.06);
+  EXPECT_NEAR(profile.segments[1].end, 0.60, 0.06);
+  EXPECT_DOUBLE_EQ(profile.segments[2].end, 1.0);
+}
+
+TEST_F(RegionsOnSweep, TimeSharesMatchWidths) {
+  const auto profile = sweepProfile();
+  EXPECT_NEAR(profile.timeShare.at(1), 0.40, 0.05);
+  EXPECT_NEAR(profile.timeShare.at(2), 0.20, 0.05);
+  EXPECT_NEAR(profile.timeShare.at(3), 0.40, 0.05);
+  EXPECT_EQ(profile.attributedSamples, profile.totalSamples);
+}
+
+TEST_F(RegionsOnSweep, ConfidenceHighAwayFromBoundaries) {
+  const auto profile = sweepProfile();
+  for (const auto& seg : profile.segments) {
+    EXPECT_GT(seg.confidence, 0.75) << "region " << seg.regionId;
+    EXPECT_GT(seg.samples, 0u);
+  }
+}
+
+TEST(RegionProfile, CallstackSamplingCanBeDisabled) {
+  sim::apps::AppParams p;
+  p.ranks = 2;
+  p.iterations = 10;
+  p.seed = 23;
+  auto mc = sim::MeasurementConfig::folding();
+  mc.sampling.sampleCallstacks = false;
+  const auto run = analysis::runMeasured("wavesim", p, mc);
+  for (const auto& s : run.trace.samples())
+    EXPECT_EQ(s.regionId, trace::kNoRegion);
+}
+
+}  // namespace
+}  // namespace unveil

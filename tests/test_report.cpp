@@ -1,0 +1,72 @@
+/// Tests for report generation (tables and figure series from pipeline
+/// results).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "unveil/analysis/report.hpp"
+#include "test_util.hpp"
+
+namespace unveil::analysis {
+namespace {
+
+const PipelineResult& sharedResult() {
+  static const PipelineResult result = analyze(testutil::smallWavesimRun().trace);
+  return result;
+}
+
+TEST(Report, ClusterSummaryShape) {
+  const auto table = clusterSummaryTable(sharedResult());
+  EXPECT_EQ(table.cols(), 8u);
+  // One row per cluster plus the noise row.
+  EXPECT_EQ(table.rows(), sharedResult().clusters.size() + 1);
+  std::ostringstream os;
+  table.print(os, "t");
+  EXPECT_NE(os.str().find("noise"), std::string::npos);
+}
+
+TEST(Report, ScatterSeriesCoverAllClusteredBursts) {
+  const auto& result = sharedResult();
+  const auto set = scatterSeries(result, cluster::FeatureId::LogDurationNs,
+                                 cluster::FeatureId::Ipc, "fig");
+  std::size_t points = 0;
+  for (const auto& s : set.series()) points += s.x.size();
+  EXPECT_EQ(points, result.bursts.size());
+}
+
+TEST(Report, ScatterSeriesLabelledPerCluster) {
+  const auto& result = sharedResult();
+  const auto set = scatterSeries(result, cluster::FeatureId::LogDurationNs,
+                                 cluster::FeatureId::Ipc, "fig");
+  ASSERT_GE(set.series().size(), result.clustering.numClusters);
+  EXPECT_EQ(set.series()[0].label, "cluster 0");
+}
+
+TEST(Report, RateSeriesOnlyFoldedClusters) {
+  const auto& result = sharedResult();
+  const auto set = rateSeries(result, counters::CounterId::TotIns, "fig");
+  std::size_t folded = 0;
+  for (const auto& c : result.clusters)
+    folded += (c.rates.count(counters::CounterId::TotIns) > 0) ? 1 : 0;
+  EXPECT_EQ(set.series().size(), folded);
+  for (const auto& s : set.series()) {
+    ASSERT_FALSE(s.x.empty());
+    EXPECT_DOUBLE_EQ(s.x.front(), 0.0);
+    EXPECT_DOUBLE_EQ(s.x.back(), 1.0);
+    for (double y : s.y) EXPECT_GE(y, 0.0);
+  }
+}
+
+TEST(Report, TimelineSeriesLimitedByMaxRanks) {
+  const auto& result = sharedResult();
+  const auto set = timelineSeries(result, "fig", 2);
+  EXPECT_EQ(set.series().size(), 2u);
+  for (const auto& s : set.series()) {
+    // x are times in ms, increasing.
+    for (std::size_t i = 1; i < s.x.size(); ++i) EXPECT_LE(s.x[i - 1], s.x[i]);
+  }
+}
+
+}  // namespace
+}  // namespace unveil::analysis

@@ -1,0 +1,85 @@
+/// Tests for representative-region selection.
+
+#include <gtest/gtest.h>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/representative.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/trace/filter.hpp"
+#include "test_util.hpp"
+
+namespace unveil::analysis {
+namespace {
+
+TEST(RepresentativeParams, Validation) {
+  RepresentativeParams p;
+  p.iterations = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = RepresentativeParams{};
+  p.skipFraction = 1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Representative, FindsWindowOnSimulatedRun) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto result = analyze(run.trace);
+  ASSERT_EQ(result.period.period, 3u);
+  const auto window = representativeWindow(result);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_LT(window->begin, window->end);
+  EXPECT_EQ(window->iterationsCovered, 10u);
+  // The window skips warm-up and ends before the run does.
+  EXPECT_GT(window->begin, 0u);
+  EXPECT_LE(window->end, run.trace.durationNs());
+  // Expected length ~ 10 iterations; iteration ~ runtime/40.
+  const double iter = static_cast<double>(run.totalRuntimeNs) / 40.0;
+  const double len = static_cast<double>(window->end - window->begin);
+  EXPECT_NEAR(len, 10.0 * iter, 2.0 * iter);
+}
+
+TEST(Representative, SliceIsReanalyzable) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto result = analyze(run.trace);
+  const auto window = representativeWindow(result);
+  ASSERT_TRUE(window.has_value());
+  const auto cut = trace::sliceTime(run.trace, window->begin, window->end);
+  PipelineConfig config;
+  config.dbscan.minPts = 5;       // far fewer bursts in the slice
+  config.minClusterInstances = 5;
+  const auto sliced = analyze(cut, config);
+  // The slice preserves the structure: same period, same cluster count.
+  EXPECT_EQ(sliced.period.period, result.period.period);
+  EXPECT_EQ(sliced.clustering.numClusters, result.clustering.numClusters);
+}
+
+TEST(Representative, NoPeriodNoWindow) {
+  PipelineResult result;  // empty: no period
+  EXPECT_FALSE(representativeWindow(result).has_value());
+}
+
+TEST(Representative, TooFewIterationsNoWindow) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto result = analyze(run.trace);
+  RepresentativeParams p;
+  p.iterations = 10'000;  // more than the run has
+  EXPECT_FALSE(representativeWindow(result, p).has_value());
+}
+
+TEST(Representative, RespectsSkipFraction) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto result = analyze(run.trace);
+  RepresentativeParams early;
+  early.skipFraction = 0.0;
+  early.iterations = 5;
+  RepresentativeParams late;
+  late.skipFraction = 0.5;
+  late.iterations = 5;
+  const auto a = representativeWindow(result, early);
+  const auto b = representativeWindow(result, late);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_LT(a->begin, b->begin);
+}
+
+}  // namespace
+}  // namespace unveil::analysis

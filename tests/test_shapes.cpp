@@ -1,0 +1,172 @@
+/// Tests for RateShape — the ground-truth internal-evolution curves. The
+/// parameterized suite checks the invariants every shape must satisfy; the
+/// named tests pin analytic values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "unveil/counters/shape.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/math.hpp"
+
+namespace unveil::counters {
+namespace {
+
+struct ShapeCase {
+  std::string name;
+  RateShape shape;
+};
+
+class ShapeInvariants : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(ShapeInvariants, NonNegativeEverywhere) {
+  const auto& s = GetParam().shape;
+  for (double t : support::linspace(0.0, 1.0, 301)) EXPECT_GE(s.value(t), 0.0);
+}
+
+TEST_P(ShapeInvariants, CdfEndpoints) {
+  const auto& s = GetParam().shape;
+  EXPECT_NEAR(s.cdf(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(s.cdf(1.0), 1.0, 1e-9);
+}
+
+TEST_P(ShapeInvariants, CdfMonotone) {
+  const auto& s = GetParam().shape;
+  double prev = -1e-12;
+  for (double t : support::linspace(0.0, 1.0, 301)) {
+    const double c = s.cdf(t);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST_P(ShapeInvariants, NormalizedRateIntegratesToOne) {
+  const auto& s = GetParam().shape;
+  const auto grid = support::linspace(0.0, 1.0, 2001);
+  std::vector<double> rate(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) rate[i] = s.normalizedRate(grid[i]);
+  EXPECT_NEAR(support::trapezoid(grid, rate), 1.0, 1e-3);
+}
+
+TEST_P(ShapeInvariants, ClampsOutsideDomain) {
+  const auto& s = GetParam().shape;
+  EXPECT_DOUBLE_EQ(s.value(-1.0), s.value(0.0));
+  EXPECT_DOUBLE_EQ(s.value(2.0), s.value(1.0));
+  EXPECT_DOUBLE_EQ(s.cdf(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(1.5), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, ShapeInvariants,
+    ::testing::Values(
+        ShapeCase{"constant", RateShape::constant()},
+        ShapeCase{"rampUp", RateShape::ramp(0.5, 2.0)},
+        ShapeCase{"rampDown", RateShape::ramp(3.0, 1.0)},
+        ShapeCase{"rampFromZero", RateShape::ramp(0.0, 1.0)},
+        ShapeCase{"pwl", RateShape::piecewiseLinear({{0.0, 3.0}, {0.4, 2.8},
+                                                     {0.6, 1.5}, {1.0, 1.2}})},
+        ShapeCase{"plateau", RateShape::plateau(2.9, 2.6, 1.1, 0.25, 0.2)},
+        ShapeCase{"plateauNoTail", RateShape::plateau(2.0, 1.0, 0.0, 0.3, 0.0)},
+        ShapeCase{"sawtooth", RateShape::sawtooth(4, 1.4, 2.8)},
+        ShapeCase{"oneTooth", RateShape::sawtooth(1, 0.0, 1.0)},
+        ShapeCase{"bump", RateShape::bump(1.0, 1.3, 0.35, 0.18)},
+        ShapeCase{"blend",
+                  RateShape::blend({{0.7, RateShape::constant()},
+                                    {0.3, RateShape::bump(0.0, 1.0, 0.5, 0.1)}})},
+        ShapeCase{"custom", RateShape::fromFunction("sin2", [](double t) {
+                    return 1.0 + 0.5 * std::sin(6.28318 * t);
+                  })}),
+    [](const ::testing::TestParamInfo<ShapeCase>& info) { return info.param.name; });
+
+TEST(ShapeValues, ConstantIsOne) {
+  const auto s = RateShape::constant();
+  EXPECT_DOUBLE_EQ(s.value(0.3), 1.0);
+  EXPECT_DOUBLE_EQ(s.meanRate(), 1.0);
+  EXPECT_NEAR(s.cdf(0.25), 0.25, 1e-9);
+}
+
+TEST(ShapeValues, RampAnalyticCdf) {
+  // r(t) = 1 + t; integral = t + t^2/2; total 1.5.
+  const auto s = RateShape::ramp(1.0, 2.0);
+  EXPECT_NEAR(s.meanRate(), 1.5, 1e-6);
+  EXPECT_NEAR(s.cdf(0.5), (0.5 + 0.125) / 1.5, 1e-6);
+  EXPECT_NEAR(s.normalizedRate(0.0), 1.0 / 1.5, 1e-9);
+  EXPECT_NEAR(s.normalizedRate(1.0), 2.0 / 1.5, 1e-9);
+}
+
+TEST(ShapeValues, SawtoothTeeth) {
+  const auto s = RateShape::sawtooth(4, 1.0, 2.0);
+  EXPECT_NEAR(s.value(0.0), 2.0, 1e-9);
+  // Just before each tooth boundary the rate approaches the low value.
+  EXPECT_NEAR(s.value(0.2499), 1.0, 1e-2);
+  EXPECT_NEAR(s.value(0.25), 2.0, 1e-9);
+  EXPECT_NEAR(s.meanRate(), 1.5, 1e-2);
+}
+
+TEST(ShapeValues, BumpPeaksAtCenter) {
+  const auto s = RateShape::bump(1.0, 2.0, 0.4, 0.1);
+  EXPECT_NEAR(s.value(0.4), 3.0, 1e-9);
+  EXPECT_LT(s.value(0.9), 1.01);
+}
+
+TEST(ShapeValues, PiecewiseLinearInterpolation) {
+  const auto s = RateShape::piecewiseLinear({{0.0, 0.0}, {0.5, 1.0}, {1.0, 0.0}});
+  EXPECT_NEAR(s.value(0.25), 0.5, 1e-9);
+  EXPECT_NEAR(s.value(0.75), 0.5, 1e-9);
+  EXPECT_NEAR(s.meanRate(), 0.5, 1e-6);
+}
+
+TEST(ShapeErrors, RampNegative) {
+  EXPECT_THROW((void)RateShape::ramp(-1.0, 1.0), ConfigError);
+  EXPECT_THROW((void)RateShape::ramp(1.0, -1.0), ConfigError);
+}
+
+TEST(ShapeErrors, ZeroIntegralRejected) {
+  EXPECT_THROW((void)RateShape::ramp(0.0, 0.0), ConfigError);
+  EXPECT_THROW((void)RateShape::fromFunction("zero", [](double) { return 0.0; }),
+               ConfigError);
+}
+
+TEST(ShapeErrors, PiecewiseLinearValidation) {
+  EXPECT_THROW((void)RateShape::piecewiseLinear({{0.0, 1.0}}), ConfigError);
+  EXPECT_THROW((void)RateShape::piecewiseLinear({{0.1, 1.0}, {1.0, 1.0}}),
+               ConfigError);
+  EXPECT_THROW((void)RateShape::piecewiseLinear({{0.0, 1.0}, {0.9, 1.0}}),
+               ConfigError);
+  EXPECT_THROW((void)RateShape::piecewiseLinear({{0.0, 1.0}, {0.5, 1.0},
+                                                 {0.5, 2.0}, {1.0, 1.0}}),
+               ConfigError);
+  EXPECT_THROW((void)RateShape::piecewiseLinear({{0.0, -1.0}, {1.0, 1.0}}),
+               ConfigError);
+}
+
+TEST(ShapeErrors, SawtoothValidation) {
+  EXPECT_THROW((void)RateShape::sawtooth(0, 1.0, 2.0), ConfigError);
+  EXPECT_THROW((void)RateShape::sawtooth(2, -0.1, 2.0), ConfigError);
+  EXPECT_THROW((void)RateShape::sawtooth(2, 3.0, 2.0), ConfigError);
+}
+
+TEST(ShapeErrors, BumpValidation) {
+  EXPECT_THROW((void)RateShape::bump(-1.0, 1.0, 0.5, 0.1), ConfigError);
+  EXPECT_THROW((void)RateShape::bump(1.0, 1.0, 0.5, 0.0), ConfigError);
+  EXPECT_THROW((void)RateShape::bump(0.5, -1.0, 0.5, 0.1), ConfigError);
+}
+
+TEST(ShapeErrors, PlateauValidation) {
+  EXPECT_THROW((void)RateShape::plateau(-1.0, 1.0, 1.0, 0.2, 0.2), ConfigError);
+  EXPECT_THROW((void)RateShape::plateau(1.0, 1.0, 1.0, 0.6, 0.5), ConfigError);
+}
+
+TEST(ShapeErrors, BlendValidation) {
+  EXPECT_THROW((void)RateShape::blend({}), ConfigError);
+  EXPECT_THROW((void)RateShape::blend({{0.0, RateShape::constant()}}), ConfigError);
+}
+
+TEST(ShapeErrors, FromFunctionRequiresCallable) {
+  EXPECT_THROW((void)RateShape::fromFunction("null", nullptr), ConfigError);
+}
+
+}  // namespace
+}  // namespace unveil::counters

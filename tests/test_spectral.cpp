@@ -1,0 +1,119 @@
+/// Tests for signal-based (autocorrelation) period detection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "unveil/analysis/spectral.hpp"
+#include "unveil/support/error.hpp"
+#include "test_util.hpp"
+
+namespace unveil::analysis {
+namespace {
+
+TEST(SpectralParams, Validation) {
+  SpectralParams p;
+  p.stepNs = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = SpectralParams{};
+  p.maxLagFraction = 0.6;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = SpectralParams{};
+  p.minProminence = 2.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ComputeSignal, FractionalOccupancy) {
+  trace::Trace t("x", 1);
+  trace::StateInterval iv;
+  iv.rank = 0;
+  iv.state = trace::State::Compute;
+  iv.begin = 0;
+  iv.end = 150;  // covers bin 0 fully, bin 1 half (step 100)
+  t.addState(iv);
+  t.setDurationNs(400);
+  t.finalize();
+  SpectralParams p;
+  p.stepNs = 100.0;
+  const auto signal = computeSignal(t, 0, p);
+  ASSERT_EQ(signal.size(), 4u);
+  EXPECT_NEAR(signal[0], 1.0, 1e-9);
+  EXPECT_NEAR(signal[1], 0.5, 1e-9);
+  EXPECT_NEAR(signal[2], 0.0, 1e-9);
+}
+
+TEST(ComputeSignal, NoComputeStatesRejected) {
+  trace::Trace t("x", 1);
+  t.setDurationNs(1000);
+  t.finalize();
+  EXPECT_THROW((void)computeSignal(t, 0), AnalysisError);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> signal;
+  for (int i = 0; i < 400; ++i)
+    signal.push_back(std::sin(2.0 * M_PI * i / 20.0) > 0.0 ? 1.0 : 0.0);
+  const auto ac = autocorrelation(signal, 60);
+  // Lag 20 (index 19) should be a strong peak; lag 10 a strong trough.
+  EXPECT_GT(ac[19], 0.8);
+  EXPECT_LT(ac[9], -0.5);
+}
+
+TEST(Autocorrelation, ConstantSignalIsZero) {
+  const std::vector<double> signal(100, 0.7);
+  const auto ac = autocorrelation(signal, 20);
+  for (double v : ac) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Autocorrelation, TooShortRejected) {
+  const std::vector<double> signal = {1.0, 0.0};
+  EXPECT_THROW((void)autocorrelation(signal, 1), AnalysisError);
+}
+
+TEST(SpectralPeriod, SyntheticSquareWave) {
+  // 50 iterations of 1 ms compute + 0.25 ms gap.
+  trace::Trace t("x", 1);
+  trace::TimeNs now = 0;
+  for (int i = 0; i < 50; ++i) {
+    trace::StateInterval iv;
+    iv.rank = 0;
+    iv.state = trace::State::Compute;
+    iv.begin = now;
+    iv.end = now + 1'000'000;
+    t.addState(iv);
+    now += 1'250'000;
+  }
+  t.setDurationNs(now);
+  t.finalize();
+  const auto result = detectSpectralPeriod(t, 0);
+  EXPECT_GT(result.correlation, 0.3);
+  EXPECT_NEAR(result.periodNs, 1'250'000.0, 100'000.0);
+}
+
+TEST(SpectralPeriod, MatchesIterationTimeOnSimulatedRun) {
+  const auto& run = testutil::smallWavesimRun();
+  const auto result = detectSpectralPeriod(run.trace, 0);
+  ASSERT_GT(result.periodNs, 0.0);
+  // True iteration time: runtime / iterations (40 iterations in the shared
+  // run). Allow 15% tolerance — collectives and noise blur the signal.
+  const double trueIter = static_cast<double>(run.totalRuntimeNs) / 40.0;
+  EXPECT_NEAR(result.periodNs, trueIter, trueIter * 0.15);
+}
+
+TEST(SpectralPeriod, AperiodicSignalFindsNothing) {
+  // One long compute block: no repeating structure.
+  trace::Trace t("x", 1);
+  trace::StateInterval iv;
+  iv.rank = 0;
+  iv.state = trace::State::Compute;
+  iv.begin = 0;
+  iv.end = 50'000'000;
+  t.addState(iv);
+  t.setDurationNs(100'000'000);
+  t.finalize();
+  const auto result = detectSpectralPeriod(t, 0);
+  EXPECT_EQ(result.periodNs, 0.0);
+}
+
+}  // namespace
+}  // namespace unveil::analysis

@@ -1,0 +1,186 @@
+/// Tests for structure recovery: per-rank sequences and period detection
+/// (parameterized over period/length/noise combinations).
+
+#include <gtest/gtest.h>
+
+#include "unveil/cluster/structure.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/rng.hpp"
+
+namespace unveil::cluster {
+namespace {
+
+TEST(Sequences, SplitsAndSortsByTime) {
+  std::vector<Burst> bursts(4);
+  bursts[0].rank = 1;
+  bursts[0].begin = 200;
+  bursts[1].rank = 0;
+  bursts[1].begin = 100;
+  bursts[2].rank = 0;
+  bursts[2].begin = 50;
+  bursts[3].rank = 1;
+  bursts[3].begin = 100;
+  Clustering c;
+  c.labels = {0, 1, 2, 3};
+  c.numClusters = 4;
+  const auto seqs = clusterSequences(bursts, c);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].rank, 0u);
+  EXPECT_EQ(seqs[0].labels, (std::vector<int>{2, 1}));
+  EXPECT_EQ(seqs[1].labels, (std::vector<int>{3, 0}));
+}
+
+TEST(Sequences, SizeMismatchRejected) {
+  std::vector<Burst> bursts(2);
+  Clustering c;
+  c.labels = {0};
+  EXPECT_THROW((void)clusterSequences(bursts, c), ConfigError);
+}
+
+struct PeriodCase {
+  std::string name;
+  std::size_t period;
+  std::size_t repeats;
+  double noiseFrac;  ///< Fraction of positions replaced with noise label.
+};
+
+class PeriodDetection : public ::testing::TestWithParam<PeriodCase> {};
+
+TEST_P(PeriodDetection, FindsPlantedPeriod) {
+  const auto& pc = GetParam();
+  support::Rng rng(11, pc.name);
+  std::vector<int> seq;
+  for (std::size_t r = 0; r < pc.repeats; ++r)
+    for (std::size_t p = 0; p < pc.period; ++p)
+      seq.push_back(static_cast<int>(p));
+  for (auto& label : seq)
+    if (rng.bernoulli(pc.noiseFrac)) label = kNoiseLabel;
+  const auto result = detectPeriod(seq);
+  EXPECT_EQ(result.period, pc.period);
+  EXPECT_GE(result.matchFraction, 0.9);
+  ASSERT_EQ(result.signature.size(), pc.period);
+  for (std::size_t p = 0; p < pc.period; ++p)
+    EXPECT_EQ(result.signature[p], static_cast<int>(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, PeriodDetection,
+    ::testing::Values(PeriodCase{"p3clean", 3, 50, 0.0},
+                      PeriodCase{"p4clean", 4, 40, 0.0},
+                      PeriodCase{"p7clean", 7, 20, 0.0},
+                      PeriodCase{"p3noisy", 3, 60, 0.05},
+                      PeriodCase{"p5noisy", 5, 40, 0.10},
+                      PeriodCase{"p2heavyNoise", 2, 100, 0.20}),
+    [](const ::testing::TestParamInfo<PeriodCase>& info) { return info.param.name; });
+
+TEST(PeriodDetection, ConstantSequenceHasPeriodOne) {
+  const std::vector<int> seq(20, 5);
+  const auto result = detectPeriod(seq);
+  EXPECT_EQ(result.period, 1u);
+  EXPECT_EQ(result.signature, (std::vector<int>{5}));
+}
+
+TEST(PeriodDetection, RandomSequenceHasNone) {
+  support::Rng rng(17, "rand");
+  std::vector<int> seq;
+  for (int i = 0; i < 200; ++i)
+    seq.push_back(static_cast<int>(rng.uniformInt(0, 30)));
+  EXPECT_EQ(detectPeriod(seq, 16).period, 0u);
+}
+
+TEST(PeriodDetection, TooShortSequence) {
+  const std::vector<int> seq = {1, 2, 1};
+  EXPECT_EQ(detectPeriod(seq).period, 0u);
+}
+
+TEST(PeriodDetection, RespectsMaxPeriod) {
+  std::vector<int> seq;
+  for (int r = 0; r < 20; ++r)
+    for (int p = 0; p < 10; ++p) seq.push_back(p);
+  EXPECT_EQ(detectPeriod(seq, 5).period, 0u);
+  EXPECT_EQ(detectPeriod(seq, 10).period, 10u);
+}
+
+TEST(GlobalPeriod, MajorityWins) {
+  std::vector<RankSequence> seqs(3);
+  for (int r = 0; r < 3; ++r) {
+    seqs[static_cast<std::size_t>(r)].rank = static_cast<trace::Rank>(r);
+    const std::size_t period = (r == 2) ? 5 : 3;  // ranks 0,1 agree on 3
+    for (std::size_t rep = 0; rep < 30; ++rep)
+      for (std::size_t p = 0; p < period; ++p)
+        seqs[static_cast<std::size_t>(r)].labels.push_back(static_cast<int>(p));
+  }
+  const auto result = detectGlobalPeriod(seqs);
+  EXPECT_EQ(result.period, 3u);
+}
+
+TEST(GlobalPeriod, EmptyInput) {
+  EXPECT_EQ(detectGlobalPeriod({}).period, 0u);
+}
+
+TEST(SpmdScore, PureSpmdIsOne) {
+  // Two ranks, both executing clusters 0 and 1.
+  std::vector<Burst> bursts(4);
+  bursts[0].rank = 0;
+  bursts[1].rank = 0;
+  bursts[2].rank = 1;
+  bursts[3].rank = 1;
+  Clustering c;
+  c.labels = {0, 1, 0, 1};
+  c.numClusters = 2;
+  EXPECT_DOUBLE_EQ(spmdScore(bursts, c, 2), 1.0);
+}
+
+TEST(SpmdScore, RankSpecializedIsLow) {
+  // Each cluster executed by exactly one of 4 ranks.
+  std::vector<Burst> bursts(4);
+  Clustering c;
+  c.labels = {0, 1, 2, 3};
+  c.numClusters = 4;
+  for (std::size_t i = 0; i < 4; ++i) bursts[i].rank = static_cast<trace::Rank>(i);
+  EXPECT_DOUBLE_EQ(spmdScore(bursts, c, 4), 0.25);
+}
+
+TEST(SpmdScore, NoiseExcluded) {
+  std::vector<Burst> bursts(3);
+  bursts[0].rank = 0;
+  bursts[1].rank = 1;
+  bursts[2].rank = 1;  // noise burst on rank 1
+  Clustering c;
+  c.labels = {0, 0, kNoiseLabel};
+  c.numClusters = 1;
+  EXPECT_DOUBLE_EQ(spmdScore(bursts, c, 2), 1.0);
+}
+
+TEST(SpmdScore, WeightedByClusterSize) {
+  // Cluster 0: 3 members on both ranks (coverage 1); cluster 1: 1 member on
+  // one rank (coverage 0.5) -> (3*1 + 1*0.5)/4.
+  std::vector<Burst> bursts(4);
+  bursts[0].rank = 0;
+  bursts[1].rank = 1;
+  bursts[2].rank = 0;
+  bursts[3].rank = 0;
+  Clustering c;
+  c.labels = {0, 0, 0, 1};
+  c.numClusters = 2;
+  EXPECT_DOUBLE_EQ(spmdScore(bursts, c, 2), (3.0 * 1.0 + 1.0 * 0.5) / 4.0);
+}
+
+TEST(SpmdScore, Validation) {
+  std::vector<Burst> bursts(1);
+  Clustering c;
+  c.labels = {0, 1};
+  EXPECT_THROW((void)spmdScore(bursts, c, 2), ConfigError);
+  c.labels = {0};
+  EXPECT_THROW((void)spmdScore(bursts, c, 0), ConfigError);
+}
+
+TEST(SpmdScore, AllNoiseIsOne) {
+  std::vector<Burst> bursts(2);
+  Clustering c;
+  c.labels = {kNoiseLabel, kNoiseLabel};
+  EXPECT_DOUBLE_EQ(spmdScore(bursts, c, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace unveil::cluster

@@ -1,0 +1,74 @@
+/// Tests for the aggregated performance report.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "unveil/analysis/summary.hpp"
+#include "test_util.hpp"
+
+namespace unveil::analysis {
+namespace {
+
+const PerformanceReport& sharedReport() {
+  static const PerformanceReport report = [] {
+    ReportOptions options;
+    options.pipeline.reconstruct.fold.perSampleOverheadNs = 2000.0;
+    options.pipeline.reconstruct.fold.probeOverheadNs = 100.0;
+    return buildReport(testutil::smallWavesimRun().trace, options);
+  }();
+  return report;
+}
+
+TEST(Summary, AllSectionsPopulated) {
+  const auto& r = sharedReport();
+  EXPECT_GE(r.pipeline.clustering.numClusters, 3u);
+  EXPECT_EQ(r.pipeline.period.period, 3u);
+  EXPECT_FALSE(r.imbalance.empty());
+  EXPECT_FALSE(r.evolution.empty());
+  EXPECT_GT(r.spmdness, 0.95);
+  EXPECT_GT(r.spectral.periodNs, 0.0);
+  EXPECT_TRUE(r.representative.has_value());
+}
+
+TEST(Summary, RegionsForMultiRegionPhase) {
+  const auto& r = sharedReport();
+  // The sweep cluster (modal phase 1) has 3 regions; find it.
+  bool found = false;
+  for (const auto& c : r.pipeline.clusters) {
+    if (c.modalTruthPhase != 1 || !c.folded) continue;
+    const auto it = r.regions.find(c.clusterId);
+    ASSERT_NE(it, r.regions.end());
+    EXPECT_EQ(it->second.segments.size(), 3u);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Summary, SectionsCanBeDisabled) {
+  ReportOptions options;
+  options.includeImbalance = false;
+  options.includeEvolution = false;
+  options.includeRegions = false;
+  const auto r = buildReport(testutil::smallWavesimRun().trace, options);
+  EXPECT_TRUE(r.imbalance.empty());
+  EXPECT_TRUE(r.evolution.empty());
+  EXPECT_TRUE(r.regions.empty());
+}
+
+TEST(Summary, PrintContainsEverySection) {
+  const auto& r = sharedReport();
+  std::ostringstream os;
+  printReport(r, testutil::smallWavesimRun().trace, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("computation phases"), std::string::npos);
+  EXPECT_NE(text.find("load balance"), std::string::npos);
+  EXPECT_NE(text.find("cross-run evolution"), std::string::npos);
+  EXPECT_NE(text.find("code-region structure"), std::string::npos);
+  EXPECT_NE(text.find("representative window"), std::string::npos);
+  EXPECT_NE(text.find("SPMD-ness"), std::string::npos);
+  EXPECT_NE(text.find("spectral"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unveil::analysis

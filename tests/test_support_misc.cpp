@@ -1,0 +1,131 @@
+/// Tests for tables, series, math helpers and the logger.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/log.hpp"
+#include "unveil/support/math.hpp"
+#include "unveil/support/series.hpp"
+#include "unveil/support/table.hpp"
+
+namespace unveil::support {
+namespace {
+
+TEST(Table, RequiresColumns) { EXPECT_THROW(Table({}), ConfigError); }
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({1LL}), ConfigError);
+  EXPECT_THROW(t.addRow({1LL, 2LL, 3LL}), ConfigError);
+  t.addRow({1LL, 2LL});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, FormatCellVariants) {
+  EXPECT_EQ(Table::formatCell(Cell{std::string("x")}), "x");
+  EXPECT_EQ(Table::formatCell(Cell{42LL}), "42");
+  EXPECT_EQ(Table::formatCell(Cell{1.5}), "1.5000");
+  // Very large/small magnitudes switch to compact scientific-ish formatting.
+  EXPECT_EQ(Table::formatCell(Cell{12345678.0}), "1.235e+07");
+  EXPECT_EQ(Table::formatCell(Cell{0.0}), "0.0000");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.addRow({std::string("a,b"), std::string("say \"hi\"")});
+  std::ostringstream os;
+  t.writeCsv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, PrintContainsHeaderAndTitle) {
+  Table t({"col"});
+  t.addRow({7LL});
+  std::ostringstream os;
+  t.print(os, "my title");
+  EXPECT_NE(os.str().find("my title"), std::string::npos);
+  EXPECT_NE(os.str().find("col"), std::string::npos);
+  EXPECT_NE(os.str().find('7'), std::string::npos);
+}
+
+TEST(Table, AtBoundsChecked) {
+  Table t({"a"});
+  t.addRow({1LL});
+  EXPECT_EQ(std::get<long long>(t.at(0, 0)), 1);
+}
+
+TEST(Series, LengthMismatchRejected) {
+  SeriesSet set("f", "x", "y");
+  EXPECT_THROW(set.add("s", {1.0, 2.0}, {1.0}), ConfigError);
+}
+
+TEST(Series, WriteFormat) {
+  SeriesSet set("fig1", "time", "value");
+  set.add("curve", {0.0, 1.0}, {2.0, 3.0});
+  std::ostringstream os;
+  set.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# figure: fig1"), std::string::npos);
+  EXPECT_NE(out.find("# series: curve"), std::string::npos);
+  EXPECT_NE(out.find("0 2"), std::string::npos);
+  EXPECT_NE(out.find("1 3"), std::string::npos);
+}
+
+TEST(Series, SummaryListsCounts) {
+  SeriesSet set("fig", "x", "y");
+  set.add("s1", {0.0, 0.5, 1.0}, {1.0, 2.0, 3.0});
+  std::ostringstream os;
+  set.printSummary(os);
+  EXPECT_NE(os.str().find("3 points"), std::string::npos);
+}
+
+TEST(Math, Linspace) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(Math, Lerp) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+}
+
+TEST(Math, ApproxEqual) {
+  EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approxEqual(1.0, 1.001));
+  EXPECT_TRUE(approxEqual(0.0, 0.0));
+}
+
+TEST(Math, InterpLinear) {
+  const std::vector<double> xs = {0.0, 1.0, 3.0};
+  const std::vector<double> ys = {0.0, 10.0, 30.0};
+  EXPECT_DOUBLE_EQ(interpLinear(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interpLinear(xs, ys, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(interpLinear(xs, ys, -1.0), 0.0);   // clamp low
+  EXPECT_DOUBLE_EQ(interpLinear(xs, ys, 10.0), 30.0);  // clamp high
+}
+
+TEST(Math, Trapezoid) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(trapezoid(xs, ys), 1.0);
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::Off);
+  logError("should be dropped silently");
+  setLogLevel(LogLevel::Warn);
+  EXPECT_EQ(logLevel(), LogLevel::Warn);
+  setLogLevel(before);
+}
+
+}  // namespace
+}  // namespace unveil::support

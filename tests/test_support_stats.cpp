@@ -1,0 +1,146 @@
+/// Tests for streaming and batch statistics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/stats.hpp"
+
+namespace unveil::support {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> v = {1.5, 2.5, -3.0, 7.25, 0.0, 4.125};
+  RunningStats s;
+  double sum = 0.0;
+  for (double x : v) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(v.size());
+  double ss = 0.0;
+  for (double x : v) ss += (x - mean) * (x - mean);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), ss / static_cast<double>(v.size() - 1), 1e-12);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 7.25);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+TEST(Quantile, ThrowsOnEmpty) {
+  EXPECT_THROW((void)quantile({}, 0.5), AnalysisError);
+  EXPECT_THROW((void)median({}), AnalysisError);
+  EXPECT_THROW((void)madSigma({}), AnalysisError);
+  EXPECT_THROW((void)mean(std::span<const double>{}), AnalysisError);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v = {4.2};
+  EXPECT_EQ(quantile(v, 0.0), 4.2);
+  EXPECT_EQ(quantile(v, 0.5), 4.2);
+  EXPECT_EQ(quantile(v, 1.0), 4.2);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> v = {3.0, 1.0, 2.0, 4.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Median, OddAndEven) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(MadSigma, GaussianConsistency) {
+  // For {1..9} median=5, |dev| median = 2 -> sigma ~ 2.9652.
+  std::vector<double> v;
+  for (int i = 1; i <= 9; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_NEAR(madSigma(v), 1.4826 * 2.0, 1e-12);
+}
+
+TEST(MadSigma, RobustToOutlier) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const double base = madSigma(v);
+  v.back() = 1e9;  // one wild outlier
+  EXPECT_NEAR(madSigma(v), base, 1.0);
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> v = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(Histogram, RequiresValidRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ConfigError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), ConfigError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-100.0); // clamped to bin 0
+  h.add(100.0);  // clamped to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+}  // namespace
+}  // namespace unveil::support

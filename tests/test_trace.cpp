@@ -1,0 +1,172 @@
+/// Tests for the Trace container: sorting, validation invariants, stats.
+
+#include <gtest/gtest.h>
+
+#include "unveil/support/error.hpp"
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::trace {
+namespace {
+
+Event makeEvent(Rank r, TimeNs t, EventKind k, std::uint32_t v,
+                std::uint64_t ins = 0) {
+  Event e;
+  e.rank = r;
+  e.time = t;
+  e.kind = k;
+  e.value = v;
+  e.counters[counters::CounterId::TotIns] = ins;
+  return e;
+}
+
+TEST(Trace, RequiresRanks) { EXPECT_THROW(Trace("x", 0), ConfigError); }
+
+TEST(Trace, FinalizeSortsByRankTime) {
+  Trace t("x", 2);
+  t.addEvent(makeEvent(1, 50, EventKind::PhaseBegin, 0));
+  t.addEvent(makeEvent(0, 100, EventKind::PhaseBegin, 0));
+  t.addEvent(makeEvent(0, 10, EventKind::PhaseEnd, 0));
+  t.finalize();
+  ASSERT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.events()[0].rank, 0u);
+  EXPECT_EQ(t.events()[0].time, 10u);
+  EXPECT_EQ(t.events()[1].time, 100u);
+  EXPECT_EQ(t.events()[2].rank, 1u);
+}
+
+TEST(Trace, DurationInferredFromRecords) {
+  Trace t("x", 1);
+  t.addEvent(makeEvent(0, 500, EventKind::PhaseBegin, 0));
+  Sample s;
+  s.rank = 0;
+  s.time = 900;
+  t.addSample(s);
+  t.finalize();
+  EXPECT_EQ(t.durationNs(), 900u);
+}
+
+TEST(Trace, ExplicitDurationValidated) {
+  Trace t("x", 1);
+  t.setDurationNs(100);
+  t.addEvent(makeEvent(0, 500, EventKind::PhaseBegin, 0));
+  EXPECT_THROW(t.finalize(), TraceError);
+}
+
+TEST(Trace, RankOutOfRangeRejected) {
+  Trace t("x", 2);
+  t.addEvent(makeEvent(5, 10, EventKind::PhaseBegin, 0));
+  EXPECT_THROW(t.finalize(), TraceError);
+}
+
+TEST(Trace, SampleRankOutOfRangeRejected) {
+  Trace t("x", 1);
+  Sample s;
+  s.rank = 3;
+  s.time = 10;
+  t.addSample(s);
+  EXPECT_THROW(t.finalize(), TraceError);
+}
+
+TEST(Trace, StateIntervalValidation) {
+  Trace t("x", 1);
+  StateInterval iv;
+  iv.rank = 0;
+  iv.begin = 100;
+  iv.end = 50;  // inverted
+  t.addState(iv);
+  EXPECT_THROW(t.finalize(), TraceError);
+}
+
+TEST(Trace, CounterRegressionDetected) {
+  Trace t("x", 1);
+  t.addEvent(makeEvent(0, 10, EventKind::PhaseBegin, 0, 100));
+  t.addEvent(makeEvent(0, 20, EventKind::PhaseEnd, 0, 50));  // regression
+  EXPECT_THROW(t.finalize(), TraceError);
+}
+
+TEST(Trace, CounterRegressionAcrossSamplesDetected) {
+  Trace t("x", 1);
+  t.addEvent(makeEvent(0, 10, EventKind::PhaseBegin, 0, 100));
+  Sample s;
+  s.rank = 0;
+  s.time = 15;
+  s.counters[counters::CounterId::TotIns] = 80;  // below the event at t=10
+  t.addSample(s);
+  EXPECT_THROW(t.finalize(), TraceError);
+}
+
+TEST(Trace, EqualTimeRecordsAreUnordered) {
+  // A sample and an event at the same rounded timestamp may carry different
+  // counts; that must NOT be a regression (see validation time groups).
+  Trace t("x", 1);
+  t.addEvent(makeEvent(0, 10, EventKind::PhaseBegin, 0, 0));
+  Sample s;
+  s.rank = 0;
+  s.time = 20;
+  s.counters[counters::CounterId::TotIns] = 90;
+  t.addSample(s);
+  t.addEvent(makeEvent(0, 20, EventKind::PhaseEnd, 0, 100));
+  EXPECT_NO_THROW(t.finalize());
+}
+
+TEST(Trace, RegressionAcrossTimeGroupsStillDetected) {
+  Trace t("x", 1);
+  t.addEvent(makeEvent(0, 10, EventKind::PhaseBegin, 0, 100));
+  Sample s;
+  s.rank = 0;
+  s.time = 20;
+  s.counters[counters::CounterId::TotIns] = 90;  // later time, lower count
+  t.addSample(s);
+  EXPECT_THROW(t.finalize(), TraceError);
+}
+
+TEST(Trace, CountersIndependentAcrossRanks) {
+  Trace t("x", 2);
+  t.addEvent(makeEvent(0, 10, EventKind::PhaseBegin, 0, 1000));
+  t.addEvent(makeEvent(1, 20, EventKind::PhaseBegin, 0, 5));  // lower but rank 1
+  EXPECT_NO_THROW(t.finalize());
+}
+
+TEST(Trace, StatsCounts) {
+  Trace t("x", 1);
+  t.addEvent(makeEvent(0, 10, EventKind::PhaseBegin, 0));
+  t.addEvent(makeEvent(0, 20, EventKind::PhaseEnd, 0));
+  Sample s;
+  s.rank = 0;
+  s.time = 15;
+  t.addSample(s);
+  StateInterval iv;
+  iv.rank = 0;
+  iv.begin = 10;
+  iv.end = 20;
+  t.addState(iv);
+  t.finalize();
+  const auto stats = t.stats();
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_EQ(stats.samples, 1u);
+  EXPECT_EQ(stats.states, 1u);
+  EXPECT_EQ(stats.totalRecords, 4u);
+  EXPECT_GT(stats.estimatedBytes, 0u);
+}
+
+TEST(Trace, FinalizedFlagResetOnAppend) {
+  Trace t("x", 1);
+  t.finalize();
+  EXPECT_TRUE(t.finalized());
+  t.addEvent(makeEvent(0, 10, EventKind::PhaseBegin, 0));
+  EXPECT_FALSE(t.finalized());
+}
+
+TEST(TraceNames, MpiOpNames) {
+  EXPECT_STREQ(mpiOpName(MpiOp::Allreduce), "MPI_Allreduce");
+  EXPECT_STREQ(mpiOpName(MpiOp::Send), "MPI_Send");
+}
+
+TEST(TraceNames, StateNames) {
+  EXPECT_STREQ(stateName(State::Compute), "compute");
+  EXPECT_STREQ(stateName(State::Mpi), "mpi");
+  EXPECT_STREQ(stateName(State::Idle), "idle");
+}
+
+}  // namespace
+}  // namespace unveil::trace

@@ -1,0 +1,163 @@
+/// Tests for trace text serialization: exact round-trips and rejection of
+/// malformed inputs (parameterized over corruption cases).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "unveil/support/error.hpp"
+#include "unveil/trace/io.hpp"
+#include "test_util.hpp"
+
+namespace unveil::trace {
+namespace {
+
+Trace sampleTrace() {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 5;
+  spec.samplesPerBurst = 3;
+  return testutil::makeSyntheticTrace(spec);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = sampleTrace();
+  std::stringstream ss;
+  write(original, ss);
+  const Trace back = read(ss);
+
+  EXPECT_EQ(back.appName(), original.appName());
+  EXPECT_EQ(back.numRanks(), original.numRanks());
+  EXPECT_EQ(back.durationNs(), original.durationNs());
+  ASSERT_EQ(back.events().size(), original.events().size());
+  ASSERT_EQ(back.samples().size(), original.samples().size());
+  ASSERT_EQ(back.states().size(), original.states().size());
+  for (std::size_t i = 0; i < original.events().size(); ++i) {
+    const auto& a = original.events()[i];
+    const auto& b = back.events()[i];
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.counters, b.counters);
+  }
+  for (std::size_t i = 0; i < original.samples().size(); ++i) {
+    EXPECT_EQ(original.samples()[i].time, back.samples()[i].time);
+    EXPECT_EQ(original.samples()[i].counters, back.samples()[i].counters);
+  }
+}
+
+TEST(TraceIo, RoundTripOfSimulatedRun) {
+  const auto& run = testutil::smallWavesimRun();
+  std::stringstream ss;
+  write(run.trace, ss);
+  const Trace back = read(ss);
+  EXPECT_EQ(back.stats().totalRecords, run.trace.stats().totalRecords);
+  EXPECT_EQ(back.durationNs(), run.trace.durationNs());
+}
+
+TEST(TraceIo, ReadIsFinalized) {
+  std::stringstream ss;
+  write(sampleTrace(), ss);
+  EXPECT_TRUE(read(ss).finalized());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = sampleTrace();
+  const std::string path = ::testing::TempDir() + "/unveil_io_test.trace";
+  writeFile(original, path);
+  const Trace back = readFile(path);
+  EXPECT_EQ(back.stats().totalRecords, original.stats().totalRecords);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)readFile("/nonexistent/path/trace.txt"), Error);
+}
+
+struct BadInput {
+  std::string name;
+  std::string content;
+};
+
+class MalformedInput : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(MalformedInput, Rejected) {
+  std::istringstream is(GetParam().content);
+  EXPECT_THROW((void)read(is), TraceError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corruptions, MalformedInput,
+    ::testing::Values(
+        BadInput{"missingHeader", "app x\nranks 1\nduration 10\n"},
+        BadInput{"missingRanks", "#UNVEIL_TRACE v1\napp x\nduration 10\n"},
+        BadInput{"zeroRanks", "#UNVEIL_TRACE v1\napp x\nranks 0\n"},
+        BadInput{"unknownTag", "#UNVEIL_TRACE v1\nranks 1\nQ 0 1 2\n"},
+        BadInput{"truncatedEvent",
+                 "#UNVEIL_TRACE v1\nranks 1\nduration 10\nE 0 5 0\n"},
+        BadInput{"badEventKind",
+                 "#UNVEIL_TRACE v1\nranks 1\nduration 10\n"
+                 "E 0 5 9 0 1 1 1 1 1 1\n"},
+        BadInput{"missingCounters",
+                 "#UNVEIL_TRACE v1\nranks 1\nduration 10\nS 0 5 1 2 3\n"},
+        BadInput{"badStateCode",
+                 "#UNVEIL_TRACE v1\nranks 1\nduration 10\nT 0 1 2 9\n"},
+        BadInput{"wrongCounterColumns",
+                 "#UNVEIL_TRACE v1\nranks 1\nduration 10\n"
+                 "counters PAPI_WRONG PAPI_TOT_CYC PAPI_L1_DCM PAPI_L2_DCM "
+                 "PAPI_FP_OPS PAPI_BR_MSP\n"},
+        BadInput{"eventBeyondDuration",
+                 "#UNVEIL_TRACE v1\nranks 1\nduration 10\n"
+                 "E 0 50 0 0 1 1 1 1 1 1\n"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) { return info.param.name; });
+
+TEST(TraceIo, MaskAndRegionRoundTrip) {
+  Trace t("mx", 1);
+  Sample s;
+  s.rank = 0;
+  s.time = 100;
+  s.counters[counters::CounterId::TotIns] = 42;
+  s.validMask = 0b000011;  // only the fixed counters
+  s.regionId = 7;
+  t.addSample(s);
+  Sample plain;
+  plain.rank = 0;
+  plain.time = 200;
+  plain.counters[counters::CounterId::TotIns] = 50;
+  t.addSample(plain);
+  t.finalize();
+  std::stringstream ss;
+  write(t, ss);
+  const Trace back = read(ss);
+  ASSERT_EQ(back.samples().size(), 2u);
+  EXPECT_EQ(back.samples()[0].validMask, 0b000011);
+  EXPECT_EQ(back.samples()[0].regionId, 7u);
+  EXPECT_EQ(back.samples()[1].validMask, kAllCountersMask);
+  EXPECT_EQ(back.samples()[1].regionId, kNoRegion);
+}
+
+TEST(TraceIo, LegacySampleLineWithoutMaskAccepted) {
+  std::istringstream is(
+      "#UNVEIL_TRACE v1\nranks 1\nduration 100\nS 0 5 1 2 3 4 5 6\n");
+  const Trace t = read(is);
+  ASSERT_EQ(t.samples().size(), 1u);
+  EXPECT_EQ(t.samples()[0].validMask, kAllCountersMask);
+  EXPECT_EQ(t.samples()[0].regionId, kNoRegion);
+}
+
+TEST(TraceIo, BadMaskRejected) {
+  std::istringstream is(
+      "#UNVEIL_TRACE v1\nranks 1\nduration 100\nS 0 5 1 2 3 4 5 6 255\n");
+  EXPECT_THROW((void)read(is), TraceError);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream is(
+      "#UNVEIL_TRACE v1\n\n# a comment\napp demo\nranks 1\nduration 10\n\n");
+  const Trace t = read(is);
+  EXPECT_EQ(t.appName(), "demo");
+  EXPECT_EQ(t.numRanks(), 1u);
+}
+
+}  // namespace
+}  // namespace unveil::trace

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file test_util.hpp
+/// Shared fixtures for the unveil test suite: hand-rolled synthetic traces
+/// with exactly known properties, and small simulated runs cached per test
+/// binary so expensive simulations are not repeated per TEST.
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/sim/apps/apps.hpp"
+#include "unveil/sim/engine.hpp"
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::testutil {
+
+/// Parameters of a hand-rolled synthetic trace.
+struct SyntheticSpec {
+  std::size_t bursts = 50;             ///< Burst instances on one rank.
+  std::size_t samplesPerBurst = 10;    ///< Evenly spaced samples inside each.
+  trace::TimeNs burstNs = 1'000'000;   ///< Duration of each burst.
+  trace::TimeNs gapNs = 100'000;       ///< Gap (MPI) between bursts.
+  std::uint32_t phaseId = 0;           ///< Phase id stamped on probes.
+  double totalIns = 2'000'000.0;       ///< TOT_INS increment per burst.
+  /// Cumulative profile of TOT_INS, must be monotone with f(0)=0, f(1)=1.
+  std::function<double(double)> cdf = [](double t) { return t; };
+};
+
+/// Builds a finalized single-rank trace of `bursts` phase instances, each
+/// carrying `samplesPerBurst` samples whose counters follow `cdf` exactly.
+/// MPI Send/Recv probe pairs separate bursts so both extraction modes work.
+inline trace::Trace makeSyntheticTrace(const SyntheticSpec& spec) {
+  trace::Trace t("synthetic", 1);
+  counters::CounterSet cum;
+  trace::TimeNs now = 1000;
+  for (std::size_t b = 0; b < spec.bursts; ++b) {
+    trace::Event begin;
+    begin.rank = 0;
+    begin.time = now;
+    begin.kind = trace::EventKind::PhaseBegin;
+    begin.value = spec.phaseId;
+    begin.counters = cum;
+    t.addEvent(begin);
+
+    for (std::size_t s = 0; s < spec.samplesPerBurst; ++s) {
+      const double frac = static_cast<double>(s + 1) /
+                          static_cast<double>(spec.samplesPerBurst + 1);
+      trace::Sample sample;
+      sample.rank = 0;
+      sample.time = now + static_cast<trace::TimeNs>(
+                              frac * static_cast<double>(spec.burstNs));
+      sample.counters = cum;
+      sample.counters[counters::CounterId::TotIns] +=
+          static_cast<std::uint64_t>(std::llround(spec.totalIns * spec.cdf(frac)));
+      sample.counters[counters::CounterId::TotCyc] += static_cast<std::uint64_t>(
+          std::llround(spec.totalIns * frac));  // cycles flat in time
+      t.addSample(sample);
+    }
+
+    now += spec.burstNs;
+    cum[counters::CounterId::TotIns] +=
+        static_cast<std::uint64_t>(std::llround(spec.totalIns));
+    cum[counters::CounterId::TotCyc] +=
+        static_cast<std::uint64_t>(std::llround(spec.totalIns));
+    trace::Event end;
+    end.rank = 0;
+    end.time = now;
+    end.kind = trace::EventKind::PhaseEnd;
+    end.value = spec.phaseId;
+    end.counters = cum;
+    t.addEvent(end);
+
+    // An MPI pair in the gap so MPI-gap extraction sees burst boundaries.
+    trace::Event mb = end;
+    mb.kind = trace::EventKind::MpiBegin;
+    mb.value = static_cast<std::uint32_t>(trace::MpiOp::Barrier);
+    mb.time = now + spec.gapNs / 4;
+    t.addEvent(mb);
+    trace::Event me = mb;
+    me.kind = trace::EventKind::MpiEnd;
+    me.time = now + spec.gapNs / 2;
+    t.addEvent(me);
+    now += spec.gapNs;
+  }
+  t.setDurationNs(now + 1000);
+  t.finalize();
+  return t;
+}
+
+/// A small measured wavesim run, computed once per test binary.
+inline const sim::RunResult& smallWavesimRun() {
+  static const sim::RunResult run = [] {
+    sim::apps::AppParams p;
+    p.ranks = 4;
+    p.iterations = 40;
+    p.seed = 5;
+    return analysis::runMeasured("wavesim", p, sim::MeasurementConfig::folding());
+  }();
+  return run;
+}
+
+}  // namespace unveil::testutil

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Renders every figure data file the benches emitted (bench_out/*.dat) to
+# PNG using gnuplot. The .dat format is gnuplot-native: one block per
+# series, separated by blank lines, with "# series: <label>" headers.
+#
+# Usage: tools/plot_figures.sh [bench_out_dir] [output_dir]
+
+set -eu
+
+in_dir="${1:-bench_out}"
+out_dir="${2:-bench_out/png}"
+
+if ! command -v gnuplot >/dev/null 2>&1; then
+  echo "gnuplot not found; install it or plot the .dat files manually" >&2
+  exit 1
+fi
+mkdir -p "$out_dir"
+
+for dat in "$in_dir"/*.dat; do
+  [ -e "$dat" ] || continue
+  base="$(basename "$dat" .dat)"
+  xlabel="$(sed -n 's/^# xlabel: //p' "$dat" | head -1)"
+  ylabel="$(sed -n 's/^# ylabel: //p' "$dat" | head -1)"
+  title="$(sed -n 's/^# figure: //p' "$dat" | head -1)"
+  nblocks="$(grep -c '^# series: ' "$dat")"
+  plotcmd=""
+  i=0
+  while [ "$i" -lt "$nblocks" ]; do
+    label="$(sed -n 's/^# series: //p' "$dat" | sed -n "$((i + 1))p")"
+    style="with lines"
+    case "$label" in
+      *samples*|*cluster*" "[0-9]*) style="with points pointtype 7 pointsize 0.3" ;;
+    esac
+    sep=""
+    [ -n "$plotcmd" ] && sep=", "
+    plotcmd="$plotcmd$sep'$dat' index $i using 1:2 $style title '$label'"
+    i=$((i + 1))
+  done
+  gnuplot <<EOF
+set terminal pngcairo size 1000,600
+set output '$out_dir/$base.png'
+set title '$title'
+set xlabel '$xlabel'
+set ylabel '$ylabel'
+set key outside right
+plot $plotcmd
+EOF
+  echo "rendered $out_dir/$base.png"
+done
