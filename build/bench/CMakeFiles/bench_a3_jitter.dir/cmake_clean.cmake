@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_jitter.dir/bench_a3_jitter.cpp.o"
+  "CMakeFiles/bench_a3_jitter.dir/bench_a3_jitter.cpp.o.d"
+  "bench_a3_jitter"
+  "bench_a3_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

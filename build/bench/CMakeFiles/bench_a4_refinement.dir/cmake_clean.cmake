@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_refinement.dir/bench_a4_refinement.cpp.o"
+  "CMakeFiles/bench_a4_refinement.dir/bench_a4_refinement.cpp.o.d"
+  "bench_a4_refinement"
+  "bench_a4_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

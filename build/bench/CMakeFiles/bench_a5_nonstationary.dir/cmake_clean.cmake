@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_nonstationary.dir/bench_a5_nonstationary.cpp.o"
+  "CMakeFiles/bench_a5_nonstationary.dir/bench_a5_nonstationary.cpp.o.d"
+  "bench_a5_nonstationary"
+  "bench_a5_nonstationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_nonstationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_multiplex.dir/bench_a6_multiplex.cpp.o"
+  "CMakeFiles/bench_a6_multiplex.dir/bench_a6_multiplex.cpp.o.d"
+  "bench_a6_multiplex"
+  "bench_a6_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_scatter.dir/bench_f1_scatter.cpp.o"
+  "CMakeFiles/bench_f1_scatter.dir/bench_f1_scatter.cpp.o.d"
+  "bench_f1_scatter"
+  "bench_f1_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

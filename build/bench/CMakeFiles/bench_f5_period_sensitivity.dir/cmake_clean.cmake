@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_period_sensitivity.dir/bench_f5_period_sensitivity.cpp.o"
+  "CMakeFiles/bench_f5_period_sensitivity.dir/bench_f5_period_sensitivity.cpp.o.d"
+  "bench_f5_period_sensitivity"
+  "bench_f5_period_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_period_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_evolution.dir/bench_f6_evolution.cpp.o"
+  "CMakeFiles/bench_f6_evolution.dir/bench_f6_evolution.cpp.o.d"
+  "bench_f6_evolution"
+  "bench_f6_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_derived.dir/bench_f7_derived.cpp.o"
+  "CMakeFiles/bench_f7_derived.dir/bench_f7_derived.cpp.o.d"
+  "bench_f7_derived"
+  "bench_f7_derived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_derived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_drift.dir/bench_f8_drift.cpp.o"
+  "CMakeFiles/bench_f8_drift.dir/bench_f8_drift.cpp.o.d"
+  "bench_f8_drift"
+  "bench_f8_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

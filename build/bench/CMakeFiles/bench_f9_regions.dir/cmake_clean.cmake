@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_regions.dir/bench_f9_regions.cpp.o"
+  "CMakeFiles/bench_f9_regions.dir/bench_f9_regions.cpp.o.d"
+  "bench_f9_regions"
+  "bench_f9_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_accuracy.dir/bench_t1_accuracy.cpp.o"
+  "CMakeFiles/bench_t1_accuracy.dir/bench_t1_accuracy.cpp.o.d"
+  "bench_t1_accuracy"
+  "bench_t1_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_overhead.dir/bench_t2_overhead.cpp.o"
+  "CMakeFiles/bench_t2_overhead.dir/bench_t2_overhead.cpp.o.d"
+  "bench_t2_overhead"
+  "bench_t2_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_clustering.dir/bench_t3_clustering.cpp.o"
+  "CMakeFiles/bench_t3_clustering.dir/bench_t3_clustering.cpp.o.d"
+  "bench_t3_clustering"
+  "bench_t3_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

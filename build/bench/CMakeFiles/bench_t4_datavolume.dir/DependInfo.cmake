@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_t4_datavolume.cpp" "bench/CMakeFiles/bench_t4_datavolume.dir/bench_t4_datavolume.cpp.o" "gcc" "bench/CMakeFiles/bench_t4_datavolume.dir/bench_t4_datavolume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unveil/analysis/CMakeFiles/unveil_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/sim/CMakeFiles/unveil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/folding/CMakeFiles/unveil_folding.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/cluster/CMakeFiles/unveil_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/trace/CMakeFiles/unveil_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/counters/CMakeFiles/unveil_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/support/CMakeFiles/unveil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_datavolume.dir/bench_t4_datavolume.cpp.o"
+  "CMakeFiles/bench_t4_datavolume.dir/bench_t4_datavolume.cpp.o.d"
+  "bench_t4_datavolume"
+  "bench_t4_datavolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_datavolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_imbalance.dir/bench_t5_imbalance.cpp.o"
+  "CMakeFiles/bench_t5_imbalance.dir/bench_t5_imbalance.cpp.o.d"
+  "bench_t5_imbalance"
+  "bench_t5_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

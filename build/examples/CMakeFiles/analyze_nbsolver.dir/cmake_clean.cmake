@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_nbsolver.dir/analyze_nbsolver.cpp.o"
+  "CMakeFiles/analyze_nbsolver.dir/analyze_nbsolver.cpp.o.d"
+  "analyze_nbsolver"
+  "analyze_nbsolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_nbsolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_particlemesh.dir/analyze_particlemesh.cpp.o"
+  "CMakeFiles/analyze_particlemesh.dir/analyze_particlemesh.cpp.o.d"
+  "analyze_particlemesh"
+  "analyze_particlemesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_particlemesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

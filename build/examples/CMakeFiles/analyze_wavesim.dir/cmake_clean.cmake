@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_wavesim.dir/analyze_wavesim.cpp.o"
+  "CMakeFiles/analyze_wavesim.dir/analyze_wavesim.cpp.o.d"
+  "analyze_wavesim"
+  "analyze_wavesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_wavesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

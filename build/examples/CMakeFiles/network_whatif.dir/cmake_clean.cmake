@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_whatif.dir/network_whatif.cpp.o"
+  "CMakeFiles/network_whatif.dir/network_whatif.cpp.o.d"
+  "network_whatif"
+  "network_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimization_check.dir/optimization_check.cpp.o"
+  "CMakeFiles/optimization_check.dir/optimization_check.cpp.o.d"
+  "optimization_check"
+  "optimization_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimization_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_study.dir/overhead_study.cpp.o"
+  "CMakeFiles/overhead_study.dir/overhead_study.cpp.o.d"
+  "overhead_study"
+  "overhead_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

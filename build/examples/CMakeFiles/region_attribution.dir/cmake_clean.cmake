@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_attribution.dir/region_attribution.cpp.o"
+  "CMakeFiles/region_attribution.dir/region_attribution.cpp.o.d"
+  "region_attribution"
+  "region_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uninstrumented_structure.dir/uninstrumented_structure.cpp.o"
+  "CMakeFiles/uninstrumented_structure.dir/uninstrumented_structure.cpp.o.d"
+  "uninstrumented_structure"
+  "uninstrumented_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uninstrumented_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

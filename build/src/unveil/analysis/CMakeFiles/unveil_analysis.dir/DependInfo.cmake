@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unveil/analysis/diffrun.cpp" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/diffrun.cpp.o" "gcc" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/diffrun.cpp.o.d"
+  "/root/repo/src/unveil/analysis/evolution.cpp" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/evolution.cpp.o" "gcc" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/evolution.cpp.o.d"
+  "/root/repo/src/unveil/analysis/experiments.cpp" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/experiments.cpp.o" "gcc" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/experiments.cpp.o.d"
+  "/root/repo/src/unveil/analysis/imbalance.cpp" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/imbalance.cpp.o" "gcc" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/imbalance.cpp.o.d"
+  "/root/repo/src/unveil/analysis/pipeline.cpp" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/pipeline.cpp.o" "gcc" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/pipeline.cpp.o.d"
+  "/root/repo/src/unveil/analysis/report.cpp" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/report.cpp.o" "gcc" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/unveil/analysis/representative.cpp" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/representative.cpp.o" "gcc" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/representative.cpp.o.d"
+  "/root/repo/src/unveil/analysis/spectral.cpp" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/spectral.cpp.o" "gcc" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/spectral.cpp.o.d"
+  "/root/repo/src/unveil/analysis/summary.cpp" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/summary.cpp.o" "gcc" "src/unveil/analysis/CMakeFiles/unveil_analysis.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unveil/support/CMakeFiles/unveil_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/counters/CMakeFiles/unveil_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/trace/CMakeFiles/unveil_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/sim/CMakeFiles/unveil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/cluster/CMakeFiles/unveil_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/folding/CMakeFiles/unveil_folding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

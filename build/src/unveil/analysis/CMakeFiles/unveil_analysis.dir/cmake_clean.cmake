@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unveil_analysis.dir/diffrun.cpp.o"
+  "CMakeFiles/unveil_analysis.dir/diffrun.cpp.o.d"
+  "CMakeFiles/unveil_analysis.dir/evolution.cpp.o"
+  "CMakeFiles/unveil_analysis.dir/evolution.cpp.o.d"
+  "CMakeFiles/unveil_analysis.dir/experiments.cpp.o"
+  "CMakeFiles/unveil_analysis.dir/experiments.cpp.o.d"
+  "CMakeFiles/unveil_analysis.dir/imbalance.cpp.o"
+  "CMakeFiles/unveil_analysis.dir/imbalance.cpp.o.d"
+  "CMakeFiles/unveil_analysis.dir/pipeline.cpp.o"
+  "CMakeFiles/unveil_analysis.dir/pipeline.cpp.o.d"
+  "CMakeFiles/unveil_analysis.dir/report.cpp.o"
+  "CMakeFiles/unveil_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/unveil_analysis.dir/representative.cpp.o"
+  "CMakeFiles/unveil_analysis.dir/representative.cpp.o.d"
+  "CMakeFiles/unveil_analysis.dir/spectral.cpp.o"
+  "CMakeFiles/unveil_analysis.dir/spectral.cpp.o.d"
+  "CMakeFiles/unveil_analysis.dir/summary.cpp.o"
+  "CMakeFiles/unveil_analysis.dir/summary.cpp.o.d"
+  "libunveil_analysis.a"
+  "libunveil_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unveil_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

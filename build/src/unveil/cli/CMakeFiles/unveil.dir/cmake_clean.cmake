@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unveil.dir/main.cpp.o"
+  "CMakeFiles/unveil.dir/main.cpp.o.d"
+  "unveil"
+  "unveil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unveil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unveil_cli.dir/args.cpp.o"
+  "CMakeFiles/unveil_cli.dir/args.cpp.o.d"
+  "CMakeFiles/unveil_cli.dir/commands.cpp.o"
+  "CMakeFiles/unveil_cli.dir/commands.cpp.o.d"
+  "libunveil_cli.a"
+  "libunveil_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unveil_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unveil/cluster/burst.cpp" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/burst.cpp.o" "gcc" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/burst.cpp.o.d"
+  "/root/repo/src/unveil/cluster/dbscan.cpp" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/dbscan.cpp.o" "gcc" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/dbscan.cpp.o.d"
+  "/root/repo/src/unveil/cluster/features.cpp" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/features.cpp.o" "gcc" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/features.cpp.o.d"
+  "/root/repo/src/unveil/cluster/kmeans.cpp" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/kmeans.cpp.o" "gcc" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/kmeans.cpp.o.d"
+  "/root/repo/src/unveil/cluster/quality.cpp" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/quality.cpp.o" "gcc" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/quality.cpp.o.d"
+  "/root/repo/src/unveil/cluster/refine.cpp" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/refine.cpp.o" "gcc" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/refine.cpp.o.d"
+  "/root/repo/src/unveil/cluster/structure.cpp" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/structure.cpp.o" "gcc" "src/unveil/cluster/CMakeFiles/unveil_cluster.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unveil/support/CMakeFiles/unveil_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/counters/CMakeFiles/unveil_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/trace/CMakeFiles/unveil_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

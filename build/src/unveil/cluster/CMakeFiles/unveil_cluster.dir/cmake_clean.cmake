@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unveil_cluster.dir/burst.cpp.o"
+  "CMakeFiles/unveil_cluster.dir/burst.cpp.o.d"
+  "CMakeFiles/unveil_cluster.dir/dbscan.cpp.o"
+  "CMakeFiles/unveil_cluster.dir/dbscan.cpp.o.d"
+  "CMakeFiles/unveil_cluster.dir/features.cpp.o"
+  "CMakeFiles/unveil_cluster.dir/features.cpp.o.d"
+  "CMakeFiles/unveil_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/unveil_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/unveil_cluster.dir/quality.cpp.o"
+  "CMakeFiles/unveil_cluster.dir/quality.cpp.o.d"
+  "CMakeFiles/unveil_cluster.dir/refine.cpp.o"
+  "CMakeFiles/unveil_cluster.dir/refine.cpp.o.d"
+  "CMakeFiles/unveil_cluster.dir/structure.cpp.o"
+  "CMakeFiles/unveil_cluster.dir/structure.cpp.o.d"
+  "libunveil_cluster.a"
+  "libunveil_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unveil_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unveil/counters/counter.cpp" "src/unveil/counters/CMakeFiles/unveil_counters.dir/counter.cpp.o" "gcc" "src/unveil/counters/CMakeFiles/unveil_counters.dir/counter.cpp.o.d"
+  "/root/repo/src/unveil/counters/noise.cpp" "src/unveil/counters/CMakeFiles/unveil_counters.dir/noise.cpp.o" "gcc" "src/unveil/counters/CMakeFiles/unveil_counters.dir/noise.cpp.o.d"
+  "/root/repo/src/unveil/counters/phase_model.cpp" "src/unveil/counters/CMakeFiles/unveil_counters.dir/phase_model.cpp.o" "gcc" "src/unveil/counters/CMakeFiles/unveil_counters.dir/phase_model.cpp.o.d"
+  "/root/repo/src/unveil/counters/shape.cpp" "src/unveil/counters/CMakeFiles/unveil_counters.dir/shape.cpp.o" "gcc" "src/unveil/counters/CMakeFiles/unveil_counters.dir/shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unveil/support/CMakeFiles/unveil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

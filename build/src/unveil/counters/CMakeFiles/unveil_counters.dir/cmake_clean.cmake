@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unveil_counters.dir/counter.cpp.o"
+  "CMakeFiles/unveil_counters.dir/counter.cpp.o.d"
+  "CMakeFiles/unveil_counters.dir/noise.cpp.o"
+  "CMakeFiles/unveil_counters.dir/noise.cpp.o.d"
+  "CMakeFiles/unveil_counters.dir/phase_model.cpp.o"
+  "CMakeFiles/unveil_counters.dir/phase_model.cpp.o.d"
+  "CMakeFiles/unveil_counters.dir/shape.cpp.o"
+  "CMakeFiles/unveil_counters.dir/shape.cpp.o.d"
+  "libunveil_counters.a"
+  "libunveil_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unveil_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unveil/folding/accuracy.cpp" "src/unveil/folding/CMakeFiles/unveil_folding.dir/accuracy.cpp.o" "gcc" "src/unveil/folding/CMakeFiles/unveil_folding.dir/accuracy.cpp.o.d"
+  "/root/repo/src/unveil/folding/band.cpp" "src/unveil/folding/CMakeFiles/unveil_folding.dir/band.cpp.o" "gcc" "src/unveil/folding/CMakeFiles/unveil_folding.dir/band.cpp.o.d"
+  "/root/repo/src/unveil/folding/derived.cpp" "src/unveil/folding/CMakeFiles/unveil_folding.dir/derived.cpp.o" "gcc" "src/unveil/folding/CMakeFiles/unveil_folding.dir/derived.cpp.o.d"
+  "/root/repo/src/unveil/folding/fit.cpp" "src/unveil/folding/CMakeFiles/unveil_folding.dir/fit.cpp.o" "gcc" "src/unveil/folding/CMakeFiles/unveil_folding.dir/fit.cpp.o.d"
+  "/root/repo/src/unveil/folding/folded.cpp" "src/unveil/folding/CMakeFiles/unveil_folding.dir/folded.cpp.o" "gcc" "src/unveil/folding/CMakeFiles/unveil_folding.dir/folded.cpp.o.d"
+  "/root/repo/src/unveil/folding/prune.cpp" "src/unveil/folding/CMakeFiles/unveil_folding.dir/prune.cpp.o" "gcc" "src/unveil/folding/CMakeFiles/unveil_folding.dir/prune.cpp.o.d"
+  "/root/repo/src/unveil/folding/rate.cpp" "src/unveil/folding/CMakeFiles/unveil_folding.dir/rate.cpp.o" "gcc" "src/unveil/folding/CMakeFiles/unveil_folding.dir/rate.cpp.o.d"
+  "/root/repo/src/unveil/folding/regions.cpp" "src/unveil/folding/CMakeFiles/unveil_folding.dir/regions.cpp.o" "gcc" "src/unveil/folding/CMakeFiles/unveil_folding.dir/regions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unveil/support/CMakeFiles/unveil_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/counters/CMakeFiles/unveil_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/trace/CMakeFiles/unveil_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/cluster/CMakeFiles/unveil_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

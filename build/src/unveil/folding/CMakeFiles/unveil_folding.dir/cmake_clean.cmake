@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unveil_folding.dir/accuracy.cpp.o"
+  "CMakeFiles/unveil_folding.dir/accuracy.cpp.o.d"
+  "CMakeFiles/unveil_folding.dir/band.cpp.o"
+  "CMakeFiles/unveil_folding.dir/band.cpp.o.d"
+  "CMakeFiles/unveil_folding.dir/derived.cpp.o"
+  "CMakeFiles/unveil_folding.dir/derived.cpp.o.d"
+  "CMakeFiles/unveil_folding.dir/fit.cpp.o"
+  "CMakeFiles/unveil_folding.dir/fit.cpp.o.d"
+  "CMakeFiles/unveil_folding.dir/folded.cpp.o"
+  "CMakeFiles/unveil_folding.dir/folded.cpp.o.d"
+  "CMakeFiles/unveil_folding.dir/prune.cpp.o"
+  "CMakeFiles/unveil_folding.dir/prune.cpp.o.d"
+  "CMakeFiles/unveil_folding.dir/rate.cpp.o"
+  "CMakeFiles/unveil_folding.dir/rate.cpp.o.d"
+  "CMakeFiles/unveil_folding.dir/regions.cpp.o"
+  "CMakeFiles/unveil_folding.dir/regions.cpp.o.d"
+  "libunveil_folding.a"
+  "libunveil_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unveil_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unveil/sim/application.cpp" "src/unveil/sim/CMakeFiles/unveil_sim.dir/application.cpp.o" "gcc" "src/unveil/sim/CMakeFiles/unveil_sim.dir/application.cpp.o.d"
+  "/root/repo/src/unveil/sim/apps/amrflow.cpp" "src/unveil/sim/CMakeFiles/unveil_sim.dir/apps/amrflow.cpp.o" "gcc" "src/unveil/sim/CMakeFiles/unveil_sim.dir/apps/amrflow.cpp.o.d"
+  "/root/repo/src/unveil/sim/apps/nbsolver.cpp" "src/unveil/sim/CMakeFiles/unveil_sim.dir/apps/nbsolver.cpp.o" "gcc" "src/unveil/sim/CMakeFiles/unveil_sim.dir/apps/nbsolver.cpp.o.d"
+  "/root/repo/src/unveil/sim/apps/particlemesh.cpp" "src/unveil/sim/CMakeFiles/unveil_sim.dir/apps/particlemesh.cpp.o" "gcc" "src/unveil/sim/CMakeFiles/unveil_sim.dir/apps/particlemesh.cpp.o.d"
+  "/root/repo/src/unveil/sim/apps/registry.cpp" "src/unveil/sim/CMakeFiles/unveil_sim.dir/apps/registry.cpp.o" "gcc" "src/unveil/sim/CMakeFiles/unveil_sim.dir/apps/registry.cpp.o.d"
+  "/root/repo/src/unveil/sim/apps/wavesim.cpp" "src/unveil/sim/CMakeFiles/unveil_sim.dir/apps/wavesim.cpp.o" "gcc" "src/unveil/sim/CMakeFiles/unveil_sim.dir/apps/wavesim.cpp.o.d"
+  "/root/repo/src/unveil/sim/engine.cpp" "src/unveil/sim/CMakeFiles/unveil_sim.dir/engine.cpp.o" "gcc" "src/unveil/sim/CMakeFiles/unveil_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/unveil/sim/measurement.cpp" "src/unveil/sim/CMakeFiles/unveil_sim.dir/measurement.cpp.o" "gcc" "src/unveil/sim/CMakeFiles/unveil_sim.dir/measurement.cpp.o.d"
+  "/root/repo/src/unveil/sim/network.cpp" "src/unveil/sim/CMakeFiles/unveil_sim.dir/network.cpp.o" "gcc" "src/unveil/sim/CMakeFiles/unveil_sim.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unveil/support/CMakeFiles/unveil_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/counters/CMakeFiles/unveil_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/trace/CMakeFiles/unveil_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

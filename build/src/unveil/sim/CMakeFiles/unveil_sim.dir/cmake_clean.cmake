@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unveil_sim.dir/application.cpp.o"
+  "CMakeFiles/unveil_sim.dir/application.cpp.o.d"
+  "CMakeFiles/unveil_sim.dir/apps/amrflow.cpp.o"
+  "CMakeFiles/unveil_sim.dir/apps/amrflow.cpp.o.d"
+  "CMakeFiles/unveil_sim.dir/apps/nbsolver.cpp.o"
+  "CMakeFiles/unveil_sim.dir/apps/nbsolver.cpp.o.d"
+  "CMakeFiles/unveil_sim.dir/apps/particlemesh.cpp.o"
+  "CMakeFiles/unveil_sim.dir/apps/particlemesh.cpp.o.d"
+  "CMakeFiles/unveil_sim.dir/apps/registry.cpp.o"
+  "CMakeFiles/unveil_sim.dir/apps/registry.cpp.o.d"
+  "CMakeFiles/unveil_sim.dir/apps/wavesim.cpp.o"
+  "CMakeFiles/unveil_sim.dir/apps/wavesim.cpp.o.d"
+  "CMakeFiles/unveil_sim.dir/engine.cpp.o"
+  "CMakeFiles/unveil_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/unveil_sim.dir/measurement.cpp.o"
+  "CMakeFiles/unveil_sim.dir/measurement.cpp.o.d"
+  "CMakeFiles/unveil_sim.dir/network.cpp.o"
+  "CMakeFiles/unveil_sim.dir/network.cpp.o.d"
+  "libunveil_sim.a"
+  "libunveil_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unveil_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

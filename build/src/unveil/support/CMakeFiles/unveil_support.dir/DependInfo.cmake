@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unveil/support/log.cpp" "src/unveil/support/CMakeFiles/unveil_support.dir/log.cpp.o" "gcc" "src/unveil/support/CMakeFiles/unveil_support.dir/log.cpp.o.d"
+  "/root/repo/src/unveil/support/rng.cpp" "src/unveil/support/CMakeFiles/unveil_support.dir/rng.cpp.o" "gcc" "src/unveil/support/CMakeFiles/unveil_support.dir/rng.cpp.o.d"
+  "/root/repo/src/unveil/support/series.cpp" "src/unveil/support/CMakeFiles/unveil_support.dir/series.cpp.o" "gcc" "src/unveil/support/CMakeFiles/unveil_support.dir/series.cpp.o.d"
+  "/root/repo/src/unveil/support/stats.cpp" "src/unveil/support/CMakeFiles/unveil_support.dir/stats.cpp.o" "gcc" "src/unveil/support/CMakeFiles/unveil_support.dir/stats.cpp.o.d"
+  "/root/repo/src/unveil/support/table.cpp" "src/unveil/support/CMakeFiles/unveil_support.dir/table.cpp.o" "gcc" "src/unveil/support/CMakeFiles/unveil_support.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

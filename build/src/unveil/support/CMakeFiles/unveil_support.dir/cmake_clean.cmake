@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unveil_support.dir/log.cpp.o"
+  "CMakeFiles/unveil_support.dir/log.cpp.o.d"
+  "CMakeFiles/unveil_support.dir/rng.cpp.o"
+  "CMakeFiles/unveil_support.dir/rng.cpp.o.d"
+  "CMakeFiles/unveil_support.dir/series.cpp.o"
+  "CMakeFiles/unveil_support.dir/series.cpp.o.d"
+  "CMakeFiles/unveil_support.dir/stats.cpp.o"
+  "CMakeFiles/unveil_support.dir/stats.cpp.o.d"
+  "CMakeFiles/unveil_support.dir/table.cpp.o"
+  "CMakeFiles/unveil_support.dir/table.cpp.o.d"
+  "libunveil_support.a"
+  "libunveil_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unveil_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

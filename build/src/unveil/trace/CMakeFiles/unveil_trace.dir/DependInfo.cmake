@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unveil/trace/binary_io.cpp" "src/unveil/trace/CMakeFiles/unveil_trace.dir/binary_io.cpp.o" "gcc" "src/unveil/trace/CMakeFiles/unveil_trace.dir/binary_io.cpp.o.d"
+  "/root/repo/src/unveil/trace/filter.cpp" "src/unveil/trace/CMakeFiles/unveil_trace.dir/filter.cpp.o" "gcc" "src/unveil/trace/CMakeFiles/unveil_trace.dir/filter.cpp.o.d"
+  "/root/repo/src/unveil/trace/io.cpp" "src/unveil/trace/CMakeFiles/unveil_trace.dir/io.cpp.o" "gcc" "src/unveil/trace/CMakeFiles/unveil_trace.dir/io.cpp.o.d"
+  "/root/repo/src/unveil/trace/paraver.cpp" "src/unveil/trace/CMakeFiles/unveil_trace.dir/paraver.cpp.o" "gcc" "src/unveil/trace/CMakeFiles/unveil_trace.dir/paraver.cpp.o.d"
+  "/root/repo/src/unveil/trace/trace.cpp" "src/unveil/trace/CMakeFiles/unveil_trace.dir/trace.cpp.o" "gcc" "src/unveil/trace/CMakeFiles/unveil_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unveil/support/CMakeFiles/unveil_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/unveil/counters/CMakeFiles/unveil_counters.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unveil_trace.dir/binary_io.cpp.o"
+  "CMakeFiles/unveil_trace.dir/binary_io.cpp.o.d"
+  "CMakeFiles/unveil_trace.dir/filter.cpp.o"
+  "CMakeFiles/unveil_trace.dir/filter.cpp.o.d"
+  "CMakeFiles/unveil_trace.dir/io.cpp.o"
+  "CMakeFiles/unveil_trace.dir/io.cpp.o.d"
+  "CMakeFiles/unveil_trace.dir/paraver.cpp.o"
+  "CMakeFiles/unveil_trace.dir/paraver.cpp.o.d"
+  "CMakeFiles/unveil_trace.dir/trace.cpp.o"
+  "CMakeFiles/unveil_trace.dir/trace.cpp.o.d"
+  "libunveil_trace.a"
+  "libunveil_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unveil_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

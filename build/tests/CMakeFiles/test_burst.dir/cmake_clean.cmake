@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_burst.dir/test_burst.cpp.o"
+  "CMakeFiles/test_burst.dir/test_burst.cpp.o.d"
+  "test_burst"
+  "test_burst.pdb"
+  "test_burst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_derived.dir/test_derived.cpp.o"
+  "CMakeFiles/test_derived.dir/test_derived.cpp.o.d"
+  "test_derived"
+  "test_derived.pdb"
+  "test_derived[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_derived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

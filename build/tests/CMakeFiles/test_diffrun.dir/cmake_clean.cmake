@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diffrun.dir/test_diffrun.cpp.o"
+  "CMakeFiles/test_diffrun.dir/test_diffrun.cpp.o.d"
+  "test_diffrun"
+  "test_diffrun.pdb"
+  "test_diffrun[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diffrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
