@@ -6,13 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <sstream>
+#include <vector>
 
 #include "unveil/analysis/experiments.hpp"
 #include "unveil/cluster/dbscan.hpp"
 #include "unveil/folding/band.hpp"
 #include "unveil/folding/fit.hpp"
 #include "unveil/folding/folded.hpp"
+#include "unveil/support/math.hpp"
 #include "unveil/support/rng.hpp"
 #include "unveil/trace/binary_io.hpp"
 #include "unveil/trace/io.hpp"
@@ -129,6 +132,126 @@ void BM_BinaryTraceWrite(benchmark::State& state) {
       static_cast<std::int64_t>(run.trace.stats().totalRecords));
 }
 BENCHMARK(BM_BinaryTraceWrite)->Arg(20)->Arg(100);
+
+/// Counters for the multi-fold comparison: the 4-counter workload the
+/// pipeline would fold for a full hardware-counter report.
+constexpr std::array<counters::CounterId, 4> kFoldCounters{
+    counters::CounterId::TotIns, counters::CounterId::TotCyc,
+    counters::CounterId::L1Dcm, counters::CounterId::L2Dcm};
+
+/// A realistic fold workload: the sample-richest cluster of an analyzed
+/// fine-grain-sampled wavesim run, shared by the per-counter and multi-fold
+/// benches. Fine-grain sampling gives bursts dense sample runs — the regime
+/// where the fold stage's cost (walking samples) actually matters.
+struct FoldWorkload {
+  sim::RunResult run;
+  std::vector<cluster::Burst> bursts;
+  std::vector<std::size_t> members;
+};
+
+const FoldWorkload& foldWorkload() {
+  static const FoldWorkload w = [] {
+    auto params = analysis::standardParams(3);
+    params.ranks = 8;
+    params.iterations = 60;
+    FoldWorkload out{
+        analysis::runMeasured("wavesim", params, sim::MeasurementConfig::fineGrain()),
+        {},
+        {}};
+    auto result = analysis::analyze(out.run.trace);
+    out.bursts = std::move(result.bursts);
+    std::size_t bestSamples = 0;
+    for (auto& report : result.clusters) {
+      std::size_t samples = 0;
+      for (std::size_t i : report.memberIdx)
+        samples += out.bursts[i].sampleIdx.size();
+      if (samples > bestSamples) {
+        bestSamples = samples;
+        out.members = report.memberIdx;
+      }
+    }
+    return out;
+  }();
+  return w;
+}
+
+void BM_FoldPerCounter(benchmark::State& state) {
+  const auto& w = foldWorkload();
+  for (auto _ : state) {
+    for (counters::CounterId id : kFoldCounters) {
+      auto folded = folding::foldCluster(w.run.trace, w.bursts, w.members, id);
+      benchmark::DoNotOptimize(folded.points.size());
+    }
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(kFoldCounters.size() * w.members.size()));
+}
+BENCHMARK(BM_FoldPerCounter);
+
+void BM_FoldMulti(benchmark::State& state) {
+  const auto& w = foldWorkload();
+  for (auto _ : state) {
+    auto entries =
+        folding::foldClusterMulti(w.run.trace, w.bursts, w.members, kFoldCounters);
+    benchmark::DoNotOptimize(entries.size());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(kFoldCounters.size() * w.members.size()));
+}
+BENCHMARK(BM_FoldMulti);
+
+void BM_KernelFit(benchmark::State& state, bool windowed) {
+  const auto cloud = makeCloud(50000);
+  folding::FitParams params;
+  params.method = folding::FitMethod::Kernel;
+  params.kernelBandwidth = 0.005;
+  params.kernelWindowed = windowed;
+  const auto fit = folding::fitCumulative(cloud, params);
+  const auto grid = support::linspace(0.0, 1.0, 201);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (double t : grid) sum += fit->value(t);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(grid.size()));
+}
+void BM_KernelFitNaive(benchmark::State& state) { BM_KernelFit(state, false); }
+void BM_KernelFitWindowed(benchmark::State& state) { BM_KernelFit(state, true); }
+BENCHMARK(BM_KernelFitNaive);
+BENCHMARK(BM_KernelFitWindowed);
+
+void BM_EstimateEps(benchmark::State& state) {
+  const auto m = makeBlobs(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::estimateEps(m, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EstimateEps)->Arg(10000)->Arg(50000);
+
+void BM_AnalyzeThreeApps(benchmark::State& state) {
+  static const std::vector<sim::RunResult>& runs = []() -> const auto& {
+    static std::vector<sim::RunResult> r;
+    for (const char* app : {"wavesim", "nbsolver", "particlemesh"}) {
+      auto params = analysis::standardParams(3);
+      params.ranks = 4;
+      params.iterations = 40;
+      r.push_back(
+          analysis::runMeasured(app, params, sim::MeasurementConfig::folding()));
+    }
+    return r;
+  }();
+  for (auto _ : state) {
+    std::size_t clusters = 0;
+    for (const auto& run : runs)
+      clusters += analysis::analyze(run.trace).clusters.size();
+    benchmark::DoNotOptimize(clusters);
+  }
+}
+BENCHMARK(BM_AnalyzeThreeApps);
 
 void BM_FullPipeline(benchmark::State& state) {
   auto params = analysis::standardParams(3);

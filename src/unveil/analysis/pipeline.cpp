@@ -64,10 +64,11 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
   for (const auto& b : result.bursts)
     allBurstTime += static_cast<double>(b.durationNs());
 
+  auto memberBuckets = result.clustering.buckets();
   for (std::size_t c = 0; c < result.clustering.numClusters; ++c) {
     ClusterReport report;
     report.clusterId = static_cast<int>(c);
-    report.memberIdx = result.clustering.members(static_cast<int>(c));
+    report.memberIdx = std::move(memberBuckets[c]);
     report.instances = report.memberIdx.size();
 
     double durSum = 0.0;
@@ -99,59 +100,94 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
     result.clusters.push_back(std::move(report));
   }
 
-  // 5. Folding — each (cluster, counter) reconstruction is independent, so
-  //    run them on a worker pool. Results are written to pre-allocated
-  //    slots, keeping the outcome bit-identical to the sequential order.
+  // 5. Folding — two stages on a worker pool. Stage 1 folds each eligible
+  //    cluster ONCE for all requested counters (one walk over the member
+  //    samples instead of |counters| walks); stage 2 runs the independent
+  //    per-(cluster, counter) prune/fit/reconstruct jobs over the folded
+  //    clouds. Results go to pre-allocated slots and are merged in a fixed
+  //    order, so the outcome is bit-identical to the sequential
+  //    per-(cluster, counter) path.
   {
-    struct Job {
+    const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t configured =
+        config.foldThreads == 0 ? hardware : config.foldThreads;
+    auto runPool = [&](std::size_t jobCount, auto&& body) {
+      const std::size_t threads = std::min(configured, jobCount);
+      std::atomic<std::size_t> next{0};
+      auto worker = [&] {
+        for (std::size_t j = next.fetch_add(1); j < jobCount;
+             j = next.fetch_add(1))
+          body(j);
+      };
+      if (threads <= 1) {
+        worker();
+      } else {
+        std::vector<std::jthread> pool;
+        pool.reserve(threads);
+        for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+      }
+    };
+
+    struct FoldJob {
+      std::size_t clusterIdx;
+      std::vector<folding::MultiFoldEntry> entries;
+    };
+    std::vector<FoldJob> foldJobs;
+    for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
+      if (result.clusters[ci].instances < config.minClusterInstances) continue;
+      foldJobs.push_back(FoldJob{ci, {}});
+    }
+    runPool(foldJobs.size(), [&](std::size_t j) {
+      FoldJob& job = foldJobs[j];
+      job.entries = folding::foldClusterMulti(
+          trace, result.bursts, result.clusters[job.clusterIdx].memberIdx,
+          config.rateCounters, config.reconstruct.fold);
+    });
+
+    struct FitJob {
       std::size_t clusterIdx;
       counters::CounterId counter;
+      folding::FoldedCounter* folded;  // owned by its FoldJob entry
       std::optional<folding::RateCurve> curve;
       std::string error;
     };
-    std::vector<Job> jobs;
-    for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
-      if (result.clusters[ci].instances < config.minClusterInstances) continue;
-      for (counters::CounterId id : config.rateCounters)
-        jobs.push_back(Job{ci, id, std::nullopt, {}});
-    }
-
-    const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
-    const std::size_t threads = std::min(
-        config.foldThreads == 0 ? hardware : config.foldThreads, jobs.size());
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      for (std::size_t j = next.fetch_add(1); j < jobs.size();
-           j = next.fetch_add(1)) {
-        Job& job = jobs[j];
-        try {
-          job.curve = folding::reconstructClusterRate(
-              trace, result.bursts, result.clusters[job.clusterIdx].memberIdx,
-              job.counter, config.reconstruct);
-        } catch (const AnalysisError& e) {
-          job.error = e.what();
+    std::vector<bool> anyFailure(result.clusters.size(), false);
+    auto warnNotFolded = [&](std::size_t clusterIdx, counters::CounterId counter,
+                             const std::string& error) {
+      anyFailure[clusterIdx] = true;
+      support::logWarn("pipeline: cluster " +
+                       std::to_string(result.clusters[clusterIdx].clusterId) +
+                       " counter " + std::string(counters::counterName(counter)) +
+                       " not folded: " + error);
+    };
+    std::vector<FitJob> fitJobs;
+    for (auto& fold : foldJobs) {
+      for (auto& entry : fold.entries) {
+        if (entry.folded) {
+          fitJobs.push_back(
+              FitJob{fold.clusterIdx, entry.counter, &*entry.folded,
+                     std::nullopt, {}});
+        } else {
+          warnNotFolded(fold.clusterIdx, entry.counter, entry.error);
         }
       }
-    };
-    if (threads <= 1) {
-      worker();
-    } else {
-      std::vector<std::jthread> pool;
-      pool.reserve(threads);
-      for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
     }
+    runPool(fitJobs.size(), [&](std::size_t j) {
+      FitJob& job = fitJobs[j];
+      try {
+        job.curve =
+            folding::reconstructFoldedRate(std::move(*job.folded), config.reconstruct);
+      } catch (const AnalysisError& e) {
+        job.error = e.what();
+      }
+    });
 
-    std::vector<bool> anyFailure(result.clusters.size(), false);
-    for (auto& job : jobs) {
-      auto& report = result.clusters[job.clusterIdx];
+    for (auto& job : fitJobs) {
       if (job.curve) {
-        report.rates.emplace(job.counter, std::move(*job.curve));
+        result.clusters[job.clusterIdx].rates.emplace(job.counter,
+                                                      std::move(*job.curve));
       } else {
-        anyFailure[job.clusterIdx] = true;
-        support::logWarn("pipeline: cluster " +
-                         std::to_string(report.clusterId) + " counter " +
-                         std::string(counters::counterName(job.counter)) +
-                         " not folded: " + job.error);
+        warnNotFolded(job.clusterIdx, job.counter, job.error);
       }
     }
     for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {

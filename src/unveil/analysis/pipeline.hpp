@@ -46,9 +46,12 @@ struct PipelineConfig {
   /// position, never co-occurring) — see cluster::refineByStructure.
   bool refineFragments = true;
   cluster::RefineParams refine{};
-  /// Fold clusters on worker threads (each cluster × counter reconstruction
-  /// is independent and deterministic, so results are identical to the
-  /// sequential path). 0 = one thread per hardware core; 1 = sequential.
+  /// Fold clusters on worker threads. The fold stage runs one single-pass
+  /// multi-counter fold job per cluster (foldClusterMulti), feeding
+  /// independent per-(cluster, counter) fit jobs; both stages are
+  /// deterministic, so results are identical to the sequential
+  /// per-(cluster, counter) path. 0 = one thread per hardware core;
+  /// 1 = sequential.
   std::size_t foldThreads = 0;
 };
 

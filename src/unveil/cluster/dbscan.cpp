@@ -1,12 +1,15 @@
 #include "unveil/cluster/dbscan.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <deque>
 #include <numeric>
-#include <unordered_map>
+#include <optional>
+#include <thread>
 
+#include "unveil/cluster/eps_grid.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/stats.hpp"
 
@@ -23,7 +26,10 @@ std::size_t Clustering::clusterSize(int c) const noexcept {
   return n;
 }
 
-std::size_t Clustering::noiseCount() const noexcept { return clusterSize(kNoiseLabel); }
+std::size_t Clustering::noiseCount() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(labels.begin(), labels.end(), kNoiseLabel));
+}
 
 std::vector<std::size_t> Clustering::members(int c) const {
   std::vector<std::size_t> out;
@@ -32,74 +38,39 @@ std::vector<std::size_t> Clustering::members(int c) const {
   return out;
 }
 
+std::vector<std::vector<std::size_t>> Clustering::buckets() const {
+  std::vector<std::size_t> counts(numClusters, 0);
+  for (int l : labels) {
+    if (l < 0) continue;
+    UNVEIL_ASSERT(static_cast<std::size_t>(l) < numClusters,
+                  "cluster label out of range");
+    ++counts[static_cast<std::size_t>(l)];
+  }
+  std::vector<std::vector<std::size_t>> out(numClusters);
+  for (std::size_t c = 0; c < numClusters; ++c) out[c].reserve(counts[c]);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (labels[i] >= 0) out[static_cast<std::size_t>(labels[i])].push_back(i);
+  return out;
+}
+
 namespace {
 
-/// Uniform grid over d-dimensional points with cell edge = eps. Neighbor
-/// queries inspect the 3^d adjacent cells.
-class EpsGrid {
- public:
-  EpsGrid(const FeatureMatrix& m, double eps) : m_(m), inv_(1.0 / eps) {
-    cells_.reserve(m.rows());
-    for (std::size_t i = 0; i < m.rows(); ++i)
-      cells_[keyOf(m.row(i))].push_back(i);
-  }
-
-  /// Indices within eps (Euclidean) of row \p i, including i itself.
-  void neighbors(std::size_t i, double eps2, std::vector<std::size_t>& out) const {
-    out.clear();
-    const auto p = m_.row(i);
-    const std::size_t d = p.size();
-    std::vector<std::int64_t> base(d);
-    for (std::size_t k = 0; k < d; ++k)
-      base[k] = static_cast<std::int64_t>(std::floor(p[k] * inv_));
-    // Enumerate 3^d neighbor cells via mixed-radix counter.
-    std::vector<int> offs(d, -1);
-    while (true) {
-      std::vector<std::int64_t> cell(d);
-      for (std::size_t k = 0; k < d; ++k) cell[k] = base[k] + offs[k];
-      auto it = cells_.find(hashCell(cell));
-      if (it != cells_.end()) {
-        for (std::size_t j : it->second) {
-          double dist2 = 0.0;
-          const auto q = m_.row(j);
-          for (std::size_t k = 0; k < d; ++k) {
-            const double diff = p[k] - q[k];
-            dist2 += diff * diff;
-          }
-          if (dist2 <= eps2) out.push_back(j);
-        }
-      }
-      // Advance counter.
-      std::size_t k = 0;
-      while (k < d && offs[k] == 1) {
-        offs[k] = -1;
-        ++k;
-      }
-      if (k == d) break;
-      ++offs[k];
+/// Brute-force region query, used when the grid cannot index the input
+/// (degenerate extents or too many dimensions).
+void bruteNeighbors(const FeatureMatrix& m, std::size_t i, double radius2,
+                    std::vector<std::size_t>& out) {
+  out.clear();
+  const auto p = m.row(i);
+  for (std::size_t j = 0; j < m.rows(); ++j) {
+    double d2 = 0.0;
+    const auto q = m.row(j);
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      const double diff = p[k] - q[k];
+      d2 += diff * diff;
     }
+    if (d2 <= radius2) out.push_back(j);
   }
-
- private:
-  [[nodiscard]] std::uint64_t keyOf(std::span<const double> p) const {
-    std::vector<std::int64_t> cell(p.size());
-    for (std::size_t k = 0; k < p.size(); ++k)
-      cell[k] = static_cast<std::int64_t>(std::floor(p[k] * inv_));
-    return hashCell(cell);
-  }
-
-  [[nodiscard]] static std::uint64_t hashCell(const std::vector<std::int64_t>& cell) {
-    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (std::int64_t v : cell) {
-      h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-
-  const FeatureMatrix& m_;
-  double inv_;
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> cells_;
-};
+}
 
 }  // namespace
 
@@ -112,6 +83,10 @@ Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
 
   const EpsGrid grid(features, params.eps);
   const double eps2 = params.eps * params.eps;
+  auto query = [&](std::size_t i, std::vector<std::size_t>& neighOut) {
+    if (grid.valid()) grid.neighbors(i, eps2, neighOut);
+    else bruteNeighbors(features, i, eps2, neighOut);
+  };
 
   constexpr int kUnvisited = -2;
   std::vector<int> label(n, kUnvisited);
@@ -121,7 +96,7 @@ Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
 
   for (std::size_t i = 0; i < n; ++i) {
     if (label[i] != kUnvisited) continue;
-    grid.neighbors(i, eps2, neigh);
+    query(i, neigh);
     if (neigh.size() < params.minPts) {
       label[i] = kNoiseLabel;
       continue;
@@ -135,7 +110,7 @@ Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
       if (label[j] == kNoiseLabel) label[j] = cluster;  // border point
       if (label[j] != kUnvisited) continue;
       label[j] = cluster;
-      grid.neighbors(j, eps2, seedNeigh);
+      query(j, seedNeigh);
       if (seedNeigh.size() >= params.minPts)
         queue.insert(queue.end(), seedNeigh.begin(), seedNeigh.end());
     }
@@ -168,13 +143,26 @@ double estimateEps(const FeatureMatrix& features, std::size_t minPts, double qua
   const std::size_t n = features.rows();
   if (n < 2) throw AnalysisError("estimateEps needs >= 2 points");
   if (minPts < 1) throw ConfigError("estimateEps minPts must be >= 1");
-  // Exact k-NN by brute force on a subsample to keep this O(s·n) — eps
-  // calibration does not need every point.
+  // k-NN distances on a subsample — eps calibration does not need every
+  // point. The k-th index matches the historical brute-force selection:
+  // min(minPts, n-1) - 1 into the sorted distances to the other points.
   const std::size_t sampleStride = std::max<std::size_t>(1, n / 2000);
-  std::vector<double> kDist;
-  std::vector<double> dists;
-  for (std::size_t i = 0; i < n; i += sampleStride) {
-    dists.clear();
+  std::vector<std::size_t> sampled;
+  for (std::size_t i = 0; i < n; i += sampleStride) sampled.push_back(i);
+  const std::size_t kth = std::min(minPts, n - 1) - 1;
+
+  // Grid-accelerated exact k-NN; brute force remains as the fallback when
+  // the heuristic cell span is degenerate (e.g. all points identical).
+  std::optional<EpsGrid> grid;
+  const double cellSize = EpsGrid::knnCellSize(features, minPts);
+  if (cellSize > 0.0) {
+    grid.emplace(features, cellSize);
+    if (!grid->valid()) grid.reset();
+  }
+
+  auto bruteKth = [&](std::size_t i) {
+    std::vector<double> dists;
+    dists.reserve(n - 1);
     const auto p = features.row(i);
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) continue;
@@ -186,10 +174,32 @@ double estimateEps(const FeatureMatrix& features, std::size_t minPts, double qua
       }
       dists.push_back(d2);
     }
-    const std::size_t k = std::min(minPts, dists.size()) - 1;
-    std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k),
+    std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(kth),
                      dists.end());
-    kDist.push_back(std::sqrt(dists[k]));
+    return std::sqrt(dists[kth]);
+  };
+
+  // The sampled points are independent; process them on a worker pool with
+  // the same atomic-counter pattern the analysis pipeline uses. Each result
+  // goes to its own slot, so the k-dist sequence (and hence the quantile)
+  // is identical to the sequential order.
+  std::vector<double> kDist(sampled.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t s = next.fetch_add(1); s < sampled.size();
+         s = next.fetch_add(1)) {
+      kDist[s] = grid ? grid->kthNearestDist(sampled[s], kth) : bruteKth(sampled[s]);
+    }
+  };
+  const std::size_t threads =
+      std::min<std::size_t>(std::max(1u, std::thread::hardware_concurrency()),
+                            sampled.size());
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
   }
   return support::quantile(kDist, quantile);
 }

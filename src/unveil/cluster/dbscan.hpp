@@ -44,10 +44,13 @@ struct Clustering {
 
   /// Member count of cluster \p c.
   [[nodiscard]] std::size_t clusterSize(int c) const noexcept;
-  /// Number of noise points.
+  /// Number of noise points (single pass over the labels).
   [[nodiscard]] std::size_t noiseCount() const noexcept;
   /// Row indices of cluster \p c, in input order.
   [[nodiscard]] std::vector<std::size_t> members(int c) const;
+  /// Member lists of every cluster at once: buckets()[c] == members(c) for
+  /// all c, built in one O(n) pass instead of numClusters scans.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> buckets() const;
 };
 
 /// Runs DBSCAN over the (already normalized) feature matrix.
@@ -55,7 +58,9 @@ struct Clustering {
 
 /// Heuristic eps estimation: the \p quantile of the distribution of
 /// k-nearest-neighbor distances (k = minPts), the standard knee heuristic.
-/// Useful when calibrating eps for an unknown application.
+/// Useful when calibrating eps for an unknown application. The k-NN query
+/// runs on a uniform-grid index (see eps_grid.hpp) across worker threads;
+/// both are exact, so the estimate is identical to the brute-force scan.
 [[nodiscard]] double estimateEps(const FeatureMatrix& features, std::size_t minPts,
                                  double quantile = 0.90);
 

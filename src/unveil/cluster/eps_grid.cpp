@@ -1,0 +1,189 @@
+#include "unveil/cluster/eps_grid.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::cluster {
+
+namespace {
+
+/// Squared Euclidean distance between two rows (same accumulation order as
+/// the historical brute-force loops, so results are bit-identical).
+double dist2(std::span<const double> p, std::span<const double> q) {
+  double d2 = 0.0;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    const double diff = p[k] - q[k];
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
+}  // namespace
+
+EpsGrid::EpsGrid(const FeatureMatrix& m, double cellSize)
+    : m_(m), cell_(cellSize), inv_(0.0), valid_(false) {
+  const std::size_t d = m.dims();
+  if (d == 0 || d > kMaxDims) return;
+  if (!(cellSize > 0.0) || !std::isfinite(cellSize)) return;
+  inv_ = 1.0 / cellSize;
+  if (!std::isfinite(inv_)) return;
+  valid_ = true;
+
+  std::array<std::int64_t, kMaxDims> minCell{};
+  std::array<std::int64_t, kMaxDims> maxCell{};
+  minCell.fill(std::numeric_limits<std::int64_t>::max());
+  maxCell.fill(std::numeric_limits<std::int64_t>::min());
+
+  cells_.reserve(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto p = m.row(i);
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t k = 0; k < d; ++k) {
+      const auto c = static_cast<std::int64_t>(std::floor(p[k] * inv_));
+      minCell[k] = std::min(minCell[k], c);
+      maxCell[k] = std::max(maxCell[k], c);
+      h = hashCombine(h, c);
+    }
+    cells_[h].push_back(i);
+  }
+  for (std::size_t k = 0; k < d; ++k)
+    if (maxCell[k] >= minCell[k])
+      maxRing_ = std::max(maxRing_, maxCell[k] - minCell[k] + 1);
+}
+
+std::uint64_t EpsGrid::cellHashOfRow(std::size_t i) const {
+  const auto p = m_.row(i);
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t k = 0; k < p.size(); ++k)
+    h = hashCombine(h, static_cast<std::int64_t>(std::floor(p[k] * inv_)));
+  return h;
+}
+
+void EpsGrid::neighbors(std::size_t i, double radius2,
+                        std::vector<std::size_t>& out) const {
+  UNVEIL_ASSERT(valid_, "EpsGrid::neighbors on invalid grid");
+  out.clear();
+  const auto p = m_.row(i);
+  const std::size_t d = p.size();
+  std::array<std::int64_t, kMaxDims> base{};
+  for (std::size_t k = 0; k < d; ++k)
+    base[k] = static_cast<std::int64_t>(std::floor(p[k] * inv_));
+  // Enumerate the 3^d adjacent cells via a mixed-radix counter over offsets
+  // in {-1, 0, 1}^d, hashing each cell's coordinates incrementally.
+  std::array<int, kMaxDims> offs{};
+  offs.fill(-1);
+  while (true) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t k = 0; k < d; ++k) h = hashCombine(h, base[k] + offs[k]);
+    auto it = cells_.find(h);
+    if (it != cells_.end()) {
+      for (std::size_t j : it->second) {
+        if (dist2(p, m_.row(j)) <= radius2) out.push_back(j);
+      }
+    }
+    std::size_t k = 0;
+    while (k < d && offs[k] == 1) {
+      offs[k] = -1;
+      ++k;
+    }
+    if (k == d) break;
+    ++offs[k];
+  }
+}
+
+double EpsGrid::kthNearestDist(std::size_t i, std::size_t k) const {
+  UNVEIL_ASSERT(valid_, "EpsGrid::kthNearestDist on invalid grid");
+  const auto p = m_.row(i);
+  const std::size_t d = p.size();
+  std::array<std::int64_t, kMaxDims> base{};
+  for (std::size_t dim = 0; dim < d; ++dim)
+    base[dim] = static_cast<std::int64_t>(std::floor(p[dim] * inv_));
+
+  // Max-heap of the k+1 smallest squared distances seen so far.
+  const std::size_t want = k + 1;
+  std::vector<double> heap;
+  heap.reserve(want);
+  auto offer = [&](double d2) {
+    if (heap.size() < want) {
+      heap.push_back(d2);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (d2 < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = d2;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  };
+
+  auto scanCell = [&](std::uint64_t h) {
+    auto it = cells_.find(h);
+    if (it == cells_.end()) return;
+    for (std::size_t j : it->second) {
+      if (j == i) continue;
+      offer(dist2(p, m_.row(j)));
+    }
+  };
+
+  // Recursive enumeration of cells at Chebyshev ring r (max |offset| == r),
+  // hashing coordinates as the recursion descends.
+  std::array<std::int64_t, kMaxDims> cell{};
+  auto ringCells = [&](auto&& self, std::size_t dim, std::int64_t r,
+                       std::uint64_t h, bool onEdge) -> void {
+    if (dim == d) {
+      if (onEdge || r == 0) scanCell(h);
+      return;
+    }
+    for (std::int64_t off = -r; off <= r; ++off) {
+      cell[dim] = base[dim] + off;
+      self(self, dim + 1, r, hashCombine(h, cell[dim]),
+           onEdge || off == r || off == -r);
+    }
+  };
+
+  for (std::int64_t r = 0; r <= maxRing_; ++r) {
+    if (heap.size() == want && r >= 2) {
+      // Any point in a cell at Chebyshev ring r is at least (r-1)·cell away
+      // from p (p lies somewhere inside its own cell), so once the current
+      // k-th best is closer than that bound no farther ring can improve it.
+      const double bound = static_cast<double>(r - 1) * cell_;
+      if (bound * bound >= heap.front()) break;
+    }
+    ringCells(ringCells, 0, r, 0x9e3779b97f4a7c15ULL, false);
+  }
+  UNVEIL_ASSERT(heap.size() == want, "kthNearestDist: not enough rows");
+  return std::sqrt(heap.front());
+}
+
+double EpsGrid::knnCellSize(const FeatureMatrix& m, std::size_t k) {
+  const std::size_t n = m.rows();
+  const std::size_t d = m.dims();
+  if (n == 0 || d == 0 || d > kMaxDims || k == 0) return 0.0;
+  // Bounding-box extents; degenerate dimensions contribute nothing to the
+  // volume (every point shares their cell index anyway).
+  double logVol = 0.0;
+  std::size_t effDims = 0;
+  for (std::size_t dim = 0; dim < d; ++dim) {
+    double lo = m.at(0, dim), hi = m.at(0, dim);
+    for (std::size_t i = 1; i < n; ++i) {
+      lo = std::min(lo, m.at(i, dim));
+      hi = std::max(hi, m.at(i, dim));
+    }
+    const double extent = hi - lo;
+    if (extent > 0.0 && std::isfinite(extent)) {
+      logVol += std::log(extent);
+      ++effDims;
+    }
+  }
+  if (effDims == 0) return 0.0;
+  // Cell edge so that cell volume ≈ (k / n) × bounding volume.
+  const double logCell =
+      (logVol + std::log(static_cast<double>(k) / static_cast<double>(n))) /
+      static_cast<double>(effDims);
+  const double cellSize = std::exp(logCell);
+  return std::isfinite(cellSize) && cellSize > 0.0 ? cellSize : 0.0;
+}
+
+}  // namespace unveil::cluster

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file eps_grid.hpp
+/// Uniform-grid spatial index over a FeatureMatrix.
+///
+/// Cells are cubes of a fixed edge length; each occupied cell maps to the
+/// row indices it contains. Two query shapes are provided:
+///
+///  - neighbors(): all rows within a radius no larger than the cell edge
+///    (the DBSCAN region query — inspect the 3^d adjacent cells);
+///  - kthNearestDist(): exact k-nearest-neighbor distance via expanding
+///    Chebyshev rings of cells (the estimateEps k-dist query).
+///
+/// Cell coordinates are hashed incrementally (no per-query allocation).
+/// Hash collisions merge two cells' point lists; that is benign for both
+/// queries because candidates are always distance-filtered, so collisions
+/// can only add candidates, never hide them.
+///
+/// The grid degrades gracefully: when the requested cell size is degenerate
+/// (non-positive or non-finite, e.g. all points identical) or the
+/// dimensionality exceeds kMaxDims, valid() is false and callers must fall
+/// back to brute force.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "unveil/cluster/features.hpp"
+
+namespace unveil::cluster {
+
+class EpsGrid {
+ public:
+  /// Dimensionality cap: cell enumeration is exponential in dims (3^d for
+  /// neighbors), so high-dimensional inputs use brute force instead.
+  static constexpr std::size_t kMaxDims = 8;
+
+  /// Indexes \p m with cubic cells of edge \p cellSize. \p m must outlive
+  /// the grid. Check valid() before querying.
+  EpsGrid(const FeatureMatrix& m, double cellSize);
+
+  /// False when the grid cannot index this input (degenerate cell size or
+  /// too many dimensions); queries must not be called then.
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+
+  /// Rows within sqrt(radius2) (Euclidean) of row \p i, including i itself.
+  /// Requires radius2 <= cellSize^2 (only the 3^d adjacent cells are
+  /// inspected). Thread-safe for concurrent callers with distinct \p out.
+  void neighbors(std::size_t i, double radius2, std::vector<std::size_t>& out) const;
+
+  /// Exact Euclidean distance from row \p i to its (k+1)-th nearest *other*
+  /// row (k is 0-based: k = 0 gives the nearest neighbor). Requires the
+  /// matrix to hold at least k+2 rows. Thread-safe.
+  [[nodiscard]] double kthNearestDist(std::size_t i, std::size_t k) const;
+
+  /// Heuristic cell edge for k-NN queries: sized so a cell holds ~\p k
+  /// points under uniform density over the bounding box of the
+  /// non-degenerate dimensions. Returns 0 when every dimension is
+  /// degenerate (all points identical) — callers should then skip the grid.
+  [[nodiscard]] static double knnCellSize(const FeatureMatrix& m, std::size_t k);
+
+ private:
+  [[nodiscard]] static std::uint64_t hashCombine(std::uint64_t h, std::int64_t v) noexcept {
+    h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+
+  /// Hash of the cell containing row \p i (computed from its coordinates).
+  [[nodiscard]] std::uint64_t cellHashOfRow(std::size_t i) const;
+
+  const FeatureMatrix& m_;
+  double cell_;
+  double inv_;
+  bool valid_;
+  /// Largest per-dimension cell-index span; bounds ring expansion.
+  std::int64_t maxRing_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> cells_;
+};
+
+}  // namespace unveil::cluster

@@ -1,10 +1,79 @@
 #include "unveil/folding/folded.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "unveil/support/error.hpp"
 
 namespace unveil::folding {
+
+namespace {
+
+/// Canonical total order on folded points. Sorting primarily by t, ties are
+/// broken by source burst and then by y; two points equal under this order
+/// are bit-identical (rank is determined by the burst), so *any* correct
+/// sorting algorithm produces the same byte sequence. This is what lets
+/// foldClusterMulti() use a distribution sort while staying bit-identical
+/// to the std::sort in foldCluster().
+bool pointLess(const FoldedPoint& a, const FoldedPoint& b) noexcept {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.burstIdx != b.burstIdx) return a.burstIdx < b.burstIdx;
+  return a.y < b.y;
+}
+
+/// Below this size a plain std::sort beats the bucketing overhead.
+constexpr std::size_t kMinBucketSortPoints = 2048;
+
+/// Reusable buffers for sortPointsCanonical(); callers sorting several
+/// clouds back to back (foldClusterMulti) pay the allocations only once.
+struct SortScratch {
+  std::vector<std::uint32_t> offset;
+  std::vector<FoldedPoint> tmp;
+};
+
+/// Sorts \p pts into the canonical order. Exploits t ∈ [0, 1] (guaranteed by
+/// the clamp in the fold loop) with a single-pass bucket distribution on t
+/// followed by tiny per-bucket sorts: O(n) for the uniform-ish clouds folding
+/// produces, against std::sort's O(n log n) comparison floor.
+void sortPointsCanonical(std::vector<FoldedPoint>& pts, SortScratch& scratch) {
+  const std::size_t n = pts.size();
+  if (n < kMinBucketSortPoints) {
+    std::sort(pts.begin(), pts.end(), pointLess);
+    return;
+  }
+  // About one point per bucket: the per-bucket sorts all but vanish and the
+  // scatter's working set (a few hundred KB of cursors) still sits in cache.
+  const std::size_t nb =
+      std::min<std::size_t>(std::size_t{1} << 17, std::bit_ceil(n));
+  const auto bucketOf = [nb](double t) noexcept {
+    const auto i = static_cast<std::size_t>(t * static_cast<double>(nb));
+    return i < nb ? i : nb - 1;
+  };
+  scratch.offset.assign(nb, 0);
+  auto& offset = scratch.offset;
+  for (const FoldedPoint& p : pts) ++offset[bucketOf(p.t)];
+  std::uint32_t sum = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::uint32_t count = offset[b];
+    offset[b] = sum;  // exclusive prefix: bucket start position
+    sum += count;
+  }
+  scratch.tmp.resize(n);
+  auto& tmp = scratch.tmp;
+  for (const FoldedPoint& p : pts) tmp[offset[bucketOf(p.t)]++] = p;
+  // The scatter advanced each offset to its bucket's end position.
+  std::uint32_t begin = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::uint32_t end = offset[b];
+    if (end - begin > 1)
+      std::sort(tmp.begin() + begin, tmp.begin() + end, pointLess);
+    begin = end;
+  }
+  pts.swap(tmp);
+}
+
+}  // namespace
 
 FoldedCounter foldCluster(const trace::Trace& trace,
                           std::span<const cluster::Burst> bursts,
@@ -73,8 +142,129 @@ FoldedCounter foldCluster(const trace::Trace& trace,
 
   out.meanDurationNs = durationSum / static_cast<double>(out.instances);
   out.meanTotal = totalSum / static_cast<double>(out.instances);
-  std::sort(out.points.begin(), out.points.end(),
-            [](const FoldedPoint& a, const FoldedPoint& b) { return a.t < b.t; });
+  // Reference implementation: a plain comparison sort into the canonical
+  // order. foldClusterMulti() reaches the same bytes via distribution sort.
+  std::sort(out.points.begin(), out.points.end(), pointLess);
+  return out;
+}
+
+std::vector<MultiFoldEntry> foldClusterMulti(
+    const trace::Trace& trace, std::span<const cluster::Burst> bursts,
+    std::span<const std::size_t> memberIdx,
+    std::span<const counters::CounterId> counterSet, const FoldOptions& options) {
+  const std::size_t nc = counterSet.size();
+  std::vector<MultiFoldEntry> out(nc);
+  for (std::size_t k = 0; k < nc; ++k) out[k].counter = counterSet[k];
+  if (nc == 0) return out;
+
+  const auto& samples = trace.samples();
+
+  struct Accum {
+    FoldedCounter folded;
+    double durationSum = 0.0;
+    double totalSum = 0.0;
+  };
+  std::vector<Accum> acc(nc);
+  for (std::size_t k = 0; k < nc; ++k) acc[k].folded.counter = counterSet[k];
+
+  // Upper bound on the points any one counter can emit: every sample of
+  // every duration-qualified member. Reserving it up front removes the
+  // reallocation-and-copy churn from the hot walk below.
+  std::size_t maxPoints = 0;
+  for (std::size_t mi : memberIdx) {
+    UNVEIL_ASSERT(mi < bursts.size(), "fold member index out of range");
+    const cluster::Burst& b = bursts[mi];
+    if (b.durationNs() >= options.minDurationNs) maxPoints += b.sampleIdx.size();
+  }
+  for (std::size_t k = 0; k < nc; ++k) acc[k].folded.points.reserve(maxPoints);
+
+  // Per-burst scratch.
+  std::vector<std::uint64_t> c0(nc);
+  std::vector<double> increment(nc);
+  std::vector<char> qualifies(nc);
+  std::vector<char> any(nc);
+
+  for (std::size_t bi = 0; bi < memberIdx.size(); ++bi) {
+    UNVEIL_ASSERT(memberIdx[bi] < bursts.size(), "fold member index out of range");
+    const cluster::Burst& b = bursts[memberIdx[bi]];
+    const auto duration = b.durationNs();
+    if (duration < options.minDurationNs) continue;
+
+    bool anyQualifies = false;
+    for (std::size_t k = 0; k < nc; ++k) {
+      c0[k] = b.beginCounters[counterSet[k]];
+      increment[k] = static_cast<double>(b.endCounters[counterSet[k]] - c0[k]);
+      qualifies[k] = increment[k] >= options.minCounterIncrement ? 1 : 0;
+      anyQualifies |= qualifies[k] != 0;
+      any[k] = 0;
+    }
+    if (!anyQualifies) continue;
+
+    // Work duration after removing the measurement's own intrusion
+    // (counter-independent, computed once for the burst).
+    const double overhead =
+        options.probeOverheadNs +
+        options.perSampleOverheadNs * static_cast<double>(b.sampleIdx.size());
+    const double workNs =
+        std::max(static_cast<double>(duration) - overhead, 1.0);
+
+    for (std::size_t k = 0; k < nc; ++k) {
+      if (!qualifies[k]) continue;
+      ++acc[k].folded.instances;
+      acc[k].durationSum += workNs;
+      acc[k].totalSum += increment[k];
+    }
+
+    std::size_t samplesBefore = 0;
+    for (std::size_t si : b.sampleIdx) {
+      const trace::Sample& s = samples[si];
+      UNVEIL_ASSERT(s.rank == b.rank, "sample attached to wrong rank");
+      UNVEIL_ASSERT(s.time >= b.begin && s.time < b.end,
+                    "sample outside its burst window");
+      // The normalized time depends only on the sample's position inside the
+      // burst, never on the counter — project once, reuse for every counter.
+      const double elapsed =
+          static_cast<double>(s.time - b.begin) - options.probeOverheadNs -
+          options.perSampleOverheadNs * static_cast<double>(samplesBefore);
+      const double t = std::clamp(elapsed / workNs, 0.0, 1.0);
+      for (std::size_t k = 0; k < nc; ++k) {
+        // Multiplexed samples that did not read this counter still dilate
+        // the burst (samplesBefore advances below) but emit no point.
+        if (!qualifies[k] || !trace::maskHas(s.validMask, counterSet[k]))
+          continue;
+        FoldedPoint p;
+        p.t = t;
+        // Counter monotonicity guarantees c0 <= sample <= c1, so y in [0,1].
+        p.y = static_cast<double>(s.counters[counterSet[k]] - c0[k]) / increment[k];
+        p.burstIdx = bi;
+        p.rank = b.rank;
+        acc[k].folded.points.push_back(p);
+        any[k] = 1;
+      }
+      ++samplesBefore;
+    }
+    for (std::size_t k = 0; k < nc; ++k)
+      if (any[k]) ++acc[k].folded.instancesWithSamples;
+  }
+
+  // Finalize each counter. The canonical order makes the sorted sequence
+  // unique, so the O(n) distribution sort here yields exactly the bytes the
+  // std::sort in foldCluster() would — without its comparison floor, which
+  // is what dominates the per-counter path on dense clouds.
+  SortScratch scratch;
+  for (std::size_t k = 0; k < nc; ++k) {
+    Accum& a = acc[k];
+    if (a.folded.instances == 0) {
+      out[k].error = "foldCluster: no instance qualifies for counter " +
+                     std::string(counters::counterName(counterSet[k]));
+      continue;
+    }
+    a.folded.meanDurationNs = a.durationSum / static_cast<double>(a.folded.instances);
+    a.folded.meanTotal = a.totalSum / static_cast<double>(a.folded.instances);
+    sortPointsCanonical(a.folded.points, scratch);
+    a.folded.points.shrink_to_fit();
+    out[k].folded = std::move(a.folded);
+  }
   return out;
 }
 

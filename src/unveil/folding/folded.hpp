@@ -17,7 +17,9 @@
 /// derivative recovers the instantaneous rate inside the phase.
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "unveil/cluster/burst.hpp"
@@ -77,5 +79,35 @@ struct FoldOptions {
                                         std::span<const std::size_t> memberIdx,
                                         counters::CounterId counter,
                                         const FoldOptions& options = {});
+
+/// Outcome of one counter within a foldClusterMulti() call.
+struct MultiFoldEntry {
+  counters::CounterId counter = counters::CounterId::TotIns;
+  /// The folded cloud, or nullopt when no instance qualifies for this
+  /// counter (the condition under which foldCluster() throws).
+  std::optional<FoldedCounter> folded;
+  /// Failure description when !folded.
+  std::string error;
+};
+
+/// Folds every counter in \p counterSet over one walk of the member bursts'
+/// samples, instead of |counterSet| independent foldCluster() scans.
+///
+/// The result is bit-identical to calling foldCluster() once per counter:
+/// instance qualification, accumulation order and the normalized-time
+/// projection replay the single-counter code path exactly, and both paths
+/// sort into the same *canonical total order* (t, then source burst, then y
+/// — points equal under it are identical in every field), so the sorted
+/// sequence is unique no matter which sorting algorithm produced it. That
+/// frees this path to use an O(n) distribution sort on t ∈ [0, 1] where
+/// foldCluster() uses a plain comparison sort.
+///
+/// Unlike foldCluster(), a counter with no qualifying instance does not
+/// throw; its entry reports the error so the remaining counters still fold.
+[[nodiscard]] std::vector<MultiFoldEntry> foldClusterMulti(
+    const trace::Trace& trace, std::span<const cluster::Burst> bursts,
+    std::span<const std::size_t> memberIdx,
+    std::span<const counters::CounterId> counterSet,
+    const FoldOptions& options = {});
 
 }  // namespace unveil::folding

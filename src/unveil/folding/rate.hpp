@@ -50,8 +50,16 @@ struct ReconstructOptions {
 };
 
 /// In-place centered moving average with shrinking windows at the edges.
-/// \p window is clamped to odd; no-op when window < 3.
+/// \p window is clamped to odd; no-op when window < 3. O(n) via prefix
+/// sums regardless of window size.
 void movingAverage(std::vector<double>& values, std::size_t window);
+
+/// The tail of reconstructClusterRate(): prune → fit → reconstruct → smooth
+/// over an already-folded cloud. Callers that fold many counters in one
+/// sample walk (foldClusterMulti) use this to share the fold stage while
+/// keeping the per-counter processing identical.
+[[nodiscard]] RateCurve reconstructFoldedRate(FoldedCounter folded,
+                                              const ReconstructOptions& options = {});
 
 /// End-to-end reconstruction for one (cluster, counter) pair.
 [[nodiscard]] RateCurve reconstructClusterRate(const trace::Trace& trace,

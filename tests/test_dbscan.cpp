@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
 #include "unveil/cluster/dbscan.hpp"
+#include "unveil/cluster/eps_grid.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/rng.hpp"
+#include "unveil/support/stats.hpp"
 
 namespace unveil::cluster {
 namespace {
@@ -198,6 +201,100 @@ TEST_P(DbscanVsBrute, SamePartition) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DbscanVsBrute,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Clustering, BucketsMatchMembers) {
+  const auto m = makeBlobs(3, 40);
+  DbscanParams p;
+  p.eps = 0.5;
+  p.minPts = 3;
+  const auto c = dbscan(m, p);
+  ASSERT_EQ(c.numClusters, 3u);
+  const auto buckets = c.buckets();
+  ASSERT_EQ(buckets.size(), c.numClusters);
+  for (std::size_t cl = 0; cl < c.numClusters; ++cl)
+    EXPECT_EQ(buckets[cl], c.members(static_cast<int>(cl))) << "cluster " << cl;
+}
+
+TEST(EpsGrid, KthNearestMatchesSortedBrute) {
+  support::Rng rng(21, "knn");
+  FeatureMatrix m(150, 3);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t d = 0; d < m.dims(); ++d) m.at(i, d) = rng.uniform(0.0, 3.0);
+  for (std::size_t k : {0u, 3u, 9u}) {
+    const EpsGrid grid(m, EpsGrid::knnCellSize(m, k + 1));
+    ASSERT_TRUE(grid.valid());
+    for (std::size_t i = 0; i < m.rows(); i += 17) {
+      std::vector<double> d2;
+      for (std::size_t j = 0; j < m.rows(); ++j) {
+        if (j == i) continue;
+        double s = 0.0;
+        for (std::size_t d = 0; d < m.dims(); ++d) {
+          const double diff = m.at(i, d) - m.at(j, d);
+          s += diff * diff;
+        }
+        d2.push_back(s);
+      }
+      std::sort(d2.begin(), d2.end());
+      EXPECT_DOUBLE_EQ(grid.kthNearestDist(i, k), std::sqrt(d2[k]))
+          << "row " << i << " k " << k;
+    }
+  }
+}
+
+/// Reference implementation of estimateEps: the historical brute-force scan
+/// (same subsample stride, k-th selection and quantile), for checking that
+/// the grid-accelerated parallel version is exact, not just close.
+double bruteEstimateEps(const FeatureMatrix& m, std::size_t minPts,
+                        double quantile) {
+  const std::size_t n = m.rows();
+  const std::size_t stride = std::max<std::size_t>(1, n / 2000);
+  const std::size_t kth = std::min(minPts, n - 1) - 1;
+  std::vector<double> kDist;
+  for (std::size_t i = 0; i < n; i += stride) {
+    std::vector<double> dists;
+    dists.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < m.dims(); ++k) {
+        const double d = m.at(i, k) - m.at(j, k);
+        d2 += d * d;
+      }
+      dists.push_back(d2);
+    }
+    std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(kth),
+                     dists.end());
+    kDist.push_back(std::sqrt(dists[kth]));
+  }
+  return support::quantile(kDist, quantile);
+}
+
+class EstimateEpsVsBrute : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EstimateEpsVsBrute, Exact) {
+  support::Rng rng(GetParam(), "epscloud");
+  FeatureMatrix m(260, 2);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    m.at(i, 0) = rng.uniform(0.0, 4.0);
+    m.at(i, 1) = rng.uniform(0.0, 4.0);
+  }
+  for (std::size_t minPts : {4u, 8u}) {
+    EXPECT_DOUBLE_EQ(estimateEps(m, minPts), bruteEstimateEps(m, minPts, 0.90));
+    EXPECT_DOUBLE_EQ(estimateEps(m, minPts, 0.94),
+                     bruteEstimateEps(m, minPts, 0.94));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimateEpsVsBrute,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(EstimateEps, DegenerateIdenticalPointsFallBackToBrute) {
+  // All points identical: the grid cannot size cells (knnCellSize == 0), so
+  // the brute path runs; all k-dists are 0 and so is the estimate.
+  const FeatureMatrix m(30, 2);  // zero-initialized rows
+  EXPECT_DOUBLE_EQ(estimateEps(m, 5), 0.0);
+  EXPECT_DOUBLE_EQ(estimateEps(m, 5), bruteEstimateEps(m, 5, 0.90));
+}
 
 TEST(EstimateEps, SeparatesBlobScales) {
   const auto tight = makeBlobs(2, 100, 0.02);

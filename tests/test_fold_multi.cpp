@@ -1,0 +1,299 @@
+/// Equivalence tests for the single-pass multi-counter fold: foldClusterMulti
+/// must reproduce per-counter foldCluster() bit-for-bit — including under
+/// multiplexed counter masks, per-counter min-increment divergence, and
+/// through the full analysis pipeline on the example applications.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/cluster/burst.hpp"
+#include "unveil/folding/folded.hpp"
+#include "unveil/folding/rate.hpp"
+#include "unveil/support/error.hpp"
+#include "test_util.hpp"
+
+namespace unveil::folding {
+namespace {
+
+using counters::CounterId;
+
+std::vector<std::size_t> allIndices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+trace::CounterMask maskOf(CounterId id) {
+  return static_cast<trace::CounterMask>(1u << counters::counterIndex(id));
+}
+
+/// Exact (bit-identical) comparison of two folded clouds.
+void expectIdenticalFolded(const FoldedCounter& got, const FoldedCounter& want) {
+  EXPECT_EQ(got.counter, want.counter);
+  EXPECT_EQ(got.instances, want.instances);
+  EXPECT_EQ(got.instancesWithSamples, want.instancesWithSamples);
+  EXPECT_EQ(got.meanDurationNs, want.meanDurationNs);
+  EXPECT_EQ(got.meanTotal, want.meanTotal);
+  ASSERT_EQ(got.points.size(), want.points.size());
+  for (std::size_t i = 0; i < got.points.size(); ++i) {
+    EXPECT_EQ(got.points[i].t, want.points[i].t) << "point " << i;
+    EXPECT_EQ(got.points[i].y, want.points[i].y) << "point " << i;
+    EXPECT_EQ(got.points[i].burstIdx, want.points[i].burstIdx) << "point " << i;
+    EXPECT_EQ(got.points[i].rank, want.points[i].rank) << "point " << i;
+  }
+}
+
+/// Runs foldClusterMulti over \p set and checks every entry against the
+/// corresponding single-counter foldCluster() call.
+void expectMultiMatchesPerCounter(const trace::Trace& trace,
+                                  std::span<const cluster::Burst> bursts,
+                                  std::span<const std::size_t> members,
+                                  std::span<const CounterId> set,
+                                  const FoldOptions& options = {}) {
+  const auto entries = foldClusterMulti(trace, bursts, members, set, options);
+  ASSERT_EQ(entries.size(), set.size());
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    EXPECT_EQ(entries[k].counter, set[k]);
+    ASSERT_TRUE(entries[k].folded)
+        << counters::counterName(set[k]) << ": " << entries[k].error;
+    expectIdenticalFolded(*entries[k].folded,
+                          foldCluster(trace, bursts, members, set[k], options));
+  }
+}
+
+TEST(FoldMulti, MatchesPerCounterOnSynthetic) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 40;
+  spec.samplesPerBurst = 7;
+  spec.cdf = [](double t) { return t * t; };
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  const auto members = allIndices(bursts.size());
+  // The synthetic trace has heavy exact t ties across bursts (samples sit at
+  // fixed fractions), so this also pins the shared-sort tie ordering.
+  const std::array<CounterId, 2> set{CounterId::TotIns, CounterId::TotCyc};
+  expectMultiMatchesPerCounter(trace, bursts, members, set);
+}
+
+TEST(FoldMulti, UnqualifiedCounterYieldsErrorEntryNotThrow) {
+  testutil::SyntheticSpec spec;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  const auto members = allIndices(bursts.size());
+  // FP_OPS never increments in the synthetic trace: foldCluster throws, the
+  // multi variant reports the same message and still folds the others.
+  const std::array<CounterId, 3> set{CounterId::TotIns, CounterId::FpOps,
+                                     CounterId::TotCyc};
+  const auto entries = foldClusterMulti(trace, bursts, members, set);
+  ASSERT_EQ(entries.size(), 3u);
+  ASSERT_TRUE(entries[0].folded);
+  ASSERT_TRUE(entries[2].folded);
+  EXPECT_FALSE(entries[1].folded);
+  EXPECT_EQ(entries[1].error,
+            "foldCluster: no instance qualifies for counter " +
+                std::string(counters::counterName(CounterId::FpOps)));
+  expectIdenticalFolded(*entries[0].folded,
+                        foldCluster(trace, bursts, members, CounterId::TotIns));
+  expectIdenticalFolded(*entries[2].folded,
+                        foldCluster(trace, bursts, members, CounterId::TotCyc));
+}
+
+/// A single-rank trace whose samples carry rotating multiplex masks: even
+/// samples (globally) read only TOT_INS, odd only TOT_CYC. With an odd
+/// per-burst sample count the rotation shifts phase every burst, so the two
+/// counters' emission patterns differ everywhere.
+trace::Trace makeMultiplexedTrace(std::size_t burstCount, std::size_t samplesPer) {
+  trace::Trace t("mux", 1);
+  counters::CounterSet cum;
+  const trace::TimeNs burstNs = 1'000'000;
+  trace::TimeNs now = 1000;
+  std::size_t global = 0;
+  for (std::size_t b = 0; b < burstCount; ++b) {
+    trace::Event begin;
+    begin.rank = 0;
+    begin.time = now;
+    begin.kind = trace::EventKind::PhaseBegin;
+    begin.counters = cum;
+    t.addEvent(begin);
+
+    for (std::size_t s = 0; s < samplesPer; ++s) {
+      const double frac = static_cast<double>(s + 1) /
+                          static_cast<double>(samplesPer + 1);
+      trace::Sample sample;
+      sample.rank = 0;
+      sample.time = now + static_cast<trace::TimeNs>(
+                              frac * static_cast<double>(burstNs));
+      sample.counters = cum;
+      sample.counters[CounterId::TotIns] +=
+          static_cast<std::uint64_t>(std::llround(1e6 * frac));
+      sample.counters[CounterId::TotCyc] +=
+          static_cast<std::uint64_t>(std::llround(1e6 * frac * frac));
+      sample.validMask = (global % 2 == 0) ? maskOf(CounterId::TotIns)
+                                           : maskOf(CounterId::TotCyc);
+      ++global;
+      t.addSample(sample);
+    }
+
+    now += burstNs;
+    cum[CounterId::TotIns] += 1'000'000;
+    cum[CounterId::TotCyc] += 1'000'000;
+    trace::Event end = begin;
+    end.kind = trace::EventKind::PhaseEnd;
+    end.time = now;
+    end.counters = cum;
+    t.addEvent(end);
+    now += 100'000;
+  }
+  t.setDurationNs(now + 1000);
+  t.finalize();
+  return t;
+}
+
+TEST(FoldMulti, MatchesPerCounterUnderMultiplexedMasks) {
+  const auto trace = makeMultiplexedTrace(30, 7);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  ASSERT_EQ(bursts.size(), 30u);
+  const auto members = allIndices(bursts.size());
+  const std::array<CounterId, 2> set{CounterId::TotIns, CounterId::TotCyc};
+  expectMultiMatchesPerCounter(trace, bursts, members, set);
+
+  // Sanity: the rotation really splits the samples between the counters.
+  const auto ins = foldCluster(trace, bursts, members, CounterId::TotIns);
+  const auto cyc = foldCluster(trace, bursts, members, CounterId::TotCyc);
+  EXPECT_EQ(ins.points.size() + cyc.points.size(), 30u * 7u);
+  EXPECT_GT(ins.points.size(), 0u);
+  EXPECT_GT(cyc.points.size(), 0u);
+}
+
+/// A trace where TOT_CYC increments only on even bursts and one burst is
+/// half-length, so per-counter qualification diverges: min-increment skips
+/// odd bursts for TOT_CYC only, min-duration skips the short burst for both.
+trace::Trace makeDivergingTrace(std::size_t burstCount, std::size_t samplesPer) {
+  trace::Trace t("diverge", 1);
+  counters::CounterSet cum;
+  trace::TimeNs now = 1000;
+  for (std::size_t b = 0; b < burstCount; ++b) {
+    const trace::TimeNs burstNs = (b == 1) ? 500'000 : 1'000'000;
+    const bool cycActive = (b % 2 == 0);
+    trace::Event begin;
+    begin.rank = 0;
+    begin.time = now;
+    begin.kind = trace::EventKind::PhaseBegin;
+    begin.counters = cum;
+    t.addEvent(begin);
+
+    for (std::size_t s = 0; s < samplesPer; ++s) {
+      const double frac = static_cast<double>(s + 1) /
+                          static_cast<double>(samplesPer + 1);
+      trace::Sample sample;
+      sample.rank = 0;
+      sample.time = now + static_cast<trace::TimeNs>(
+                              frac * static_cast<double>(burstNs));
+      sample.counters = cum;
+      sample.counters[CounterId::TotIns] +=
+          static_cast<std::uint64_t>(std::llround(1e6 * frac));
+      if (cycActive)
+        sample.counters[CounterId::TotCyc] +=
+            static_cast<std::uint64_t>(std::llround(1e6 * frac));
+      t.addSample(sample);
+    }
+
+    now += burstNs;
+    cum[CounterId::TotIns] += 1'000'000;
+    if (cycActive) cum[CounterId::TotCyc] += 1'000'000;
+    trace::Event end = begin;
+    end.kind = trace::EventKind::PhaseEnd;
+    end.time = now;
+    end.counters = cum;
+    t.addEvent(end);
+    now += 100'000;
+  }
+  t.setDurationNs(now + 1000);
+  t.finalize();
+  return t;
+}
+
+TEST(FoldMulti, MatchesPerCounterWithDivergingQualification) {
+  const auto trace = makeDivergingTrace(20, 5);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  ASSERT_EQ(bursts.size(), 20u);
+  const auto members = allIndices(bursts.size());
+  const std::array<CounterId, 2> set{CounterId::TotIns, CounterId::TotCyc};
+
+  // Defaults: TOT_CYC skips the zero-increment odd bursts, TOT_INS keeps all.
+  expectMultiMatchesPerCounter(trace, bursts, members, set);
+  {
+    const auto ins = foldCluster(trace, bursts, members, CounterId::TotIns);
+    const auto cyc = foldCluster(trace, bursts, members, CounterId::TotCyc);
+    EXPECT_EQ(ins.instances, 20u);
+    EXPECT_EQ(cyc.instances, 10u);
+  }
+
+  // Raising minDurationNs drops the half-length burst for both counters.
+  FoldOptions opts;
+  opts.minDurationNs = 800'000;
+  expectMultiMatchesPerCounter(trace, bursts, members, set, opts);
+  EXPECT_EQ(foldCluster(trace, bursts, members, CounterId::TotIns, opts).instances,
+            19u);
+
+  // And with overhead compensation on top (t depends on samplesBefore).
+  opts.perSampleOverheadNs = 2000.0;
+  opts.probeOverheadNs = 500.0;
+  expectMultiMatchesPerCounter(trace, bursts, members, set, opts);
+}
+
+TEST(FoldMulti, SubsetSelectionMatches) {
+  testutil::SyntheticSpec spec;
+  spec.bursts = 12;
+  spec.samplesPerBurst = 4;
+  const auto trace = testutil::makeSyntheticTrace(spec);
+  const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(trace);
+  const std::vector<std::size_t> subset = {1, 3, 4, 8, 11};
+  const std::array<CounterId, 2> set{CounterId::TotCyc, CounterId::TotIns};
+  expectMultiMatchesPerCounter(trace, bursts, subset, set);
+}
+
+TEST(FoldMulti, AnalyzeRatesByteIdenticalToPerCounterPath) {
+  // The acceptance gate: the pipeline's multi-fold + shared-fit path must
+  // produce byte-identical RateCurves to the old per-(cluster, counter)
+  // reconstruction on the three example applications.
+  for (const char* app : {"wavesim", "nbsolver", "particlemesh"}) {
+    sim::apps::AppParams p;
+    p.ranks = 4;
+    p.iterations = 30;
+    p.seed = 7;
+    const auto run =
+        analysis::runMeasured(app, p, sim::MeasurementConfig::folding());
+    analysis::PipelineConfig config;
+    const auto result = analysis::analyze(run.trace, config);
+
+    bool comparedAny = false;
+    for (const auto& report : result.clusters) {
+      for (const auto& [counter, curve] : report.rates) {
+        const auto ref = reconstructClusterRate(
+            run.trace, result.bursts, report.memberIdx, counter,
+            config.reconstruct);
+        EXPECT_EQ(curve.t, ref.t) << app;
+        EXPECT_EQ(curve.normRate, ref.normRate)
+            << app << " cluster " << report.clusterId << " counter "
+            << counters::counterName(counter);
+        EXPECT_EQ(curve.physRate, ref.physRate)
+            << app << " cluster " << report.clusterId << " counter "
+            << counters::counterName(counter);
+        EXPECT_EQ(curve.meanDurationNs, ref.meanDurationNs) << app;
+        EXPECT_EQ(curve.meanTotal, ref.meanTotal) << app;
+        EXPECT_EQ(curve.sourcePoints, ref.sourcePoints) << app;
+        EXPECT_EQ(curve.sourceInstances, ref.sourceInstances) << app;
+        comparedAny = true;
+      }
+    }
+    EXPECT_TRUE(comparedAny) << app;
+  }
+}
+
+}  // namespace
+}  // namespace unveil::folding

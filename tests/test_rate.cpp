@@ -103,6 +103,32 @@ TEST(MovingAverage, EvenWindowRoundsDown) {
   EXPECT_EQ(a, b);
 }
 
+TEST(MovingAverage, MatchesQuadraticReference) {
+  // The prefix-sum implementation must agree with the textbook O(n·window)
+  // loop (shrinking windows at the edges included) to rounding error.
+  support::Rng rng(17, "ma");
+  for (std::size_t window : {3u, 5u, 9u, 15u, 51u}) {
+    std::vector<double> v(137);
+    for (double& x : v) x = rng.uniform(0.0, 10.0);
+    std::vector<double> ref = v;
+    {
+      std::size_t w = window % 2 == 0 ? window - 1 : window;
+      const std::size_t half = w / 2;
+      const std::vector<double> src = ref;
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        const std::size_t lo = i >= half ? i - half : 0;
+        const std::size_t hi = std::min(i + half, src.size() - 1);
+        double s = 0.0;
+        for (std::size_t j = lo; j <= hi; ++j) s += src[j];
+        ref[i] = s / static_cast<double>(hi - lo + 1);
+      }
+    }
+    movingAverage(v, window);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      EXPECT_NEAR(v[i], ref[i], 1e-10) << "window " << window << " i " << i;
+  }
+}
+
 TEST(Rate, EndToEndClusterReconstruction) {
   const auto& run = testutil::smallWavesimRun();
   const auto bursts = cluster::BurstExtraction{}.fromPhaseEvents(run.trace);

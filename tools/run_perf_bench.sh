@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Runs the perf-regression microbenchmarks (bench_perf_micro) and normalizes
+# google-benchmark's JSON into BENCH_perf.json at the repo root: a flat
+# {benchmark name -> {ns_per_op, items_per_s}} map that successive PRs can
+# diff to catch performance regressions.
+#
+# Usage: tools/run_perf_bench.sh [extra bench args...]
+#   BUILD_DIR      build tree holding bench/bench_perf_micro (default: build)
+#   BENCH_MIN_TIME --benchmark_min_time seconds (default: 0.05; use a smaller
+#                  value for smoke runs, larger for stable numbers)
+#   BENCH_FILTER   --benchmark_filter regex (default: all benchmarks)
+#   OUT            output file (default: BENCH_perf.json at the repo root)
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$root/build}"
+min_time="${BENCH_MIN_TIME:-0.05}"
+filter="${BENCH_FILTER:-}"
+out="${OUT:-$root/BENCH_perf.json}"
+bench="$build_dir/bench/bench_perf_micro"
+
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not found; build it first:" >&2
+  echo "  cmake -B $build_dir -S $root && cmake --build $build_dir --target bench_perf_micro" >&2
+  exit 1
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+args=(--benchmark_out="$raw" --benchmark_out_format=json
+      --benchmark_min_time="$min_time")
+[ -n "$filter" ] && args+=(--benchmark_filter="$filter")
+
+"$bench" "${args[@]}" "$@"
+
+if [ ! -s "$raw" ]; then
+  echo "error: benchmark produced no output (filter '${filter}' matched nothing?)" >&2
+  exit 1
+fi
+
+python3 - "$raw" "$out" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# Google-benchmark time units, converted to nanoseconds per operation.
+to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+bench = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    scale = to_ns[b.get("time_unit", "ns")]
+    entry = {"ns_per_op": b["real_time"] * scale}
+    if "items_per_second" in b:
+        entry["items_per_s"] = b["items_per_second"]
+    bench[b["name"]] = entry
+
+result = {
+    "context": {
+        "date": raw.get("context", {}).get("date", ""),
+        "host_name": raw.get("context", {}).get("host_name", ""),
+        "num_cpus": raw.get("context", {}).get("num_cpus", 0),
+        "build_type": raw.get("context", {}).get("library_build_type", ""),
+    },
+    "benchmarks": dict(sorted(bench.items())),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path} ({len(bench)} benchmarks)")
+EOF
