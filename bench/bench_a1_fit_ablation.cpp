@@ -15,7 +15,8 @@
 #include "unveil/folding/prune.hpp"
 #include "unveil/support/math.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   support::Table t({"app", "phase", "fit", "pruned", "vs exact truth (%)",

@@ -11,7 +11,8 @@
 #include "unveil/cluster/kmeans.hpp"
 #include "unveil/cluster/quality.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   support::Table t({"app", "algorithm", "parameter", "clusters", "ARI", "purity"});

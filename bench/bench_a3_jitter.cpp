@@ -33,7 +33,8 @@ double coverageCv(const unveil::folding::FoldedCounter& folded) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   struct Setup {

@@ -14,7 +14,8 @@
 #include "bench_common.hpp"
 #include "unveil/cluster/quality.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   support::Table t({"eps quantile", "refinement", "clusters", "merges", "ARI",

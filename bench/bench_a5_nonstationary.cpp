@@ -14,7 +14,8 @@
 #include "bench_common.hpp"
 #include "unveil/folding/accuracy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   auto params = analysis::standardParams(/*seed=*/73);

@@ -12,7 +12,8 @@
 #include "bench_common.hpp"
 #include "unveil/folding/accuracy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   support::Table t({"multiplex groups", "counter", "folded points",

@@ -15,6 +15,7 @@
 #include "unveil/analysis/experiments.hpp"
 #include "unveil/analysis/pipeline.hpp"
 #include "unveil/analysis/report.hpp"
+#include "unveil/support/log.hpp"
 #include "unveil/support/series.hpp"
 #include "unveil/support/table.hpp"
 
@@ -32,11 +33,13 @@ inline std::string outPath(const std::string& filename) {
 }
 
 /// Saves a series set under bench_out/ and prints its summary to stdout.
+/// The save confirmation is progress narration, so it goes through the
+/// logger and disappears under --quiet.
 inline void emitFigure(const support::SeriesSet& set, const std::string& filename) {
   const std::string path = outPath(filename);
   set.save(path);
   set.printSummary(std::cout);
-  std::cout << "  -> saved " << path << "\n";
+  support::logInfo("saved " + path);
 }
 
 }  // namespace unveil::bench

@@ -7,7 +7,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
   for (const auto& appName : bench::apps()) {
     const auto params = analysis::standardParams(/*seed=*/17);

@@ -16,7 +16,8 @@
 #include "unveil/folding/prune.hpp"
 #include "unveil/support/math.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
   for (const auto& appName : bench::apps()) {
     const auto params = analysis::standardParams(/*seed=*/29);

@@ -11,7 +11,8 @@
 #include "unveil/folding/derived.hpp"
 #include "unveil/folding/rate.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
   for (const auto& appName : bench::apps()) {
     const auto params = analysis::standardParams(/*seed=*/59);

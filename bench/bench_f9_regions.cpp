@@ -11,7 +11,8 @@
 #include "bench_common.hpp"
 #include "unveil/folding/regions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   support::Table t({"app", "phase", "region", "true span", "folded span",

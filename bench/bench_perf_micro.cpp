@@ -6,7 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
+#include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <vector>
 
@@ -17,6 +20,7 @@
 #include "unveil/folding/folded.hpp"
 #include "unveil/support/math.hpp"
 #include "unveil/support/rng.hpp"
+#include "unveil/support/telemetry.hpp"
 #include "unveil/trace/binary_io.hpp"
 #include "unveil/trace/io.hpp"
 
@@ -266,6 +270,107 @@ void BM_FullPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline);
 
+/// A-B: the full pipeline with self-tracing off (arg 0) vs on (arg 1).
+/// The same build runs both, so the delta is exactly what an active
+/// telemetry::Session costs.
+void BM_AnalyzeTelemetry(benchmark::State& state) {
+  auto params = analysis::standardParams(3);
+  params.ranks = 4;
+  params.iterations = 40;
+  const auto run =
+      analysis::runMeasured("wavesim", params, sim::MeasurementConfig::folding());
+  const bool enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    if (enabled) {
+      telemetry::Session session;
+      session.activate();
+      auto result = analysis::analyze(run.trace);
+      session.deactivate();
+      benchmark::DoNotOptimize(result.telemetry.size());
+    } else {
+      auto result = analysis::analyze(run.trace);
+      benchmark::DoNotOptimize(result.clusters.size());
+    }
+  }
+  state.SetLabel(enabled ? "telemetry-on" : "telemetry-off");
+}
+BENCHMARK(BM_AnalyzeTelemetry)->Arg(0)->Arg(1);
+
+/// Asserted A-B case: with no Session active, the compiled-in hooks must
+/// cost < 1% of an instrumented pipeline run. Estimated conservatively as
+/// (hooks per run) x (disabled per-hook cost) / (disabled run time) — a
+/// direct off-vs-on wall-clock diff at this scale is noise-bound, while the
+/// per-hook cost (one relaxed load + branch) is cleanly measurable in a
+/// tight loop.
+int telemetryOverheadCheck() {
+  using clock = std::chrono::steady_clock;
+  auto params = analysis::standardParams(3);
+  params.ranks = 4;
+  params.iterations = 40;
+  const auto run =
+      analysis::runMeasured("wavesim", params, sim::MeasurementConfig::folding());
+
+  auto analyzeSeconds = [&] {
+    const auto t0 = clock::now();
+    auto result = analysis::analyze(run.trace);
+    benchmark::DoNotOptimize(result.clusters.size());
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  analyzeSeconds();  // warm-up
+  std::array<double, 5> off{};
+  for (double& t : off) t = analyzeSeconds();
+  std::sort(off.begin(), off.end());
+  const double offSeconds = off[off.size() / 2];
+
+  // Hooks one run executes: spans plus metric updates, counted by an
+  // instrumented run.
+  telemetry::Session session;
+  session.activate();
+  auto result = analysis::analyze(run.trace);
+  session.deactivate();
+  const auto snap = session.snapshot();
+  std::uint64_t metricUpdates = 0;
+  metricUpdates += snap.counters.size() + snap.gauges.size();
+  for (const auto& [name, h] : snap.histograms) metricUpdates += h.count;
+  const std::uint64_t hooks =
+      snap.spans.size() + metricUpdates + result.telemetry.size();
+
+  // Disabled per-hook cost: RAII span + one attr + one counter bump, all
+  // no-ops without a session.
+  constexpr std::uint64_t kReps = 2'000'000;
+  const auto t0 = clock::now();
+  for (std::uint64_t i = 0; i < kReps; ++i) {
+    telemetry::Span span("bench.hook");
+    span.attr("i", i);
+    telemetry::count("bench.hook");
+    benchmark::DoNotOptimize(span.active());
+  }
+  const double hookSeconds =
+      std::chrono::duration<double>(clock::now() - t0).count() /
+      static_cast<double>(kReps);
+
+  const double overheadPercent =
+      100.0 * hookSeconds * static_cast<double>(hooks) / offSeconds;
+  std::printf(
+      "telemetry A-B: run %.3f ms disabled, %llu hooks x %.1f ns/hook "
+      "disabled -> %.4f%% overhead (budget 1%%)\n",
+      offSeconds * 1e3, static_cast<unsigned long long>(hooks),
+      hookSeconds * 1e9, overheadPercent);
+  if (overheadPercent >= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-telemetry overhead %.4f%% >= 1%% budget\n",
+                 overheadPercent);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return telemetryOverheadCheck();
+}

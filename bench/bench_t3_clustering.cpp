@@ -11,7 +11,8 @@
 #include "bench_common.hpp"
 #include "unveil/cluster/quality.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   // True bursts per iteration per app (from the application definitions).

@@ -9,7 +9,8 @@
 #include "bench_common.hpp"
 #include "unveil/trace/binary_io.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   support::Table t({"app", "configuration", "events", "samples", "records",

@@ -12,7 +12,8 @@
 #include "unveil/analysis/imbalance.hpp"
 #include "unveil/analysis/spectral.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   support::Table t({"app", "cluster", "phase", "imbalance factor",

@@ -6,4 +6,7 @@
 
 #include "example_common.hpp"
 
-int main() { return unveil::examples::deepDive("nbsolver"); }
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
+  return unveil::examples::deepDive("nbsolver");
+}

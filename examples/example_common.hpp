@@ -13,6 +13,7 @@
 #include "unveil/analysis/pipeline.hpp"
 #include "unveil/analysis/report.hpp"
 #include "unveil/sim/engine.hpp"
+#include "unveil/support/log.hpp"
 #include "unveil/support/table.hpp"
 
 namespace unveil::examples {
@@ -30,10 +31,14 @@ inline int deepDive(const std::string& appName) {
   const auto fine =
       analysis::runMeasured(appName, params, sim::MeasurementConfig::fineGrain());
 
-  std::cout << "coarse run: " << coarse.trace.samples().size() << " samples, runtime "
-            << static_cast<double>(coarse.totalRuntimeNs) / 1e9 << " s\n";
-  std::cout << "fine run:   " << fine.trace.samples().size() << " samples, runtime "
-            << static_cast<double>(fine.totalRuntimeNs) / 1e9 << " s\n\n";
+  support::logInfo("coarse run: " + std::to_string(coarse.trace.samples().size()) +
+                   " samples, runtime " +
+                   std::to_string(static_cast<double>(coarse.totalRuntimeNs) / 1e9) +
+                   " s");
+  support::logInfo("fine run: " + std::to_string(fine.trace.samples().size()) +
+                   " samples, runtime " +
+                   std::to_string(static_cast<double>(fine.totalRuntimeNs) / 1e9) +
+                   " s");
 
   const auto result = analysis::analyze(
       coarse.trace,
@@ -68,8 +73,8 @@ inline int deepDive(const std::string& appName) {
       analysis::rateSeries(result, counters::CounterId::L2Dcm, appName + ".l2");
   l2.save(appName + "_l2.dat");
 
-  std::cout << "\nfigure data written: " << appName << "_scatter.dat, " << appName
-            << "_mips.dat, " << appName << "_l2.dat\n";
+  support::logInfo("figure data written: " + appName + "_scatter.dat, " + appName +
+                   "_mips.dat, " + appName + "_l2.dat");
   return 0;
 }
 

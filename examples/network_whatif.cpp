@@ -11,8 +11,10 @@
 #include "unveil/analysis/pipeline.hpp"
 #include "unveil/sim/engine.hpp"
 #include "unveil/support/table.hpp"
+#include "unveil/support/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   struct Interconnect {

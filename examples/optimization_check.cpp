@@ -10,8 +10,10 @@
 
 #include "unveil/analysis/diffrun.hpp"
 #include "unveil/analysis/experiments.hpp"
+#include "unveil/support/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
   const auto params = analysis::standardParams(/*seed=*/101);
   const auto mc = sim::MeasurementConfig::folding();

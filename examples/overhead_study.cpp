@@ -9,8 +9,10 @@
 
 #include "unveil/analysis/experiments.hpp"
 #include "unveil/support/table.hpp"
+#include "unveil/support/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
   const auto params = analysis::standardParams(/*seed=*/3);
 

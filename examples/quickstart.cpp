@@ -11,8 +11,10 @@
 #include "unveil/analysis/report.hpp"
 #include "unveil/sim/apps/apps.hpp"
 #include "unveil/sim/engine.hpp"
+#include "unveil/support/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
 
   // 1. Simulate a coarsely measured run (instrumented phase boundaries +

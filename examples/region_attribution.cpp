@@ -13,8 +13,10 @@
 #include "unveil/analysis/experiments.hpp"
 #include "unveil/analysis/pipeline.hpp"
 #include "unveil/folding/regions.hpp"
+#include "unveil/support/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
   const auto params = analysis::standardParams(/*seed=*/97);
   const auto mc = sim::MeasurementConfig::folding();

@@ -11,8 +11,10 @@
 #include "unveil/analysis/experiments.hpp"
 #include "unveil/analysis/pipeline.hpp"
 #include "unveil/analysis/report.hpp"
+#include "unveil/support/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  unveil::support::applyVerbosityArgs(argc, argv);
   using namespace unveil;
   const auto params = analysis::standardParams(/*seed=*/11);
   const auto run =

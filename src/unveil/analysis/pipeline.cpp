@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <optional>
 #include <string>
@@ -10,32 +11,91 @@
 #include "unveil/counters/counter.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/log.hpp"
+#include "unveil/support/telemetry.hpp"
 
 namespace unveil::analysis {
 
+namespace {
+
+std::int64_t stageClockNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One pipeline stage: a telemetry span plus a StageStat row for
+/// PipelineResult::telemetry. Everything is gated on the span being active
+/// (i.e. a Session existing), so the disabled path never reads the clock.
+class StageScope {
+ public:
+  StageScope(const char* spanName, const char* stageName,
+             std::vector<telemetry::StageStat>& sink)
+      : span_(spanName), stageName_(stageName), sink_(sink) {
+    if (span_.active()) startNs_ = stageClockNs();
+  }
+  ~StageScope() {
+    if (!span_.active()) return;
+    sink_.push_back({stageName_, stageClockNs() - startNs_, items_});
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+  void items(std::uint64_t n) noexcept { items_ = n; }
+  telemetry::Span& span() noexcept { return span_; }
+
+ private:
+  telemetry::Span span_;
+  const char* stageName_;
+  std::vector<telemetry::StageStat>& sink_;
+  std::int64_t startNs_ = 0;
+  std::uint64_t items_ = 0;
+};
+
+}  // namespace
+
 PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) {
   PipelineResult result;
+  telemetry::Span rootSpan("pipeline.analyze");
 
   // 1. Burst extraction.
-  result.bursts = config.useMpiGaps ? config.extraction.fromMpiGaps(trace)
-                                    : config.extraction.fromPhaseEvents(trace);
+  {
+    StageScope stage("pipeline.extract", "extract", result.telemetry);
+    result.bursts = config.useMpiGaps ? config.extraction.fromMpiGaps(trace)
+                                      : config.extraction.fromPhaseEvents(trace);
+    stage.items(result.bursts.size());
+    stage.span().attr("bursts", result.bursts.size());
+    telemetry::count("pipeline.bursts_extracted", result.bursts.size());
+  }
   if (result.bursts.empty())
     throw AnalysisError("pipeline: trace yields no computation bursts");
   support::logInfo("pipeline: extracted " + std::to_string(result.bursts.size()) +
                    " bursts");
 
-  // 2. Features + normalization + clustering.
-  const auto raw = cluster::buildFeatures(result.bursts, config.features);
-  const auto normalizer = cluster::ZScoreNormalizer::fit(raw);
-  const auto normalized = normalizer.apply(raw);
-  cluster::DbscanParams params = config.dbscan;
-  if (config.autoEps) {
-    params.eps =
-        cluster::estimateEps(normalized, params.minPts, config.epsQuantile);
-    support::logInfo("pipeline: estimated eps = " + std::to_string(params.eps));
+  // 2. Features + normalization + clustering. The placeholder is replaced
+  //    inside the stage block (FeatureMatrix forbids dims == 0).
+  cluster::FeatureMatrix normalized(0, 1);
+  {
+    StageScope stage("pipeline.features", "features", result.telemetry);
+    const auto raw = cluster::buildFeatures(result.bursts, config.features);
+    const auto normalizer = cluster::ZScoreNormalizer::fit(raw);
+    normalized = normalizer.apply(raw);
+    stage.items(normalized.rows());
   }
-  result.epsUsed = params.eps;
-  result.clustering = cluster::dbscan(normalized, params);
+  {
+    StageScope stage("pipeline.cluster", "cluster", result.telemetry);
+    cluster::DbscanParams params = config.dbscan;
+    if (config.autoEps) {
+      params.eps =
+          cluster::estimateEps(normalized, params.minPts, config.epsQuantile);
+      support::logInfo("pipeline: estimated eps = " + std::to_string(params.eps));
+    }
+    result.epsUsed = params.eps;
+    result.clustering = cluster::dbscan(normalized, params);
+    stage.items(result.clustering.numClusters);
+    stage.span().attr("eps", params.eps);
+    stage.span().attr("clusters", result.clustering.numClusters);
+    telemetry::gauge("pipeline.eps", params.eps);
+  }
   support::logInfo("pipeline: found " + std::to_string(result.clustering.numClusters) +
                    " clusters (" + std::to_string(result.clustering.noiseCount()) +
                    " noise bursts)");
@@ -43,6 +103,7 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
   // 3. Structure detection, then structural refinement of fragments; a
   //    successful merge changes the sequences, so re-detect afterwards.
   {
+    StageScope stage("pipeline.structure", "structure", result.telemetry);
     auto sequences = cluster::clusterSequences(result.bursts, result.clustering);
     result.period = cluster::detectGlobalPeriod(sequences);
     if (config.refineFragments && result.period.period > 0) {
@@ -57,47 +118,55 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
         result.period = cluster::detectGlobalPeriod(sequences);
       }
     }
+    stage.items(result.refinementMerges);
+    stage.span().attr("period", result.period.period);
+    stage.span().attr("merges", result.refinementMerges);
+    telemetry::gauge("pipeline.period", static_cast<double>(result.period.period));
   }
 
-  // 4. Per-cluster aggregate metrics and folding.
-  double allBurstTime = 0.0;
-  for (const auto& b : result.bursts)
-    allBurstTime += static_cast<double>(b.durationNs());
+  // 4. Per-cluster aggregate metrics.
+  {
+    StageScope aggregateStage("pipeline.aggregate", "aggregate", result.telemetry);
+    aggregateStage.items(result.clustering.numClusters);
+    double allBurstTime = 0.0;
+    for (const auto& b : result.bursts)
+      allBurstTime += static_cast<double>(b.durationNs());
 
-  auto memberBuckets = result.clustering.buckets();
-  for (std::size_t c = 0; c < result.clustering.numClusters; ++c) {
-    ClusterReport report;
-    report.clusterId = static_cast<int>(c);
-    report.memberIdx = std::move(memberBuckets[c]);
-    report.instances = report.memberIdx.size();
+    auto memberBuckets = result.clustering.buckets();
+    for (std::size_t c = 0; c < result.clustering.numClusters; ++c) {
+      ClusterReport report;
+      report.clusterId = static_cast<int>(c);
+      report.memberIdx = std::move(memberBuckets[c]);
+      report.instances = report.memberIdx.size();
 
-    double durSum = 0.0;
-    double ipcSum = 0.0;
-    double mipsSum = 0.0;
-    std::map<std::uint32_t, std::size_t> phaseHist;
-    for (std::size_t i : report.memberIdx) {
-      const auto& b = result.bursts[i];
-      const auto delta = b.delta();
-      durSum += static_cast<double>(b.durationNs());
-      ipcSum += counters::DerivedMetrics::ipc(delta);
-      mipsSum += counters::DerivedMetrics::mips(delta, b.durationNs());
-      ++phaseHist[b.truthPhase];
-    }
-    if (report.instances > 0) {
-      report.meanDurationNs = durSum / static_cast<double>(report.instances);
-      report.avgIpc = ipcSum / static_cast<double>(report.instances);
-      report.avgMips = mipsSum / static_cast<double>(report.instances);
-      report.totalTimeFraction = allBurstTime > 0.0 ? durSum / allBurstTime : 0.0;
-      std::size_t best = 0;
-      for (const auto& [phase, count] : phaseHist) {
-        if (count > best) {
-          best = count;
-          report.modalTruthPhase = phase;
+      double durSum = 0.0;
+      double ipcSum = 0.0;
+      double mipsSum = 0.0;
+      std::map<std::uint32_t, std::size_t> phaseHist;
+      for (std::size_t i : report.memberIdx) {
+        const auto& b = result.bursts[i];
+        const auto delta = b.delta();
+        durSum += static_cast<double>(b.durationNs());
+        ipcSum += counters::DerivedMetrics::ipc(delta);
+        mipsSum += counters::DerivedMetrics::mips(delta, b.durationNs());
+        ++phaseHist[b.truthPhase];
+      }
+      if (report.instances > 0) {
+        report.meanDurationNs = durSum / static_cast<double>(report.instances);
+        report.avgIpc = ipcSum / static_cast<double>(report.instances);
+        report.avgMips = mipsSum / static_cast<double>(report.instances);
+        report.totalTimeFraction = allBurstTime > 0.0 ? durSum / allBurstTime : 0.0;
+        std::size_t best = 0;
+        for (const auto& [phase, count] : phaseHist) {
+          if (count > best) {
+            best = count;
+            report.modalTruthPhase = phase;
+          }
         }
       }
-    }
 
-    result.clusters.push_back(std::move(report));
+      result.clusters.push_back(std::move(report));
+    }
   }
 
   // 5. Folding — two stages on a worker pool. Stage 1 folds each eligible
@@ -137,12 +206,22 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
       if (result.clusters[ci].instances < config.minClusterInstances) continue;
       foldJobs.push_back(FoldJob{ci, {}});
     }
-    runPool(foldJobs.size(), [&](std::size_t j) {
-      FoldJob& job = foldJobs[j];
-      job.entries = folding::foldClusterMulti(
-          trace, result.bursts, result.clusters[job.clusterIdx].memberIdx,
-          config.rateCounters, config.reconstruct.fold);
-    });
+    {
+      StageScope stage("pipeline.fold", "fold", result.telemetry);
+      stage.items(foldJobs.size());
+      stage.span().attr("threads", std::min(configured, foldJobs.size()));
+      const std::uint64_t foldParent = stage.span().id();
+      runPool(foldJobs.size(), [&](std::size_t j) {
+        // Worker threads start with an empty span stack; re-parent their
+        // per-cluster spans under the fold stage span.
+        const telemetry::ScopedParent parent(foldParent);
+        FoldJob& job = foldJobs[j];
+        job.entries = folding::foldClusterMulti(
+            trace, result.bursts, result.clusters[job.clusterIdx].memberIdx,
+            config.rateCounters, config.reconstruct.fold);
+      });
+      telemetry::count("fold.clusters", foldJobs.size());
+    }
 
     struct FitJob {
       std::size_t clusterIdx;
@@ -172,15 +251,26 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
         }
       }
     }
-    runPool(fitJobs.size(), [&](std::size_t j) {
-      FitJob& job = fitJobs[j];
-      try {
-        job.curve =
-            folding::reconstructFoldedRate(std::move(*job.folded), config.reconstruct);
-      } catch (const AnalysisError& e) {
-        job.error = e.what();
-      }
-    });
+    {
+      StageScope stage("pipeline.fit", "fit", result.telemetry);
+      stage.items(fitJobs.size());
+      const std::uint64_t fitParent = stage.span().id();
+      runPool(fitJobs.size(), [&](std::size_t j) {
+        const telemetry::ScopedParent parent(fitParent);
+        FitJob& job = fitJobs[j];
+        telemetry::Span span("fit.reconstruct");
+        span.attr("cluster", result.clusters[job.clusterIdx].clusterId);
+        span.attr("counter", counters::counterName(job.counter));
+        span.attr("points", job.folded->points.size());
+        try {
+          job.curve = folding::reconstructFoldedRate(std::move(*job.folded),
+                                                     config.reconstruct);
+        } catch (const AnalysisError& e) {
+          job.error = e.what();
+        }
+      });
+      telemetry::count("fit.curves", fitJobs.size());
+    }
 
     for (auto& job : fitJobs) {
       if (job.curve) {
@@ -196,6 +286,11 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
     }
   }
 
+  rootSpan.attr("bursts", result.bursts.size());
+  rootSpan.attr("clusters", result.clustering.numClusters);
+  telemetry::count("cluster.clusters_found", result.clustering.numClusters);
+  telemetry::count("cluster.noise_points", result.clustering.noiseCount());
+  telemetry::count("cluster.merges_applied", result.refinementMerges);
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "unveil/cluster/refine.hpp"
 #include "unveil/cluster/structure.hpp"
 #include "unveil/folding/rate.hpp"
+#include "unveil/support/telemetry.hpp"
 #include "unveil/trace/trace.hpp"
 
 namespace unveil::analysis {
@@ -82,6 +83,11 @@ struct PipelineResult {
   cluster::PeriodResult period;
   /// Fragment merges applied by structural refinement (0 when disabled).
   std::size_t refinementMerges = 0;
+  /// Per-stage wall time and work counts, populated when a
+  /// telemetry::Session is active during analyze(); empty otherwise (the
+  /// disabled path must stay zero-overhead). Stage names: extract,
+  /// features, cluster, structure, aggregate, fold, fit.
+  std::vector<telemetry::StageStat> telemetry;
 };
 
 /// Runs the full methodology on a finalized trace.

@@ -12,9 +12,16 @@ Args Args::parse(const std::vector<std::string>& argv) {
     const std::string& tok = argv[i];
     if (tok.rfind("--", 0) != 0 || tok.size() <= 2)
       throw ConfigError("unexpected argument '" + tok + "' (flags are --name [value])");
-    const std::string name = tok.substr(2);
+    std::string name = tok.substr(2);
     std::string value;
-    if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+    // --name=value and --name value are equivalent; '=' wins so values that
+    // themselves start with "--" stay representable.
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name.resize(eq);
+      if (name.empty())
+        throw ConfigError("unexpected argument '" + tok + "' (flags are --name[=value])");
+    } else if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
       value = argv[i + 1];
       ++i;
     }

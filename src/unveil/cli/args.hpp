@@ -2,8 +2,8 @@
 
 /// \file args.hpp
 /// Minimal command-line option parser for the unveil tool. Flags are
-/// `--name value` or boolean `--name`; positional arguments are rejected to
-/// keep invocations explicit.
+/// `--name value`, `--name=value`, or boolean `--name`; positional
+/// arguments are rejected to keep invocations explicit.
 
 #include <map>
 #include <optional>
@@ -15,8 +15,8 @@ namespace unveil::cli {
 /// Parsed options: name → value ("" for boolean flags).
 class Args {
  public:
-  /// Parses `--key [value]` pairs from \p argv. Throws ConfigError on
-  /// malformed input (positional args, missing flag names).
+  /// Parses `--key [value]` / `--key=value` pairs from \p argv. Throws
+  /// ConfigError on malformed input (positional args, missing flag names).
   static Args parse(const std::vector<std::string>& argv);
 
   /// True when the flag was given (with or without value).

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include <algorithm>
+#include <memory>
 
 #include "unveil/analysis/diffrun.hpp"
 #include "unveil/analysis/evolution.hpp"
@@ -13,6 +14,8 @@
 #include "unveil/analysis/representative.hpp"
 #include "unveil/analysis/summary.hpp"
 #include "unveil/support/error.hpp"
+#include "unveil/support/log.hpp"
+#include "unveil/support/telemetry.hpp"
 #include "unveil/trace/filter.hpp"
 #include "unveil/trace/binary_io.hpp"
 #include "unveil/trace/io.hpp"
@@ -53,6 +56,59 @@ int failOnUnused(const Args& args, std::ostream& out) {
   return 2;
 }
 
+/// Telemetry/verbosity lifecycle for one CLI invocation. Every command gets
+/// a live Session unless --no-telemetry; finish() exports whatever
+/// --trace-out/--metrics-out/--verbose asked for. The destructor only
+/// deactivates and restores the log level, so a command that throws does not
+/// leave half a run's exports behind.
+class TelemetryScope {
+ public:
+  TelemetryScope(const Args& args, std::ostream& out)
+      : out_(out),
+        savedLevel_(support::logLevel()),
+        traceOut_(args.get("trace-out", "")),
+        metricsOut_(args.get("metrics-out", "")),
+        verbose_(args.has("verbose")) {
+    if (args.has("quiet")) support::setLogLevel(support::LogLevel::Off);
+    else if (verbose_) support::setLogLevel(support::LogLevel::Info);
+    if (!args.has("no-telemetry")) {
+      session_ = std::make_unique<telemetry::Session>();
+      session_->activate();
+    }
+  }
+  ~TelemetryScope() {
+    if (session_) session_->deactivate();
+    support::setLogLevel(savedLevel_);
+  }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  void finish() {
+    if (!session_) return;
+    session_->deactivate();
+    const auto snap = session_->snapshot();
+    session_.reset();
+    if (!traceOut_.empty()) {
+      telemetry::writeChromeTraceFile(snap, traceOut_);
+      out_ << "chrome trace -> " << traceOut_ << '\n';
+    }
+    if (!metricsOut_.empty()) {
+      telemetry::writeMetricsJsonFile(snap, metricsOut_);
+      out_ << "metrics -> " << metricsOut_ << '\n';
+    }
+    if (verbose_ && !snap.spans.empty())
+      telemetry::summaryTable(snap).print(out_, "telemetry summary");
+  }
+
+ private:
+  std::ostream& out_;
+  support::LogLevel savedLevel_;
+  std::string traceOut_;
+  std::string metricsOut_;
+  bool verbose_;
+  std::unique_ptr<telemetry::Session> session_;
+};
+
 }  // namespace
 
 std::string usage() {
@@ -72,7 +128,13 @@ std::string usage() {
          "  diff --trace A --trace-b B   per-phase before/after comparison\n"
          "  imbalance --trace TRACE      per-cluster load-balance table\n"
          "  evolution --trace TRACE      per-cluster drift detection\n"
-         "  export-paraver --trace TRACE --out BASE\n";
+         "  export-paraver --trace TRACE --out BASE\n"
+         "global flags (any command):\n"
+         "  --trace-out FILE    chrome://tracing span JSON for this run\n"
+         "  --metrics-out FILE  flat JSON dump of work counters and timings\n"
+         "  --no-telemetry      disable self-tracing entirely\n"
+         "  --verbose           info-level logs + telemetry summary table\n"
+         "  --quiet             suppress log output\n";
 }
 
 int cmdSimulate(const Args& args, std::ostream& out) {
@@ -312,17 +374,23 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out) {
   const std::vector<std::string> rest(argv.begin() + 1, argv.end());
   try {
     const Args args = Args::parse(rest);
-    if (command == "simulate") return cmdSimulate(args, out);
-    if (command == "info") return cmdInfo(args, out);
-    if (command == "analyze") return cmdAnalyze(args, out);
-    if (command == "accuracy") return cmdAccuracy(args, out);
-    if (command == "report") return cmdReport(args, out);
-    if (command == "diff") return cmdDiff(args, out);
-    if (command == "imbalance") return cmdImbalance(args, out);
-    if (command == "evolution") return cmdEvolution(args, out);
-    if (command == "export-paraver") return cmdExportParaver(args, out);
-    out << "error: unknown command '" << command << "'\n" << usage();
-    return 2;
+    TelemetryScope telemetry(args, out);
+    const auto dispatch = [&]() -> int {
+      if (command == "simulate") return cmdSimulate(args, out);
+      if (command == "info") return cmdInfo(args, out);
+      if (command == "analyze") return cmdAnalyze(args, out);
+      if (command == "accuracy") return cmdAccuracy(args, out);
+      if (command == "report") return cmdReport(args, out);
+      if (command == "diff") return cmdDiff(args, out);
+      if (command == "imbalance") return cmdImbalance(args, out);
+      if (command == "evolution") return cmdEvolution(args, out);
+      if (command == "export-paraver") return cmdExportParaver(args, out);
+      out << "error: unknown command '" << command << "'\n" << usage();
+      return 2;
+    };
+    const int rc = dispatch();
+    telemetry.finish();
+    return rc;
   } catch (const Error& e) {
     out << "error: " << e.what() << '\n';
     return 1;

@@ -12,6 +12,7 @@
 #include "unveil/cluster/eps_grid.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/stats.hpp"
+#include "unveil/support/telemetry.hpp"
 
 namespace unveil::cluster {
 
@@ -76,6 +77,9 @@ void bruteNeighbors(const FeatureMatrix& m, std::size_t i, double radius2,
 
 Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
   params.validate();
+  telemetry::Span span("cluster.dbscan");
+  span.attr("points", features.rows());
+  span.attr("eps", params.eps);
   const std::size_t n = features.rows();
   Clustering out;
   out.labels.assign(n, kNoiseLabel);
@@ -83,7 +87,11 @@ Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
 
   const EpsGrid grid(features, params.eps);
   const double eps2 = params.eps * params.eps;
+  // Queries are counted locally and reported once — never per query, which
+  // would put an atomic add in the hot loop.
+  std::uint64_t queries = 0;
   auto query = [&](std::size_t i, std::vector<std::size_t>& neighOut) {
+    ++queries;
     if (grid.valid()) grid.neighbors(i, eps2, neighOut);
     else bruteNeighbors(features, i, eps2, neighOut);
   };
@@ -136,6 +144,9 @@ Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
     out.labels[i] = label[i] >= 0 ? remap[static_cast<std::size_t>(label[i])]
                                   : kNoiseLabel;
   out.numClusters = static_cast<std::size_t>(nextCluster);
+  span.attr("clusters", out.numClusters);
+  span.attr("queries", queries);
+  telemetry::count("cluster.neighbor_queries", queries);
   return out;
 }
 
@@ -143,6 +154,8 @@ double estimateEps(const FeatureMatrix& features, std::size_t minPts, double qua
   const std::size_t n = features.rows();
   if (n < 2) throw AnalysisError("estimateEps needs >= 2 points");
   if (minPts < 1) throw ConfigError("estimateEps minPts must be >= 1");
+  telemetry::Span span("cluster.estimate_eps");
+  span.attr("points", n);
   // k-NN distances on a subsample — eps calibration does not need every
   // point. The k-th index matches the historical brute-force selection:
   // min(minPts, n-1) - 1 into the sorted distances to the other points.
@@ -201,6 +214,8 @@ double estimateEps(const FeatureMatrix& features, std::size_t minPts, double qua
     pool.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
   }
+  span.attr("sampled", sampled.size());
+  telemetry::count("cluster.knn_queries", sampled.size());
   return support::quantile(kDist, quantile);
 }
 

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/telemetry.hpp"
 
 namespace unveil::cluster {
 
@@ -32,6 +33,7 @@ EpsGrid::EpsGrid(const FeatureMatrix& m, double cellSize)
   inv_ = 1.0 / cellSize;
   if (!std::isfinite(inv_)) return;
   valid_ = true;
+  telemetry::count("cluster.grid_builds", 1);
 
   std::array<std::int64_t, kMaxDims> minCell{};
   std::array<std::int64_t, kMaxDims> maxCell{};

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/telemetry.hpp"
 
 namespace unveil::cluster {
 
@@ -52,6 +53,9 @@ RefineResult refineByStructure(std::span<const Burst> bursts,
                                const Clustering& clustering, std::size_t period,
                                const RefineParams& params) {
   params.validate();
+  telemetry::Span span("cluster.refine");
+  span.attr("clusters", clustering.numClusters);
+  span.attr("period", period);
   RefineResult result;
   result.clustering = clustering;
   result.mapping.resize(clustering.numClusters);
@@ -126,6 +130,7 @@ RefineResult refineByStructure(std::span<const Burst> bursts,
       if (uf.unite(a, b)) ++result.mergesApplied;
     }
   }
+  span.attr("merges", result.mergesApplied);
   if (result.mergesApplied == 0) return result;
 
   // Relabel: roots -> dense ids ordered by merged size (largest first).

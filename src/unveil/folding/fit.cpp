@@ -7,6 +7,7 @@
 #include "unveil/support/error.hpp"
 #include "unveil/support/math.hpp"
 #include "unveil/support/stats.hpp"
+#include "unveil/support/telemetry.hpp"
 
 namespace unveil::folding {
 
@@ -292,6 +293,10 @@ std::unique_ptr<CumulativeFit> fitCumulative(const FoldedCounter& folded,
   params.validate();
   if (folded.points.empty())
     throw AnalysisError("fitCumulative: folded cloud is empty");
+  telemetry::Span span("fold.fit");
+  span.attr("method", fitMethodName(params.method));
+  span.attr("points", folded.points.size());
+  telemetry::count("fit.calls", 1);
 
   switch (params.method) {
     case FitMethod::Pchip: {

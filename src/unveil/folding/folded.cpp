@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/telemetry.hpp"
 
 namespace unveil::folding {
 
@@ -79,6 +80,9 @@ FoldedCounter foldCluster(const trace::Trace& trace,
                           std::span<const cluster::Burst> bursts,
                           std::span<const std::size_t> memberIdx,
                           counters::CounterId counter, const FoldOptions& options) {
+  telemetry::Span span("fold.cluster");
+  span.attr("counter", counters::counterName(counter));
+  span.attr("members", memberIdx.size());
   FoldedCounter out;
   out.counter = counter;
   const auto& samples = trace.samples();
@@ -145,6 +149,11 @@ FoldedCounter foldCluster(const trace::Trace& trace,
   // Reference implementation: a plain comparison sort into the canonical
   // order. foldClusterMulti() reaches the same bytes via distribution sort.
   std::sort(out.points.begin(), out.points.end(), pointLess);
+  span.attr("points", out.points.size());
+  telemetry::count("fold.points", out.points.size());
+  telemetry::count("fold.instances", out.instances);
+  telemetry::observe("fold.points_per_cluster",
+                     static_cast<double>(out.points.size()));
   return out;
 }
 
@@ -152,6 +161,9 @@ std::vector<MultiFoldEntry> foldClusterMulti(
     const trace::Trace& trace, std::span<const cluster::Burst> bursts,
     std::span<const std::size_t> memberIdx,
     std::span<const counters::CounterId> counterSet, const FoldOptions& options) {
+  telemetry::Span span("fold.cluster");
+  span.attr("members", memberIdx.size());
+  span.attr("counters", counterSet.size());
   const std::size_t nc = counterSet.size();
   std::vector<MultiFoldEntry> out(nc);
   for (std::size_t k = 0; k < nc; ++k) out[k].counter = counterSet[k];
@@ -264,6 +276,20 @@ std::vector<MultiFoldEntry> foldClusterMulti(
     sortPointsCanonical(a.folded.points, scratch);
     a.folded.points.shrink_to_fit();
     out[k].folded = std::move(a.folded);
+  }
+  if (span.active()) {
+    std::uint64_t totalPoints = 0;
+    std::uint64_t totalInstances = 0;
+    for (const auto& entry : out) {
+      if (!entry.folded) continue;
+      totalPoints += entry.folded->points.size();
+      totalInstances += entry.folded->instances;
+      telemetry::observe("fold.points_per_cluster",
+                         static_cast<double>(entry.folded->points.size()));
+    }
+    span.attr("points", totalPoints);
+    telemetry::count("fold.points", totalPoints);
+    telemetry::count("fold.instances", totalInstances);
   }
   return out;
 }

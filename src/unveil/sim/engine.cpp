@@ -11,6 +11,7 @@
 
 #include "unveil/support/error.hpp"
 #include "unveil/support/log.hpp"
+#include "unveil/support/telemetry.hpp"
 
 namespace unveil::sim {
 
@@ -414,8 +415,16 @@ void SimConfig::validate() const {
 
 RunResult run(std::shared_ptr<const Application> app, const SimConfig& config) {
   if (!app) throw ConfigError("run() requires a non-null application");
+  telemetry::Span span("sim.run");
+  span.attr("app", app->name());
+  span.attr("ranks", app->numRanks());
   Engine engine(app, config);
-  return engine.run();
+  RunResult result = engine.run();
+  span.attr("events", result.trace.events().size());
+  telemetry::count("sim.events", result.trace.events().size());
+  telemetry::count("sim.samples", result.trace.samples().size());
+  telemetry::count("sim.states", result.trace.states().size());
+  return result;
 }
 
 }  // namespace unveil::sim

@@ -1,6 +1,7 @@
 #include "unveil/support/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -21,6 +22,22 @@ const char* levelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Monotonic seconds since the first log call (magic-static epoch).
+double monotonicSeconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+/// Dense per-thread id, assigned in first-log order — stable and short,
+/// unlike std::thread::id, so fold-worker interleavings stay readable.
+std::uint32_t threadId() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
 }  // namespace
 
 void setLogLevel(LogLevel level) noexcept { gLevel.store(level, std::memory_order_relaxed); }
@@ -29,9 +46,21 @@ LogLevel logLevel() noexcept { return gLevel.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  const double elapsed = monotonicSeconds();
+  const std::uint32_t tid = threadId();
   const std::lock_guard<std::mutex> lock(gMutex);
-  std::fprintf(stderr, "[%s] %.*s\n", levelName(level),
+  std::fprintf(stderr, "[%9.3f t%02u %s] %.*s\n", elapsed, tid, levelName(level),
                static_cast<int>(message.size()), message.data());
+}
+
+void applyVerbosityArgs(int argc, char** argv, LogLevel fallback) noexcept {
+  LogLevel level = fallback;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quiet") level = LogLevel::Off;
+    else if (arg == "--verbose") level = LogLevel::Debug;
+  }
+  setLogLevel(level);
 }
 
 void logDebug(std::string_view message) { log(LogLevel::Debug, message); }

@@ -3,6 +3,11 @@
 /// \file log.hpp
 /// Minimal leveled logger. Analysis pipelines narrate their stages through
 /// this so examples and benches can show progress without ad-hoc printf.
+///
+/// Thread-safe: the level gate is an atomic load and each emitted line is
+/// serialized under one mutex (the fold stage logs from worker threads).
+/// Lines carry a monotonic timestamp (seconds since the first log call) and
+/// a dense thread id: "[   12.345 t01 info] message".
 
 #include <string_view>
 
@@ -25,5 +30,12 @@ void logDebug(std::string_view message);
 void logInfo(std::string_view message);
 void logWarn(std::string_view message);
 void logError(std::string_view message);
+
+/// Sets the level from conventional command-line verbosity flags:
+/// `--quiet` → Off, `--verbose` → Debug, otherwise \p fallback. Examples and
+/// benches route their progress narration through the logger and call this
+/// first, so a --quiet run emits results only.
+void applyVerbosityArgs(int argc, char** argv,
+                        LogLevel fallback = LogLevel::Info) noexcept;
 
 }  // namespace unveil::support

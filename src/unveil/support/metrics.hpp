@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Named work metrics for the self-tracing layer (telemetry.hpp): counters,
+/// gauges and summary histograms registered by name in a MetricsRegistry.
+///
+/// Design constraints, in order:
+///  - recording must be safe from worker threads (the fold/fit stages run on
+///    a pool) — all mutation is lock-free on std::atomic;
+///  - the by-name lookup takes a registry mutex, so hot loops resolve their
+///    instrument once (or accumulate locally) and then call the atomic op;
+///  - instruments are never invalidated: the registry hands out references
+///    into node-stable storage that lives as long as the registry.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace unveil::telemetry {
+
+/// Monotonically increasing event count (bursts extracted, neighbor queries,
+/// folded points, ...). Relaxed atomics: totals only, no ordering needed.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (eps used, threads configured, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming count/sum/min/max summary of an observed distribution (folded
+/// points per cluster, stage latencies, ...). Lock-free: count/sum via
+/// atomic fetch_add, min/max via CAS loops.
+class Histogram {
+ public:
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    [[nodiscard]] double mean() const noexcept {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  void observe(double v) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    updateExtremum(min_, v, /*wantMin=*/true);
+    updateExtremum(max_, v, /*wantMin=*/false);
+  }
+
+  [[nodiscard]] Summary summary() const noexcept {
+    Summary s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    const double lo = min_.load(std::memory_order_relaxed);
+    const double hi = max_.load(std::memory_order_relaxed);
+    s.min = s.count > 0 ? lo : 0.0;
+    s.max = s.count > 0 ? hi : 0.0;
+    return s;
+  }
+
+ private:
+  static void updateExtremum(std::atomic<double>& slot, double v,
+                             bool wantMin) noexcept {
+    double cur = slot.load(std::memory_order_relaxed);
+    while ((wantMin ? v < cur : v > cur) &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// By-name instrument registry. Lookup locks a mutex; the returned reference
+/// stays valid for the registry's lifetime (std::map nodes are stable), so
+/// callers on hot paths resolve once and keep the reference.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name) { return find(counters_, name); }
+  Gauge& gauge(std::string_view name) { return find(gauges_, name); }
+  Histogram& histogram(std::string_view name) { return find(histograms_, name); }
+
+  /// Snapshot accessors (sorted by name, values read with relaxed loads).
+  [[nodiscard]] std::map<std::string, std::uint64_t> counterValues() const;
+  [[nodiscard]] std::map<std::string, double> gaugeValues() const;
+  [[nodiscard]] std::map<std::string, Histogram::Summary> histogramValues() const;
+
+ private:
+  template <typename T>
+  T& find(std::map<std::string, T, std::less<>>& map, std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map.find(name);
+    if (it == map.end()) it = map.try_emplace(std::string(name)).first;
+    return it->second;
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace unveil::telemetry

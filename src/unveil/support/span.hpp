@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file span.hpp
+/// RAII spans for the self-tracing layer (telemetry.hpp).
+///
+/// A Span marks one timed region of the pipeline. Spans nest: each thread
+/// keeps a current-parent cursor, so stack-ordered construction builds a
+/// tree (name, wall-clock ns, parent, thread id, key/value attributes).
+/// Completed spans land in a per-thread buffer of the active Session —
+/// recording takes one uncontended per-thread mutex, never a global lock,
+/// so worker threads (the fold/fit pool) can open per-cluster spans without
+/// serializing on each other. When no Session is active every operation is
+/// a single relaxed atomic load plus a branch.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace unveil::telemetry {
+
+class Session;
+
+/// One completed span as stored/exported.
+struct SpanRecord {
+  std::uint64_t id = 0;        ///< Unique per session, 1-based.
+  std::uint64_t parentId = 0;  ///< 0 = root.
+  std::uint32_t threadId = 0;  ///< Dense per-session thread index.
+  std::int64_t startNs = 0;    ///< Offset from the session epoch.
+  std::int64_t durationNs = 0;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// RAII span handle. Construction opens the span under the active session
+/// (no-op when none); destruction stamps the duration and commits the
+/// record to the calling thread's buffer.
+///
+/// The Session active at construction must outlive the Span.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when a session was active at construction.
+  [[nodiscard]] bool active() const noexcept { return session_ != nullptr; }
+  /// Span id (0 when inactive). Parent handle for ScopedParent.
+  [[nodiscard]] std::uint64_t id() const noexcept { return rec_.id; }
+
+  /// Attach a key/value attribute (no-op when inactive).
+  void attr(std::string_view key, std::string_view value);
+  void attr(std::string_view key, const char* value) {
+    attr(key, std::string_view(value));
+  }
+  void attr(std::string_view key, double value);
+  template <typename T>
+    requires std::is_integral_v<T>
+  void attr(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>)
+      attrInt(key, static_cast<std::int64_t>(value));
+    else
+      attrUint(key, static_cast<std::uint64_t>(value));
+  }
+
+ private:
+  void attrInt(std::string_view key, std::int64_t value);
+  void attrUint(std::string_view key, std::uint64_t value);
+
+  Session* session_ = nullptr;
+  std::uint64_t savedParent_ = 0;
+  SpanRecord rec_;
+};
+
+/// Re-parents spans opened in the current scope *on the current thread*
+/// under \p parentId — the bridge that keeps worker-thread spans attached
+/// to the stage span that dispatched the jobs (a worker's parent cursor
+/// starts at 0, so its spans would otherwise become roots).
+class ScopedParent {
+ public:
+  explicit ScopedParent(std::uint64_t parentId) noexcept;
+  ~ScopedParent();
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+}  // namespace unveil::telemetry

@@ -1,0 +1,358 @@
+#include "unveil/support/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::telemetry {
+
+namespace {
+
+std::atomic<Session*> gActive{nullptr};
+std::atomic<std::uint64_t> gGeneration{0};
+
+/// Per-thread span parent cursor. Global (not per-session): only one
+/// session is active at a time, and ScopedParent/Span save-restore keeps it
+/// balanced across session switches.
+thread_local std::uint64_t tCurrentParent = 0;
+
+std::int64_t steadyNowNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string formatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry snapshots
+// ---------------------------------------------------------------------------
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counterValues() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c.value());
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gaugeValues() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out.emplace(name, g.value());
+  return out;
+}
+
+std::map<std::string, Histogram::Summary> MetricsRegistry::histogramValues() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, Histogram::Summary> out;
+  for (const auto& [name, h] : histograms_) out.emplace(name, h.summary());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// Span sink of one recording thread. The owning thread appends under the
+/// buffer's own mutex (uncontended except against a concurrent snapshot),
+/// so completion never takes a lock shared with other recorders.
+struct Session::ThreadBuffer {
+  std::uint32_t threadId = 0;
+  std::mutex mutex;
+  std::vector<SpanRecord> spans;
+};
+
+Session::Session()
+    : epochNs_(steadyNowNs()),
+      generation_(gGeneration.fetch_add(1, std::memory_order_relaxed) + 1) {}
+
+Session::~Session() { deactivate(); }
+
+Session* Session::active() noexcept {
+  return gActive.load(std::memory_order_acquire);
+}
+
+void Session::activate() noexcept {
+  gActive.store(this, std::memory_order_release);
+}
+
+void Session::deactivate() noexcept {
+  Session* expected = this;
+  gActive.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
+}
+
+std::int64_t Session::nowNs() const noexcept { return steadyNowNs() - epochNs_; }
+
+Session::ThreadBuffer& Session::threadBuffer() {
+  // (session generation, buffer) cache: only a thread's first span in a
+  // given session pays the registration lock. The generation check
+  // invalidates the cache when a new session (even one reusing this
+  // session's address) starts.
+  thread_local std::uint64_t cachedGeneration = 0;
+  thread_local ThreadBuffer* cachedBuffer = nullptr;
+  if (cachedGeneration == generation_ && cachedBuffer != nullptr)
+    return *cachedBuffer;
+  const std::lock_guard<std::mutex> lock(buffersMutex_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->threadId = static_cast<std::uint32_t>(buffers_.size());
+  buffers_.push_back(std::move(buffer));
+  cachedGeneration = generation_;
+  cachedBuffer = buffers_.back().get();
+  return *cachedBuffer;
+}
+
+Snapshot Session::snapshot() const {
+  Snapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(buffersMutex_);
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard<std::mutex> bufLock(buffer->mutex);
+      snap.spans.insert(snap.spans.end(), buffer->spans.begin(),
+                        buffer->spans.end());
+    }
+  }
+  std::sort(snap.spans.begin(), snap.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.startNs != b.startNs) return a.startNs < b.startNs;
+              return a.id < b.id;
+            });
+  snap.counters = metrics_.counterValues();
+  snap.gauges = metrics_.gaugeValues();
+  snap.histograms = metrics_.histogramValues();
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Span / ScopedParent
+// ---------------------------------------------------------------------------
+
+Span::Span(std::string_view name) : session_(Session::active()) {
+  if (session_ == nullptr) return;
+  rec_.name.assign(name);
+  rec_.id = session_->nextSpanId();
+  rec_.parentId = tCurrentParent;
+  rec_.startNs = session_->nowNs();
+  savedParent_ = tCurrentParent;
+  tCurrentParent = rec_.id;
+}
+
+Span::~Span() {
+  if (session_ == nullptr) return;
+  rec_.durationNs = session_->nowNs() - rec_.startNs;
+  tCurrentParent = savedParent_;
+  Session::ThreadBuffer& buffer = session_->threadBuffer();
+  rec_.threadId = buffer.threadId;
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.spans.push_back(std::move(rec_));
+}
+
+void Span::attr(std::string_view key, std::string_view value) {
+  if (session_ == nullptr) return;
+  rec_.attrs.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::attr(std::string_view key, double value) {
+  if (session_ == nullptr) return;
+  rec_.attrs.emplace_back(std::string(key), formatDouble(value));
+}
+
+void Span::attrUint(std::string_view key, std::uint64_t value) {
+  if (session_ == nullptr) return;
+  rec_.attrs.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::attrInt(std::string_view key, std::int64_t value) {
+  if (session_ == nullptr) return;
+  rec_.attrs.emplace_back(std::string(key), std::to_string(value));
+}
+
+ScopedParent::ScopedParent(std::uint64_t parentId) noexcept
+    : saved_(tCurrentParent) {
+  tCurrentParent = parentId;
+}
+
+ScopedParent::~ScopedParent() { tCurrentParent = saved_; }
+
+// ---------------------------------------------------------------------------
+// Free-function metric helpers
+// ---------------------------------------------------------------------------
+
+void count(std::string_view name, std::uint64_t n) {
+  if (Session* s = Session::active()) s->metrics().counter(name).add(n);
+}
+
+void gauge(std::string_view name, double value) {
+  if (Session* s = Session::active()) s->metrics().gauge(name).set(value);
+}
+
+void observe(std::string_view name, double value) {
+  if (Session* s = Session::active()) s->metrics().histogram(name).observe(value);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+std::string escapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Microseconds with sub-ns spillover preserved (chrome's native unit).
+std::string microseconds(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+std::ofstream openOut(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open for writing: " + path);
+  return f;
+}
+
+}  // namespace
+
+void writeChromeTrace(const Snapshot& snapshot, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : snapshot.spans) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"" << escapeJson(span.name)
+       << "\",\"cat\":\"unveil\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.threadId
+       << ",\"ts\":" << microseconds(span.startNs)
+       << ",\"dur\":" << microseconds(span.durationNs) << ",\"args\":{";
+    os << "\"span_id\":" << span.id << ",\"parent_id\":" << span.parentId;
+    for (const auto& [key, value] : span.attrs)
+      os << ",\"" << escapeJson(key) << "\":\"" << escapeJson(value) << "\"";
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void writeChromeTraceFile(const Snapshot& snapshot, const std::string& path) {
+  auto f = openOut(path);
+  writeChromeTrace(snapshot, f);
+}
+
+void writeMetricsJson(const Snapshot& snapshot, std::ostream& os) {
+  // Aggregate spans by name (insertion order = first appearance in the
+  // time-sorted list, emitted sorted for stable diffs).
+  struct Agg {
+    std::uint64_t count = 0;
+    std::int64_t totalNs = 0;
+  };
+  std::map<std::string, Agg> byName;
+  for (const SpanRecord& span : snapshot.spans) {
+    Agg& a = byName[span.name];
+    ++a.count;
+    a.totalNs += span.durationNs;
+  }
+
+  os << "{\n  \"spans\": {";
+  bool first = true;
+  for (const auto& [name, agg] : byName) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n    \"" << escapeJson(name) << "\": {\"count\": " << agg.count
+       << ", \"total_ns\": " << agg.totalNs << ", \"mean_ns\": "
+       << (agg.count > 0 ? agg.totalNs / static_cast<std::int64_t>(agg.count) : 0)
+       << "}";
+  }
+  os << "\n  },\n  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n    \"" << escapeJson(name) << "\": " << value;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n    \"" << escapeJson(name) << "\": " << formatDouble(value);
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n    \"" << escapeJson(name) << "\": {\"count\": " << h.count
+       << ", \"sum\": " << formatDouble(h.sum)
+       << ", \"min\": " << formatDouble(h.min)
+       << ", \"max\": " << formatDouble(h.max)
+       << ", \"mean\": " << formatDouble(h.mean()) << "}";
+  }
+  os << "\n  }\n}\n";
+}
+
+void writeMetricsJsonFile(const Snapshot& snapshot, const std::string& path) {
+  auto f = openOut(path);
+  writeMetricsJson(snapshot, f);
+}
+
+support::Table summaryTable(const Snapshot& snapshot) {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::int64_t totalNs = 0;
+  };
+  std::map<std::string, Agg> byName;
+  for (const SpanRecord& span : snapshot.spans) {
+    Agg& a = byName[span.name];
+    ++a.count;
+    a.totalNs += span.durationNs;
+  }
+  std::vector<std::pair<std::string, Agg>> rows(byName.begin(), byName.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.totalNs != b.second.totalNs)
+      return a.second.totalNs > b.second.totalNs;
+    return a.first < b.first;
+  });
+
+  support::Table table({"span", "count", "total (ms)", "mean (ms)"});
+  for (const auto& [name, agg] : rows) {
+    const double totalMs = static_cast<double>(agg.totalNs) / 1e6;
+    table.addRow({name, static_cast<long long>(agg.count), totalMs,
+                  agg.count > 0 ? totalMs / static_cast<double>(agg.count) : 0.0});
+  }
+  return table;
+}
+
+}  // namespace unveil::telemetry

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/telemetry.hpp"
 
 namespace unveil::trace {
 
@@ -69,6 +70,11 @@ counters::CounterSet getCounterDeltas(std::istream& is, RankDeltas& d) {
 void writeBinary(const Trace& trace, std::ostream& os) {
   if (!trace.finalized())
     throw TraceError("binary export requires a finalized trace");
+  telemetry::Span span("trace.write_binary");
+  span.attr("app", trace.appName());
+  telemetry::count("trace.records_written", trace.events().size() +
+                                                trace.samples().size() +
+                                                trace.states().size());
   os.write(kMagic, kMagicLen);
   putVarint(os, trace.appName().size());
   os.write(trace.appName().data(),
@@ -130,6 +136,7 @@ void writeBinary(const Trace& trace, std::ostream& os) {
 }
 
 Trace readBinary(std::istream& is) {
+  telemetry::Span span("trace.read_binary");
   char magic[kMagicLen];
   is.read(magic, kMagicLen);
   if (is.gcount() != static_cast<std::streamsize>(kMagicLen) ||
@@ -205,6 +212,9 @@ Trace readBinary(std::istream& is) {
     }
   }
   trace.finalize();
+  span.attr("app", trace.appName());
+  span.attr("records", nEvents + nSamples + nStates);
+  telemetry::count("trace.records_read", nEvents + nSamples + nStates);
   return trace;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/telemetry.hpp"
 
 namespace unveil::trace {
 
@@ -26,6 +27,11 @@ counters::CounterSet parseCounters(std::istringstream& ls, int lineNo) {
 }  // namespace
 
 void write(const Trace& trace, std::ostream& os) {
+  telemetry::Span span("trace.write_text");
+  span.attr("app", trace.appName());
+  telemetry::count("trace.records_written", trace.events().size() +
+                                                trace.samples().size() +
+                                                trace.states().size());
   os << "#UNVEIL_TRACE v1\n";
   os << "app " << trace.appName() << '\n';
   os << "ranks " << trace.numRanks() << '\n';
@@ -65,6 +71,7 @@ void writeFile(const Trace& trace, const std::string& path) {
 }
 
 Trace read(std::istream& is) {
+  telemetry::Span span("trace.read_text");
   std::string line;
   int lineNo = 0;
   std::string appName = "unnamed";
@@ -147,6 +154,10 @@ Trace read(std::istream& is) {
   for (const auto& s : samples) trace.addSample(s);
   for (const auto& s : states) trace.addState(s);
   trace.finalize();
+  span.attr("app", trace.appName());
+  span.attr("records", events.size() + samples.size() + states.size());
+  telemetry::count("trace.records_read",
+                   events.size() + samples.size() + states.size());
   return trace;
 }
 

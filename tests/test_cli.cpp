@@ -22,9 +22,20 @@ TEST(Args, ParsesFlagsAndValues) {
   EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
 }
 
+TEST(Args, ParsesEqualsSyntax) {
+  const auto args = Args::parse({"--app=wavesim", "--ranks=8", "--flag",
+                                 "--empty=", "--weird=--value"});
+  EXPECT_EQ(args.get("app"), "wavesim");
+  EXPECT_EQ(args.getInt("ranks", 0), 8);
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get("empty", "dflt"), "");
+  EXPECT_EQ(args.get("weird"), "--value");
+}
+
 TEST(Args, RejectsPositional) {
   EXPECT_THROW((void)Args::parse({"positional"}), ConfigError);
   EXPECT_THROW((void)Args::parse({"--ok", "v", "stray"}), ConfigError);
+  EXPECT_THROW((void)Args::parse({"--=value"}), ConfigError);
 }
 
 TEST(Args, RejectsBadNumbers) {
@@ -79,6 +90,42 @@ TEST_F(CliRoundTrip, AnalyzePrintsClusters) {
   EXPECT_NE(out.str().find("detected computation phases"), std::string::npos);
   EXPECT_NE(out.str().find("iteration period: 3"), std::string::npos);
   EXPECT_NE(out.str().find("SPMD-ness"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, AnalyzeExportsTelemetry) {
+  const std::string traceOut = ::testing::TempDir() + "/unveil_cli_spans.json";
+  const std::string metricsOut = ::testing::TempDir() + "/unveil_cli_metrics.json";
+  std::ostringstream out;
+  const int rc = runCli({"analyze", "--trace=" + tracePath(),
+                         "--trace-out=" + traceOut,
+                         "--metrics-out=" + metricsOut, "--verbose"},
+                        out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("telemetry summary"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(traceOut));
+  ASSERT_TRUE(std::filesystem::exists(metricsOut));
+
+  std::ifstream tf(traceOut);
+  std::stringstream spans;
+  spans << tf.rdbuf();
+  EXPECT_NE(spans.str().find("\"traceEvents\""), std::string::npos);
+  for (const char* stage : {"pipeline.extract", "pipeline.cluster",
+                            "pipeline.fold", "pipeline.fit"})
+    EXPECT_NE(spans.str().find(stage), std::string::npos) << stage;
+
+  std::ifstream mf(metricsOut);
+  std::stringstream metrics;
+  metrics << mf.rdbuf();
+  EXPECT_NE(metrics.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics.str().find("pipeline.bursts_extracted"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, NoTelemetryDisablesExports) {
+  std::ostringstream out;
+  const int rc =
+      runCli({"analyze", "--trace", tracePath(), "--no-telemetry"}, out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_EQ(out.str().find("telemetry summary"), std::string::npos);
 }
 
 TEST_F(CliRoundTrip, ExportParaver) {

@@ -1,0 +1,322 @@
+/// Tests for the self-tracing layer: span nesting and cross-thread
+/// recording, metrics accumulation, Chrome-trace JSON escaping, and the
+/// pipeline's per-stage spans.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/support/telemetry.hpp"
+
+namespace unveil::telemetry {
+namespace {
+
+const SpanRecord* findSpan(const Snapshot& snap, std::string_view name) {
+  for (const auto& s : snap.spans)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::size_t countSpans(const Snapshot& snap, std::string_view name) {
+  return static_cast<std::size_t>(
+      std::count_if(snap.spans.begin(), snap.spans.end(),
+                    [&](const SpanRecord& s) { return s.name == name; }));
+}
+
+TEST(Telemetry, InactiveByDefault) {
+  ASSERT_EQ(Session::active(), nullptr);
+  Span span("orphan");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), 0u);
+  span.attr("key", "value");  // must be a no-op, not a crash
+  count("orphan.counter", 7);
+  gauge("orphan.gauge", 1.0);
+  observe("orphan.histogram", 1.0);
+}
+
+TEST(Telemetry, SpanNestingBuildsTree) {
+  Session session;
+  session.activate();
+  std::uint64_t outerId = 0;
+  std::uint64_t innerId = 0;
+  {
+    Span outer("outer");
+    outerId = outer.id();
+    {
+      Span inner("inner");
+      innerId = inner.id();
+    }
+    Span sibling("sibling");
+    EXPECT_EQ(sibling.id(), innerId + 1);
+  }
+  session.deactivate();
+
+  const auto snap = session.snapshot();
+  ASSERT_EQ(snap.spans.size(), 3u);
+  const auto* outer = findSpan(snap, "outer");
+  const auto* inner = findSpan(snap, "inner");
+  const auto* sibling = findSpan(snap, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(outer->id, outerId);
+  EXPECT_EQ(outer->parentId, 0u);
+  EXPECT_EQ(inner->parentId, outerId);
+  EXPECT_EQ(sibling->parentId, outerId);
+  // Snapshot order is by start time: outer opened first.
+  EXPECT_EQ(snap.spans.front().name, "outer");
+  EXPECT_GE(inner->startNs, outer->startNs);
+  EXPECT_GE(outer->durationNs, inner->durationNs);
+}
+
+TEST(Telemetry, SpanAttrs) {
+  Session session;
+  session.activate();
+  {
+    Span span("attrs");
+    span.attr("text", "hello");
+    span.attr("whole", 42);
+    span.attr("negative", -3);
+    span.attr("real", 0.5);
+  }
+  session.deactivate();
+  const auto snap = session.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  const std::map<std::string, std::string> attrs(snap.spans[0].attrs.begin(),
+                                                 snap.spans[0].attrs.end());
+  EXPECT_EQ(attrs.at("text"), "hello");
+  EXPECT_EQ(attrs.at("whole"), "42");
+  EXPECT_EQ(attrs.at("negative"), "-3");
+  EXPECT_EQ(attrs.at("real"), "0.5");
+}
+
+TEST(Telemetry, WorkerThreadSpansReparentAndKeepThreadIds) {
+  Session session;
+  session.activate();
+  constexpr std::size_t kWorkers = 4;
+  {
+    Span stage("stage");
+    const std::uint64_t stageId = stage.id();
+    std::vector<std::jthread> pool;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      pool.emplace_back([stageId] {
+        const ScopedParent parent(stageId);
+        Span span("stage.job");
+        span.attr("inner", "yes");
+        Span nested("stage.job.nested");
+      });
+    }
+  }
+  session.deactivate();
+
+  const auto snap = session.snapshot();
+  EXPECT_EQ(countSpans(snap, "stage.job"), kWorkers);
+  EXPECT_EQ(countSpans(snap, "stage.job.nested"), kWorkers);
+  const auto* stage = findSpan(snap, "stage");
+  ASSERT_NE(stage, nullptr);
+
+  std::vector<std::uint32_t> threadIds;
+  std::map<std::uint64_t, const SpanRecord*> byId;
+  for (const auto& s : snap.spans) byId[s.id] = &s;
+  for (const auto& s : snap.spans) {
+    if (s.name == "stage.job") {
+      // Re-parented under the dispatching stage span, not a root.
+      EXPECT_EQ(s.parentId, stage->id);
+      threadIds.push_back(s.threadId);
+    } else if (s.name == "stage.job.nested") {
+      // Nesting within the worker still chains to the worker's own span.
+      ASSERT_TRUE(byId.contains(s.parentId));
+      EXPECT_EQ(byId[s.parentId]->name, "stage.job");
+      EXPECT_EQ(byId[s.parentId]->threadId, s.threadId);
+    }
+  }
+  // Each worker recorded under its own thread id, distinct from the main
+  // thread's (the stage span).
+  std::sort(threadIds.begin(), threadIds.end());
+  EXPECT_EQ(std::unique(threadIds.begin(), threadIds.end()), threadIds.end());
+  for (std::uint32_t tid : threadIds) EXPECT_NE(tid, stage->threadId);
+}
+
+TEST(Telemetry, MetricsAccumulate) {
+  Session session;
+  session.activate();
+  count("work.items", 3);
+  count("work.items", 4);
+  gauge("knob", 1.5);
+  gauge("knob", 2.5);  // last write wins
+  observe("sizes", 10.0);
+  observe("sizes", 20.0);
+  observe("sizes", 60.0);
+
+  // Concurrent increments must not lose updates.
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::jthread> pool;
+  for (int w = 0; w < 4; ++w)
+    pool.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) count("work.parallel");
+    });
+  pool.clear();
+  session.deactivate();
+
+  const auto snap = session.snapshot();
+  EXPECT_EQ(snap.counters.at("work.items"), 7u);
+  EXPECT_EQ(snap.counters.at("work.parallel"), 4 * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("knob"), 2.5);
+  const auto& sizes = snap.histograms.at("sizes");
+  EXPECT_EQ(sizes.count, 3u);
+  EXPECT_DOUBLE_EQ(sizes.sum, 90.0);
+  EXPECT_DOUBLE_EQ(sizes.min, 10.0);
+  EXPECT_DOUBLE_EQ(sizes.max, 60.0);
+  EXPECT_DOUBLE_EQ(sizes.mean(), 30.0);
+}
+
+TEST(Telemetry, EscapeJson) {
+  EXPECT_EQ(escapeJson("plain"), "plain");
+  EXPECT_EQ(escapeJson("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escapeJson("a\\b"), "a\\\\b");
+  EXPECT_EQ(escapeJson("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(escapeJson("tab\there"), "tab\\there");
+  EXPECT_EQ(escapeJson(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Telemetry, ChromeTraceEscapesSpecialCharacters) {
+  Session session;
+  session.activate();
+  {
+    Span span("quote\"back\\slash");
+    span.attr("multi\nline", "value\twith\"stuff\\");
+  }
+  session.deactivate();
+
+  std::ostringstream os;
+  writeChromeTrace(session.snapshot(), os);
+  const std::string json = os.str();
+  // Raw specials must not survive unescaped: every quote is either
+  // structural or preceded by a backslash, and no literal newline appears
+  // inside the one-line event entries.
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("multi\\nline"), std::string::npos);
+  EXPECT_NE(json.find("value\\twith\\\"stuff\\\\"), std::string::npos);
+  EXPECT_EQ(json.find("quote\"back"), std::string::npos);
+}
+
+TEST(Telemetry, ChromeTraceShape) {
+  Session session;
+  session.activate();
+  {
+    Span parent("parent");
+    Span child("child");
+  }
+  session.deactivate();
+  std::ostringstream os;
+  writeChromeTrace(session.snapshot(), os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"parent\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"child\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\""), std::string::npos);
+}
+
+TEST(Telemetry, MetricsJsonShape) {
+  Session session;
+  session.activate();
+  { Span span("one"); }
+  count("c", 2);
+  gauge("g", 3.5);
+  observe("h", 1.0);
+  session.deactivate();
+  std::ostringstream os;
+  writeMetricsJson(session.snapshot(), os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"one\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Telemetry, NewSessionStartsClean) {
+  {
+    Session first;
+    first.activate();
+    Span span("from-first");
+    count("first.counter");
+  }  // destroyed without deactivate: the next session must still work
+
+  Session second;
+  second.activate();
+  { Span span("from-second"); }
+  second.deactivate();
+  const auto snap = second.snapshot();
+  EXPECT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "from-second");
+  EXPECT_FALSE(snap.counters.contains("first.counter"));
+}
+
+TEST(Telemetry, PipelineEmitsOneSpanPerStage) {
+  sim::apps::AppParams p;
+  p.ranks = 4;
+  p.iterations = 40;
+  p.seed = 3;
+  const auto run =
+      analysis::runMeasured("wavesim", p, sim::MeasurementConfig::folding());
+
+  Session session;
+  session.activate();
+  const auto result = analysis::analyze(run.trace);
+  session.deactivate();
+  const auto snap = session.snapshot();
+
+  const char* stages[] = {"extract",   "features", "cluster", "structure",
+                          "aggregate", "fold",     "fit"};
+  EXPECT_EQ(countSpans(snap, "pipeline.analyze"), 1u);
+  const auto* root = findSpan(snap, "pipeline.analyze");
+  ASSERT_NE(root, nullptr);
+  for (const char* stage : stages) {
+    const std::string spanName = std::string("pipeline.") + stage;
+    ASSERT_EQ(countSpans(snap, spanName), 1u) << spanName;
+    EXPECT_EQ(findSpan(snap, spanName)->parentId, root->id) << spanName;
+  }
+
+  // PipelineResult::telemetry mirrors the stages, in execution order.
+  ASSERT_EQ(result.telemetry.size(), std::size(stages));
+  for (std::size_t i = 0; i < std::size(stages); ++i) {
+    EXPECT_EQ(result.telemetry[i].name, stages[i]);
+    EXPECT_GT(result.telemetry[i].wallNs, 0);
+  }
+
+  // Per-cluster fold and fit child spans under their stage spans.
+  const auto* foldStage = findSpan(snap, "pipeline.fold");
+  const auto* fitStage = findSpan(snap, "pipeline.fit");
+  ASSERT_NE(foldStage, nullptr);
+  ASSERT_NE(fitStage, nullptr);
+  std::size_t foldChildren = 0;
+  std::size_t fitChildren = 0;
+  for (const auto& s : snap.spans) {
+    if (s.name == "fold.cluster" && s.parentId == foldStage->id) ++foldChildren;
+    if (s.name == "fit.reconstruct" && s.parentId == fitStage->id) ++fitChildren;
+  }
+  EXPECT_GT(foldChildren, 0u);
+  EXPECT_GT(fitChildren, 0u);
+
+  // Work counters reflect the run.
+  EXPECT_EQ(snap.counters.at("pipeline.bursts_extracted"), result.bursts.size());
+  EXPECT_EQ(snap.counters.at("fold.clusters"), foldChildren);
+  EXPECT_GT(snap.counters.at("cluster.neighbor_queries"), 0u);
+
+  // Disabled path: no session -> no per-stage stats.
+  const auto plain = analysis::analyze(run.trace);
+  EXPECT_TRUE(plain.telemetry.empty());
+}
+
+}  // namespace
+}  // namespace unveil::telemetry

@@ -4,6 +4,11 @@
 # {benchmark name -> {ns_per_op, items_per_s}} map that successive PRs can
 # diff to catch performance regressions.
 #
+# When the unveil CLI is present in the build tree, one simulate + analyze
+# run with --metrics-out also merges per-stage pipeline wall times and work
+# counters (the telemetry layer's dump) into BENCH_perf.json under
+# "pipeline", so stage-level regressions show up next to the micro numbers.
+#
 # Usage: tools/run_perf_bench.sh [extra bench args...]
 #   BUILD_DIR      build tree holding bench/bench_perf_micro (default: build)
 #   BENCH_MIN_TIME --benchmark_min_time seconds (default: 0.05; use a smaller
@@ -27,7 +32,8 @@ if [ ! -x "$bench" ]; then
 fi
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+workdir="$(mktemp -d)"
+trap 'rm -f "$raw"; rm -rf "$workdir"' EXIT
 
 args=(--benchmark_out="$raw" --benchmark_out_format=json
       --benchmark_min_time="$min_time")
@@ -40,7 +46,20 @@ if [ ! -s "$raw" ]; then
   exit 1
 fi
 
-python3 - "$raw" "$out" <<'EOF'
+# Per-stage pipeline metrics from one instrumented CLI run.
+cli="$build_dir/src/unveil/cli/unveil"
+metrics=""
+if [ -x "$cli" ]; then
+  "$cli" simulate --app wavesim --ranks 8 --iterations 60 --seed 7 \
+    --out "$workdir/perf.trace" --binary --quiet > /dev/null
+  "$cli" analyze --trace "$workdir/perf.trace" \
+    --metrics-out "$workdir/metrics.json" --quiet > /dev/null
+  metrics="$workdir/metrics.json"
+else
+  echo "note: $cli not found; skipping per-stage pipeline metrics" >&2
+fi
+
+python3 - "$raw" "$out" "$metrics" <<'EOF'
 import json
 import sys
 
@@ -70,8 +89,27 @@ result = {
     },
     "benchmarks": dict(sorted(bench.items())),
 }
+
+# Merge the telemetry dump of one CLI analyze run: per-stage wall times
+# (the pipeline.* spans) and the work counters that explain them.
+metrics_path = sys.argv[3] if len(sys.argv) > 3 else ""
+if metrics_path:
+    with open(metrics_path) as f:
+        metrics = json.load(f)
+    stages = {
+        name.removeprefix("pipeline."): entry
+        for name, entry in metrics.get("spans", {}).items()
+        if name.startswith("pipeline.")
+    }
+    result["pipeline"] = {
+        "stages": stages,
+        "counters": metrics.get("counters", {}),
+        "gauges": metrics.get("gauges", {}),
+    }
+
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=False)
     f.write("\n")
-print(f"wrote {out_path} ({len(bench)} benchmarks)")
+stage_note = " + pipeline stages" if metrics_path else ""
+print(f"wrote {out_path} ({len(bench)} benchmarks{stage_note})")
 EOF
