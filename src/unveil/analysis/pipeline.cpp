@@ -1,17 +1,16 @@
 #include "unveil/analysis/pipeline.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <map>
 #include <optional>
 #include <string>
-#include <thread>
 
 #include "unveil/counters/counter.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/log.hpp"
 #include "unveil/support/telemetry.hpp"
+#include "unveil/support/thread_pool.hpp"
 
 namespace unveil::analysis {
 
@@ -124,7 +123,9 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
     telemetry::gauge("pipeline.period", static_cast<double>(result.period.period));
   }
 
-  // 4. Per-cluster aggregate metrics.
+  // 4. Per-cluster aggregate metrics. Clusters are independent; each job
+  //    fills its own pre-allocated report slot, so the result vector is
+  //    identical to the sequential cluster-id-order walk.
   {
     StageScope aggregateStage("pipeline.aggregate", "aggregate", result.telemetry);
     aggregateStage.items(result.clustering.numClusters);
@@ -133,43 +134,44 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
       allBurstTime += static_cast<double>(b.durationNs());
 
     auto memberBuckets = result.clustering.buckets();
-    for (std::size_t c = 0; c < result.clustering.numClusters; ++c) {
-      ClusterReport report;
-      report.clusterId = static_cast<int>(c);
-      report.memberIdx = std::move(memberBuckets[c]);
-      report.instances = report.memberIdx.size();
+    result.clusters.resize(result.clustering.numClusters);
+    support::globalPool().parallelFor(
+        result.clustering.numClusters, [&](std::size_t c) {
+          ClusterReport& report = result.clusters[c];
+          report.clusterId = static_cast<int>(c);
+          report.memberIdx = std::move(memberBuckets[c]);
+          report.instances = report.memberIdx.size();
 
-      double durSum = 0.0;
-      double ipcSum = 0.0;
-      double mipsSum = 0.0;
-      std::map<std::uint32_t, std::size_t> phaseHist;
-      for (std::size_t i : report.memberIdx) {
-        const auto& b = result.bursts[i];
-        const auto delta = b.delta();
-        durSum += static_cast<double>(b.durationNs());
-        ipcSum += counters::DerivedMetrics::ipc(delta);
-        mipsSum += counters::DerivedMetrics::mips(delta, b.durationNs());
-        ++phaseHist[b.truthPhase];
-      }
-      if (report.instances > 0) {
-        report.meanDurationNs = durSum / static_cast<double>(report.instances);
-        report.avgIpc = ipcSum / static_cast<double>(report.instances);
-        report.avgMips = mipsSum / static_cast<double>(report.instances);
-        report.totalTimeFraction = allBurstTime > 0.0 ? durSum / allBurstTime : 0.0;
-        std::size_t best = 0;
-        for (const auto& [phase, count] : phaseHist) {
-          if (count > best) {
-            best = count;
-            report.modalTruthPhase = phase;
+          double durSum = 0.0;
+          double ipcSum = 0.0;
+          double mipsSum = 0.0;
+          std::map<std::uint32_t, std::size_t> phaseHist;
+          for (std::size_t i : report.memberIdx) {
+            const auto& b = result.bursts[i];
+            const auto delta = b.delta();
+            durSum += static_cast<double>(b.durationNs());
+            ipcSum += counters::DerivedMetrics::ipc(delta);
+            mipsSum += counters::DerivedMetrics::mips(delta, b.durationNs());
+            ++phaseHist[b.truthPhase];
           }
-        }
-      }
-
-      result.clusters.push_back(std::move(report));
-    }
+          if (report.instances > 0) {
+            report.meanDurationNs = durSum / static_cast<double>(report.instances);
+            report.avgIpc = ipcSum / static_cast<double>(report.instances);
+            report.avgMips = mipsSum / static_cast<double>(report.instances);
+            report.totalTimeFraction =
+                allBurstTime > 0.0 ? durSum / allBurstTime : 0.0;
+            std::size_t best = 0;
+            for (const auto& [phase, count] : phaseHist) {
+              if (count > best) {
+                best = count;
+                report.modalTruthPhase = phase;
+              }
+            }
+          }
+        });
   }
 
-  // 5. Folding — two stages on a worker pool. Stage 1 folds each eligible
+  // 5. Folding — two stages on the shared pool. Stage 1 folds each eligible
   //    cluster ONCE for all requested counters (one walk over the member
   //    samples instead of |counters| walks); stage 2 runs the independent
   //    per-(cluster, counter) prune/fit/reconstruct jobs over the folded
@@ -177,25 +179,7 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
   //    order, so the outcome is bit-identical to the sequential
   //    per-(cluster, counter) path.
   {
-    const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
-    const std::size_t configured =
-        config.foldThreads == 0 ? hardware : config.foldThreads;
-    auto runPool = [&](std::size_t jobCount, auto&& body) {
-      const std::size_t threads = std::min(configured, jobCount);
-      std::atomic<std::size_t> next{0};
-      auto worker = [&] {
-        for (std::size_t j = next.fetch_add(1); j < jobCount;
-             j = next.fetch_add(1))
-          body(j);
-      };
-      if (threads <= 1) {
-        worker();
-      } else {
-        std::vector<std::jthread> pool;
-        pool.reserve(threads);
-        for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
-      }
-    };
+    support::ThreadPool& pool = support::globalPool();
 
     struct FoldJob {
       std::size_t clusterIdx;
@@ -209,12 +193,9 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
     {
       StageScope stage("pipeline.fold", "fold", result.telemetry);
       stage.items(foldJobs.size());
-      stage.span().attr("threads", std::min(configured, foldJobs.size()));
-      const std::uint64_t foldParent = stage.span().id();
-      runPool(foldJobs.size(), [&](std::size_t j) {
-        // Worker threads start with an empty span stack; re-parent their
-        // per-cluster spans under the fold stage span.
-        const telemetry::ScopedParent parent(foldParent);
+      stage.span().attr("threads", std::min(pool.threads(), foldJobs.size()));
+      // parallelFor re-parents worker spans under the fold stage span.
+      pool.parallelFor(foldJobs.size(), [&](std::size_t j) {
         FoldJob& job = foldJobs[j];
         job.entries = folding::foldClusterMulti(
             trace, result.bursts, result.clusters[job.clusterIdx].memberIdx,
@@ -254,9 +235,7 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
     {
       StageScope stage("pipeline.fit", "fit", result.telemetry);
       stage.items(fitJobs.size());
-      const std::uint64_t fitParent = stage.span().id();
-      runPool(fitJobs.size(), [&](std::size_t j) {
-        const telemetry::ScopedParent parent(fitParent);
+      pool.parallelFor(fitJobs.size(), [&](std::size_t j) {
         FitJob& job = fitJobs[j];
         telemetry::Span span("fit.reconstruct");
         span.attr("cluster", result.clusters[job.clusterIdx].clusterId);

@@ -7,6 +7,13 @@
 ///
 /// This is the primary public API of the library. Examples and benches are
 /// thin wrappers around analyze().
+///
+/// Parallelism: every parallel stage (extraction, features, clustering
+/// precompute, aggregation, fold, fit) runs on support::globalPool(); size
+/// it with support::setGlobalThreads() / the CLI --threads flag / the
+/// UNVEIL_THREADS env var. Results are bit-identical for any thread count
+/// (per-slot outputs merged in canonical index order — see DESIGN.md
+/// "Threading model").
 
 #include <map>
 #include <vector>
@@ -47,13 +54,6 @@ struct PipelineConfig {
   /// position, never co-occurring) — see cluster::refineByStructure.
   bool refineFragments = true;
   cluster::RefineParams refine{};
-  /// Fold clusters on worker threads. The fold stage runs one single-pass
-  /// multi-counter fold job per cluster (foldClusterMulti), feeding
-  /// independent per-(cluster, counter) fit jobs; both stages are
-  /// deterministic, so results are identical to the sequential
-  /// per-(cluster, counter) path. 0 = one thread per hardware core;
-  /// 1 = sequential.
-  std::size_t foldThreads = 0;
 };
 
 /// Per-cluster findings.

@@ -1,10 +1,30 @@
 #include "unveil/cli/args.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <sstream>
 
 #include "unveil/support/error.hpp"
 
 namespace unveil::cli {
+
+namespace {
+
+/// "in [min, max]" with open ends elided to ">= min" / "<= max".
+template <typename T>
+std::string boundsText(T min, T max, bool openMin, bool openMax) {
+  std::ostringstream os;
+  if (!openMin && !openMax)
+    os << "in [" << min << ", " << max << "]";
+  else if (!openMin)
+    os << ">= " << min;
+  else
+    os << "<= " << max;
+  return os.str();
+}
+
+}  // namespace
 
 Args Args::parse(const std::vector<std::string>& argv) {
   Args args;
@@ -45,23 +65,43 @@ std::string Args::get(const std::string& name, const std::string& fallback) cons
   return it->second;
 }
 
-long long Args::getInt(const std::string& name, long long fallback) const {
+long long Args::getInt(const std::string& name, long long fallback,
+                       long long min, long long max) const {
   const std::string v = get(name, "");
   if (v.empty() && values_.find(name) == values_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long out = std::strtoll(v.c_str(), &end, 10);
   if (v.empty() || end == nullptr || *end != '\0')
     throw ConfigError("flag --" + name + " expects an integer, got '" + v + "'");
+  if (errno == ERANGE)
+    throw ConfigError("flag --" + name + " value '" + v + "' overflows");
+  if (out < min || out > max) {
+    const bool openMin = min == std::numeric_limits<long long>::min();
+    const bool openMax = max == std::numeric_limits<long long>::max();
+    throw ConfigError("flag --" + name + " must be " +
+                      boundsText(min, max, openMin, openMax) + ", got " + v);
+  }
   return out;
 }
 
-double Args::getDouble(const std::string& name, double fallback) const {
+double Args::getDouble(const std::string& name, double fallback, double min,
+                       double max) const {
   const std::string v = get(name, "");
   if (v.empty() && values_.find(name) == values_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double out = std::strtod(v.c_str(), &end);
   if (v.empty() || end == nullptr || *end != '\0')
     throw ConfigError("flag --" + name + " expects a number, got '" + v + "'");
+  if (errno == ERANGE || !std::isfinite(out))
+    throw ConfigError("flag --" + name + " value '" + v + "' overflows");
+  if (out < min || out > max) {
+    const bool openMin = min == std::numeric_limits<double>::lowest();
+    const bool openMax = max == std::numeric_limits<double>::max();
+    throw ConfigError("flag --" + name + " must be " +
+                      boundsText(min, max, openMin, openMax) + ", got " + v);
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 /// `--name value`, `--name=value`, or boolean `--name`; positional
 /// arguments are rejected to keep invocations explicit.
 
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -24,10 +25,18 @@ class Args {
   /// String value; \p fallback when absent.
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback = "") const;
-  /// Integer value; throws ConfigError on non-numeric input.
-  [[nodiscard]] long long getInt(const std::string& name, long long fallback) const;
-  /// Floating-point value; throws ConfigError on non-numeric input.
-  [[nodiscard]] double getDouble(const std::string& name, double fallback) const;
+  /// Integer value; throws ConfigError on non-numeric input, on overflow,
+  /// or when the value falls outside [min, max].
+  [[nodiscard]] long long getInt(
+      const std::string& name, long long fallback,
+      long long min = std::numeric_limits<long long>::min(),
+      long long max = std::numeric_limits<long long>::max()) const;
+  /// Floating-point value; throws ConfigError on non-numeric input, on
+  /// overflow, or when the value falls outside [min, max].
+  [[nodiscard]] double getDouble(
+      const std::string& name, double fallback,
+      double min = std::numeric_limits<double>::lowest(),
+      double max = std::numeric_limits<double>::max()) const;
 
   /// Names that were parsed but never queried — used to reject typos.
   [[nodiscard]] std::vector<std::string> unusedFlags() const;

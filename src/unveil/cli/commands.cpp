@@ -16,6 +16,7 @@
 #include "unveil/support/error.hpp"
 #include "unveil/support/log.hpp"
 #include "unveil/support/telemetry.hpp"
+#include "unveil/support/thread_pool.hpp"
 #include "unveil/trace/filter.hpp"
 #include "unveil/trace/binary_io.hpp"
 #include "unveil/trace/io.hpp"
@@ -34,16 +35,17 @@ sim::MeasurementConfig measurementFromArgs(const Args& args) {
   else if (mode == "fine") mc = sim::MeasurementConfig::fineGrain();
   else throw ConfigError("unknown --mode '" + mode + "' (none|instr|folding|fine)");
   if (args.has("period-us"))
-    mc.sampling.periodNs = args.getDouble("period-us", 1000.0) * 1e3;
+    mc.sampling.periodNs = args.getDouble("period-us", 1000.0, 1e-3, 1e9) * 1e3;
   return mc;
 }
 
 sim::apps::AppParams paramsFromArgs(const Args& args) {
   sim::apps::AppParams p;
-  p.ranks = static_cast<trace::Rank>(args.getInt("ranks", 16));
-  p.iterations = static_cast<std::uint32_t>(args.getInt("iterations", 150));
-  p.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
-  p.scale = args.getDouble("scale", 1.0);
+  p.ranks = static_cast<trace::Rank>(args.getInt("ranks", 16, 1, 1 << 20));
+  p.iterations =
+      static_cast<std::uint32_t>(args.getInt("iterations", 150, 1, 1 << 30));
+  p.seed = static_cast<std::uint64_t>(args.getInt("seed", 1, 0));
+  p.scale = args.getDouble("scale", 1.0, 1e-6, 1e6);
   return p;
 }
 
@@ -109,6 +111,29 @@ class TelemetryScope {
   std::unique_ptr<telemetry::Session> session_;
 };
 
+/// Applies --threads to the shared pool for the duration of one CLI
+/// invocation, restoring automatic sizing afterwards so embedding callers
+/// (tests drive runCli repeatedly in-process) are not left with a stale
+/// explicit size.
+class ThreadsScope {
+ public:
+  explicit ThreadsScope(const Args& args) {
+    if (args.has("threads")) {
+      configured_ = true;
+      support::setGlobalThreads(
+          static_cast<std::size_t>(args.getInt("threads", 0, 1, 1 << 16)));
+    }
+  }
+  ~ThreadsScope() {
+    if (configured_) support::setGlobalThreads(0);
+  }
+  ThreadsScope(const ThreadsScope&) = delete;
+  ThreadsScope& operator=(const ThreadsScope&) = delete;
+
+ private:
+  bool configured_ = false;
+};
+
 }  // namespace
 
 std::string usage() {
@@ -130,6 +155,9 @@ std::string usage() {
          "  evolution --trace TRACE      per-cluster drift detection\n"
          "  export-paraver --trace TRACE --out BASE\n"
          "global flags (any command):\n"
+         "  --threads N         worker threads for parallel stages (default:\n"
+         "                      $UNVEIL_THREADS, then hardware concurrency);\n"
+         "                      results are identical for any thread count\n"
          "  --trace-out FILE    chrome://tracing span JSON for this run\n"
          "  --metrics-out FILE  flat JSON dump of work counters and timings\n"
          "  --no-telemetry      disable self-tracing entirely\n"
@@ -193,15 +221,17 @@ int cmdAnalyze(const Args& args, std::ostream& out) {
   config.useMpiGaps = args.has("mpi-gaps");
   if (args.has("eps")) {
     config.autoEps = false;
-    config.dbscan.eps = args.getDouble("eps", 0.1);
+    config.dbscan.eps = args.getDouble("eps", 0.1, 1e-12, 1e12);
   }
   config.minClusterInstances =
-      static_cast<std::size_t>(args.getInt("min-instances", 30));
-  config.reconstruct.fold.perSampleOverheadNs = args.getDouble("sample-cost-ns", 0.0);
-  config.reconstruct.fold.probeOverheadNs = args.getDouble("probe-cost-ns", 0.0);
+      static_cast<std::size_t>(args.getInt("min-instances", 30, 1, 1 << 30));
+  config.reconstruct.fold.perSampleOverheadNs =
+      args.getDouble("sample-cost-ns", 0.0, 0.0, 1e12);
+  config.reconstruct.fold.probeOverheadNs =
+      args.getDouble("probe-cost-ns", 0.0, 0.0, 1e12);
   const std::string figDir = args.get("figures", "");
   const auto focusIterations =
-      static_cast<std::size_t>(args.getInt("focus", 0));
+      static_cast<std::size_t>(args.getInt("focus", 0, 0, 1 << 30));
   if (const int rc = failOnUnused(args, out)) return rc;
 
   const auto t = trace::readAutoFile(path);
@@ -283,8 +313,10 @@ int cmdDiff(const Args& args, std::ostream& out) {
     return 2;
   }
   analysis::PipelineConfig config;
-  config.reconstruct.fold.perSampleOverheadNs = args.getDouble("sample-cost-ns", 0.0);
-  config.reconstruct.fold.probeOverheadNs = args.getDouble("probe-cost-ns", 0.0);
+  config.reconstruct.fold.perSampleOverheadNs =
+      args.getDouble("sample-cost-ns", 0.0, 0.0, 1e12);
+  config.reconstruct.fold.probeOverheadNs =
+      args.getDouble("probe-cost-ns", 0.0, 0.0, 1e12);
   if (const int rc = failOnUnused(args, out)) return rc;
   const auto ta = trace::readAutoFile(pathA);
   const auto tb = trace::readAutoFile(pathB);
@@ -314,9 +346,9 @@ int cmdReport(const Args& args, std::ostream& out) {
   }
   analysis::ReportOptions options;
   options.pipeline.reconstruct.fold.perSampleOverheadNs =
-      args.getDouble("sample-cost-ns", 0.0);
+      args.getDouble("sample-cost-ns", 0.0, 0.0, 1e12);
   options.pipeline.reconstruct.fold.probeOverheadNs =
-      args.getDouble("probe-cost-ns", 0.0);
+      args.getDouble("probe-cost-ns", 0.0, 0.0, 1e12);
   if (const int rc = failOnUnused(args, out)) return rc;
   const auto t = trace::readAutoFile(path);
   analysis::printReport(analysis::buildReport(t, options), t, out);
@@ -374,6 +406,7 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out) {
   const std::vector<std::string> rest(argv.begin() + 1, argv.end());
   try {
     const Args args = Args::parse(rest);
+    const ThreadsScope threads(args);
     TelemetryScope telemetry(args, out);
     const auto dispatch = [&]() -> int {
       if (command == "simulate") return cmdSimulate(args, out);

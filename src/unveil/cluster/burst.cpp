@@ -2,63 +2,140 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/thread_pool.hpp"
 
 namespace unveil::cluster {
 
 namespace {
 
-/// Attaches sample indices to bursts. Both inputs are sorted by (rank, time)
-/// (guaranteed by Trace::finalize), so a single merge pass suffices.
+/// Per-rank [begin, end) slices of the (rank, time)-sorted event stream —
+/// the unit of parallelism for extraction. Ranks with no events keep {0,0}.
+std::vector<std::pair<std::size_t, std::size_t>> rankEventRanges(
+    const trace::Trace& trace) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(trace.numRanks(),
+                                                          {0, 0});
+  const auto& events = trace.events();
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const trace::Rank r = events[i].rank;
+    std::size_t j = i;
+    while (j < events.size() && events[j].rank == r) ++j;
+    ranges[r] = {i, j};
+    i = j;
+  }
+  return ranges;
+}
+
+/// Runs \p extractRank over every rank's event slice on the shared pool and
+/// concatenates the per-rank bursts in rank order — identical to the old
+/// sequential walk over the whole (rank, time)-sorted stream, for any
+/// thread count. A rank slice that throws surfaces the lowest rank's error,
+/// which is also what the sequential walk hit first.
+template <typename ExtractRank>
+std::vector<Burst> extractPerRank(const trace::Trace& trace,
+                                  const ExtractRank& extractRank) {
+  const auto ranges = rankEventRanges(trace);
+  const auto& events = trace.events();
+  std::vector<std::vector<Burst>> perRank(ranges.size());
+  support::globalPool().parallelFor(ranges.size(), [&](std::size_t r) {
+    const auto [begin, end] = ranges[r];
+    perRank[r] = extractRank(
+        std::span<const trace::Event>(events.data() + begin, end - begin));
+  });
+  std::size_t total = 0;
+  for (const auto& v : perRank) total += v.size();
+  std::vector<Burst> bursts;
+  bursts.reserve(total);
+  for (auto& v : perRank)
+    for (auto& b : v) bursts.push_back(std::move(b));
+  return bursts;
+}
+
+/// Attaches sample indices to bursts. Both inputs are sorted by
+/// (rank, time) and bursts never overlap within a rank, so each rank is an
+/// independent merge pass; ranks run in parallel, each writing only its own
+/// bursts' sampleIdx lists.
 void attachSamples(const trace::Trace& trace, std::vector<Burst>& bursts) {
   const auto& samples = trace.samples();
-  std::size_t si = 0;
-  for (auto& b : bursts) {
-    while (si < samples.size() &&
-           (samples[si].rank < b.rank ||
-            (samples[si].rank == b.rank && samples[si].time < b.begin)))
-      ++si;
-    std::size_t sj = si;
-    while (sj < samples.size() && samples[sj].rank == b.rank &&
-           samples[sj].time < b.end) {
-      b.sampleIdx.push_back(sj);
-      ++sj;
-    }
-    // Do not advance si past sj: bursts never overlap per rank, so the next
-    // burst starts at or after b.end; si will catch up in its skip loop.
+  // Per-rank burst ranges (bursts are concatenated in rank order).
+  std::vector<std::pair<std::size_t, std::size_t>> burstRanges(trace.numRanks(),
+                                                               {0, 0});
+  std::size_t i = 0;
+  while (i < bursts.size()) {
+    const trace::Rank r = bursts[i].rank;
+    std::size_t j = i;
+    while (j < bursts.size() && bursts[j].rank == r) ++j;
+    burstRanges[r] = {i, j};
+    i = j;
   }
+  support::globalPool().parallelFor(burstRanges.size(), [&](std::size_t r) {
+    const auto [bBegin, bEnd] = burstRanges[r];
+    if (bBegin == bEnd) return;
+    // First sample of this rank; the two-pointer sweep below never needs to
+    // look back before it.
+    std::size_t si = static_cast<std::size_t>(
+        std::lower_bound(samples.begin(), samples.end(), r,
+                         [](const trace::Sample& s, trace::Rank rank) {
+                           return s.rank < rank;
+                         }) -
+        samples.begin());
+    for (std::size_t bi = bBegin; bi < bEnd; ++bi) {
+      Burst& b = bursts[bi];
+      while (si < samples.size() && samples[si].rank == b.rank &&
+             samples[si].time < b.begin)
+        ++si;
+      std::size_t sj = si;
+      while (sj < samples.size() && samples[sj].rank == b.rank &&
+             samples[sj].time < b.end) {
+        b.sampleIdx.push_back(sj);
+        ++sj;
+      }
+      // Do not advance si past sj: bursts never overlap per rank, so the
+      // next burst starts at or after b.end; si catches up in its skip loop.
+    }
+  });
 }
 
 }  // namespace
 
 std::vector<Burst> BurstExtraction::fromPhaseEvents(const trace::Trace& trace) const {
   if (!trace.finalized()) throw TraceError("burst extraction requires a finalized trace");
-  std::vector<Burst> bursts;
-  std::optional<trace::Event> open;
-  for (const auto& e : trace.events()) {
-    if (e.kind == trace::EventKind::PhaseBegin) {
-      if (open && open->rank == e.rank)
-        throw TraceError("nested PhaseBegin on rank " + std::to_string(e.rank) +
-                         " at t=" + std::to_string(e.time));
-      open = e;
-    } else if (e.kind == trace::EventKind::PhaseEnd) {
-      if (!open || open->rank != e.rank || open->value != e.value)
-        throw TraceError("unmatched PhaseEnd on rank " + std::to_string(e.rank) +
-                         " at t=" + std::to_string(e.time));
-      Burst b;
-      b.rank = e.rank;
-      b.begin = open->time;
-      b.end = e.time;
-      b.beginCounters = open->counters;
-      b.endCounters = e.counters;
-      b.truthPhase = e.value;
-      if (b.durationNs() >= minDurationNs) bursts.push_back(std::move(b));
-      open.reset();
-    }
-    // MPI events between a PhaseEnd and the next PhaseBegin are ignored here.
-  }
+  auto bursts = extractPerRank(
+      trace, [&](std::span<const trace::Event> events) {
+        std::vector<Burst> out;
+        std::optional<trace::Event> open;
+        for (const auto& e : events) {
+          if (e.kind == trace::EventKind::PhaseBegin) {
+            if (open)
+              throw TraceError("nested PhaseBegin on rank " +
+                               std::to_string(e.rank) +
+                               " at t=" + std::to_string(e.time));
+            open = e;
+          } else if (e.kind == trace::EventKind::PhaseEnd) {
+            if (!open || open->value != e.value)
+              throw TraceError("unmatched PhaseEnd on rank " +
+                               std::to_string(e.rank) +
+                               " at t=" + std::to_string(e.time));
+            Burst b;
+            b.rank = e.rank;
+            b.begin = open->time;
+            b.end = e.time;
+            b.beginCounters = open->counters;
+            b.endCounters = e.counters;
+            b.truthPhase = e.value;
+            if (b.durationNs() >= minDurationNs) out.push_back(std::move(b));
+            open.reset();
+          }
+          // MPI events between a PhaseEnd and the next PhaseBegin are
+          // ignored here.
+        }
+        return out;
+      });
   std::sort(bursts.begin(), bursts.end(), [](const Burst& a, const Burst& b) {
     if (a.rank != b.rank) return a.rank < b.rank;
     return a.begin < b.begin;
@@ -69,43 +146,39 @@ std::vector<Burst> BurstExtraction::fromPhaseEvents(const trace::Trace& trace) c
 
 std::vector<Burst> BurstExtraction::fromMpiGaps(const trace::Trace& trace) const {
   if (!trace.finalized()) throw TraceError("burst extraction requires a finalized trace");
-  std::vector<Burst> bursts;
-  // Events are sorted by (rank, time); walk each rank's stream and emit a
-  // burst for every MpiEnd -> next MpiBegin gap. The run prologue (before
-  // the first MPI call) is also a burst.
-  std::optional<trace::Event> lastMpiEnd;
-  trace::Rank currentRank = 0;
-  bool first = true;
-  std::optional<trace::Event> rankFirstEvent;
-  for (const auto& e : trace.events()) {
-    if (first || e.rank != currentRank) {
-      currentRank = e.rank;
-      lastMpiEnd.reset();
-      rankFirstEvent.reset();
-      first = false;
-    }
-    if (e.kind == trace::EventKind::MpiBegin) {
-      const trace::Event* openFrom = nullptr;
-      if (lastMpiEnd) openFrom = &*lastMpiEnd;
-      else if (rankFirstEvent) openFrom = &*rankFirstEvent;
-      if (openFrom != nullptr && e.time > openFrom->time) {
-        Burst b;
-        b.rank = e.rank;
-        b.begin = openFrom->time;
-        b.end = e.time;
-        b.beginCounters = openFrom->counters;
-        b.endCounters = e.counters;
-        b.truthPhase = kNoPhase;
-        if (b.durationNs() >= minDurationNs) bursts.push_back(std::move(b));
-      }
-      lastMpiEnd.reset();
-    } else if (e.kind == trace::EventKind::MpiEnd) {
-      lastMpiEnd = e;
-    } else if (!rankFirstEvent && !lastMpiEnd) {
-      // A phase probe before any MPI activity anchors the prologue burst.
-      if (!rankFirstEvent) rankFirstEvent = e;
-    }
-  }
+  // Each rank's time-sorted stream yields a burst for every MpiEnd -> next
+  // MpiBegin gap. The run prologue (before the first MPI call) is also a
+  // burst.
+  auto bursts = extractPerRank(
+      trace, [&](std::span<const trace::Event> events) {
+        std::vector<Burst> out;
+        std::optional<trace::Event> lastMpiEnd;
+        std::optional<trace::Event> rankFirstEvent;
+        for (const auto& e : events) {
+          if (e.kind == trace::EventKind::MpiBegin) {
+            const trace::Event* openFrom = nullptr;
+            if (lastMpiEnd) openFrom = &*lastMpiEnd;
+            else if (rankFirstEvent) openFrom = &*rankFirstEvent;
+            if (openFrom != nullptr && e.time > openFrom->time) {
+              Burst b;
+              b.rank = e.rank;
+              b.begin = openFrom->time;
+              b.end = e.time;
+              b.beginCounters = openFrom->counters;
+              b.endCounters = e.counters;
+              b.truthPhase = kNoPhase;
+              if (b.durationNs() >= minDurationNs) out.push_back(std::move(b));
+            }
+            lastMpiEnd.reset();
+          } else if (e.kind == trace::EventKind::MpiEnd) {
+            lastMpiEnd = e;
+          } else if (!rankFirstEvent && !lastMpiEnd) {
+            // A phase probe before any MPI activity anchors the prologue.
+            rankFirstEvent = e;
+          }
+        }
+        return out;
+      });
   std::sort(bursts.begin(), bursts.end(), [](const Burst& a, const Burst& b) {
     if (a.rank != b.rank) return a.rank < b.rank;
     return a.begin < b.begin;

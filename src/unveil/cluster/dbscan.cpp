@@ -7,12 +7,12 @@
 #include <deque>
 #include <numeric>
 #include <optional>
-#include <thread>
 
 #include "unveil/cluster/eps_grid.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/stats.hpp"
 #include "unveil/support/telemetry.hpp"
+#include "unveil/support/thread_pool.hpp"
 
 namespace unveil::cluster {
 
@@ -96,15 +96,52 @@ Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
     else bruteNeighbors(features, i, eps2, neighOut);
   };
 
+  // The expansion below queries every point exactly once, so with multiple
+  // threads the region queries — the dominant cost — are precomputed on the
+  // worker pool instead of issued on demand. A query's result is a pure
+  // function of the input, so labels are bit-identical whether a list was
+  // precomputed or re-queried sequentially, for any thread count. Stored
+  // lists are capped at a global entry budget (dense degenerate inputs can
+  // have Θ(n²) total neighbors); points over budget fall back to an
+  // on-demand query during the sequential sweep.
+  std::vector<std::vector<std::size_t>> precomputed;
+  std::vector<char> stored;
+  support::ThreadPool& pool = support::globalPool();
+  if (pool.threads() > 1) {
+    constexpr std::size_t kEntryBudget = std::size_t{1} << 24;  // ~128 MiB
+    precomputed.resize(n);
+    stored.assign(n, 0);
+    std::atomic<std::size_t> storedEntries{0};
+    std::atomic<std::uint64_t> parallelQueries{0};
+    pool.parallelFor(n, [&](std::size_t i) {
+      std::vector<std::size_t> neighOut;
+      if (grid.valid()) grid.neighbors(i, eps2, neighOut);
+      else bruteNeighbors(features, i, eps2, neighOut);
+      parallelQueries.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t before =
+          storedEntries.fetch_add(neighOut.size(), std::memory_order_relaxed);
+      if (before + neighOut.size() > kEntryBudget) return;  // over budget
+      precomputed[i] = std::move(neighOut);
+      stored[i] = 1;
+    });
+    queries += parallelQueries.load(std::memory_order_relaxed);
+  }
+  auto neighborsOf = [&](std::size_t i, std::vector<std::size_t>& scratch)
+      -> const std::vector<std::size_t>& {
+    if (!stored.empty() && stored[i]) return precomputed[i];
+    query(i, scratch);
+    return scratch;
+  };
+
   constexpr int kUnvisited = -2;
   std::vector<int> label(n, kUnvisited);
   int nextCluster = 0;
-  std::vector<std::size_t> neigh;
-  std::vector<std::size_t> seedNeigh;
+  std::vector<std::size_t> neighScratch;
+  std::vector<std::size_t> seedScratch;
 
   for (std::size_t i = 0; i < n; ++i) {
     if (label[i] != kUnvisited) continue;
-    query(i, neigh);
+    const auto& neigh = neighborsOf(i, neighScratch);
     if (neigh.size() < params.minPts) {
       label[i] = kNoiseLabel;
       continue;
@@ -118,7 +155,7 @@ Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
       if (label[j] == kNoiseLabel) label[j] = cluster;  // border point
       if (label[j] != kUnvisited) continue;
       label[j] = cluster;
-      query(j, seedNeigh);
+      const auto& seedNeigh = neighborsOf(j, seedScratch);
       if (seedNeigh.size() >= params.minPts)
         queue.insert(queue.end(), seedNeigh.begin(), seedNeigh.end());
     }
@@ -192,28 +229,13 @@ double estimateEps(const FeatureMatrix& features, std::size_t minPts, double qua
     return std::sqrt(dists[kth]);
   };
 
-  // The sampled points are independent; process them on a worker pool with
-  // the same atomic-counter pattern the analysis pipeline uses. Each result
-  // goes to its own slot, so the k-dist sequence (and hence the quantile)
-  // is identical to the sequential order.
+  // The sampled points are independent; run them on the shared pool. Each
+  // result goes to its own slot, so the k-dist sequence (and hence the
+  // quantile) is identical to the sequential order for any thread count.
   std::vector<double> kDist(sampled.size());
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (std::size_t s = next.fetch_add(1); s < sampled.size();
-         s = next.fetch_add(1)) {
-      kDist[s] = grid ? grid->kthNearestDist(sampled[s], kth) : bruteKth(sampled[s]);
-    }
-  };
-  const std::size_t threads =
-      std::min<std::size_t>(std::max(1u, std::thread::hardware_concurrency()),
-                            sampled.size());
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::jthread> pool;
-    pool.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
-  }
+  support::globalPool().parallelFor(sampled.size(), [&](std::size_t s) {
+    kDist[s] = grid ? grid->kthNearestDist(sampled[s], kth) : bruteKth(sampled[s]);
+  });
   span.attr("sampled", sampled.size());
   telemetry::count("cluster.knn_queries", sampled.size());
   return support::quantile(kDist, quantile);

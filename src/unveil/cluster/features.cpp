@@ -4,6 +4,7 @@
 
 #include "unveil/support/error.hpp"
 #include "unveil/support/stats.hpp"
+#include "unveil/support/thread_pool.hpp"
 
 namespace unveil::cluster {
 
@@ -61,9 +62,14 @@ FeatureMatrix buildFeatures(std::span<const Burst> bursts,
                             std::span<const FeatureId> features) {
   if (features.empty()) throw ConfigError("buildFeatures requires >= 1 feature");
   FeatureMatrix m(bursts.size(), features.size());
-  for (std::size_t i = 0; i < bursts.size(); ++i)
-    for (std::size_t d = 0; d < features.size(); ++d)
-      m.at(i, d) = burstFeature(bursts[i], features[d]);
+  // Rows are independent and each job writes only its own rows, so the
+  // matrix is bit-identical for any pool size.
+  support::globalPool().parallelForChunks(
+      bursts.size(), 512, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          for (std::size_t d = 0; d < features.size(); ++d)
+            m.at(i, d) = burstFeature(bursts[i], features[d]);
+      });
   return m;
 }
 
@@ -89,9 +95,12 @@ FeatureMatrix ZScoreNormalizer::apply(const FeatureMatrix& m) const {
   if (m.dims() != mean_.size())
     throw ConfigError("normalizer dims mismatch");
   FeatureMatrix out(m.rows(), m.dims());
-  for (std::size_t r = 0; r < m.rows(); ++r)
-    for (std::size_t d = 0; d < m.dims(); ++d)
-      out.at(r, d) = (m.at(r, d) - mean_[d]) / scale_[d];
+  support::globalPool().parallelForChunks(
+      m.rows(), 1024, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r)
+          for (std::size_t d = 0; d < m.dims(); ++d)
+            out.at(r, d) = (m.at(r, d) - mean_[d]) / scale_[d];
+      });
   return out;
 }
 

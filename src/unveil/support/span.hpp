@@ -75,6 +75,12 @@ class Span {
   SpanRecord rec_;
 };
 
+/// The calling thread's span parent cursor (0 when no span is open). Pass
+/// this to ScopedParent on a worker thread to attach the worker's spans to
+/// the span that dispatched the work — support::ThreadPool::parallelFor
+/// does exactly that automatically.
+[[nodiscard]] std::uint64_t currentParent() noexcept;
+
 /// Re-parents spans opened in the current scope *on the current thread*
 /// under \p parentId — the bridge that keeps worker-thread spans attached
 /// to the stage span that dispatched the jobs (a worker's parent cursor

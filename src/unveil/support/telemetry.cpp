@@ -176,6 +176,8 @@ void Span::attrInt(std::string_view key, std::int64_t value) {
   rec_.attrs.emplace_back(std::string(key), std::to_string(value));
 }
 
+std::uint64_t currentParent() noexcept { return tCurrentParent; }
+
 ScopedParent::ScopedParent(std::uint64_t parentId) noexcept
     : saved_(tCurrentParent) {
   tCurrentParent = parentId;

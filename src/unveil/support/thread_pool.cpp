@@ -1,0 +1,302 @@
+#include "unveil/support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/span.hpp"
+#include "unveil/support/telemetry.hpp"
+
+namespace unveil::support {
+
+namespace {
+
+/// Worker identity of the current thread: the pool it belongs to (nullptr
+/// off-pool) and its worker slot. Lets push() route nested submissions to
+/// the submitting worker's own deque.
+thread_local const ThreadPool* tWorkerPool = nullptr;
+thread_local std::size_t tWorkerIndex = 0;
+
+}  // namespace
+
+struct ThreadPool::State {
+  /// One worker's deque: the owner pushes/pops at the back (LIFO keeps
+  /// nested work hot), thieves take from the front (FIFO steals the oldest,
+  /// largest-granularity task).
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::thread> threads;
+
+  /// signalMutex guards inject, stop and workEpoch. Every push bumps
+  /// workEpoch under it, so a worker that saw an empty scan with an
+  /// unchanged epoch knows no task can exist anywhere.
+  std::mutex signalMutex;
+  std::condition_variable signal;
+  std::deque<std::function<void()>> inject;
+  std::uint64_t workEpoch = 0;
+  bool stop = false;
+
+  std::uint64_t steals = 0;  ///< Under signalMutex; exported at shutdown.
+
+  bool tryPop(std::size_t self, std::function<void()>& out) {
+    {
+      Worker& own = *workers[self];
+      const std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.tasks.empty()) {
+        out = std::move(own.tasks.back());
+        own.tasks.pop_back();
+        return true;
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(signalMutex);
+      if (!inject.empty()) {
+        out = std::move(inject.front());
+        inject.pop_front();
+        return true;
+      }
+    }
+    for (std::size_t i = 1; i < workers.size(); ++i) {
+      Worker& victim = *workers[(self + i) % workers.size()];
+      const std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        out = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        {
+          const std::lock_guard<std::mutex> slock(signalMutex);
+          ++steals;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void workerLoop(const ThreadPool* pool, std::size_t self) {
+    tWorkerPool = pool;
+    tWorkerIndex = self;
+    for (;;) {
+      // Snapshot the epoch BEFORE scanning: any push after the snapshot
+      // changes it, so an empty scan with an unchanged epoch proves all
+      // queues are empty and sleeping (or exiting on stop) is safe.
+      std::unique_lock<std::mutex> lock(signalMutex);
+      const std::uint64_t seen = workEpoch;
+      lock.unlock();
+      std::function<void()> task;
+      if (tryPop(self, task)) {
+        task();
+        continue;
+      }
+      lock.lock();
+      if (workEpoch != seen) continue;
+      if (stop) return;
+      signal.wait(lock, [&] { return stop || workEpoch != seen; });
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(std::max<std::size_t>(1, threads)), state_(std::make_unique<State>()) {
+  const std::size_t workers = threads_ - 1;
+  state_->workers.reserve(workers);
+  state_->threads.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    state_->workers.push_back(std::make_unique<State::Worker>());
+  for (std::size_t i = 0; i < workers; ++i)
+    state_->threads.emplace_back([this, i] { state_->workerLoop(this, i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(state_->signalMutex);
+    state_->stop = true;
+  }
+  state_->signal.notify_all();
+  for (auto& t : state_->threads) t.join();
+  telemetry::count("pool.steals", state_->steals);
+}
+
+std::size_t ThreadPool::workerCount() const noexcept {
+  return state_->workers.size();
+}
+
+bool ThreadPool::onWorkerThread() const noexcept { return tWorkerPool == this; }
+
+void ThreadPool::push(std::function<void()> task) {
+  if (onWorkerThread()) {
+    State::Worker& own = *state_->workers[tWorkerIndex];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    own.tasks.push_back(std::move(task));
+  } else {
+    const std::lock_guard<std::mutex> lock(state_->signalMutex);
+    state_->inject.push_back(std::move(task));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(state_->signalMutex);
+    ++state_->workEpoch;
+  }
+  state_->signal.notify_one();
+}
+
+void ThreadPool::parallelFor(std::size_t jobCount,
+                             const std::function<void(std::size_t)>& body) {
+  if (jobCount == 0) return;
+  const std::size_t helpers = std::min(workerCount(), jobCount - 1);
+  if (helpers == 0) {
+    // Inline path — must honor the same contract as the parallel one:
+    // every job runs, and the lowest failing index's exception is rethrown
+    // (sequential order makes the first caught error the lowest).
+    std::exception_ptr firstError;
+    for (std::size_t j = 0; j < jobCount; ++j) {
+      try {
+        body(j);
+      } catch (...) {
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+    if (firstError) std::rethrow_exception(firstError);
+    return;
+  }
+
+  /// Shared by the caller and its helper tasks; kept alive by shared_ptr so
+  /// a helper that fires after the loop finished (it immediately sees the
+  /// counter exhausted) touches valid memory.
+  struct Loop {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t jobCount = 0;
+    const std::function<void(std::size_t)>* body = nullptr;  // caller-owned
+    std::uint64_t spanParent = 0;
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+
+    void run() {
+      // Helper workers start with an empty span stack; re-parent whatever
+      // spans the body opens under the dispatching stage's span.
+      const telemetry::ScopedParent parent(spanParent);
+      for (;;) {
+        const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
+        if (j >= jobCount) return;
+        try {
+          (*body)(j);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          errors.emplace_back(j, std::current_exception());
+        }
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == jobCount) {
+          // Notify under the mutex so the waiter's predicate check cannot
+          // miss the final increment.
+          const std::lock_guard<std::mutex> lock(mutex);
+          finished.notify_all();
+        }
+      }
+    }
+  };
+
+  auto loop = std::make_shared<Loop>();
+  loop->jobCount = jobCount;
+  loop->body = &body;
+  loop->spanParent = telemetry::currentParent();
+
+  // The caller participates, so the loop completes even if every helper
+  // task sits unexecuted behind busy workers — nesting cannot deadlock.
+  // A helper that only starts after the caller drained the counter exits
+  // without touching `body`; only `loop` (shared) outlives this frame.
+  for (std::size_t i = 0; i < helpers; ++i) push([loop] { loop->run(); });
+  loop->run();
+
+  std::unique_lock<std::mutex> lock(loop->mutex);
+  loop->finished.wait(lock, [&] {
+    return loop->done.load(std::memory_order_acquire) == jobCount;
+  });
+  if (!loop->errors.empty()) {
+    // All jobs ran (no cancellation), so the set of failed indices is
+    // deterministic; rethrow the lowest for a reproducible error.
+    auto lowest = std::min_element(
+        loop->errors.begin(), loop->errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(lowest->second);
+  }
+}
+
+void ThreadPool::parallelForChunks(
+    std::size_t total, std::size_t minPerJob,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (total == 0) return;
+  minPerJob = std::max<std::size_t>(1, minPerJob);
+  const std::size_t maxJobs = (total + minPerJob - 1) / minPerJob;
+  // A few chunks per participant keeps the tail balanced without shrinking
+  // chunks to dispatch-dominated sizes.
+  const std::size_t jobs = std::min(maxJobs, threads_ * 4);
+  const std::size_t base = total / jobs;
+  const std::size_t rem = total % jobs;
+  parallelFor(jobs, [&](std::size_t j) {
+    const std::size_t begin = j * base + std::min(j, rem);
+    const std::size_t end = begin + base + (j < rem ? 1 : 0);
+    body(begin, end);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Global pool
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::mutex gPoolMutex;
+std::unique_ptr<ThreadPool> gPool;
+std::size_t gConfigured = 0;  ///< 0 = automatic (env, then hardware).
+
+std::size_t autoThreads() {
+  if (const char* env = std::getenv("UNVEIL_THREADS")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end == nullptr || *end != '\0' || *env == '\0' || v < 1)
+      throw ConfigError("UNVEIL_THREADS must be a positive integer, got '" +
+                        std::string(env) + "'");
+    return static_cast<std::size_t>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool& globalPool() {
+  const std::lock_guard<std::mutex> lock(gPoolMutex);
+  if (!gPool)
+    gPool = std::make_unique<ThreadPool>(gConfigured != 0 ? gConfigured
+                                                          : autoThreads());
+  return *gPool;
+}
+
+std::size_t globalThreadCount() {
+  const std::lock_guard<std::mutex> lock(gPoolMutex);
+  if (gPool) return gPool->threads();
+  return gConfigured != 0 ? gConfigured : autoThreads();
+}
+
+void setGlobalThreads(std::size_t threads) {
+  const std::lock_guard<std::mutex> lock(gPoolMutex);
+  gConfigured = threads;
+  // Resolving `0` (auto) is deferred to the next globalPool() call: it may
+  // consult UNVEIL_THREADS, whose parse error must not escape from here
+  // (callers use this in scope-guard destructors).
+  if (threads != 0 && gPool && gPool->threads() == threads) return;
+  gPool.reset();  // next globalPool() call recreates at the new size
+}
+
+}  // namespace unveil::support

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// The shared work-stealing thread pool every parallel stage runs on.
+///
+/// One process-wide pool (globalPool()) replaces the ad-hoc `std::jthread`
+/// spawns that used to hide inside dbscan/pipeline: DBSCAN neighbor
+/// precomputation, estimateEps k-NN sampling, per-cluster fold/fit jobs,
+/// per-rank burst extraction and binary-shard decoding all share the same
+/// workers, so the process never oversubscribes the machine no matter how
+/// the stages nest.
+///
+/// Scheduling: each worker owns a deque (LIFO for the owner, FIFO for
+/// thieves) plus a shared injection queue for external submitters. An idle
+/// worker drains its own deque, then the injection queue, then steals from
+/// the other workers round-robin. Queues are mutex-protected — contention
+/// is negligible because every task in this codebase is coarse (a cluster
+/// fold, a rank decode, a k-NN batch), and the simple locking is what keeps
+/// the pool trivially TSan-clean.
+///
+/// Determinism contract: parallelFor() hands each index to exactly one
+/// participant and never reorders, splits, or drops indices. Callers get
+/// bit-identical results for ANY thread count by writing job j's output to
+/// slot j and merging slots in canonical index order afterwards — the rule
+/// every migrated stage follows (see DESIGN.md "Threading model").
+///
+/// Nesting: parallelFor() is safe to call from inside a pool task. The
+/// caller always participates in its own loop, so the loop completes even
+/// when every worker is busy — helpers enqueued for a loop are pure
+/// accelerators whose late arrival is a no-op.
+///
+/// Telemetry: parallelFor() captures the caller's current span parent and
+/// re-parents spans opened by helper workers under it (telemetry
+/// ScopedParent), so worker spans stay attached to the stage that
+/// dispatched them instead of becoming roots.
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace unveil::support {
+
+class ThreadPool {
+ public:
+  /// A pool of concurrency \p threads (>= 1): threads - 1 worker threads
+  /// are spawned; the caller of parallelFor() is the remaining participant.
+  /// With threads == 1 nothing is spawned and every operation runs inline
+  /// on the calling thread — the sequential reference execution.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains every queued task, then joins the workers. Pending futures all
+  /// complete (shutdown never abandons a task).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured concurrency (workers + the participating caller).
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  /// Runs body(j) exactly once for every j in [0, jobCount) across the
+  /// caller and up to threads()-1 helper workers; returns when all jobs
+  /// finished. Indices are claimed atomically, so each runs exactly once.
+  /// If any body throws, every remaining job still runs and the exception
+  /// of the lowest failing index is rethrown (deterministic for any thread
+  /// count / interleaving).
+  void parallelFor(std::size_t jobCount, const std::function<void(std::size_t)>& body);
+
+  /// Splits [0, total) into contiguous chunks of at least \p minPerJob
+  /// indices and runs body(begin, end) once per chunk — the right shape for
+  /// loops whose per-index work is too small to dispatch individually.
+  /// Chunk boundaries depend only on total, minPerJob and threads(), never
+  /// on scheduling, and chunking must not change what an index computes, so
+  /// the determinism contract of parallelFor() carries over.
+  void parallelForChunks(std::size_t total, std::size_t minPerJob,
+                         const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Schedules \p fn on a worker and returns its future; exceptions thrown
+  /// by \p fn surface at future::get(). Submitting from inside a pool task
+  /// is safe: the call runs inline and returns a ready future, so a worker
+  /// that immediately get()s a nested future can never deadlock waiting for
+  /// itself (use parallelFor for nested parallelism). With threads() == 1
+  /// every call runs inline.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    if (workerCount() == 0 || onWorkerThread()) {
+      (*task)();
+      return future;
+    }
+    push([task] { (*task)(); });
+    return future;
+  }
+
+  /// True when the calling thread is a worker of this pool.
+  [[nodiscard]] bool onWorkerThread() const noexcept;
+
+ private:
+  struct State;
+
+  [[nodiscard]] std::size_t workerCount() const noexcept;
+  void push(std::function<void()> task);
+
+  std::size_t threads_ = 1;
+  std::unique_ptr<State> state_;
+};
+
+/// The process-wide pool, created on first use with the configured size
+/// (setGlobalThreads(), else UNVEIL_THREADS, else hardware_concurrency).
+/// Throws ConfigError when UNVEIL_THREADS is not a positive integer.
+[[nodiscard]] ThreadPool& globalPool();
+
+/// Concurrency the global pool has (or would be created with).
+[[nodiscard]] std::size_t globalThreadCount();
+
+/// Sets the global pool's concurrency, replacing an existing pool of a
+/// different size. 0 resets to automatic sizing (UNVEIL_THREADS, else
+/// hardware_concurrency). Call only while no other thread is using the
+/// global pool — CLI startup and test set-up, not mid-pipeline.
+void setGlobalThreads(std::size_t threads);
+
+}  // namespace unveil::support

@@ -7,16 +7,19 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "unveil/support/error.hpp"
 #include "unveil/support/telemetry.hpp"
+#include "unveil/support/thread_pool.hpp"
 
 namespace unveil::trace {
 
 namespace {
 
-constexpr char kMagic[] = "UVTB1\n";
+constexpr char kMagicV1[] = "UVTB1\n";
+constexpr char kMagicV2[] = "UVTB2\n";
 constexpr std::size_t kMagicLen = 6;
 
 void putVarint(std::ostream& os, std::uint64_t v) {
@@ -42,20 +45,50 @@ std::uint64_t getVarint(std::istream& is) {
   return v;
 }
 
+/// Append-only byte sink for encoding one rank's shard in memory (shards
+/// are built on worker threads, then written out in rank order).
+struct ByteWriter {
+  std::string buf;
+
+  void put(char c) { buf.push_back(c); }
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    buf.push_back(static_cast<char>(v));
+  }
+};
+
+/// Bounds-checked cursor over one rank's shard bytes.
+struct ByteReader {
+  const char* p;
+  const char* end;
+
+  [[nodiscard]] bool exhausted() const noexcept { return p == end; }
+  int get() {
+    if (p == end) throw TraceError("binary trace shard truncated");
+    return static_cast<unsigned char>(*p++);
+  }
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const int c = get();
+      v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+      if ((c & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63) throw TraceError("binary trace varint overflow");
+    }
+    return v;
+  }
+};
+
 /// Per-rank delta state for timestamps and cumulative counters.
 struct RankDeltas {
   TimeNs lastTime = 0;
   counters::CounterSet lastCounters;
 };
-
-void putCounterDeltas(std::ostream& os, RankDeltas& d, const counters::CounterSet& c) {
-  for (std::size_t i = 0; i < counters::kNumCounters; ++i) {
-    UNVEIL_ASSERT(c.values[i] >= d.lastCounters.values[i],
-                  "binary writer requires monotone counters (finalized trace)");
-    putVarint(os, c.values[i] - d.lastCounters.values[i]);
-  }
-  d.lastCounters = c;
-}
 
 counters::CounterSet getCounterDeltas(std::istream& is, RankDeltas& d) {
   counters::CounterSet c;
@@ -65,83 +98,225 @@ counters::CounterSet getCounterDeltas(std::istream& is, RankDeltas& d) {
   return c;
 }
 
-}  // namespace
+/// Contiguous [begin, end) slice of a (rank, time)-sorted record vector
+/// belonging to each rank.
+template <typename Record>
+std::vector<std::pair<std::size_t, std::size_t>> rankRanges(
+    const std::vector<Record>& records, Rank ranks) {
+  std::vector<std::pair<std::size_t, std::size_t>> out(ranks, {0, 0});
+  std::size_t i = 0;
+  while (i < records.size()) {
+    const Rank r = records[i].rank;
+    std::size_t j = i;
+    while (j < records.size() && records[j].rank == r) ++j;
+    out[r] = {i, j};
+    i = j;
+  }
+  return out;
+}
 
-void writeBinary(const Trace& trace, std::ostream& os) {
-  if (!trace.finalized())
-    throw TraceError("binary export requires a finalized trace");
-  telemetry::Span span("trace.write_binary");
-  span.attr("app", trace.appName());
-  telemetry::count("trace.records_written", trace.events().size() +
-                                                trace.samples().size() +
-                                                trace.states().size());
-  os.write(kMagic, kMagicLen);
-  putVarint(os, trace.appName().size());
-  os.write(trace.appName().data(),
-           static_cast<std::streamsize>(trace.appName().size()));
-  putVarint(os, trace.numRanks());
-  putVarint(os, trace.durationNs());
-  putVarint(os, trace.events().size());
-  putVarint(os, trace.samples().size());
-  putVarint(os, trace.states().size());
+// ---------------------------------------------------------------------------
+// V2 shard encode/decode (one rank, self-contained delta contexts)
+// ---------------------------------------------------------------------------
 
-  // Events and samples share one delta context per rank so interleaved
-  // cumulative counters stay small; records are stored stream-by-stream but
-  // each stream is (rank, time)-sorted, so deltas within a stream are
-  // non-negative for time and counters. Separate contexts per stream keep
-  // the invariant simple.
+struct ShardCounts {
+  std::uint64_t events = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t states = 0;
+};
+
+std::string encodeShard(const Trace& trace, Rank rank,
+                        std::pair<std::size_t, std::size_t> eventRange,
+                        std::pair<std::size_t, std::size_t> sampleRange,
+                        std::pair<std::size_t, std::size_t> stateRange) {
+  ByteWriter w;
   {
-    std::vector<RankDeltas> ctx(trace.numRanks());
-    for (const auto& e : trace.events()) {
-      putVarint(os, e.rank);
-      putVarint(os, e.time - ctx[e.rank].lastTime);
-      ctx[e.rank].lastTime = e.time;
-      os.put(static_cast<char>(e.kind));
-      putVarint(os, e.value);
-      putCounterDeltas(os, ctx[e.rank], e.counters);
+    RankDeltas d;
+    for (std::size_t i = eventRange.first; i < eventRange.second; ++i) {
+      const Event& e = trace.events()[i];
+      w.varint(e.time - d.lastTime);
+      d.lastTime = e.time;
+      w.put(static_cast<char>(e.kind));
+      w.varint(e.value);
+      for (std::size_t c = 0; c < counters::kNumCounters; ++c) {
+        UNVEIL_ASSERT(e.counters.values[c] >= d.lastCounters.values[c],
+                      "binary writer requires monotone counters (finalized trace)");
+        w.varint(e.counters.values[c] - d.lastCounters.values[c]);
+      }
+      d.lastCounters = e.counters;
     }
   }
   {
-    std::vector<RankDeltas> ctx(trace.numRanks());
-    for (const auto& s : trace.samples()) {
-      putVarint(os, s.rank);
-      putVarint(os, s.time - ctx[s.rank].lastTime);
-      ctx[s.rank].lastTime = s.time;
-      os.put(static_cast<char>(s.validMask));
-      putVarint(os, s.regionId);
+    RankDeltas d;
+    for (std::size_t i = sampleRange.first; i < sampleRange.second; ++i) {
+      const Sample& s = trace.samples()[i];
+      w.varint(s.time - d.lastTime);
+      d.lastTime = s.time;
+      w.put(static_cast<char>(s.validMask));
+      w.varint(s.regionId);
       // Only valid counters are stored; the delta context advances per
       // counter on its own last valid observation.
-      for (std::size_t i = 0; i < counters::kNumCounters; ++i) {
-        if (!maskHas(s.validMask, static_cast<counters::CounterId>(i))) continue;
-        UNVEIL_ASSERT(
-            s.counters.values[i] >= ctx[s.rank].lastCounters.values[i],
-            "binary writer requires monotone counters (finalized trace)");
-        putVarint(os, s.counters.values[i] - ctx[s.rank].lastCounters.values[i]);
-        ctx[s.rank].lastCounters.values[i] = s.counters.values[i];
+      for (std::size_t c = 0; c < counters::kNumCounters; ++c) {
+        if (!maskHas(s.validMask, static_cast<counters::CounterId>(c))) continue;
+        UNVEIL_ASSERT(s.counters.values[c] >= d.lastCounters.values[c],
+                      "binary writer requires monotone counters (finalized trace)");
+        w.varint(s.counters.values[c] - d.lastCounters.values[c]);
+        d.lastCounters.values[c] = s.counters.values[c];
       }
     }
   }
   {
-    // States are (rank, begin)-sorted after finalize(), so begin deltas from
-    // the previous *begin* are always non-negative (ends may interleave).
-    std::vector<TimeNs> lastBegin(trace.numRanks(), 0);
-    for (const auto& s : trace.states()) {
-      putVarint(os, s.rank);
-      putVarint(os, s.begin - lastBegin[s.rank]);
-      putVarint(os, s.end - s.begin);
-      os.put(static_cast<char>(s.state));
-      lastBegin[s.rank] = s.begin;
+    // States are (rank, begin)-sorted after finalize(), so begin deltas
+    // from the previous *begin* are always non-negative (ends interleave).
+    TimeNs lastBegin = 0;
+    for (std::size_t i = stateRange.first; i < stateRange.second; ++i) {
+      const StateInterval& s = trace.states()[i];
+      w.varint(s.begin - lastBegin);
+      w.varint(s.end - s.begin);
+      w.put(static_cast<char>(s.state));
+      lastBegin = s.begin;
     }
   }
+  (void)rank;
+  return std::move(w.buf);
 }
 
-Trace readBinary(std::istream& is) {
-  telemetry::Span span("trace.read_binary");
-  char magic[kMagicLen];
-  is.read(magic, kMagicLen);
-  if (is.gcount() != static_cast<std::streamsize>(kMagicLen) ||
-      std::string_view(magic, kMagicLen) != std::string_view(kMagic, kMagicLen))
-    throw TraceError("not a binary unveil trace (bad magic)");
+/// Decoded contents of one rank's shard.
+struct DecodedShard {
+  std::vector<Event> events;
+  std::vector<Sample> samples;
+  std::vector<StateInterval> states;
+};
+
+DecodedShard decodeShard(ByteReader r, Rank rank, const ShardCounts& counts) {
+  DecodedShard out;
+  out.events.reserve(counts.events);
+  out.samples.reserve(counts.samples);
+  out.states.reserve(counts.states);
+  {
+    RankDeltas d;
+    for (std::uint64_t i = 0; i < counts.events; ++i) {
+      Event e;
+      e.rank = rank;
+      e.time = d.lastTime + r.varint();
+      d.lastTime = e.time;
+      const int kind = r.get();
+      if (kind > static_cast<int>(EventKind::MpiEnd))
+        throw TraceError("binary event kind invalid");
+      e.kind = static_cast<EventKind>(kind);
+      e.value = static_cast<std::uint32_t>(r.varint());
+      for (std::size_t c = 0; c < counters::kNumCounters; ++c)
+        e.counters.values[c] = d.lastCounters.values[c] + r.varint();
+      d.lastCounters = e.counters;
+      out.events.push_back(e);
+    }
+  }
+  {
+    RankDeltas d;
+    for (std::uint64_t i = 0; i < counts.samples; ++i) {
+      Sample s;
+      s.rank = rank;
+      s.time = d.lastTime + r.varint();
+      d.lastTime = s.time;
+      const int mask = r.get();
+      if (mask > static_cast<int>(kAllCountersMask))
+        throw TraceError("binary sample mask invalid");
+      s.validMask = static_cast<CounterMask>(mask);
+      s.regionId = static_cast<std::uint32_t>(r.varint());
+      for (std::size_t c = 0; c < counters::kNumCounters; ++c) {
+        if (!maskHas(s.validMask, static_cast<counters::CounterId>(c))) continue;
+        s.counters.values[c] = d.lastCounters.values[c] + r.varint();
+        d.lastCounters.values[c] = s.counters.values[c];
+      }
+      out.samples.push_back(s);
+    }
+  }
+  {
+    TimeNs lastBegin = 0;
+    for (std::uint64_t i = 0; i < counts.states; ++i) {
+      StateInterval s;
+      s.rank = rank;
+      s.begin = lastBegin + r.varint();
+      s.end = s.begin + r.varint();
+      const int state = r.get();
+      if (state > static_cast<int>(State::Idle))
+        throw TraceError("binary state code invalid");
+      s.state = static_cast<State>(state);
+      lastBegin = s.begin;
+      out.states.push_back(s);
+    }
+  }
+  if (!r.exhausted())
+    throw TraceError("binary trace shard has trailing bytes");
+  return out;
+}
+
+Trace readBinaryV2(std::istream& is) {
+  const auto nameLen = getVarint(is);
+  if (nameLen > 4096) throw TraceError("binary trace app name too long");
+  std::string name(nameLen, '\0');
+  is.read(name.data(), static_cast<std::streamsize>(nameLen));
+  if (is.gcount() != static_cast<std::streamsize>(nameLen))
+    throw TraceError("binary trace truncated in app name");
+  const auto ranks = static_cast<Rank>(getVarint(is));
+  if (ranks == 0) throw TraceError("binary trace has zero ranks");
+  if (ranks > (1u << 24)) throw TraceError("binary trace rank count implausible");
+  const auto duration = getVarint(is);
+  const auto nEvents = getVarint(is);
+  const auto nSamples = getVarint(is);
+  const auto nStates = getVarint(is);
+
+  // Shard table: per-rank record counts and encoded byte length.
+  std::vector<ShardCounts> counts(ranks);
+  std::vector<std::uint64_t> shardBytes(ranks);
+  std::uint64_t totalEvents = 0, totalSamples = 0, totalStates = 0,
+                totalBytes = 0;
+  for (Rank r = 0; r < ranks; ++r) {
+    counts[r].events = getVarint(is);
+    counts[r].samples = getVarint(is);
+    counts[r].states = getVarint(is);
+    shardBytes[r] = getVarint(is);
+    totalEvents += counts[r].events;
+    totalSamples += counts[r].samples;
+    totalStates += counts[r].states;
+    totalBytes += shardBytes[r];
+  }
+  if (totalEvents != nEvents || totalSamples != nSamples || totalStates != nStates)
+    throw TraceError("binary trace shard table disagrees with header counts");
+
+  std::string blob(totalBytes, '\0');
+  is.read(blob.data(), static_cast<std::streamsize>(totalBytes));
+  if (is.gcount() != static_cast<std::streamsize>(totalBytes))
+    throw TraceError("binary trace truncated in shard data");
+
+  // Shards are independent; decode them in parallel, each into its own
+  // slot, then append in rank order — the decoded trace is identical for
+  // any thread count.
+  std::vector<std::uint64_t> offsets(ranks, 0);
+  for (Rank r = 1; r < ranks; ++r) offsets[r] = offsets[r - 1] + shardBytes[r - 1];
+  std::vector<DecodedShard> shards(ranks);
+  support::globalPool().parallelFor(ranks, [&](std::size_t r) {
+    const ByteReader reader{blob.data() + offsets[r],
+                            blob.data() + offsets[r] + shardBytes[r]};
+    shards[r] = decodeShard(reader, static_cast<Rank>(r), counts[r]);
+  });
+
+  Trace trace(name, ranks);
+  trace.setDurationNs(duration);
+  for (auto& shard : shards) {
+    for (auto& e : shard.events) trace.addEvent(e);
+    for (auto& s : shard.samples) trace.addSample(s);
+    for (auto& s : shard.states) trace.addState(s);
+  }
+  trace.finalize();
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// V1 (legacy) reader — interleaved-rank streams, sequential by design
+// ---------------------------------------------------------------------------
+
+Trace readBinaryV1(std::istream& is) {
   const auto nameLen = getVarint(is);
   if (nameLen > 4096) throw TraceError("binary trace app name too long");
   std::string name(nameLen, '\0');
@@ -212,9 +387,70 @@ Trace readBinary(std::istream& is) {
     }
   }
   trace.finalize();
+  return trace;
+}
+
+}  // namespace
+
+void writeBinary(const Trace& trace, std::ostream& os) {
+  if (!trace.finalized())
+    throw TraceError("binary export requires a finalized trace");
+  telemetry::Span span("trace.write_binary");
   span.attr("app", trace.appName());
-  span.attr("records", nEvents + nSamples + nStates);
-  telemetry::count("trace.records_read", nEvents + nSamples + nStates);
+  span.attr("format", "UVTB2");
+  telemetry::count("trace.records_written", trace.events().size() +
+                                                trace.samples().size() +
+                                                trace.states().size());
+
+  const Rank ranks = trace.numRanks();
+  const auto eventRanges = rankRanges(trace.events(), ranks);
+  const auto sampleRanges = rankRanges(trace.samples(), ranks);
+  const auto stateRanges = rankRanges(trace.states(), ranks);
+
+  // Encode every rank's shard on the pool; each job owns its slot, and the
+  // shards are emitted in rank order, so the byte stream is identical for
+  // any thread count.
+  std::vector<std::string> shards(ranks);
+  support::globalPool().parallelFor(ranks, [&](std::size_t r) {
+    shards[r] = encodeShard(trace, static_cast<Rank>(r), eventRanges[r],
+                            sampleRanges[r], stateRanges[r]);
+  });
+
+  os.write(kMagicV2, kMagicLen);
+  putVarint(os, trace.appName().size());
+  os.write(trace.appName().data(),
+           static_cast<std::streamsize>(trace.appName().size()));
+  putVarint(os, ranks);
+  putVarint(os, trace.durationNs());
+  putVarint(os, trace.events().size());
+  putVarint(os, trace.samples().size());
+  putVarint(os, trace.states().size());
+  for (Rank r = 0; r < ranks; ++r) {
+    putVarint(os, eventRanges[r].second - eventRanges[r].first);
+    putVarint(os, sampleRanges[r].second - sampleRanges[r].first);
+    putVarint(os, stateRanges[r].second - stateRanges[r].first);
+    putVarint(os, shards[r].size());
+  }
+  for (const auto& shard : shards)
+    os.write(shard.data(), static_cast<std::streamsize>(shard.size()));
+}
+
+Trace readBinary(std::istream& is) {
+  telemetry::Span span("trace.read_binary");
+  char magic[kMagicLen];
+  is.read(magic, kMagicLen);
+  if (is.gcount() != static_cast<std::streamsize>(kMagicLen))
+    throw TraceError("not a binary unveil trace (bad magic)");
+  const std::string_view seen(magic, kMagicLen);
+  Trace trace = [&] {
+    if (seen == std::string_view(kMagicV2, kMagicLen)) return readBinaryV2(is);
+    if (seen == std::string_view(kMagicV1, kMagicLen)) return readBinaryV1(is);
+    throw TraceError("not a binary unveil trace (bad magic)");
+  }();
+  const auto stats = trace.stats();
+  span.attr("app", trace.appName());
+  span.attr("records", stats.totalRecords);
+  telemetry::count("trace.records_read", stats.totalRecords);
   return trace;
 }
 

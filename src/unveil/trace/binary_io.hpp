@@ -4,12 +4,21 @@
 /// Compact binary trace serialization (.utb).
 ///
 /// The text format (io.hpp) is diffable and greppable; this one is for
-/// volume. Layout: magic "UVTB1\n", header (app name, ranks, duration,
-/// record counts), then the three record streams. All integers are LEB128
-/// varints; timestamps and hardware counters are *delta-encoded per rank*,
-/// which is where the big win comes from — counters are cumulative and
-/// timestamps monotone, so deltas are small. Typical traces shrink 4–8x
-/// versus the text format.
+/// volume. All integers are LEB128 varints; timestamps and hardware
+/// counters are *delta-encoded per rank*, which is where the big win comes
+/// from — counters are cumulative and timestamps monotone, so deltas are
+/// small. Typical traces shrink 4–8x versus the text format.
+///
+/// Two on-disk versions exist:
+///  - "UVTB1\n" (legacy, read-only): header then three interleaved-rank
+///    record streams — inherently sequential to decode.
+///  - "UVTB2\n" (current, written by writeBinary): header, a per-rank shard
+///    table (record counts + encoded byte length per rank), then one
+///    self-contained shard per rank holding that rank's events, samples and
+///    states. Shards are independent, so writeBinary encodes them and
+///    readBinary decodes them in parallel on support::globalPool(); shard
+///    bytes and the decoded trace are bit-identical for any thread count
+///    (shards are always emitted/merged in rank order).
 
 #include <iosfwd>
 #include <string>

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -44,6 +46,31 @@ TEST(Args, RejectsBadNumbers) {
   EXPECT_THROW((void)args.getDouble("x", 0.0), ConfigError);
 }
 
+TEST(Args, RejectsOutOfRangeValues) {
+  const auto args = Args::parse({"--threads", "0", "--ranks", "-3", "--scale",
+                                 "0", "--big", "99999999999999999999"});
+  EXPECT_THROW((void)args.getInt("threads", 0, 1), ConfigError);
+  EXPECT_THROW((void)args.getInt("ranks", 16, 1), ConfigError);
+  EXPECT_THROW((void)args.getDouble("scale", 1.0, 1e-6), ConfigError);
+  EXPECT_THROW((void)args.getInt("big", 0), ConfigError);  // overflows long long
+  // In-range values pass through untouched; absent flags keep the fallback
+  // even when the fallback is outside the bounds.
+  EXPECT_EQ(args.getInt("ranks", 16, -10, 10), -3);
+  EXPECT_EQ(args.getInt("absent", 0, 1, 8), 0);
+}
+
+TEST(Args, RangeErrorsNameTheFlagAndBounds) {
+  const auto args = Args::parse({"--threads", "0"});
+  try {
+    (void)args.getInt("threads", 0, 1);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--threads"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(">= 1"), std::string::npos) << msg;
+  }
+}
+
 TEST(Args, TracksUnused) {
   const auto args = Args::parse({"--used", "1", "--typo", "2"});
   (void)args.get("used");
@@ -56,7 +83,10 @@ class CliRoundTrip : public ::testing::Test {
  protected:
   static std::string tracePath() {
     static const std::string path = [] {
-      const std::string p = ::testing::TempDir() + "/unveil_cli_test.trace";
+      // Per-process file name: ctest runs each test in its own process, and
+      // two concurrent processes sharing one path race reader vs writer.
+      const std::string p = ::testing::TempDir() + "/unveil_cli_test." +
+                            std::to_string(::getpid()) + ".trace";
       std::ostringstream out;
       const int rc = runCli({"simulate", "--app", "wavesim", "--ranks", "2",
                              "--iterations", "10", "--out", p},
@@ -225,6 +255,51 @@ TEST(Cli, MissingTraceFileIsError) {
 TEST(Cli, UnknownAppIsError) {
   std::ostringstream out;
   EXPECT_EQ(runCli({"simulate", "--app", "nope", "--out", "/tmp/x.trace"}, out), 1);
+}
+
+TEST_F(CliRoundTrip, AnalyzeOutputIdenticalForAnyThreadCount) {
+  const auto analyzeWith = [&](const std::string& threads) {
+    std::ostringstream out;
+    const int rc = runCli({"analyze", "--trace", tracePath(), "--no-telemetry",
+                           "--threads", threads},
+                          out);
+    EXPECT_EQ(rc, 0) << out.str();
+    return out.str();
+  };
+  // The whole parallel pipeline must be deterministic: byte-identical
+  // analysis output no matter how many workers ran it.
+  const std::string one = analyzeWith("1");
+  EXPECT_EQ(one, analyzeWith("2"));
+  EXPECT_EQ(one, analyzeWith("8"));
+}
+
+TEST(Cli, InvalidThreadsRejected) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"info", "--trace", "x", "--threads", "0"}, out), 1);
+  EXPECT_NE(out.str().find("--threads"), std::string::npos);
+  out.str("");
+  EXPECT_EQ(runCli({"info", "--trace", "x", "--threads", "-2"}, out), 1);
+  out.str("");
+  EXPECT_EQ(runCli({"info", "--trace", "x", "--threads", "many"}, out), 1);
+}
+
+TEST(Cli, InvalidNumericFlagValuesRejected) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"simulate", "--app", "wavesim", "--out", "/tmp/x.trace",
+                    "--ranks", "-3"},
+                   out),
+            1);
+  EXPECT_NE(out.str().find("--ranks"), std::string::npos);
+  out.str("");
+  EXPECT_EQ(runCli({"simulate", "--app", "wavesim", "--out", "/tmp/x.trace",
+                    "--iterations", "0"},
+                   out),
+            1);
+  out.str("");
+  EXPECT_EQ(runCli({"simulate", "--app", "wavesim", "--out", "/tmp/x.trace",
+                    "--scale", "-1"},
+                   out),
+            1);
 }
 
 TEST(Cli, UnknownModeIsError) {

@@ -76,8 +76,9 @@ TEST(Diff, IdenticalRunsShowNoDeltas) {
   for (const auto& row : diff.clusters) {
     EXPECT_DOUBLE_EQ(row.durationDeltaPercent, 0.0);
     EXPECT_DOUBLE_EQ(row.mipsDeltaPercent, 0.0);
-    if (row.profileDistancePercent >= 0.0)
+    if (row.profileDistancePercent >= 0.0) {
       EXPECT_NEAR(row.profileDistancePercent, 0.0, 1e-9);
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 #include "unveil/cluster/quality.hpp"
 #include "unveil/folding/accuracy.hpp"
 #include "unveil/support/error.hpp"
+#include "unveil/support/thread_pool.hpp"
 
 namespace unveil::analysis {
 namespace {
@@ -162,20 +163,38 @@ TEST(Pipeline, AmrflowEndToEnd) {
   EXPECT_EQ(result.period.period, 2u);
 }
 
-TEST(Pipeline, ParallelFoldingMatchesSequential) {
+/// RAII: pin the shared pool to a size for one test, restore auto after.
+struct PoolSizeGuard {
+  explicit PoolSizeGuard(std::size_t n) { support::setGlobalThreads(n); }
+  ~PoolSizeGuard() { support::setGlobalThreads(0); }
+};
+
+TEST(Pipeline, ParallelAnalysisMatchesSequentialBitExact) {
   sim::apps::AppParams p;
   p.ranks = 4;
   p.iterations = 30;
   p.seed = 9;
   const auto run = runMeasured("wavesim", p, sim::MeasurementConfig::folding());
-  PipelineConfig seq;
-  seq.foldThreads = 1;
-  PipelineConfig par;
-  par.foldThreads = 0;  // all cores
-  const auto a = analyze(run.trace, seq);
-  const auto b = analyze(run.trace, par);
+  const auto runAt = [&](std::size_t threads) {
+    const PoolSizeGuard guard(threads);
+    return analyze(run.trace);
+  };
+  const auto a = runAt(1);
+  const auto b = runAt(8);
+  // Every stage of the pipeline runs on the shared pool; the whole result
+  // must be bit-identical regardless of pool size.
+  ASSERT_EQ(a.bursts.size(), b.bursts.size());
+  for (std::size_t i = 0; i < a.bursts.size(); ++i) {
+    EXPECT_EQ(a.bursts[i].rank, b.bursts[i].rank);
+    EXPECT_EQ(a.bursts[i].begin, b.bursts[i].begin);
+    EXPECT_EQ(a.bursts[i].end, b.bursts[i].end);
+    EXPECT_EQ(a.bursts[i].sampleIdx, b.bursts[i].sampleIdx);
+  }
+  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
+  EXPECT_EQ(a.epsUsed, b.epsUsed);
   ASSERT_EQ(a.clusters.size(), b.clusters.size());
   for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].memberIdx, b.clusters[i].memberIdx);
     ASSERT_EQ(a.clusters[i].rates.size(), b.clusters[i].rates.size());
     for (const auto& [counter, curve] : a.clusters[i].rates) {
       const auto& other = b.clusters[i].rates.at(counter);

@@ -1,0 +1,168 @@
+/// Tests for the shared work-stealing pool: exactly-once index dispatch,
+/// deterministic exception propagation, nested submission from workers,
+/// shutdown under load, and telemetry span re-parenting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/telemetry.hpp"
+#include "unveil/support/thread_pool.hpp"
+
+namespace unveil::support {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kJobs = 10'000;
+    std::vector<std::atomic<int>> hits(kJobs);
+    pool.parallelFor(kJobs, [&](std::size_t j) {
+      hits[j].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t j = 0; j < kJobs; ++j)
+      ASSERT_EQ(hits[j].load(), 1) << "threads=" << threads << " j=" << j;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  pool.parallelFor(16, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  auto f = pool.submit([&] { return std::this_thread::get_id(); });
+  EXPECT_EQ(f.get(), caller);
+}
+
+TEST(ThreadPool, ParallelForChunksCoversRangeOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTotal = 12'345;
+  std::vector<std::atomic<int>> hits(kTotal);
+  pool.parallelForChunks(kTotal, 100, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kTotal; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexError) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    std::atomic<std::size_t> executed{0};
+    try {
+      pool.parallelFor(64, [&](std::size_t j) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (j == 7 || j == 40) throw std::runtime_error("boom " + std::to_string(j));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      // No cancellation: all jobs ran, and the lowest failing index wins
+      // regardless of which worker hit it first.
+      EXPECT_STREQ(e.what(), "boom 7");
+    }
+    EXPECT_EQ(executed.load(), 64u);
+  }
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw ConfigError("bad task"); });
+  EXPECT_THROW((void)f.get(), ConfigError);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerCompletes) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  // Outer jobs outnumber workers, and each opens an inner loop: the caller-
+  // participates rule is what keeps this from deadlocking.
+  pool.parallelFor(16, [&](std::size_t) {
+    pool.parallelFor(32, [&](std::size_t j) {
+      total.fetch_add(j, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 16u * (31u * 32u / 2u));
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerCompletes) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&] {
+    auto inner = pool.submit([] { return 21; });
+    return inner.get() * 2;
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::vector<std::future<int>> futures;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 200; ++i) {
+      futures.push_back(pool.submit([&ran, i] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return i;
+      }));
+    }
+    // Destructor runs with most tasks still queued.
+  }
+  EXPECT_EQ(ran.load(), 200);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+}
+
+TEST(ThreadPool, ParallelForReparentsWorkerSpans) {
+  telemetry::Session session;
+  session.activate();
+  ThreadPool pool(4);
+  std::uint64_t stageId = 0;
+  {
+    telemetry::Span stage("test.stage");
+    stageId = stage.id();
+    pool.parallelFor(64, [&](std::size_t) {
+      const telemetry::Span job("test.job");
+      (void)job;
+    });
+  }
+  session.deactivate();
+  const auto snap = session.snapshot();
+  ASSERT_NE(stageId, 0u);
+  std::size_t jobs = 0;
+  for (const auto& s : snap.spans) {
+    if (s.name != "test.job") continue;
+    ++jobs;
+    // Helper-worker spans must hang off the dispatching stage span, not
+    // float as roots.
+    EXPECT_EQ(s.parentId, stageId);
+  }
+  EXPECT_EQ(jobs, 64u);
+}
+
+TEST(ThreadPool, GlobalPoolHonorsConfiguredSize) {
+  setGlobalThreads(3);
+  EXPECT_EQ(globalThreadCount(), 3u);
+  EXPECT_EQ(globalPool().threads(), 3u);
+  setGlobalThreads(0);  // back to automatic for the rest of the suite
+  EXPECT_GE(globalThreadCount(), 1u);
+}
+
+TEST(ThreadPool, EmptyLoopIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallelFor(0, [&](std::size_t) { called = true; });
+  pool.parallelForChunks(0, 16, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace unveil::support

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_perf.json against the committed baseline.
+
+Fails (exit 1) when any benchmark's ns_per_op regressed by more than the
+threshold. Benchmarks present in only one file are reported but never fail
+the check (new benchmarks have no baseline; retired ones have no current
+number). Pipeline stage timings are printed for context only — they come
+from a single run and are too noisy to gate on.
+
+Usage: tools/check_perf_regression.py BASELINE CURRENT [--threshold PCT]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        name: entry["ns_per_op"]
+        for name, entry in data.get("benchmarks", {}).items()
+        if "ns_per_op" in entry
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_perf.json")
+    parser.add_argument("current", help="freshly generated BENCH_perf.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="maximum allowed slowdown in percent (default: 25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    regressions = []
+    rows = []
+    for name in sorted(baseline.keys() | current.keys()):
+        if name not in baseline:
+            rows.append((name, None, current[name], "new (no baseline)"))
+            continue
+        if name not in current:
+            rows.append((name, baseline[name], None, "missing in current run"))
+            continue
+        base, cur = baseline[name], current[name]
+        delta = (cur / base - 1.0) * 100.0 if base > 0 else 0.0
+        status = f"{delta:+.1f}%"
+        if delta > args.threshold:
+            status += f"  REGRESSION (> {args.threshold:g}%)"
+            regressions.append((name, delta))
+        rows.append((name, base, cur, status))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    for name, base, cur, status in rows:
+        base_s = f"{base / 1e3:12.1f}" if base is not None else f"{'-':>12}"
+        cur_s = f"{cur / 1e3:12.1f}" if cur is not None else f"{'-':>12}"
+        print(f"{name:<{width}}  {base_s} us  {cur_s} us  {status}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:g}% vs {args.baseline}:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
