@@ -49,6 +49,33 @@ sim::apps::AppParams paramsFromArgs(const Args& args) {
   return p;
 }
 
+/// Trace-reading policy for this invocation: fail fast under --strict,
+/// otherwise salvage what per-shard degradation can (the right default for
+/// unattended analysis over large, possibly damaged trace collections).
+trace::ReadOptions readOptionsFromArgs(const Args& args) {
+  trace::ReadOptions options;
+  options.strict = args.has("strict");
+  return options;
+}
+
+/// Reads a trace honoring --strict and surfaces any dropped shards to the
+/// user; the report is also returned for command summaries.
+trace::Trace loadTrace(const Args& args, const std::string& path,
+                       std::ostream& out, trace::ReadReport* reportOut = nullptr) {
+  trace::ReadReport report;
+  trace::Trace t = trace::readAutoFile(path, readOptionsFromArgs(args), &report);
+  if (!report.droppedShards.empty()) {
+    out << "warning: dropped " << report.droppedShards.size() << " of "
+        << report.totalRanks << " shards in " << path
+        << " (rerun with --strict to fail instead):\n";
+    for (const auto& d : report.droppedShards)
+      out << "  rank " << d.rank << " at byte " << d.offset << ": " << d.reason
+          << '\n';
+  }
+  if (reportOut) *reportOut = std::move(report);
+  return t;
+}
+
 int failOnUnused(const Args& args, std::ostream& out) {
   const auto unused = args.unusedFlags();
   if (unused.empty()) return 0;
@@ -160,6 +187,8 @@ std::string usage() {
          "                      results are identical for any thread count\n"
          "  --trace-out FILE    chrome://tracing span JSON for this run\n"
          "  --metrics-out FILE  flat JSON dump of work counters and timings\n"
+         "  --strict            fail on the first corrupt trace shard instead\n"
+         "                      of dropping it and analyzing surviving ranks\n"
          "  --no-telemetry      disable self-tracing entirely\n"
          "  --verbose           info-level logs + telemetry summary table\n"
          "  --quiet             suppress log output\n";
@@ -198,7 +227,8 @@ int cmdInfo(const Args& args, std::ostream& out) {
     return 2;
   }
   if (const int rc = failOnUnused(args, out)) return rc;
-  const auto t = trace::readAutoFile(path);
+  trace::ReadReport report;
+  const auto t = loadTrace(args, path, out, &report);
   const auto stats = t.stats();
   out << "app:      " << t.appName() << '\n';
   out << "ranks:    " << t.numRanks() << '\n';
@@ -234,7 +264,8 @@ int cmdAnalyze(const Args& args, std::ostream& out) {
       static_cast<std::size_t>(args.getInt("focus", 0, 0, 1 << 30));
   if (const int rc = failOnUnused(args, out)) return rc;
 
-  const auto t = trace::readAutoFile(path);
+  trace::ReadReport report;
+  const auto t = loadTrace(args, path, out, &report);
   auto result = analysis::analyze(t, config);
 
   if (focusIterations > 0) {
@@ -260,6 +291,12 @@ int cmdAnalyze(const Args& args, std::ostream& out) {
   }
   analysis::clusterSummaryTable(result).print(out, "detected computation phases");
   out << "\neps used: " << result.epsUsed << '\n';
+  if (!report.droppedShards.empty()) {
+    out << "ranks analyzed: " << (report.totalRanks - report.droppedShards.size())
+        << " of " << report.totalRanks << " (" << report.droppedShards.size()
+        << " corrupt shard" << (report.droppedShards.size() == 1 ? "" : "s")
+        << " dropped)\n";
+  }
   out << "iteration period: " << result.period.period << " (self-similarity "
       << result.period.matchFraction * 100.0 << "%)\n";
   out << "SPMD-ness: "
@@ -318,8 +355,8 @@ int cmdDiff(const Args& args, std::ostream& out) {
   config.reconstruct.fold.probeOverheadNs =
       args.getDouble("probe-cost-ns", 0.0, 0.0, 1e12);
   if (const int rc = failOnUnused(args, out)) return rc;
-  const auto ta = trace::readAutoFile(pathA);
-  const auto tb = trace::readAutoFile(pathB);
+  const auto ta = loadTrace(args, pathA, out);
+  const auto tb = loadTrace(args, pathB, out);
   const auto ra = analysis::analyze(ta, config);
   const auto rb = analysis::analyze(tb, config);
   const auto diff = analysis::diffRuns(ra, rb);
@@ -350,7 +387,7 @@ int cmdReport(const Args& args, std::ostream& out) {
   options.pipeline.reconstruct.fold.probeOverheadNs =
       args.getDouble("probe-cost-ns", 0.0, 0.0, 1e12);
   if (const int rc = failOnUnused(args, out)) return rc;
-  const auto t = trace::readAutoFile(path);
+  const auto t = loadTrace(args, path, out);
   analysis::printReport(analysis::buildReport(t, options), t, out);
   return 0;
 }
@@ -362,7 +399,7 @@ int cmdImbalance(const Args& args, std::ostream& out) {
     return 2;
   }
   if (const int rc = failOnUnused(args, out)) return rc;
-  const auto t = trace::readAutoFile(path);
+  const auto t = loadTrace(args, path, out);
   const auto result = analysis::analyze(t);
   analysis::imbalanceTable(analysis::imbalanceAnalysis(result, t.numRanks()))
       .print(out, "load-balance characterization");
@@ -376,7 +413,7 @@ int cmdEvolution(const Args& args, std::ostream& out) {
     return 2;
   }
   if (const int rc = failOnUnused(args, out)) return rc;
-  const auto t = trace::readAutoFile(path);
+  const auto t = loadTrace(args, path, out);
   const auto result = analysis::analyze(t);
   analysis::evolutionTable(analysis::durationEvolution(result))
       .print(out, "cross-run evolution (per-cluster duration trends)");
@@ -391,7 +428,7 @@ int cmdExportParaver(const Args& args, std::ostream& out) {
     return 2;
   }
   if (const int rc = failOnUnused(args, out)) return rc;
-  const auto t = trace::readAutoFile(path);
+  const auto t = loadTrace(args, path, out);
   trace::exportParaver(t, base);
   out << "paraver triple -> " << base << ".{prv,pcf,row}\n";
   return 0;
@@ -406,6 +443,9 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out) {
   const std::vector<std::string> rest(argv.begin() + 1, argv.end());
   try {
     const Args args = Args::parse(rest);
+    // --strict is consumed lazily (by loadTrace, after unused-flag
+    // checking); touch it here so it registers as a known global flag.
+    (void)args.has("strict");
     const ThreadsScope threads(args);
     TelemetryScope telemetry(args, out);
     const auto dispatch = [&]() -> int {

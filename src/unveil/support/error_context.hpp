@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file error_context.hpp
+/// Structured context frames for errors that cross layer boundaries.
+///
+/// A parse error three layers deep ("varint overflow") is useless without
+/// knowing *where*: which file, which shard, which rank, which byte offset.
+/// An ErrorContext is an ordered chain of key=value frames built as a
+/// decoder descends; annotate() renders them as a bracketed suffix, and
+/// rethrowTraceErrorWith() re-raises a caught Error with the frames
+/// attached while keeping the TraceError type (so catch sites and exit
+/// codes are unchanged).
+///
+/// Frames accumulate outside-in: the innermost thrower adds shard/rank/
+/// offset, the file-level caller adds file=..., producing e.g.
+///   trace error: binary event kind invalid [shard=3, rank=3, offset=1042, file=run.utb]
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::support {
+
+class ErrorContext {
+ public:
+  ErrorContext() = default;
+
+  ErrorContext& with(std::string_view key, std::string_view value) {
+    frames_.emplace_back(std::string(key), std::string(value));
+    return *this;
+  }
+  ErrorContext& with(std::string_view key, std::uint64_t value) {
+    return with(key, std::string_view(std::to_string(value)));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return frames_.empty(); }
+
+  /// "\p message [k1=v1, k2=v2, ...]"; \p message unchanged when empty.
+  [[nodiscard]] std::string annotate(std::string_view message) const {
+    std::string out(message);
+    if (frames_.empty()) return out;
+    out += " [";
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+      if (i) out += ", ";
+      out += frames_[i].first;
+      out += '=';
+      out += frames_[i].second;
+    }
+    out += ']';
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> frames_;
+};
+
+/// \p e's message with the "trace error: " prefix the TraceError
+/// constructor adds removed, so re-wrapping at several boundaries does not
+/// stack it.
+[[nodiscard]] inline std::string strippedMessage(const Error& e) {
+  std::string msg = e.what();
+  constexpr std::string_view kPrefix = "trace error: ";
+  if (msg.rfind(kPrefix, 0) == 0) msg.erase(0, kPrefix.size());
+  return msg;
+}
+
+/// Rethrows \p e as a TraceError with \p ctx's frames appended to the
+/// message.
+[[noreturn]] inline void rethrowTraceErrorWith(const Error& e,
+                                               const ErrorContext& ctx) {
+  throw TraceError(ctx.annotate(strippedMessage(e)));
+}
+
+}  // namespace unveil::support

@@ -1,0 +1,103 @@
+#include "unveil/support/faulty_stream.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "unveil/support/error.hpp"
+
+namespace unveil::support {
+
+FaultSpec FaultSpec::parse(std::string_view text) {
+  FaultSpec spec;
+  auto parseValue = [](std::string_view key, std::string_view v) -> std::uint64_t {
+    const std::string s(v);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long out = std::strtoull(s.c_str(), &end, 10);
+    if (s.empty() || end == nullptr || *end != '\0' || errno == ERANGE)
+      throw ConfigError("fault spec: bad value '" + s + "' for " + std::string(key));
+    return out;
+  };
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos)
+      throw ConfigError("fault spec: expected key=value, got '" + std::string(item) + "'");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "fail-read-after") spec.failReadAfter = parseValue(key, value);
+    else if (key == "fail-write-after") spec.failWriteAfter = parseValue(key, value);
+    else if (key == "flip-byte-at") spec.flipByteAt = parseValue(key, value);
+    else if (key == "flip-mask")
+      spec.flipMask = static_cast<std::uint8_t>(parseValue(key, value));
+    else if (key == "short-read-max") spec.shortReadMax = parseValue(key, value);
+    else throw ConfigError("fault spec: unknown key '" + std::string(key) + "'");
+  }
+  return spec;
+}
+
+std::streambuf::int_type FaultyStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  std::uint64_t want = sizeof(buf_);
+  if (spec_.shortReadMax > 0) want = std::min(want, spec_.shortReadMax);
+  if (spec_.failReadAfter != kFaultNever) {
+    if (bytesRead_ >= spec_.failReadAfter) return traits_type::eof();
+    want = std::min(want, spec_.failReadAfter - bytesRead_);
+  }
+  const std::streamsize got =
+      inner_->sgetn(buf_, static_cast<std::streamsize>(want));
+  if (got <= 0) return traits_type::eof();
+  if (spec_.flipByteAt != kFaultNever && spec_.flipByteAt >= bytesRead_ &&
+      spec_.flipByteAt < bytesRead_ + static_cast<std::uint64_t>(got)) {
+    char& b = buf_[spec_.flipByteAt - bytesRead_];
+    b = static_cast<char>(static_cast<unsigned char>(b) ^ spec_.flipMask);
+  }
+  bytesRead_ += static_cast<std::uint64_t>(got);
+  setg(buf_, buf_, buf_ + got);
+  return traits_type::to_int_type(buf_[0]);
+}
+
+std::streamsize FaultyStreamBuf::xsputn(const char* s, std::streamsize n) {
+  std::streamsize accept = n;
+  if (spec_.failWriteAfter != kFaultNever) {
+    if (bytesWritten_ >= spec_.failWriteAfter) return 0;
+    accept = static_cast<std::streamsize>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(n), spec_.failWriteAfter - bytesWritten_));
+  }
+  const std::streamsize put = inner_->sputn(s, accept);
+  if (put > 0) bytesWritten_ += static_cast<std::uint64_t>(put);
+  return put;
+}
+
+std::streambuf::int_type FaultyStreamBuf::overflow(int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof()))
+    return traits_type::not_eof(ch);
+  const char c = traits_type::to_char_type(ch);
+  return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+}
+
+int FaultyStreamBuf::sync() { return inner_->pubsync(); }
+
+namespace {
+std::optional<FaultSpec> g_testFaultSpec;  // NOLINT: test-only global
+}  // namespace
+
+std::optional<FaultSpec> activeFaultSpec() {
+  if (g_testFaultSpec) return g_testFaultSpec;
+  const char* env = std::getenv("UNVEIL_FAULT_SPEC");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  return FaultSpec::parse(env);
+}
+
+void setFaultSpecForTesting(std::optional<FaultSpec> spec) {
+  g_testFaultSpec = spec;
+}
+
+}  // namespace unveil::support

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file faulty_stream.hpp
+/// Deterministic I/O fault injection for robustness testing.
+///
+/// A FaultyStreamBuf decorates another streambuf and injects the failure
+/// modes production filesystems actually produce: reads that stop short
+/// (killed jobs, truncated copies), writes that fail mid-stream (ENOSPC,
+/// quota), and flipped bytes (flaky NFS, bit rot). Faults are positional
+/// and deterministic — the same FaultSpec over the same bytes fails the
+/// same way every time — so tests and the fuzz driver can assert exact
+/// outcomes.
+///
+/// Two injection paths exist:
+///  - tests construct FaultyStreamBuf directly, or call
+///    setFaultSpecForTesting() so the trace file helpers wrap their
+///    streams;
+///  - the UNVEIL_FAULT_SPEC environment variable applies a spec
+///    process-wide (e.g. `UNVEIL_FAULT_SPEC=fail-write-after=4096 unveil
+///    simulate ...` rehearses a disk-full mid-write).
+///
+/// Spec syntax: comma-separated `key=value` pairs; keys:
+///   fail-read-after=N    reads report EOF after N bytes delivered
+///   fail-write-after=N   writes fail (badbit) after N bytes accepted
+///   flip-byte-at=N       XOR flip-mask into the byte at read offset N
+///   flip-mask=M          mask for flip-byte-at (default 1)
+///   short-read-max=N     deliver at most N bytes per refill (exercises
+///                        partial-read handling; data is still complete)
+
+#include <cstdint>
+#include <optional>
+#include <streambuf>
+#include <string_view>
+
+namespace unveil::support {
+
+/// Sentinel for "this fault never fires".
+inline constexpr std::uint64_t kFaultNever = ~std::uint64_t{0};
+
+struct FaultSpec {
+  std::uint64_t failReadAfter = kFaultNever;
+  std::uint64_t failWriteAfter = kFaultNever;
+  std::uint64_t flipByteAt = kFaultNever;
+  std::uint8_t flipMask = 0x01;
+  std::uint64_t shortReadMax = 0;  ///< 0 = full-size refills.
+
+  /// True when at least one fault is armed.
+  [[nodiscard]] bool any() const noexcept {
+    return failReadAfter != kFaultNever || failWriteAfter != kFaultNever ||
+           flipByteAt != kFaultNever || shortReadMax != 0;
+  }
+
+  /// Parses the comma-separated syntax above; throws ConfigError on
+  /// unknown keys or malformed numbers.
+  [[nodiscard]] static FaultSpec parse(std::string_view text);
+};
+
+/// streambuf decorator applying a FaultSpec to an inner streambuf. Holds no
+/// ownership; the inner buf must outlive it. Read and write byte positions
+/// are tracked independently.
+class FaultyStreamBuf final : public std::streambuf {
+ public:
+  FaultyStreamBuf(std::streambuf* inner, FaultSpec spec)
+      : inner_(inner), spec_(spec) {}
+
+  [[nodiscard]] std::uint64_t bytesRead() const noexcept { return bytesRead_; }
+  [[nodiscard]] std::uint64_t bytesWritten() const noexcept { return bytesWritten_; }
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+  int sync() override;
+
+ private:
+  std::streambuf* inner_;
+  FaultSpec spec_;
+  std::uint64_t bytesRead_ = 0;     ///< Offset of the first byte of the get area.
+  std::uint64_t bytesWritten_ = 0;
+  char buf_[4096];
+};
+
+/// The process-wide fault spec the trace file helpers consult: the testing
+/// override when set, else UNVEIL_FAULT_SPEC from the environment (parsed
+/// per call so tests may change it), else nullopt.
+[[nodiscard]] std::optional<FaultSpec> activeFaultSpec();
+
+/// Installs (or with nullopt clears) a spec that shadows the environment
+/// variable. Not thread-safe; call from test setup only.
+void setFaultSpecForTesting(std::optional<FaultSpec> spec);
+
+}  // namespace unveil::support

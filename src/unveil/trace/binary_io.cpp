@@ -2,15 +2,20 @@
 
 #include "unveil/trace/io.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/error_context.hpp"
+#include "unveil/support/faulty_stream.hpp"
+#include "unveil/support/log.hpp"
 #include "unveil/support/telemetry.hpp"
 #include "unveil/support/thread_pool.hpp"
 
@@ -62,10 +67,17 @@ struct ByteWriter {
 
 /// Bounds-checked cursor over one rank's shard bytes.
 struct ByteReader {
+  const char* begin;
   const char* p;
   const char* end;
 
+  ByteReader(const char* b, const char* e) : begin(b), p(b), end(e) {}
+
   [[nodiscard]] bool exhausted() const noexcept { return p == end; }
+  /// Bytes consumed so far — offset of the next (possibly failing) byte.
+  [[nodiscard]] std::uint64_t consumed() const noexcept {
+    return static_cast<std::uint64_t>(p - begin);
+  }
   int get() {
     if (p == end) throw TraceError("binary trace shard truncated");
     return static_cast<unsigned char>(*p++);
@@ -188,11 +200,28 @@ struct DecodedShard {
   std::vector<StateInterval> states;
 };
 
-DecodedShard decodeShard(ByteReader r, Rank rank, const ShardCounts& counts) {
+/// Smallest possible encodings, used to bound untrusted record counts
+/// against the bytes actually present before any allocation.
+constexpr std::uint64_t kMinEventBytes = 3 + counters::kNumCounters;
+constexpr std::uint64_t kMinSampleBytes = 3;  // all counters may be masked out
+constexpr std::uint64_t kMinStateBytes = 3;
+
+DecodedShard decodeShardBody(ByteReader& r, Rank rank, const ShardCounts& counts,
+                             TimeNs duration) {
   DecodedShard out;
-  out.events.reserve(counts.events);
-  out.samples.reserve(counts.samples);
-  out.states.reserve(counts.states);
+  // The counts come from an untrusted shard table. They have been validated
+  // against the byte budget already, but clamp the reserves against the
+  // bytes actually in hand anyway — a reserve() must never be able to
+  // request more memory than the input paid for.
+  const auto budget = static_cast<std::uint64_t>(r.end - r.p);
+  out.events.reserve(std::min(counts.events, budget / kMinEventBytes));
+  out.samples.reserve(std::min(counts.samples, budget / kMinSampleBytes));
+  out.states.reserve(std::min(counts.states, budget / kMinStateBytes));
+  // Delta-decoded times are monotone by construction, so bounding them
+  // against the header duration only needs one compare per record; a
+  // violation is shard-local corruption, caught here so it can be
+  // attributed (and degraded) per shard instead of failing finalize().
+  const bool checkTime = duration > 0;
   {
     RankDeltas d;
     for (std::uint64_t i = 0; i < counts.events; ++i) {
@@ -200,6 +229,8 @@ DecodedShard decodeShard(ByteReader r, Rank rank, const ShardCounts& counts) {
       e.rank = rank;
       e.time = d.lastTime + r.varint();
       d.lastTime = e.time;
+      if (checkTime && e.time > duration)
+        throw TraceError("binary event time exceeds trace duration");
       const int kind = r.get();
       if (kind > static_cast<int>(EventKind::MpiEnd))
         throw TraceError("binary event kind invalid");
@@ -218,6 +249,8 @@ DecodedShard decodeShard(ByteReader r, Rank rank, const ShardCounts& counts) {
       s.rank = rank;
       s.time = d.lastTime + r.varint();
       d.lastTime = s.time;
+      if (checkTime && s.time > duration)
+        throw TraceError("binary sample time exceeds trace duration");
       const int mask = r.get();
       if (mask > static_cast<int>(kAllCountersMask))
         throw TraceError("binary sample mask invalid");
@@ -238,6 +271,8 @@ DecodedShard decodeShard(ByteReader r, Rank rank, const ShardCounts& counts) {
       s.rank = rank;
       s.begin = lastBegin + r.varint();
       s.end = s.begin + r.varint();
+      if (checkTime && s.end > duration)
+        throw TraceError("binary state interval exceeds trace duration");
       const int state = r.get();
       if (state > static_cast<int>(State::Idle))
         throw TraceError("binary state code invalid");
@@ -251,55 +286,209 @@ DecodedShard decodeShard(ByteReader r, Rank rank, const ShardCounts& counts) {
   return out;
 }
 
-Trace readBinaryV2(std::istream& is) {
-  const auto nameLen = getVarint(is);
+/// Decodes one shard, annotating any failure with shard/rank and the
+/// absolute file offset of the failing byte.
+DecodedShard decodeShard(ByteReader& r, Rank rank, const ShardCounts& counts,
+                         TimeNs duration, std::uint64_t shardFileOffset) {
+  try {
+    return decodeShardBody(r, rank, counts, duration);
+  } catch (const Error& e) {
+    support::rethrowTraceErrorWith(
+        e, support::ErrorContext{}
+               .with("shard", static_cast<std::uint64_t>(rank))
+               .with("rank", static_cast<std::uint64_t>(rank))
+               .with("offset", shardFileOffset + r.consumed()));
+  }
+}
+
+/// Counting wrapper over the header stream so errors (and shard drops) can
+/// report absolute file offsets even on non-seekable streams.
+struct CountingSource {
+  std::istream& is;
+  std::uint64_t consumed;
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const int c = is.get();
+      if (c == std::char_traits<char>::eof())
+        throw TraceError("binary trace truncated inside varint at offset " +
+                         std::to_string(consumed));
+      ++consumed;
+      v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+      if ((c & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63)
+        throw TraceError("binary trace varint overflow at offset " +
+                         std::to_string(consumed));
+    }
+    return v;
+  }
+
+  /// Reads up to \p n bytes; returns the count actually read.
+  std::uint64_t readSome(char* dst, std::uint64_t n) {
+    is.read(dst, static_cast<std::streamsize>(n));
+    const auto got = static_cast<std::uint64_t>(is.gcount());
+    consumed += got;
+    return got;
+  }
+};
+
+std::uint64_t addChecked(std::uint64_t a, std::uint64_t b, const char* what) {
+  std::uint64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out))
+    throw TraceError(std::string("binary trace ") + what + " overflows");
+  return out;
+}
+
+Trace readBinaryV2(std::istream& rawIs, const ReadOptions& options,
+                   ReadReport* report) {
+  CountingSource src{rawIs, kMagicLen};  // magic already consumed by the caller
+  const auto nameLen = src.varint();
   if (nameLen > 4096) throw TraceError("binary trace app name too long");
   std::string name(nameLen, '\0');
-  is.read(name.data(), static_cast<std::streamsize>(nameLen));
-  if (is.gcount() != static_cast<std::streamsize>(nameLen))
+  if (src.readSome(name.data(), nameLen) != nameLen)
     throw TraceError("binary trace truncated in app name");
-  const auto ranks = static_cast<Rank>(getVarint(is));
-  if (ranks == 0) throw TraceError("binary trace has zero ranks");
-  if (ranks > (1u << 24)) throw TraceError("binary trace rank count implausible");
-  const auto duration = getVarint(is);
-  const auto nEvents = getVarint(is);
-  const auto nSamples = getVarint(is);
-  const auto nStates = getVarint(is);
+  const auto rankCount = src.varint();
+  if (rankCount == 0) throw TraceError("binary trace has zero ranks");
+  if (rankCount > (1u << 24))
+    throw TraceError("binary trace rank count implausible");
+  const auto ranks = static_cast<Rank>(rankCount);
+  const auto duration = src.varint();
+  const auto nEvents = src.varint();
+  const auto nSamples = src.varint();
+  const auto nStates = src.varint();
+  if (report) report->totalRanks = ranks;
 
-  // Shard table: per-rank record counts and encoded byte length.
-  std::vector<ShardCounts> counts(ranks);
-  std::vector<std::uint64_t> shardBytes(ranks);
+  // Shard table: per-rank record counts and encoded byte length. Every
+  // field is untrusted. Structural rules (checked sums, header agreement)
+  // are fatal: if the table itself is inconsistent, no shard boundary can
+  // be believed. A count that cannot fit in its shard's byte budget is
+  // shard-local — the budget caps what the decode stage may allocate, so
+  // such a shard is failed (and in non-strict mode skipped) without ever
+  // reserving what it claims.
+  //
+  // The per-rank vectors grow with the table as it is read (each entry
+  // consumes at least 4 stream bytes), not from the claimed rank count: a
+  // tiny file claiming 2^24 ranks fails on truncation after a few entries
+  // instead of allocating gigabytes up front.
+  std::vector<ShardCounts> counts;
+  std::vector<std::uint64_t> shardBytes;
+  std::vector<std::string> failures;
+  const auto reserveHint = static_cast<std::size_t>(std::min<std::uint64_t>(rankCount, 4096));
+  counts.reserve(reserveHint);
+  shardBytes.reserve(reserveHint);
+  failures.reserve(reserveHint);
   std::uint64_t totalEvents = 0, totalSamples = 0, totalStates = 0,
                 totalBytes = 0;
   for (Rank r = 0; r < ranks; ++r) {
-    counts[r].events = getVarint(is);
-    counts[r].samples = getVarint(is);
-    counts[r].states = getVarint(is);
-    shardBytes[r] = getVarint(is);
-    totalEvents += counts[r].events;
-    totalSamples += counts[r].samples;
-    totalStates += counts[r].states;
-    totalBytes += shardBytes[r];
+    counts.emplace_back();
+    shardBytes.emplace_back();
+    failures.emplace_back();
+    counts[r].events = src.varint();
+    counts[r].samples = src.varint();
+    counts[r].states = src.varint();
+    shardBytes[r] = src.varint();
+    if (shardBytes[r] > (std::uint64_t{1} << 48))
+      throw TraceError("binary trace shard byte length implausible (shard " +
+                       std::to_string(r) + ")");
+    totalEvents = addChecked(totalEvents, counts[r].events, "event count");
+    totalSamples = addChecked(totalSamples, counts[r].samples, "sample count");
+    totalStates = addChecked(totalStates, counts[r].states, "state count");
+    totalBytes = addChecked(totalBytes, shardBytes[r], "shard byte total");
+    if (counts[r].events > shardBytes[r] / kMinEventBytes ||
+        counts[r].samples > shardBytes[r] / kMinSampleBytes ||
+        counts[r].states > shardBytes[r] / kMinStateBytes) {
+      failures[r] = "shard table claims more records than its " +
+                    std::to_string(shardBytes[r]) +
+                    " byte budget can encode [shard=" + std::to_string(r) +
+                    ", rank=" + std::to_string(r) + "]";
+    }
   }
   if (totalEvents != nEvents || totalSamples != nSamples || totalStates != nStates)
     throw TraceError("binary trace shard table disagrees with header counts");
+  const std::uint64_t dataStart = src.consumed;
+  if (options.strict) {
+    for (Rank r = 0; r < ranks; ++r)
+      if (!failures[r].empty()) throw TraceError(failures[r]);
+  }
 
-  std::string blob(totalBytes, '\0');
-  is.read(blob.data(), static_cast<std::streamsize>(totalBytes));
-  if (is.gcount() != static_cast<std::streamsize>(totalBytes))
-    throw TraceError("binary trace truncated in shard data");
+  // Shard data. Read in bounded chunks instead of sizing the buffer from
+  // the (untrusted) byte total upfront: memory grows only as bytes actually
+  // arrive, so a tiny file claiming terabytes stays tiny in RSS and fails
+  // as soon as the stream runs dry.
+  std::string blob;
+  constexpr std::uint64_t kChunk = 4u << 20;
+  blob.reserve(static_cast<std::size_t>(std::min(totalBytes, kChunk)));
+  std::uint64_t blobGot = 0;
+  while (blobGot < totalBytes) {
+    const std::uint64_t want = std::min(kChunk, totalBytes - blobGot);
+    blob.resize(static_cast<std::size_t>(blobGot + want));
+    const std::uint64_t got = src.readSome(blob.data() + blobGot, want);
+    blobGot += got;
+    if (got < want) {
+      blob.resize(static_cast<std::size_t>(blobGot));
+      break;
+    }
+  }
+  if (blobGot < totalBytes && options.strict)
+    throw TraceError("binary trace truncated in shard data (have " +
+                     std::to_string(blobGot) + " of " +
+                     std::to_string(totalBytes) + " bytes)");
+  if (blobGot == totalBytes) {
+    // The shard table accounts for every remaining byte; anything after it
+    // means the file was appended to or mis-framed (e.g. concatenated
+    // traces). Fatal in strict mode, warned in degrade mode — the shards
+    // themselves are still intact.
+    char extra = 0;
+    if (src.readSome(&extra, 1) == 1) {
+      if (options.strict)
+        throw TraceError("trailing garbage after shard data at offset " +
+                         std::to_string(src.consumed - 1));
+      support::logWarn("binary trace has trailing garbage after shard data; ignored");
+    }
+  }
 
   // Shards are independent; decode them in parallel, each into its own
   // slot, then append in rank order — the decoded trace is identical for
-  // any thread count.
+  // any thread count. Failures are captured per slot: strict mode rethrows
+  // the lowest-rank one, non-strict drops those shards and proceeds.
   std::vector<std::uint64_t> offsets(ranks, 0);
   for (Rank r = 1; r < ranks; ++r) offsets[r] = offsets[r - 1] + shardBytes[r - 1];
+  for (Rank r = 0; r < ranks; ++r) {
+    if (failures[r].empty() && offsets[r] + shardBytes[r] > blobGot)
+      failures[r] = "shard data truncated [shard=" + std::to_string(r) +
+                    ", rank=" + std::to_string(r) +
+                    ", offset=" + std::to_string(dataStart + offsets[r]) + "]";
+  }
   std::vector<DecodedShard> shards(ranks);
   support::globalPool().parallelFor(ranks, [&](std::size_t r) {
-    const ByteReader reader{blob.data() + offsets[r],
-                            blob.data() + offsets[r] + shardBytes[r]};
-    shards[r] = decodeShard(reader, static_cast<Rank>(r), counts[r]);
+    if (!failures[r].empty()) return;
+    ByteReader reader(blob.data() + offsets[r],
+                      blob.data() + offsets[r] + shardBytes[r]);
+    try {
+      shards[r] = decodeShard(reader, static_cast<Rank>(r), counts[r], duration,
+                              dataStart + offsets[r]);
+    } catch (const Error& e) {
+      failures[r] = support::strippedMessage(e);
+    }
   });
+
+  std::size_t dropped = 0;
+  for (Rank r = 0; r < ranks; ++r) {
+    if (failures[r].empty()) continue;
+    if (options.strict) throw TraceError(failures[r]);
+    ++dropped;
+    support::logWarn("skipping corrupt trace shard: " + failures[r]);
+    if (report)
+      report->droppedShards.push_back(
+          {r, dataStart + offsets[r], failures[r]});
+  }
+  if (dropped == ranks)
+    throw TraceError("all " + std::to_string(ranks) +
+                     " shards corrupt; first: " + failures[0]);
+  if (dropped > 0) telemetry::count("trace.shards_dropped", dropped);
 
   Trace trace(name, ranks);
   trace.setDurationNs(duration);
@@ -323,8 +512,15 @@ Trace readBinaryV1(std::istream& is) {
   is.read(name.data(), static_cast<std::streamsize>(nameLen));
   if (is.gcount() != static_cast<std::streamsize>(nameLen))
     throw TraceError("binary trace truncated in app name");
-  const auto ranks = static_cast<Rank>(getVarint(is));
-  if (ranks == 0) throw TraceError("binary trace has zero ranks");
+  const auto rankCount = getVarint(is);
+  if (rankCount == 0) throw TraceError("binary trace has zero ranks");
+  // V1 has no shard table to budget ranks against, so the decoder's
+  // per-rank delta contexts (~56 B each) are sized directly from this
+  // untrusted count; bound it before allocating. 2^20 is far beyond any
+  // trace the legacy format was ever used for.
+  if (rankCount > (1u << 20))
+    throw TraceError("binary trace rank count implausible");
+  const auto ranks = static_cast<Rank>(rankCount);
   const auto duration = getVarint(is);
   const auto nEvents = getVarint(is);
   const auto nSamples = getVarint(is);
@@ -435,7 +631,8 @@ void writeBinary(const Trace& trace, std::ostream& os) {
     os.write(shard.data(), static_cast<std::streamsize>(shard.size()));
 }
 
-Trace readBinary(std::istream& is) {
+Trace readBinary(std::istream& is, const ReadOptions& options,
+                 ReadReport* report) {
   telemetry::Span span("trace.read_binary");
   char magic[kMagicLen];
   is.read(magic, kMagicLen);
@@ -443,13 +640,15 @@ Trace readBinary(std::istream& is) {
     throw TraceError("not a binary unveil trace (bad magic)");
   const std::string_view seen(magic, kMagicLen);
   Trace trace = [&] {
-    if (seen == std::string_view(kMagicV2, kMagicLen)) return readBinaryV2(is);
+    if (seen == std::string_view(kMagicV2, kMagicLen))
+      return readBinaryV2(is, options, report);
     if (seen == std::string_view(kMagicV1, kMagicLen)) return readBinaryV1(is);
     throw TraceError("not a binary unveil trace (bad magic)");
   }();
   const auto stats = trace.stats();
   span.attr("app", trace.appName());
   span.attr("records", stats.totalRecords);
+  if (report) span.attr("shards_dropped", report->droppedShards.size());
   telemetry::count("trace.records_read", stats.totalRecords);
   return trace;
 }
@@ -457,13 +656,39 @@ Trace readBinary(std::istream& is) {
 void writeBinaryFile(const Trace& trace, const std::string& path) {
   std::ofstream f(path, std::ios::binary);
   if (!f) throw Error("cannot open for writing: " + path);
+  if (const auto spec = support::activeFaultSpec(); spec && spec->any()) {
+    support::FaultyStreamBuf buf(f.rdbuf(), *spec);
+    std::ostream os(&buf);
+    writeBinary(trace, os);
+    os.flush();
+    if (!os.good())
+      throw Error(support::ErrorContext{}.with("file", path).annotate(
+          "write failed (disk full or I/O error)"));
+    return;
+  }
   writeBinary(trace, f);
+  f.flush();
+  // An ofstream swallows ENOSPC/EIO silently; without this check a full
+  // disk yields a truncated file and a success return.
+  if (!f.good())
+    throw Error(support::ErrorContext{}.with("file", path).annotate(
+        "write failed (disk full or I/O error)"));
 }
 
-Trace readBinaryFile(const std::string& path) {
+Trace readBinaryFile(const std::string& path, const ReadOptions& options,
+                     ReadReport* report) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw Error("cannot open for reading: " + path);
-  return readBinary(f);
+  try {
+    if (const auto spec = support::activeFaultSpec(); spec && spec->any()) {
+      support::FaultyStreamBuf buf(f.rdbuf(), *spec);
+      std::istream is(&buf);
+      return readBinary(is, options, report);
+    }
+    return readBinary(f, options, report);
+  } catch (const Error& e) {
+    support::rethrowTraceErrorWith(e, support::ErrorContext{}.with("file", path));
+  }
 }
 
 std::size_t binarySize(const Trace& trace) {
@@ -472,14 +697,23 @@ std::size_t binarySize(const Trace& trace) {
   return os.str().size();
 }
 
-Trace readAutoFile(const std::string& path) {
+Trace readAutoFile(const std::string& path, const ReadOptions& options,
+                   ReadReport* report) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw Error("cannot open for reading: " + path);
   char first = 0;
   f.get(first);
   f.unget();
-  if (first == 'U') return readBinary(f);
-  return read(f);
+  try {
+    if (const auto spec = support::activeFaultSpec(); spec && spec->any()) {
+      support::FaultyStreamBuf buf(f.rdbuf(), *spec);
+      std::istream is(&buf);
+      return first == 'U' ? readBinary(is, options, report) : read(is);
+    }
+    return first == 'U' ? readBinary(f, options, report) : read(f);
+  } catch (const Error& e) {
+    support::rethrowTraceErrorWith(e, support::ErrorContext{}.with("file", path));
+  }
 }
 
 }  // namespace unveil::trace

@@ -20,29 +20,69 @@
 ///    bytes and the decoded trace are bit-identical for any thread count
 ///    (shards are always emitted/merged in rank order).
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "unveil/trace/trace.hpp"
 
 namespace unveil::trace {
 
+/// How the readers treat recoverable damage in a trace file.
+///
+/// UVTB2 shards are self-contained per rank, so one corrupt shard does not
+/// poison the others. With strict=false a shard that fails to decode (or is
+/// cut off by a truncated file) is skipped — recorded in the ReadReport,
+/// warned via support::log and counted in telemetry ("trace.shards_dropped")
+/// — and the surviving ranks are returned. Structural damage that cannot be
+/// attributed to one shard (bad magic, truncated header, self-inconsistent
+/// shard table) always throws, as does the degenerate case where every
+/// shard is corrupt.
+///
+/// The library default is strict (fail fast on the first bad byte);
+/// the CLI flips it to degrade unless --strict is given, because unattended
+/// analysis over large trace collections should salvage what it can.
+struct ReadOptions {
+  bool strict = true;
+};
+
+/// One shard skipped by a non-strict read.
+struct ShardDrop {
+  Rank rank = 0;
+  std::uint64_t offset = 0;  ///< Absolute file offset of the shard's data.
+  std::string reason;
+};
+
+/// What a read salvaged and what it dropped.
+struct ReadReport {
+  std::vector<ShardDrop> droppedShards;
+  Rank totalRanks = 0;
+};
+
 /// Writes \p trace in binary form. \p trace must be finalized (the delta
 /// encoding relies on canonical record order).
 void writeBinary(const Trace& trace, std::ostream& os);
 
-/// Reads a binary trace; throws TraceError on malformed input.
-[[nodiscard]] Trace readBinary(std::istream& is);
+/// Reads a binary trace; throws TraceError on malformed input. With
+/// non-strict \p options, per-shard damage is skipped and reported in
+/// \p report (when non-null) instead of thrown.
+[[nodiscard]] Trace readBinary(std::istream& is, const ReadOptions& options = {},
+                               ReadReport* report = nullptr);
 
 /// File variants; throw unveil::Error on IO failure.
 void writeBinaryFile(const Trace& trace, const std::string& path);
-[[nodiscard]] Trace readBinaryFile(const std::string& path);
+[[nodiscard]] Trace readBinaryFile(const std::string& path,
+                                   const ReadOptions& options = {},
+                                   ReadReport* report = nullptr);
 
 /// Serialized size in bytes without materializing the output (for data-
 /// volume accounting).
 [[nodiscard]] std::size_t binarySize(const Trace& trace);
 
 /// Reads a trace file in either format, sniffing the magic/header line.
-[[nodiscard]] Trace readAutoFile(const std::string& path);
+[[nodiscard]] Trace readAutoFile(const std::string& path,
+                                 const ReadOptions& options = {},
+                                 ReadReport* report = nullptr);
 
 }  // namespace unveil::trace

@@ -1,15 +1,36 @@
 #include "unveil/trace/io.hpp"
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/error_context.hpp"
+#include "unveil/support/faulty_stream.hpp"
 #include "unveil/support/telemetry.hpp"
 
 namespace unveil::trace {
 
 namespace {
+
+std::string trimmed(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+/// Rejects tokens left over after a record line parsed completely; corrupt
+/// producers commonly append garbage that would otherwise be silently
+/// dropped, masking the corruption.
+void rejectTrailing(std::istringstream& ls, int lineNo) {
+  ls.clear();
+  std::string extra;
+  if (ls >> extra)
+    throw TraceError("line " + std::to_string(lineNo) + ": trailing garbage '" +
+                     extra + "'");
+}
 
 void writeCounters(std::ostream& os, const counters::CounterSet& c) {
   for (std::size_t i = 0; i < counters::kNumCounters; ++i) os << ' ' << c.values[i];
@@ -67,7 +88,23 @@ void write(const Trace& trace, std::ostream& os) {
 void writeFile(const Trace& trace, const std::string& path) {
   std::ofstream f(path);
   if (!f) throw Error("cannot open for writing: " + path);
+  if (const auto spec = support::activeFaultSpec(); spec && spec->any()) {
+    support::FaultyStreamBuf buf(f.rdbuf(), *spec);
+    std::ostream os(&buf);
+    write(trace, os);
+    os.flush();
+    if (!os.good())
+      throw Error(support::ErrorContext{}.with("file", path).annotate(
+          "write failed (disk full or I/O error)"));
+    return;
+  }
   write(trace, f);
+  f.flush();
+  // An ofstream swallows ENOSPC/EIO silently; without this check a full
+  // disk yields a truncated file and a success return.
+  if (!f.good())
+    throw Error(support::ErrorContext{}.with("file", path).annotate(
+        "write failed (disk full or I/O error)"));
 }
 
 Trace read(std::istream& is) {
@@ -83,6 +120,13 @@ Trace read(std::istream& is) {
   std::vector<Sample> samples;
   std::vector<StateInterval> states;
 
+  // Record ranks may only be range-checked once the rank count is known, so
+  // records are rejected until the ranks header line has been seen.
+  auto requireRanks = [&](int ln) {
+    if (numRanks == 0)
+      throw TraceError("line " + std::to_string(ln) + ": record before ranks line");
+  };
+
   while (std::getline(is, line)) {
     ++lineNo;
     if (line.empty()) continue;
@@ -94,7 +138,13 @@ Trace read(std::istream& is) {
     std::string tag;
     ls >> tag;
     if (tag == "app") {
-      ls >> appName;
+      // The whole rest of the line is the name: write() emits it verbatim,
+      // so a token read would truncate "gromacs mdrun" at the space and
+      // break write -> read round-trips.
+      std::string rest;
+      std::getline(ls, rest);
+      rest = trimmed(rest);
+      if (!rest.empty()) appName = rest;
     } else if (tag == "ranks") {
       if (!(ls >> numRanks) || numRanks == 0)
         throw TraceError("line " + std::to_string(lineNo) + ": bad ranks");
@@ -110,19 +160,30 @@ Trace read(std::istream& is) {
                            ": counter columns do not match this build");
       }
     } else if (tag == "E") {
+      requireRanks(lineNo);
       Event e;
       unsigned kind = 0;
       if (!(ls >> e.rank >> e.time >> kind >> e.value))
         throw TraceError("line " + std::to_string(lineNo) + ": bad event");
+      if (e.rank >= numRanks)
+        throw TraceError("line " + std::to_string(lineNo) + ": event rank " +
+                         std::to_string(e.rank) + " out of range (ranks " +
+                         std::to_string(numRanks) + ")");
       if (kind > static_cast<unsigned>(EventKind::MpiEnd))
         throw TraceError("line " + std::to_string(lineNo) + ": bad event kind");
       e.kind = static_cast<EventKind>(kind);
       e.counters = parseCounters(ls, lineNo);
+      rejectTrailing(ls, lineNo);
       events.push_back(e);
     } else if (tag == "S") {
+      requireRanks(lineNo);
       Sample s;
       if (!(ls >> s.rank >> s.time))
         throw TraceError("line " + std::to_string(lineNo) + ": bad sample");
+      if (s.rank >= numRanks)
+        throw TraceError("line " + std::to_string(lineNo) + ": sample rank " +
+                         std::to_string(s.rank) + " out of range (ranks " +
+                         std::to_string(numRanks) + ")");
       s.counters = parseCounters(ls, lineNo);
       unsigned mask = kAllCountersMask;
       if (ls >> mask) {
@@ -132,15 +193,25 @@ Trace read(std::istream& is) {
         std::uint32_t region = kNoRegion;
         if (ls >> region) s.regionId = region;
       }
+      rejectTrailing(ls, lineNo);
       samples.push_back(s);
     } else if (tag == "T") {
+      requireRanks(lineNo);
       StateInterval s;
       unsigned state = 0;
       if (!(ls >> s.rank >> s.begin >> s.end >> state))
         throw TraceError("line " + std::to_string(lineNo) + ": bad state interval");
+      if (s.rank >= numRanks)
+        throw TraceError("line " + std::to_string(lineNo) + ": state rank " +
+                         std::to_string(s.rank) + " out of range (ranks " +
+                         std::to_string(numRanks) + ")");
+      if (s.begin > s.end)
+        throw TraceError("line " + std::to_string(lineNo) +
+                         ": state interval has begin > end");
       if (state > static_cast<unsigned>(State::Idle))
         throw TraceError("line " + std::to_string(lineNo) + ": bad state code");
       s.state = static_cast<State>(state);
+      rejectTrailing(ls, lineNo);
       states.push_back(s);
     } else {
       throw TraceError("line " + std::to_string(lineNo) + ": unknown tag '" + tag + "'");
@@ -164,7 +235,16 @@ Trace read(std::istream& is) {
 Trace readFile(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw Error("cannot open for reading: " + path);
-  return read(f);
+  try {
+    if (const auto spec = support::activeFaultSpec(); spec && spec->any()) {
+      support::FaultyStreamBuf buf(f.rdbuf(), *spec);
+      std::istream is(&buf);
+      return read(is);
+    }
+    return read(f);
+  } catch (const Error& e) {
+    support::rethrowTraceErrorWith(e, support::ErrorContext{}.with("file", path));
+  }
 }
 
 }  // namespace unveil::trace

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/error_context.hpp"
 
 namespace unveil::trace {
 
@@ -132,21 +133,19 @@ void writeParaverRow(const Trace& trace, std::ostream& os) {
 
 void exportParaver(const Trace& trace, const std::string& basePath) {
   if (!trace.finalized()) throw TraceError("paraver export requires a finalized trace");
-  {
-    std::ofstream f(basePath + ".prv");
-    if (!f) throw Error("cannot open for writing: " + basePath + ".prv");
-    writeParaverPrv(trace, f);
-  }
-  {
-    std::ofstream f(basePath + ".pcf");
-    if (!f) throw Error("cannot open for writing: " + basePath + ".pcf");
-    writeParaverPcf(trace, f);
-  }
-  {
-    std::ofstream f(basePath + ".row");
-    if (!f) throw Error("cannot open for writing: " + basePath + ".row");
-    writeParaverRow(trace, f);
-  }
+  const auto writeChecked = [&](const std::string& suffix, auto&& writer) {
+    const std::string path = basePath + suffix;
+    std::ofstream f(path);
+    if (!f) throw Error("cannot open for writing: " + path);
+    writer(trace, f);
+    f.flush();
+    if (!f.good())
+      throw Error(support::ErrorContext{}.with("file", path).annotate(
+          "write failed (disk full or I/O error)"));
+  };
+  writeChecked(".prv", [](const Trace& t, std::ostream& os) { writeParaverPrv(t, os); });
+  writeChecked(".pcf", [](const Trace& t, std::ostream& os) { writeParaverPcf(t, os); });
+  writeChecked(".row", [](const Trace& t, std::ostream& os) { writeParaverRow(t, os); });
 }
 
 }  // namespace unveil::trace

@@ -137,6 +137,32 @@ void Trace::validate() const {
         ++sm;
       }
     }
+
+    // The binary writer delta-encodes a rank's event and sample streams
+    // independently, in stored order, with unsigned deltas — so each stream
+    // must additionally be monotone record-to-record, including across
+    // records that share a timestamp (which the group check above does not
+    // order). Without this a crafted trace passes validation and then
+    // aborts serialization on delta underflow.
+    counters::CounterSet lastEv;
+    for (auto it = evLo; it != evHi; ++it) {
+      for (std::size_t i = 0; i < counters::kNumCounters; ++i) {
+        if (it->counters.values[i] < lastEv.values[i])
+          throw TraceError("counter regression on rank " + std::to_string(r) +
+                           " at t=" + std::to_string(it->time));
+        lastEv.values[i] = it->counters.values[i];
+      }
+    }
+    counters::CounterSet lastSm;
+    for (auto it = smLo; it != smHi; ++it) {
+      for (std::size_t i = 0; i < counters::kNumCounters; ++i) {
+        if (!maskHas(it->validMask, static_cast<counters::CounterId>(i))) continue;
+        if (it->counters.values[i] < lastSm.values[i])
+          throw TraceError("counter regression on rank " + std::to_string(r) +
+                           " at t=" + std::to_string(it->time));
+        lastSm.values[i] = it->counters.values[i];
+      }
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -308,6 +309,83 @@ TEST(Cli, UnknownModeIsError) {
                     "--mode", "weird"},
                    out),
             1);
+}
+
+// --- graceful degradation end to end ---------------------------------------
+
+/// Simulates a binary trace and overwrites the start of one rank's shard
+/// with unterminated-varint bytes, returning the corrupted file's path.
+std::string makeCorruptShardTrace() {
+  const std::string path = ::testing::TempDir() + "/unveil_cli_corrupt." +
+                           std::to_string(::getpid()) + ".utb";
+  std::ostringstream out;
+  const int rc = runCli({"simulate", "--app", "wavesim", "--ranks", "4",
+                         "--iterations", "8", "--binary", "--out", path},
+                        out);
+  EXPECT_EQ(rc, 0) << out.str();
+
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    bytes = ss.str();
+  }
+  std::size_t pos = 6;  // "UVTB2\n"
+  auto varint = [&bytes, &pos] {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const auto b = static_cast<unsigned char>(bytes.at(pos++));
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  };
+  const auto nameLen = varint();
+  pos += static_cast<std::size_t>(nameLen);
+  const auto ranks = varint();
+  for (int i = 0; i < 3; ++i) varint();  // duration, nEvents, nSamples
+  varint();                              // nStates
+  std::uint64_t shard1Offset = 0;
+  for (std::uint64_t r = 0; r < ranks; ++r) {
+    for (int i = 0; i < 3; ++i) varint();  // events, samples, states
+    const auto len = varint();
+    if (r == 0) shard1Offset = len;  // shard 1 starts after shard 0
+  }
+  const std::size_t target = pos + static_cast<std::size_t>(shard1Offset);
+  for (std::size_t i = 0; i < 12 && target + i < bytes.size(); ++i)
+    bytes[target + i] = static_cast<char>(0x80);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+TEST(Cli, AnalyzeDegradesOnCorruptShardByDefault) {
+  const std::string path = makeCorruptShardTrace();
+  std::ostringstream out;
+  const int rc = runCli({"analyze", "--trace", path}, out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("dropped 1 of 4 shards"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("ranks analyzed: 3 of 4"), std::string::npos)
+      << out.str();
+}
+
+TEST(Cli, AnalyzeStrictFailsOnCorruptShard) {
+  const std::string path = makeCorruptShardTrace();
+  std::ostringstream out;
+  const int rc = runCli({"analyze", "--trace", path, "--strict"}, out);
+  EXPECT_EQ(rc, 1) << out.str();
+  EXPECT_NE(out.str().find("rank=1"), std::string::npos) << out.str();
+}
+
+TEST(Cli, InfoDegradesOnCorruptShardByDefault) {
+  const std::string path = makeCorruptShardTrace();
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"info", "--trace", path}, out), 0) << out.str();
+  EXPECT_NE(out.str().find("dropped 1 of 4 shards"), std::string::npos)
+      << out.str();
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+/// \file test_faulty_stream.cpp
+/// Fault-injection shim: spec parsing, the stream decorator itself, and the
+/// regression that motivated it — writers that reported success after the
+/// OS swallowed the bytes (ENOSPC), and readers that crashed instead of
+/// raising TraceError when the device lied.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "test_util.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/faulty_stream.hpp"
+#include "unveil/trace/binary_io.hpp"
+#include "unveil/trace/io.hpp"
+
+namespace unveil {
+namespace {
+
+using support::FaultSpec;
+using support::FaultyStreamBuf;
+using support::kFaultNever;
+
+class FaultyStreamTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    support::setFaultSpecForTesting(std::nullopt);
+    ::unsetenv("UNVEIL_FAULT_SPEC");
+  }
+
+  static std::string tmpPath(const std::string& name) {
+    return ::testing::TempDir() + name;
+  }
+
+  static trace::Trace sampleTrace() {
+    testutil::SyntheticSpec spec;
+    spec.bursts = 8;
+    return testutil::makeSyntheticTrace(spec);
+  }
+};
+
+TEST_F(FaultyStreamTest, ParseReadsAllKeys) {
+  const FaultSpec spec = FaultSpec::parse(
+      "fail-read-after=10,fail-write-after=20,flip-byte-at=5,flip-mask=3,"
+      "short-read-max=7");
+  EXPECT_EQ(spec.failReadAfter, 10u);
+  EXPECT_EQ(spec.failWriteAfter, 20u);
+  EXPECT_EQ(spec.flipByteAt, 5u);
+  EXPECT_EQ(spec.flipMask, 3u);
+  EXPECT_EQ(spec.shortReadMax, 7u);
+  EXPECT_TRUE(spec.any());
+}
+
+TEST_F(FaultyStreamTest, ParseDefaultsAreInert) {
+  const FaultSpec spec = FaultSpec::parse("");
+  EXPECT_EQ(spec.failReadAfter, kFaultNever);
+  EXPECT_EQ(spec.failWriteAfter, kFaultNever);
+  EXPECT_EQ(spec.flipByteAt, kFaultNever);
+  EXPECT_FALSE(spec.any());
+}
+
+TEST_F(FaultyStreamTest, ParseRejectsGarbage) {
+  EXPECT_THROW((void)FaultSpec::parse("fail-read-after"), ConfigError);
+  EXPECT_THROW((void)FaultSpec::parse("fail-read-after=x"), ConfigError);
+  EXPECT_THROW((void)FaultSpec::parse("no-such-key=1"), ConfigError);
+}
+
+TEST_F(FaultyStreamTest, ShortReadsAreTransparent) {
+  // A device returning few bytes per read() must not change what a caller
+  // that loops (as istream does) ultimately sees.
+  const std::string payload = "the quick brown fox jumps over the lazy dog";
+  std::istringstream src(payload);
+  FaultSpec spec;
+  spec.shortReadMax = 3;
+  FaultyStreamBuf buf(src.rdbuf(), spec);
+  std::istream is(&buf);
+  std::ostringstream got;
+  got << is.rdbuf();
+  EXPECT_EQ(got.str(), payload);
+}
+
+TEST_F(FaultyStreamTest, ReadFailsAtConfiguredOffset) {
+  std::istringstream src(std::string(100, 'x'));
+  FaultSpec spec;
+  spec.failReadAfter = 10;
+  FaultyStreamBuf buf(src.rdbuf(), spec);
+  std::istream is(&buf);
+  std::string got(100, '\0');
+  is.read(got.data(), 100);
+  EXPECT_EQ(is.gcount(), 10);
+}
+
+TEST_F(FaultyStreamTest, FlipByteCorruptsExactlyOnePosition) {
+  std::istringstream src(std::string(8, '\0'));
+  FaultSpec spec;
+  spec.flipByteAt = 3;
+  spec.flipMask = 0x80;
+  FaultyStreamBuf buf(src.rdbuf(), spec);
+  std::istream is(&buf);
+  std::string got(8, 'x');
+  is.read(got.data(), 8);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(static_cast<unsigned char>(got[i]), i == 3 ? 0x80 : 0x00) << i;
+}
+
+// --- the ENOSPC regression -------------------------------------------------
+// Before this fix, writeFile/writeBinaryFile never examined the stream after
+// writing: a full disk produced a silently truncated file and a success
+// return. With a write fault injected they must throw, and the error must
+// name the file.
+
+TEST_F(FaultyStreamTest, TextWriterDetectsWriteFailure) {
+  FaultSpec spec;
+  spec.failWriteAfter = 64;
+  support::setFaultSpecForTesting(spec);
+  const std::string path = tmpPath("faulty_text.trace");
+  try {
+    trace::writeFile(sampleTrace(), path);
+    FAIL() << "writeFile reported success under injected write failure";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(FaultyStreamTest, BinaryWriterDetectsWriteFailure) {
+  FaultSpec spec;
+  spec.failWriteAfter = 64;
+  support::setFaultSpecForTesting(spec);
+  const std::string path = tmpPath("faulty_bin.utb");
+  EXPECT_THROW(trace::writeBinaryFile(sampleTrace(), path), Error);
+}
+
+TEST_F(FaultyStreamTest, WritersSucceedWithInertSpecInstalled) {
+  support::setFaultSpecForTesting(FaultSpec{});  // all thresholds kFaultNever
+  const std::string path = tmpPath("inert_spec.utb");
+  EXPECT_NO_THROW(trace::writeBinaryFile(sampleTrace(), path));
+}
+
+TEST_F(FaultyStreamTest, ReaderSurfacesTruncationAsTraceError) {
+  const std::string path = tmpPath("faulty_read.utb");
+  trace::writeBinaryFile(sampleTrace(), path);
+  FaultSpec spec;
+  spec.failReadAfter = 40;  // inside the header/table region
+  support::setFaultSpecForTesting(spec);
+  try {
+    (void)trace::readBinaryFile(path);
+    FAIL() << "readBinaryFile succeeded under injected read failure";
+  } catch (const TraceError& e) {
+    // File context must be attached at the outermost boundary.
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(FaultyStreamTest, ReaderSurvivesBitFlip) {
+  const std::string path = tmpPath("faulty_flip.utb");
+  trace::writeBinaryFile(sampleTrace(), path);
+  // Flip a byte somewhere in the shard data: the parse must either succeed
+  // (flip landed in slack) or raise TraceError — never crash.
+  for (std::uint64_t at = 8; at < 200; at += 17) {
+    FaultSpec spec;
+    spec.flipByteAt = at;
+    spec.flipMask = 0xff;
+    support::setFaultSpecForTesting(spec);
+    try {
+      (void)trace::readBinaryFile(path, {.strict = false});
+    } catch (const Error&) {
+      // clean rejection is acceptable
+    }
+  }
+}
+
+TEST_F(FaultyStreamTest, EnvVarActivatesInjection) {
+  ::setenv("UNVEIL_FAULT_SPEC", "fail-write-after=16", 1);
+  const std::string path = tmpPath("env_spec.trace");
+  EXPECT_THROW(trace::writeFile(sampleTrace(), path), Error);
+  ::unsetenv("UNVEIL_FAULT_SPEC");
+  EXPECT_NO_THROW(trace::writeFile(sampleTrace(), path));
+}
+
+TEST_F(FaultyStreamTest, TestOverrideBeatsEnvVar) {
+  ::setenv("UNVEIL_FAULT_SPEC", "fail-write-after=16", 1);
+  support::setFaultSpecForTesting(FaultSpec{});  // inert override
+  const std::string path = tmpPath("override.trace");
+  EXPECT_NO_THROW(trace::writeFile(sampleTrace(), path));
+}
+
+}  // namespace
+}  // namespace unveil

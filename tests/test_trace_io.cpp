@@ -108,7 +108,26 @@ INSTANTIATE_TEST_SUITE_P(
                  "PAPI_FP_OPS PAPI_BR_MSP\n"},
         BadInput{"eventBeyondDuration",
                  "#UNVEIL_TRACE v1\nranks 1\nduration 10\n"
-                 "E 0 50 0 0 1 1 1 1 1 1\n"}),
+                 "E 0 50 0 0 1 1 1 1 1 1\n"},
+        BadInput{"eventRankOutOfRange",
+                 "#UNVEIL_TRACE v1\nranks 2\nduration 10\n"
+                 "E 2 5 0 0 1 1 1 1 1 1\n"},
+        BadInput{"sampleRankOutOfRange",
+                 "#UNVEIL_TRACE v1\nranks 2\nduration 10\nS 7 5 1 2 3 4 5 6\n"},
+        BadInput{"stateRankOutOfRange",
+                 "#UNVEIL_TRACE v1\nranks 2\nduration 10\nT 2 1 2 0\n"},
+        BadInput{"stateBeginAfterEnd",
+                 "#UNVEIL_TRACE v1\nranks 1\nduration 10\nT 0 8 2 0\n"},
+        BadInput{"recordBeforeRanksLine",
+                 "#UNVEIL_TRACE v1\nE 0 5 0 0 1 1 1 1 1 1\nranks 1\n"},
+        BadInput{"trailingGarbageAfterEvent",
+                 "#UNVEIL_TRACE v1\nranks 1\nduration 10\n"
+                 "E 0 5 0 0 1 1 1 1 1 1 junk\n"},
+        BadInput{"trailingGarbageAfterSampleRegion",
+                 "#UNVEIL_TRACE v1\nranks 1\nduration 10\n"
+                 "S 0 5 1 2 3 4 5 6 63 2 junk\n"},
+        BadInput{"trailingGarbageAfterState",
+                 "#UNVEIL_TRACE v1\nranks 1\nduration 10\nT 0 1 2 0 junk\n"}),
     [](const ::testing::TestParamInfo<BadInput>& info) { return info.param.name; });
 
 TEST(TraceIo, MaskAndRegionRoundTrip) {
@@ -149,6 +168,20 @@ TEST(TraceIo, BadMaskRejected) {
   std::istringstream is(
       "#UNVEIL_TRACE v1\nranks 1\nduration 100\nS 0 5 1 2 3 4 5 6 255\n");
   EXPECT_THROW((void)read(is), TraceError);
+}
+
+TEST(TraceIo, AppNameWithSpacesRoundTrips) {
+  // Regression: the reader used `ls >> appName`, truncating "gromacs mdrun"
+  // to "gromacs" on every write -> read round-trip.
+  Trace t("gromacs mdrun  (production)", 1);
+  Sample s;
+  s.rank = 0;
+  s.time = 10;
+  t.addSample(s);
+  t.finalize();
+  std::stringstream ss;
+  write(t, ss);
+  EXPECT_EQ(read(ss).appName(), "gromacs mdrun  (production)");
 }
 
 TEST(TraceIo, CommentsAndBlankLinesIgnored) {

@@ -1,0 +1,228 @@
+/// \file fuzz_trace_io.cpp
+/// Deterministic corpus-based fuzz driver for the trace ingestion stack.
+///
+/// Every iteration takes a seed input from the corpus, applies a random (but
+/// seeded, hence reproducible) stack of mutations — bit flips, truncations,
+/// byte insertions, chunk duplications — and feeds the result through the
+/// same readers production uses, in both strict and degrade modes, with
+/// periodic I/O fault injection layered on top. The contract under test:
+///
+///   every input either parses into a valid Trace or raises a clean
+///   unveil::Error — never a crash, hang, unbounded allocation, or
+///   (under ASan/UBSan, as CI runs this) memory error or UB.
+///
+/// Inputs that still parse are round-tripped binary -> text -> binary and
+/// the record counts compared, so the writers are exercised on every trace
+/// shape the mutated corpus can produce.
+///
+/// usage: fuzz_trace_io <corpus_dir> [iterations=1000] [seed=1]
+/// exit:  0 = budget completed, 1 = contract violation, 2 = bad usage
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/faulty_stream.hpp"
+#include "unveil/support/log.hpp"
+#include "unveil/support/rng.hpp"
+#include "unveil/trace/binary_io.hpp"
+#include "unveil/trace/io.hpp"
+
+namespace {
+
+using unveil::support::Rng;
+
+std::vector<std::string> loadCorpus(const std::string& dir) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  std::sort(paths.begin(), paths.end());  // deterministic order
+  std::vector<std::string> corpus;
+  for (const auto& p : paths) {
+    std::ifstream f(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    corpus.push_back(ss.str());
+    std::cout << "corpus: " << p.filename().string() << " (" << corpus.back().size()
+              << " bytes)\n";
+  }
+  return corpus;
+}
+
+/// One random structural mutation; sizes stay bounded (<= 2x input) so the
+/// parse cost per iteration stays trivially small.
+std::string mutate(Rng& rng, std::string input) {
+  if (input.empty()) return input;
+  switch (rng.uniformInt(0, 4)) {
+    case 0: {  // flip a bit
+      const auto at = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(input.size()) - 1));
+      input[at] = static_cast<char>(static_cast<unsigned char>(input[at]) ^
+                                    (1u << rng.uniformInt(0, 7)));
+      return input;
+    }
+    case 1: {  // overwrite a byte with an interesting value
+      static constexpr unsigned char kMagicBytes[] = {0x00, 0x01, 0x7f, 0x80,
+                                                      0xff, '\n', ' ', '9'};
+      const auto at = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(input.size()) - 1));
+      input[at] = static_cast<char>(kMagicBytes[rng.uniformInt(0, 7)]);
+      return input;
+    }
+    case 2: {  // truncate
+      const auto keep = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(input.size())));
+      input.resize(keep);
+      return input;
+    }
+    case 3: {  // insert a short run of random bytes
+      const auto at = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(input.size())));
+      std::string run(static_cast<std::size_t>(rng.uniformInt(1, 8)), '\0');
+      for (auto& c : run) c = static_cast<char>(rng.uniformInt(0, 255));
+      input.insert(at, run);
+      return input;
+    }
+    default: {  // duplicate a chunk (shifts every later offset)
+      const auto from = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(input.size()) - 1));
+      const auto len = std::min<std::size_t>(
+          static_cast<std::size_t>(rng.uniformInt(1, 64)), input.size() - from);
+      input.insert(from, input.substr(from, len));
+      return input;
+    }
+  }
+}
+
+struct Tally {
+  std::uint64_t parsed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t degraded = 0;
+};
+
+/// Parses \p bytes the way readAutoFile would; returns true when a Trace
+/// came back. Throwing anything but unveil::Error is the bug being hunted.
+bool parseOnce(const std::string& bytes, bool strict, Tally& tally) {
+  std::istringstream is(bytes);
+  is.exceptions(std::ios::goodbit);
+  unveil::trace::ReadOptions options;
+  options.strict = strict;
+  unveil::trace::ReadReport report;
+  try {
+    const unveil::trace::Trace t =
+        !bytes.empty() && bytes[0] == 'U'
+            ? unveil::trace::readBinary(is, options, &report)
+            : unveil::trace::read(is);
+    ++tally.parsed;
+    if (!report.droppedShards.empty()) ++tally.degraded;
+    // Round-trip: whatever parsed must serialize and re-parse losslessly.
+    std::stringstream bin(std::ios::in | std::ios::out | std::ios::binary);
+    unveil::trace::writeBinary(t, bin);
+    const unveil::trace::Trace back = unveil::trace::readBinary(bin);
+    if (back.stats().totalRecords != t.stats().totalRecords)
+      throw std::logic_error("binary round-trip changed record count");
+    std::stringstream text;
+    unveil::trace::write(t, text);
+    const unveil::trace::Trace tback = unveil::trace::read(text);
+    if (tback.stats().totalRecords != t.stats().totalRecords)
+      throw std::logic_error("text round-trip changed record count");
+    return true;
+  } catch (const unveil::Error&) {
+    ++tally.rejected;  // clean, typed rejection: the expected outcome
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: fuzz_trace_io <corpus_dir> [iterations=1000] [seed=1]\n";
+    return 2;
+  }
+  const std::string corpusDir = argv[1];
+  const std::uint64_t iterations = argc > 2 ? std::stoull(argv[2]) : 1000;
+  const std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 1;
+
+  unveil::support::setLogLevel(unveil::support::LogLevel::Off);
+  const auto corpus = loadCorpus(corpusDir);
+  if (corpus.empty()) {
+    std::cerr << "fuzz_trace_io: no corpus files in " << corpusDir << '\n';
+    return 2;
+  }
+
+  Rng rng(seed, "fuzz_trace_io");
+  Tally tally;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    std::string input =
+        corpus[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(corpus.size()) - 1))];
+    const auto mutations = rng.uniformInt(1, 4);
+    for (std::int64_t m = 0; m < mutations; ++m) input = mutate(rng, input);
+
+    // Every 8th iteration additionally injects stream faults under the
+    // parse, via the same hook the UNVEIL_FAULT_SPEC env var uses.
+    const bool injectFaults = (i % 8) == 7;
+    if (injectFaults) {
+      unveil::support::FaultSpec spec;
+      switch (rng.uniformInt(0, 2)) {
+        case 0:
+          spec.failReadAfter = static_cast<std::uint64_t>(
+              rng.uniformInt(0, static_cast<std::int64_t>(input.size())));
+          break;
+        case 1:
+          spec.flipByteAt = static_cast<std::uint64_t>(
+              rng.uniformInt(0, static_cast<std::int64_t>(input.size())));
+          spec.flipMask = static_cast<std::uint8_t>(rng.uniformInt(1, 255));
+          break;
+        default:
+          spec.shortReadMax = static_cast<std::uint64_t>(rng.uniformInt(1, 7));
+          break;
+      }
+      unveil::support::setFaultSpecForTesting(spec);
+    }
+
+    try {
+      if (injectFaults) {
+        // Route through the file-based readers so the fault hook engages.
+        const std::string path =
+            std::filesystem::temp_directory_path().string() + "/fuzz_trace_io.bin";
+        {
+          std::ofstream f(path, std::ios::binary);
+          f.write(input.data(), static_cast<std::streamsize>(input.size()));
+        }
+        unveil::trace::ReadReport report;
+        try {
+          (void)unveil::trace::readAutoFile(path, {.strict = false}, &report);
+          ++tally.parsed;
+        } catch (const unveil::Error&) {
+          ++tally.rejected;
+        }
+        unveil::support::setFaultSpecForTesting(std::nullopt);
+      } else {
+        parseOnce(input, /*strict=*/true, tally);
+        parseOnce(input, /*strict=*/false, tally);
+      }
+    } catch (const std::exception& e) {
+      unveil::support::setFaultSpecForTesting(std::nullopt);
+      std::cerr << "fuzz_trace_io: CONTRACT VIOLATION at iteration " << i
+                << " (seed " << seed << "): " << e.what() << '\n';
+      return 1;
+    }
+
+    if ((i + 1) % 10000 == 0)
+      std::cout << "  " << (i + 1) << "/" << iterations << " iterations\n";
+  }
+
+  std::cout << "fuzz_trace_io: completed " << iterations << " iterations ("
+            << tally.parsed << " parsed, " << tally.rejected << " rejected, "
+            << tally.degraded << " degraded) with zero contract violations\n";
+  return 0;
+}
