@@ -15,6 +15,7 @@
 
 #include "unveil/analysis/experiments.hpp"
 #include "unveil/cluster/dbscan.hpp"
+#include "unveil/cluster/sample.hpp"
 #include "unveil/folding/band.hpp"
 #include "unveil/folding/fit.hpp"
 #include "unveil/folding/folded.hpp"
@@ -51,7 +52,28 @@ void BM_Dbscan(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_Dbscan)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_Dbscan)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DbscanSampled(benchmark::State& state) {
+  const auto m = makeBlobs(static_cast<std::size_t>(state.range(0)), 4);
+  cluster::SampledDbscanParams params;
+  params.dbscan.eps = 0.5;
+  params.dbscan.minPts = 8;
+  for (auto _ : state) {
+    auto c = cluster::dbscanSampled(m, params);
+    benchmark::DoNotOptimize(c.clustering.numClusters);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DbscanSampled)
+    ->Arg(50000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
 
 folding::FoldedCounter makeCloud(std::size_t n) {
   support::Rng rng(7, "cloud");

@@ -89,9 +89,29 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
       support::logInfo("pipeline: estimated eps = " + std::to_string(params.eps));
     }
     result.epsUsed = params.eps;
-    result.clustering = cluster::dbscan(normalized, params);
+    const bool sampled =
+        config.clusterMode == ClusterMode::Sampled ||
+        (config.clusterMode == ClusterMode::Auto &&
+         normalized.rows() >= config.sampledClusteringThreshold);
+    if (sampled) {
+      cluster::SampledDbscanParams sampledParams;
+      sampledParams.dbscan = params;
+      sampledParams.sample = config.clusterSample;
+      auto sampledResult = cluster::dbscanSampled(normalized, sampledParams);
+      result.clusterSampleSize = sampledResult.sampleSize;
+      result.clusterClassified = sampledResult.classified;
+      result.clustering = std::move(sampledResult.clustering);
+      support::logInfo("pipeline: sampled clustering (sample " +
+                       std::to_string(result.clusterSampleSize) + " of " +
+                       std::to_string(normalized.rows()) + " bursts)");
+      stage.span().attr("sample_size", result.clusterSampleSize);
+      stage.span().attr("classified", result.clusterClassified);
+    } else {
+      result.clustering = cluster::dbscan(normalized, params);
+    }
     stage.items(result.clustering.numClusters);
     stage.span().attr("eps", params.eps);
+    stage.span().attr("mode", sampled ? "sampled" : "exact");
     stage.span().attr("clusters", result.clustering.numClusters);
     telemetry::gauge("pipeline.eps", params.eps);
   }

@@ -22,12 +22,24 @@
 #include "unveil/cluster/dbscan.hpp"
 #include "unveil/cluster/features.hpp"
 #include "unveil/cluster/refine.hpp"
+#include "unveil/cluster/sample.hpp"
 #include "unveil/cluster/structure.hpp"
 #include "unveil/folding/rate.hpp"
 #include "unveil/support/telemetry.hpp"
 #include "unveil/trace/trace.hpp"
 
 namespace unveil::analysis {
+
+/// How the clustering stage runs.
+enum class ClusterMode {
+  /// Exact below sampledClusteringThreshold bursts, sampled at or above it.
+  Auto,
+  /// Always exact grid DBSCAN over every burst.
+  Exact,
+  /// Always stratified-sampled DBSCAN (exact on the sample, eps-neighborhood
+  /// classification for the rest) — see cluster/sample.hpp.
+  Sampled,
+};
 
 /// Pipeline configuration with sensible defaults for the bundled apps.
 struct PipelineConfig {
@@ -43,6 +55,12 @@ struct PipelineConfig {
   bool autoEps = true;
   /// Quantile fed to estimateEps when autoEps.
   double epsQuantile = 0.94;
+  /// Clustering-stage strategy (see ClusterMode).
+  ClusterMode clusterMode = ClusterMode::Auto;
+  /// Sample selection for sampled clustering.
+  cluster::StratifiedSampleParams clusterSample{};
+  /// Burst count at which ClusterMode::Auto switches to sampled clustering.
+  std::size_t sampledClusteringThreshold = 100000;
   /// Folding/fitting options.
   folding::ReconstructOptions reconstruct;
   /// Counters to reconstruct per cluster.
@@ -78,6 +96,10 @@ struct PipelineResult {
   std::vector<cluster::Burst> bursts;
   cluster::Clustering clustering;
   double epsUsed = 0.0;
+  /// Sampled-clustering telemetry: bursts clustered exactly (the stratified
+  /// sample) and bursts labeled by classification. Both 0 in exact mode.
+  std::size_t clusterSampleSize = 0;
+  std::size_t clusterClassified = 0;
   std::vector<ClusterReport> clusters;  ///< Ordered by cluster id.
   /// Structure detected by majority vote over rank sequences.
   cluster::PeriodResult period;

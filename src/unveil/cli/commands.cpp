@@ -173,6 +173,11 @@ std::string usage() {
          "  analyze --trace TRACE [--mpi-gaps] [--eps X] [--min-instances N]\n"
          "          [--sample-cost-ns X] [--probe-cost-ns X] [--figures DIR]\n"
          "          [--focus N]   analyze N representative iterations only\n"
+         "          [--cluster-exact]   exact DBSCAN regardless of trace size\n"
+         "          [--cluster-sample]  stratified-sampled clustering (the\n"
+         "                              default at >= 100k bursts)\n"
+         "          [--cluster-sample-fraction X]  sample rate in (0,1],\n"
+         "                              implies --cluster-sample\n"
          "  accuracy --app NAME [--ranks N] [--iterations N] [--seed N]\n"
          "  report --trace TRACE [--sample-cost-ns X] [--probe-cost-ns X]\n"
          "                               full report: phases, rates, balance,\n"
@@ -255,6 +260,19 @@ int cmdAnalyze(const Args& args, std::ostream& out) {
   }
   config.minClusterInstances =
       static_cast<std::size_t>(args.getInt("min-instances", 30, 1, 1 << 30));
+  const bool wantExact = args.has("cluster-exact");
+  bool wantSampled = args.has("cluster-sample");
+  if (args.has("cluster-sample-fraction")) {
+    // Range-validated; anything outside (0, 1] is a config error, and the
+    // knob implies sampled mode.
+    config.clusterSample.fraction =
+        args.getDouble("cluster-sample-fraction", 0.05, 1e-6, 1.0);
+    wantSampled = true;
+  }
+  if (wantExact && wantSampled)
+    throw ConfigError("--cluster-exact and --cluster-sample are mutually exclusive");
+  if (wantExact) config.clusterMode = analysis::ClusterMode::Exact;
+  else if (wantSampled) config.clusterMode = analysis::ClusterMode::Sampled;
   config.reconstruct.fold.perSampleOverheadNs =
       args.getDouble("sample-cost-ns", 0.0, 0.0, 1e12);
   config.reconstruct.fold.probeOverheadNs =
@@ -291,6 +309,11 @@ int cmdAnalyze(const Args& args, std::ostream& out) {
   }
   analysis::clusterSummaryTable(result).print(out, "detected computation phases");
   out << "\neps used: " << result.epsUsed << '\n';
+  if (result.clusterSampleSize > 0) {
+    out << "sampled clustering: " << result.clusterSampleSize
+        << " bursts clustered exactly, " << result.clusterClassified
+        << " classified\n";
+  }
   if (!report.droppedShards.empty()) {
     out << "ranks analyzed: " << (report.totalRanks - report.droppedShards.size())
         << " of " << report.totalRanks << " (" << report.droppedShards.size()

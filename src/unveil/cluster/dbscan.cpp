@@ -1,12 +1,12 @@
 #include "unveil/cluster/dbscan.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdint>
-#include <deque>
+#include <limits>
 #include <numeric>
 #include <optional>
+#include <vector>
 
 #include "unveil/cluster/eps_grid.hpp"
 #include "unveil/support/error.hpp"
@@ -56,24 +56,321 @@ std::vector<std::vector<std::size_t>> Clustering::buckets() const {
 
 namespace {
 
-/// Brute-force region query, used when the grid cannot index the input
-/// (degenerate extents or too many dimensions).
-void bruteNeighbors(const FeatureMatrix& m, std::size_t i, double radius2,
-                    std::vector<std::size_t>& out) {
-  out.clear();
-  const auto p = m.row(i);
-  for (std::size_t j = 0; j < m.rows(); ++j) {
-    double d2 = 0.0;
-    const auto q = m.row(j);
-    for (std::size_t k = 0; k < p.size(); ++k) {
-      const double diff = p[k] - q[k];
-      d2 += diff * diff;
-    }
-    if (d2 <= radius2) out.push_back(j);
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+double dist2(std::span<const double> p, std::span<const double> q) {
+  double d2 = 0.0;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    const double diff = p[k] - q[k];
+    d2 += diff * diff;
   }
+  return d2;
+}
+
+/// Plain sequential union-find over cell indices. Unions are collected in
+/// parallel (slot-per-cell edge lists) and applied here in one pass, so the
+/// result is the true connected components — deterministic regardless of
+/// thread count or edge order.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a < b) parent_[b] = a;
+    else parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Intermediate result both neighbor backends produce: core flags, a
+/// component id per core point, the smallest core row of each component,
+/// and a per-point (component, squared distance) assignment for borders.
+struct RawClusters {
+  std::vector<std::uint8_t> core;         ///< 1 = core point.
+  std::vector<std::size_t> compOf;        ///< Component per point; kNone = noise.
+  std::vector<std::size_t> minCoreRow;    ///< Per component.
+};
+
+/// Final label pass shared by the grid and brute backends: sizes per
+/// component (cores + borders), ordering by (size desc, min core row asc) —
+/// which reproduces the classic "discovery order" tie-break, since a
+/// cluster is historically discovered at its lowest-index core — and the
+/// dense relabel.
+void finalize(const RawClusters& raw, Clustering& out) {
+  const std::size_t numComps = raw.minCoreRow.size();
+  std::vector<std::size_t> sizes(numComps, 0);
+  for (std::size_t c : raw.compOf)
+    if (c != kNone) ++sizes[c];
+  std::vector<std::size_t> order(numComps);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (sizes[a] != sizes[b]) return sizes[a] > sizes[b];
+    return raw.minCoreRow[a] < raw.minCoreRow[b];
+  });
+  std::vector<int> remap(numComps);
+  for (std::size_t newId = 0; newId < numComps; ++newId)
+    remap[order[newId]] = static_cast<int>(newId);
+
+  const std::size_t n = raw.compOf.size();
+  for (std::size_t i = 0; i < n; ++i)
+    out.labels[i] = raw.compOf[i] != kNone ? remap[raw.compOf[i]] : kNoiseLabel;
+  out.core = raw.core;
+  out.numClusters = numComps;
+}
+
+/// Grid backend: cell-based DBSCAN. Cells have edge <= eps/sqrt(d) when the
+/// dimensionality allows (any two same-cell points are then mutually within
+/// eps, so a cell with >= minPts points is all-core for free); for d >= 5
+/// the cell edge falls back to eps to keep the ring enumeration at 3^d.
+RawClusters gridDbscan(const FeatureMatrix& features, const DbscanParams& params,
+                       const EpsGrid& grid, telemetry::Span& span) {
+  const std::size_t n = features.rows();
+  const double eps2 = params.eps * params.eps;
+  const double cell = grid.cellSize();
+  // Cells whose diagonal provably fits inside eps allow the dense-cell
+  // shortcut; the 0.999 shrink applied by the caller guarantees the margin.
+  const bool sameCellWithinEps =
+      cell * cell * static_cast<double>(features.dims()) <= eps2;
+  // ceil(eps / cell), tolerant of the exact-ratio case (cell == eps).
+  const double ratio = params.eps / cell;
+  const auto reach = static_cast<std::int64_t>(
+                         std::floor(ratio * (1.0 - 1e-12))) + 1;
+
+  support::ThreadPool& pool = support::globalPool();
+  RawClusters raw;
+  raw.core.assign(n, 0);
+  raw.compOf.assign(n, kNone);
+
+  const std::size_t numCells = grid.cellCount();
+  // Candidate neighbor cells per cell, box-pruned; computed once and shared
+  // by the core-count, cell-union and border passes.
+  std::vector<std::vector<std::size_t>> cellNeighbors(numCells);
+  std::uint64_t denseCorePoints = 0;
+  std::uint64_t scannedPoints = 0;
+  {
+    std::vector<std::uint64_t> denseHits(numCells, 0);
+    std::vector<std::uint64_t> scanned(numCells, 0);
+    pool.parallelFor(numCells, [&](std::size_t c) {
+      auto& neigh = cellNeighbors[c];
+      grid.forEachNeighborCell(c, reach, [&](std::size_t b) {
+        if (grid.cellBoxDist2(c, b) <= eps2) neigh.push_back(b);
+      });
+      const auto members = grid.cellMembers(c);
+      if (sameCellWithinEps && members.size() >= params.minPts) {
+        for (std::size_t i : members) raw.core[i] = 1;
+        denseHits[c] = members.size();
+        return;
+      }
+      scanned[c] = members.size();
+      for (std::size_t i : members) {
+        const auto p = features.row(i);
+        // Same-cell points are all within eps when the diagonal fits;
+        // otherwise they are distance-checked like everyone else.
+        std::size_t count = sameCellWithinEps ? members.size() : 0;
+        if (!sameCellWithinEps) {
+          for (std::size_t j : members) {
+            if (dist2(p, features.row(j)) <= eps2 && ++count >= params.minPts)
+              break;
+          }
+        }
+        if (count < params.minPts) {
+          for (std::size_t b : neigh) {
+            for (std::size_t j : grid.cellMembers(b)) {
+              if (dist2(p, features.row(j)) <= eps2 && ++count >= params.minPts)
+                break;
+            }
+            if (count >= params.minPts) break;
+          }
+        }
+        raw.core[i] = count >= params.minPts ? 1 : 0;
+      }
+    });
+    for (std::size_t c = 0; c < numCells; ++c) {
+      denseCorePoints += denseHits[c];
+      scannedPoints += scanned[c];
+    }
+  }
+
+  // Union cells that hold eps-connected cores. Edges are gathered in
+  // parallel (one slot per cell; each unordered pair examined exactly once
+  // via the b > c direction) and united sequentially — connected components
+  // do not depend on union order, so the result is deterministic.
+  std::vector<std::uint8_t> cellHasCore(numCells, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (raw.core[i]) cellHasCore[grid.cellOfRow(i)] = 1;
+  std::vector<std::vector<std::size_t>> edges(numCells);
+  pool.parallelFor(numCells, [&](std::size_t c) {
+    if (!cellHasCore[c]) return;
+    for (std::size_t b : cellNeighbors[c]) {
+      if (b <= c || !cellHasCore[b]) continue;
+      bool connected = false;
+      for (std::size_t i : grid.cellMembers(c)) {
+        if (!raw.core[i]) continue;
+        const auto p = features.row(i);
+        for (std::size_t j : grid.cellMembers(b)) {
+          if (raw.core[j] && dist2(p, features.row(j)) <= eps2) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) break;
+      }
+      if (connected) edges[c].push_back(b);
+    }
+  });
+  UnionFind uf(numCells);
+  for (std::size_t c = 0; c < numCells; ++c)
+    for (std::size_t b : edges[c]) uf.unite(c, b);
+
+  // Components in ascending min-core-row order: walking rows in order and
+  // numbering unseen roots reproduces the classic discovery order.
+  std::vector<std::size_t> compOfCell(numCells, kNone);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!raw.core[i]) continue;
+    const std::size_t root = uf.find(grid.cellOfRow(i));
+    if (compOfCell[root] == kNone) {
+      compOfCell[root] = raw.minCoreRow.size();
+      raw.minCoreRow.push_back(i);
+    }
+    raw.compOf[i] = compOfCell[root];
+  }
+  // Resolve every core cell to its component up front: find() mutates the
+  // union-find (path compression), so it must not run inside the parallel
+  // border pass below.
+  for (std::size_t c = 0; c < numCells; ++c) {
+    if (compOfCell[c] != kNone || !cellHasCore[c]) continue;
+    compOfCell[c] = compOfCell[uf.find(c)];
+  }
+
+  // Border pass: every non-core point joins the cluster of its nearest core
+  // within eps (ties: lowest core row). Pure per-point function of the
+  // input, so the parallel slot-per-index writes are deterministic.
+  pool.parallelFor(numCells, [&](std::size_t c) {
+    const auto members = grid.cellMembers(c);
+    bool anyBorderWork = false;
+    for (std::size_t i : members) anyBorderWork = anyBorderWork || !raw.core[i];
+    if (!anyBorderWork) return;
+    for (std::size_t i : members) {
+      if (raw.core[i]) continue;
+      const auto p = features.row(i);
+      double bestD2 = std::numeric_limits<double>::infinity();
+      std::size_t bestCore = kNone;
+      auto consider = [&](std::size_t j) {
+        if (!raw.core[j]) return;
+        const double d2v = dist2(p, features.row(j));
+        if (d2v > eps2) return;
+        if (d2v < bestD2 || (d2v == bestD2 && j < bestCore)) {
+          bestD2 = d2v;
+          bestCore = j;
+        }
+      };
+      for (std::size_t j : members) consider(j);
+      for (std::size_t b : cellNeighbors[c])
+        for (std::size_t j : grid.cellMembers(b)) consider(j);
+      if (bestCore != kNone)
+        raw.compOf[i] = compOfCell[grid.cellOfRow(bestCore)];
+    }
+  });
+
+  span.attr("cells", numCells);
+  span.attr("dense_core_points", denseCorePoints);
+  span.attr("scanned_points", scannedPoints);
+  telemetry::count("cluster.dense_core_points", denseCorePoints);
+  telemetry::count("cluster.neighbor_queries", scannedPoints);
+  return raw;
+}
+
+/// Brute backend — the last-resort all-pairs path for inputs the grid
+/// cannot index (dimensionality > EpsGrid::kMaxDims, eps underflow, or
+/// coordinates outside the indexable range). Same semantics as the grid
+/// backend; its use is tracked by cluster.bruteforce_fallbacks.
+RawClusters bruteDbscan(const FeatureMatrix& features, const DbscanParams& params) {
+  const std::size_t n = features.rows();
+  const double eps2 = params.eps * params.eps;
+  support::ThreadPool& pool = support::globalPool();
+
+  RawClusters raw;
+  raw.core.assign(n, 0);
+  raw.compOf.assign(n, kNone);
+  pool.parallelFor(n, [&](std::size_t i) {
+    const auto p = features.row(i);
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (dist2(p, features.row(j)) <= eps2 && ++count >= params.minPts) break;
+    }
+    raw.core[i] = count >= params.minPts ? 1 : 0;
+  });
+  telemetry::count("cluster.neighbor_queries", n);
+
+  // Components of cores by sequential BFS in row order: discovery order is
+  // ascending min core row, matching the grid backend's numbering.
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!raw.core[i] || raw.compOf[i] != kNone) continue;
+    const std::size_t comp = raw.minCoreRow.size();
+    raw.minCoreRow.push_back(i);
+    raw.compOf[i] = comp;
+    queue.assign(1, i);
+    while (!queue.empty()) {
+      const std::size_t cur = queue.back();
+      queue.pop_back();
+      const auto p = features.row(cur);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!raw.core[j] || raw.compOf[j] != kNone) continue;
+        if (dist2(p, features.row(j)) <= eps2) {
+          raw.compOf[j] = comp;
+          queue.push_back(j);
+        }
+      }
+    }
+  }
+
+  // Borders: nearest core within eps, ties to the lowest core row.
+  pool.parallelFor(n, [&](std::size_t i) {
+    if (raw.core[i]) return;
+    const auto p = features.row(i);
+    double bestD2 = std::numeric_limits<double>::infinity();
+    std::size_t bestCore = kNone;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!raw.core[j]) continue;
+      const double d2v = dist2(p, features.row(j));
+      if (d2v <= eps2 && d2v < bestD2) {
+        bestD2 = d2v;
+        bestCore = j;
+      }
+    }
+    if (bestCore != kNone) raw.compOf[i] = raw.compOf[bestCore];
+  });
+  return raw;
 }
 
 }  // namespace
+
+double dbscanCellEdge(double eps, std::size_t dims) {
+  if (dims >= 1 && dims <= 4) {
+    // eps/sqrt(d), shrunk so the cell diagonal is provably <= eps even
+    // after floating-point rounding: same-cell points are then always
+    // mutual eps-neighbors.
+    return eps / std::sqrt(static_cast<double>(dims)) * 0.999;
+  }
+  // Higher dimensionality: diagonal cells would need (2·ceil(sqrt(d))+1)^d
+  // ring enumeration; an eps edge keeps the ring at 3^d, trading away the
+  // dense-cell shortcut.
+  return eps;
+}
 
 Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
   params.validate();
@@ -83,107 +380,20 @@ Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params) {
   const std::size_t n = features.rows();
   Clustering out;
   out.labels.assign(n, kNoiseLabel);
+  out.core.assign(n, 0);
   if (n == 0) return out;
 
-  const EpsGrid grid(features, params.eps);
-  const double eps2 = params.eps * params.eps;
-  // Queries are counted locally and reported once — never per query, which
-  // would put an atomic add in the hot loop.
-  std::uint64_t queries = 0;
-  auto query = [&](std::size_t i, std::vector<std::size_t>& neighOut) {
-    ++queries;
-    if (grid.valid()) grid.neighbors(i, eps2, neighOut);
-    else bruteNeighbors(features, i, eps2, neighOut);
-  };
-
-  // The expansion below queries every point exactly once, so with multiple
-  // threads the region queries — the dominant cost — are precomputed on the
-  // worker pool instead of issued on demand. A query's result is a pure
-  // function of the input, so labels are bit-identical whether a list was
-  // precomputed or re-queried sequentially, for any thread count. Stored
-  // lists are capped at a global entry budget (dense degenerate inputs can
-  // have Θ(n²) total neighbors); points over budget fall back to an
-  // on-demand query during the sequential sweep.
-  std::vector<std::vector<std::size_t>> precomputed;
-  std::vector<char> stored;
-  support::ThreadPool& pool = support::globalPool();
-  if (pool.threads() > 1) {
-    constexpr std::size_t kEntryBudget = std::size_t{1} << 24;  // ~128 MiB
-    precomputed.resize(n);
-    stored.assign(n, 0);
-    std::atomic<std::size_t> storedEntries{0};
-    std::atomic<std::uint64_t> parallelQueries{0};
-    pool.parallelFor(n, [&](std::size_t i) {
-      std::vector<std::size_t> neighOut;
-      if (grid.valid()) grid.neighbors(i, eps2, neighOut);
-      else bruteNeighbors(features, i, eps2, neighOut);
-      parallelQueries.fetch_add(1, std::memory_order_relaxed);
-      const std::size_t before =
-          storedEntries.fetch_add(neighOut.size(), std::memory_order_relaxed);
-      if (before + neighOut.size() > kEntryBudget) return;  // over budget
-      precomputed[i] = std::move(neighOut);
-      stored[i] = 1;
-    });
-    queries += parallelQueries.load(std::memory_order_relaxed);
+  const EpsGrid grid(features, dbscanCellEdge(params.eps, features.dims()));
+  RawClusters raw;
+  if (grid.valid()) {
+    raw = gridDbscan(features, params, grid, span);
+  } else {
+    telemetry::count("cluster.bruteforce_fallbacks", 1);
+    span.attr("bruteforce", 1);
+    raw = bruteDbscan(features, params);
   }
-  auto neighborsOf = [&](std::size_t i, std::vector<std::size_t>& scratch)
-      -> const std::vector<std::size_t>& {
-    if (!stored.empty() && stored[i]) return precomputed[i];
-    query(i, scratch);
-    return scratch;
-  };
-
-  constexpr int kUnvisited = -2;
-  std::vector<int> label(n, kUnvisited);
-  int nextCluster = 0;
-  std::vector<std::size_t> neighScratch;
-  std::vector<std::size_t> seedScratch;
-
-  for (std::size_t i = 0; i < n; ++i) {
-    if (label[i] != kUnvisited) continue;
-    const auto& neigh = neighborsOf(i, neighScratch);
-    if (neigh.size() < params.minPts) {
-      label[i] = kNoiseLabel;
-      continue;
-    }
-    const int cluster = nextCluster++;
-    label[i] = cluster;
-    std::deque<std::size_t> queue(neigh.begin(), neigh.end());
-    while (!queue.empty()) {
-      const std::size_t j = queue.front();
-      queue.pop_front();
-      if (label[j] == kNoiseLabel) label[j] = cluster;  // border point
-      if (label[j] != kUnvisited) continue;
-      label[j] = cluster;
-      const auto& seedNeigh = neighborsOf(j, seedScratch);
-      if (seedNeigh.size() >= params.minPts)
-        queue.insert(queue.end(), seedNeigh.begin(), seedNeigh.end());
-    }
-  }
-
-  // Relabel clusters by descending size so cluster 0 is always the largest —
-  // the convention the paper's plots use.
-  std::vector<std::size_t> sizes(static_cast<std::size_t>(nextCluster), 0);
-  for (int l : label)
-    if (l >= 0) ++sizes[static_cast<std::size_t>(l)];
-  std::vector<int> order(static_cast<std::size_t>(nextCluster));
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    if (sizes[static_cast<std::size_t>(a)] != sizes[static_cast<std::size_t>(b)])
-      return sizes[static_cast<std::size_t>(a)] > sizes[static_cast<std::size_t>(b)];
-    return a < b;
-  });
-  std::vector<int> remap(static_cast<std::size_t>(nextCluster));
-  for (int newId = 0; newId < nextCluster; ++newId)
-    remap[static_cast<std::size_t>(order[static_cast<std::size_t>(newId)])] = newId;
-
-  for (std::size_t i = 0; i < n; ++i)
-    out.labels[i] = label[i] >= 0 ? remap[static_cast<std::size_t>(label[i])]
-                                  : kNoiseLabel;
-  out.numClusters = static_cast<std::size_t>(nextCluster);
+  finalize(raw, out);
   span.attr("clusters", out.numClusters);
-  span.attr("queries", queries);
-  telemetry::count("cluster.neighbor_queries", queries);
   return out;
 }
 

@@ -10,8 +10,18 @@
 /// matter for computation bursts, whose feature-space footprint is dense
 /// blobs (phases) plus stragglers (perturbed instances).
 ///
-/// Neighbor queries use a uniform grid with cell size eps, so clustering is
-/// O(n · k) for k the typical neighborhood size instead of O(n²).
+/// The implementation is cell-based (Gunawan-style): points are binned into
+/// a uniform grid with edge eps/sqrt(d), so any two points sharing a cell
+/// are mutually within eps. A cell holding >= minPts points makes all its
+/// points core with zero distance computations — in the dense-blob regime
+/// (the paper's workload) core detection is O(n) rather than O(n · k).
+/// Clusters are the connected components of core points in the eps graph,
+/// computed by union-find over core cells; border points join the cluster
+/// of their nearest core neighbor (ties broken by lowest core index).
+/// Every step is order-independent, so labels are deterministic and
+/// identical for any thread count. The all-pairs path survives only as a
+/// last resort when the grid cannot index the input (tracked by the
+/// cluster.bruteforce_fallbacks telemetry counter).
 
 #include <cstdint>
 #include <vector>
@@ -41,6 +51,11 @@ struct Clustering {
   std::vector<int> labels;
   /// Number of clusters found.
   std::size_t numClusters = 0;
+  /// Per-row core flags (1 = core point), filled by dbscan(). Empty for
+  /// clusterings produced by other means (kmeans, structural refinement).
+  /// Sampled-mode classification assigns unseen points to the cluster of
+  /// their nearest sampled *core*, so dbscan exposes this.
+  std::vector<std::uint8_t> core;
 
   /// Member count of cluster \p c.
   [[nodiscard]] std::size_t clusterSize(int c) const noexcept;
@@ -52,6 +67,12 @@ struct Clustering {
   /// all c, built in one O(n) pass instead of numClusters scans.
   [[nodiscard]] std::vector<std::vector<std::size_t>> buckets() const;
 };
+
+/// Grid cell edge the cell-based DBSCAN uses for a given eps and
+/// dimensionality: eps/sqrt(d) (shrunk slightly so the cell diagonal
+/// provably fits inside eps) for d <= 4, eps otherwise. Exposed so the
+/// sampled-clustering classifier builds a compatible index.
+[[nodiscard]] double dbscanCellEdge(double eps, std::size_t dims);
 
 /// Runs DBSCAN over the (already normalized) feature matrix.
 [[nodiscard]] Clustering dbscan(const FeatureMatrix& features, const DbscanParams& params);

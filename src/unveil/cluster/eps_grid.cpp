@@ -1,7 +1,6 @@
 #include "unveil/cluster/eps_grid.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <limits>
 
@@ -23,6 +22,11 @@ double dist2(std::span<const double> p, std::span<const double> q) {
   return d2;
 }
 
+/// Cell indices are kept well inside int64 so ring arithmetic (index ± reach)
+/// can never overflow. Coordinates this large mean the cell size is absurdly
+/// small relative to the data spread — brute force is the right fallback.
+constexpr double kMaxCellCoord = 1e15;
+
 }  // namespace
 
 EpsGrid::EpsGrid(const FeatureMatrix& m, double cellSize)
@@ -32,64 +36,155 @@ EpsGrid::EpsGrid(const FeatureMatrix& m, double cellSize)
   if (!(cellSize > 0.0) || !std::isfinite(cellSize)) return;
   inv_ = 1.0 / cellSize;
   if (!std::isfinite(inv_)) return;
-  valid_ = true;
-  telemetry::count("cluster.grid_builds", 1);
 
+  const std::size_t n = m.rows();
+  // Pass 1: cell coordinates per row, with overflow/NaN screening.
+  std::vector<std::array<std::int64_t, kMaxDims>> rowCoord(n);
   std::array<std::int64_t, kMaxDims> minCell{};
   std::array<std::int64_t, kMaxDims> maxCell{};
   minCell.fill(std::numeric_limits<std::int64_t>::max());
   maxCell.fill(std::numeric_limits<std::int64_t>::min());
-
-  cells_.reserve(m.rows());
-  for (std::size_t i = 0; i < m.rows(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const auto p = m.row(i);
-    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
     for (std::size_t k = 0; k < d; ++k) {
-      const auto c = static_cast<std::int64_t>(std::floor(p[k] * inv_));
+      const double scaled = p[k] * inv_;
+      if (!std::isfinite(scaled) || std::abs(scaled) > kMaxCellCoord) return;
+      const auto c = static_cast<std::int64_t>(std::floor(scaled));
+      rowCoord[i][k] = c;
       minCell[k] = std::min(minCell[k], c);
       maxCell[k] = std::max(maxCell[k], c);
-      h = hashCombine(h, c);
     }
-    cells_[h].push_back(i);
   }
+  valid_ = true;
+  telemetry::count("cluster.grid_builds", 1);
   for (std::size_t k = 0; k < d; ++k)
-    if (maxCell[k] >= minCell[k])
+    if (n > 0 && maxCell[k] >= minCell[k])
       maxRing_ = std::max(maxRing_, maxCell[k] - minCell[k] + 1);
-}
 
-std::uint64_t EpsGrid::cellHashOfRow(std::size_t i) const {
-  const auto p = m_.row(i);
-  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (std::size_t k = 0; k < p.size(); ++k)
-    h = hashCombine(h, static_cast<std::int64_t>(std::floor(p[k] * inv_)));
-  return h;
-}
-
-void EpsGrid::neighbors(std::size_t i, double radius2,
-                        std::vector<std::size_t>& out) const {
-  UNVEIL_ASSERT(valid_, "EpsGrid::neighbors on invalid grid");
-  out.clear();
-  const auto p = m_.row(i);
-  const std::size_t d = p.size();
-  std::array<std::int64_t, kMaxDims> base{};
-  for (std::size_t k = 0; k < d; ++k)
-    base[k] = static_cast<std::int64_t>(std::floor(p[k] * inv_));
-  // Enumerate the 3^d adjacent cells via a mixed-radix counter over offsets
-  // in {-1, 0, 1}^d, hashing each cell's coordinates incrementally.
-  std::array<int, kMaxDims> offs{};
-  offs.fill(-1);
-  while (true) {
-    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (std::size_t k = 0; k < d; ++k) h = hashCombine(h, base[k] + offs[k]);
-    auto it = cells_.find(h);
-    if (it != cells_.end()) {
-      for (std::size_t j : it->second) {
-        if (dist2(p, m_.row(j)) <= radius2) out.push_back(j);
+  // Pass 2: assign occupied-cell ids (collision chains keep distinct
+  // coordinates distinct) and count members.
+  cellOfRow_.resize(n);
+  buckets_.reserve(n);
+  std::vector<std::size_t> counts;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h = hashCoord(rowCoord[i], d);
+    std::size_t cell = kNoCell;
+    auto it = buckets_.find(h);
+    if (it != buckets_.end()) {
+      for (std::size_t c = it->second; c != kNoCell; c = nextInBucket_[c]) {
+        if (std::equal(cellCoords_[c].begin(), cellCoords_[c].begin() +
+                           static_cast<std::ptrdiff_t>(d),
+                       rowCoord[i].begin())) {
+          cell = c;
+          break;
+        }
       }
     }
+    if (cell == kNoCell) {
+      cell = cellCoords_.size();
+      cellCoords_.push_back(rowCoord[i]);
+      nextInBucket_.push_back(it != buckets_.end() ? it->second : kNoCell);
+      buckets_[h] = cell;
+      counts.push_back(0);
+    }
+    cellOfRow_[i] = cell;
+    ++counts[cell];
+  }
+
+  // Pass 3: CSR member lists in row order.
+  memberOffsets_.assign(cellCoords_.size() + 1, 0);
+  for (std::size_t c = 0; c < counts.size(); ++c)
+    memberOffsets_[c + 1] = memberOffsets_[c] + counts[c];
+  memberRows_.resize(n);
+  std::vector<std::size_t> cursor(memberOffsets_.begin(), memberOffsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) memberRows_[cursor[cellOfRow_[i]]++] = i;
+}
+
+std::size_t EpsGrid::findCell(const std::array<std::int64_t, kMaxDims>& coord,
+                              std::size_t d) const {
+  const auto it = buckets_.find(hashCoord(coord, d));
+  if (it == buckets_.end()) return kNoCell;
+  for (std::size_t c = it->second; c != kNoCell; c = nextInBucket_[c]) {
+    if (std::equal(cellCoords_[c].begin(),
+                   cellCoords_[c].begin() + static_cast<std::ptrdiff_t>(d),
+                   coord.begin()))
+      return c;
+  }
+  return kNoCell;
+}
+
+std::span<const std::size_t> EpsGrid::cellMembers(std::size_t c) const {
+  return {memberRows_.data() + memberOffsets_[c],
+          memberOffsets_[c + 1] - memberOffsets_[c]};
+}
+
+double EpsGrid::cellBoxDist2(std::size_t a, std::size_t b) const {
+  const std::size_t d = m_.dims();
+  double sum = 0.0;
+  for (std::size_t k = 0; k < d; ++k) {
+    const std::int64_t delta = std::llabs(cellCoords_[a][k] - cellCoords_[b][k]);
+    if (delta > 1) {
+      const double gap = static_cast<double>(delta - 1) * cell_;
+      sum += gap * gap;
+    }
+  }
+  return sum;
+}
+
+void EpsGrid::neighborsImpl(std::span<const double> p,
+                            const std::array<std::int64_t, kMaxDims>& base,
+                            double radius2, std::vector<std::size_t>& out) const {
+  const std::size_t d = p.size();
+  // ceil(radius / cell) with a +1 ulp-safety margin so a point exactly at
+  // the radius is never missed by the cell enumeration.
+  const double radius = std::sqrt(radius2);
+  const auto reach =
+      static_cast<std::int64_t>(std::floor(radius * inv_)) + 1;
+
+  // Bound the enumeration to the occupied bounding box; when the window
+  // still exceeds the occupied cell count, scanning every cell (with a box
+  // prune) is cheaper than enumerating empty coordinates.
+  double window = 1.0;
+  for (std::size_t k = 0; k < d; ++k)
+    window *= static_cast<double>(2 * reach + 1);
+  if (window > static_cast<double>(cellCount())) {
+    for (std::size_t c = 0; c < cellCount(); ++c) {
+      // Box prune: nearest point of the cell's box to p.
+      double boxD2 = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        const double lo = static_cast<double>(cellCoords_[c][k]) * cell_;
+        const double hi = lo + cell_;
+        if (p[k] < lo) {
+          const double g = lo - p[k];
+          boxD2 += g * g;
+        } else if (p[k] > hi) {
+          const double g = p[k] - hi;
+          boxD2 += g * g;
+        }
+      }
+      // The box prune is conservative (cell boundaries are fp-rounded), so
+      // widen it by one cell edge before discarding.
+      const double slack = std::sqrt(radius2) + cell_;
+      if (boxD2 > slack * slack) continue;
+      for (std::size_t j : cellMembers(c))
+        if (dist2(p, m_.row(j)) <= radius2) out.push_back(j);
+    }
+    return;
+  }
+
+  std::array<std::int64_t, kMaxDims> coord{};
+  std::array<std::int64_t, kMaxDims> offs{};
+  offs.fill(-reach);
+  while (true) {
+    for (std::size_t k = 0; k < d; ++k) coord[k] = base[k] + offs[k];
+    const std::size_t cell = findCell(coord, d);
+    if (cell != kNoCell) {
+      for (std::size_t j : cellMembers(cell))
+        if (dist2(p, m_.row(j)) <= radius2) out.push_back(j);
+    }
     std::size_t k = 0;
-    while (k < d && offs[k] == 1) {
-      offs[k] = -1;
+    while (k < d && offs[k] == reach) {
+      offs[k] = -reach;
       ++k;
     }
     if (k == d) break;
@@ -97,51 +192,158 @@ void EpsGrid::neighbors(std::size_t i, double radius2,
   }
 }
 
+void EpsGrid::neighbors(std::size_t i, double radius2,
+                        std::vector<std::size_t>& out) const {
+  UNVEIL_ASSERT(valid_, "EpsGrid::neighbors on invalid grid");
+  out.clear();
+  neighborsImpl(m_.row(i), cellCoords_[cellOfRow_[i]], radius2, out);
+}
+
+void EpsGrid::neighbors(std::span<const double> p, double radius2,
+                        std::vector<std::size_t>& out) const {
+  UNVEIL_ASSERT(valid_, "EpsGrid::neighbors on invalid grid");
+  UNVEIL_ASSERT(p.size() == m_.dims(), "EpsGrid::neighbors dims mismatch");
+  out.clear();
+  std::array<std::int64_t, kMaxDims> base{};
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    const double scaled = p[k] * inv_;
+    if (!std::isfinite(scaled) || std::abs(scaled) > kMaxCellCoord) {
+      // The query point lies outside the indexable range; scan every cell
+      // via the box-pruned path by forcing an oversized window.
+      for (std::size_t c = 0; c < cellCount(); ++c)
+        for (std::size_t j : cellMembers(c))
+          if (dist2(p, m_.row(j)) <= radius2) out.push_back(j);
+      return;
+    }
+    base[k] = static_cast<std::int64_t>(std::floor(scaled));
+  }
+  neighborsImpl(p, base, radius2, out);
+}
+
+std::size_t EpsGrid::nearest(std::span<const double> p, double radius2) const {
+  UNVEIL_ASSERT(valid_, "EpsGrid::nearest on invalid grid");
+  UNVEIL_ASSERT(p.size() == m_.dims(), "EpsGrid::nearest dims mismatch");
+  const std::size_t d = p.size();
+  double bestD2 = std::numeric_limits<double>::infinity();
+  std::size_t best = kNoRow;
+  auto consider = [&](std::size_t j) {
+    const double d2v = dist2(p, m_.row(j));
+    if (d2v > radius2) return;
+    if (d2v < bestD2 || (d2v == bestD2 && j < best)) {
+      bestD2 = d2v;
+      best = j;
+    }
+  };
+
+  // Out-of-range query points and windows larger than the occupied cell set
+  // degrade to a row scan (row order makes the tie rule trivial).
+  std::array<std::int64_t, kMaxDims> base{};
+  bool inRange = true;
+  for (std::size_t k = 0; k < d && inRange; ++k) {
+    const double scaled = p[k] * inv_;
+    if (!std::isfinite(scaled) || std::abs(scaled) > kMaxCellCoord)
+      inRange = false;
+    else
+      base[k] = static_cast<std::int64_t>(std::floor(scaled));
+  }
+  const double radius = std::sqrt(radius2);
+  const auto reach = static_cast<std::int64_t>(std::floor(radius * inv_)) + 1;
+  double window = 1.0;
+  for (std::size_t k = 0; k < d; ++k)
+    window *= static_cast<double>(2 * reach + 1);
+  if (!inRange || window > static_cast<double>(cellCount())) {
+    for (std::size_t j = 0; j < m_.rows(); ++j) consider(j);
+    return best;
+  }
+
+  auto scanCell = [&](const std::array<std::int64_t, kMaxDims>& coord) {
+    const std::size_t c = findCell(coord, d);
+    if (c == kNoCell) return;
+    // Exact point-to-box distance; skipping only on strict excess keeps
+    // boundary ties (a member at exactly the best distance) reachable.
+    double boxD2 = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double lo = static_cast<double>(coord[k]) * cell_;
+      const double hi = lo + cell_;
+      if (p[k] < lo) {
+        const double g = lo - p[k];
+        boxD2 += g * g;
+      } else if (p[k] > hi) {
+        const double g = p[k] - hi;
+        boxD2 += g * g;
+      }
+    }
+    if (boxD2 > std::min(bestD2, radius2)) return;
+    for (std::size_t j : cellMembers(c)) consider(j);
+  };
+
+  std::array<std::int64_t, kMaxDims> cell{};
+  auto ringCells = [&](auto&& self, std::size_t dim, std::int64_t r,
+                       bool onEdge) -> void {
+    if (dim == d) {
+      if (onEdge || r == 0) scanCell(cell);
+      return;
+    }
+    for (std::int64_t off = -r; off <= r; ++off) {
+      cell[dim] = base[dim] + off;
+      self(self, dim + 1, r, onEdge || off == r || off == -r);
+    }
+  };
+
+  for (std::int64_t r = 0; r <= reach; ++r) {
+    if (r >= 2) {
+      // Any point in a cell at Chebyshev ring r is at least (r-1)·cell from
+      // p; once that bound exceeds both the best hit and the radius, no
+      // farther ring can improve the answer.
+      const double bound = static_cast<double>(r - 1) * cell_;
+      if (bound * bound > std::min(bestD2, radius2)) break;
+    }
+    ringCells(ringCells, 0, r, false);
+  }
+  return best;
+}
+
 double EpsGrid::kthNearestDist(std::size_t i, std::size_t k) const {
   UNVEIL_ASSERT(valid_, "EpsGrid::kthNearestDist on invalid grid");
   const auto p = m_.row(i);
   const std::size_t d = p.size();
-  std::array<std::int64_t, kMaxDims> base{};
-  for (std::size_t dim = 0; dim < d; ++dim)
-    base[dim] = static_cast<std::int64_t>(std::floor(p[dim] * inv_));
+  const auto& base = cellCoords_[cellOfRow_[i]];
 
   // Max-heap of the k+1 smallest squared distances seen so far.
   const std::size_t want = k + 1;
   std::vector<double> heap;
   heap.reserve(want);
-  auto offer = [&](double d2) {
+  auto offer = [&](double d2v) {
     if (heap.size() < want) {
-      heap.push_back(d2);
+      heap.push_back(d2v);
       std::push_heap(heap.begin(), heap.end());
-    } else if (d2 < heap.front()) {
+    } else if (d2v < heap.front()) {
       std::pop_heap(heap.begin(), heap.end());
-      heap.back() = d2;
+      heap.back() = d2v;
       std::push_heap(heap.begin(), heap.end());
     }
   };
 
-  auto scanCell = [&](std::uint64_t h) {
-    auto it = cells_.find(h);
-    if (it == cells_.end()) return;
-    for (std::size_t j : it->second) {
+  auto scanCell = [&](const std::array<std::int64_t, kMaxDims>& coord) {
+    const std::size_t c = findCell(coord, d);
+    if (c == kNoCell) return;
+    for (std::size_t j : cellMembers(c)) {
       if (j == i) continue;
       offer(dist2(p, m_.row(j)));
     }
   };
 
-  // Recursive enumeration of cells at Chebyshev ring r (max |offset| == r),
-  // hashing coordinates as the recursion descends.
+  // Recursive enumeration of cells at Chebyshev ring r (max |offset| == r).
   std::array<std::int64_t, kMaxDims> cell{};
   auto ringCells = [&](auto&& self, std::size_t dim, std::int64_t r,
-                       std::uint64_t h, bool onEdge) -> void {
+                       bool onEdge) -> void {
     if (dim == d) {
-      if (onEdge || r == 0) scanCell(h);
+      if (onEdge || r == 0) scanCell(cell);
       return;
     }
     for (std::int64_t off = -r; off <= r; ++off) {
       cell[dim] = base[dim] + off;
-      self(self, dim + 1, r, hashCombine(h, cell[dim]),
-           onEdge || off == r || off == -r);
+      self(self, dim + 1, r, onEdge || off == r || off == -r);
     }
   };
 
@@ -153,7 +355,7 @@ double EpsGrid::kthNearestDist(std::size_t i, std::size_t k) const {
       const double bound = static_cast<double>(r - 1) * cell_;
       if (bound * bound >= heap.front()) break;
     }
-    ringCells(ringCells, 0, r, 0x9e3779b97f4a7c15ULL, false);
+    ringCells(ringCells, 0, r, false);
   }
   UNVEIL_ASSERT(heap.size() == want, "kthNearestDist: not enough rows");
   return std::sqrt(heap.front());

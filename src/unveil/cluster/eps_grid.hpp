@@ -4,24 +4,33 @@
 /// Uniform-grid spatial index over a FeatureMatrix.
 ///
 /// Cells are cubes of a fixed edge length; each occupied cell maps to the
-/// row indices it contains. Two query shapes are provided:
+/// row indices it contains (CSR layout: one flat index array plus offsets).
+/// Cell coordinates are stored exactly, so hash collisions are resolved by
+/// coordinate comparison — a lookup never merges two distinct cells. Three
+/// query shapes are provided:
 ///
-///  - neighbors(): all rows within a radius no larger than the cell edge
-///    (the DBSCAN region query — inspect the 3^d adjacent cells);
+///  - neighbors(): all rows within an arbitrary radius of a row or of a free
+///    point — inspects the (2r+1)^d cells that can intersect the ball (the
+///    DBSCAN region query);
+///  - nearest(): the single closest row to a free point within a radius, via
+///    expanding Chebyshev rings with per-cell box-distance pruning (the
+///    sampled-mode classification query — cost tracks local density, not the
+///    size of the whole eps-neighborhood);
 ///  - kthNearestDist(): exact k-nearest-neighbor distance via expanding
-///    Chebyshev rings of cells (the estimateEps k-dist query).
-///
-/// Cell coordinates are hashed incrementally (no per-query allocation).
-/// Hash collisions merge two cells' point lists; that is benign for both
-/// queries because candidates are always distance-filtered, so collisions
-/// can only add candidates, never hide them.
+///    Chebyshev rings of cells (the estimateEps k-dist query);
+///  - cell-level access (cellCount/cellMembers/cellOfRow/forEachNeighborCell):
+///    the primitives the cell-based DBSCAN builds on. With an edge no larger
+///    than eps/sqrt(d), any two rows sharing a cell are within eps of each
+///    other, which lets dense cells be classified wholesale.
 ///
 /// The grid degrades gracefully: when the requested cell size is degenerate
-/// (non-positive or non-finite, e.g. all points identical) or the
-/// dimensionality exceeds kMaxDims, valid() is false and callers must fall
-/// back to brute force.
+/// (non-positive or non-finite, e.g. eps underflow), the dimensionality
+/// exceeds kMaxDims, or a coordinate/cell ratio would overflow the cell
+/// index range, valid() is false and callers must fall back to brute force.
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -31,22 +40,44 @@ namespace unveil::cluster {
 
 class EpsGrid {
  public:
-  /// Dimensionality cap: cell enumeration is exponential in dims (3^d for
-  /// neighbors), so high-dimensional inputs use brute force instead.
+  /// Dimensionality cap: cell enumeration is exponential in dims (3^d or
+  /// more for neighbors), so high-dimensional inputs use brute force.
   static constexpr std::size_t kMaxDims = 8;
+
+  /// Returned by nearest() when no row lies within the query radius.
+  static constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
 
   /// Indexes \p m with cubic cells of edge \p cellSize. \p m must outlive
   /// the grid. Check valid() before querying.
   EpsGrid(const FeatureMatrix& m, double cellSize);
 
-  /// False when the grid cannot index this input (degenerate cell size or
-  /// too many dimensions); queries must not be called then.
+  /// False when the grid cannot index this input (degenerate cell size, too
+  /// many dimensions, or cell coordinates out of the indexable range);
+  /// queries must not be called then.
   [[nodiscard]] bool valid() const noexcept { return valid_; }
 
+  /// Cell edge length the grid was built with.
+  [[nodiscard]] double cellSize() const noexcept { return cell_; }
+
   /// Rows within sqrt(radius2) (Euclidean) of row \p i, including i itself.
-  /// Requires radius2 <= cellSize^2 (only the 3^d adjacent cells are
-  /// inspected). Thread-safe for concurrent callers with distinct \p out.
+  /// Any radius is supported: the query inspects every cell within
+  /// ceil(radius/cellSize) cells of i's cell. Thread-safe for concurrent
+  /// callers with distinct \p out.
   void neighbors(std::size_t i, double radius2, std::vector<std::size_t>& out) const;
+
+  /// Rows within sqrt(radius2) of the free point \p p (which need not be a
+  /// row of the indexed matrix — the sampled-classification query).
+  /// \p p must have the matrix dimensionality. Thread-safe.
+  void neighbors(std::span<const double> p, double radius2,
+                 std::vector<std::size_t>& out) const;
+
+  /// Row nearest to the free point \p p among those within sqrt(radius2),
+  /// ties broken toward the lowest row index; kNoRow when no row is in
+  /// range. Searches expanding Chebyshev rings of cells, pruning each cell
+  /// by the exact point-to-box distance against the best hit so far, so the
+  /// cost scales with the local density around \p p rather than with the
+  /// number of rows inside the radius. Thread-safe.
+  [[nodiscard]] std::size_t nearest(std::span<const double> p, double radius2) const;
 
   /// Exact Euclidean distance from row \p i to its (k+1)-th nearest *other*
   /// row (k is 0-based: k = 0 gives the nearest neighbor). Requires the
@@ -59,14 +90,76 @@ class EpsGrid {
   /// degenerate (all points identical) — callers should then skip the grid.
   [[nodiscard]] static double knnCellSize(const FeatureMatrix& m, std::size_t k);
 
+  /// Number of occupied cells.
+  [[nodiscard]] std::size_t cellCount() const noexcept { return cellCoords_.size(); }
+
+  /// Rows contained in occupied cell \p c (insertion == row order).
+  [[nodiscard]] std::span<const std::size_t> cellMembers(std::size_t c) const;
+
+  /// Occupied-cell index of row \p i.
+  [[nodiscard]] std::size_t cellOfRow(std::size_t i) const { return cellOfRow_[i]; }
+
+  /// Smallest squared Euclidean distance between any point of cell \p a's
+  /// box and any point of cell \p b's box (0 for adjacent/overlapping
+  /// boxes). Used to prune cell pairs that cannot contain an eps pair.
+  [[nodiscard]] double cellBoxDist2(std::size_t a, std::size_t b) const;
+
+  /// Invokes \p fn(cellIndex) for every occupied cell within Chebyshev
+  /// distance \p reach of cell \p c, excluding \p c itself.
+  template <typename Fn>
+  void forEachNeighborCell(std::size_t c, std::int64_t reach, Fn&& fn) const {
+    const auto& base = cellCoords_[c];
+    const std::size_t d = m_.dims();
+    std::array<std::int64_t, kMaxDims> coord{};
+    // Mixed-radix counter over offsets in [-reach, reach]^d.
+    std::array<std::int64_t, kMaxDims> offs{};
+    offs.fill(-reach);
+    while (true) {
+      bool self = true;
+      for (std::size_t k = 0; k < d; ++k) {
+        coord[k] = base[k] + offs[k];
+        self = self && offs[k] == 0;
+      }
+      if (!self) {
+        const std::size_t cell = findCell(coord, d);
+        if (cell != kNoCell) fn(cell);
+      }
+      std::size_t k = 0;
+      while (k < d && offs[k] == reach) {
+        offs[k] = -reach;
+        ++k;
+      }
+      if (k == d) break;
+      ++offs[k];
+    }
+  }
+
  private:
+  static constexpr std::size_t kNoCell = static_cast<std::size_t>(-1);
+
   [[nodiscard]] static std::uint64_t hashCombine(std::uint64_t h, std::int64_t v) noexcept {
     h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     return h;
   }
 
-  /// Hash of the cell containing row \p i (computed from its coordinates).
-  [[nodiscard]] std::uint64_t cellHashOfRow(std::size_t i) const;
+  [[nodiscard]] static std::uint64_t hashCoord(
+      const std::array<std::int64_t, kMaxDims>& coord, std::size_t d) noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t k = 0; k < d; ++k) h = hashCombine(h, coord[k]);
+    return h;
+  }
+
+  /// Occupied-cell index for exact coordinates \p coord, or kNoCell. Walks
+  /// the hash bucket's collision chain comparing coordinates, so two cells
+  /// sharing a hash are never conflated.
+  [[nodiscard]] std::size_t findCell(const std::array<std::int64_t, kMaxDims>& coord,
+                                     std::size_t d) const;
+
+  /// Generic radius query around \p p whose own cell has coordinates
+  /// \p base; \p skipRow is excluded (pass kNoCell to keep every row).
+  void neighborsImpl(std::span<const double> p,
+                     const std::array<std::int64_t, kMaxDims>& base,
+                     double radius2, std::vector<std::size_t>& out) const;
 
   const FeatureMatrix& m_;
   double cell_;
@@ -74,7 +167,18 @@ class EpsGrid {
   bool valid_;
   /// Largest per-dimension cell-index span; bounds ring expansion.
   std::int64_t maxRing_ = 0;
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> cells_;
+  /// Exact integer coordinates of each occupied cell.
+  std::vector<std::array<std::int64_t, kMaxDims>> cellCoords_;
+  /// CSR member storage: rows of cell c are
+  /// memberRows_[memberOffsets_[c] .. memberOffsets_[c+1]).
+  std::vector<std::size_t> memberOffsets_;
+  std::vector<std::size_t> memberRows_;
+  /// Occupied-cell index per row.
+  std::vector<std::size_t> cellOfRow_;
+  /// Hash → head of a collision chain of occupied-cell indices.
+  std::unordered_map<std::uint64_t, std::size_t> buckets_;
+  /// Next cell in the same hash bucket (kNoCell terminates the chain).
+  std::vector<std::size_t> nextInBucket_;
 };
 
 }  // namespace unveil::cluster

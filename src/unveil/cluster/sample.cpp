@@ -1,0 +1,295 @@
+#include "unveil/cluster/sample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "unveil/cluster/eps_grid.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/rng.hpp"
+#include "unveil/support/telemetry.hpp"
+#include "unveil/support/thread_pool.hpp"
+
+namespace unveil::cluster {
+
+void StratifiedSampleParams::validate() const {
+  if (!(fraction > 0.0) || fraction > 1.0)
+    throw ConfigError("sample fraction must be in (0, 1]");
+  if (minSample < 1) throw ConfigError("sample minSample must be >= 1");
+  if (maxSample < minSample)
+    throw ConfigError("sample maxSample must be >= minSample");
+  if (bucketsPerDim < 1) throw ConfigError("sample bucketsPerDim must be >= 1");
+}
+
+void SampledDbscanParams::validate() const {
+  dbscan.validate();
+  sample.validate();
+}
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+double dist2(std::span<const double> p, std::span<const double> q) {
+  double d2 = 0.0;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    const double diff = p[k] - q[k];
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
+/// Per-dimension equal-width bucket edges over the column's observed
+/// [min, max] range. Equal-width — not quantile — bucketing is deliberate:
+/// quantile edges allocate buckets by mass, so a rare phase far from the
+/// dense blobs shares its stratum with the dense tail and the floor-of-one
+/// guarantee protects nothing. Equal-width edges give outlying regions of
+/// feature space their own strata regardless of how few rows they hold.
+std::vector<double> bucketEdges(const FeatureMatrix& m, std::size_t dim,
+                                std::size_t buckets) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double v = m.at(i, dim);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::vector<double> edges;
+  if (!(hi > lo)) return edges;  // degenerate column: one bucket
+  edges.reserve(buckets - 1);
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (std::size_t b = 1; b < buckets; ++b)
+    edges.push_back(lo + width * static_cast<double>(b));
+  return edges;
+}
+
+}  // namespace
+
+StratifiedSample stratifiedSample(const FeatureMatrix& m,
+                                  const StratifiedSampleParams& params) {
+  params.validate();
+  telemetry::Span span("cluster.stratified_sample");
+  const std::size_t n = m.rows();
+  const std::size_t d = m.dims();
+  StratifiedSample out;
+  if (n == 0) return out;
+
+  // Cap total strata: buckets^d <= kMaxStrata, at least 2 buckets per
+  // dimension (1 when even 2^d would blow the cap).
+  std::size_t buckets = params.bucketsPerDim;
+  auto strataOf = [&](std::size_t b) {
+    double total = 1.0;
+    for (std::size_t k = 0; k < d; ++k) total *= static_cast<double>(b);
+    return total;
+  };
+  while (buckets > 1 &&
+         strataOf(buckets) > static_cast<double>(StratifiedSampleParams::kMaxStrata))
+    --buckets;
+
+  // Stratum of each row: mixed-radix digit per dimension from the quantile
+  // edges (upper_bound gives the bucket).
+  std::vector<std::vector<double>> edges(d);
+  for (std::size_t k = 0; k < d; ++k)
+    edges[k] = buckets > 1 ? bucketEdges(m, k, buckets) : std::vector<double>{};
+  std::vector<std::uint32_t> stratumOf(n);
+  support::globalPool().parallelFor(n, [&](std::size_t i) {
+    std::uint32_t s = 0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const auto& e = edges[k];
+      const auto digit = static_cast<std::uint32_t>(
+          std::upper_bound(e.begin(), e.end(), m.at(i, k)) - e.begin());
+      s = s * static_cast<std::uint32_t>(buckets) + digit;
+    }
+    stratumOf[i] = s;
+  });
+
+  // Group rows by stratum (dense remap of occupied strata, first-seen
+  // order — deterministic).
+  std::vector<std::uint32_t> denseId(strataOf(buckets) > 0
+                                         ? static_cast<std::size_t>(strataOf(buckets))
+                                         : 1,
+                                     std::numeric_limits<std::uint32_t>::max());
+  std::vector<std::vector<std::size_t>> strataRows;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& id = denseId[stratumOf[i]];
+    if (id == std::numeric_limits<std::uint32_t>::max()) {
+      id = static_cast<std::uint32_t>(strataRows.size());
+      strataRows.emplace_back();
+    }
+    strataRows[id].push_back(i);
+  }
+  out.strata = strataRows.size();
+
+  // Proportional allocation with a floor of one per non-empty stratum, so
+  // rare phases survive the sampling.
+  const std::size_t target = std::min(
+      n, std::clamp(static_cast<std::size_t>(std::llround(
+                        params.fraction * static_cast<double>(n))),
+                    params.minSample, params.maxSample));
+  out.indices.reserve(target + out.strata);
+  for (std::size_t s = 0; s < strataRows.size(); ++s) {
+    auto& rows = strataRows[s];
+    const auto quota = std::min(
+        rows.size(),
+        std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::llround(
+                   static_cast<double>(target) * static_cast<double>(rows.size()) /
+                   static_cast<double>(n)))));
+    if (quota >= rows.size()) {
+      out.indices.insert(out.indices.end(), rows.begin(), rows.end());
+      continue;
+    }
+    // Partial Fisher-Yates over the stratum's rows with a per-stratum
+    // substream: selection is independent of every other stratum.
+    support::Rng rng(params.seed, "stratified-sample");
+    auto sub = rng.fork(std::to_string(s));
+    for (std::size_t j = 0; j < quota; ++j) {
+      const auto pick = static_cast<std::size_t>(sub.uniformInt(
+          static_cast<std::int64_t>(j), static_cast<std::int64_t>(rows.size() - 1)));
+      std::swap(rows[j], rows[pick]);
+      out.indices.push_back(rows[j]);
+    }
+  }
+  std::sort(out.indices.begin(), out.indices.end());
+  span.attr("rows", n);
+  span.attr("sampled", out.indices.size());
+  span.attr("strata", out.strata);
+  return out;
+}
+
+SampledClustering dbscanSampled(const FeatureMatrix& features,
+                                const SampledDbscanParams& params) {
+  params.validate();
+  telemetry::Span span("cluster.dbscan_sampled");
+  span.attr("points", features.rows());
+  span.attr("eps", params.dbscan.eps);
+  const std::size_t n = features.rows();
+  const std::size_t d = features.dims();
+
+  SampledClustering out;
+  out.clustering.labels.assign(n, kNoiseLabel);
+  out.clustering.core.assign(n, 0);
+  if (n == 0) return out;
+
+  // 1. Stratified selection.
+  const StratifiedSample sample = stratifiedSample(features, params.sample);
+  const std::size_t s = sample.indices.size();
+  out.sampleSize = s;
+  out.strata = sample.strata;
+
+  // 2. Exact grid DBSCAN on the sample. A sample of rate f keeps ~f of any
+  //    eps-neighborhood, so the density threshold scales with the realized
+  //    rate (floor 2) to detect the same structure.
+  FeatureMatrix sub(s, d);
+  for (std::size_t i = 0; i < s; ++i)
+    for (std::size_t k = 0; k < d; ++k) sub.at(i, k) = features.at(sample.indices[i], k);
+  DbscanParams sampleParams = params.dbscan;
+  if (params.scaleMinPts && s < n) {
+    const double rate = static_cast<double>(s) / static_cast<double>(n);
+    sampleParams.minPts = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::llround(
+               static_cast<double>(params.dbscan.minPts) * rate)));
+  }
+  const Clustering sampleClustering = dbscan(sub, sampleParams);
+
+  // Sampled rows carry their exact labels (and core flags) straight over.
+  for (std::size_t i = 0; i < s; ++i) {
+    out.clustering.labels[sample.indices[i]] = sampleClustering.labels[i];
+    out.clustering.core[sample.indices[i]] = sampleClustering.core[i];
+  }
+
+  // 3. Classify the remaining rows in parallel: nearest sampled core within
+  //    eps (ties: lowest sample row) — the same rule exact DBSCAN uses for
+  //    border points, so sampled and exact agree wherever the sample saw
+  //    the neighborhood. Pure per-point function + slot-per-index writes =
+  //    bit-identical for any thread count.
+  //
+  //    The cores get their own grid with a finer cell than the eps-grid:
+  //    the query wants one nearest core, and with eps far above the blob
+  //    scale an eps-neighborhood holds a large fraction of the sample, so
+  //    collecting it per point is quadratic in practice. nearest() prunes
+  //    by the best hit so far, making the cost track local core density.
+  //    The divisor shrinks with dimensionality to bound the (2r+1)^d ring
+  //    enumeration for points with no core in range.
+  const double eps2 = params.dbscan.eps * params.dbscan.eps;
+  std::vector<std::size_t> coreRows;  // ascending, so grid ties = sample ties
+  for (std::size_t j = 0; j < s; ++j)
+    if (sampleClustering.core[j]) coreRows.push_back(j);
+  FeatureMatrix cores(coreRows.size(), d);
+  for (std::size_t c = 0; c < coreRows.size(); ++c)
+    for (std::size_t k = 0; k < d; ++k) cores.at(c, k) = sub.at(coreRows[c], k);
+  const double divisor = d <= 2 ? 4.0 : (d == 3 ? 2.0 : 1.0);
+  const EpsGrid coreGrid(cores, params.dbscan.eps / divisor);
+  const bool brute = !coreGrid.valid();
+  if (brute && !coreRows.empty()) {
+    telemetry::count("cluster.bruteforce_fallbacks", 1);
+    span.attr("bruteforce", 1);
+  }
+  std::vector<std::uint8_t> sampled(n, 0);
+  for (std::size_t idx : sample.indices) sampled[idx] = 1;
+  support::globalPool().parallelForChunks(n, 1024, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (sampled[i] || coreRows.empty()) continue;
+      const auto p = features.row(i);
+      std::size_t bestCore = kNone;
+      if (!brute) {
+        const std::size_t hit = coreGrid.nearest(p, eps2);
+        if (hit != EpsGrid::kNoRow) bestCore = coreRows[hit];
+      } else {
+        double bestD2 = std::numeric_limits<double>::infinity();
+        std::size_t bestC = kNone;
+        for (std::size_t c = 0; c < coreRows.size(); ++c) {
+          const double d2v = dist2(p, cores.row(c));
+          if (d2v > eps2) continue;
+          if (d2v < bestD2 || (d2v == bestD2 && c < bestC)) {
+            bestD2 = d2v;
+            bestC = c;
+          }
+        }
+        if (bestC != kNone) bestCore = coreRows[bestC];
+      }
+      if (bestCore != kNone)
+        out.clustering.labels[i] = sampleClustering.labels[bestCore];
+    }
+  });
+  out.classified = n - s;
+
+  // 4. Re-rank cluster ids by full-data-set member count (descending, ties
+  //    by lowest core row — the same tie-break exact dbscan() uses, so the
+  //    fraction-1.0 degenerate case reproduces its ordering exactly) so the
+  //    "cluster 0 is the largest" convention holds over all rows, not just
+  //    the sample.
+  const std::size_t numClusters = sampleClustering.numClusters;
+  std::vector<std::size_t> sizes(numClusters, 0);
+  std::vector<std::size_t> minRow(numClusters, kNone);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int l = out.clustering.labels[i];
+    if (l < 0) continue;
+    const auto c = static_cast<std::size_t>(l);
+    ++sizes[c];
+    if (minRow[c] == kNone && out.clustering.core[i]) minRow[c] = i;
+  }
+  std::vector<std::size_t> order(numClusters);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (sizes[a] != sizes[b]) return sizes[a] > sizes[b];
+    return minRow[a] < minRow[b];
+  });
+  std::vector<int> remap(numClusters);
+  for (std::size_t newId = 0; newId < numClusters; ++newId)
+    remap[order[newId]] = static_cast<int>(newId);
+  for (auto& l : out.clustering.labels)
+    if (l >= 0) l = remap[static_cast<std::size_t>(l)];
+  out.clustering.numClusters = numClusters;
+
+  span.attr("sample_size", out.sampleSize);
+  span.attr("classified", out.classified);
+  span.attr("strata", out.strata);
+  span.attr("clusters", out.clustering.numClusters);
+  telemetry::count("cluster.sample_size", out.sampleSize);
+  telemetry::count("cluster.classified", out.classified);
+  return out;
+}
+
+}  // namespace unveil::cluster

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file sample.hpp
+/// Stratified-sampled DBSCAN for million-burst traces.
+///
+/// Sampling is the source paper's own core trick (folding reconstructs a
+/// phase from a sparse scatter of samples); here it is applied to the
+/// clustering stage itself, following the two-phase stratified-sampling
+/// approach of CPU performance characterization: cluster an exact DBSCAN
+/// over a stratified sample of the bursts, then classify every remaining
+/// burst by eps-neighborhood assignment to the sampled cores.
+///
+/// Strata are equal-width buckets over the (cheap, already-computed)
+/// clustering features — with the default feature space that is
+/// log-instructions × IPC buckets — and allocation is proportional with a
+/// floor of one, so rare phases far from the dense blobs land in their own
+/// strata and keep representation that uniform sampling would lose.
+///
+/// Determinism: stratum edges, the per-stratum selections (seeded
+/// support::Rng substreams) and the classification (a pure per-point
+/// function) are all independent of thread count, so results are
+/// bit-identical for any --threads value and reproducible for a fixed seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "unveil/cluster/dbscan.hpp"
+#include "unveil/cluster/features.hpp"
+
+namespace unveil::cluster {
+
+/// Stratified-sample selection parameters.
+struct StratifiedSampleParams {
+  /// Target sample size as a fraction of the input rows.
+  double fraction = 0.05;
+  /// Never sample fewer rows than this (clamped to the input size).
+  std::size_t minSample = 2000;
+  /// Never sample more rows than this — beyond it, exact DBSCAN on the
+  /// sample would itself become the bottleneck.
+  std::size_t maxSample = 100000;
+  /// Equal-width buckets per feature dimension (total strata are capped at
+  /// kMaxStrata by reducing per-dimension buckets).
+  std::size_t bucketsPerDim = 8;
+  /// Root seed for the per-stratum selection substreams.
+  std::uint64_t seed = 1;
+
+  /// Upper bound on the total stratum count.
+  static constexpr std::size_t kMaxStrata = 4096;
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// A stratified sample of a feature matrix.
+struct StratifiedSample {
+  /// Selected row indices, ascending.
+  std::vector<std::size_t> indices;
+  /// Number of non-empty strata the selection drew from.
+  std::size_t strata = 0;
+};
+
+/// Draws a stratified sample of \p m: rows are bucketed per dimension by
+/// equal-width edges, strata sampled proportionally (floor of one row per
+/// non-empty stratum), deterministic for a fixed seed.
+[[nodiscard]] StratifiedSample stratifiedSample(const FeatureMatrix& m,
+                                                const StratifiedSampleParams& params);
+
+/// Parameters for sampled DBSCAN.
+struct SampledDbscanParams {
+  /// Density parameters, interpreted on the full data set.
+  DbscanParams dbscan{};
+  /// Sample selection.
+  StratifiedSampleParams sample{};
+  /// Scale minPts by the realized sampling rate when clustering the sample
+  /// (a sample of fraction f keeps ~f of every eps-neighborhood, so the
+  /// density threshold must shrink accordingly). Floor of 2.
+  bool scaleMinPts = true;
+
+  /// Throws ConfigError on invalid values.
+  void validate() const;
+};
+
+/// Sampled clustering outcome: full-length labels plus sampling telemetry.
+struct SampledClustering {
+  /// Labels over every input row, cluster ids ordered by descending member
+  /// count like dbscan().
+  Clustering clustering;
+  /// Rows clustered exactly (the stratified sample).
+  std::size_t sampleSize = 0;
+  /// Rows labeled by eps-neighborhood classification (everything else).
+  std::size_t classified = 0;
+  /// Non-empty strata used by the selection.
+  std::size_t strata = 0;
+};
+
+/// Clusters a stratified sample of \p features with exact grid DBSCAN, then
+/// classifies the remaining rows in parallel: each joins the cluster of its
+/// nearest sampled core within eps (ties: lowest sample row), or noise when
+/// no sampled core is in range. Deterministic for any thread count.
+[[nodiscard]] SampledClustering dbscanSampled(const FeatureMatrix& features,
+                                              const SampledDbscanParams& params);
+
+}  // namespace unveil::cluster

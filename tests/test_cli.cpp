@@ -151,6 +151,64 @@ TEST_F(CliRoundTrip, AnalyzeExportsTelemetry) {
   EXPECT_NE(metrics.str().find("pipeline.bursts_extracted"), std::string::npos);
 }
 
+TEST_F(CliRoundTrip, AnalyzeClusterSampleMode) {
+  std::ostringstream out;
+  const int rc = runCli({"analyze", "--trace", tracePath(), "--cluster-sample"},
+                        out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("sampled clustering:"), std::string::npos);
+  EXPECT_NE(out.str().find("detected computation phases"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, AnalyzeClusterExactPrintsNoSamplingLine) {
+  std::ostringstream out;
+  const int rc =
+      runCli({"analyze", "--trace", tracePath(), "--cluster-exact"}, out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_EQ(out.str().find("sampled clustering:"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, AnalyzeClusterModeFlagsMutuallyExclusive) {
+  std::ostringstream out;
+  const int rc = runCli({"analyze", "--trace", tracePath(), "--cluster-exact",
+                         "--cluster-sample"},
+                        out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("mutually exclusive"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, AnalyzeSampleFractionValidatedAndImpliesSampled) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"analyze", "--trace", tracePath(),
+                    "--cluster-sample-fraction", "1.5"},
+                   out),
+            1);
+  EXPECT_EQ(runCli({"analyze", "--trace", tracePath(),
+                    "--cluster-sample-fraction", "0"},
+                   out),
+            1);
+  std::ostringstream ok;
+  const int rc = runCli({"analyze", "--trace", tracePath(),
+                         "--cluster-sample-fraction", "0.5"},
+                        ok);
+  EXPECT_EQ(rc, 0) << ok.str();
+  EXPECT_NE(ok.str().find("sampled clustering:"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, SampledAnalyzeIdenticalAcrossThreadCounts) {
+  std::ostringstream one;
+  std::ostringstream eight;
+  EXPECT_EQ(runCli({"analyze", "--trace", tracePath(), "--cluster-sample",
+                    "--threads", "1"},
+                   one),
+            0);
+  EXPECT_EQ(runCli({"analyze", "--trace", tracePath(), "--cluster-sample",
+                    "--threads", "8"},
+                   eight),
+            0);
+  EXPECT_EQ(one.str(), eight.str());
+}
+
 TEST_F(CliRoundTrip, NoTelemetryDisablesExports) {
   std::ostringstream out;
   const int rc =

@@ -1,0 +1,250 @@
+/// \file test_eps_grid.cpp
+/// Edge cases and brute-force equivalence for the uniform-grid index: the
+/// structure every clustering query (DBSCAN region queries, k-dist
+/// estimation, sampled classification) now runs through.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "unveil/cluster/eps_grid.hpp"
+#include "unveil/support/rng.hpp"
+
+namespace {
+
+using namespace unveil;
+
+cluster::FeatureMatrix randomMatrix(std::size_t n, std::size_t d,
+                                    std::uint64_t seed, double span = 10.0) {
+  support::Rng rng(seed, "eps-grid-test");
+  cluster::FeatureMatrix m(n, d);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < d; ++k) m.at(i, k) = rng.uniform(-span, span);
+  return m;
+}
+
+std::vector<std::size_t> bruteNeighbors(const cluster::FeatureMatrix& m,
+                                        std::span<const double> p,
+                                        double radius2) {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < m.rows(); ++j) {
+    double d2 = 0.0;
+    const auto q = m.row(j);
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      const double diff = p[k] - q[k];
+      d2 += diff * diff;
+    }
+    if (d2 <= radius2) out.push_back(j);
+  }
+  return out;
+}
+
+TEST(EpsGrid, EmptyInput) {
+  const cluster::FeatureMatrix m(0, 2);
+  const cluster::EpsGrid grid(m, 0.5);
+  ASSERT_TRUE(grid.valid());
+  EXPECT_EQ(grid.cellCount(), 0u);
+  std::vector<std::size_t> out;
+  const double p[2] = {0.0, 0.0};
+  grid.neighbors(std::span<const double>(p, 2), 1.0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EpsGrid, AllIdenticalPoints) {
+  cluster::FeatureMatrix m(64, 3);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t k = 0; k < m.dims(); ++k) m.at(i, k) = 4.25;
+  const cluster::EpsGrid grid(m, 0.1);
+  ASSERT_TRUE(grid.valid());
+  EXPECT_EQ(grid.cellCount(), 1u);
+  std::vector<std::size_t> out;
+  grid.neighbors(std::size_t{0}, 1e-12, out);
+  EXPECT_EQ(out.size(), m.rows());  // all at distance zero
+  // knnCellSize reports a degenerate bounding box as 0: no usable grid.
+  EXPECT_EQ(cluster::EpsGrid::knnCellSize(m, 8), 0.0);
+}
+
+TEST(EpsGrid, RadiusSmallerThanAnyPairwiseDistance) {
+  // Integer lattice: minimum pairwise distance is 1. A radius far below
+  // that returns exactly the query point itself, no matter how the cells
+  // are laid out.
+  cluster::FeatureMatrix m(25, 2);
+  for (std::size_t i = 0; i < 25; ++i) {
+    m.at(i, 0) = static_cast<double>(i % 5);
+    m.at(i, 1) = static_cast<double>(i / 5);
+  }
+  const cluster::EpsGrid grid(m, 0.31);
+  ASSERT_TRUE(grid.valid());
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    grid.neighbors(i, 1e-4, out);
+    ASSERT_EQ(out.size(), 1u) << "row " << i;
+    EXPECT_EQ(out[0], i);
+  }
+}
+
+TEST(EpsGrid, MatchesBruteForceAcrossRadiiAndCellSizes) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    for (const std::size_t d : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+      const auto m = randomMatrix(200, d, seed);
+      // Radii below, at, and above the cell edge; cells below and above
+      // the radius — both directions of the reach computation.
+      for (const double cell : {0.2, 0.7, 2.0}) {
+        const cluster::EpsGrid grid(m, cell);
+        ASSERT_TRUE(grid.valid());
+        for (const double radius : {0.1, 0.7, 1.5, 5.0}) {
+          const double r2 = radius * radius;
+          std::vector<std::size_t> got;
+          for (std::size_t i = 0; i < m.rows(); i += 7) {
+            grid.neighbors(i, r2, got);
+            std::sort(got.begin(), got.end());
+            EXPECT_EQ(got, bruteNeighbors(m, m.row(i), r2))
+                << "seed " << seed << " d " << d << " cell " << cell
+                << " radius " << radius << " row " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EpsGrid, FreePointQueryMatchesBruteForce) {
+  const auto m = randomMatrix(150, 2, 11);
+  const cluster::EpsGrid grid(m, 0.8);
+  ASSERT_TRUE(grid.valid());
+  support::Rng rng(12, "free-points");
+  std::vector<std::size_t> got;
+  for (int q = 0; q < 40; ++q) {
+    // Half in-range, half far outside the indexed bounding box.
+    const double span = (q % 2 == 0) ? 10.0 : 100.0;
+    const double p[2] = {rng.uniform(-span, span), rng.uniform(-span, span)};
+    const std::span<const double> ps(p, 2);
+    for (const double radius : {0.5, 2.0, 40.0}) {
+      const double r2 = radius * radius;
+      grid.neighbors(ps, r2, got);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, bruteNeighbors(m, ps, r2)) << "query " << q;
+    }
+  }
+}
+
+std::size_t bruteNearest(const cluster::FeatureMatrix& m,
+                         std::span<const double> p, double radius2) {
+  double bestD2 = std::numeric_limits<double>::infinity();
+  std::size_t best = cluster::EpsGrid::kNoRow;
+  for (std::size_t j = 0; j < m.rows(); ++j) {
+    double d2 = 0.0;
+    const auto q = m.row(j);
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      const double diff = p[k] - q[k];
+      d2 += diff * diff;
+    }
+    if (d2 <= radius2 && d2 < bestD2) {
+      bestD2 = d2;
+      best = j;  // strict < keeps the lowest row on exact ties
+    }
+  }
+  return best;
+}
+
+TEST(EpsGrid, NearestMatchesBruteForce) {
+  for (const std::uint64_t seed : {5ULL, 6ULL}) {
+    for (const std::size_t d : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+      const auto m = randomMatrix(180, d, seed);
+      for (const double cell : {0.2, 0.7, 2.0}) {
+        const cluster::EpsGrid grid(m, cell);
+        ASSERT_TRUE(grid.valid());
+        support::Rng rng(seed, "nearest-queries");
+        std::vector<double> p(d);
+        for (int q = 0; q < 30; ++q) {
+          // Half in-range, half far outside the indexed bounding box.
+          const double span = (q % 2 == 0) ? 10.0 : 100.0;
+          for (std::size_t k = 0; k < d; ++k) p[k] = rng.uniform(-span, span);
+          for (const double radius : {0.05, 0.7, 3.0, 50.0}) {
+            const double r2 = radius * radius;
+            EXPECT_EQ(grid.nearest(p, r2), bruteNearest(m, p, r2))
+                << "seed " << seed << " d " << d << " cell " << cell
+                << " radius " << radius << " query " << q;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EpsGrid, NearestTieBreaksToLowestRow) {
+  // Three rows, two of them equidistant from the query (and one an exact
+  // duplicate of the other): the lowest row index must win.
+  cluster::FeatureMatrix m(3, 2);
+  m.at(0, 0) = -1.0;
+  m.at(0, 1) = 0.0;
+  m.at(1, 0) = 1.0;
+  m.at(1, 1) = 0.0;
+  m.at(2, 0) = 1.0;
+  m.at(2, 1) = 0.0;
+  const cluster::EpsGrid grid(m, 0.35);
+  ASSERT_TRUE(grid.valid());
+  const double p[2] = {0.0, 0.0};
+  EXPECT_EQ(grid.nearest(std::span<const double>(p, 2), 4.0), 0u);
+  const double q[2] = {0.5, 0.0};
+  EXPECT_EQ(grid.nearest(std::span<const double>(q, 2), 4.0), 1u);
+}
+
+TEST(EpsGrid, NearestReturnsNoRowOutsideRadius) {
+  const auto m = randomMatrix(50, 2, 51);
+  const cluster::EpsGrid grid(m, 0.5);
+  ASSERT_TRUE(grid.valid());
+  const double p[2] = {500.0, 500.0};
+  EXPECT_EQ(grid.nearest(std::span<const double>(p, 2), 1.0),
+            cluster::EpsGrid::kNoRow);
+}
+
+TEST(EpsGrid, KthNearestMatchesBruteForce) {
+  const auto m = randomMatrix(120, 2, 21);
+  const cluster::EpsGrid grid(m, cluster::EpsGrid::knnCellSize(m, 8));
+  ASSERT_TRUE(grid.valid());
+  for (std::size_t i = 0; i < m.rows(); i += 11) {
+    std::vector<double> dists;
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+      if (j == i) continue;
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < m.dims(); ++k) {
+        const double diff = m.at(i, k) - m.at(j, k);
+        d2 += diff * diff;
+      }
+      dists.push_back(std::sqrt(d2));
+    }
+    std::sort(dists.begin(), dists.end());
+    for (const std::size_t k : {std::size_t{0}, std::size_t{7}}) {
+      EXPECT_DOUBLE_EQ(grid.kthNearestDist(i, k), dists[k])
+          << "row " << i << " k " << k;
+    }
+  }
+}
+
+TEST(EpsGrid, InvalidWhenCellSizeDegenerate) {
+  const auto m = randomMatrix(10, 2, 31);
+  EXPECT_FALSE(cluster::EpsGrid(m, 0.0).valid());
+  EXPECT_FALSE(cluster::EpsGrid(m, -1.0).valid());
+  EXPECT_FALSE(
+      cluster::EpsGrid(m, std::numeric_limits<double>::quiet_NaN()).valid());
+  EXPECT_FALSE(
+      cluster::EpsGrid(m, std::numeric_limits<double>::infinity()).valid());
+}
+
+TEST(EpsGrid, InvalidWhenCoordinatesOverflowCellRange) {
+  cluster::FeatureMatrix m(2, 1);
+  m.at(0, 0) = 0.0;
+  m.at(1, 0) = 1e18;  // coordinate / cell ratio beyond the indexable range
+  EXPECT_FALSE(cluster::EpsGrid(m, 1e-3).valid());
+}
+
+TEST(EpsGrid, InvalidAboveDimensionCap) {
+  const auto m = randomMatrix(10, cluster::EpsGrid::kMaxDims + 1, 41, 1.0);
+  EXPECT_FALSE(cluster::EpsGrid(m, 0.5).valid());
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+/// \file test_sample.cpp
+/// Stratified-sampled DBSCAN: parameter validation, determinism (seed and
+/// thread count), rare-stratum representation, and the sampled-vs-exact
+/// agreement gate (ARI >= 0.95 on a fixed-seed blob corpus) that CI runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "unveil/cluster/quality.hpp"
+#include "unveil/cluster/sample.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/rng.hpp"
+#include "unveil/support/thread_pool.hpp"
+
+namespace {
+
+using namespace unveil;
+
+/// Gaussian blobs like the perf bench uses — the paper's dense-phase regime.
+cluster::FeatureMatrix makeBlobs(std::size_t n, std::size_t blobs,
+                                 std::uint64_t seed = 99) {
+  support::Rng rng(seed, "blobs");
+  cluster::FeatureMatrix m(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<double>(i % blobs);
+    m.at(i, 0) = rng.normal(b * 3.0, 0.15);
+    m.at(i, 1) = rng.normal(b * -2.0, 0.15);
+  }
+  return m;
+}
+
+/// Truth for ARI: noise (label < 0) mapped to a dedicated bucket.
+std::vector<std::uint32_t> asTruth(const std::vector<int>& labels) {
+  std::vector<std::uint32_t> truth(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    truth[i] = labels[i] < 0 ? 0u : static_cast<std::uint32_t>(labels[i]) + 1u;
+  return truth;
+}
+
+TEST(StratifiedSampleParams, Validation) {
+  cluster::StratifiedSampleParams p;
+  p.validate();  // defaults are fine
+  p.fraction = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p.fraction = 1.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p.fraction = 0.05;
+  p.minSample = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p.minSample = 10;
+  p.maxSample = 5;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(StratifiedSample, DeterministicAndSorted) {
+  const auto m = makeBlobs(5000, 4);
+  cluster::StratifiedSampleParams p;
+  p.fraction = 0.1;
+  p.minSample = 100;
+  const auto a = cluster::stratifiedSample(m, p);
+  const auto b = cluster::stratifiedSample(m, p);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_TRUE(std::is_sorted(a.indices.begin(), a.indices.end()));
+  EXPECT_GE(a.indices.size(), std::size_t{100});
+  EXPECT_LT(a.indices.size(), m.rows());
+  EXPECT_GT(a.strata, 1u);
+  // Different seed, different selection (with overwhelming probability).
+  cluster::StratifiedSampleParams p2 = p;
+  p2.seed = 2;
+  EXPECT_NE(cluster::stratifiedSample(m, p2).indices, a.indices);
+}
+
+TEST(StratifiedSample, EveryStratumKeepsRepresentation) {
+  // 4000 points in one dense blob plus 20 in a far-away rare blob; a
+  // uniform 1% draw would miss the rare blob often, the stratified draw
+  // keeps at least one of its rows every time.
+  cluster::FeatureMatrix m(4020, 2);
+  support::Rng rng(5, "rare");
+  for (std::size_t i = 0; i < 4000; ++i) {
+    m.at(i, 0) = rng.normal(0.0, 0.1);
+    m.at(i, 1) = rng.normal(0.0, 0.1);
+  }
+  for (std::size_t i = 4000; i < 4020; ++i) {
+    m.at(i, 0) = rng.normal(50.0, 0.1);
+    m.at(i, 1) = rng.normal(50.0, 0.1);
+  }
+  cluster::StratifiedSampleParams p;
+  p.fraction = 0.01;
+  p.minSample = 10;
+  const auto s = cluster::stratifiedSample(m, p);
+  EXPECT_TRUE(std::any_of(s.indices.begin(), s.indices.end(),
+                          [](std::size_t i) { return i >= 4000; }));
+}
+
+TEST(StratifiedSample, FullFractionSelectsEverything) {
+  const auto m = makeBlobs(300, 3);
+  cluster::StratifiedSampleParams p;
+  p.fraction = 1.0;
+  const auto s = cluster::stratifiedSample(m, p);
+  EXPECT_EQ(s.indices.size(), m.rows());
+}
+
+TEST(DbscanSampled, EmptyInput) {
+  const cluster::FeatureMatrix m(0, 2);
+  cluster::SampledDbscanParams p;
+  const auto r = cluster::dbscanSampled(m, p);
+  EXPECT_TRUE(r.clustering.labels.empty());
+  EXPECT_EQ(r.clustering.numClusters, 0u);
+  EXPECT_EQ(r.sampleSize, 0u);
+}
+
+TEST(DbscanSampled, AgreesWithExactOnBlobs) {
+  // The CI quality gate: sampled clustering must reproduce exact DBSCAN's
+  // partition with ARI >= 0.95 on the fixed-seed corpus.
+  const auto m = makeBlobs(20000, 4);
+  cluster::DbscanParams exactParams;
+  exactParams.eps = 0.5;
+  exactParams.minPts = 8;
+  const auto exact = cluster::dbscan(m, exactParams);
+
+  cluster::SampledDbscanParams p;
+  p.dbscan = exactParams;
+  p.sample.fraction = 0.05;
+  const auto sampled = cluster::dbscanSampled(m, p);
+
+  EXPECT_EQ(exact.numClusters, 4u);
+  EXPECT_EQ(sampled.clustering.numClusters, 4u);
+  EXPECT_GT(sampled.sampleSize, 0u);
+  EXPECT_LT(sampled.sampleSize, m.rows());
+  EXPECT_EQ(sampled.classified, m.rows() - sampled.sampleSize);
+
+  const auto truth = asTruth(exact.labels);
+  const double ari = cluster::adjustedRandIndex(sampled.clustering.labels, truth);
+  EXPECT_GE(ari, 0.95) << "sampled clustering diverged from exact DBSCAN";
+}
+
+TEST(DbscanSampled, IdenticalForAnyThreadCount) {
+  const auto m = makeBlobs(12000, 4);
+  cluster::SampledDbscanParams p;
+  p.dbscan.eps = 0.5;
+  p.dbscan.minPts = 8;
+  p.sample.fraction = 0.05;
+
+  support::setGlobalThreads(1);
+  const auto one = cluster::dbscanSampled(m, p);
+  support::setGlobalThreads(8);
+  const auto eight = cluster::dbscanSampled(m, p);
+  support::setGlobalThreads(0);
+
+  EXPECT_EQ(one.clustering.labels, eight.clustering.labels);
+  EXPECT_EQ(one.sampleSize, eight.sampleSize);
+  EXPECT_EQ(one.classified, eight.classified);
+}
+
+TEST(DbscanSampled, SampleCoveringAllRowsMatchesExactCores) {
+  // fraction 1.0 degenerates to exact clustering of every row.
+  const auto m = makeBlobs(1000, 3);
+  cluster::DbscanParams exactParams;
+  exactParams.eps = 0.5;
+  exactParams.minPts = 8;
+  cluster::SampledDbscanParams p;
+  p.dbscan = exactParams;
+  p.sample.fraction = 1.0;
+  p.sample.minSample = 1;
+  const auto sampled = cluster::dbscanSampled(m, p);
+  const auto exact = cluster::dbscan(m, exactParams);
+  EXPECT_EQ(sampled.clustering.labels, exact.labels);
+  EXPECT_EQ(sampled.sampleSize, m.rows());
+}
+
+}  // namespace

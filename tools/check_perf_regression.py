@@ -4,8 +4,12 @@
 Fails (exit 1) when any benchmark's ns_per_op regressed by more than the
 threshold. Benchmarks present in only one file are reported but never fail
 the check (new benchmarks have no baseline; retired ones have no current
-number). Pipeline stage timings are printed for context only — they come
-from a single run and are too noisy to gate on.
+number); additions are summarized separately so a PR that introduces
+benchmarks shows them as additions, not anomalies. A build-type mismatch
+between the two files (or a non-Release build on either side) is warned
+about loudly — such comparisons are apples to oranges. Pipeline stage
+timings are printed for context only — they come from a single run and are
+too noisy to gate on.
 
 Usage: tools/check_perf_regression.py BASELINE CURRENT [--threshold PCT]
 """
@@ -15,14 +19,32 @@ import json
 import sys
 
 
-def load_benchmarks(path):
+def load_file(path):
     with open(path) as f:
         data = json.load(f)
-    return {
+    benchmarks = {
         name: entry["ns_per_op"]
         for name, entry in data.get("benchmarks", {}).items()
         if "ns_per_op" in entry
     }
+    build_type = data.get("context", {}).get("build_type", "")
+    return benchmarks, build_type
+
+
+def check_build_types(base_type, cur_type):
+    warnings = []
+    if base_type.lower() != cur_type.lower():
+        warnings.append(
+            f"build type mismatch: baseline '{base_type or 'unknown'}' vs "
+            f"current '{cur_type or 'unknown'}' — deltas are not meaningful"
+        )
+    for label, value in (("baseline", base_type), ("current", cur_type)):
+        if value.lower() not in ("release", "relwithdebinfo"):
+            warnings.append(
+                f"{label} build type is '{value or 'unknown'}', not Release — "
+                "regenerate with tools/run_perf_bench.sh on a Release build"
+            )
+    return warnings
 
 
 def main():
@@ -37,13 +59,15 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+    baseline, base_type = load_file(args.baseline)
+    current, cur_type = load_file(args.current)
 
     regressions = []
+    additions = []
     rows = []
     for name in sorted(baseline.keys() | current.keys()):
         if name not in baseline:
+            additions.append(name)
             rows.append((name, None, current[name], "new (no baseline)"))
             continue
         if name not in current:
@@ -62,6 +86,14 @@ def main():
         base_s = f"{base / 1e3:12.1f}" if base is not None else f"{'-':>12}"
         cur_s = f"{cur / 1e3:12.1f}" if cur is not None else f"{'-':>12}"
         print(f"{name:<{width}}  {base_s} us  {cur_s} us  {status}")
+
+    if additions:
+        print(f"\n{len(additions)} new benchmark(s) with no baseline (not gated):")
+        for name in additions:
+            print(f"  {name}")
+
+    for warning in check_build_types(base_type, cur_type):
+        print(f"\nWARNING: {warning}", file=sys.stderr)
 
     if regressions:
         print(

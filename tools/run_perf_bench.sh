@@ -31,6 +31,31 @@ if [ ! -x "$bench" ]; then
   exit 1
 fi
 
+# The build type comes from the build tree's CMake cache, not from
+# google-benchmark's library_build_type (which reports how the *benchmark
+# library* was compiled and can say "debug" for a release tree, or vice
+# versa). Numbers from anything but a Release build are misleading enough
+# that we refuse to record them unless explicitly overridden.
+build_type=""
+if [ -f "$build_dir/CMakeCache.txt" ]; then
+  build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")"
+fi
+case "$build_type" in
+  Release|RelWithDebInfo) ;;
+  *)
+    if [ "${ALLOW_DEBUG_BENCH:-0}" = "1" ]; then
+      echo "WARNING: benchmarking a '${build_type:-unknown}' build" >&2
+      echo "WARNING: these numbers are NOT comparable to a Release baseline" >&2
+    else
+      echo "error: $build_dir is a '${build_type:-unknown}' build, not Release;" >&2
+      echo "  benchmark numbers from unoptimized builds are meaningless." >&2
+      echo "  Reconfigure with -DCMAKE_BUILD_TYPE=Release, or set" >&2
+      echo "  ALLOW_DEBUG_BENCH=1 to record them anyway." >&2
+      exit 1
+    fi
+    ;;
+esac
+
 raw="$(mktemp)"
 workdir="$(mktemp -d)"
 trap 'rm -f "$raw"; rm -rf "$workdir"' EXIT
@@ -46,21 +71,30 @@ if [ ! -s "$raw" ]; then
   exit 1
 fi
 
-# Per-stage pipeline metrics from one instrumented CLI run.
+# Per-stage pipeline metrics from one instrumented CLI run, plus a second
+# analyze in sampled-clustering mode so the sampling counters
+# (cluster.sample_size / cluster.classified / cluster.bruteforce_fallbacks)
+# are recorded alongside the exact-mode stage timings.
 cli="$build_dir/src/unveil/cli/unveil"
 metrics=""
+metrics_sampled=""
 if [ -x "$cli" ]; then
   "$cli" simulate --app wavesim --ranks 8 --iterations 60 --seed 7 \
     --out "$workdir/perf.trace" --binary --quiet > /dev/null
   "$cli" analyze --trace "$workdir/perf.trace" \
     --metrics-out "$workdir/metrics.json" --quiet > /dev/null
   metrics="$workdir/metrics.json"
+  "$cli" analyze --trace "$workdir/perf.trace" --cluster-sample \
+    --metrics-out "$workdir/metrics_sampled.json" --quiet > /dev/null
+  metrics_sampled="$workdir/metrics_sampled.json"
 else
   echo "note: $cli not found; skipping per-stage pipeline metrics" >&2
 fi
 
-python3 - "$raw" "$out" "$metrics" <<'EOF'
+UNVEIL_BENCH_BUILD_TYPE="$build_type" \
+  python3 - "$raw" "$out" "$metrics" "$metrics_sampled" <<'EOF'
 import json
+import os
 import sys
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
@@ -85,7 +119,8 @@ result = {
         "date": raw.get("context", {}).get("date", ""),
         "host_name": raw.get("context", {}).get("host_name", ""),
         "num_cpus": raw.get("context", {}).get("num_cpus", 0),
-        "build_type": raw.get("context", {}).get("library_build_type", ""),
+        "build_type": os.environ.get("UNVEIL_BENCH_BUILD_TYPE")
+        or raw.get("context", {}).get("library_build_type", ""),
     },
     "benchmarks": dict(sorted(bench.items())),
 }
@@ -105,6 +140,21 @@ if metrics_path:
         "stages": stages,
         "counters": metrics.get("counters", {}),
         "gauges": metrics.get("gauges", {}),
+    }
+
+# A second analyze ran with --cluster-sample; record its cluster.* counters
+# (sample_size, classified, bruteforce_fallbacks, ...) under
+# pipeline.sampled so sampling behavior is diffable across PRs.
+sampled_path = sys.argv[4] if len(sys.argv) > 4 else ""
+if sampled_path:
+    with open(sampled_path) as f:
+        sampled = json.load(f)
+    result.setdefault("pipeline", {})["sampled"] = {
+        "counters": {
+            name: value
+            for name, value in sampled.get("counters", {}).items()
+            if name.startswith("cluster.")
+        }
     }
 
 with open(out_path, "w") as f:
