@@ -10,6 +10,7 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "unveil/folding/folded.hpp"
 #include "unveil/support/math.hpp"
 #include "unveil/support/rng.hpp"
+#include "unveil/support/sampler.hpp"
 #include "unveil/support/telemetry.hpp"
 #include "unveil/trace/binary_io.hpp"
 #include "unveil/trace/io.hpp"
@@ -318,6 +320,32 @@ void BM_AnalyzeTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzeTelemetry)->Arg(0)->Arg(1);
 
+/// A-B: instrumented pipeline without (arg 0) vs with (arg 1) the
+/// background sampler at its 10 ms default. The delta is the whole sampler
+/// subsystem: the tick thread, /proc reads, pool-health snapshots and the
+/// live-span census bookkeeping Span now does per construction.
+void BM_AnalyzeSampler(benchmark::State& state) {
+  auto params = analysis::standardParams(3);
+  params.ranks = 4;
+  params.iterations = 40;
+  const auto run =
+      analysis::runMeasured("wavesim", params, sim::MeasurementConfig::folding());
+  const bool sampled = state.range(0) != 0;
+  for (auto _ : state) {
+    telemetry::Session session;
+    session.activate();
+    {
+      std::unique_ptr<support::Sampler> sampler;
+      if (sampled) sampler = std::make_unique<support::Sampler>(session);
+      auto result = analysis::analyze(run.trace);
+      benchmark::DoNotOptimize(result.telemetry.size());
+    }
+    session.deactivate();
+  }
+  state.SetLabel(sampled ? "sampler-on" : "sampler-off");
+}
+BENCHMARK(BM_AnalyzeSampler)->Arg(0)->Arg(1);
+
 /// Asserted A-B case: with no Session active, the compiled-in hooks must
 /// cost < 1% of an instrumented pipeline run. Estimated conservatively as
 /// (hooks per run) x (disabled per-hook cost) / (disabled run time) — a
@@ -387,6 +415,50 @@ int telemetryOverheadCheck() {
   return 0;
 }
 
+/// Asserted A-B case for the background sampler: per-tick cost over the
+/// 10 ms default interval must be a < 1% duty cycle. Like
+/// telemetryOverheadCheck(), this is modeled — (median per-tick seconds) /
+/// (interval seconds) — because a wall-clock off-vs-on diff of a whole
+/// pipeline run is noise-bound on shared CI machines, while one tick's cost
+/// is cleanly measurable in a tight loop.
+int samplerOverheadCheck() {
+  using clock = std::chrono::steady_clock;
+  constexpr double kIntervalSeconds = 0.010;  // the CLI default
+
+  telemetry::Session session;
+  session.activate();
+  // Sample under realistic conditions: live spans and a warm thread pool.
+  telemetry::Span outer("bench.sampler");
+  support::SamplerConfig config;
+  config.intervalMs = 0;  // no background thread; we tick explicitly
+  support::Sampler sampler(session, config);
+
+  auto tickSeconds = [&] {
+    constexpr int kReps = 64;
+    const auto t0 = clock::now();
+    for (int i = 0; i < kReps; ++i) sampler.sampleOnce();
+    return std::chrono::duration<double>(clock::now() - t0).count() / kReps;
+  };
+  tickSeconds();  // warm-up (procfs, pool registration)
+  std::array<double, 9> ticks{};
+  for (double& t : ticks) t = tickSeconds();
+  std::sort(ticks.begin(), ticks.end());
+  const double perTick = ticks[ticks.size() / 2];
+
+  const double dutyCyclePercent = 100.0 * perTick / kIntervalSeconds;
+  std::printf(
+      "sampler A-B: %.1f us/tick -> %.4f%% duty cycle at the 10 ms default "
+      "(budget 1%%)\n",
+      perTick * 1e6, dutyCyclePercent);
+  session.deactivate();
+  if (dutyCyclePercent >= 1.0) {
+    std::fprintf(stderr, "FAIL: sampler duty cycle %.4f%% >= 1%% budget\n",
+                 dutyCyclePercent);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -394,5 +466,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return telemetryOverheadCheck();
+  const int telemetryRc = telemetryOverheadCheck();
+  const int samplerRc = samplerOverheadCheck();
+  return telemetryRc != 0 ? telemetryRc : samplerRc;
 }

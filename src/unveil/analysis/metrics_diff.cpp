@@ -1,0 +1,179 @@
+#include "unveil/analysis/metrics_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "unveil/support/json.hpp"
+
+namespace unveil::analysis {
+
+namespace {
+
+namespace json = support::json;
+
+/// Flattens one numeric-valued JSON object ("spans" needs a sub-key) into
+/// name -> double.
+std::map<std::string, double> numberMap(const json::Value& root,
+                                        std::string_view section) {
+  std::map<std::string, double> out;
+  const json::Value* obj = root.find(section);
+  if (obj == nullptr) return out;
+  for (const auto& [name, value] : obj->asObject())
+    if (value.isNumber()) out.emplace(name, value.asDouble());
+  return out;
+}
+
+std::map<std::string, double> spanTotals(const json::Value& root) {
+  std::map<std::string, double> out;
+  const json::Value* spans = root.find("spans");
+  if (spans == nullptr) return out;
+  for (const auto& [name, span] : spans->asObject()) {
+    const json::Value* total = span.find("total_ns");
+    if (total != nullptr && total->isNumber()) out.emplace(name, total->asDouble());
+  }
+  return out;
+}
+
+double relativeDeltaPct(double a, double b) {
+  if (a == 0.0) return 0.0;
+  return (b - a) / a * 100.0;
+}
+
+/// Aligns two name->value maps (union of keys, absent = 0) into deltas; a
+/// row regresses when B exceeds A by > thresholdPct and A clears the floor.
+std::vector<MetricDelta> align(const std::map<std::string, double>& a,
+                               const std::map<std::string, double>& b,
+                               double thresholdPct, double floor) {
+  std::set<std::string> names;
+  for (const auto& [name, v] : a) names.insert(name);
+  for (const auto& [name, v] : b) names.insert(name);
+  std::vector<MetricDelta> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    MetricDelta d;
+    d.name = name;
+    const auto ia = a.find(name);
+    const auto ib = b.find(name);
+    d.a = ia != a.end() ? ia->second : 0.0;
+    d.b = ib != b.end() ? ib->second : 0.0;
+    d.deltaPct = relativeDeltaPct(d.a, d.b);
+    d.regression = thresholdPct >= 0.0 && d.a >= floor && d.deltaPct > thresholdPct;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+/// Extracts the gating memory metrics of one dump: the whole-run sampler
+/// peak plus each stage's high-water push (gauges, kB -> bytes).
+std::map<std::string, double> memoryMetrics(const json::Value& root) {
+  std::map<std::string, double> out;
+  if (const json::Value* peak = root.at({"sampler", "rss_peak_bytes"});
+      peak != nullptr && peak->isNumber() && peak->asDouble() > 0.0)
+    out.emplace("sampler.rss_peak_bytes", peak->asDouble());
+  for (const auto& [name, value] : numberMap(root, "gauges")) {
+    constexpr std::string_view kHwmPrefix = "stage.hwm_delta_kb.";
+    if (name.rfind(kHwmPrefix, 0) == 0)
+      out.emplace("stage.hwm_delta_bytes." + name.substr(kHwmPrefix.size()),
+                  value * 1024.0);
+  }
+  if (const json::Value* stages = root.find("stage_resources")) {
+    for (const auto& [stage, res] : stages->asObject()) {
+      const json::Value* peak = res.find("rss_peak_bytes");
+      if (peak != nullptr && peak->isNumber() && peak->asDouble() > 0.0)
+        out.emplace("stage_rss_peak." + stage, peak->asDouble());
+    }
+  }
+  return out;
+}
+
+/// Informational sampler stats: utilization and queue-depth percentiles of
+/// the whole run and each stage.
+std::map<std::string, double> samplerMetrics(const json::Value& root) {
+  std::map<std::string, double> out;
+  const auto grab = [&out](const std::string& prefix, const json::Value& agg) {
+    if (const json::Value* v = agg.find("utilization_pct"); v && v->isNumber())
+      out.emplace(prefix + ".utilization_pct", v->asDouble());
+    if (const json::Value* v = agg.at({"queue_depth", "p95"}); v && v->isNumber())
+      out.emplace(prefix + ".queue_depth_p95", v->asDouble());
+  };
+  if (const json::Value* sampler = root.find("sampler")) {
+    if (const json::Value* n = sampler->find("samples"); n && n->isNumber())
+      out.emplace("sampler.samples", n->asDouble());
+    grab("sampler", *sampler);
+  }
+  if (const json::Value* stages = root.find("stage_resources"))
+    for (const auto& [stage, res] : stages->asObject()) grab(stage, res);
+  return out;
+}
+
+bool isStageCpu(const std::string& name) {
+  return name.rfind("stage.cpu_ns.", 0) == 0;
+}
+
+}  // namespace
+
+TelemetryDiffReport diffMetricsFiles(const std::string& pathA,
+                                     const std::string& pathB,
+                                     const TelemetryDiffOptions& options) {
+  const json::Value a = json::parseFile(pathA);
+  const json::Value b = json::parseFile(pathB);
+
+  TelemetryDiffReport report;
+  report.wall = align(spanTotals(a), spanTotals(b), options.thresholdPct,
+                      static_cast<double>(options.minWallNs));
+
+  auto countersA = numberMap(a, "counters");
+  auto countersB = numberMap(b, "counters");
+  std::map<std::string, double> cpuA;
+  std::map<std::string, double> cpuB;
+  for (auto it = countersA.begin(); it != countersA.end();) {
+    if (isStageCpu(it->first)) {
+      cpuA.emplace(it->first, it->second);
+      it = countersA.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = countersB.begin(); it != countersB.end();) {
+    if (isStageCpu(it->first)) {
+      cpuB.emplace(it->first, it->second);
+      it = countersB.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  report.cpu = align(cpuA, cpuB, options.thresholdPct,
+                     static_cast<double>(options.minWallNs));
+  report.memory = align(memoryMetrics(a), memoryMetrics(b),
+                        options.memThresholdPct,
+                        static_cast<double>(options.minMemBytes));
+  // Informational sets: threshold -1 disables the regression flag.
+  report.counters = align(countersA, countersB, -1.0, 0.0);
+  report.sampler = align(samplerMetrics(a), samplerMetrics(b), -1.0, 0.0);
+
+  for (const auto* set : {&report.wall, &report.cpu, &report.memory})
+    for (const MetricDelta& d : *set)
+      if (d.regression) ++report.regressions;
+  return report;
+}
+
+support::Table telemetryDiffTable(const TelemetryDiffReport& report) {
+  support::Table table({"category", "metric", "A", "B", "delta (%)", "flag"});
+  const auto section = [&table](const char* category,
+                                const std::vector<MetricDelta>& set) {
+    for (const MetricDelta& d : set) {
+      table.addRow({category, d.name, d.a, d.b, d.deltaPct,
+                    d.regression ? "REGRESSION" : ""});
+    }
+  };
+  section("wall", report.wall);
+  section("cpu", report.cpu);
+  section("memory", report.memory);
+  section("counter", report.counters);
+  section("sampler", report.sampler);
+  return table;
+}
+
+}  // namespace unveil::analysis

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file metrics_diff.hpp
+/// A/B comparison of two metrics-JSON dumps (`--metrics-out`): aligns the
+/// two runs stage-by-stage and computes wall, CPU, peak-RSS, utilization
+/// and counter deltas with a configurable noise threshold — the
+/// one-command regression loop `unveil telemetry-diff A.json B.json`.
+///
+/// Regression semantics: a metric flags a regression when run B is worse
+/// than run A by more than the category's threshold AND the baseline value
+/// is above the category's noise floor (a 3x blowup of a 40 us span is
+/// jitter, not a finding). Wall and CPU share one threshold; memory
+/// metrics get a separate, looser one (allocator high-water marks are
+/// inherently noisier). Work counters are reported but never gate — more
+/// neighbor queries is a lead, not a verdict.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "unveil/support/table.hpp"
+
+namespace unveil::analysis {
+
+struct TelemetryDiffOptions {
+  /// Relative worsening (percent) above which a wall/CPU delta counts as a
+  /// regression.
+  double thresholdPct = 10.0;
+  /// Separate, looser threshold for memory metrics (peak RSS, per-stage
+  /// high-water deltas).
+  double memThresholdPct = 25.0;
+  /// Spans whose baseline total is below this never flag (wall noise floor).
+  std::int64_t minWallNs = 1'000'000;
+  /// Memory metrics whose baseline is below this many bytes never flag.
+  std::int64_t minMemBytes = 8 << 20;
+};
+
+/// One aligned metric: baseline value, candidate value, relative delta.
+struct MetricDelta {
+  std::string name;
+  double a = 0.0;
+  double b = 0.0;
+  /// (b - a) / a * 100; 0 when a == 0 (delta shown via absolute values).
+  double deltaPct = 0.0;
+  bool regression = false;
+};
+
+struct TelemetryDiffReport {
+  std::vector<MetricDelta> wall;      ///< Per-span-name total_ns (gating).
+  std::vector<MetricDelta> cpu;       ///< stage.cpu_ns.* counters (gating).
+  std::vector<MetricDelta> memory;    ///< Peak-RSS metrics (gating, looser).
+  std::vector<MetricDelta> counters;  ///< Work counters (informational).
+  std::vector<MetricDelta> sampler;   ///< Utilization/queue stats (informational).
+  std::size_t regressions = 0;        ///< Total flagged rows across gating sets.
+};
+
+/// Loads two metrics-JSON files and diffs them. Throws support::Error (with
+/// the offending path in "[file=...]") on unreadable or malformed input.
+[[nodiscard]] TelemetryDiffReport diffMetricsFiles(
+    const std::string& pathA, const std::string& pathB,
+    const TelemetryDiffOptions& options = {});
+
+/// Renders the report as one table: category, metric, A, B, delta %, flag.
+[[nodiscard]] support::Table telemetryDiffTable(const TelemetryDiffReport& report);
+
+}  // namespace unveil::analysis

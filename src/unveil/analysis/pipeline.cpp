@@ -9,6 +9,7 @@
 #include "unveil/counters/counter.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/log.hpp"
+#include "unveil/support/sampler.hpp"
 #include "unveil/support/telemetry.hpp"
 #include "unveil/support/thread_pool.hpp"
 
@@ -25,16 +26,42 @@ std::int64_t stageClockNs() noexcept {
 /// One pipeline stage: a telemetry span plus a StageStat row for
 /// PipelineResult::telemetry. Everything is gated on the span being active
 /// (i.e. a Session existing), so the disabled path never reads the clock.
+///
+/// Beyond wall time, the destructor records the stage's resource boundary
+/// deltas: process CPU time (all threads — a stage at 4x wall CPU ran well
+/// parallelized), RSS growth, and peak-RSS (VmHWM) growth, which is the
+/// stage's contribution to the run's memory high-water mark. The deltas
+/// also land in the metrics dump as "stage.*" counters/gauges so
+/// telemetry-diff can compare them across runs.
 class StageScope {
  public:
   StageScope(const char* spanName, const char* stageName,
              std::vector<telemetry::StageStat>& sink)
       : span_(spanName), stageName_(stageName), sink_(sink) {
-    if (span_.active()) startNs_ = stageClockNs();
+    if (!span_.active()) return;
+    startNs_ = stageClockNs();
+    startCpuNs_ = support::processCpuNs();
+    startMem_ = support::readMemoryStatus();
   }
   ~StageScope() {
     if (!span_.active()) return;
-    sink_.push_back({stageName_, stageClockNs() - startNs_, items_});
+    const support::MemoryStatus endMem = support::readMemoryStatus();
+    telemetry::StageStat stat;
+    stat.name = stageName_;
+    stat.wallNs = stageClockNs() - startNs_;
+    stat.items = items_;
+    stat.cpuNs = support::processCpuNs() - startCpuNs_;
+    stat.rssDeltaBytes = static_cast<std::int64_t>(endMem.rssBytes) -
+                         static_cast<std::int64_t>(startMem_.rssBytes);
+    stat.hwmDeltaBytes = static_cast<std::int64_t>(endMem.hwmBytes) -
+                         static_cast<std::int64_t>(startMem_.hwmBytes);
+    telemetry::count("stage.cpu_ns." + stat.name,
+                     static_cast<std::uint64_t>(std::max<std::int64_t>(0, stat.cpuNs)));
+    telemetry::gauge("stage.rss_delta_kb." + stat.name,
+                     static_cast<double>(stat.rssDeltaBytes) / 1024.0);
+    telemetry::gauge("stage.hwm_delta_kb." + stat.name,
+                     static_cast<double>(stat.hwmDeltaBytes) / 1024.0);
+    sink_.push_back(std::move(stat));
   }
   StageScope(const StageScope&) = delete;
   StageScope& operator=(const StageScope&) = delete;
@@ -47,6 +74,8 @@ class StageScope {
   const char* stageName_;
   std::vector<telemetry::StageStat>& sink_;
   std::int64_t startNs_ = 0;
+  std::int64_t startCpuNs_ = 0;
+  support::MemoryStatus startMem_;
   std::uint64_t items_ = 0;
 };
 

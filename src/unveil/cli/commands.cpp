@@ -3,18 +3,22 @@
 #include <ostream>
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 
 #include "unveil/analysis/diffrun.hpp"
 #include "unveil/analysis/evolution.hpp"
 #include "unveil/analysis/experiments.hpp"
 #include "unveil/analysis/imbalance.hpp"
+#include "unveil/analysis/metrics_diff.hpp"
 #include "unveil/analysis/pipeline.hpp"
 #include "unveil/analysis/report.hpp"
 #include "unveil/analysis/representative.hpp"
 #include "unveil/analysis/summary.hpp"
 #include "unveil/support/error.hpp"
+#include "unveil/support/flight_recorder.hpp"
 #include "unveil/support/log.hpp"
+#include "unveil/support/sampler.hpp"
 #include "unveil/support/telemetry.hpp"
 #include "unveil/support/thread_pool.hpp"
 #include "unveil/trace/filter.hpp"
@@ -86,8 +90,11 @@ int failOnUnused(const Args& args, std::ostream& out) {
 }
 
 /// Telemetry/verbosity lifecycle for one CLI invocation. Every command gets
-/// a live Session unless --no-telemetry; finish() exports whatever
-/// --trace-out/--metrics-out/--verbose asked for. The destructor only
+/// a live Session unless --no-telemetry, plus the background sampler (at
+/// --sample-interval ms; 0 disables) and an armed flight recorder (unless
+/// --no-flightrec); finish() exports whatever --trace-out/--metrics-out/
+/// --verbose asked for. Export sinks are opened in the constructor so a bad
+/// path fails before hours of analysis, not after. The destructor only
 /// deactivates and restores the log level, so a command that throws does not
 /// leave half a run's exports behind.
 class TelemetryScope {
@@ -100,13 +107,51 @@ class TelemetryScope {
         verbose_(args.has("verbose")) {
     if (args.has("quiet")) support::setLogLevel(support::LogLevel::Off);
     else if (verbose_) support::setLogLevel(support::LogLevel::Info);
+
+    // Validate/open export sinks up front (the PR 4 fail-early contract):
+    // a typo'd directory must surface now, not at pipeline end.
+    const auto openSink = [](const std::string& path) {
+      auto sink = std::make_unique<std::ofstream>(path);
+      if (!*sink)
+        throw ConfigError("cannot open for writing [file=" + path + "]");
+      return sink;
+    };
+    if (!traceOut_.empty()) traceSink_ = openSink(traceOut_);
+    if (!metricsOut_.empty()) metricsSink_ = openSink(metricsOut_);
+
+    const std::string flightrecDir = args.get("flightrec-dir", ".");
+    if (!args.has("no-flightrec")) {
+      auto& recorder = support::FlightRecorder::instance();
+      recorder.enable();
+      recorder.clear();
+      if (!recorder.setDumpDirectory(flightrecDir))
+        throw ConfigError("flight recorder directory path too long [file=" +
+                          flightrecDir + "]");
+      recorder.setDumpOnDegradation(true);
+      flightrec_ = true;
+    }
+
+    // Consumed up front (not only inside the branch) so the flag never
+    // trips unused-flag checking on --no-telemetry runs.
+    const double sampleIntervalMs =
+        args.getDouble("sample-interval", 10.0, 0.0, 60000.0);
     if (!args.has("no-telemetry")) {
       session_ = std::make_unique<telemetry::Session>();
       session_->activate();
+      support::SamplerConfig samplerConfig;
+      samplerConfig.intervalMs = sampleIntervalMs;
+      if (samplerConfig.intervalMs > 0.0)
+        sampler_ = std::make_unique<support::Sampler>(*session_, samplerConfig);
     }
   }
   ~TelemetryScope() {
+    sampler_.reset();  // joins the sampling thread before the session dies
     if (session_) session_->deactivate();
+    if (flightrec_) {
+      auto& recorder = support::FlightRecorder::instance();
+      recorder.setDumpOnDegradation(false);
+      recorder.disable();
+    }
     support::setLogLevel(savedLevel_);
   }
   TelemetryScope(const TelemetryScope&) = delete;
@@ -114,15 +159,18 @@ class TelemetryScope {
 
   void finish() {
     if (!session_) return;
+    sampler_.reset();
     session_->deactivate();
     const auto snap = session_->snapshot();
     session_.reset();
-    if (!traceOut_.empty()) {
-      telemetry::writeChromeTraceFile(snap, traceOut_);
+    if (traceSink_) {
+      telemetry::writeChromeTrace(snap, *traceSink_);
+      if (!*traceSink_) throw Error("write failed [file=" + traceOut_ + "]");
       out_ << "chrome trace -> " << traceOut_ << '\n';
     }
-    if (!metricsOut_.empty()) {
-      telemetry::writeMetricsJsonFile(snap, metricsOut_);
+    if (metricsSink_) {
+      telemetry::writeMetricsJson(snap, *metricsSink_);
+      if (!*metricsSink_) throw Error("write failed [file=" + metricsOut_ + "]");
       out_ << "metrics -> " << metricsOut_ << '\n';
     }
     if (verbose_ && !snap.spans.empty())
@@ -135,7 +183,11 @@ class TelemetryScope {
   std::string traceOut_;
   std::string metricsOut_;
   bool verbose_;
+  bool flightrec_ = false;
+  std::unique_ptr<std::ofstream> traceSink_;
+  std::unique_ptr<std::ofstream> metricsSink_;
   std::unique_ptr<telemetry::Session> session_;
+  std::unique_ptr<support::Sampler> sampler_;
 };
 
 /// Applies --threads to the shared pool for the duration of one CLI
@@ -186,12 +238,22 @@ std::string usage() {
          "  imbalance --trace TRACE      per-cluster load-balance table\n"
          "  evolution --trace TRACE      per-cluster drift detection\n"
          "  export-paraver --trace TRACE --out BASE\n"
+         "  telemetry-diff A.json B.json   compare two --metrics-out dumps\n"
+         "          [--threshold PCT]      wall/CPU noise threshold (default 10)\n"
+         "          [--mem-threshold PCT]  peak-RSS threshold (default 25)\n"
+         "          [--min-wall-ms X]      ignore spans below X ms (default 1)\n"
+         "          exit 0 = no regressions, 3 = regressions found\n"
          "global flags (any command):\n"
          "  --threads N         worker threads for parallel stages (default:\n"
          "                      $UNVEIL_THREADS, then hardware concurrency);\n"
          "                      results are identical for any thread count\n"
          "  --trace-out FILE    chrome://tracing span JSON for this run\n"
          "  --metrics-out FILE  flat JSON dump of work counters and timings\n"
+         "  --sample-interval MS  background telemetry sampler tick (default\n"
+         "                      10; 0 disables pool/memory time-series)\n"
+         "  --no-flightrec      disable the crash flight recorder\n"
+         "  --flightrec-dir DIR where crash/degradation dumps are written\n"
+         "                      (unveil-flightrec-<pid>.json, default .)\n"
          "  --strict            fail on the first corrupt trace shard instead\n"
          "                      of dropping it and analyzing surviving ranks\n"
          "  --no-telemetry      disable self-tracing entirely\n"
@@ -457,13 +519,53 @@ int cmdExportParaver(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmdTelemetryDiff(const std::vector<std::string>& paths, const Args& args,
+                     std::ostream& out) {
+  if (paths.size() != 2) {
+    out << "error: telemetry-diff requires exactly two metrics JSON files\n"
+        << "usage: unveil telemetry-diff A.json B.json [--threshold PCT]\n";
+    return 2;
+  }
+  analysis::TelemetryDiffOptions options;
+  options.thresholdPct = args.getDouble("threshold", 10.0, 0.0, 1e6);
+  options.memThresholdPct = args.getDouble("mem-threshold", 25.0, 0.0, 1e6);
+  options.minWallNs = static_cast<std::int64_t>(
+      args.getDouble("min-wall-ms", 1.0, 0.0, 1e9) * 1e6);
+  if (const int rc = failOnUnused(args, out)) return rc;
+
+  const auto report = analysis::diffMetricsFiles(paths[0], paths[1], options);
+  analysis::telemetryDiffTable(report).print(out, "telemetry diff (B vs A)");
+  if (report.regressions > 0) {
+    out << report.regressions << " regression"
+        << (report.regressions == 1 ? "" : "s") << " above threshold (wall/cpu "
+        << options.thresholdPct << "%, memory " << options.memThresholdPct
+        << "%)\n";
+    return 3;
+  }
+  out << "no regressions above threshold (wall/cpu " << options.thresholdPct
+      << "%, memory " << options.memThresholdPct << "%)\n";
+  return 0;
+}
+
 int runCli(const std::vector<std::string>& argv, std::ostream& out) {
   if (argv.empty()) {
     out << usage();
     return 2;
   }
   const std::string command = argv.front();
-  const std::vector<std::string> rest(argv.begin() + 1, argv.end());
+  std::vector<std::string> rest(argv.begin() + 1, argv.end());
+  // telemetry-diff takes its two inputs positionally (unveil telemetry-diff
+  // A.json B.json --threshold 5); peel leading non-flag tokens off before
+  // the flag parser, which rejects positionals for every other command.
+  std::vector<std::string> positionals;
+  if (command == "telemetry-diff") {
+    auto it = rest.begin();
+    while (it != rest.end() && it->rfind("--", 0) != 0) {
+      positionals.push_back(std::move(*it));
+      it = rest.erase(it);
+    }
+  }
+  bool flightrec = false;
   try {
     const Args args = Args::parse(rest);
     // --strict is consumed lazily (by loadTrace, after unused-flag
@@ -471,6 +573,8 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out) {
     (void)args.has("strict");
     const ThreadsScope threads(args);
     TelemetryScope telemetry(args, out);
+    flightrec = !args.has("no-flightrec");
+    support::flightRecord(support::FlightKind::Marker, "command: " + command);
     const auto dispatch = [&]() -> int {
       if (command == "simulate") return cmdSimulate(args, out);
       if (command == "info") return cmdInfo(args, out);
@@ -481,14 +585,26 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out) {
       if (command == "imbalance") return cmdImbalance(args, out);
       if (command == "evolution") return cmdEvolution(args, out);
       if (command == "export-paraver") return cmdExportParaver(args, out);
+      if (command == "telemetry-diff")
+        return cmdTelemetryDiff(positionals, args, out);
       out << "error: unknown command '" << command << "'\n" << usage();
       return 2;
     };
     const int rc = dispatch();
     telemetry.finish();
     return rc;
+  } catch (const ConfigError& e) {
+    // Bad flags/spec: a user mistake, not a crash worth a flight dump.
+    out << "error: " << e.what() << '\n';
+    return 1;
   } catch (const Error& e) {
     out << "error: " << e.what() << '\n';
+    // TelemetryScope's destructor already disarmed recording during
+    // unwinding, but the ring still holds the run's last events — exactly
+    // what a fatal-error postmortem needs.
+    auto& recorder = support::FlightRecorder::instance();
+    if (flightrec && recorder.recorded() > 0 && recorder.dump("fatal-error"))
+      out << "flight recorder -> " << recorder.dumpPath() << '\n';
     return 1;
   }
 }

@@ -15,6 +15,8 @@
 ///   imbalance       per-cluster load-balance characterization of a trace.
 ///   evolution       per-cluster cross-run drift detection of a trace.
 ///   export-paraver  convert a trace file to a Paraver .prv/.pcf/.row triple.
+///   telemetry-diff  A/B-compare two --metrics-out dumps stage by stage;
+///                   exits 3 when run B regresses past the noise threshold.
 
 #include <iosfwd>
 #include <string>
@@ -37,6 +39,9 @@ int cmdReport(const Args& args, std::ostream& out);
 int cmdImbalance(const Args& args, std::ostream& out);
 int cmdEvolution(const Args& args, std::ostream& out);
 int cmdExportParaver(const Args& args, std::ostream& out);
+/// \p paths are the two positional metrics-JSON files (baseline, candidate).
+int cmdTelemetryDiff(const std::vector<std::string>& paths, const Args& args,
+                     std::ostream& out);
 
 /// Usage text for all commands.
 [[nodiscard]] std::string usage();

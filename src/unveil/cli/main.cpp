@@ -7,8 +7,13 @@
 #include <vector>
 
 #include "unveil/cli/commands.hpp"
+#include "unveil/support/flight_recorder.hpp"
 
 int main(int argc, char** argv) {
+  // Dump the telemetry flight recorder on SIGSEGV/SIGABRT before dying —
+  // installed here (not in the library) so embedders keep their own signal
+  // policy.
+  unveil::support::installCrashHandlers();
   std::vector<std::string> args;
   args.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);

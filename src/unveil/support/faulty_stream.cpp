@@ -6,6 +6,7 @@
 #include <string>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/flight_recorder.hpp"
 
 namespace unveil::support {
 
@@ -48,7 +49,12 @@ std::streambuf::int_type FaultyStreamBuf::underflow() {
   std::uint64_t want = sizeof(buf_);
   if (spec_.shortReadMax > 0) want = std::min(want, spec_.shortReadMax);
   if (spec_.failReadAfter != kFaultNever) {
-    if (bytesRead_ >= spec_.failReadAfter) return traits_type::eof();
+    if (bytesRead_ >= spec_.failReadAfter) {
+      flightRecord(FlightKind::Fault,
+                   "injected read failure after " + std::to_string(bytesRead_) +
+                       " bytes");
+      return traits_type::eof();
+    }
     want = std::min(want, spec_.failReadAfter - bytesRead_);
   }
   const std::streamsize got =
@@ -58,6 +64,8 @@ std::streambuf::int_type FaultyStreamBuf::underflow() {
       spec_.flipByteAt < bytesRead_ + static_cast<std::uint64_t>(got)) {
     char& b = buf_[spec_.flipByteAt - bytesRead_];
     b = static_cast<char>(static_cast<unsigned char>(b) ^ spec_.flipMask);
+    flightRecord(FlightKind::Fault, "injected byte flip at offset " +
+                                        std::to_string(spec_.flipByteAt));
   }
   bytesRead_ += static_cast<std::uint64_t>(got);
   setg(buf_, buf_, buf_ + got);
@@ -67,7 +75,12 @@ std::streambuf::int_type FaultyStreamBuf::underflow() {
 std::streamsize FaultyStreamBuf::xsputn(const char* s, std::streamsize n) {
   std::streamsize accept = n;
   if (spec_.failWriteAfter != kFaultNever) {
-    if (bytesWritten_ >= spec_.failWriteAfter) return 0;
+    if (bytesWritten_ >= spec_.failWriteAfter) {
+      flightRecord(FlightKind::Fault,
+                   "injected write failure after " +
+                       std::to_string(bytesWritten_) + " bytes");
+      return 0;
+    }
     accept = static_cast<std::streamsize>(std::min<std::uint64_t>(
         static_cast<std::uint64_t>(n), spec_.failWriteAfter - bytesWritten_));
   }

@@ -1,0 +1,295 @@
+#include "unveil/support/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace unveil::support {
+
+namespace {
+
+std::int64_t steadyNowNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Dense per-thread id in first-record order (mirrors log.cpp's scheme; a
+/// separate counter so the recorder works without any log call).
+std::uint32_t flightThreadId() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+const char* kindName(std::uint8_t kind) noexcept {
+  switch (static_cast<FlightKind>(kind)) {
+    case FlightKind::Marker: return "marker";
+    case FlightKind::SpanBegin: return "span_begin";
+    case FlightKind::SpanEnd: return "span_end";
+    case FlightKind::Log: return "log";
+    case FlightKind::Fault: return "fault";
+    case FlightKind::ShardDrop: return "shard_drop";
+  }
+  return "unknown";
+}
+
+// ---- async-signal-safe output helpers -------------------------------------
+// No stdio, no allocation: a small stack buffer flushed with write(2). Every
+// function below is callable from a SIGSEGV handler.
+
+struct FdWriter {
+  int fd;
+  char buf[512];
+  std::size_t len = 0;
+  bool ok = true;
+
+  explicit FdWriter(int f) noexcept : fd(f) {}
+
+  void flush() noexcept {
+    std::size_t off = 0;
+    while (ok && off < len) {
+      const ::ssize_t n = ::write(fd, buf + off, len - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ok = false;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    len = 0;
+  }
+
+  void putChar(char c) noexcept {
+    if (len == sizeof(buf)) flush();
+    buf[len++] = c;
+  }
+
+  void putStr(const char* s) noexcept {
+    for (; *s != '\0'; ++s) putChar(*s);
+  }
+
+  void putUint(std::uint64_t v) noexcept {
+    char digits[20];
+    int n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) putChar(digits[--n]);
+  }
+
+  void putInt(std::int64_t v) noexcept {
+    if (v < 0) {
+      putChar('-');
+      // Negate via uint64 so INT64_MIN does not overflow.
+      putUint(~static_cast<std::uint64_t>(v) + 1);
+    } else {
+      putUint(static_cast<std::uint64_t>(v));
+    }
+  }
+
+  /// JSON string body with escaping; control bytes become \u00XX.
+  void putEscaped(const char* s, std::size_t max) noexcept {
+    static const char hex[] = "0123456789abcdef";
+    for (std::size_t i = 0; i < max && s[i] != '\0'; ++i) {
+      const unsigned char c = static_cast<unsigned char>(s[i]);
+      if (c == '"' || c == '\\') {
+        putChar('\\');
+        putChar(static_cast<char>(c));
+      } else if (c == '\n') {
+        putStr("\\n");
+      } else if (c == '\t') {
+        putStr("\\t");
+      } else if (c < 0x20) {
+        putStr("\\u00");
+        putChar(hex[c >> 4]);
+        putChar(hex[c & 0xf]);
+      } else {
+        putChar(static_cast<char>(c));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() noexcept {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::enable(std::size_t capacity) {
+  std::size_t cap = 8;
+  while (cap < capacity && cap < (std::size_t{1} << 20)) cap <<= 1;
+  if (!ring_ || mask_ != cap - 1) {
+    ring_ = std::make_unique<Entry[]>(cap);
+    mask_ = cap - 1;
+    head_.store(0, std::memory_order_relaxed);
+  }
+  if (epochNs_ == 0) epochNs_ = steadyNowNs();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::clear() noexcept {
+  if (!ring_) return;
+  // Stop writers, reset every slot, resume. Not atomic with respect to an
+  // in-flight record() — acceptable for the test/CLI call sites.
+  const bool wasEnabled = enabled_.exchange(false, std::memory_order_acq_rel);
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    ring_[i].seq.store(0, std::memory_order_relaxed);
+    ring_[i].text[0] = '\0';
+  }
+  head_.store(0, std::memory_order_release);
+  if (wasEnabled) enabled_.store(true, std::memory_order_release);
+}
+
+bool FlightRecorder::setDumpDirectory(std::string_view dir) noexcept {
+  if (dir.empty() || dir.size() >= sizeof(dumpDir_)) return false;
+  std::memcpy(dumpDir_, dir.data(), dir.size());
+  dumpDir_[dir.size()] = '\0';
+  return true;
+}
+
+void FlightRecorder::record(FlightKind kind, std::string_view text) noexcept {
+  if (!enabled_.load(std::memory_order_acquire) || !ring_) return;
+  const std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+  Entry& slot = ring_[idx & mask_];
+  // Mark in-progress so a concurrent dump skips the slot instead of reading
+  // a torn payload, then publish payload before the final seq store.
+  slot.seq.store(0, std::memory_order_release);
+  slot.tNs = steadyNowNs() - epochNs_;
+  slot.tid = flightThreadId();
+  slot.kind = static_cast<std::uint8_t>(kind);
+  const std::size_t n = text.size() < kTextMax - 1 ? text.size() : kTextMax - 1;
+  std::memcpy(slot.text, text.data(), n);
+  slot.text[n] = '\0';
+  slot.seq.store(idx + 1, std::memory_order_release);
+}
+
+bool FlightRecorder::dumpTo(int fd, const char* reason) const noexcept {
+  if (!ring_) return false;
+  FdWriter w(fd);
+  w.putStr("{\"reason\":\"");
+  w.putEscaped(reason != nullptr ? reason : "unknown", 256);
+  w.putStr("\",\"pid\":");
+  w.putUint(static_cast<std::uint64_t>(::getpid()));
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  w.putStr(",\"recorded\":");
+  w.putUint(head);
+  const std::uint64_t cap = mask_ + 1;
+  w.putStr(",\"capacity\":");
+  w.putUint(cap);
+  w.putStr(",\"events\":[");
+  const std::uint64_t first = head > cap ? head - cap : 0;
+  bool any = false;
+  for (std::uint64_t i = first; i < head; ++i) {
+    const Entry& slot = ring_[i & mask_];
+    // A slot mid-write (seq 0) or already overwritten by a racing wrap
+    // (seq != i+1) is silently skipped — dumps must never block on writers.
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) continue;
+    if (any) w.putChar(',');
+    any = true;
+    w.putStr("{\"seq\":");
+    w.putUint(i + 1);
+    w.putStr(",\"t_ns\":");
+    w.putInt(slot.tNs);
+    w.putStr(",\"tid\":");
+    w.putUint(slot.tid);
+    w.putStr(",\"kind\":\"");
+    w.putStr(kindName(slot.kind));
+    w.putStr("\",\"text\":\"");
+    w.putEscaped(slot.text, kTextMax);
+    w.putStr("\"}");
+    // Re-check after the copy: if the slot wrapped under us the emitted
+    // object may be torn, but it is still well-formed JSON (escaped,
+    // NUL-bounded), so the file as a whole stays parseable.
+  }
+  w.putStr("]}\n");
+  w.flush();
+  return w.ok;
+}
+
+bool FlightRecorder::dump(const char* reason) const noexcept {
+  if (!ring_) return false;
+  // Build "<dir>/unveil-flightrec-<pid>.json" without allocation.
+  char path[sizeof(dumpDir_) + 64];
+  std::size_t len = 0;
+  for (const char* s = dumpDir_; *s != '\0'; ++s) path[len++] = *s;
+  if (len > 0 && path[len - 1] != '/') path[len++] = '/';
+  const char* stem = "unveil-flightrec-";
+  for (const char* s = stem; *s != '\0'; ++s) path[len++] = *s;
+  std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+  char digits[20];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + pid % 10);
+    pid /= 10;
+  } while (pid != 0);
+  while (n > 0) path[len++] = digits[--n];
+  for (const char* s = ".json"; *s != '\0'; ++s) path[len++] = *s;
+  path[len] = '\0';
+
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = dumpTo(fd, reason);
+  ::close(fd);
+  return ok;
+}
+
+std::string FlightRecorder::dumpPath() const {
+  std::string path(dumpDir_);
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "unveil-flightrec-";
+  path += std::to_string(::getpid());
+  path += ".json";
+  return path;
+}
+
+namespace {
+
+void crashDump(int signal) noexcept {
+  const char* reason = signal == SIGSEGV   ? "SIGSEGV"
+                       : signal == SIGABRT ? "SIGABRT"
+                       : signal == SIGBUS  ? "SIGBUS"
+                                           : "signal";
+  FlightRecorder::instance().dump(reason);
+}
+
+extern "C" void crashSignalHandler(int signal) {
+  crashDump(signal);
+  // SA_RESETHAND restored the default disposition; re-raise so the process
+  // dies with the original signal (exit status and core files unchanged).
+  ::raise(signal);
+}
+
+}  // namespace
+
+void crashDumpForTesting(int signal) noexcept { crashDump(signal); }
+
+void installCrashHandlers() noexcept {
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true, std::memory_order_acq_rel)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = crashSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  // One-shot: the handler runs once, the disposition resets to default, and
+  // the re-raise terminates. SA_NODEFER lets the re-raise delivery through.
+  sa.sa_flags = SA_RESETHAND | SA_NODEFER;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS}) {
+    struct sigaction old;
+    std::memset(&old, 0, sizeof(old));
+    if (sigaction(sig, nullptr, &old) == 0 && old.sa_handler == SIG_DFL) {
+      sigaction(sig, &sa, nullptr);
+    }
+    // A non-default handler (sanitizer runtime, gtest death test machinery)
+    // keeps precedence — the flight recorder must never mask ASan reports.
+  }
+}
+
+}  // namespace unveil::support

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file flight_recorder.hpp
+/// Crash-time observability: a lock-free ring buffer of the last N notable
+/// events (span begin/end, log lines, I/O fault-injection hits, dropped
+/// trace shards) that can be dumped as JSON from contexts where nothing
+/// else works — a fatal error handler, the shard-degradation path, or a
+/// SIGSEGV/SIGABRT signal handler.
+///
+/// Design constraints, in order:
+///  - record() is wait-free for concurrent writers (one fetch_add plus a
+///    bounded memcpy into a preallocated slot; no locks, no allocation), so
+///    pool workers can journal span events without serializing;
+///  - dump paths use only async-signal-safe primitives (open/write/close,
+///    no malloc, no stdio buffering, hand-rolled integer formatting), so a
+///    dump from a SIGSEGV handler cannot deadlock on a heap lock the
+///    crashing thread holds;
+///  - torn slots are detected by a per-slot sequence stamp and skipped, so
+///    a dump racing live recorders emits only fully committed events.
+///
+/// The recorder is process-global and disabled by default (the library
+/// stays zero-overhead for embedders); the CLI arms it for every command
+/// and dumps `unveil-flightrec-<pid>.json` on the three trigger paths.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace unveil::support {
+
+/// Event taxonomy; the dump writes these as lowercase strings.
+enum class FlightKind : std::uint8_t {
+  Marker = 0,   ///< Free-form annotation (command start, config, ...).
+  SpanBegin,    ///< telemetry::Span opened.
+  SpanEnd,      ///< telemetry::Span closed (text carries duration).
+  Log,          ///< support::log line (any level, regardless of the gate).
+  Fault,        ///< FaultyStreamBuf injected a fault (read-fail, bit-flip, ...).
+  ShardDrop,    ///< Binary trace reader dropped a corrupt shard.
+};
+
+class FlightRecorder {
+ public:
+  /// Longest text payload a slot stores (including the terminating NUL);
+  /// longer messages are truncated — the tail of a span name or log line is
+  /// less valuable than a bounded, signal-safe slot.
+  static constexpr std::size_t kTextMax = 104;
+
+  /// One committed event. `seq` is index+1 (0 = never written); a reader
+  /// that loads seq twice around the payload and sees the same committed
+  /// value knows the slot was not torn by a concurrent wrap.
+  struct Entry {
+    std::atomic<std::uint64_t> seq{0};
+    std::int64_t tNs = 0;   ///< steady_clock ns since first enable().
+    std::uint32_t tid = 0;  ///< Dense first-record thread index.
+    std::uint8_t kind = 0;
+    char text[kTextMax] = {};
+  };
+
+  /// The process-global recorder.
+  [[nodiscard]] static FlightRecorder& instance() noexcept;
+
+  /// Arms the recorder with a ring of \p capacity slots (rounded up to a
+  /// power of two, min 8). Reuses the existing ring when the capacity
+  /// matches, else reallocates — never call concurrently with record().
+  /// Entries survive disable()/enable() cycles of the same capacity.
+  void enable(std::size_t capacity = 1024);
+  /// Disarms recording; the ring (and its contents) stay readable/dumpable.
+  void disable() noexcept { enabled_.store(false, std::memory_order_release); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_acquire);
+  }
+  /// Forgets all recorded events (the ring stays allocated).
+  void clear() noexcept;
+
+  /// Directory dump() writes into (bounded copy, default "."). Overlong
+  /// paths are rejected (returns false) rather than truncated.
+  bool setDumpDirectory(std::string_view dir) noexcept;
+  /// When set, the binary trace reader dumps automatically after dropping
+  /// corrupt shards (the PR 4 degradation path).
+  void setDumpOnDegradation(bool on) noexcept {
+    dumpOnDegradation_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool dumpOnDegradation() const noexcept {
+    return dumpOnDegradation_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one event (no-op when disabled). Wait-free; safe from any
+  /// thread, including pool workers inside parallelFor bodies.
+  void record(FlightKind kind, std::string_view text) noexcept;
+
+  /// Total events ever recorded (>= ring capacity means wraparound).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Writes the ring as JSON to \p fd, oldest first. Async-signal-safe.
+  /// Returns false when the ring was never enabled or a write failed.
+  bool dumpTo(int fd, const char* reason) const noexcept;
+
+  /// Opens `<dumpDir>/unveil-flightrec-<pid>.json` and dumpTo()s it.
+  /// Async-signal-safe. Returns false on open/write failure.
+  bool dump(const char* reason) const noexcept;
+
+  /// The path dump() would write — for "flight recorder -> ..." UI lines.
+  /// NOT signal-safe (allocates).
+  [[nodiscard]] std::string dumpPath() const;
+
+ private:
+  FlightRecorder() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> dumpOnDegradation_{false};
+  std::atomic<std::uint64_t> head_{0};
+  std::size_t mask_ = 0;
+  std::unique_ptr<Entry[]> ring_;
+  std::int64_t epochNs_ = 0;
+  char dumpDir_[240] = ".";
+};
+
+/// Convenience append to the global recorder; one relaxed load when
+/// disabled.
+inline void flightRecord(FlightKind kind, std::string_view text) noexcept {
+  FlightRecorder& rec = FlightRecorder::instance();
+  if (rec.enabled()) rec.record(kind, text);
+}
+
+/// Installs SIGSEGV/SIGABRT handlers that dump the flight recorder and
+/// re-raise with the default disposition (so exit codes and core dumps are
+/// unchanged). Idempotent; call once from main().
+void installCrashHandlers() noexcept;
+
+/// The handler body minus the re-raise — dumps with a "SIG..." reason.
+/// Exposed so tests can validate the signal dump without dying.
+void crashDumpForTesting(int signal) noexcept;
+
+}  // namespace unveil::support

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal read-only JSON parser for the tool's own artifacts: metrics
+/// dumps (`--metrics-out`), flight-recorder files, and BENCH_perf.json.
+/// These are machine-written, small (KBs), and trusted-ish — the parser
+/// still rejects malformed input with a contextful Error (line/column), it
+/// just does not chase performance or streaming.
+///
+/// One value type covers the whole JSON data model; numbers are doubles
+/// (every number these files contain is exactly representable), objects
+/// keep sorted key order via std::map for deterministic iteration.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace unveil::support::json {
+
+class Value {
+ public:
+  using Object = std::map<std::string, Value>;
+  using Array = std::vector<Value>;
+
+  Value() = default;  // null
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(Array a) : data_(std::move(a)) {}
+  explicit Value(Object o) : data_(std::move(o)) {}
+
+  [[nodiscard]] bool isNull() const noexcept {
+    return std::holds_alternative<std::monostate>(data_);
+  }
+  [[nodiscard]] bool isBool() const noexcept {
+    return std::holds_alternative<bool>(data_);
+  }
+  [[nodiscard]] bool isNumber() const noexcept {
+    return std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool isString() const noexcept {
+    return std::holds_alternative<std::string>(data_);
+  }
+  [[nodiscard]] bool isArray() const noexcept {
+    return std::holds_alternative<Array>(data_);
+  }
+  [[nodiscard]] bool isObject() const noexcept {
+    return std::holds_alternative<Object>(data_);
+  }
+
+  /// Typed accessors with fallbacks — the shape queries diff/analysis code
+  /// wants ("give me spans.pipeline.fold.total_ns or 0").
+  [[nodiscard]] bool asBool(bool fallback = false) const noexcept {
+    return isBool() ? std::get<bool>(data_) : fallback;
+  }
+  [[nodiscard]] double asDouble(double fallback = 0.0) const noexcept {
+    return isNumber() ? std::get<double>(data_) : fallback;
+  }
+  [[nodiscard]] std::string asString(std::string fallback = {}) const {
+    return isString() ? std::get<std::string>(data_) : std::move(fallback);
+  }
+  [[nodiscard]] const Array& asArray() const noexcept {
+    static const Array kEmpty;
+    return isArray() ? std::get<Array>(data_) : kEmpty;
+  }
+  [[nodiscard]] const Object& asObject() const noexcept {
+    static const Object kEmpty;
+    return isObject() ? std::get<Object>(data_) : kEmpty;
+  }
+
+  /// Member lookup; nullptr when this is not an object or the key is absent.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  /// Dotted-path lookup ("spans.pipeline\\.fold" is NOT supported — path
+  /// segments are split on '.', so use find() chains for keys containing
+  /// dots). nullptr when any hop is missing.
+  [[nodiscard]] const Value* at(std::initializer_list<std::string_view> path) const;
+
+ private:
+  std::variant<std::monostate, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// Throws support::Error with a "line L, column C" locator on malformed
+/// input. Depth is bounded (64) so hostile nesting cannot overflow the
+/// stack.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// parse() over a whole file; errors carry a "[file=...]" suffix in the
+/// PR 4 contextful style.
+[[nodiscard]] Value parseFile(const std::string& path);
+
+}  // namespace unveil::support::json

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <string>
 
+#include "unveil/support/flight_recorder.hpp"
+
 namespace unveil::support {
 
 namespace {
@@ -45,6 +47,14 @@ void setLogLevel(LogLevel level) noexcept { gLevel.store(level, std::memory_orde
 LogLevel logLevel() noexcept { return gLevel.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, std::string_view message) {
+  // The flight recorder journals every line regardless of the level gate —
+  // a crash dump wants the debug narration the console suppressed.
+  if (FlightRecorder::instance().enabled() && level != LogLevel::Off) {
+    char prefixed[FlightRecorder::kTextMax];
+    std::snprintf(prefixed, sizeof(prefixed), "%s: %.*s", levelName(level),
+                  static_cast<int>(message.size()), message.data());
+    FlightRecorder::instance().record(FlightKind::Log, prefixed);
+  }
   if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
   const double elapsed = monotonicSeconds();
   const std::uint32_t tid = threadId();

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file sampler.hpp
+/// Background telemetry sampler: a thread that ticks at a configurable
+/// interval (default 10 ms) and appends one SampleRecord to the active
+/// Session — pool health (thread_pool.hpp), process memory
+/// (/proc/self/status), the live-span census, and a small set of tracked
+/// counters. Spans show *where* the pipeline spends wall time; the sampler
+/// shows what the machine was doing *between* span boundaries: queue
+/// pressure, worker utilization, memory growth inside an opaque stage.
+///
+/// Overhead model: one tick is a handful of mutex-protected deque-size
+/// reads, one /proc read, and one vector push — single-digit microseconds.
+/// At the 10 ms default that is a < 0.1% duty cycle; bench_perf_micro's
+/// samplerOverheadCheck() enforces < 1% the same way the PR 2 telemetry
+/// gate does.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace unveil::telemetry {
+class Session;
+}
+
+namespace unveil::support {
+
+/// VmRSS / VmHWM of the current process, in bytes. Parsed from
+/// /proc/self/status; both fields are 0 on platforms without procfs (the
+/// sampler still records pool health there).
+struct MemoryStatus {
+  std::uint64_t rssBytes = 0;
+  std::uint64_t hwmBytes = 0;
+};
+[[nodiscard]] MemoryStatus readMemoryStatus() noexcept;
+
+/// CPU time consumed by the whole process (all threads), in nanoseconds;
+/// 0 where CLOCK_PROCESS_CPUTIME_ID is unavailable.
+[[nodiscard]] std::int64_t processCpuNs() noexcept;
+
+struct SamplerConfig {
+  /// Tick interval; <= 0 disables the background thread entirely (the CLI
+  /// maps `--sample-interval 0` here).
+  double intervalMs = 10.0;
+  /// Cumulative counters copied into every sample, rendered as chrome
+  /// counter tracks. Defaults cover the sampled-clustering progress
+  /// counters (PR 6) and shard degradation.
+  std::vector<std::string> trackCounters = {
+      "cluster.classified",
+      "cluster.neighbor_queries",
+      "trace.shards_dropped",
+  };
+};
+
+/// Owns the sampling thread for one Session's lifetime. Construct after
+/// Session::activate(), destroy (or stop()) before the session's exports —
+/// the destructor joins the thread, so every recorded tick is in the
+/// snapshot afterwards.
+class Sampler {
+ public:
+  explicit Sampler(telemetry::Session& session, SamplerConfig config = {});
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Joins the background thread after one final tick (so even a run
+  /// shorter than the interval gets at least one sample). Idempotent.
+  void stop();
+
+  /// Takes one sample synchronously on the calling thread. Public for the
+  /// overhead bench (which measures its cost directly) and tests.
+  void sampleOnce();
+
+  /// Ticks taken so far (background + explicit).
+  [[nodiscard]] std::uint64_t samplesTaken() const noexcept;
+
+ private:
+  void run();
+
+  telemetry::Session& session_;
+  SamplerConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  std::uint64_t taken_ = 0;  ///< Under mutex_.
+  std::thread thread_;
+};
+
+}  // namespace unveil::support

@@ -72,6 +72,7 @@ class Span {
 
   Session* session_ = nullptr;
   std::uint64_t savedParent_ = 0;
+  std::uint64_t savedLiveSpan_ = 0;  ///< Thread's prior innermost open span.
   SpanRecord rec_;
 };
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/flight_recorder.hpp"
 
 namespace unveil::telemetry {
 
@@ -70,6 +72,10 @@ struct Session::ThreadBuffer {
   std::uint32_t threadId = 0;
   std::mutex mutex;
   std::vector<SpanRecord> spans;
+  /// Innermost span currently open on the owning thread (0 = none) — what
+  /// the sampler reads for its live-thread census. Written by the owner on
+  /// span open/close, read by the sampler thread, hence atomic.
+  std::atomic<std::uint64_t> currentSpanId{0};
 };
 
 Session::Session()
@@ -111,8 +117,35 @@ Session::ThreadBuffer& Session::threadBuffer() {
   return *cachedBuffer;
 }
 
+void Session::recordSample(SampleRecord sample) {
+  const std::lock_guard<std::mutex> lock(samplesMutex_);
+  samples_.push_back(std::move(sample));
+}
+
+void Session::setSampleCounterNames(std::vector<std::string> names) {
+  const std::lock_guard<std::mutex> lock(samplesMutex_);
+  sampleCounterNames_ = std::move(names);
+}
+
+std::vector<Session::LiveSpan> Session::liveThreadSpans() const {
+  std::vector<LiveSpan> live;
+  const std::lock_guard<std::mutex> lock(buffersMutex_);
+  live.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) {
+    const std::uint64_t spanId =
+        buffer->currentSpanId.load(std::memory_order_acquire);
+    if (spanId != 0) live.push_back({buffer->threadId, spanId});
+  }
+  return live;
+}
+
 Snapshot Session::snapshot() const {
   Snapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(samplesMutex_);
+    snap.samples = samples_;
+    snap.sampleCounterNames = sampleCounterNames_;
+  }
   {
     const std::lock_guard<std::mutex> lock(buffersMutex_);
     for (const auto& buffer : buffers_) {
@@ -144,14 +177,24 @@ Span::Span(std::string_view name) : session_(Session::active()) {
   rec_.startNs = session_->nowNs();
   savedParent_ = tCurrentParent;
   tCurrentParent = rec_.id;
+  // Publish this thread's innermost open span for the sampler's census.
+  // The previous value (NOT the parent cursor: ScopedParent re-points the
+  // cursor at a span on another thread) is restored on close, so a worker
+  // thread goes back to "idle" when its loop job's span ends.
+  Session::ThreadBuffer& buffer = session_->threadBuffer();
+  rec_.threadId = buffer.threadId;
+  savedLiveSpan_ = buffer.currentSpanId.load(std::memory_order_relaxed);
+  buffer.currentSpanId.store(rec_.id, std::memory_order_release);
+  support::flightRecord(support::FlightKind::SpanBegin, rec_.name);
 }
 
 Span::~Span() {
   if (session_ == nullptr) return;
   rec_.durationNs = session_->nowNs() - rec_.startNs;
   tCurrentParent = savedParent_;
+  support::flightRecord(support::FlightKind::SpanEnd, rec_.name);
   Session::ThreadBuffer& buffer = session_->threadBuffer();
-  rec_.threadId = buffer.threadId;
+  buffer.currentSpanId.store(savedLiveSpan_, std::memory_order_release);
   const std::lock_guard<std::mutex> lock(buffer.mutex);
   buffer.spans.push_back(std::move(rec_));
 }
@@ -244,9 +287,88 @@ std::string microseconds(std::int64_t ns) {
 
 std::ofstream openOut(const std::string& path) {
   std::ofstream f(path);
-  if (!f) throw Error("cannot open for writing: " + path);
+  if (!f) throw Error("cannot open for writing [file=" + path + "]");
   return f;
 }
+
+/// Nearest-rank percentile of an unsorted copy; 0 for an empty series.
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+/// Distribution summary of one sampled quantity over a set of samples.
+struct SampleDist {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+SampleDist distOf(const std::vector<double>& values) {
+  SampleDist d;
+  d.p50 = percentile(values, 0.50);
+  d.p95 = percentile(values, 0.95);
+  for (const double v : values) d.max = std::max(d.max, v);
+  return d;
+}
+
+void writeDist(std::ostream& os, const SampleDist& d) {
+  os << "{\"p50\": " << formatDouble(d.p50) << ", \"p95\": "
+     << formatDouble(d.p95) << ", \"max\": " << formatDouble(d.max) << "}";
+}
+
+/// Pool-utilization term of one sample: busy helpers over spawned helpers.
+double sampleUtilization(const SampleRecord& s) {
+  const std::uint32_t workers = s.poolThreads > 0 ? s.poolThreads - 1 : 0;
+  if (workers == 0) return 0.0;
+  return 100.0 * static_cast<double>(s.busyWorkers) / static_cast<double>(workers);
+}
+
+/// Aggregates a subset of samples (all of them, or those inside one stage's
+/// span windows) into the distributions the metrics JSON reports.
+struct SampleAggregate {
+  std::size_t count = 0;
+  SampleDist queueDepth;
+  SampleDist busyWorkers;
+  double utilizationPct = 0.0;  ///< Mean busy/workers over the subset, in %.
+  std::uint64_t rssPeakBytes = 0;
+  std::uint64_t hwmPeakBytes = 0;
+
+  template <typename Filter>
+  static SampleAggregate over(const std::vector<SampleRecord>& samples,
+                              const Filter& keep) {
+    SampleAggregate agg;
+    std::vector<double> queued;
+    std::vector<double> busy;
+    double utilSum = 0.0;
+    for (const SampleRecord& s : samples) {
+      if (!keep(s)) continue;
+      ++agg.count;
+      queued.push_back(static_cast<double>(s.queuedTasks + s.injectDepth));
+      busy.push_back(static_cast<double>(s.busyWorkers));
+      utilSum += sampleUtilization(s);
+      agg.rssPeakBytes = std::max(agg.rssPeakBytes, s.rssBytes);
+      agg.hwmPeakBytes = std::max(agg.hwmPeakBytes, s.hwmBytes);
+    }
+    agg.queueDepth = distOf(queued);
+    agg.busyWorkers = distOf(busy);
+    if (agg.count > 0) agg.utilizationPct = utilSum / static_cast<double>(agg.count);
+    return agg;
+  }
+
+  void write(std::ostream& os) const {
+    os << "{\"samples\": " << count << ", \"queue_depth\": ";
+    writeDist(os, queueDepth);
+    os << ", \"busy_workers\": ";
+    writeDist(os, busyWorkers);
+    os << ", \"utilization_pct\": " << formatDouble(utilizationPct)
+       << ", \"rss_peak_bytes\": " << rssPeakBytes
+       << ", \"hwm_peak_bytes\": " << hwmPeakBytes << "}";
+  }
+};
 
 }  // namespace
 
@@ -264,6 +386,39 @@ void writeChromeTrace(const Snapshot& snapshot, std::ostream& os) {
     for (const auto& [key, value] : span.attrs)
       os << ",\"" << escapeJson(key) << "\":\"" << escapeJson(value) << "\"";
     os << "}}";
+  }
+  // Sampler time-series as chrome counter tracks ("ph":"C"): pool pressure,
+  // memory, live-span census, and each tracked counter that ever moved.
+  std::vector<bool> counterMoved(snapshot.sampleCounterNames.size(), false);
+  for (const SampleRecord& s : snapshot.samples)
+    for (std::size_t c = 0; c < s.counters.size() && c < counterMoved.size(); ++c)
+      if (s.counters[c] != 0) counterMoved[c] = true;
+  for (const SampleRecord& s : snapshot.samples) {
+    const std::string ts = microseconds(s.tNs);
+    const auto counterEvent = [&](const char* name, const std::string& args) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"name\":\"" << name
+         << "\",\"cat\":\"unveil\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << ts
+         << ",\"args\":{" << args << "}}";
+    };
+    counterEvent("pool", "\"busy\":" + std::to_string(s.busyWorkers) +
+                             ",\"queued\":" + std::to_string(s.queuedTasks) +
+                             ",\"inject\":" + std::to_string(s.injectDepth));
+    counterEvent("memory_mb",
+                 "\"rss\":" + formatDouble(static_cast<double>(s.rssBytes) / 1e6) +
+                     ",\"hwm\":" +
+                     formatDouble(static_cast<double>(s.hwmBytes) / 1e6));
+    counterEvent("live_span_threads",
+                 "\"threads\":" + std::to_string(s.liveSpanThreads));
+    for (std::size_t c = 0; c < s.counters.size() && c < counterMoved.size(); ++c) {
+      if (!counterMoved[c]) continue;
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"name\":\"" << escapeJson(snapshot.sampleCounterNames[c])
+         << "\",\"cat\":\"unveil\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << ts
+         << ",\"args\":{\"value\":" << s.counters[c] << "}}";
+    }
   }
   os << "\n]}\n";
 }
@@ -321,6 +476,40 @@ void writeMetricsJson(const Snapshot& snapshot, std::ostream& os) {
        << ", \"min\": " << formatDouble(h.min)
        << ", \"max\": " << formatDouble(h.max)
        << ", \"mean\": " << formatDouble(h.mean()) << "}";
+  }
+
+  // Whole-run sampler distributions (zeros when the sampler was off), then
+  // the same aggregation restricted to each pipeline stage's span windows —
+  // the per-stage queue/utilization/peak-RSS view telemetry-diff compares.
+  os << "\n  },\n  \"sampler\": ";
+  SampleAggregate::over(snapshot.samples, [](const SampleRecord&) { return true; })
+      .write(os);
+  struct Window {
+    std::int64_t begin;
+    std::int64_t end;
+    const std::string* name;
+  };
+  std::vector<Window> windows;
+  for (const SpanRecord& span : snapshot.spans) {
+    if (span.name.rfind("pipeline.", 0) != 0 || span.name == "pipeline.analyze")
+      continue;
+    windows.push_back({span.startNs, span.startNs + span.durationNs, &span.name});
+  }
+  std::map<std::string, std::vector<const Window*>> stageWindows;
+  for (const Window& w : windows) stageWindows[*w.name].push_back(&w);
+  os << ",\n  \"stage_resources\": {";
+  first = true;
+  for (const auto& [name, ws] : stageWindows) {
+    const auto agg = SampleAggregate::over(
+        snapshot.samples, [&ws = ws](const SampleRecord& s) {
+          for (const Window* w : ws)
+            if (s.tNs >= w->begin && s.tNs < w->end) return true;
+          return false;
+        });
+    if (!first) os << ',';
+    first = false;
+    os << "\n    \"" << escapeJson(name) << "\": ";
+    agg.write(os);
   }
   os << "\n  }\n}\n";
 }

@@ -38,13 +38,33 @@
 
 namespace unveil::telemetry {
 
+/// One tick of the background sampler (sampler.hpp): pool health, process
+/// memory and live-span census at a session-relative instant. `counters`
+/// holds the cumulative values of the tracked counter names (see
+/// Snapshot::sampleCounterNames), index-aligned across all samples.
+struct SampleRecord {
+  std::int64_t tNs = 0;           ///< Session-relative sample time.
+  std::uint32_t liveSpanThreads = 0;  ///< Threads with an open span.
+  std::uint32_t poolThreads = 0;  ///< Pool concurrency (workers + caller).
+  std::uint32_t busyWorkers = 0;
+  std::uint64_t queuedTasks = 0;  ///< Sum of per-worker deque depths.
+  std::uint64_t injectDepth = 0;
+  std::uint64_t steals = 0;       ///< Cumulative cross-worker steals.
+  std::uint64_t rssBytes = 0;     ///< VmRSS at sample time.
+  std::uint64_t hwmBytes = 0;     ///< VmHWM (peak RSS) at sample time.
+  std::vector<std::uint64_t> counters;  ///< Tracked counter values.
+};
+
 /// Immutable merged view of a session: completed spans from every thread in
-/// one list (sorted by start time, then id) plus all metric values.
+/// one list (sorted by start time, then id), all metric values, and the
+/// sampler time-series recorded while the session was active.
 struct Snapshot {
   std::vector<SpanRecord> spans;
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, Histogram::Summary> histograms;
+  std::vector<SampleRecord> samples;
+  std::vector<std::string> sampleCounterNames;  ///< Names for SampleRecord::counters.
 };
 
 /// Collector for one instrumented run. Not copyable/movable: spans hold a
@@ -69,6 +89,26 @@ class Session {
   /// The metrics registry; safe to use from any thread.
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
 
+  /// Nanoseconds since this session's construction (the span/sample clock).
+  [[nodiscard]] std::int64_t nowNs() const noexcept;
+
+  /// Appends one sampler tick to the session's time-series (thread-safe).
+  void recordSample(SampleRecord sample);
+  /// Names for SampleRecord::counters, set once by the sampler before its
+  /// first tick (not thread-safe against concurrent recordSample).
+  void setSampleCounterNames(std::vector<std::string> names);
+
+  /// A thread currently inside at least one span: its dense per-session id
+  /// and the innermost open span's id.
+  struct LiveSpan {
+    std::uint32_t threadId = 0;
+    std::uint64_t spanId = 0;
+  };
+  /// Census of threads with an open span right now — what each live thread
+  /// is doing at a sampler tick. Span ids refer to spans that may still be
+  /// open (i.e. absent from snapshot().spans until they complete).
+  [[nodiscard]] std::vector<LiveSpan> liveThreadSpans() const;
+
   /// Merges all per-thread span buffers with the metric values. Callable
   /// while active, but only spans completed so far are included.
   [[nodiscard]] Snapshot snapshot() const;
@@ -79,7 +119,6 @@ class Session {
 
   /// The calling thread's buffer, registering it on first use.
   ThreadBuffer& threadBuffer();
-  [[nodiscard]] std::int64_t nowNs() const noexcept;
   std::uint64_t nextSpanId() noexcept {
     return spanId_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
@@ -90,6 +129,9 @@ class Session {
   MetricsRegistry metrics_;
   mutable std::mutex buffersMutex_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable std::mutex samplesMutex_;
+  std::vector<SampleRecord> samples_;
+  std::vector<std::string> sampleCounterNames_;
 };
 
 /// Adds \p n to counter \p name of the active session; no-op otherwise.
@@ -122,11 +164,17 @@ void writeMetricsJsonFile(const Snapshot& snapshot, const std::string& path);
 [[nodiscard]] support::Table summaryTable(const Snapshot& snapshot);
 
 /// Per-stage pipeline timing attached to PipelineResult when a session is
-/// active during analyze() (empty otherwise).
+/// active during analyze() (empty otherwise). Beyond wall time, each stage
+/// carries the process-wide CPU time it consumed and the RSS/peak-RSS
+/// growth across its boundaries — the per-stage memory accounting the
+/// telemetry-diff workflow compares between runs.
 struct StageStat {
   std::string name;
   std::int64_t wallNs = 0;
   std::uint64_t items = 0;  ///< Stage-specific work count (bursts, jobs, ...).
+  std::int64_t cpuNs = 0;   ///< Process CPU time across the stage (all threads).
+  std::int64_t rssDeltaBytes = 0;  ///< VmRSS end - start (can shrink).
+  std::int64_t hwmDeltaBytes = 0;  ///< VmHWM growth — the stage's peak-RSS push.
 };
 
 }  // namespace unveil::telemetry

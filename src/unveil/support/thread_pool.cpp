@@ -51,6 +51,11 @@ struct ThreadPool::State {
 
   std::uint64_t steals = 0;  ///< Under signalMutex; exported at shutdown.
 
+  /// Sampler-visible activity counters. Relaxed: the sampler wants a
+  /// statistically faithful time-series, not a synchronization point.
+  std::atomic<std::size_t> busyWorkers{0};
+  std::atomic<std::uint64_t> executed{0};
+
   bool tryPop(std::size_t self, std::function<void()>& out) {
     {
       Worker& own = *workers[self];
@@ -97,7 +102,10 @@ struct ThreadPool::State {
       lock.unlock();
       std::function<void()> task;
       if (tryPop(self, task)) {
+        busyWorkers.fetch_add(1, std::memory_order_relaxed);
         task();
+        busyWorkers.fetch_sub(1, std::memory_order_relaxed);
+        executed.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       lock.lock();
@@ -134,6 +142,26 @@ std::size_t ThreadPool::workerCount() const noexcept {
 }
 
 bool ThreadPool::onWorkerThread() const noexcept { return tWorkerPool == this; }
+
+ThreadPool::Health ThreadPool::health() const {
+  Health h;
+  h.threads = threads_;
+  h.workers = state_->workers.size();
+  h.busyWorkers = state_->busyWorkers.load(std::memory_order_relaxed);
+  h.executed = state_->executed.load(std::memory_order_relaxed);
+  for (const auto& worker : state_->workers) {
+    const std::lock_guard<std::mutex> lock(worker->mutex);
+    const std::size_t depth = worker->tasks.size();
+    h.queuedTasks += depth;
+    h.maxWorkerQueue = std::max(h.maxWorkerQueue, depth);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(state_->signalMutex);
+    h.injectDepth = state_->inject.size();
+    h.steals = state_->steals;
+  }
+  return h;
+}
 
 void ThreadPool::push(std::function<void()> task) {
   if (onWorkerThread()) {
@@ -281,6 +309,20 @@ ThreadPool& globalPool() {
     gPool = std::make_unique<ThreadPool>(gConfigured != 0 ? gConfigured
                                                           : autoThreads());
   return *gPool;
+}
+
+ThreadPool::Health globalPoolHealth() {
+  // Snapshot the pool pointer under the registry lock, but read health
+  // outside it: health() takes per-worker locks and must not extend the
+  // critical section other threads need to reach globalPool().
+  ThreadPool* pool = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(gPoolMutex);
+    pool = gPool.get();
+  }
+  // The pool is only destroyed by setGlobalThreads(), which callers promise
+  // not to run mid-pipeline, so the pointer stays valid across the read.
+  return pool != nullptr ? pool->health() : ThreadPool::Health{};
 }
 
 std::size_t globalThreadCount() {

@@ -35,6 +35,7 @@
 /// dispatched them instead of becoming roots.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -45,6 +46,21 @@ namespace unveil::support {
 
 class ThreadPool {
  public:
+  /// Instantaneous pool health, read by the telemetry sampler (sampler.hpp)
+  /// at its tick rate. Queue depths are a consistent-enough snapshot (each
+  /// deque is read under its own mutex); the busy/executed counters are
+  /// relaxed atomics maintained by the workers.
+  struct Health {
+    std::size_t threads = 1;        ///< Configured concurrency.
+    std::size_t workers = 0;        ///< Spawned worker threads.
+    std::size_t busyWorkers = 0;    ///< Workers currently running a task.
+    std::size_t injectDepth = 0;    ///< Tasks waiting in the injection queue.
+    std::size_t queuedTasks = 0;    ///< Sum of per-worker deque depths.
+    std::size_t maxWorkerQueue = 0; ///< Deepest single worker deque.
+    std::uint64_t steals = 0;       ///< Cross-worker steals so far.
+    std::uint64_t executed = 0;     ///< Tasks completed by workers so far.
+  };
+
   /// A pool of concurrency \p threads (>= 1): threads - 1 worker threads
   /// are spawned; the caller of parallelFor() is the remaining participant.
   /// With threads == 1 nothing is spawned and every operation runs inline
@@ -100,6 +116,10 @@ class ThreadPool {
   /// True when the calling thread is a worker of this pool.
   [[nodiscard]] bool onWorkerThread() const noexcept;
 
+  /// Snapshots queue depths and worker activity. Cheap enough for a 100 Hz
+  /// sampler (brief per-deque locks), safe from any thread.
+  [[nodiscard]] Health health() const;
+
  private:
   struct State;
 
@@ -117,6 +137,11 @@ class ThreadPool {
 
 /// Concurrency the global pool has (or would be created with).
 [[nodiscard]] std::size_t globalThreadCount();
+
+/// Health of the global pool when one exists; a zeroed Health otherwise.
+/// Never instantiates the pool — the sampler polls this at 100 Hz and must
+/// not force worker threads into a run that never goes parallel.
+[[nodiscard]] ThreadPool::Health globalPoolHealth();
 
 /// Sets the global pool's concurrency, replacing an existing pool of a
 /// different size. 0 resets to automatic sizing (UNVEIL_THREADS, else

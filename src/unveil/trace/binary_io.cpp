@@ -15,6 +15,7 @@
 #include "unveil/support/error.hpp"
 #include "unveil/support/error_context.hpp"
 #include "unveil/support/faulty_stream.hpp"
+#include "unveil/support/flight_recorder.hpp"
 #include "unveil/support/log.hpp"
 #include "unveil/support/telemetry.hpp"
 #include "unveil/support/thread_pool.hpp"
@@ -481,6 +482,7 @@ Trace readBinaryV2(std::istream& rawIs, const ReadOptions& options,
     if (options.strict) throw TraceError(failures[r]);
     ++dropped;
     support::logWarn("skipping corrupt trace shard: " + failures[r]);
+    support::flightRecord(support::FlightKind::ShardDrop, failures[r]);
     if (report)
       report->droppedShards.push_back(
           {r, dataStart + offsets[r], failures[r]});
@@ -488,7 +490,17 @@ Trace readBinaryV2(std::istream& rawIs, const ReadOptions& options,
   if (dropped == ranks)
     throw TraceError("all " + std::to_string(ranks) +
                      " shards corrupt; first: " + failures[0]);
-  if (dropped > 0) telemetry::count("trace.shards_dropped", dropped);
+  if (dropped > 0) {
+    telemetry::count("trace.shards_dropped", dropped);
+    // Degraded-but-continuing is exactly the situation a later "why were
+    // those shards bad" investigation needs context for; snapshot the ring
+    // (which now holds the per-shard failure reasons) while it is fresh.
+    auto& recorder = support::FlightRecorder::instance();
+    if (recorder.enabled() && recorder.dumpOnDegradation()) {
+      if (recorder.dump("shard-degradation"))
+        support::logWarn("flight recorder -> " + recorder.dumpPath());
+    }
+  }
 
   Trace trace(name, ranks);
   trace.setDurationNs(duration);

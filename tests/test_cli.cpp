@@ -446,5 +446,167 @@ TEST(Cli, InfoDegradesOnCorruptShardByDefault) {
       << out.str();
 }
 
+// --- telemetry exports, sampler and flight recorder (PR 8) ----------------
+
+TEST_F(CliRoundTrip, TelemetrySinkInNonexistentDirFailsUpFront) {
+  for (const char* flag : {"--metrics-out", "--trace-out"}) {
+    const std::string sink = "/nonexistent_unveil_dir/out.json";
+    std::ostringstream out;
+    const int rc =
+        runCli({"analyze", "--trace", tracePath(), flag, sink}, out);
+    EXPECT_EQ(rc, 1) << flag << ": " << out.str();
+    // Contextful (PR 4 style): the error names the offending path...
+    EXPECT_NE(out.str().find("[file=" + sink + "]"), std::string::npos)
+        << out.str();
+    // ...and fails before the pipeline runs, not after minutes of analysis.
+    EXPECT_EQ(out.str().find("detected computation phases"), std::string::npos)
+        << out.str();
+  }
+}
+
+TEST_F(CliRoundTrip, AnalyzeExportsSamplerSections) {
+  const std::string traceOut =
+      ::testing::TempDir() + "/unveil_cli_sampler_spans.json";
+  const std::string metricsOut =
+      ::testing::TempDir() + "/unveil_cli_sampler_metrics.json";
+  std::ostringstream out;
+  const int rc = runCli({"analyze", "--trace", tracePath(), "--sample-interval",
+                         "1", "--trace-out", traceOut, "--metrics-out",
+                         metricsOut},
+                        out);
+  EXPECT_EQ(rc, 0) << out.str();
+
+  std::ifstream mf(metricsOut);
+  std::stringstream metrics;
+  metrics << mf.rdbuf();
+  EXPECT_NE(metrics.str().find("\"sampler\""), std::string::npos);
+  EXPECT_NE(metrics.str().find("\"rss_peak_bytes\""), std::string::npos);
+  EXPECT_NE(metrics.str().find("\"stage_resources\""), std::string::npos);
+  EXPECT_NE(metrics.str().find("stage.cpu_ns.cluster"), std::string::npos);
+
+  std::ifstream tf(traceOut);
+  std::stringstream spans;
+  spans << tf.rdbuf();
+  EXPECT_NE(spans.str().find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(spans.str().find("\"name\":\"pool\""), std::string::npos);
+  EXPECT_NE(spans.str().find("\"name\":\"memory_mb\""), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, SampleIntervalValidated) {
+  std::ostringstream out;
+  // 0 disables the sampler but the run still succeeds.
+  EXPECT_EQ(runCli({"analyze", "--trace", tracePath(), "--sample-interval",
+                    "0"},
+                   out),
+            0)
+      << out.str();
+  out.str("");
+  EXPECT_EQ(runCli({"analyze", "--trace", tracePath(), "--sample-interval",
+                    "-5"},
+                   out),
+            1);
+  EXPECT_NE(out.str().find("--sample-interval"), std::string::npos);
+}
+
+/// Returns the flight-recorder dump path the CLI would write under \p dir
+/// (same process, so the pid matches).
+std::string flightrecPath(const std::string& dir) {
+  return dir + "/unveil-flightrec-" + std::to_string(::getpid()) + ".json";
+}
+
+TEST(Cli, ShardDegradationDumpsFlightRecorder) {
+  const std::string path = makeCorruptShardTrace();
+  const std::string dir = ::testing::TempDir() + "/unveil_cli_flightrec_deg";
+  std::filesystem::create_directories(dir);
+  std::filesystem::remove(flightrecPath(dir));
+  std::ostringstream out;
+  const int rc =
+      runCli({"analyze", "--trace", path, "--flightrec-dir", dir}, out);
+  EXPECT_EQ(rc, 0) << out.str();
+  ASSERT_TRUE(std::filesystem::exists(flightrecPath(dir))) << out.str();
+
+  std::ifstream f(flightrecPath(dir));
+  std::stringstream dump;
+  dump << f.rdbuf();
+  // The dump carries the degradation reason and the triggering shard's
+  // events: the shard_drop record naming rank 1 and the mirrored warning.
+  EXPECT_NE(dump.str().find("\"reason\":\"shard-degradation\""),
+            std::string::npos);
+  EXPECT_NE(dump.str().find("shard_drop"), std::string::npos);
+  EXPECT_NE(dump.str().find("rank=1"), std::string::npos);
+}
+
+TEST(Cli, NoFlightrecDisablesDump) {
+  const std::string path = makeCorruptShardTrace();
+  const std::string dir = ::testing::TempDir() + "/unveil_cli_flightrec_off";
+  std::filesystem::create_directories(dir);
+  std::filesystem::remove(flightrecPath(dir));
+  std::ostringstream out;
+  const int rc = runCli({"analyze", "--trace", path, "--no-flightrec",
+                         "--flightrec-dir", dir},
+                        out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_FALSE(std::filesystem::exists(flightrecPath(dir)));
+}
+
+class TelemetryDiffCli : public CliRoundTrip {
+ protected:
+  static std::string writeDump(const std::string& tag,
+                               const std::string& json) {
+    const std::string path = ::testing::TempDir() + "/unveil_cli_tdiff_" +
+                             tag + "." + std::to_string(::getpid()) + ".json";
+    std::ofstream f(path, std::ios::trunc);
+    f << json;
+    return path;
+  }
+};
+
+TEST_F(TelemetryDiffCli, SelfDiffOfRealDumpExitsZero) {
+  const std::string metricsOut = ::testing::TempDir() + "/unveil_cli_tdiff." +
+                                 std::to_string(::getpid()) + ".json";
+  std::ostringstream out;
+  ASSERT_EQ(runCli({"analyze", "--trace", tracePath(), "--metrics-out",
+                    metricsOut},
+                   out),
+            0)
+      << out.str();
+  out.str("");
+  const int rc = runCli({"telemetry-diff", metricsOut, metricsOut}, out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("telemetry diff"), std::string::npos);
+  EXPECT_NE(out.str().find("no regressions"), std::string::npos);
+}
+
+TEST_F(TelemetryDiffCli, InjectedSlowdownExitsThree) {
+  const auto a = writeDump(
+      "a", R"({"spans": {"pipeline.cluster": {"total_ns": 50000000}}})");
+  const auto b = writeDump(
+      "b", R"({"spans": {"pipeline.cluster": {"total_ns": 100000000}}})");
+  std::ostringstream out;
+  const int rc = runCli({"telemetry-diff", a, b}, out);
+  EXPECT_EQ(rc, 3) << out.str();
+  EXPECT_NE(out.str().find("REGRESSION"), std::string::npos);
+  // A loose enough threshold clears it.
+  out.str("");
+  EXPECT_EQ(runCli({"telemetry-diff", a, b, "--threshold", "150"}, out), 0)
+      << out.str();
+}
+
+TEST_F(TelemetryDiffCli, UsageAndErrorExitCodes) {
+  std::ostringstream out;
+  EXPECT_EQ(runCli({"telemetry-diff"}, out), 2);
+  EXPECT_EQ(runCli({"telemetry-diff", "only-one.json"}, out), 2);
+  const auto a = writeDump(
+      "err", R"({"spans": {"pipeline.cluster": {"total_ns": 50000000}}})");
+  out.str("");
+  EXPECT_EQ(runCli({"telemetry-diff", a, "/nonexistent/b.json",
+                    "--flightrec-dir", ::testing::TempDir()},
+                   out),
+            1);
+  EXPECT_NE(out.str().find("/nonexistent/b.json"), std::string::npos);
+  // A fatal error with an armed recorder leaves a postmortem dump behind.
+  EXPECT_NE(out.str().find("flight recorder ->"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace unveil::cli

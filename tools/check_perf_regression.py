@@ -11,12 +11,23 @@ about loudly — such comparisons are apples to oranges. Pipeline stage
 timings are printed for context only — they come from a single run and are
 too noisy to gate on.
 
+Resource distributions under pipeline.resources (whole-run and per-stage
+peak RSS plus pool utilization, recorded by the telemetry sampler) ARE
+gated, with a separate, much looser --mem-threshold: allocator high-water
+marks wobble run to run, but a doubling of a stage's peak RSS is a real
+finding. Small baselines never flag (see the noise floors below).
+
 Usage: tools/check_perf_regression.py BASELINE CURRENT [--threshold PCT]
+                                      [--mem-threshold PCT]
 """
 
 import argparse
 import json
 import sys
+
+# Noise floors for resource gating: baselines below these never flag.
+MEM_FLOOR_BYTES = 16 * 1024 * 1024  # peak-RSS deltas under 16 MiB are jitter
+UTIL_FLOOR_PCT = 10.0  # utilization of a near-idle pool is meaningless
 
 
 def load_file(path):
@@ -28,7 +39,29 @@ def load_file(path):
         if "ns_per_op" in entry
     }
     build_type = data.get("context", {}).get("build_type", "")
-    return benchmarks, build_type
+    return benchmarks, build_type, load_resources(data)
+
+
+def load_resources(data):
+    """Flattens pipeline.resources into {metric name: value} for gating.
+
+    Emits `<scope>.rss_peak_bytes` (gated on increase) and
+    `<scope>.utilization_pct` (gated on decrease) where scope is `run` or
+    `stage.<name>`.
+    """
+    resources = data.get("pipeline", {}).get("resources", {})
+    flat = {}
+    scopes = {}
+    if "run" in resources:
+        scopes["run"] = resources["run"]
+    for stage, entry in resources.get("stages", {}).items():
+        scopes[f"stage.{stage}"] = entry
+    for scope, entry in scopes.items():
+        if "rss_peak_bytes" in entry:
+            flat[f"{scope}.rss_peak_bytes"] = float(entry["rss_peak_bytes"])
+        if "utilization_pct" in entry:
+            flat[f"{scope}.utilization_pct"] = float(entry["utilization_pct"])
+    return flat
 
 
 def check_build_types(base_type, cur_type):
@@ -57,10 +90,17 @@ def main():
         default=25.0,
         help="maximum allowed slowdown in percent (default: 25)",
     )
+    parser.add_argument(
+        "--mem-threshold",
+        type=float,
+        default=75.0,
+        help="maximum allowed resource worsening in percent: peak-RSS "
+        "growth or pool-utilization drop (default: 75)",
+    )
     args = parser.parse_args()
 
-    baseline, base_type = load_file(args.baseline)
-    current, cur_type = load_file(args.current)
+    baseline, base_type, base_resources = load_file(args.baseline)
+    current, cur_type, cur_resources = load_file(args.current)
 
     regressions = []
     additions = []
@@ -92,19 +132,55 @@ def main():
         for name in additions:
             print(f"  {name}")
 
+    # Resource gating: peak RSS must not grow, utilization must not drop, by
+    # more than --mem-threshold. Metrics present on only one side (new stage,
+    # first run with a sampler) are informational.
+    if base_resources or cur_resources:
+        print(f"\nresources (gated at {args.mem_threshold:g}%):")
+        rwidth = max(
+            (len(n) for n in base_resources.keys() | cur_resources.keys()),
+            default=10,
+        )
+        for name in sorted(base_resources.keys() | cur_resources.keys()):
+            base = base_resources.get(name)
+            cur = cur_resources.get(name)
+            if base is None or cur is None:
+                status = "new (no baseline)" if base is None else "missing in current"
+            else:
+                delta = (cur / base - 1.0) * 100.0 if base > 0 else 0.0
+                status = f"{delta:+.1f}%"
+                is_rss = name.endswith(".rss_peak_bytes")
+                above_floor = (
+                    base >= MEM_FLOOR_BYTES if is_rss else base >= UTIL_FLOOR_PCT
+                )
+                worsened = (
+                    delta > args.mem_threshold
+                    if is_rss
+                    else delta < -args.mem_threshold
+                )
+                if above_floor and worsened:
+                    status += f"  REGRESSION (> {args.mem_threshold:g}%)"
+                    regressions.append((name, delta))
+            base_s = f"{base:14.1f}" if base is not None else f"{'-':>14}"
+            cur_s = f"{cur:14.1f}" if cur is not None else f"{'-':>14}"
+            print(f"{name:<{rwidth}}  {base_s}  {cur_s}  {status}")
+
     for warning in check_build_types(base_type, cur_type):
         print(f"\nWARNING: {warning}", file=sys.stderr)
 
     if regressions:
         print(
-            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
-            f"{args.threshold:g}% vs {args.baseline}:",
+            f"\nFAIL: {len(regressions)} metric(s) regressed past their "
+            f"threshold vs {args.baseline}:",
             file=sys.stderr,
         )
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
         return 1
-    print(f"\nOK: no benchmark regressed more than {args.threshold:g}%")
+    print(
+        f"\nOK: no benchmark regressed more than {args.threshold:g}% "
+        f"(resources: {args.mem_threshold:g}%)"
+    )
     return 0
 
 

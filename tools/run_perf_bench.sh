@@ -141,6 +141,17 @@ if metrics_path:
         "counters": metrics.get("counters", {}),
         "gauges": metrics.get("gauges", {}),
     }
+    # Sampler-derived resource distributions (PR 8): whole-run and per-stage
+    # peak RSS / pool utilization. These are gated (loosely) by
+    # check_perf_regression.py --mem-threshold, unlike the single-run stage
+    # wall times above which stay context-only.
+    resources = {}
+    if "sampler" in metrics:
+        resources["run"] = metrics["sampler"]
+    if "stage_resources" in metrics:
+        resources["stages"] = metrics["stage_resources"]
+    if resources:
+        result["pipeline"]["resources"] = resources
 
 # A second analyze ran with --cluster-sample; record its cluster.* counters
 # (sample_size, classified, bruteforce_fallbacks, ...) under
