@@ -10,11 +10,13 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <vector>
 
 #include "unveil/analysis/experiments.hpp"
+#include "unveil/analysis/streaming.hpp"
 #include "unveil/cluster/dbscan.hpp"
 #include "unveil/cluster/sample.hpp"
 #include "unveil/folding/band.hpp"
@@ -280,6 +282,38 @@ void BM_AnalyzeThreeApps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalyzeThreeApps);
+
+/// A-B: file-to-result analysis via the batch path (read whole trace, then
+/// analyze) vs the streaming engine (two shard-at-a-time passes). Streaming
+/// reads the file twice, so this bench prices the memory bound: the
+/// acceptable regression here is what buys O(largest shard) peak RSS.
+void BM_AnalyzeFile(benchmark::State& state) {
+  static const std::string path = [] {
+    auto params = analysis::standardParams(3);
+    params.ranks = 16;
+    params.iterations = 60;
+    const auto run = analysis::runMeasured("wavesim", params,
+                                           sim::MeasurementConfig::folding());
+    const std::string p =
+        (std::filesystem::temp_directory_path() / "unveil_bench_stream.utb")
+            .string();
+    trace::writeBinaryFile(run.trace, p);
+    return p;
+  }();
+  const bool streamed = state.range(0) != 0;
+  for (auto _ : state) {
+    if (streamed) {
+      auto out = analysis::analyzeStreaming(path);
+      benchmark::DoNotOptimize(out.result.clusters.size());
+    } else {
+      auto t = trace::readBinaryFile(path);
+      auto result = analysis::analyze(t);
+      benchmark::DoNotOptimize(result.clusters.size());
+    }
+  }
+  state.SetLabel(streamed ? "streaming" : "batch");
+}
+BENCHMARK(BM_AnalyzeFile)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_FullPipeline(benchmark::State& state) {
   auto params = analysis::standardParams(3);

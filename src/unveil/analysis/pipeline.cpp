@@ -1,85 +1,17 @@
 #include "unveil/analysis/pipeline.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <map>
-#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "unveil/counters/counter.hpp"
+#include "unveil/analysis/stages.hpp"
+#include "unveil/folding/folded.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/log.hpp"
-#include "unveil/support/sampler.hpp"
 #include "unveil/support/telemetry.hpp"
 #include "unveil/support/thread_pool.hpp"
 
 namespace unveil::analysis {
-
-namespace {
-
-std::int64_t stageClockNs() noexcept {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// One pipeline stage: a telemetry span plus a StageStat row for
-/// PipelineResult::telemetry. Everything is gated on the span being active
-/// (i.e. a Session existing), so the disabled path never reads the clock.
-///
-/// Beyond wall time, the destructor records the stage's resource boundary
-/// deltas: process CPU time (all threads — a stage at 4x wall CPU ran well
-/// parallelized), RSS growth, and peak-RSS (VmHWM) growth, which is the
-/// stage's contribution to the run's memory high-water mark. The deltas
-/// also land in the metrics dump as "stage.*" counters/gauges so
-/// telemetry-diff can compare them across runs.
-class StageScope {
- public:
-  StageScope(const char* spanName, const char* stageName,
-             std::vector<telemetry::StageStat>& sink)
-      : span_(spanName), stageName_(stageName), sink_(sink) {
-    if (!span_.active()) return;
-    startNs_ = stageClockNs();
-    startCpuNs_ = support::processCpuNs();
-    startMem_ = support::readMemoryStatus();
-  }
-  ~StageScope() {
-    if (!span_.active()) return;
-    const support::MemoryStatus endMem = support::readMemoryStatus();
-    telemetry::StageStat stat;
-    stat.name = stageName_;
-    stat.wallNs = stageClockNs() - startNs_;
-    stat.items = items_;
-    stat.cpuNs = support::processCpuNs() - startCpuNs_;
-    stat.rssDeltaBytes = static_cast<std::int64_t>(endMem.rssBytes) -
-                         static_cast<std::int64_t>(startMem_.rssBytes);
-    stat.hwmDeltaBytes = static_cast<std::int64_t>(endMem.hwmBytes) -
-                         static_cast<std::int64_t>(startMem_.hwmBytes);
-    telemetry::count("stage.cpu_ns." + stat.name,
-                     static_cast<std::uint64_t>(std::max<std::int64_t>(0, stat.cpuNs)));
-    telemetry::gauge("stage.rss_delta_kb." + stat.name,
-                     static_cast<double>(stat.rssDeltaBytes) / 1024.0);
-    telemetry::gauge("stage.hwm_delta_kb." + stat.name,
-                     static_cast<double>(stat.hwmDeltaBytes) / 1024.0);
-    sink_.push_back(std::move(stat));
-  }
-  StageScope(const StageScope&) = delete;
-  StageScope& operator=(const StageScope&) = delete;
-
-  void items(std::uint64_t n) noexcept { items_ = n; }
-  telemetry::Span& span() noexcept { return span_; }
-
- private:
-  telemetry::Span span_;
-  const char* stageName_;
-  std::vector<telemetry::StageStat>& sink_;
-  std::int64_t startNs_ = 0;
-  std::int64_t startCpuNs_ = 0;
-  support::MemoryStatus startMem_;
-  std::uint64_t items_ = 0;
-};
-
-}  // namespace
 
 PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) {
   PipelineResult result;
@@ -87,7 +19,7 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
 
   // 1. Burst extraction.
   {
-    StageScope stage("pipeline.extract", "extract", result.telemetry);
+    detail::StageScope stage("pipeline.extract", "extract", result.telemetry);
     result.bursts = config.useMpiGaps ? config.extraction.fromMpiGaps(trace)
                                       : config.extraction.fromPhaseEvents(trace);
     stage.items(result.bursts.size());
@@ -99,220 +31,37 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
   support::logInfo("pipeline: extracted " + std::to_string(result.bursts.size()) +
                    " bursts");
 
-  // 2. Features + normalization + clustering. The placeholder is replaced
-  //    inside the stage block (FeatureMatrix forbids dims == 0).
-  cluster::FeatureMatrix normalized(0, 1);
-  {
-    StageScope stage("pipeline.features", "features", result.telemetry);
-    const auto raw = cluster::buildFeatures(result.bursts, config.features);
-    const auto normalizer = cluster::ZScoreNormalizer::fit(raw);
-    normalized = normalizer.apply(raw);
-    stage.items(normalized.rows());
+  // 2–4. Features, clustering, structure, aggregates — shared with the
+  //      streaming engine (stages.hpp), which is what keeps the two modes
+  //      bit-identical downstream of extraction.
+  detail::runModelStages(config, result);
+
+  // 5a. Folding — each eligible cluster folded ONCE for all requested
+  //     counters (one walk over the member samples instead of |counters|
+  //     walks), on the shared pool with pre-allocated slots, so the outcome
+  //     is bit-identical to the sequential per-(cluster, counter) path.
+  std::vector<detail::ClusterFoldEntries> folds;
+  for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
+    if (result.clusters[ci].instances < config.minClusterInstances) continue;
+    folds.push_back(detail::ClusterFoldEntries{ci, {}});
   }
-  {
-    StageScope stage("pipeline.cluster", "cluster", result.telemetry);
-    cluster::DbscanParams params = config.dbscan;
-    if (config.autoEps) {
-      params.eps =
-          cluster::estimateEps(normalized, params.minPts, config.epsQuantile);
-      support::logInfo("pipeline: estimated eps = " + std::to_string(params.eps));
-    }
-    result.epsUsed = params.eps;
-    const bool sampled =
-        config.clusterMode == ClusterMode::Sampled ||
-        (config.clusterMode == ClusterMode::Auto &&
-         normalized.rows() >= config.sampledClusteringThreshold);
-    if (sampled) {
-      cluster::SampledDbscanParams sampledParams;
-      sampledParams.dbscan = params;
-      sampledParams.sample = config.clusterSample;
-      auto sampledResult = cluster::dbscanSampled(normalized, sampledParams);
-      result.clusterSampleSize = sampledResult.sampleSize;
-      result.clusterClassified = sampledResult.classified;
-      result.clustering = std::move(sampledResult.clustering);
-      support::logInfo("pipeline: sampled clustering (sample " +
-                       std::to_string(result.clusterSampleSize) + " of " +
-                       std::to_string(normalized.rows()) + " bursts)");
-      stage.span().attr("sample_size", result.clusterSampleSize);
-      stage.span().attr("classified", result.clusterClassified);
-    } else {
-      result.clustering = cluster::dbscan(normalized, params);
-    }
-    stage.items(result.clustering.numClusters);
-    stage.span().attr("eps", params.eps);
-    stage.span().attr("mode", sampled ? "sampled" : "exact");
-    stage.span().attr("clusters", result.clustering.numClusters);
-    telemetry::gauge("pipeline.eps", params.eps);
-  }
-  support::logInfo("pipeline: found " + std::to_string(result.clustering.numClusters) +
-                   " clusters (" + std::to_string(result.clustering.noiseCount()) +
-                   " noise bursts)");
-
-  // 3. Structure detection, then structural refinement of fragments; a
-  //    successful merge changes the sequences, so re-detect afterwards.
-  {
-    StageScope stage("pipeline.structure", "structure", result.telemetry);
-    auto sequences = cluster::clusterSequences(result.bursts, result.clustering);
-    result.period = cluster::detectGlobalPeriod(sequences);
-    if (config.refineFragments && result.period.period > 0) {
-      auto refined = cluster::refineByStructure(result.bursts, result.clustering,
-                                                result.period.period, config.refine);
-      result.refinementMerges = refined.mergesApplied;
-      if (refined.mergesApplied > 0) {
-        support::logInfo("pipeline: refinement merged " +
-                         std::to_string(refined.mergesApplied) + " fragment pairs");
-        result.clustering = std::move(refined.clustering);
-        sequences = cluster::clusterSequences(result.bursts, result.clustering);
-        result.period = cluster::detectGlobalPeriod(sequences);
-      }
-    }
-    stage.items(result.refinementMerges);
-    stage.span().attr("period", result.period.period);
-    stage.span().attr("merges", result.refinementMerges);
-    telemetry::gauge("pipeline.period", static_cast<double>(result.period.period));
-  }
-
-  // 4. Per-cluster aggregate metrics. Clusters are independent; each job
-  //    fills its own pre-allocated report slot, so the result vector is
-  //    identical to the sequential cluster-id-order walk.
-  {
-    StageScope aggregateStage("pipeline.aggregate", "aggregate", result.telemetry);
-    aggregateStage.items(result.clustering.numClusters);
-    double allBurstTime = 0.0;
-    for (const auto& b : result.bursts)
-      allBurstTime += static_cast<double>(b.durationNs());
-
-    auto memberBuckets = result.clustering.buckets();
-    result.clusters.resize(result.clustering.numClusters);
-    support::globalPool().parallelFor(
-        result.clustering.numClusters, [&](std::size_t c) {
-          ClusterReport& report = result.clusters[c];
-          report.clusterId = static_cast<int>(c);
-          report.memberIdx = std::move(memberBuckets[c]);
-          report.instances = report.memberIdx.size();
-
-          double durSum = 0.0;
-          double ipcSum = 0.0;
-          double mipsSum = 0.0;
-          std::map<std::uint32_t, std::size_t> phaseHist;
-          for (std::size_t i : report.memberIdx) {
-            const auto& b = result.bursts[i];
-            const auto delta = b.delta();
-            durSum += static_cast<double>(b.durationNs());
-            ipcSum += counters::DerivedMetrics::ipc(delta);
-            mipsSum += counters::DerivedMetrics::mips(delta, b.durationNs());
-            ++phaseHist[b.truthPhase];
-          }
-          if (report.instances > 0) {
-            report.meanDurationNs = durSum / static_cast<double>(report.instances);
-            report.avgIpc = ipcSum / static_cast<double>(report.instances);
-            report.avgMips = mipsSum / static_cast<double>(report.instances);
-            report.totalTimeFraction =
-                allBurstTime > 0.0 ? durSum / allBurstTime : 0.0;
-            std::size_t best = 0;
-            for (const auto& [phase, count] : phaseHist) {
-              if (count > best) {
-                best = count;
-                report.modalTruthPhase = phase;
-              }
-            }
-          }
-        });
-  }
-
-  // 5. Folding — two stages on the shared pool. Stage 1 folds each eligible
-  //    cluster ONCE for all requested counters (one walk over the member
-  //    samples instead of |counters| walks); stage 2 runs the independent
-  //    per-(cluster, counter) prune/fit/reconstruct jobs over the folded
-  //    clouds. Results go to pre-allocated slots and are merged in a fixed
-  //    order, so the outcome is bit-identical to the sequential
-  //    per-(cluster, counter) path.
   {
     support::ThreadPool& pool = support::globalPool();
-
-    struct FoldJob {
-      std::size_t clusterIdx;
-      std::vector<folding::MultiFoldEntry> entries;
-    };
-    std::vector<FoldJob> foldJobs;
-    for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
-      if (result.clusters[ci].instances < config.minClusterInstances) continue;
-      foldJobs.push_back(FoldJob{ci, {}});
-    }
-    {
-      StageScope stage("pipeline.fold", "fold", result.telemetry);
-      stage.items(foldJobs.size());
-      stage.span().attr("threads", std::min(pool.threads(), foldJobs.size()));
-      // parallelFor re-parents worker spans under the fold stage span.
-      pool.parallelFor(foldJobs.size(), [&](std::size_t j) {
-        FoldJob& job = foldJobs[j];
-        job.entries = folding::foldClusterMulti(
-            trace, result.bursts, result.clusters[job.clusterIdx].memberIdx,
-            config.rateCounters, config.reconstruct.fold);
-      });
-      telemetry::count("fold.clusters", foldJobs.size());
-    }
-
-    struct FitJob {
-      std::size_t clusterIdx;
-      counters::CounterId counter;
-      folding::FoldedCounter* folded;  // owned by its FoldJob entry
-      std::optional<folding::RateCurve> curve;
-      std::string error;
-    };
-    std::vector<bool> anyFailure(result.clusters.size(), false);
-    auto warnNotFolded = [&](std::size_t clusterIdx, counters::CounterId counter,
-                             const std::string& error) {
-      anyFailure[clusterIdx] = true;
-      support::logWarn("pipeline: cluster " +
-                       std::to_string(result.clusters[clusterIdx].clusterId) +
-                       " counter " + std::string(counters::counterName(counter)) +
-                       " not folded: " + error);
-    };
-    std::vector<FitJob> fitJobs;
-    for (auto& fold : foldJobs) {
-      for (auto& entry : fold.entries) {
-        if (entry.folded) {
-          fitJobs.push_back(
-              FitJob{fold.clusterIdx, entry.counter, &*entry.folded,
-                     std::nullopt, {}});
-        } else {
-          warnNotFolded(fold.clusterIdx, entry.counter, entry.error);
-        }
-      }
-    }
-    {
-      StageScope stage("pipeline.fit", "fit", result.telemetry);
-      stage.items(fitJobs.size());
-      pool.parallelFor(fitJobs.size(), [&](std::size_t j) {
-        FitJob& job = fitJobs[j];
-        telemetry::Span span("fit.reconstruct");
-        span.attr("cluster", result.clusters[job.clusterIdx].clusterId);
-        span.attr("counter", counters::counterName(job.counter));
-        span.attr("points", job.folded->points.size());
-        try {
-          job.curve = folding::reconstructFoldedRate(std::move(*job.folded),
-                                                     config.reconstruct);
-        } catch (const AnalysisError& e) {
-          job.error = e.what();
-        }
-      });
-      telemetry::count("fit.curves", fitJobs.size());
-    }
-
-    for (auto& job : fitJobs) {
-      if (job.curve) {
-        result.clusters[job.clusterIdx].rates.emplace(job.counter,
-                                                      std::move(*job.curve));
-      } else {
-        warnNotFolded(job.clusterIdx, job.counter, job.error);
-      }
-    }
-    for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
-      auto& report = result.clusters[ci];
-      report.folded = !anyFailure[ci] && !report.rates.empty();
-    }
+    detail::StageScope stage("pipeline.fold", "fold", result.telemetry);
+    stage.items(folds.size());
+    stage.span().attr("threads", std::min(pool.threads(), folds.size()));
+    // parallelFor re-parents worker spans under the fold stage span.
+    pool.parallelFor(folds.size(), [&](std::size_t j) {
+      detail::ClusterFoldEntries& fold = folds[j];
+      fold.entries = folding::foldClusterMulti(
+          trace, result.bursts, result.clusters[fold.clusterIdx].memberIdx,
+          config.rateCounters, config.reconstruct.fold);
+    });
+    telemetry::count("fold.clusters", folds.size());
   }
+
+  // 5b. Per-(cluster, counter) prune/fit/reconstruct — shared too.
+  detail::runFitStage(std::move(folds), config, result);
 
   rootSpan.attr("bursts", result.bursts.size());
   rootSpan.attr("clusters", result.clustering.numClusters);

@@ -1,0 +1,204 @@
+#include "unveil/analysis/stages.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "unveil/counters/counter.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/log.hpp"
+#include "unveil/support/thread_pool.hpp"
+
+namespace unveil::analysis::detail {
+
+void runModelStages(const PipelineConfig& config, PipelineResult& result) {
+  // 2. Features + normalization + clustering. The placeholder is replaced
+  //    inside the stage block (FeatureMatrix forbids dims == 0).
+  cluster::FeatureMatrix normalized(0, 1);
+  {
+    StageScope stage("pipeline.features", "features", result.telemetry);
+    const auto raw = cluster::buildFeatures(result.bursts, config.features);
+    const auto normalizer = cluster::ZScoreNormalizer::fit(raw);
+    normalized = normalizer.apply(raw);
+    stage.items(normalized.rows());
+  }
+  {
+    StageScope stage("pipeline.cluster", "cluster", result.telemetry);
+    cluster::DbscanParams params = config.dbscan;
+    if (config.autoEps) {
+      params.eps =
+          cluster::estimateEps(normalized, params.minPts, config.epsQuantile);
+      support::logInfo("pipeline: estimated eps = " + std::to_string(params.eps));
+    }
+    result.epsUsed = params.eps;
+    const bool sampled =
+        config.clusterMode == ClusterMode::Sampled ||
+        (config.clusterMode == ClusterMode::Auto &&
+         normalized.rows() >= config.sampledClusteringThreshold);
+    if (sampled) {
+      cluster::SampledDbscanParams sampledParams;
+      sampledParams.dbscan = params;
+      sampledParams.sample = config.clusterSample;
+      auto sampledResult = cluster::dbscanSampled(normalized, sampledParams);
+      result.clusterSampleSize = sampledResult.sampleSize;
+      result.clusterClassified = sampledResult.classified;
+      result.clustering = std::move(sampledResult.clustering);
+      support::logInfo("pipeline: sampled clustering (sample " +
+                       std::to_string(result.clusterSampleSize) + " of " +
+                       std::to_string(normalized.rows()) + " bursts)");
+      stage.span().attr("sample_size", result.clusterSampleSize);
+      stage.span().attr("classified", result.clusterClassified);
+    } else {
+      result.clustering = cluster::dbscan(normalized, params);
+    }
+    stage.items(result.clustering.numClusters);
+    stage.span().attr("eps", params.eps);
+    stage.span().attr("mode", sampled ? "sampled" : "exact");
+    stage.span().attr("clusters", result.clustering.numClusters);
+    telemetry::gauge("pipeline.eps", params.eps);
+  }
+  support::logInfo("pipeline: found " + std::to_string(result.clustering.numClusters) +
+                   " clusters (" + std::to_string(result.clustering.noiseCount()) +
+                   " noise bursts)");
+
+  // 3. Structure detection, then structural refinement of fragments; a
+  //    successful merge changes the sequences, so re-detect afterwards.
+  {
+    StageScope stage("pipeline.structure", "structure", result.telemetry);
+    auto sequences = cluster::clusterSequences(result.bursts, result.clustering);
+    result.period = cluster::detectGlobalPeriod(sequences);
+    if (config.refineFragments && result.period.period > 0) {
+      auto refined = cluster::refineByStructure(result.bursts, result.clustering,
+                                                result.period.period, config.refine);
+      result.refinementMerges = refined.mergesApplied;
+      if (refined.mergesApplied > 0) {
+        support::logInfo("pipeline: refinement merged " +
+                         std::to_string(refined.mergesApplied) + " fragment pairs");
+        result.clustering = std::move(refined.clustering);
+        sequences = cluster::clusterSequences(result.bursts, result.clustering);
+        result.period = cluster::detectGlobalPeriod(sequences);
+      }
+    }
+    stage.items(result.refinementMerges);
+    stage.span().attr("period", result.period.period);
+    stage.span().attr("merges", result.refinementMerges);
+    telemetry::gauge("pipeline.period", static_cast<double>(result.period.period));
+  }
+
+  // 4. Per-cluster aggregate metrics. Clusters are independent; each job
+  //    fills its own pre-allocated report slot, so the result vector is
+  //    identical to the sequential cluster-id-order walk.
+  {
+    StageScope aggregateStage("pipeline.aggregate", "aggregate", result.telemetry);
+    aggregateStage.items(result.clustering.numClusters);
+    double allBurstTime = 0.0;
+    for (const auto& b : result.bursts)
+      allBurstTime += static_cast<double>(b.durationNs());
+
+    auto memberBuckets = result.clustering.buckets();
+    result.clusters.resize(result.clustering.numClusters);
+    support::globalPool().parallelFor(
+        result.clustering.numClusters, [&](std::size_t c) {
+          ClusterReport& report = result.clusters[c];
+          report.clusterId = static_cast<int>(c);
+          report.memberIdx = std::move(memberBuckets[c]);
+          report.instances = report.memberIdx.size();
+
+          double durSum = 0.0;
+          double ipcSum = 0.0;
+          double mipsSum = 0.0;
+          std::map<std::uint32_t, std::size_t> phaseHist;
+          for (std::size_t i : report.memberIdx) {
+            const auto& b = result.bursts[i];
+            const auto delta = b.delta();
+            durSum += static_cast<double>(b.durationNs());
+            ipcSum += counters::DerivedMetrics::ipc(delta);
+            mipsSum += counters::DerivedMetrics::mips(delta, b.durationNs());
+            ++phaseHist[b.truthPhase];
+          }
+          if (report.instances > 0) {
+            report.meanDurationNs = durSum / static_cast<double>(report.instances);
+            report.avgIpc = ipcSum / static_cast<double>(report.instances);
+            report.avgMips = mipsSum / static_cast<double>(report.instances);
+            report.totalTimeFraction =
+                allBurstTime > 0.0 ? durSum / allBurstTime : 0.0;
+            std::size_t best = 0;
+            for (const auto& [phase, count] : phaseHist) {
+              if (count > best) {
+                best = count;
+                report.modalTruthPhase = phase;
+              }
+            }
+          }
+        });
+  }
+}
+
+void runFitStage(std::vector<ClusterFoldEntries> folds,
+                 const PipelineConfig& config, PipelineResult& result) {
+  support::ThreadPool& pool = support::globalPool();
+
+  struct FitJob {
+    std::size_t clusterIdx;
+    counters::CounterId counter;
+    folding::FoldedCounter* folded;  // owned by its ClusterFoldEntries entry
+    std::optional<folding::RateCurve> curve;
+    std::string error;
+  };
+  std::vector<bool> anyFailure(result.clusters.size(), false);
+  auto warnNotFolded = [&](std::size_t clusterIdx, counters::CounterId counter,
+                           const std::string& error) {
+    anyFailure[clusterIdx] = true;
+    support::logWarn("pipeline: cluster " +
+                     std::to_string(result.clusters[clusterIdx].clusterId) +
+                     " counter " + std::string(counters::counterName(counter)) +
+                     " not folded: " + error);
+  };
+  std::vector<FitJob> fitJobs;
+  for (auto& fold : folds) {
+    for (auto& entry : fold.entries) {
+      if (entry.folded) {
+        fitJobs.push_back(
+            FitJob{fold.clusterIdx, entry.counter, &*entry.folded,
+                   std::nullopt, {}});
+      } else {
+        warnNotFolded(fold.clusterIdx, entry.counter, entry.error);
+      }
+    }
+  }
+  {
+    StageScope stage("pipeline.fit", "fit", result.telemetry);
+    stage.items(fitJobs.size());
+    pool.parallelFor(fitJobs.size(), [&](std::size_t j) {
+      FitJob& job = fitJobs[j];
+      telemetry::Span span("fit.reconstruct");
+      span.attr("cluster", result.clusters[job.clusterIdx].clusterId);
+      span.attr("counter", counters::counterName(job.counter));
+      span.attr("points", job.folded->points.size());
+      try {
+        job.curve = folding::reconstructFoldedRate(std::move(*job.folded),
+                                                   config.reconstruct);
+      } catch (const AnalysisError& e) {
+        job.error = e.what();
+      }
+    });
+    telemetry::count("fit.curves", fitJobs.size());
+  }
+
+  for (auto& job : fitJobs) {
+    if (job.curve) {
+      result.clusters[job.clusterIdx].rates.emplace(job.counter,
+                                                    std::move(*job.curve));
+    } else {
+      warnNotFolded(job.clusterIdx, job.counter, job.error);
+    }
+  }
+  for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
+    auto& report = result.clusters[ci];
+    report.folded = !anyFailure[ci] && !report.rates.empty();
+  }
+}
+
+}  // namespace unveil::analysis::detail

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file stages.hpp
+/// Shared pipeline stage implementations, used by both analyze() (batch) and
+/// analyzeStreaming() (analysis/streaming.hpp).
+///
+/// The streaming engine's bit-identity-with-batch contract rests on the two
+/// entry points literally executing the same stage code on the same inputs:
+/// once pass A of a streaming run has reassembled the full burst list (in
+/// global rank order, exactly as batch extraction produces it), everything
+/// downstream of extraction that needs only burst *metadata* — features,
+/// clustering, structure, aggregates — runs through runModelStages() in both
+/// modes, and the per-(cluster, counter) fitting runs through runFitStage().
+/// Only burst extraction and fold accumulation have mode-specific drivers,
+/// and those delegate their arithmetic to code proven order-identical
+/// (cluster::BurstExtraction per rank, folding::MultiFoldAccumulator).
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/folding/folded.hpp"
+#include "unveil/support/sampler.hpp"
+#include "unveil/support/telemetry.hpp"
+
+namespace unveil::analysis::detail {
+
+inline std::int64_t stageClockNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One pipeline stage: a telemetry span plus a StageStat row for
+/// PipelineResult::telemetry. Everything is gated on the span being active
+/// (i.e. a Session existing), so the disabled path never reads the clock.
+///
+/// Beyond wall time, the destructor records the stage's resource boundary
+/// deltas: process CPU time (all threads — a stage at 4x wall CPU ran well
+/// parallelized), RSS growth, and peak-RSS (VmHWM) growth, which is the
+/// stage's contribution to the run's memory high-water mark. The deltas
+/// also land in the metrics dump as "stage.*" counters/gauges so
+/// telemetry-diff can compare them across runs.
+class StageScope {
+ public:
+  StageScope(const char* spanName, const char* stageName,
+             std::vector<telemetry::StageStat>& sink)
+      : span_(spanName), stageName_(stageName), sink_(sink) {
+    if (!span_.active()) return;
+    startNs_ = stageClockNs();
+    startCpuNs_ = support::processCpuNs();
+    startMem_ = support::readMemoryStatus();
+  }
+  ~StageScope() {
+    if (!span_.active()) return;
+    const support::MemoryStatus endMem = support::readMemoryStatus();
+    telemetry::StageStat stat;
+    stat.name = stageName_;
+    stat.wallNs = stageClockNs() - startNs_;
+    stat.items = items_;
+    stat.cpuNs = support::processCpuNs() - startCpuNs_;
+    stat.rssDeltaBytes = static_cast<std::int64_t>(endMem.rssBytes) -
+                         static_cast<std::int64_t>(startMem_.rssBytes);
+    stat.hwmDeltaBytes = static_cast<std::int64_t>(endMem.hwmBytes) -
+                         static_cast<std::int64_t>(startMem_.hwmBytes);
+    telemetry::count("stage.cpu_ns." + stat.name,
+                     static_cast<std::uint64_t>(std::max<std::int64_t>(0, stat.cpuNs)));
+    telemetry::gauge("stage.rss_delta_kb." + stat.name,
+                     static_cast<double>(stat.rssDeltaBytes) / 1024.0);
+    telemetry::gauge("stage.hwm_delta_kb." + stat.name,
+                     static_cast<double>(stat.hwmDeltaBytes) / 1024.0);
+    sink_.push_back(std::move(stat));
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+  void items(std::uint64_t n) noexcept { items_ = n; }
+  telemetry::Span& span() noexcept { return span_; }
+
+ private:
+  telemetry::Span span_;
+  const char* stageName_;
+  std::vector<telemetry::StageStat>& sink_;
+  std::int64_t startNs_ = 0;
+  std::int64_t startCpuNs_ = 0;
+  support::MemoryStatus startMem_;
+  std::uint64_t items_ = 0;
+};
+
+/// Stages 2–4: features + normalization, clustering, structure detection +
+/// refinement, per-cluster aggregates. Consumes result.bursts (which must
+/// already be populated in canonical global order) and fills clustering,
+/// epsUsed, sample stats, period, refinementMerges and clusters (including
+/// memberIdx). Needs only burst metadata — never touches trace samples.
+void runModelStages(const PipelineConfig& config, PipelineResult& result);
+
+/// The folded clouds of one eligible cluster, ready for fitting.
+struct ClusterFoldEntries {
+  std::size_t clusterIdx = 0;  ///< Index into result.clusters.
+  std::vector<folding::MultiFoldEntry> entries;
+};
+
+/// Stage 5b: prune/fit/reconstruct every folded (cluster, counter) cloud in
+/// parallel and fill ClusterReport::rates / ::folded, warning per failed
+/// counter exactly like the batch pipeline always has.
+void runFitStage(std::vector<ClusterFoldEntries> folds,
+                 const PipelineConfig& config, PipelineResult& result);
+
+}  // namespace unveil::analysis::detail

@@ -1,0 +1,162 @@
+#include "unveil/analysis/streaming.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "unveil/analysis/stages.hpp"
+#include "unveil/folding/folded.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/log.hpp"
+#include "unveil/support/telemetry.hpp"
+#include "unveil/support/thread_pool.hpp"
+#include "unveil/trace/shard_stream.hpp"
+
+namespace unveil::analysis {
+
+namespace {
+
+std::vector<cluster::Burst> extractShard(const trace::Trace& shardTrace,
+                                         const PipelineConfig& config) {
+  return config.useMpiGaps ? config.extraction.fromMpiGaps(shardTrace)
+                           : config.extraction.fromPhaseEvents(shardTrace);
+}
+
+}  // namespace
+
+StreamingResult analyzeStreaming(const std::string& path,
+                                 const StreamingConfig& config) {
+  StreamingResult out;
+  PipelineResult& result = out.result;
+  telemetry::Span rootSpan("pipeline.analyze_streaming");
+
+  // Pass A: one shard resident at a time; keep only burst metadata. The
+  // shard's samples die with the shard — sampleIdx is re-derived in pass B.
+  std::vector<std::size_t> shardBurstCount;  // per rank, 0 for dropped
+  std::vector<char> shardDropped;
+  {
+    detail::StageScope stage("pipeline.extract", "extract", result.telemetry);
+    trace::StreamOptions streamOpts;
+    streamOpts.read = config.read;
+    streamOpts.fault = config.fault;
+    trace::ShardStreamReader reader(path, streamOpts);
+    out.appName = reader.header().appName;
+    out.numRanks = reader.header().ranks;
+    out.durationNs = reader.header().durationNs;
+    shardBurstCount.assign(reader.header().ranks, 0);
+    shardDropped.assign(reader.header().ranks, 0);
+    while (auto shard = reader.next()) {
+      if (shard->dropped) {
+        shardDropped[shard->rank] = 1;
+        continue;
+      }
+      ++out.shardsProcessed;
+      out.largestShardBytes = std::max(
+          out.largestShardBytes, shard->trace.stats().estimatedBytes);
+      std::vector<cluster::Burst> bursts = extractShard(shard->trace, config.pipeline);
+      shardBurstCount[shard->rank] = bursts.size();
+      for (cluster::Burst& b : bursts) {
+        // Free the per-burst sample index; it points into the shard trace
+        // being dropped right below, and pass B rebuilds it.
+        b.sampleIdx.clear();
+        b.sampleIdx.shrink_to_fit();
+        result.bursts.push_back(std::move(b));
+      }
+    }
+    out.report = reader.report();
+    stage.items(result.bursts.size());
+    stage.span().attr("bursts", result.bursts.size());
+    telemetry::count("pipeline.bursts_extracted", result.bursts.size());
+  }
+  if (result.bursts.empty())
+    throw AnalysisError("pipeline: trace yields no computation bursts");
+  support::logInfo("pipeline: extracted " + std::to_string(result.bursts.size()) +
+                   " bursts");
+
+  // Model phase: stages 2–4, the exact code batch analyze() runs. The
+  // burst list is identical to a batch extraction of the surviving ranks
+  // (per-rank extraction, concatenated in rank order), so everything from
+  // here on is bit-identical to batch by construction.
+  detail::runModelStages(config.pipeline, result);
+
+  // Pass B: re-stream the shards and fold each eligible cluster's members
+  // incrementally, in exactly the global member order foldClusterMulti()
+  // walks. One accumulator per eligible cluster; within a shard the
+  // accumulators are independent, so they fill in parallel — each still
+  // sees its own members in ascending global order.
+  std::vector<detail::ClusterFoldEntries> folds;
+  for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
+    if (result.clusters[ci].instances < config.pipeline.minClusterInstances)
+      continue;
+    folds.push_back(detail::ClusterFoldEntries{ci, {}});
+  }
+  {
+    support::ThreadPool& pool = support::globalPool();
+    detail::StageScope stage("pipeline.fold", "fold", result.telemetry);
+    stage.items(folds.size());
+    stage.span().attr("threads", std::min(pool.threads(), folds.size()));
+
+    constexpr std::int32_t kNoFold = -1;
+    std::vector<std::int32_t> foldSlotOfBurst(result.bursts.size(), kNoFold);
+    for (std::size_t f = 0; f < folds.size(); ++f)
+      for (std::size_t g : result.clusters[folds[f].clusterIdx].memberIdx)
+        foldSlotOfBurst[g] = static_cast<std::int32_t>(f);
+
+    std::vector<folding::MultiFoldAccumulator> accs;
+    accs.reserve(folds.size());
+    for (std::size_t f = 0; f < folds.size(); ++f)
+      accs.emplace_back(config.pipeline.rateCounters,
+                        config.pipeline.reconstruct.fold);
+
+    trace::StreamOptions streamOpts;
+    streamOpts.read = config.read;
+    streamOpts.fault = config.fault;
+    // Pass A already warned/recorded every drop; do not double-report.
+    streamOpts.quietDrops = true;
+    trace::ShardStreamReader reader(path, streamOpts);
+    std::size_t globalBase = 0;
+    // Per-slot member lists within the current shard (slot-local, ascending).
+    std::vector<std::vector<std::size_t>> shardMembers(folds.size());
+    while (auto shard = reader.next()) {
+      const bool droppedA = shardDropped[shard->rank] != 0;
+      if (shard->dropped != droppedA)
+        throw AnalysisError(
+            "streaming: trace changed between passes (shard " +
+            std::to_string(shard->rank) + " degradation differs)");
+      if (shard->dropped) continue;
+      std::vector<cluster::Burst> bursts =
+          extractShard(shard->trace, config.pipeline);
+      if (bursts.size() != shardBurstCount[shard->rank])
+        throw AnalysisError(
+            "streaming: trace changed between passes (shard " +
+            std::to_string(shard->rank) + " burst count differs)");
+      for (auto& members : shardMembers) members.clear();
+      for (std::size_t i = 0; i < bursts.size(); ++i) {
+        const std::int32_t f = foldSlotOfBurst[globalBase + i];
+        if (f != kNoFold) shardMembers[static_cast<std::size_t>(f)].push_back(i);
+      }
+      const trace::Trace& shardTrace = shard->trace;
+      pool.parallelFor(folds.size(), [&](std::size_t f) {
+        for (std::size_t i : shardMembers[f]) accs[f].add(shardTrace, bursts[i]);
+      });
+      globalBase += bursts.size();
+    }
+    pool.parallelFor(folds.size(),
+                     [&](std::size_t f) { folds[f].entries = accs[f].finish(); });
+    telemetry::count("fold.clusters", folds.size());
+  }
+
+  detail::runFitStage(std::move(folds), config.pipeline, result);
+
+  rootSpan.attr("bursts", result.bursts.size());
+  rootSpan.attr("clusters", result.clustering.numClusters);
+  rootSpan.attr("shards", out.shardsProcessed);
+  telemetry::count("cluster.clusters_found", result.clustering.numClusters);
+  telemetry::count("cluster.noise_points", result.clustering.noiseCount());
+  telemetry::count("cluster.merges_applied", result.refinementMerges);
+  return out;
+}
+
+}  // namespace unveil::analysis

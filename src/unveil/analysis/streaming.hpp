@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file streaming.hpp
+/// Bounded-memory streaming analysis: the full 7-stage pipeline over a
+/// sharded UVTB2 trace without ever materializing the whole trace.
+///
+/// Batch analyze() needs the entire trace resident (records + samples) for
+/// its lifetime — O(trace) peak memory. analyzeStreaming() consumes the
+/// trace twice through trace::ShardStreamReader, holding only one decoded
+/// shard at a time:
+///
+///   Pass A (extract):  decode shard -> extract that rank's bursts -> keep
+///                      the burst *metadata* (begin/end/counter deltas,
+///                      ~150 B each), drop the shard and its samples.
+///   Model phase:       features, clustering (exact or stratified-sampled),
+///                      structure, aggregates — detail::runModelStages(),
+///                      the very code batch runs, on the very same burst
+///                      list, since per-rank extraction concatenated in rank
+///                      order is bit-identical to whole-trace extraction.
+///   Pass B (fold):     re-decode each shard, re-extract its bursts (now
+///                      with samples) and feed each eligible cluster's
+///                      members, in global member order, into a
+///                      folding::MultiFoldAccumulator — the exact code
+///                      foldClusterMulti() wraps. Fit as usual.
+///
+/// Peak RSS is therefore O(largest shard + burst metadata + retained fold
+/// points). The fold clouds are the one term that scales with *samples*,
+/// not bursts; FoldOptions::maxPointsPerCounter caps them with a
+/// deterministic reservoir, and because the cap is seeded and
+/// order-identical in batch and streaming, results remain bit-identical
+/// between the modes with the cap set in both (or unset in both).
+///
+/// Results are bit-identical to analyze() on the same file for any thread
+/// count, including degraded reads: the same shards drop for the same
+/// reasons, producing the same surviving burst list.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/support/faulty_stream.hpp"
+#include "unveil/trace/binary_io.hpp"
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::analysis {
+
+/// Configuration for one streaming run.
+struct StreamingConfig {
+  PipelineConfig pipeline;
+  /// Shard degradation policy, as in trace::readBinaryFile.
+  trace::ReadOptions read;
+  /// Per-request I/O fault injection (see trace::StreamOptions::fault).
+  std::optional<support::FaultSpec> fault;
+};
+
+/// What a streaming run produced beyond the pipeline result: the trace
+/// header facts a batch caller would have taken from the Trace object, plus
+/// degradation and memory accounting.
+struct StreamingResult {
+  PipelineResult result;
+  /// Shards dropped in pass A (pass B re-drops the same shards silently).
+  trace::ReadReport report;
+  std::string appName;
+  trace::Rank numRanks = 0;     ///< Total ranks from the header.
+  trace::TimeNs durationNs = 0;
+  std::size_t shardsProcessed = 0;  ///< Shards decoded OK (== surviving ranks).
+  /// Largest single decoded shard's in-memory working set
+  /// (Trace::stats().estimatedBytes) — the unit of the memory bound.
+  std::size_t largestShardBytes = 0;
+};
+
+/// Streams \p path (UVTB2 only — the caller falls back to analyze() for
+/// text/V1 traces) through the pipeline. Throws TraceError on structural
+/// damage, AnalysisError when no bursts survive, and AnalysisError if the
+/// file visibly changes between the two passes.
+[[nodiscard]] StreamingResult analyzeStreaming(const std::string& path,
+                                               const StreamingConfig& config = {});
+
+}  // namespace unveil::analysis

@@ -14,7 +14,9 @@
 #include "unveil/analysis/pipeline.hpp"
 #include "unveil/analysis/report.hpp"
 #include "unveil/analysis/representative.hpp"
+#include "unveil/analysis/streaming.hpp"
 #include "unveil/analysis/summary.hpp"
+#include "unveil/cli/server.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/flight_recorder.hpp"
 #include "unveil/support/log.hpp"
@@ -62,31 +64,30 @@ trace::ReadOptions readOptionsFromArgs(const Args& args) {
   return options;
 }
 
+/// The dropped-shard warning block trace-consuming commands print before
+/// their own output. Batch reads emit it from loadTrace, the streaming
+/// analyze path from its pass-A report — shared so both modes produce
+/// byte-identical warnings for the same damaged file.
+void printShardDropWarnings(const trace::ReadReport& report,
+                            const std::string& path, std::ostream& out) {
+  if (report.droppedShards.empty()) return;
+  out << "warning: dropped " << report.droppedShards.size() << " of "
+      << report.totalRanks << " shards in " << path
+      << " (rerun with --strict to fail instead):\n";
+  for (const auto& d : report.droppedShards)
+    out << "  rank " << d.rank << " at byte " << d.offset << ": " << d.reason
+        << '\n';
+}
+
 /// Reads a trace honoring --strict and surfaces any dropped shards to the
 /// user; the report is also returned for command summaries.
 trace::Trace loadTrace(const Args& args, const std::string& path,
                        std::ostream& out, trace::ReadReport* reportOut = nullptr) {
   trace::ReadReport report;
   trace::Trace t = trace::readAutoFile(path, readOptionsFromArgs(args), &report);
-  if (!report.droppedShards.empty()) {
-    out << "warning: dropped " << report.droppedShards.size() << " of "
-        << report.totalRanks << " shards in " << path
-        << " (rerun with --strict to fail instead):\n";
-    for (const auto& d : report.droppedShards)
-      out << "  rank " << d.rank << " at byte " << d.offset << ": " << d.reason
-          << '\n';
-  }
+  printShardDropWarnings(report, path, out);
   if (reportOut) *reportOut = std::move(report);
   return t;
-}
-
-int failOnUnused(const Args& args, std::ostream& out) {
-  const auto unused = args.unusedFlags();
-  if (unused.empty()) return 0;
-  out << "error: unknown flag(s):";
-  for (const auto& f : unused) out << " --" << f;
-  out << '\n';
-  return 2;
 }
 
 /// Telemetry/verbosity lifecycle for one CLI invocation. Every command gets
@@ -131,17 +132,22 @@ class TelemetryScope {
       flightrec_ = true;
     }
 
-    // Consumed up front (not only inside the branch) so the flag never
-    // trips unused-flag checking on --no-telemetry runs.
+    // Consumed up front (not only inside the branch) so the flags never
+    // trip unused-flag checking on --no-telemetry runs. The interval is
+    // range-validated like --threads: 0 and negative values used to slip
+    // through as a silent "disabled", masking typos — disabling is now the
+    // explicit --no-sampler.
     const double sampleIntervalMs =
-        args.getDouble("sample-interval", 10.0, 0.0, 60000.0);
+        static_cast<double>(args.getInt("sample-interval", 10, 1, 60000));
+    const bool noSampler = args.has("no-sampler");
     if (!args.has("no-telemetry")) {
       session_ = std::make_unique<telemetry::Session>();
       session_->activate();
-      support::SamplerConfig samplerConfig;
-      samplerConfig.intervalMs = sampleIntervalMs;
-      if (samplerConfig.intervalMs > 0.0)
+      if (!noSampler) {
+        support::SamplerConfig samplerConfig;
+        samplerConfig.intervalMs = sampleIntervalMs;
         sampler_ = std::make_unique<support::Sampler>(*session_, samplerConfig);
+      }
     }
   }
   ~TelemetryScope() {
@@ -215,6 +221,15 @@ class ThreadsScope {
 
 }  // namespace
 
+int failOnUnused(const Args& args, std::ostream& out) {
+  const auto unused = args.unusedFlags();
+  if (unused.empty()) return 0;
+  out << "error: unknown flag(s):";
+  for (const auto& f : unused) out << " --" << f;
+  out << '\n';
+  return 2;
+}
+
 std::string usage() {
   return "usage: unveil <command> [--flags]\n"
          "commands:\n"
@@ -225,11 +240,24 @@ std::string usage() {
          "  analyze --trace TRACE [--mpi-gaps] [--eps X] [--min-instances N]\n"
          "          [--sample-cost-ns X] [--probe-cost-ns X] [--figures DIR]\n"
          "          [--focus N]   analyze N representative iterations only\n"
+         "          [--stream]    bounded-memory streaming over UVTB2 shards\n"
+         "                        (one shard resident at a time; output is\n"
+         "                        bit-identical to the batch path)\n"
+         "          [--fold-max-points N]  cap each fold cloud at N points\n"
+         "                        (deterministic reservoir; 0 = keep all)\n"
          "          [--cluster-exact]   exact DBSCAN regardless of trace size\n"
          "          [--cluster-sample]  stratified-sampled clustering (the\n"
          "                              default at >= 100k bursts)\n"
          "          [--cluster-sample-fraction X]  sample rate in (0,1],\n"
          "                              implies --cluster-sample\n"
+         "  serve --socket PATH   analysis daemon on a local Unix socket;\n"
+         "                        newline-delimited JSON requests, graceful\n"
+         "                        drain + exit 0 on SIGTERM or shutdown\n"
+         "  client --socket PATH (--trace TRACE [analyze flags] |\n"
+         "          --ping | --health | --shutdown) [--timeout SEC]\n"
+         "                        one request against a running daemon;\n"
+         "                        prints the response and exits with the\n"
+         "                        server-reported code\n"
          "  accuracy --app NAME [--ranks N] [--iterations N] [--seed N]\n"
          "  report --trace TRACE [--sample-cost-ns X] [--probe-cost-ns X]\n"
          "                               full report: phases, rates, balance,\n"
@@ -249,8 +277,10 @@ std::string usage() {
          "                      results are identical for any thread count\n"
          "  --trace-out FILE    chrome://tracing span JSON for this run\n"
          "  --metrics-out FILE  flat JSON dump of work counters and timings\n"
-         "  --sample-interval MS  background telemetry sampler tick (default\n"
-         "                      10; 0 disables pool/memory time-series)\n"
+         "  --sample-interval MS  background telemetry sampler tick, an\n"
+         "                      integer in [1, 60000] ms (default 10)\n"
+         "  --no-sampler        disable the background sampler (pool/memory\n"
+         "                      time-series)\n"
          "  --no-flightrec      disable the crash flight recorder\n"
          "  --flightrec-dir DIR where crash/degradation dumps are written\n"
          "                      (unveil-flightrec-<pid>.json, default .)\n"
@@ -308,12 +338,11 @@ int cmdInfo(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmdAnalyze(const Args& args, std::ostream& out) {
-  const std::string path = args.get("trace");
-  if (path.empty()) {
-    out << "error: analyze requires --trace\n";
-    return 2;
-  }
+namespace {
+
+/// The analyze pipeline knobs, shared by the batch and streaming paths (and
+/// therefore by daemon requests, which re-enter runAnalyze).
+analysis::PipelineConfig analyzeConfigFromArgs(const Args& args) {
   analysis::PipelineConfig config;
   config.useMpiGaps = args.has("mpi-gaps");
   if (args.has("eps")) {
@@ -339,10 +368,84 @@ int cmdAnalyze(const Args& args, std::ostream& out) {
       args.getDouble("sample-cost-ns", 0.0, 0.0, 1e12);
   config.reconstruct.fold.probeOverheadNs =
       args.getDouble("probe-cost-ns", 0.0, 0.0, 1e12);
+  // Bounded-memory fold clouds (deterministic reservoir); 0 = keep all
+  // points. Must match between runs being compared bit-for-bit.
+  config.reconstruct.fold.maxPointsPerCounter = static_cast<std::size_t>(
+      args.getInt("fold-max-points", 0, 0, 1 << 30));
+  return config;
+}
+
+/// The analyze report block, after any warnings/focus lines. Batch and
+/// streaming runs funnel through this one renderer so their output bytes
+/// can be compared directly (the server-smoke CI job does exactly that).
+void renderAnalysis(const analysis::PipelineResult& result,
+                    const trace::ReadReport& report, trace::Rank numRanks,
+                    std::ostream& out) {
+  analysis::clusterSummaryTable(result).print(out, "detected computation phases");
+  out << "\neps used: " << result.epsUsed << '\n';
+  if (result.clusterSampleSize > 0) {
+    out << "sampled clustering: " << result.clusterSampleSize
+        << " bursts clustered exactly, " << result.clusterClassified
+        << " classified\n";
+  }
+  if (!report.droppedShards.empty()) {
+    out << "ranks analyzed: " << (report.totalRanks - report.droppedShards.size())
+        << " of " << report.totalRanks << " (" << report.droppedShards.size()
+        << " corrupt shard" << (report.droppedShards.size() == 1 ? "" : "s")
+        << " dropped)\n";
+  }
+  out << "iteration period: " << result.period.period << " (self-similarity "
+      << result.period.matchFraction * 100.0 << "%)\n";
+  out << "SPMD-ness: "
+      << cluster::spmdScore(result.bursts, result.clustering, numRanks) << '\n';
+}
+
+void saveAnalysisFigures(const analysis::PipelineResult& result,
+                         const std::string& figDir, std::ostream& out) {
+  if (figDir.empty()) return;
+  analysis::scatterSeries(result, cluster::FeatureId::LogDurationNs,
+                          cluster::FeatureId::Ipc, "scatter")
+      .save(figDir + "/scatter.dat");
+  analysis::rateSeries(result, counters::CounterId::TotIns, "mips")
+      .save(figDir + "/mips.dat");
+  analysis::rateSeries(result, counters::CounterId::L2Dcm, "l2")
+      .save(figDir + "/l2.dat");
+  out << "figure data -> " << figDir << "/{scatter,mips,l2}.dat\n";
+}
+
+}  // namespace
+
+int runAnalyze(const Args& args, std::ostream& out,
+               const std::optional<support::FaultSpec>& fault) {
+  const std::string path = args.get("trace");
+  if (path.empty()) {
+    out << "error: analyze requires --trace\n";
+    return 2;
+  }
+  analysis::PipelineConfig config = analyzeConfigFromArgs(args);
+  const bool stream = args.has("stream");
   const std::string figDir = args.get("figures", "");
   const auto focusIterations =
       static_cast<std::size_t>(args.getInt("focus", 0, 0, 1 << 30));
+  if (stream && focusIterations > 0)
+    throw ConfigError(
+        "--stream and --focus are mutually exclusive (focus re-slices the "
+        "materialized trace)");
   if (const int rc = failOnUnused(args, out)) return rc;
+
+  if (stream) {
+    // Bounded-memory path: shards are decoded one at a time, twice. Output
+    // is bit-identical to the batch path below on the same file.
+    analysis::StreamingConfig streamConfig;
+    streamConfig.pipeline = config;
+    streamConfig.read = readOptionsFromArgs(args);
+    streamConfig.fault = fault;
+    const auto streamed = analysis::analyzeStreaming(path, streamConfig);
+    printShardDropWarnings(streamed.report, path, out);
+    renderAnalysis(streamed.result, streamed.report, streamed.numRanks, out);
+    saveAnalysisFigures(streamed.result, figDir, out);
+    return 0;
+  }
 
   trace::ReadReport report;
   const auto t = loadTrace(args, path, out, &report);
@@ -369,35 +472,13 @@ int cmdAnalyze(const Args& args, std::ostream& out) {
       result = analysis::analyze(cut, config);
     }
   }
-  analysis::clusterSummaryTable(result).print(out, "detected computation phases");
-  out << "\neps used: " << result.epsUsed << '\n';
-  if (result.clusterSampleSize > 0) {
-    out << "sampled clustering: " << result.clusterSampleSize
-        << " bursts clustered exactly, " << result.clusterClassified
-        << " classified\n";
-  }
-  if (!report.droppedShards.empty()) {
-    out << "ranks analyzed: " << (report.totalRanks - report.droppedShards.size())
-        << " of " << report.totalRanks << " (" << report.droppedShards.size()
-        << " corrupt shard" << (report.droppedShards.size() == 1 ? "" : "s")
-        << " dropped)\n";
-  }
-  out << "iteration period: " << result.period.period << " (self-similarity "
-      << result.period.matchFraction * 100.0 << "%)\n";
-  out << "SPMD-ness: "
-      << cluster::spmdScore(result.bursts, result.clustering, t.numRanks()) << '\n';
-
-  if (!figDir.empty()) {
-    analysis::scatterSeries(result, cluster::FeatureId::LogDurationNs,
-                            cluster::FeatureId::Ipc, "scatter")
-        .save(figDir + "/scatter.dat");
-    analysis::rateSeries(result, counters::CounterId::TotIns, "mips")
-        .save(figDir + "/mips.dat");
-    analysis::rateSeries(result, counters::CounterId::L2Dcm, "l2")
-        .save(figDir + "/l2.dat");
-    out << "figure data -> " << figDir << "/{scatter,mips,l2}.dat\n";
-  }
+  renderAnalysis(result, report, t.numRanks(), out);
+  saveAnalysisFigures(result, figDir, out);
   return 0;
+}
+
+int cmdAnalyze(const Args& args, std::ostream& out) {
+  return runAnalyze(args, out, std::nullopt);
 }
 
 int cmdAccuracy(const Args& args, std::ostream& out) {
@@ -585,6 +666,8 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out) {
       if (command == "imbalance") return cmdImbalance(args, out);
       if (command == "evolution") return cmdEvolution(args, out);
       if (command == "export-paraver") return cmdExportParaver(args, out);
+      if (command == "serve") return cmdServe(args, out);
+      if (command == "client") return cmdClient(args, out);
       if (command == "telemetry-diff")
         return cmdTelemetryDiff(positionals, args, out);
       out << "error: unknown command '" << command << "'\n" << usage();

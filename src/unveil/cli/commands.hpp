@@ -19,10 +19,12 @@
 ///                   exits 3 when run B regresses past the noise threshold.
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "unveil/cli/args.hpp"
+#include "unveil/support/faulty_stream.hpp"
 
 namespace unveil::cli {
 
@@ -42,6 +44,19 @@ int cmdExportParaver(const Args& args, std::ostream& out);
 /// \p paths are the two positional metrics-JSON files (baseline, candidate).
 int cmdTelemetryDiff(const std::vector<std::string>& paths, const Args& args,
                      std::ostream& out);
+
+/// cmdAnalyze's implementation, shared with the serve daemon (server.hpp):
+/// \p fault optionally injects I/O faults into this one invocation's
+/// streaming trace reads — daemon requests carry their client's
+/// UNVEIL_FAULT_SPEC this way so a fault stays scoped to a single request.
+/// Batch (non --stream) reads still honor only the process-wide spec.
+int runAnalyze(const Args& args, std::ostream& out,
+               const std::optional<support::FaultSpec>& fault);
+
+/// Unknown-flag rejection every command ends its flag parsing with:
+/// prints the offending names and returns 2, or returns 0 when all flags
+/// were consumed.
+int failOnUnused(const Args& args, std::ostream& out);
 
 /// Usage text for all commands.
 [[nodiscard]] std::string usage();

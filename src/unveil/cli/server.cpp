@@ -1,0 +1,507 @@
+#include "unveil/cli/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "unveil/cli/commands.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/faulty_stream.hpp"
+#include "unveil/support/flight_recorder.hpp"
+#include "unveil/support/json.hpp"
+#include "unveil/support/log.hpp"
+#include "unveil/support/telemetry.hpp"
+#include "unveil/support/thread_pool.hpp"
+#include "unveil/trace/shard_stream.hpp"
+
+namespace unveil::cli {
+
+namespace {
+
+/// A request line (and a response) may not exceed this; analyze outputs are
+/// tables in the KBs, so 8 MiB is generous while still bounding a hostile
+/// or broken peer.
+constexpr std::size_t kMaxLineBytes = 8u << 20;
+
+/// Socket I/O timeout for one request/response exchange on the server side.
+/// A peer that connects and never sends a full line must not pin a pool
+/// task forever and stall shutdown drain.
+constexpr int kServerIoTimeoutSec = 30;
+
+std::string errnoString() { return std::strerror(errno); }
+
+/// RAII fd.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+sockaddr_un socketAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw ConfigError("socket path too long (" + std::to_string(path.size()) +
+                      " bytes, max " + std::to_string(sizeof(addr.sun_path) - 1) +
+                      ") [socket=" + path + "]");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+void setIoTimeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Sends the whole buffer; returns false on error/timeout. MSG_NOSIGNAL so
+/// a peer that hung up cannot SIGPIPE the daemon.
+bool sendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads up to (and including) the first '\n'. Returns the line without the
+/// newline; nullopt on EOF-before-newline, timeout, or an over-long line.
+std::optional<std::string> recvLine(int fd) {
+  std::string line;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (n == 0) return std::nullopt;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buf[i] == '\n') return line;
+      line.push_back(buf[i]);
+      if (line.size() > kMaxLineBytes) return std::nullopt;
+    }
+  }
+}
+
+/// Shared mutable state of one serve run. Handlers run on pool workers; the
+/// accept loop runs on the caller thread; counters are atomics and the
+/// drain handshake goes through the mutex+cv.
+struct ServerState {
+  std::atomic<std::uint64_t> requestsTotal{0};
+  std::atomic<std::uint64_t> requestsFailed{0};
+  std::atomic<std::uint64_t> requestsActive{0};
+  std::atomic<bool> draining{false};
+  int wakeFd = -1;  ///< Write end of the self-pipe; also used by "shutdown".
+
+  std::mutex mutex;
+  std::condition_variable drained;
+  std::size_t pending = 0;  ///< Connections accepted but not yet finished.
+
+  void beginConnection() {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++pending;
+  }
+  void endConnection() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      --pending;
+    }
+    drained.notify_all();
+  }
+  void wake() const {
+    const char b = 1;
+    (void)!::write(wakeFd, &b, 1);
+  }
+};
+
+/// Self-pipe write end for the signal handler (async-signal-safe: write()
+/// only). Only one serve loop runs per process at a time; tests that start
+/// a second one do so after the first returned and restored this.
+std::atomic<int> gSignalWakeFd{-1};
+
+void onServeSignal(int) {
+  const int fd = gSignalWakeFd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char b = 1;
+    (void)!::write(fd, &b, 1);
+  }
+}
+
+std::string responseLine(const std::string& id, int exitCode,
+                         const std::string& output) {
+  return "{\"id\":\"" + telemetry::escapeJson(id) + "\",\"status\":\"" +
+         (exitCode == 0 ? "ok" : "error") +
+         "\",\"exit\":" + std::to_string(exitCode) + ",\"output\":\"" +
+         telemetry::escapeJson(output) + "\"}\n";
+}
+
+std::string healthJson(const ServerState& state) {
+  const auto pool = support::globalPoolHealth();
+  const auto& recorder = support::FlightRecorder::instance();
+  std::ostringstream os;
+  os << "{\"requests_total\":" << state.requestsTotal.load()
+     << ",\"requests_active\":" << state.requestsActive.load()
+     << ",\"requests_failed\":" << state.requestsFailed.load()
+     << ",\"pool_threads\":" << pool.threads
+     << ",\"pool_busy\":" << pool.busyWorkers
+     << ",\"pool_executed\":" << pool.executed
+     << ",\"flightrec_events\":" << recorder.recorded()
+     << ",\"telemetry\":" << (telemetry::Session::active() ? "true" : "false")
+     << "}\n";
+  return os.str();
+}
+
+/// Runs one analyze request. The flag vector is re-parsed through the very
+/// Args/runAnalyze path the CLI uses, so output bytes match a batch
+/// `unveil analyze` invocation exactly — including error text. UVTB2 traces
+/// are streamed (bounded memory, per-request fault scoping); text/V1 traces
+/// fall back to the batch reader inside runAnalyze.
+std::string handleAnalyze(const std::string& id, const support::json::Value& req,
+                          ServerState& state) {
+  const support::json::Value* traceVal = req.find("trace");
+  if (!traceVal || !traceVal->isString())
+    return responseLine(id, 2, "error: analyze request requires a \"trace\" string\n");
+  const std::string tracePath = traceVal->asString();
+
+  std::vector<std::string> rest;
+  rest.push_back("--trace");
+  rest.push_back(tracePath);
+  bool wantFocus = false;
+  bool wantStream = false;
+  if (const support::json::Value* flags = req.find("flags")) {
+    if (!flags->isArray())
+      return responseLine(id, 2, "error: analyze \"flags\" must be an array of strings\n");
+    for (const auto& f : flags->asArray()) {
+      if (!f.isString())
+        return responseLine(id, 2, "error: analyze \"flags\" must be an array of strings\n");
+      const std::string flag = f.asString();
+      if (flag.rfind("--focus", 0) == 0) wantFocus = true;
+      if (flag == "--stream") wantStream = true;
+      rest.push_back(flag);
+    }
+  }
+  // Stream whenever the trace format allows it: bounded memory is the whole
+  // point of the daemon. --focus needs the materialized trace (it re-slices
+  // it), so such requests take the batch path like the plain CLI would.
+  if (!wantFocus && !wantStream && trace::isShardStreamable(tracePath))
+    rest.push_back("--stream");
+
+  std::optional<support::FaultSpec> fault;
+  if (const support::json::Value* spec = req.find("fault_spec")) {
+    if (!spec->isString())
+      return responseLine(id, 2, "error: \"fault_spec\" must be a string\n");
+    fault = support::FaultSpec::parse(spec->asString());
+  }
+
+  std::ostringstream oss;
+  int rc = 0;
+  try {
+    const Args reqArgs = Args::parse(rest);
+    (void)reqArgs.has("strict");  // consumed lazily, as in runCli
+    rc = runAnalyze(reqArgs, oss, fault);
+  } catch (const Error& e) {
+    // Mirror runCli's terminal error rendering so a degraded or misflagged
+    // request reads exactly like the batch CLI's stdout.
+    oss << "error: " << e.what() << '\n';
+    rc = 1;
+  }
+  if (rc != 0) state.requestsFailed.fetch_add(1);
+  return responseLine(id, rc, oss.str());
+}
+
+std::string handleRequest(const std::string& line, ServerState& state) {
+  state.requestsTotal.fetch_add(1);
+  state.requestsActive.fetch_add(1);
+  struct ActiveGuard {
+    ServerState& s;
+    ~ActiveGuard() { s.requestsActive.fetch_sub(1); }
+  } guard{state};
+
+  std::string id;
+  try {
+    const support::json::Value req = support::json::parse(line);
+    if (const support::json::Value* v = req.find("id")) id = v->asString();
+    std::string command;
+    if (const support::json::Value* v = req.find("command"))
+      command = v->asString();
+
+    telemetry::Span span("serve.request");
+    span.attr("command", command);
+    if (!id.empty()) span.attr("id", id);
+
+    if (command == "ping") return responseLine(id, 0, "pong\n");
+    if (command == "health") return responseLine(id, 0, healthJson(state));
+    if (command == "shutdown") {
+      state.draining.store(true);
+      state.wake();
+      return responseLine(id, 0, "shutting down\n");
+    }
+    if (command == "analyze") return handleAnalyze(id, req, state);
+    state.requestsFailed.fetch_add(1);
+    return responseLine(id, 2, "error: unknown command '" + command + "'\n");
+  } catch (const Error& e) {
+    state.requestsFailed.fetch_add(1);
+    return responseLine(id, 1, std::string("error: ") + e.what() + '\n');
+  }
+}
+
+void handleConnection(int rawFd, ServerState& state) {
+  const Fd conn(rawFd);
+  setIoTimeout(conn.get(), kServerIoTimeoutSec);
+  const std::optional<std::string> line = recvLine(conn.get());
+  if (!line) {
+    // Dead, silent, or over-chatty peer; nothing sensible to answer.
+    return;
+  }
+  const std::string response = handleRequest(*line, state);
+  if (!sendAll(conn.get(), response))
+    support::logWarn("serve: failed to send response: " + errnoString());
+}
+
+}  // namespace
+
+int cmdServe(const Args& args, std::ostream& out) {
+  const std::string socketPath = args.get("socket");
+  if (socketPath.empty()) {
+    out << "error: serve requires --socket PATH\n";
+    return 2;
+  }
+  if (const int rc = failOnUnused(args, out)) return rc;
+  const sockaddr_un addr = socketAddress(socketPath);
+
+  Fd listenFd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!listenFd.valid())
+    throw Error("cannot create socket: " + errnoString());
+
+  // A stale socket file from a crashed daemon must not wedge restarts, but
+  // stealing a live daemon's socket must fail loudly: probe with a connect.
+  if (::access(socketPath.c_str(), F_OK) == 0) {
+    Fd probe(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (probe.valid() &&
+        ::connect(probe.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      throw ConfigError("another daemon is already listening [socket=" +
+                        socketPath + "]");
+    ::unlink(socketPath.c_str());
+  }
+  if (::bind(listenFd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw Error("cannot bind [socket=" + socketPath + "]: " + errnoString());
+  if (::listen(listenFd.get(), 64) != 0) {
+    const std::string reason = errnoString();
+    ::unlink(socketPath.c_str());
+    throw Error("cannot listen [socket=" + socketPath + "]: " + reason);
+  }
+
+  int pipeFds[2] = {-1, -1};
+  if (::pipe(pipeFds) != 0) {
+    ::unlink(socketPath.c_str());
+    throw Error("cannot create self-pipe: " + errnoString());
+  }
+  Fd wakeRd(pipeFds[0]);
+  Fd wakeWr(pipeFds[1]);
+  ::fcntl(wakeRd.get(), F_SETFL, O_NONBLOCK);
+  ::fcntl(wakeWr.get(), F_SETFL, O_NONBLOCK);
+
+  ServerState state;
+  state.wakeFd = wakeWr.get();
+  gSignalWakeFd.store(wakeWr.get());
+
+  struct sigaction sa{};
+  sa.sa_handler = onServeSignal;
+  ::sigemptyset(&sa.sa_mask);
+  struct sigaction oldTerm{};
+  struct sigaction oldInt{};
+  ::sigaction(SIGTERM, &sa, &oldTerm);
+  ::sigaction(SIGINT, &sa, &oldInt);
+
+  support::ThreadPool& pool = support::globalPool();
+  out << "unveil serve: listening on " << socketPath << " (" << pool.threads()
+      << " threads)\n";
+  out.flush();
+  support::logInfo("serve: listening on " + socketPath);
+
+  for (;;) {
+    pollfd fds[2] = {{listenFd.get(), POLLIN, 0}, {wakeRd.get(), POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      support::logWarn("serve: poll failed: " + errnoString());
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || state.draining.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listenFd.get(), nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      support::logWarn("serve: accept failed: " + errnoString());
+      break;
+    }
+    state.beginConnection();
+    pool.submit([conn, &state] {
+      handleConnection(conn, state);
+      state.endConnection();
+    });
+  }
+
+  // Drain: stop accepting (close + unlink first so new clients get refused
+  // instead of queueing), then wait for in-flight requests to finish.
+  listenFd.reset();
+  ::unlink(socketPath.c_str());
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.drained.wait(lock, [&] { return state.pending == 0; });
+  }
+
+  ::sigaction(SIGTERM, &oldTerm, nullptr);
+  ::sigaction(SIGINT, &oldInt, nullptr);
+  gSignalWakeFd.store(-1);
+
+  out << "unveil serve: drained after " << state.requestsTotal.load()
+      << " request(s) (" << state.requestsFailed.load() << " failed)\n";
+  return 0;
+}
+
+std::string serverRoundTrip(const std::string& socketPath,
+                            const std::string& requestLine,
+                            double timeoutSeconds) {
+  const sockaddr_un addr = socketAddress(socketPath);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw Error("cannot create socket: " + errnoString());
+  setIoTimeout(fd.get(), timeoutSeconds);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    throw Error("cannot connect to daemon [socket=" + socketPath +
+                "]: " + errnoString());
+  std::string request = requestLine;
+  if (request.empty() || request.back() != '\n') request.push_back('\n');
+  if (!sendAll(fd.get(), request))
+    throw Error("request send failed [socket=" + socketPath +
+                "]: " + errnoString());
+  ::shutdown(fd.get(), SHUT_WR);
+  const std::optional<std::string> line = recvLine(fd.get());
+  if (!line)
+    throw Error("no response from daemon (timeout, hangup, or over-long "
+                "reply) [socket=" + socketPath + "]");
+  return *line;
+}
+
+int cmdClient(const Args& args, std::ostream& out) {
+  const std::string socketPath = args.get("socket");
+  if (socketPath.empty()) {
+    out << "error: client requires --socket PATH\n";
+    return 2;
+  }
+  const double timeoutSeconds = args.getDouble("timeout", 30.0, 0.1, 3600.0);
+  const bool ping = args.has("ping");
+  const bool health = args.has("health");
+  const bool wantShutdown = args.has("shutdown");
+  if (static_cast<int>(ping) + static_cast<int>(health) +
+          static_cast<int>(wantShutdown) > 1)
+    throw ConfigError("--ping, --health and --shutdown are mutually exclusive");
+
+  const std::string command =
+      ping ? "ping" : health ? "health" : wantShutdown ? "shutdown" : "analyze";
+  const std::string tracePath = args.get("trace");
+  std::vector<std::string> flags;
+  if (command == "analyze") {
+    if (tracePath.empty()) {
+      out << "error: client requires --trace (or one of --ping, --health, "
+             "--shutdown)\n";
+      return 2;
+    }
+    // Forward every flag the client itself did not consume. --strict is
+    // special: runCli already touched it as a global flag, so re-add it
+    // explicitly — the server honors it per request.
+    if (args.has("strict")) flags.push_back("--strict");
+    for (const auto& name : args.unusedFlags()) {
+      flags.push_back("--" + name);
+      const std::string value = args.get(name);
+      if (!value.empty()) flags.push_back(value);
+    }
+  }
+  if (const int rc = failOnUnused(args, out)) return rc;
+
+  std::string request = "{\"id\":\"" + std::to_string(::getpid()) +
+                        "\",\"command\":\"" + command + "\"";
+  if (command == "analyze") {
+    request += ",\"trace\":\"" + telemetry::escapeJson(tracePath) + "\"";
+    request += ",\"flags\":[";
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+      if (i > 0) request += ',';
+      request += "\"" + telemetry::escapeJson(flags[i]) + "\"";
+    }
+    request += "]";
+    // The whole point of per-request fault scoping: the client's injected
+    // fault travels with the request instead of poisoning the daemon's
+    // process-wide environment.
+    if (const char* spec = std::getenv("UNVEIL_FAULT_SPEC")) {
+      if (*spec != '\0')
+        request += ",\"fault_spec\":\"" + telemetry::escapeJson(spec) + "\"";
+    }
+  }
+  request += "}";
+
+  const std::string responseText =
+      serverRoundTrip(socketPath, request, timeoutSeconds);
+  const support::json::Value response = support::json::parse(responseText);
+  const support::json::Value* output = response.find("output");
+  const support::json::Value* exitCode = response.find("exit");
+  if (!output || !output->isString() || !exitCode || !exitCode->isNumber())
+    throw Error("malformed daemon response: " + responseText);
+  out << output->asString();
+  return static_cast<int>(exitCode->asDouble());
+}
+
+}  // namespace unveil::cli

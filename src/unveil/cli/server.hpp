@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file server.hpp
+/// `unveil serve` — a long-running analysis daemon on a local Unix socket —
+/// and `unveil client`, its command-line counterpart.
+///
+/// Protocol: newline-delimited JSON, one request and one response per
+/// connection. A request is a single-line object:
+///
+///   {"id": "42", "command": "analyze", "trace": "/path/a.utb",
+///    "flags": ["--mpi-gaps"], "fault_spec": "flip-byte-at=900"}
+///
+/// Commands: "analyze" (run the pipeline on a trace file readable by the
+/// server), "ping" (liveness), "health" (JSON snapshot of request counters,
+/// pool health and flight-recorder depth), "shutdown" (graceful drain +
+/// exit 0). The response mirrors the id and carries the would-be CLI exit
+/// code plus the exact bytes `unveil analyze` would have printed:
+///
+///   {"id": "42", "status": "ok", "exit": 0, "output": "..."}
+///
+/// Concurrency: each connection is handled as a task on the shared
+/// support::globalPool(); the analysis stages inside nest their parallelFor
+/// loops on the same pool, so the daemon never oversubscribes the machine.
+/// Each request runs under its own telemetry span, and "fault_spec" scopes
+/// I/O fault injection to that one request's trace stream (the client
+/// forwards its UNVEIL_FAULT_SPEC this way) — a corrupt-shard request
+/// degrades alone while concurrent requests on healthy traces are
+/// unaffected.
+///
+/// Shutdown: SIGTERM/SIGINT (self-pipe, poll-based — no async-signal-unsafe
+/// work in the handler) or a "shutdown" request stop the accept loop, drain
+/// in-flight requests, unlink the socket and return 0.
+
+#include <iosfwd>
+#include <string>
+
+#include "unveil/cli/args.hpp"
+
+namespace unveil::cli {
+
+/// `unveil serve --socket PATH`: binds, serves until SIGTERM/SIGINT or a
+/// shutdown request, then drains and returns 0. Returns 2 on bad usage.
+int cmdServe(const Args& args, std::ostream& out);
+
+/// `unveil client --socket PATH (--trace T [flags] | --ping | --health |
+/// --shutdown)`: sends one request, prints the response "output" bytes
+/// verbatim, and exits with the server-reported exit code.
+int cmdClient(const Args& args, std::ostream& out);
+
+/// One protocol round trip: connects to \p socketPath, sends \p requestLine
+/// (a newline is appended when missing) and returns the raw response line
+/// without its trailing newline. Throws support::Error on connect/IO
+/// failure or timeout. Exposed for in-process tests.
+[[nodiscard]] std::string serverRoundTrip(const std::string& socketPath,
+                                          const std::string& requestLine,
+                                          double timeoutSeconds = 30.0);
+
+}  // namespace unveil::cli

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/rng.hpp"
 #include "unveil/support/telemetry.hpp"
 
 namespace unveil::folding {
@@ -74,6 +75,26 @@ void sortPointsCanonical(std::vector<FoldedPoint>& pts, SortScratch& scratch) {
   pts.swap(tmp);
 }
 
+/// Root seed of the per-counter reservoir substreams. The stream depends
+/// only on the counter name, so every fold path (single, multi, batch,
+/// streaming) draws the same replacement sequence for the same cloud.
+constexpr std::uint64_t kReservoirRoot = 0x666f6c64;  // "fold"
+
+/// Algorithm R reservoir step: retain the first `cap` points, then replace
+/// a uniformly chosen survivor with decreasing probability. cap == 0 keeps
+/// everything.
+void offerPoint(std::vector<FoldedPoint>& pts, const FoldedPoint& p,
+                std::size_t cap, std::uint64_t& seen, support::Rng& rng) {
+  ++seen;
+  if (cap == 0 || pts.size() < cap) {
+    pts.push_back(p);
+    return;
+  }
+  const auto j = static_cast<std::uint64_t>(
+      rng.uniformInt(0, static_cast<std::int64_t>(seen) - 1));
+  if (j < cap) pts[static_cast<std::size_t>(j)] = p;
+}
+
 }  // namespace
 
 FoldedCounter foldCluster(const trace::Trace& trace,
@@ -89,6 +110,8 @@ FoldedCounter foldCluster(const trace::Trace& trace,
 
   double durationSum = 0.0;
   double totalSum = 0.0;
+  std::uint64_t seenPoints = 0;
+  support::Rng reservoirRng(kReservoirRoot, counters::counterName(counter));
   for (std::size_t bi = 0; bi < memberIdx.size(); ++bi) {
     UNVEIL_ASSERT(memberIdx[bi] < bursts.size(), "fold member index out of range");
     const cluster::Burst& b = bursts[memberIdx[bi]];
@@ -133,7 +156,8 @@ FoldedCounter foldCluster(const trace::Trace& trace,
       p.y = static_cast<double>(s.counters[counter] - c0) / increment;
       p.burstIdx = bi;
       p.rank = b.rank;
-      out.points.push_back(p);
+      offerPoint(out.points, p, options.maxPointsPerCounter, seenPoints,
+                 reservoirRng);
       any = true;
       ++samplesBefore;
     }
@@ -157,107 +181,127 @@ FoldedCounter foldCluster(const trace::Trace& trace,
   return out;
 }
 
-std::vector<MultiFoldEntry> foldClusterMulti(
-    const trace::Trace& trace, std::span<const cluster::Burst> bursts,
-    std::span<const std::size_t> memberIdx,
-    std::span<const counters::CounterId> counterSet, const FoldOptions& options) {
-  telemetry::Span span("fold.cluster");
-  span.attr("members", memberIdx.size());
-  span.attr("counters", counterSet.size());
-  const std::size_t nc = counterSet.size();
-  std::vector<MultiFoldEntry> out(nc);
-  for (std::size_t k = 0; k < nc; ++k) out[k].counter = counterSet[k];
-  if (nc == 0) return out;
+/// Per-counter accumulation state. Defined here (not in the header) so the
+/// header stays free of Rng/implementation details; the out-of-line special
+/// members below exist because std::vector<Accum> needs the complete type.
+struct MultiFoldAccumulator::Accum {
+  FoldedCounter folded;
+  double durationSum = 0.0;
+  double totalSum = 0.0;
+  std::uint64_t seenPoints = 0;  ///< Points generated (retained or not).
+  support::Rng reservoirRng{0};
+};
 
+MultiFoldAccumulator::MultiFoldAccumulator(
+    std::vector<counters::CounterId> counterSet, FoldOptions options)
+    : counterSet_(std::move(counterSet)), options_(options) {
+  const std::size_t nc = counterSet_.size();
+  acc_.resize(nc);
+  for (std::size_t k = 0; k < nc; ++k) {
+    acc_[k].folded.counter = counterSet_[k];
+    acc_[k].reservoirRng =
+        support::Rng(kReservoirRoot, counters::counterName(counterSet_[k]));
+  }
+  c0_.resize(nc);
+  increment_.resize(nc);
+  qualifies_.resize(nc);
+  any_.resize(nc);
+}
+
+MultiFoldAccumulator::~MultiFoldAccumulator() = default;
+MultiFoldAccumulator::MultiFoldAccumulator(MultiFoldAccumulator&&) noexcept =
+    default;
+MultiFoldAccumulator& MultiFoldAccumulator::operator=(
+    MultiFoldAccumulator&&) noexcept = default;
+
+void MultiFoldAccumulator::reservePoints(std::size_t maxPoints) {
+  const std::size_t cap = options_.maxPointsPerCounter;
+  if (cap > 0) maxPoints = std::min(maxPoints, cap);
+  for (Accum& a : acc_) a.folded.points.reserve(maxPoints);
+}
+
+std::size_t MultiFoldAccumulator::pointsHeld() const noexcept {
+  std::size_t n = 0;
+  for (const Accum& a : acc_) n += a.folded.points.size();
+  return n;
+}
+
+void MultiFoldAccumulator::add(const trace::Trace& trace,
+                               const cluster::Burst& b) {
+  const std::size_t nc = counterSet_.size();
+  // The member index baked into every emitted point counts *all* members,
+  // including the ones the duration/increment filters skip below — exactly
+  // like the `bi` loop variable of the batch walk.
+  const std::size_t bi = members_++;
+  if (nc == 0) return;
   const auto& samples = trace.samples();
 
-  struct Accum {
-    FoldedCounter folded;
-    double durationSum = 0.0;
-    double totalSum = 0.0;
-  };
-  std::vector<Accum> acc(nc);
-  for (std::size_t k = 0; k < nc; ++k) acc[k].folded.counter = counterSet[k];
+  const auto duration = b.durationNs();
+  if (duration < options_.minDurationNs) return;
 
-  // Upper bound on the points any one counter can emit: every sample of
-  // every duration-qualified member. Reserving it up front removes the
-  // reallocation-and-copy churn from the hot walk below.
-  std::size_t maxPoints = 0;
-  for (std::size_t mi : memberIdx) {
-    UNVEIL_ASSERT(mi < bursts.size(), "fold member index out of range");
-    const cluster::Burst& b = bursts[mi];
-    if (b.durationNs() >= options.minDurationNs) maxPoints += b.sampleIdx.size();
+  bool anyQualifies = false;
+  for (std::size_t k = 0; k < nc; ++k) {
+    c0_[k] = b.beginCounters[counterSet_[k]];
+    increment_[k] = static_cast<double>(b.endCounters[counterSet_[k]] - c0_[k]);
+    qualifies_[k] = increment_[k] >= options_.minCounterIncrement ? 1 : 0;
+    anyQualifies |= qualifies_[k] != 0;
+    any_[k] = 0;
   }
-  for (std::size_t k = 0; k < nc; ++k) acc[k].folded.points.reserve(maxPoints);
+  if (!anyQualifies) return;
 
-  // Per-burst scratch.
-  std::vector<std::uint64_t> c0(nc);
-  std::vector<double> increment(nc);
-  std::vector<char> qualifies(nc);
-  std::vector<char> any(nc);
+  // Work duration after removing the measurement's own intrusion
+  // (counter-independent, computed once for the burst).
+  const double overhead =
+      options_.probeOverheadNs +
+      options_.perSampleOverheadNs * static_cast<double>(b.sampleIdx.size());
+  const double workNs = std::max(static_cast<double>(duration) - overhead, 1.0);
 
-  for (std::size_t bi = 0; bi < memberIdx.size(); ++bi) {
-    UNVEIL_ASSERT(memberIdx[bi] < bursts.size(), "fold member index out of range");
-    const cluster::Burst& b = bursts[memberIdx[bi]];
-    const auto duration = b.durationNs();
-    if (duration < options.minDurationNs) continue;
-
-    bool anyQualifies = false;
-    for (std::size_t k = 0; k < nc; ++k) {
-      c0[k] = b.beginCounters[counterSet[k]];
-      increment[k] = static_cast<double>(b.endCounters[counterSet[k]] - c0[k]);
-      qualifies[k] = increment[k] >= options.minCounterIncrement ? 1 : 0;
-      anyQualifies |= qualifies[k] != 0;
-      any[k] = 0;
-    }
-    if (!anyQualifies) continue;
-
-    // Work duration after removing the measurement's own intrusion
-    // (counter-independent, computed once for the burst).
-    const double overhead =
-        options.probeOverheadNs +
-        options.perSampleOverheadNs * static_cast<double>(b.sampleIdx.size());
-    const double workNs =
-        std::max(static_cast<double>(duration) - overhead, 1.0);
-
-    for (std::size_t k = 0; k < nc; ++k) {
-      if (!qualifies[k]) continue;
-      ++acc[k].folded.instances;
-      acc[k].durationSum += workNs;
-      acc[k].totalSum += increment[k];
-    }
-
-    std::size_t samplesBefore = 0;
-    for (std::size_t si : b.sampleIdx) {
-      const trace::Sample& s = samples[si];
-      UNVEIL_ASSERT(s.rank == b.rank, "sample attached to wrong rank");
-      UNVEIL_ASSERT(s.time >= b.begin && s.time < b.end,
-                    "sample outside its burst window");
-      // The normalized time depends only on the sample's position inside the
-      // burst, never on the counter — project once, reuse for every counter.
-      const double elapsed =
-          static_cast<double>(s.time - b.begin) - options.probeOverheadNs -
-          options.perSampleOverheadNs * static_cast<double>(samplesBefore);
-      const double t = std::clamp(elapsed / workNs, 0.0, 1.0);
-      for (std::size_t k = 0; k < nc; ++k) {
-        // Multiplexed samples that did not read this counter still dilate
-        // the burst (samplesBefore advances below) but emit no point.
-        if (!qualifies[k] || !trace::maskHas(s.validMask, counterSet[k]))
-          continue;
-        FoldedPoint p;
-        p.t = t;
-        // Counter monotonicity guarantees c0 <= sample <= c1, so y in [0,1].
-        p.y = static_cast<double>(s.counters[counterSet[k]] - c0[k]) / increment[k];
-        p.burstIdx = bi;
-        p.rank = b.rank;
-        acc[k].folded.points.push_back(p);
-        any[k] = 1;
-      }
-      ++samplesBefore;
-    }
-    for (std::size_t k = 0; k < nc; ++k)
-      if (any[k]) ++acc[k].folded.instancesWithSamples;
+  for (std::size_t k = 0; k < nc; ++k) {
+    if (!qualifies_[k]) continue;
+    ++acc_[k].folded.instances;
+    acc_[k].durationSum += workNs;
+    acc_[k].totalSum += increment_[k];
   }
+
+  std::size_t samplesBefore = 0;
+  for (std::size_t si : b.sampleIdx) {
+    const trace::Sample& s = samples[si];
+    UNVEIL_ASSERT(s.rank == b.rank, "sample attached to wrong rank");
+    UNVEIL_ASSERT(s.time >= b.begin && s.time < b.end,
+                  "sample outside its burst window");
+    // The normalized time depends only on the sample's position inside the
+    // burst, never on the counter — project once, reuse for every counter.
+    const double elapsed =
+        static_cast<double>(s.time - b.begin) - options_.probeOverheadNs -
+        options_.perSampleOverheadNs * static_cast<double>(samplesBefore);
+    const double t = std::clamp(elapsed / workNs, 0.0, 1.0);
+    for (std::size_t k = 0; k < nc; ++k) {
+      // Multiplexed samples that did not read this counter still dilate
+      // the burst (samplesBefore advances below) but emit no point.
+      if (!qualifies_[k] || !trace::maskHas(s.validMask, counterSet_[k]))
+        continue;
+      FoldedPoint p;
+      p.t = t;
+      // Counter monotonicity guarantees c0 <= sample <= c1, so y in [0,1].
+      p.y = static_cast<double>(s.counters[counterSet_[k]] - c0_[k]) /
+            increment_[k];
+      p.burstIdx = bi;
+      p.rank = b.rank;
+      Accum& a = acc_[k];
+      offerPoint(a.folded.points, p, options_.maxPointsPerCounter,
+                 a.seenPoints, a.reservoirRng);
+      any_[k] = 1;
+    }
+    ++samplesBefore;
+  }
+  for (std::size_t k = 0; k < nc; ++k)
+    if (any_[k]) ++acc_[k].folded.instancesWithSamples;
+}
+
+std::vector<MultiFoldEntry> MultiFoldAccumulator::finish() {
+  const std::size_t nc = counterSet_.size();
+  std::vector<MultiFoldEntry> out(nc);
+  for (std::size_t k = 0; k < nc; ++k) out[k].counter = counterSet_[k];
 
   // Finalize each counter. The canonical order makes the sorted sequence
   // unique, so the O(n) distribution sort here yields exactly the bytes the
@@ -265,18 +309,47 @@ std::vector<MultiFoldEntry> foldClusterMulti(
   // is what dominates the per-counter path on dense clouds.
   SortScratch scratch;
   for (std::size_t k = 0; k < nc; ++k) {
-    Accum& a = acc[k];
+    Accum& a = acc_[k];
     if (a.folded.instances == 0) {
       out[k].error = "foldCluster: no instance qualifies for counter " +
-                     std::string(counters::counterName(counterSet[k]));
+                     std::string(counters::counterName(counterSet_[k]));
       continue;
     }
-    a.folded.meanDurationNs = a.durationSum / static_cast<double>(a.folded.instances);
+    a.folded.meanDurationNs =
+        a.durationSum / static_cast<double>(a.folded.instances);
     a.folded.meanTotal = a.totalSum / static_cast<double>(a.folded.instances);
     sortPointsCanonical(a.folded.points, scratch);
     a.folded.points.shrink_to_fit();
     out[k].folded = std::move(a.folded);
   }
+  return out;
+}
+
+std::vector<MultiFoldEntry> foldClusterMulti(
+    const trace::Trace& trace, std::span<const cluster::Burst> bursts,
+    std::span<const std::size_t> memberIdx,
+    std::span<const counters::CounterId> counterSet, const FoldOptions& options) {
+  telemetry::Span span("fold.cluster");
+  span.attr("members", memberIdx.size());
+  span.attr("counters", counterSet.size());
+  if (counterSet.empty()) return {};
+
+  MultiFoldAccumulator acc(
+      std::vector<counters::CounterId>(counterSet.begin(), counterSet.end()),
+      options);
+  // Upper bound on the points any one counter can emit: every sample of
+  // every duration-qualified member. Reserving it up front removes the
+  // reallocation-and-copy churn from the hot walk.
+  std::size_t maxPoints = 0;
+  for (std::size_t mi : memberIdx) {
+    UNVEIL_ASSERT(mi < bursts.size(), "fold member index out of range");
+    const cluster::Burst& b = bursts[mi];
+    if (b.durationNs() >= options.minDurationNs) maxPoints += b.sampleIdx.size();
+  }
+  acc.reservePoints(maxPoints);
+  for (std::size_t mi : memberIdx) acc.add(trace, bursts[mi]);
+  std::vector<MultiFoldEntry> out = acc.finish();
+
   if (span.active()) {
     std::uint64_t totalPoints = 0;
     std::uint64_t totalInstances = 0;

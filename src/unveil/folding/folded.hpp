@@ -69,6 +69,14 @@ struct FoldOptions {
   /// tail of every reconstruction. Defaults to 0 (no compensation).
   double perSampleOverheadNs = 0.0;
   double probeOverheadNs = 0.0;
+  /// Bounded-memory folding: when > 0, each (cluster, counter) cloud retains
+  /// at most this many points, chosen by a *deterministic* reservoir
+  /// (Algorithm R over the canonical emission order, seeded per counter).
+  /// Because the emission order is identical in every fold path — single
+  /// counter, multi counter, batch and streaming — the retained cloud is
+  /// identical too, so bit-identity across paths survives the cap. Instance
+  /// counts and means always cover the full population. 0 = keep everything.
+  std::size_t maxPointsPerCounter = 0;
 };
 
 /// Folds the samples of the bursts selected by \p memberIdx (indices into
@@ -109,5 +117,55 @@ struct MultiFoldEntry {
     std::span<const std::size_t> memberIdx,
     std::span<const counters::CounterId> counterSet,
     const FoldOptions& options = {});
+
+/// Incremental form of foldClusterMulti(): feed one member burst at a time,
+/// in the cluster's global member order, then finish(). foldClusterMulti()
+/// is a thin wrapper over this class, so the two are bit-identical by
+/// construction — which is what lets the streaming engine fold a cluster
+/// whose members arrive shard by shard (each add() reads samples from the
+/// trace that burst's sampleIdx indexes into, so different members may come
+/// from different shard traces) and still reproduce batch output exactly.
+///
+/// Floating-point accumulation is order-dependent, so callers MUST add
+/// members in the same order batch folding walks them (ascending global
+/// burst index); the class never merges partial sums across members.
+class MultiFoldAccumulator {
+ public:
+  MultiFoldAccumulator(std::vector<counters::CounterId> counterSet,
+                       FoldOptions options);
+  ~MultiFoldAccumulator();
+  MultiFoldAccumulator(MultiFoldAccumulator&&) noexcept;
+  MultiFoldAccumulator& operator=(MultiFoldAccumulator&&) noexcept;
+
+  /// Pre-sizes the point buffers for an expected upper bound (optional).
+  void reservePoints(std::size_t maxPoints);
+
+  /// Folds the next member burst. \p trace provides the sample records that
+  /// \p burst.sampleIdx indexes into.
+  void add(const trace::Trace& trace, const cluster::Burst& burst);
+
+  /// Members added so far (including skipped ones — the member index baked
+  /// into FoldedPoint::burstIdx counts every add()).
+  [[nodiscard]] std::size_t members() const noexcept { return members_; }
+
+  /// Folded points currently retained across all counters (memory gauge).
+  [[nodiscard]] std::size_t pointsHeld() const noexcept;
+
+  /// Sorts each cloud into the canonical order and returns the entries.
+  /// The accumulator is spent afterwards.
+  [[nodiscard]] std::vector<MultiFoldEntry> finish();
+
+ private:
+  struct Accum;
+  std::vector<counters::CounterId> counterSet_;
+  FoldOptions options_;
+  std::vector<Accum> acc_;
+  std::size_t members_ = 0;
+  // Per-burst scratch, kept across add() calls to avoid reallocation.
+  std::vector<std::uint64_t> c0_;
+  std::vector<double> increment_;
+  std::vector<char> qualifies_;
+  std::vector<char> any_;
+};
 
 }  // namespace unveil::folding

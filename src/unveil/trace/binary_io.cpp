@@ -1,6 +1,7 @@
 #include "unveil/trace/binary_io.hpp"
 
 #include "unveil/trace/io.hpp"
+#include "unveil/trace/uvtb2_detail.hpp"
 
 #include <algorithm>
 #include <cstdint>
@@ -23,10 +24,6 @@
 namespace unveil::trace {
 
 namespace {
-
-constexpr char kMagicV1[] = "UVTB1\n";
-constexpr char kMagicV2[] = "UVTB2\n";
-constexpr std::size_t kMagicLen = 6;
 
 void putVarint(std::ostream& os, std::uint64_t v) {
   while (v >= 0x80) {
@@ -66,37 +63,6 @@ struct ByteWriter {
   }
 };
 
-/// Bounds-checked cursor over one rank's shard bytes.
-struct ByteReader {
-  const char* begin;
-  const char* p;
-  const char* end;
-
-  ByteReader(const char* b, const char* e) : begin(b), p(b), end(e) {}
-
-  [[nodiscard]] bool exhausted() const noexcept { return p == end; }
-  /// Bytes consumed so far — offset of the next (possibly failing) byte.
-  [[nodiscard]] std::uint64_t consumed() const noexcept {
-    return static_cast<std::uint64_t>(p - begin);
-  }
-  int get() {
-    if (p == end) throw TraceError("binary trace shard truncated");
-    return static_cast<unsigned char>(*p++);
-  }
-  std::uint64_t varint() {
-    std::uint64_t v = 0;
-    int shift = 0;
-    while (true) {
-      const int c = get();
-      v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
-      if ((c & 0x80) == 0) break;
-      shift += 7;
-      if (shift > 63) throw TraceError("binary trace varint overflow");
-    }
-    return v;
-  }
-};
-
 /// Per-rank delta state for timestamps and cumulative counters.
 struct RankDeltas {
   TimeNs lastTime = 0;
@@ -131,12 +97,6 @@ std::vector<std::pair<std::size_t, std::size_t>> rankRanges(
 // ---------------------------------------------------------------------------
 // V2 shard encode/decode (one rank, self-contained delta contexts)
 // ---------------------------------------------------------------------------
-
-struct ShardCounts {
-  std::uint64_t events = 0;
-  std::uint64_t samples = 0;
-  std::uint64_t states = 0;
-};
 
 std::string encodeShard(const Trace& trace, Rank rank,
                         std::pair<std::size_t, std::size_t> eventRange,
@@ -194,226 +154,15 @@ std::string encodeShard(const Trace& trace, Rank rank,
   return std::move(w.buf);
 }
 
-/// Decoded contents of one rank's shard.
-struct DecodedShard {
-  std::vector<Event> events;
-  std::vector<Sample> samples;
-  std::vector<StateInterval> states;
-};
-
-/// Smallest possible encodings, used to bound untrusted record counts
-/// against the bytes actually present before any allocation.
-constexpr std::uint64_t kMinEventBytes = 3 + counters::kNumCounters;
-constexpr std::uint64_t kMinSampleBytes = 3;  // all counters may be masked out
-constexpr std::uint64_t kMinStateBytes = 3;
-
-DecodedShard decodeShardBody(ByteReader& r, Rank rank, const ShardCounts& counts,
-                             TimeNs duration) {
-  DecodedShard out;
-  // The counts come from an untrusted shard table. They have been validated
-  // against the byte budget already, but clamp the reserves against the
-  // bytes actually in hand anyway — a reserve() must never be able to
-  // request more memory than the input paid for.
-  const auto budget = static_cast<std::uint64_t>(r.end - r.p);
-  out.events.reserve(std::min(counts.events, budget / kMinEventBytes));
-  out.samples.reserve(std::min(counts.samples, budget / kMinSampleBytes));
-  out.states.reserve(std::min(counts.states, budget / kMinStateBytes));
-  // Delta-decoded times are monotone by construction, so bounding them
-  // against the header duration only needs one compare per record; a
-  // violation is shard-local corruption, caught here so it can be
-  // attributed (and degraded) per shard instead of failing finalize().
-  const bool checkTime = duration > 0;
-  {
-    RankDeltas d;
-    for (std::uint64_t i = 0; i < counts.events; ++i) {
-      Event e;
-      e.rank = rank;
-      e.time = d.lastTime + r.varint();
-      d.lastTime = e.time;
-      if (checkTime && e.time > duration)
-        throw TraceError("binary event time exceeds trace duration");
-      const int kind = r.get();
-      if (kind > static_cast<int>(EventKind::MpiEnd))
-        throw TraceError("binary event kind invalid");
-      e.kind = static_cast<EventKind>(kind);
-      e.value = static_cast<std::uint32_t>(r.varint());
-      for (std::size_t c = 0; c < counters::kNumCounters; ++c)
-        e.counters.values[c] = d.lastCounters.values[c] + r.varint();
-      d.lastCounters = e.counters;
-      out.events.push_back(e);
-    }
-  }
-  {
-    RankDeltas d;
-    for (std::uint64_t i = 0; i < counts.samples; ++i) {
-      Sample s;
-      s.rank = rank;
-      s.time = d.lastTime + r.varint();
-      d.lastTime = s.time;
-      if (checkTime && s.time > duration)
-        throw TraceError("binary sample time exceeds trace duration");
-      const int mask = r.get();
-      if (mask > static_cast<int>(kAllCountersMask))
-        throw TraceError("binary sample mask invalid");
-      s.validMask = static_cast<CounterMask>(mask);
-      s.regionId = static_cast<std::uint32_t>(r.varint());
-      for (std::size_t c = 0; c < counters::kNumCounters; ++c) {
-        if (!maskHas(s.validMask, static_cast<counters::CounterId>(c))) continue;
-        s.counters.values[c] = d.lastCounters.values[c] + r.varint();
-        d.lastCounters.values[c] = s.counters.values[c];
-      }
-      out.samples.push_back(s);
-    }
-  }
-  {
-    TimeNs lastBegin = 0;
-    for (std::uint64_t i = 0; i < counts.states; ++i) {
-      StateInterval s;
-      s.rank = rank;
-      s.begin = lastBegin + r.varint();
-      s.end = s.begin + r.varint();
-      if (checkTime && s.end > duration)
-        throw TraceError("binary state interval exceeds trace duration");
-      const int state = r.get();
-      if (state > static_cast<int>(State::Idle))
-        throw TraceError("binary state code invalid");
-      s.state = static_cast<State>(state);
-      lastBegin = s.begin;
-      out.states.push_back(s);
-    }
-  }
-  if (!r.exhausted())
-    throw TraceError("binary trace shard has trailing bytes");
-  return out;
-}
-
-/// Decodes one shard, annotating any failure with shard/rank and the
-/// absolute file offset of the failing byte.
-DecodedShard decodeShard(ByteReader& r, Rank rank, const ShardCounts& counts,
-                         TimeNs duration, std::uint64_t shardFileOffset) {
-  try {
-    return decodeShardBody(r, rank, counts, duration);
-  } catch (const Error& e) {
-    support::rethrowTraceErrorWith(
-        e, support::ErrorContext{}
-               .with("shard", static_cast<std::uint64_t>(rank))
-               .with("rank", static_cast<std::uint64_t>(rank))
-               .with("offset", shardFileOffset + r.consumed()));
-  }
-}
-
-/// Counting wrapper over the header stream so errors (and shard drops) can
-/// report absolute file offsets even on non-seekable streams.
-struct CountingSource {
-  std::istream& is;
-  std::uint64_t consumed;
-
-  std::uint64_t varint() {
-    std::uint64_t v = 0;
-    int shift = 0;
-    while (true) {
-      const int c = is.get();
-      if (c == std::char_traits<char>::eof())
-        throw TraceError("binary trace truncated inside varint at offset " +
-                         std::to_string(consumed));
-      ++consumed;
-      v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
-      if ((c & 0x80) == 0) break;
-      shift += 7;
-      if (shift > 63)
-        throw TraceError("binary trace varint overflow at offset " +
-                         std::to_string(consumed));
-    }
-    return v;
-  }
-
-  /// Reads up to \p n bytes; returns the count actually read.
-  std::uint64_t readSome(char* dst, std::uint64_t n) {
-    is.read(dst, static_cast<std::streamsize>(n));
-    const auto got = static_cast<std::uint64_t>(is.gcount());
-    consumed += got;
-    return got;
-  }
-};
-
-std::uint64_t addChecked(std::uint64_t a, std::uint64_t b, const char* what) {
-  std::uint64_t out = 0;
-  if (__builtin_add_overflow(a, b, &out))
-    throw TraceError(std::string("binary trace ") + what + " overflows");
-  return out;
-}
-
 Trace readBinaryV2(std::istream& rawIs, const ReadOptions& options,
                    ReadReport* report) {
-  CountingSource src{rawIs, kMagicLen};  // magic already consumed by the caller
-  const auto nameLen = src.varint();
-  if (nameLen > 4096) throw TraceError("binary trace app name too long");
-  std::string name(nameLen, '\0');
-  if (src.readSome(name.data(), nameLen) != nameLen)
-    throw TraceError("binary trace truncated in app name");
-  const auto rankCount = src.varint();
-  if (rankCount == 0) throw TraceError("binary trace has zero ranks");
-  if (rankCount > (1u << 24))
-    throw TraceError("binary trace rank count implausible");
-  const auto ranks = static_cast<Rank>(rankCount);
-  const auto duration = src.varint();
-  const auto nEvents = src.varint();
-  const auto nSamples = src.varint();
-  const auto nStates = src.varint();
-  if (report) report->totalRanks = ranks;
-
-  // Shard table: per-rank record counts and encoded byte length. Every
-  // field is untrusted. Structural rules (checked sums, header agreement)
-  // are fatal: if the table itself is inconsistent, no shard boundary can
-  // be believed. A count that cannot fit in its shard's byte budget is
-  // shard-local — the budget caps what the decode stage may allocate, so
-  // such a shard is failed (and in non-strict mode skipped) without ever
-  // reserving what it claims.
-  //
-  // The per-rank vectors grow with the table as it is read (each entry
-  // consumes at least 4 stream bytes), not from the claimed rank count: a
-  // tiny file claiming 2^24 ranks fails on truncation after a few entries
-  // instead of allocating gigabytes up front.
-  std::vector<ShardCounts> counts;
-  std::vector<std::uint64_t> shardBytes;
-  std::vector<std::string> failures;
-  const auto reserveHint = static_cast<std::size_t>(std::min<std::uint64_t>(rankCount, 4096));
-  counts.reserve(reserveHint);
-  shardBytes.reserve(reserveHint);
-  failures.reserve(reserveHint);
-  std::uint64_t totalEvents = 0, totalSamples = 0, totalStates = 0,
-                totalBytes = 0;
-  for (Rank r = 0; r < ranks; ++r) {
-    counts.emplace_back();
-    shardBytes.emplace_back();
-    failures.emplace_back();
-    counts[r].events = src.varint();
-    counts[r].samples = src.varint();
-    counts[r].states = src.varint();
-    shardBytes[r] = src.varint();
-    if (shardBytes[r] > (std::uint64_t{1} << 48))
-      throw TraceError("binary trace shard byte length implausible (shard " +
-                       std::to_string(r) + ")");
-    totalEvents = addChecked(totalEvents, counts[r].events, "event count");
-    totalSamples = addChecked(totalSamples, counts[r].samples, "sample count");
-    totalStates = addChecked(totalStates, counts[r].states, "state count");
-    totalBytes = addChecked(totalBytes, shardBytes[r], "shard byte total");
-    if (counts[r].events > shardBytes[r] / kMinEventBytes ||
-        counts[r].samples > shardBytes[r] / kMinSampleBytes ||
-        counts[r].states > shardBytes[r] / kMinStateBytes) {
-      failures[r] = "shard table claims more records than its " +
-                    std::to_string(shardBytes[r]) +
-                    " byte budget can encode [shard=" + std::to_string(r) +
-                    ", rank=" + std::to_string(r) + "]";
-    }
-  }
-  if (totalEvents != nEvents || totalSamples != nSamples || totalStates != nStates)
-    throw TraceError("binary trace shard table disagrees with header counts");
-  const std::uint64_t dataStart = src.consumed;
-  if (options.strict) {
-    for (Rank r = 0; r < ranks; ++r)
-      if (!failures[r].empty()) throw TraceError(failures[r]);
-  }
+  // magic already consumed by the caller
+  detail::CountingSource src{rawIs, detail::kMagicLen};
+  const detail::V2Header h = detail::readV2Header(src, options);
+  if (report) report->totalRanks = h.ranks;
+  const Rank ranks = h.ranks;
+  // Mutable copy: decode failures join the table-budget failures below.
+  std::vector<std::string> failures = h.failures;
 
   // Shard data. Read in bounded chunks instead of sizing the buffer from
   // the (untrusted) byte total upfront: memory grows only as bytes actually
@@ -421,10 +170,10 @@ Trace readBinaryV2(std::istream& rawIs, const ReadOptions& options,
   // as soon as the stream runs dry.
   std::string blob;
   constexpr std::uint64_t kChunk = 4u << 20;
-  blob.reserve(static_cast<std::size_t>(std::min(totalBytes, kChunk)));
+  blob.reserve(static_cast<std::size_t>(std::min(h.totalBytes, kChunk)));
   std::uint64_t blobGot = 0;
-  while (blobGot < totalBytes) {
-    const std::uint64_t want = std::min(kChunk, totalBytes - blobGot);
+  while (blobGot < h.totalBytes) {
+    const std::uint64_t want = std::min(kChunk, h.totalBytes - blobGot);
     blob.resize(static_cast<std::size_t>(blobGot + want));
     const std::uint64_t got = src.readSome(blob.data() + blobGot, want);
     blobGot += got;
@@ -433,11 +182,11 @@ Trace readBinaryV2(std::istream& rawIs, const ReadOptions& options,
       break;
     }
   }
-  if (blobGot < totalBytes && options.strict)
+  if (blobGot < h.totalBytes && options.strict)
     throw TraceError("binary trace truncated in shard data (have " +
                      std::to_string(blobGot) + " of " +
-                     std::to_string(totalBytes) + " bytes)");
-  if (blobGot == totalBytes) {
+                     std::to_string(h.totalBytes) + " bytes)");
+  if (blobGot == h.totalBytes) {
     // The shard table accounts for every remaining byte; anything after it
     // means the file was appended to or mis-framed (e.g. concatenated
     // traces). Fatal in strict mode, warned in degrade mode — the shards
@@ -455,22 +204,21 @@ Trace readBinaryV2(std::istream& rawIs, const ReadOptions& options,
   // slot, then append in rank order — the decoded trace is identical for
   // any thread count. Failures are captured per slot: strict mode rethrows
   // the lowest-rank one, non-strict drops those shards and proceeds.
-  std::vector<std::uint64_t> offsets(ranks, 0);
-  for (Rank r = 1; r < ranks; ++r) offsets[r] = offsets[r - 1] + shardBytes[r - 1];
+  const auto& offsets = h.offsets;
   for (Rank r = 0; r < ranks; ++r) {
-    if (failures[r].empty() && offsets[r] + shardBytes[r] > blobGot)
+    if (failures[r].empty() && offsets[r] + h.shardBytes[r] > blobGot)
       failures[r] = "shard data truncated [shard=" + std::to_string(r) +
                     ", rank=" + std::to_string(r) +
-                    ", offset=" + std::to_string(dataStart + offsets[r]) + "]";
+                    ", offset=" + std::to_string(h.dataStart + offsets[r]) + "]";
   }
-  std::vector<DecodedShard> shards(ranks);
+  std::vector<detail::DecodedShard> shards(ranks);
   support::globalPool().parallelFor(ranks, [&](std::size_t r) {
     if (!failures[r].empty()) return;
-    ByteReader reader(blob.data() + offsets[r],
-                      blob.data() + offsets[r] + shardBytes[r]);
+    detail::ByteReader reader(blob.data() + offsets[r],
+                              blob.data() + offsets[r] + h.shardBytes[r]);
     try {
-      shards[r] = decodeShard(reader, static_cast<Rank>(r), counts[r], duration,
-                              dataStart + offsets[r]);
+      shards[r] = detail::decodeShard(reader, static_cast<Rank>(r), h.counts[r],
+                                      h.durationNs, h.dataStart + offsets[r]);
     } catch (const Error& e) {
       failures[r] = support::strippedMessage(e);
     }
@@ -481,29 +229,15 @@ Trace readBinaryV2(std::istream& rawIs, const ReadOptions& options,
     if (failures[r].empty()) continue;
     if (options.strict) throw TraceError(failures[r]);
     ++dropped;
-    support::logWarn("skipping corrupt trace shard: " + failures[r]);
-    support::flightRecord(support::FlightKind::ShardDrop, failures[r]);
-    if (report)
-      report->droppedShards.push_back(
-          {r, dataStart + offsets[r], failures[r]});
+    detail::noteShardDrop(r, h.dataStart + offsets[r], failures[r], report);
   }
   if (dropped == ranks)
     throw TraceError("all " + std::to_string(ranks) +
                      " shards corrupt; first: " + failures[0]);
-  if (dropped > 0) {
-    telemetry::count("trace.shards_dropped", dropped);
-    // Degraded-but-continuing is exactly the situation a later "why were
-    // those shards bad" investigation needs context for; snapshot the ring
-    // (which now holds the per-shard failure reasons) while it is fresh.
-    auto& recorder = support::FlightRecorder::instance();
-    if (recorder.enabled() && recorder.dumpOnDegradation()) {
-      if (recorder.dump("shard-degradation"))
-        support::logWarn("flight recorder -> " + recorder.dumpPath());
-    }
-  }
+  detail::noteDegradedRead(dropped);
 
-  Trace trace(name, ranks);
-  trace.setDurationNs(duration);
+  Trace trace(h.appName, ranks);
+  trace.setDurationNs(h.durationNs);
   for (auto& shard : shards) {
     for (auto& e : shard.events) trace.addEvent(e);
     for (auto& s : shard.samples) trace.addSample(s);
@@ -624,7 +358,7 @@ void writeBinary(const Trace& trace, std::ostream& os) {
                             sampleRanges[r], stateRanges[r]);
   });
 
-  os.write(kMagicV2, kMagicLen);
+  os.write(detail::kMagicV2, detail::kMagicLen);
   putVarint(os, trace.appName().size());
   os.write(trace.appName().data(),
            static_cast<std::streamsize>(trace.appName().size()));
@@ -646,15 +380,16 @@ void writeBinary(const Trace& trace, std::ostream& os) {
 Trace readBinary(std::istream& is, const ReadOptions& options,
                  ReadReport* report) {
   telemetry::Span span("trace.read_binary");
-  char magic[kMagicLen];
-  is.read(magic, kMagicLen);
-  if (is.gcount() != static_cast<std::streamsize>(kMagicLen))
+  char magic[detail::kMagicLen];
+  is.read(magic, detail::kMagicLen);
+  if (is.gcount() != static_cast<std::streamsize>(detail::kMagicLen))
     throw TraceError("not a binary unveil trace (bad magic)");
-  const std::string_view seen(magic, kMagicLen);
+  const std::string_view seen(magic, detail::kMagicLen);
   Trace trace = [&] {
-    if (seen == std::string_view(kMagicV2, kMagicLen))
+    if (seen == std::string_view(detail::kMagicV2, detail::kMagicLen))
       return readBinaryV2(is, options, report);
-    if (seen == std::string_view(kMagicV1, kMagicLen)) return readBinaryV1(is);
+    if (seen == std::string_view(detail::kMagicV1, detail::kMagicLen))
+      return readBinaryV1(is);
     throw TraceError("not a binary unveil trace (bad magic)");
   }();
   const auto stats = trace.stats();

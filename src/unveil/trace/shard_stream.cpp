@@ -1,0 +1,232 @@
+#include "unveil/trace/shard_stream.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/error_context.hpp"
+#include "unveil/support/log.hpp"
+#include "unveil/support/telemetry.hpp"
+#include "unveil/trace/uvtb2_detail.hpp"
+
+namespace unveil::trace {
+
+bool isShardStreamable(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  char magic[detail::kMagicLen];
+  f.read(magic, detail::kMagicLen);
+  if (f.gcount() != static_cast<std::streamsize>(detail::kMagicLen)) return false;
+  return std::string_view(magic, detail::kMagicLen) ==
+         std::string_view(detail::kMagicV2, detail::kMagicLen);
+}
+
+/// Stream state. Owns the file plus the optional fault-injection wrapper
+/// (the wrapper keeps a raw pointer into the ifstream's rdbuf, so member
+/// declaration order is load-bearing here).
+struct ShardStreamReader::Impl {
+  std::string path;
+  StreamOptions options;
+  std::ifstream file;
+  std::optional<support::FaultyStreamBuf> faultBuf;
+  std::optional<std::istream> faultStream;
+  std::optional<detail::CountingSource> src;
+  detail::V2Header h;
+  Rank nextRank = 0;
+  std::uint64_t blobGot = 0;    ///< Blob bytes actually read so far.
+  bool streamDry = false;       ///< Hit EOF inside the blob.
+  bool finished = false;        ///< End-of-stream bookkeeping done.
+  std::size_t survived = 0;
+  std::size_t dropped = 0;
+  std::string firstFailure;
+
+  [[noreturn]] void throwWithFile(const Error& e) const {
+    support::rethrowTraceErrorWith(e,
+                                   support::ErrorContext{}.with("file", path));
+  }
+
+  [[nodiscard]] std::string truncatedReason(Rank r) const {
+    return "shard data truncated [shard=" + std::to_string(r) +
+           ", rank=" + std::to_string(r) +
+           ", offset=" + std::to_string(h.dataStart + h.offsets[r]) + "]";
+  }
+};
+
+ShardStreamReader::ShardStreamReader(const std::string& path,
+                                     StreamOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->path = path;
+  impl_->options = options;
+  impl_->file.open(path, std::ios::binary);
+  if (!impl_->file) throw Error("cannot open for reading: " + path);
+  // Per-request fault spec wins over the process-wide one; both wrap the
+  // raw rdbuf exactly like readBinaryFile so injected faults hit the same
+  // byte positions in either reader.
+  std::optional<support::FaultSpec> spec = options.fault;
+  if (!spec) spec = support::activeFaultSpec();
+  std::istream* is = &impl_->file;
+  if (spec && spec->any()) {
+    impl_->faultBuf.emplace(impl_->file.rdbuf(), *spec);
+    impl_->faultStream.emplace(&*impl_->faultBuf);
+    is = &*impl_->faultStream;
+  }
+  try {
+    char magic[detail::kMagicLen];
+    is->read(magic, detail::kMagicLen);
+    if (is->gcount() != static_cast<std::streamsize>(detail::kMagicLen))
+      throw TraceError("not a binary unveil trace (bad magic)");
+    const std::string_view seen(magic, detail::kMagicLen);
+    if (seen == std::string_view(detail::kMagicV1, detail::kMagicLen))
+      throw TraceError(
+          "UVTB1 traces interleave ranks and cannot be shard-streamed; "
+          "use the batch reader");
+    if (seen != std::string_view(detail::kMagicV2, detail::kMagicLen))
+      throw TraceError("not a binary unveil trace (bad magic)");
+    impl_->src.emplace(detail::CountingSource{*is, detail::kMagicLen});
+    impl_->h = detail::readV2Header(*impl_->src, options.read);
+  } catch (const Error& e) {
+    impl_->throwWithFile(e);
+  }
+  header_.appName = impl_->h.appName;
+  header_.ranks = impl_->h.ranks;
+  header_.durationNs = impl_->h.durationNs;
+  header_.events = impl_->h.nEvents;
+  header_.samples = impl_->h.nSamples;
+  header_.states = impl_->h.nStates;
+  report_.totalRanks = impl_->h.ranks;
+}
+
+ShardStreamReader::~ShardStreamReader() = default;
+
+std::optional<ShardStreamReader::Shard> ShardStreamReader::next() {
+  Impl& im = *impl_;
+  const detail::V2Header& h = im.h;
+  if (im.nextRank >= h.ranks) return std::nullopt;
+  telemetry::Span span("trace.read_shard");
+  const Rank r = im.nextRank++;
+  span.attr("shard", static_cast<std::uint64_t>(r));
+
+  Shard out;
+  out.rank = r;
+  out.offset = h.dataStart + h.offsets[r];
+  out.bytes = h.shardBytes[r];
+
+  std::string failure = h.failures[r];  // table-budget violation, if any
+  std::string blob;
+  if (im.streamDry) {
+    // An earlier short read exhausted the file; every later shard is gone.
+    if (failure.empty()) failure = im.truncatedReason(r);
+  } else {
+    // The shard's bytes must be consumed even when the table already failed
+    // it — later shards live at fixed offsets behind them.
+    blob.resize(static_cast<std::size_t>(h.shardBytes[r]));
+    const std::uint64_t got = im.src->readSome(blob.data(), h.shardBytes[r]);
+    im.blobGot += got;
+    if (got < h.shardBytes[r]) {
+      im.streamDry = true;
+      if (im.options.read.strict) {
+        // Batch reads the whole blob first, so its "have N of M" counts all
+        // bytes present; a short read here means EOF, so the totals agree.
+        try {
+          throw TraceError("binary trace truncated in shard data (have " +
+                           std::to_string(im.blobGot) + " of " +
+                           std::to_string(h.totalBytes) + " bytes)");
+        } catch (const Error& e) {
+          im.throwWithFile(e);
+        }
+      }
+      if (failure.empty()) failure = im.truncatedReason(r);
+    }
+  }
+
+  if (failure.empty()) {
+    detail::ByteReader reader(blob.data(), blob.data() + blob.size());
+    try {
+      detail::DecodedShard d = detail::decodeShard(
+          reader, r, h.counts[r], h.durationNs, out.offset);
+      // The encoded bytes are spent; free them before building the trace so
+      // the peak while this shard is resident is decoded + trace, not
+      // decoded + trace + blob (this reader's whole job is a tight bound).
+      blob.clear();
+      blob.shrink_to_fit();
+      // A single-rank trace that still declares the full rank count: burst
+      // ranks, SPMD scoring and rank-range bookkeeping downstream must see
+      // the same world a batch read produces.
+      Trace t(h.appName, h.ranks);
+      t.setDurationNs(h.durationNs);
+      for (auto& e : d.events) t.addEvent(e);
+      d.events.clear();
+      d.events.shrink_to_fit();
+      for (auto& s : d.samples) t.addSample(s);
+      d.samples.clear();
+      d.samples.shrink_to_fit();
+      for (auto& s : d.states) t.addState(s);
+      d.states.clear();
+      d.states.shrink_to_fit();
+      t.finalize();
+      out.trace = std::move(t);
+    } catch (const Error& e) {
+      failure = support::strippedMessage(e);
+    }
+  }
+
+  if (!failure.empty()) {
+    if (im.options.read.strict) {
+      try {
+        throw TraceError(failure);
+      } catch (const Error& e) {
+        im.throwWithFile(e);
+      }
+    }
+    ++im.dropped;
+    if (im.firstFailure.empty()) im.firstFailure = failure;
+    if (im.options.quietDrops) {
+      report_.droppedShards.push_back({r, out.offset, failure});
+    } else {
+      detail::noteShardDrop(r, out.offset, failure, &report_);
+    }
+    out.dropped = true;
+    out.dropReason = failure;
+  } else {
+    ++im.survived;
+    span.attr("records", out.trace.events().size() +
+                             out.trace.samples().size() +
+                             out.trace.states().size());
+  }
+
+  if (im.nextRank >= h.ranks && !im.finished) {
+    im.finished = true;
+    if (im.survived == 0) {
+      try {
+        throw TraceError("all " + std::to_string(h.ranks) +
+                         " shards corrupt; first: " + im.firstFailure);
+      } catch (const Error& e) {
+        im.throwWithFile(e);
+      }
+    }
+    if (!im.streamDry) {
+      // The shard table accounts for every remaining byte; anything after
+      // it means the file was appended to or mis-framed. Fatal in strict
+      // mode, warned in degrade mode — the shards themselves are intact.
+      char extra = 0;
+      if (im.src->readSome(&extra, 1) == 1) {
+        if (im.options.read.strict) {
+          try {
+            throw TraceError("trailing garbage after shard data at offset " +
+                             std::to_string(im.src->consumed - 1));
+          } catch (const Error& e) {
+            im.throwWithFile(e);
+          }
+        }
+        if (!im.options.quietDrops)
+          support::logWarn(
+              "binary trace has trailing garbage after shard data; ignored");
+      }
+    }
+    if (!im.options.quietDrops) detail::noteDegradedRead(im.dropped);
+  }
+  return out;
+}
+
+}  // namespace unveil::trace

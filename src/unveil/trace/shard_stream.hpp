@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file shard_stream.hpp
+/// Incremental UVTB2 shard reader — the trace-layer half of the streaming
+/// engine (analysis/streaming.hpp).
+///
+/// readBinaryFile() materializes the whole trace: every shard's blob bytes
+/// and every decoded record are resident at once, so peak memory is O(trace).
+/// ShardStreamReader instead parses the header + shard table up front and
+/// then yields one decoded shard at a time; only the current shard's bytes
+/// and records are ever held, so a consumer that processes-and-drops each
+/// shard runs in O(largest shard) memory no matter how many ranks the trace
+/// has.
+///
+/// Degradation semantics mirror the batch reader exactly (same validation
+/// rules, same failure strings — both delegate to trace::detail): structural
+/// damage throws; with strict=false a corrupt shard comes back as a
+/// dropped-Shard record and the stream continues; strict mode throws at the
+/// first bad shard. When every shard drops, next() throws the same
+/// "all N shards corrupt" error batch reads produce.
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "unveil/support/faulty_stream.hpp"
+#include "unveil/trace/binary_io.hpp"
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::trace {
+
+/// True when \p path starts with the UVTB2 magic, i.e. ShardStreamReader
+/// can stream it. False for text traces, legacy UVTB1 and unreadable files
+/// — callers use this to pick streaming vs the batch reader.
+[[nodiscard]] bool isShardStreamable(const std::string& path);
+
+/// Trace-level metadata from the UVTB2 header (known before any shard).
+struct StreamHeader {
+  std::string appName;
+  Rank ranks = 0;           ///< Total ranks == total shards.
+  TimeNs durationNs = 0;
+  std::uint64_t events = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t states = 0;
+};
+
+/// Extra knobs for ShardStreamReader beyond the shared ReadOptions.
+struct StreamOptions {
+  ReadOptions read;
+  /// Per-request I/O fault injection: when set, the file stream is wrapped
+  /// in a FaultyStreamBuf with this spec. When unset, the process-wide
+  /// UNVEIL_FAULT_SPEC (support::activeFaultSpec) applies, matching
+  /// readBinaryFile. The daemon uses this to scope an injected fault to one
+  /// request instead of the whole process.
+  std::optional<support::FaultSpec> fault;
+  /// Suppress the per-drop warn/flight-record/telemetry side effects. The
+  /// streaming engine's second pass re-reads a file it already reported on;
+  /// without this every drop would be double-counted.
+  bool quietDrops = false;
+};
+
+class ShardStreamReader {
+ public:
+  /// Opens \p path, parses magic + header + shard table. Throws TraceError
+  /// on structural damage (annotated with [file=...]) and on the legacy
+  /// UVTB1 format, which has interleaved rank streams and cannot be
+  /// shard-streamed — callers fall back to the batch reader for it.
+  explicit ShardStreamReader(const std::string& path, StreamOptions options = {});
+  ~ShardStreamReader();
+  ShardStreamReader(ShardStreamReader&&) = delete;
+  ShardStreamReader& operator=(ShardStreamReader&&) = delete;
+
+  [[nodiscard]] const StreamHeader& header() const noexcept { return header_; }
+
+  /// One decoded shard. The trace is finalized, carries the *full* rank
+  /// count (so burst ranks, SPMD scoring and per-rank bookkeeping agree
+  /// with a batch read) but holds only this rank's records.
+  struct Shard {
+    Rank rank = 0;
+    Trace trace{"", 1};
+    bool dropped = false;      ///< Decode failed and strict=false.
+    std::string dropReason;    ///< Failure string when dropped.
+    std::uint64_t offset = 0;  ///< Absolute file offset of the shard data.
+    std::uint64_t bytes = 0;   ///< Encoded size on disk.
+  };
+
+  /// Decodes and returns the next shard in rank order; nullopt after the
+  /// last. Strict mode throws on the first corrupt shard; otherwise corrupt
+  /// shards are returned with dropped=true. Throws "all N shards corrupt"
+  /// (like the batch reader) when the final shard drops and none survived.
+  [[nodiscard]] std::optional<Shard> next();
+
+  /// Drops observed so far (totalRanks is filled from the header).
+  [[nodiscard]] const ReadReport& report() const noexcept { return report_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  StreamHeader header_;
+  ReadReport report_;
+};
+
+}  // namespace unveil::trace

@@ -1,0 +1,215 @@
+#include "unveil/trace/uvtb2_detail.hpp"
+
+#include <algorithm>
+
+#include "unveil/support/error_context.hpp"
+#include "unveil/support/flight_recorder.hpp"
+#include "unveil/support/log.hpp"
+#include "unveil/support/telemetry.hpp"
+
+namespace unveil::trace::detail {
+
+namespace {
+
+/// Per-rank delta state for timestamps and cumulative counters.
+struct RankDeltas {
+  TimeNs lastTime = 0;
+  counters::CounterSet lastCounters;
+};
+
+DecodedShard decodeShardBody(ByteReader& r, Rank rank, const ShardCounts& counts,
+                             TimeNs duration) {
+  DecodedShard out;
+  // The counts come from an untrusted shard table. They have been validated
+  // against the byte budget already, but clamp the reserves against the
+  // bytes actually in hand anyway — a reserve() must never be able to
+  // request more memory than the input paid for.
+  const auto budget = static_cast<std::uint64_t>(r.end - r.p);
+  out.events.reserve(std::min(counts.events, budget / kMinEventBytes));
+  out.samples.reserve(std::min(counts.samples, budget / kMinSampleBytes));
+  out.states.reserve(std::min(counts.states, budget / kMinStateBytes));
+  // Delta-decoded times are monotone by construction, so bounding them
+  // against the header duration only needs one compare per record; a
+  // violation is shard-local corruption, caught here so it can be
+  // attributed (and degraded) per shard instead of failing finalize().
+  const bool checkTime = duration > 0;
+  {
+    RankDeltas d;
+    for (std::uint64_t i = 0; i < counts.events; ++i) {
+      Event e;
+      e.rank = rank;
+      e.time = d.lastTime + r.varint();
+      d.lastTime = e.time;
+      if (checkTime && e.time > duration)
+        throw TraceError("binary event time exceeds trace duration");
+      const int kind = r.get();
+      if (kind > static_cast<int>(EventKind::MpiEnd))
+        throw TraceError("binary event kind invalid");
+      e.kind = static_cast<EventKind>(kind);
+      e.value = static_cast<std::uint32_t>(r.varint());
+      for (std::size_t c = 0; c < counters::kNumCounters; ++c)
+        e.counters.values[c] = d.lastCounters.values[c] + r.varint();
+      d.lastCounters = e.counters;
+      out.events.push_back(e);
+    }
+  }
+  {
+    RankDeltas d;
+    for (std::uint64_t i = 0; i < counts.samples; ++i) {
+      Sample s;
+      s.rank = rank;
+      s.time = d.lastTime + r.varint();
+      d.lastTime = s.time;
+      if (checkTime && s.time > duration)
+        throw TraceError("binary sample time exceeds trace duration");
+      const int mask = r.get();
+      if (mask > static_cast<int>(kAllCountersMask))
+        throw TraceError("binary sample mask invalid");
+      s.validMask = static_cast<CounterMask>(mask);
+      s.regionId = static_cast<std::uint32_t>(r.varint());
+      for (std::size_t c = 0; c < counters::kNumCounters; ++c) {
+        if (!maskHas(s.validMask, static_cast<counters::CounterId>(c))) continue;
+        s.counters.values[c] = d.lastCounters.values[c] + r.varint();
+        d.lastCounters.values[c] = s.counters.values[c];
+      }
+      out.samples.push_back(s);
+    }
+  }
+  {
+    TimeNs lastBegin = 0;
+    for (std::uint64_t i = 0; i < counts.states; ++i) {
+      StateInterval s;
+      s.rank = rank;
+      s.begin = lastBegin + r.varint();
+      s.end = s.begin + r.varint();
+      if (checkTime && s.end > duration)
+        throw TraceError("binary state interval exceeds trace duration");
+      const int state = r.get();
+      if (state > static_cast<int>(State::Idle))
+        throw TraceError("binary state code invalid");
+      s.state = static_cast<State>(state);
+      lastBegin = s.begin;
+      out.states.push_back(s);
+    }
+  }
+  if (!r.exhausted())
+    throw TraceError("binary trace shard has trailing bytes");
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t addChecked(std::uint64_t a, std::uint64_t b, const char* what) {
+  std::uint64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out))
+    throw TraceError(std::string("binary trace ") + what + " overflows");
+  return out;
+}
+
+DecodedShard decodeShard(ByteReader& r, Rank rank, const ShardCounts& counts,
+                         TimeNs duration, std::uint64_t shardFileOffset) {
+  try {
+    return decodeShardBody(r, rank, counts, duration);
+  } catch (const Error& e) {
+    support::rethrowTraceErrorWith(
+        e, support::ErrorContext{}
+               .with("shard", static_cast<std::uint64_t>(rank))
+               .with("rank", static_cast<std::uint64_t>(rank))
+               .with("offset", shardFileOffset + r.consumed()));
+  }
+}
+
+V2Header readV2Header(CountingSource& src, const ReadOptions& options) {
+  V2Header h;
+  const auto nameLen = src.varint();
+  if (nameLen > 4096) throw TraceError("binary trace app name too long");
+  h.appName.assign(nameLen, '\0');
+  if (src.readSome(h.appName.data(), nameLen) != nameLen)
+    throw TraceError("binary trace truncated in app name");
+  const auto rankCount = src.varint();
+  if (rankCount == 0) throw TraceError("binary trace has zero ranks");
+  if (rankCount > (1u << 24))
+    throw TraceError("binary trace rank count implausible");
+  h.ranks = static_cast<Rank>(rankCount);
+  h.durationNs = src.varint();
+  h.nEvents = src.varint();
+  h.nSamples = src.varint();
+  h.nStates = src.varint();
+
+  // Shard table: per-rank record counts and encoded byte length. Every
+  // field is untrusted. Structural rules (checked sums, header agreement)
+  // are fatal: if the table itself is inconsistent, no shard boundary can
+  // be believed. A count that cannot fit in its shard's byte budget is
+  // shard-local — the budget caps what the decode stage may allocate, so
+  // such a shard is failed (and in non-strict mode skipped) without ever
+  // reserving what it claims.
+  //
+  // The per-rank vectors grow with the table as it is read (each entry
+  // consumes at least 4 stream bytes), not from the claimed rank count: a
+  // tiny file claiming 2^24 ranks fails on truncation after a few entries
+  // instead of allocating gigabytes up front.
+  const auto reserveHint =
+      static_cast<std::size_t>(std::min<std::uint64_t>(rankCount, 4096));
+  h.counts.reserve(reserveHint);
+  h.shardBytes.reserve(reserveHint);
+  h.failures.reserve(reserveHint);
+  std::uint64_t totalEvents = 0, totalSamples = 0, totalStates = 0;
+  for (Rank r = 0; r < h.ranks; ++r) {
+    h.counts.emplace_back();
+    h.shardBytes.emplace_back();
+    h.failures.emplace_back();
+    h.counts[r].events = src.varint();
+    h.counts[r].samples = src.varint();
+    h.counts[r].states = src.varint();
+    h.shardBytes[r] = src.varint();
+    if (h.shardBytes[r] > (std::uint64_t{1} << 48))
+      throw TraceError("binary trace shard byte length implausible (shard " +
+                       std::to_string(r) + ")");
+    totalEvents = addChecked(totalEvents, h.counts[r].events, "event count");
+    totalSamples = addChecked(totalSamples, h.counts[r].samples, "sample count");
+    totalStates = addChecked(totalStates, h.counts[r].states, "state count");
+    h.totalBytes = addChecked(h.totalBytes, h.shardBytes[r], "shard byte total");
+    if (h.counts[r].events > h.shardBytes[r] / kMinEventBytes ||
+        h.counts[r].samples > h.shardBytes[r] / kMinSampleBytes ||
+        h.counts[r].states > h.shardBytes[r] / kMinStateBytes) {
+      h.failures[r] = "shard table claims more records than its " +
+                      std::to_string(h.shardBytes[r]) +
+                      " byte budget can encode [shard=" + std::to_string(r) +
+                      ", rank=" + std::to_string(r) + "]";
+    }
+  }
+  if (totalEvents != h.nEvents || totalSamples != h.nSamples ||
+      totalStates != h.nStates)
+    throw TraceError("binary trace shard table disagrees with header counts");
+  h.dataStart = src.consumed;
+  if (options.strict) {
+    for (Rank r = 0; r < h.ranks; ++r)
+      if (!h.failures[r].empty()) throw TraceError(h.failures[r]);
+  }
+  h.offsets.assign(h.ranks, 0);
+  for (Rank r = 1; r < h.ranks; ++r)
+    h.offsets[r] = h.offsets[r - 1] + h.shardBytes[r - 1];
+  return h;
+}
+
+void noteShardDrop(Rank rank, std::uint64_t absoluteOffset,
+                   const std::string& reason, ReadReport* report) {
+  support::logWarn("skipping corrupt trace shard: " + reason);
+  support::flightRecord(support::FlightKind::ShardDrop, reason);
+  if (report) report->droppedShards.push_back({rank, absoluteOffset, reason});
+}
+
+void noteDegradedRead(std::size_t dropped) {
+  if (dropped == 0) return;
+  telemetry::count("trace.shards_dropped", dropped);
+  // Degraded-but-continuing is exactly the situation a later "why were
+  // those shards bad" investigation needs context for; snapshot the ring
+  // (which now holds the per-shard failure reasons) while it is fresh.
+  auto& recorder = support::FlightRecorder::instance();
+  if (recorder.enabled() && recorder.dumpOnDegradation()) {
+    if (recorder.dump("shard-degradation"))
+      support::logWarn("flight recorder -> " + recorder.dumpPath());
+  }
+}
+
+}  // namespace unveil::trace::detail

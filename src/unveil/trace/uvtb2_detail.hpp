@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file uvtb2_detail.hpp
+/// Internal UVTB2 decode machinery shared by the batch reader (binary_io.cpp)
+/// and the incremental shard reader (shard_stream.cpp).
+///
+/// Not part of the public trace API — everything here deals in raw shard
+/// bytes and untrusted on-disk integers. The two readers must agree byte for
+/// byte on validation rules and failure messages (the CLI's degraded-mode
+/// warnings are part of the batch/streaming bit-identity contract), which is
+/// why this lives in one place instead of two anonymous namespaces.
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "unveil/counters/counter.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/trace/binary_io.hpp"
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::trace::detail {
+
+inline constexpr char kMagicV1[] = "UVTB1\n";
+inline constexpr char kMagicV2[] = "UVTB2\n";
+inline constexpr std::size_t kMagicLen = 6;
+
+/// Smallest possible encodings, used to bound untrusted record counts
+/// against the bytes actually present before any allocation.
+inline constexpr std::uint64_t kMinEventBytes = 3 + counters::kNumCounters;
+inline constexpr std::uint64_t kMinSampleBytes = 3;  // counters may be masked out
+inline constexpr std::uint64_t kMinStateBytes = 3;
+
+/// Bounds-checked cursor over one rank's shard bytes.
+struct ByteReader {
+  const char* begin;
+  const char* p;
+  const char* end;
+
+  ByteReader(const char* b, const char* e) : begin(b), p(b), end(e) {}
+
+  [[nodiscard]] bool exhausted() const noexcept { return p == end; }
+  /// Bytes consumed so far — offset of the next (possibly failing) byte.
+  [[nodiscard]] std::uint64_t consumed() const noexcept {
+    return static_cast<std::uint64_t>(p - begin);
+  }
+  int get() {
+    if (p == end) throw TraceError("binary trace shard truncated");
+    return static_cast<unsigned char>(*p++);
+  }
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const int c = get();
+      v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+      if ((c & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63) throw TraceError("binary trace varint overflow");
+    }
+    return v;
+  }
+};
+
+/// Per-rank record counts from the shard table.
+struct ShardCounts {
+  std::uint64_t events = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t states = 0;
+};
+
+/// Decoded contents of one rank's shard.
+struct DecodedShard {
+  std::vector<Event> events;
+  std::vector<Sample> samples;
+  std::vector<StateInterval> states;
+};
+
+/// Counting wrapper over the header stream so errors (and shard drops) can
+/// report absolute file offsets even on non-seekable streams.
+struct CountingSource {
+  std::istream& is;
+  std::uint64_t consumed;
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const int c = is.get();
+      if (c == std::char_traits<char>::eof())
+        throw TraceError("binary trace truncated inside varint at offset " +
+                         std::to_string(consumed));
+      ++consumed;
+      v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+      if ((c & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63)
+        throw TraceError("binary trace varint overflow at offset " +
+                         std::to_string(consumed));
+    }
+    return v;
+  }
+
+  /// Reads up to \p n bytes; returns the count actually read.
+  std::uint64_t readSome(char* dst, std::uint64_t n) {
+    is.read(dst, static_cast<std::streamsize>(n));
+    const auto got = static_cast<std::uint64_t>(is.gcount());
+    consumed += got;
+    return got;
+  }
+};
+
+/// Overflow-checked sum for untrusted on-disk totals.
+[[nodiscard]] std::uint64_t addChecked(std::uint64_t a, std::uint64_t b,
+                                       const char* what);
+
+/// Decodes one shard, annotating any failure with shard/rank and the
+/// absolute file offset of the failing byte.
+[[nodiscard]] DecodedShard decodeShard(ByteReader& r, Rank rank,
+                                       const ShardCounts& counts,
+                                       TimeNs duration,
+                                       std::uint64_t shardFileOffset);
+
+/// Parsed V2 header + shard table — everything that precedes the shard blob.
+struct V2Header {
+  std::string appName;
+  Rank ranks = 0;
+  TimeNs durationNs = 0;
+  std::uint64_t nEvents = 0;
+  std::uint64_t nSamples = 0;
+  std::uint64_t nStates = 0;
+  std::vector<ShardCounts> counts;      ///< Per-shard record counts.
+  std::vector<std::uint64_t> shardBytes;  ///< Per-shard encoded length.
+  /// Per-shard table-budget violations (empty = table entry plausible).
+  /// Strict reads never see these — they throw inside readV2Header.
+  std::vector<std::string> failures;
+  std::vector<std::uint64_t> offsets;  ///< Blob-relative shard offsets.
+  std::uint64_t dataStart = 0;  ///< Absolute file offset of the shard blob.
+  std::uint64_t totalBytes = 0;  ///< Sum of shardBytes (checked).
+};
+
+/// Reads the V2 header and shard table from \p src (magic already consumed).
+/// Structural damage (truncation, inconsistent table, implausible counts)
+/// always throws; per-shard budget violations throw in strict mode and are
+/// recorded in V2Header::failures otherwise.
+[[nodiscard]] V2Header readV2Header(CountingSource& src,
+                                    const ReadOptions& options);
+
+/// The degraded-read bookkeeping both readers share for one dropped shard:
+/// warn, flight-record, and append to \p report when non-null.
+void noteShardDrop(Rank rank, std::uint64_t absoluteOffset,
+                   const std::string& reason, ReadReport* report);
+
+/// End-of-read bookkeeping once \p dropped shards were skipped: telemetry
+/// count plus a flight-recorder snapshot while the drop reasons are fresh.
+void noteDegradedRead(std::size_t dropped);
+
+}  // namespace unveil::trace::detail

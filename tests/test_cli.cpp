@@ -494,18 +494,21 @@ TEST_F(CliRoundTrip, AnalyzeExportsSamplerSections) {
 
 TEST_F(CliRoundTrip, SampleIntervalValidated) {
   std::ostringstream out;
-  // 0 disables the sampler but the run still succeeds.
-  EXPECT_EQ(runCli({"analyze", "--trace", tracePath(), "--sample-interval",
-                    "0"},
-                   out),
-            0)
+  // Disabling the sampler is the explicit --no-sampler flag; a zero or
+  // negative interval used to be a silent "disabled" that masked typos and
+  // is now rejected like any other out-of-range value.
+  EXPECT_EQ(runCli({"analyze", "--trace", tracePath(), "--no-sampler"}, out), 0)
       << out.str();
-  out.str("");
-  EXPECT_EQ(runCli({"analyze", "--trace", tracePath(), "--sample-interval",
-                    "-5"},
-                   out),
-            1);
-  EXPECT_NE(out.str().find("--sample-interval"), std::string::npos);
+  for (const char* bad : {"0", "-5", "1.5"}) {
+    out.str("");
+    EXPECT_EQ(runCli({"analyze", "--trace", tracePath(), "--sample-interval",
+                      bad},
+                     out),
+              1)
+        << bad << ": " << out.str();
+    EXPECT_NE(out.str().find("--sample-interval"), std::string::npos)
+        << out.str();
+  }
 }
 
 /// Returns the flight-recorder dump path the CLI would write under \p dir

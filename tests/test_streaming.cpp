@@ -1,0 +1,547 @@
+/// \file test_streaming.cpp
+/// The streaming engine's three contracts, plus the serve daemon built on
+/// top of it:
+///  1. bit-identity — `analyze --stream` output is byte-identical to batch
+///     `analyze` for any thread count, on healthy AND degraded traces;
+///  2. bounded memory — a many-shard trace analyzes in O(largest shard)
+///     peak RSS, not O(trace);
+///  3. isolation — an I/O fault scoped to one streaming read (the daemon's
+///     per-request injection) never leaks into the next read.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "test_util.hpp"
+#include "unveil/analysis/streaming.hpp"
+#include "unveil/cli/commands.hpp"
+#include "unveil/cli/server.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/faulty_stream.hpp"
+#include "unveil/support/json.hpp"
+#include "unveil/support/sampler.hpp"
+#include "unveil/trace/binary_io.hpp"
+#include "unveil/trace/io.hpp"
+#include "unveil/trace/shard_stream.hpp"
+
+namespace unveil {
+namespace {
+
+std::string tempPath(const std::string& stem) {
+  return ::testing::TempDir() + "/unveil_streaming_" + stem + "." +
+         std::to_string(::getpid());
+}
+
+/// A finalized multi-rank trace with per-rank phase bursts and evenly
+/// spaced samples — every rank is one self-contained UVTB2 shard.
+trace::Trace makeManyShardTrace(trace::Rank ranks, std::size_t bursts,
+                                std::size_t samplesPerBurst) {
+  trace::Trace t("manyshard", ranks);
+  constexpr trace::TimeNs kBurstNs = 1'000'000;
+  constexpr trace::TimeNs kGapNs = 100'000;
+  trace::TimeNs duration = 0;
+  for (trace::Rank r = 0; r < ranks; ++r) {
+    counters::CounterSet cum;
+    trace::TimeNs now = 1000 + static_cast<trace::TimeNs>(r) * 13;
+    // Per-rank, per-burst work variation keeps the feature space non-
+    // degenerate without pushing bursts into separate clusters.
+    const double insPerBurst = 2'000'000.0 * (1.0 + 0.001 * r);
+    for (std::size_t b = 0; b < bursts; ++b) {
+      trace::Event begin;
+      begin.rank = r;
+      begin.time = now;
+      begin.kind = trace::EventKind::PhaseBegin;
+      begin.value = 0;
+      begin.counters = cum;
+      t.addEvent(begin);
+
+      for (std::size_t s = 0; s < samplesPerBurst; ++s) {
+        const double frac = static_cast<double>(s + 1) /
+                            static_cast<double>(samplesPerBurst + 1);
+        trace::Sample sample;
+        sample.rank = r;
+        sample.time =
+            now + static_cast<trace::TimeNs>(frac * static_cast<double>(kBurstNs));
+        sample.counters = cum;
+        sample.counters[counters::CounterId::TotIns] +=
+            static_cast<std::uint64_t>(std::llround(insPerBurst * frac));
+        sample.counters[counters::CounterId::TotCyc] +=
+            static_cast<std::uint64_t>(std::llround(insPerBurst * frac));
+        t.addSample(sample);
+      }
+
+      now += kBurstNs;
+      cum[counters::CounterId::TotIns] +=
+          static_cast<std::uint64_t>(std::llround(insPerBurst));
+      cum[counters::CounterId::TotCyc] +=
+          static_cast<std::uint64_t>(std::llround(insPerBurst));
+      trace::Event end = begin;
+      end.time = now;
+      end.kind = trace::EventKind::PhaseEnd;
+      end.counters = cum;
+      t.addEvent(end);
+
+      trace::Event mb = end;
+      mb.kind = trace::EventKind::MpiBegin;
+      mb.value = static_cast<std::uint32_t>(trace::MpiOp::Barrier);
+      mb.time = now + kGapNs / 4;
+      t.addEvent(mb);
+      trace::Event me = mb;
+      me.kind = trace::EventKind::MpiEnd;
+      me.time = now + kGapNs / 2;
+      t.addEvent(me);
+      now += kGapNs;
+    }
+    duration = std::max(duration, now + 1000);
+  }
+  t.setDurationNs(duration);
+  t.finalize();
+  return t;
+}
+
+/// The wavesim run (4 ranks) written as UVTB2, once per test binary.
+const std::string& wavesimBinaryPath() {
+  static const std::string path = [] {
+    const std::string p = tempPath("wavesim") + ".utb";
+    trace::writeBinaryFile(testutil::smallWavesimRun().trace, p);
+    return p;
+  }();
+  return path;
+}
+
+// Every in-process invocation runs --no-telemetry: the telemetry session is
+// a process-global slot, and the daemon tests overlap runCli calls across
+// threads — a per-call session would be torn down under the daemon's spans.
+std::string runAnalyzeCli(const std::vector<std::string>& extra,
+                          const std::string& path, int expectRc = 0) {
+  std::vector<std::string> argv = {"analyze", "--trace", path, "--no-flightrec",
+                                   "--no-telemetry"};
+  argv.insert(argv.end(), extra.begin(), extra.end());
+  std::ostringstream out;
+  const int rc = cli::runCli(argv, out);
+  EXPECT_EQ(rc, expectRc) << out.str();
+  return out.str();
+}
+
+// --- shard stream reader ---------------------------------------------------
+
+TEST(ShardStream, HeaderAndShardsMatchBatchRead) {
+  const auto& run = testutil::smallWavesimRun();
+  trace::ShardStreamReader reader(wavesimBinaryPath());
+  EXPECT_EQ(reader.header().appName, run.trace.appName());
+  EXPECT_EQ(reader.header().ranks, run.trace.numRanks());
+  EXPECT_EQ(reader.header().durationNs, run.trace.durationNs());
+
+  const auto batchStats = run.trace.stats();
+  std::uint64_t events = 0, samples = 0, states = 0;
+  trace::Rank expect = 0;
+  while (auto shard = reader.next()) {
+    EXPECT_EQ(shard->rank, expect++);
+    EXPECT_FALSE(shard->dropped);
+    // Full rank count, this rank's records only.
+    EXPECT_EQ(shard->trace.numRanks(), run.trace.numRanks());
+    for (const auto& e : shard->trace.events()) EXPECT_EQ(e.rank, shard->rank);
+    events += shard->trace.events().size();
+    samples += shard->trace.samples().size();
+    states += shard->trace.states().size();
+  }
+  EXPECT_EQ(expect, run.trace.numRanks());
+  EXPECT_EQ(events, batchStats.events);
+  EXPECT_EQ(samples, batchStats.samples);
+  EXPECT_EQ(states, batchStats.states);
+  EXPECT_TRUE(reader.report().droppedShards.empty());
+}
+
+TEST(ShardStream, RejectsTextTraces) {
+  const std::string path = tempPath("text") + ".trace";
+  trace::writeFile(testutil::smallWavesimRun().trace, path);
+  EXPECT_FALSE(trace::isShardStreamable(path));
+  EXPECT_THROW((void)trace::ShardStreamReader(path), TraceError);
+  EXPECT_FALSE(trace::isShardStreamable(tempPath("absent")));
+  EXPECT_TRUE(trace::isShardStreamable(wavesimBinaryPath()));
+}
+
+TEST(ShardStream, TruncatedFileDegradesTailShardsOnly) {
+  const std::string full = wavesimBinaryPath();
+  std::ifstream in(full, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  const std::string cutPath = tempPath("cut") + ".utb";
+  {
+    std::ofstream outFile(cutPath, std::ios::binary);
+    outFile.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - bytes.size() / 4));
+  }
+  trace::StreamOptions options;
+  options.read.strict = false;
+  trace::ShardStreamReader reader(cutPath, options);
+  std::size_t survived = 0, dropped = 0;
+  bool sawDropAfterSurvivor = false;
+  while (auto shard = reader.next()) {
+    if (shard->dropped) {
+      ++dropped;
+      EXPECT_NE(shard->dropReason.find("truncated"), std::string::npos)
+          << shard->dropReason;
+    } else {
+      ++survived;
+      EXPECT_EQ(dropped, 0u) << "survivor after a truncation drop";
+      (void)sawDropAfterSurvivor;
+    }
+  }
+  EXPECT_GT(survived, 0u);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(reader.report().droppedShards.size(), dropped);
+
+  // Strict mode throws instead, with the batch reader's truncation wording.
+  trace::StreamOptions strict;
+  strict.read.strict = true;
+  trace::ShardStreamReader strictReader(cutPath, strict);
+  try {
+    while (strictReader.next()) {
+    }
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("[file="), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- bit-identity ----------------------------------------------------------
+
+TEST(Streaming, CliOutputBitIdenticalToBatch) {
+  const std::string batch = runAnalyzeCli({}, wavesimBinaryPath());
+  ASSERT_NE(batch.find("detected computation phases"), std::string::npos);
+  for (const char* threads : {"1", "2", "5"}) {
+    const std::string streamed =
+        runAnalyzeCli({"--stream", "--threads", threads}, wavesimBinaryPath());
+    EXPECT_EQ(batch, streamed) << "threads=" << threads;
+  }
+}
+
+TEST(Streaming, CliOutputBitIdenticalWithFoldCap) {
+  // The reservoir cap changes which points are retained, so it must be set
+  // in BOTH modes — and then the outputs agree bit for bit again.
+  const std::string batch =
+      runAnalyzeCli({"--fold-max-points", "200"}, wavesimBinaryPath());
+  const std::string streamed = runAnalyzeCli(
+      {"--fold-max-points", "200", "--stream"}, wavesimBinaryPath());
+  EXPECT_EQ(batch, streamed);
+}
+
+TEST(Streaming, DegradedCliOutputBitIdenticalToBatch) {
+  // Cut the file mid-shard: the same tail shards drop in both modes, with
+  // identical warning lines and identical surviving-rank analysis.
+  std::ifstream in(wavesimBinaryPath(), std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  const std::string cutPath = tempPath("cli_cut") + ".utb";
+  {
+    std::ofstream outFile(cutPath, std::ios::binary);
+    outFile.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - bytes.size() / 5));
+  }
+  const std::string batch = runAnalyzeCli({}, cutPath);
+  ASSERT_NE(batch.find("warning: dropped"), std::string::npos) << batch;
+  const std::string streamed = runAnalyzeCli({"--stream"}, cutPath);
+  EXPECT_EQ(batch, streamed);
+}
+
+TEST(Streaming, StreamRejectsFocus) {
+  std::ostringstream out;
+  const int rc = cli::runCli({"analyze", "--trace", wavesimBinaryPath(),
+                              "--stream", "--focus", "3", "--no-flightrec"},
+                             out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("--stream and --focus"), std::string::npos)
+      << out.str();
+}
+
+// --- fault isolation -------------------------------------------------------
+
+TEST(Streaming, PerRequestFaultDoesNotLeakIntoNextRun) {
+  analysis::StreamingConfig config;
+  config.read.strict = false;
+  config.fault = support::FaultSpec::parse("fail-read-after=" +
+                                           std::to_string(std::filesystem::file_size(
+                                               wavesimBinaryPath()) *
+                                           3 / 4));
+  const auto degraded = analysis::analyzeStreaming(wavesimBinaryPath(), config);
+  EXPECT_FALSE(degraded.report.droppedShards.empty());
+
+  // Same process, same file, no per-request fault: clean.
+  analysis::StreamingConfig clean;
+  clean.read.strict = false;
+  const auto healthy = analysis::analyzeStreaming(wavesimBinaryPath(), clean);
+  EXPECT_TRUE(healthy.report.droppedShards.empty());
+  EXPECT_EQ(healthy.shardsProcessed,
+            static_cast<std::size_t>(healthy.numRanks));
+}
+
+// --- bounded memory --------------------------------------------------------
+
+/// Resets /proc/self/clear_refs so VmHWM re-baselines at the current RSS;
+/// false where the kernel interface is unavailable.
+bool resetPeakRss() {
+  std::ofstream f("/proc/self/clear_refs");
+  if (!f) return false;
+  f << "5";
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+TEST(Streaming, ManyShardTraceRunsInBoundedMemory) {
+  constexpr trace::Rank kRanks = 64;
+  const std::string path = tempPath("manyshard") + ".utb";
+  std::size_t decodedTotalBytes = 0;
+  {
+    const trace::Trace big = makeManyShardTrace(kRanks, 12, 1200);
+    decodedTotalBytes = big.stats().estimatedBytes;
+    trace::writeBinaryFile(big, path);
+  }  // the full trace dies here; only the file remains
+
+  if (!resetPeakRss())
+    GTEST_SKIP() << "/proc/self/clear_refs unavailable; cannot measure peak RSS";
+  const auto before = support::readMemoryStatus();
+  if (before.rssBytes == 0 || before.hwmBytes > before.rssBytes + (64u << 20))
+    GTEST_SKIP() << "VmHWM did not re-baseline (rss=" << before.rssBytes
+                 << " hwm=" << before.hwmBytes << ")";
+
+  analysis::StreamingConfig config;
+  config.read.strict = false;
+  // The synthetic bursts are near-identical by construction, which is a
+  // degenerate cloud for eps auto-estimation; pin eps — this test is about
+  // memory, not clustering quality.
+  config.pipeline.autoEps = false;
+  config.pipeline.dbscan.eps = 0.5;
+  // The fold clouds are the one O(samples) term; cap them (deterministic
+  // reservoir) as a bounded-memory deployment would.
+  config.pipeline.reconstruct.fold.maxPointsPerCounter = 4000;
+  const auto result = analysis::analyzeStreaming(path, config);
+  const auto after = support::readMemoryStatus();
+
+  EXPECT_EQ(result.shardsProcessed, static_cast<std::size_t>(kRanks));
+  EXPECT_EQ(result.numRanks, kRanks);
+  ASSERT_GT(result.largestShardBytes, 512u * 1024) << "shards too small to "
+      "make the bound meaningful";
+  ASSERT_GT(decodedTotalBytes, result.largestShardBytes * (kRanks / 2));
+
+  const std::uint64_t growth = after.hwmBytes > before.rssBytes
+                                   ? after.hwmBytes - before.rssBytes
+                                   : 0;
+  // O(largest shard), not O(trace): one decoded shard plus its in-flight
+  // copy, with a fixed allowance for burst metadata, the model stages and
+  // allocator slack. A batch read would have grown by decodedTotalBytes.
+  EXPECT_LE(growth,
+            2 * result.largestShardBytes + (8u << 20))
+      << "largest shard " << result.largestShardBytes << ", total "
+      << decodedTotalBytes;
+  EXPECT_LE(growth, decodedTotalBytes / 6)
+      << "peak grew like O(trace), not O(shard)";
+  std::filesystem::remove(path);
+}
+
+// --- the serve daemon ------------------------------------------------------
+
+class ServeDaemon : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_ = ::testing::TempDir() + "/unveil_srv." +
+              std::to_string(::getpid()) + ".sock";
+    ASSERT_LT(socket_.size(), 100u) << socket_;
+    server_ = std::thread([this] {
+      std::ostringstream out;
+      serverRc_ = cli::runCli({"serve", "--socket", socket_, "--no-flightrec",
+                               "--no-telemetry"},
+                              out);
+      serverOut_ = out.str();
+    });
+    // Readiness: retry pings until the daemon answers.
+    bool up = false;
+    for (int i = 0; i < 200 && !up; ++i) {
+      try {
+        const std::string pong = cli::serverRoundTrip(
+            socket_, R"({"id":"up","command":"ping"})", 2.0);
+        up = pong.find("pong") != std::string::npos;
+      } catch (const Error&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    ASSERT_TRUE(up) << serverOut_;
+  }
+
+  void TearDown() override {
+    if (server_.joinable()) {
+      try {
+        (void)cli::serverRoundTrip(socket_,
+                                   R"({"id":"down","command":"shutdown"})", 10.0);
+      } catch (const Error&) {
+      }
+      server_.join();
+    }
+    EXPECT_EQ(serverRc_, 0) << serverOut_;
+  }
+
+  static std::string analyzeRequest(const std::string& id,
+                                    const std::string& extraFields = {}) {
+    return "{\"id\":\"" + id + "\",\"command\":\"analyze\",\"trace\":\"" +
+           wavesimBinaryPath() + "\"" + extraFields + "}";
+  }
+
+  std::string socket_;
+  std::thread server_;
+  int serverRc_ = -1;
+  std::string serverOut_;
+};
+
+TEST_F(ServeDaemon, AnalyzeResponseMatchesBatchCliBytes) {
+  const std::string batch = runAnalyzeCli({}, wavesimBinaryPath());
+  const auto response =
+      support::json::parse(cli::serverRoundTrip(socket_, analyzeRequest("a")));
+  ASSERT_NE(response.find("output"), nullptr);
+  EXPECT_EQ(response.find("exit")->asDouble(-1), 0.0);
+  EXPECT_EQ(response.find("output")->asString(), batch);
+  EXPECT_EQ(response.find("id")->asString(), "a");
+}
+
+TEST_F(ServeDaemon, ConcurrentRequestsIsolateInjectedFault) {
+  const std::string batch = runAnalyzeCli({}, wavesimBinaryPath());
+  const auto faultSize = std::filesystem::file_size(wavesimBinaryPath()) * 3 / 4;
+  const std::string faultReq = analyzeRequest(
+      "bad", ",\"fault_spec\":\"fail-read-after=" + std::to_string(faultSize) +
+                 "\"");
+
+  constexpr int kClean = 4;
+  std::vector<std::string> outputs(kClean);
+  std::string faultOutput;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClean + 1);
+  for (int i = 0; i < kClean; ++i) {
+    clients.emplace_back([this, i, &outputs, &errors] {
+      try {
+        const auto r = support::json::parse(
+            cli::serverRoundTrip(socket_, analyzeRequest(std::to_string(i))));
+        outputs[static_cast<std::size_t>(i)] = r.find("output")->asString();
+      } catch (const Error&) {
+        errors.fetch_add(1);
+      }
+    });
+  }
+  clients.emplace_back([this, &faultReq, &faultOutput, &errors] {
+    try {
+      const auto r =
+          support::json::parse(cli::serverRoundTrip(socket_, faultReq, 60.0));
+      faultOutput = r.find("output")->asString();
+    } catch (const Error&) {
+      errors.fetch_add(1);
+    }
+  });
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  for (const auto& o : outputs) EXPECT_EQ(o, batch);
+  // The faulty request degraded alone...
+  EXPECT_NE(faultOutput.find("warning: dropped"), std::string::npos)
+      << faultOutput;
+  EXPECT_NE(faultOutput, batch);
+  // ...and the daemon is still clean afterwards.
+  const auto again =
+      support::json::parse(cli::serverRoundTrip(socket_, analyzeRequest("z")));
+  EXPECT_EQ(again.find("output")->asString(), batch);
+}
+
+TEST_F(ServeDaemon, HealthAndErrorsAreStructured) {
+  const auto health = support::json::parse(
+      cli::serverRoundTrip(socket_, R"({"id":"h","command":"health"})"));
+  ASSERT_NE(health.find("output"), nullptr);
+  const auto body = support::json::parse(health.find("output")->asString());
+  EXPECT_GE(body.find("requests_total")->asDouble(-1), 1.0);
+  EXPECT_GE(body.find("requests_active")->asDouble(-1), 1.0);
+
+  const auto unknown = support::json::parse(
+      cli::serverRoundTrip(socket_, R"({"id":"u","command":"explode"})"));
+  EXPECT_EQ(unknown.find("exit")->asDouble(0), 2.0);
+  EXPECT_NE(unknown.find("output")->asString().find("unknown command"),
+            std::string::npos);
+
+  const auto garbage =
+      support::json::parse(cli::serverRoundTrip(socket_, "this is not json"));
+  EXPECT_EQ(garbage.find("status")->asString(), "error");
+
+  const auto missingTrace = support::json::parse(cli::serverRoundTrip(
+      socket_, R"({"id":"m","command":"analyze","trace":"/nonexistent.utb"})"));
+  EXPECT_NE(missingTrace.find("exit")->asDouble(0), 0.0);
+  EXPECT_NE(missingTrace.find("output")->asString().find("error:"),
+            std::string::npos);
+}
+
+TEST_F(ServeDaemon, ClientCommandRoundTrips) {
+  const std::string batch = runAnalyzeCli({}, wavesimBinaryPath());
+  std::ostringstream out;
+  const int rc = cli::runCli({"client", "--socket", socket_, "--trace",
+                              wavesimBinaryPath(), "--no-flightrec",
+                              "--no-telemetry"},
+                             out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_EQ(out.str(), batch);
+
+  std::ostringstream ping;
+  EXPECT_EQ(cli::runCli({"client", "--socket", socket_, "--ping",
+                         "--no-flightrec", "--no-telemetry"},
+                        ping),
+            0);
+  EXPECT_EQ(ping.str(), "pong\n");
+}
+
+TEST(Serve, RefusesSecondDaemonOnLiveSocket) {
+  const std::string socketPath = ::testing::TempDir() + "/unveil_srv_dup." +
+                                 std::to_string(::getpid()) + ".sock";
+  std::thread server([&] {
+    std::ostringstream out;
+    EXPECT_EQ(cli::runCli({"serve", "--socket", socketPath, "--no-flightrec",
+                           "--no-telemetry"},
+                          out),
+              0)
+        << out.str();
+  });
+  bool up = false;
+  for (int i = 0; i < 200 && !up; ++i) {
+    try {
+      up = cli::serverRoundTrip(socketPath, R"({"command":"ping"})", 2.0)
+               .find("pong") != std::string::npos;
+    } catch (const Error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_TRUE(up);
+
+  std::ostringstream second;
+  EXPECT_EQ(cli::runCli({"serve", "--socket", socketPath, "--no-flightrec",
+                         "--no-telemetry"},
+                        second),
+            1);
+  EXPECT_NE(second.str().find("already listening"), std::string::npos)
+      << second.str();
+
+  (void)cli::serverRoundTrip(socketPath, R"({"command":"shutdown"})", 10.0);
+  server.join();
+  EXPECT_FALSE(std::filesystem::exists(socketPath)) << "socket leaked";
+}
+
+}  // namespace
+}  // namespace unveil
