@@ -15,6 +15,7 @@
 #include <sstream>
 #include <vector>
 
+#include "unveil/analysis/campaign.hpp"
 #include "unveil/analysis/experiments.hpp"
 #include "unveil/analysis/streaming.hpp"
 #include "unveil/cluster/dbscan.hpp"
@@ -327,6 +328,39 @@ void BM_FullPipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullPipeline);
+
+/// The full N-trace scaling campaign over a 3-point wavesim series: per-trace
+/// pipelines (pool tasks), N-way matching and model fitting. Prices the
+/// cross-trace layer on top of BM_FullPipeline's single-trace cost.
+void BM_Campaign(benchmark::State& state) {
+  static const std::vector<analysis::CampaignMemberSpec> specs = [] {
+    std::vector<analysis::CampaignMemberSpec> out;
+    const double scales[] = {1.0, 4.0, 16.0};
+    const double params[] = {4.0, 16.0, 64.0};
+    for (std::size_t i = 0; i < 3; ++i) {
+      auto p = analysis::standardParams(3);
+      p.ranks = 4;
+      p.iterations = 40;
+      p.scale = scales[i];
+      const auto run =
+          analysis::runMeasured("wavesim", p, sim::MeasurementConfig::folding());
+      const std::string path =
+          (std::filesystem::temp_directory_path() /
+           ("unveil_bench_campaign_" + std::to_string(i) + ".utb"))
+              .string();
+      trace::writeBinaryFile(run.trace, path);
+      out.push_back({path, params[i]});
+    }
+    return out;
+  }();
+  for (auto _ : state) {
+    auto campaign = analysis::runCampaign(specs, analysis::CampaignOptions{});
+    benchmark::DoNotOptimize(campaign.phases.size());
+  }
+  state.counters["traces"] =
+      benchmark::Counter(static_cast<double>(specs.size()));
+}
+BENCHMARK(BM_Campaign)->Unit(benchmark::kMillisecond);
 
 /// A-B: the full pipeline with self-tracing off (arg 0) vs on (arg 1).
 /// The same build runs both, so the delta is exactly what an active

@@ -1,0 +1,663 @@
+#include "unveil/analysis/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "unveil/analysis/streaming.hpp"
+#include "unveil/folding/accuracy.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/support/telemetry.hpp"
+#include "unveil/support/thread_pool.hpp"
+#include "unveil/trace/shard_stream.hpp"
+
+namespace unveil::analysis {
+
+namespace {
+
+/// Shortest round-trippable-enough decimal form, shared by the report, the
+/// JSON and the Extra-P writer so every output agrees on the same bytes.
+std::string fmtG(double v, int precision = 6) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+double ScalingModel::eval(double p) const {
+  double v = c * std::pow(p, a);
+  if (b != 0) v *= std::pow(std::log2(p), b);
+  return v;
+}
+
+std::string ScalingModel::text(const std::string& paramName) const {
+  if (!valid) return "(no model)";
+  std::ostringstream os;
+  os << fmtG(c, 4);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", a);
+  // An exponent that rounds to 0.00 would render as a misleading
+  // "p^0.00"/"p^-0.00" factor; the JSON carries the exact value.
+  if (std::string_view(buf) != "0.00" && std::string_view(buf) != "-0.00")
+    os << " * " << paramName << '^' << buf;
+  if (b != 0) os << " * log2(" << paramName << ')';
+  return os.str();
+}
+
+namespace {
+
+/// One family member's closed-form log-space least-squares fit.
+struct Candidate {
+  bool aFree = false;
+  int b = 0;
+  double intercept = 0.0;
+  double slope = 0.0;
+  double adjR2 = 0.0;
+  double loo = 0.0;
+  bool feasible = false;
+};
+
+/// Fits z ~ intercept (+ slope * u) on the index subset where skip != i.
+/// Returns false when the subset cannot identify the parameters.
+bool fitSubset(std::span<const double> u, std::span<const double> t, bool aFree,
+               std::size_t skip, double& intercept, double& slope) {
+  double su = 0.0, st = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i == skip) continue;
+    su += u[i];
+    st += t[i];
+    ++n;
+  }
+  if (n == 0) return false;
+  const double mu = su / static_cast<double>(n);
+  const double mt = st / static_cast<double>(n);
+  if (!aFree) {
+    intercept = mt;
+    slope = 0.0;
+    return true;
+  }
+  double suu = 0.0, sut = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i == skip) continue;
+    suu += (u[i] - mu) * (u[i] - mu);
+    sut += (u[i] - mu) * (t[i] - mt);
+  }
+  if (suu <= 0.0) return false;
+  slope = sut / suu;
+  intercept = mt - slope * mu;
+  return true;
+}
+
+}  // namespace
+
+ScalingModel fitScalingModel(std::span<const double> p, std::span<const double> y,
+                             const std::string& context) {
+  const std::size_t n = p.size();
+  if (y.size() != n)
+    throw AnalysisError(context + ": scale and value series have different lengths (" +
+                        std::to_string(n) + " vs " + std::to_string(y.size()) + ")");
+  if (n < 3)
+    throw AnalysisError(context + ": scaling-model fit needs at least 3 scale points, got " +
+                        std::to_string(n));
+  std::set<double> distinct(p.begin(), p.end());
+  if (distinct.size() < 3)
+    throw AnalysisError(context + ": scaling-model fit needs at least 3 distinct scale values, got " +
+                        std::to_string(distinct.size()) +
+                        (distinct.size() == 1 ? " (zero-variance scale series)" : ""));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(p[i] > 0.0) || !std::isfinite(p[i]))
+      throw AnalysisError(context + ": non-positive scale value " + fmtG(p[i]) +
+                          " at point " + std::to_string(i) +
+                          " (log-log fit needs positive scales)");
+    if (!(y[i] > 0.0) || !std::isfinite(y[i]))
+      throw AnalysisError(context + ": non-positive value " + fmtG(y[i]) +
+                          " at scale " + fmtG(p[i]) +
+                          " (log-log fit needs a positive series)");
+  }
+
+  std::vector<double> u(n), z(n), w(n, 0.0);
+  bool logFamilyFeasible = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    u[i] = std::log(p[i]);
+    z[i] = std::log(y[i]);
+    if (p[i] > 1.0) w[i] = std::log(std::log2(p[i]));
+    else logFamilyFeasible = false;  // log2(p) <= 0: the log family is undefined
+  }
+
+  double zMean = 0.0;
+  for (const double v : z) zMean += v;
+  zMean /= static_cast<double>(n);
+  double sst = 0.0;
+  for (const double v : z) sst += (v - zMean) * (v - zMean);
+
+  ScalingModel out;
+  if (sst < 1e-20) {
+    // Zero-variance values: the constant model is exact; nothing to select.
+    out.c = std::exp(zMean);
+    out.adjR2 = 1.0;
+    out.valid = true;
+    return out;
+  }
+
+  // Family members in increasing complexity: a more complex model must beat
+  // the incumbent's adjusted R^2 AND not predict held-out points worse (the
+  // leave-one-out guard) — 3-4 measurements are trivially overfitted
+  // otherwise.
+  const std::array<std::pair<bool, int>, 4> family = {
+      {{false, 0}, {false, 1}, {true, 0}, {true, 1}}};
+  std::vector<Candidate> fits;
+  for (const auto& [aFree, b] : family) {
+    if (b != 0 && !logFamilyFeasible) continue;
+    Candidate cand;
+    cand.aFree = aFree;
+    cand.b = b;
+    std::vector<double> t(n);
+    for (std::size_t i = 0; i < n; ++i)
+      t[i] = z[i] - static_cast<double>(b) * w[i];
+    if (!fitSubset(u, t, aFree, n /* skip nothing */, cand.intercept, cand.slope))
+      continue;
+    double sse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pred = cand.intercept + cand.slope * u[i] +
+                          static_cast<double>(b) * w[i];
+      sse += (z[i] - pred) * (z[i] - pred);
+    }
+    const double r2 = 1.0 - sse / sst;
+    const std::size_t k = aFree ? 1 : 0;
+    if (n < k + 2) continue;  // adjusted R^2 undefined
+    cand.adjR2 = 1.0 - (1.0 - r2) * static_cast<double>(n - 1) /
+                           static_cast<double>(n - 1 - k);
+    double looSum = 0.0;
+    bool looOk = true;
+    for (std::size_t i = 0; i < n && looOk; ++i) {
+      double intercept = 0.0, slope = 0.0;
+      if (!fitSubset(u, t, aFree, i, intercept, slope)) {
+        looOk = false;
+        break;
+      }
+      const double pred = intercept + slope * u[i] + static_cast<double>(b) * w[i];
+      looSum += std::abs(pred - z[i]);
+    }
+    if (!looOk) continue;
+    cand.loo = looSum / static_cast<double>(n);
+    cand.feasible = true;
+    fits.push_back(cand);
+  }
+  if (fits.empty() || fits.front().aFree || fits.front().b != 0)
+    throw AnalysisError(context + ": scaling-model fit found no feasible model");
+
+  Candidate best = fits.front();
+  for (std::size_t i = 1; i < fits.size(); ++i) {
+    const Candidate& cand = fits[i];
+    if (cand.adjR2 > best.adjR2 + 1e-12 && cand.loo <= best.loo * 1.05 + 1e-12)
+      best = cand;
+  }
+  out.c = std::exp(best.intercept);
+  out.a = best.aFree ? best.slope : 0.0;
+  out.b = best.b;
+  out.adjR2 = best.adjR2;
+  out.looError = best.loo;
+  out.valid = true;
+  return out;
+}
+
+namespace {
+
+/// Analyzes one member with per-trace fault isolation: any recoverable
+/// error degrades this one series point instead of failing the campaign.
+void analyzeMember(const CampaignMemberSpec& spec, const CampaignOptions& options,
+                   CampaignMember& member) {
+  member.path = spec.path;
+  try {
+    if (options.stream && trace::isShardStreamable(spec.path)) {
+      StreamingConfig streamConfig;
+      streamConfig.pipeline = options.pipeline;
+      streamConfig.read = options.read;
+      auto streamed = analyzeStreaming(spec.path, streamConfig);
+      member.numRanks = streamed.numRanks;
+      member.droppedShards = streamed.report.droppedShards.size();
+      member.totalShards = streamed.report.totalRanks;
+      member.result = std::move(streamed.result);
+    } else {
+      trace::ReadReport report;
+      const trace::Trace t = trace::readAutoFile(spec.path, options.read, &report);
+      member.numRanks = t.numRanks();
+      member.droppedShards = report.droppedShards.size();
+      member.totalShards = report.totalRanks;
+      member.result = analyze(t, options.pipeline);
+    }
+    member.ok = true;
+  } catch (const Error& e) {
+    member.ok = false;
+    member.error = e.what();
+  } catch (const std::exception& e) {
+    member.ok = false;
+    member.error = e.what();
+  }
+}
+
+/// Fits one metric's model, capturing the error text instead of throwing so
+/// a degenerate series (too few points, zeros) degrades that one model.
+void fitMetric(MetricSeries& series, const std::string& context) {
+  if (series.params.empty()) {
+    series.fitError = context + ": phase present in no analyzable member";
+    return;
+  }
+  try {
+    series.model = fitScalingModel(series.params, series.values, context);
+  } catch (const Error& e) {
+    series.fitError = e.what();
+  }
+}
+
+std::string phaseContext(const PhaseScaling& ph, const std::string& metric) {
+  return "phase at position " + std::to_string(ph.position) + ", " + metric;
+}
+
+}  // namespace
+
+CampaignResult buildCampaign(std::vector<CampaignMember> members,
+                             const CampaignOptions& options) {
+  std::sort(members.begin(), members.end(),
+            [](const CampaignMember& x, const CampaignMember& y) {
+              if (x.param != y.param) return x.param < y.param;
+              return x.path < y.path;
+            });
+
+  CampaignResult out;
+  out.paramName = options.paramName;
+
+  std::vector<const CampaignMember*> okMembers;
+  for (auto& m : members) {
+    if (!m.ok) {
+      out.warnings.push_back("member " + m.path + " degraded and excluded: " + m.error);
+      continue;
+    }
+    // Absolute time base of the share models, derived from the member's own
+    // burst list so streamed and batch members agree.
+    m.totalBurstTimeNs = 0.0;
+    for (const auto& b : m.result.bursts)
+      m.totalBurstTimeNs += static_cast<double>(b.durationNs());
+    if (m.droppedShards > 0) {
+      out.warnings.push_back("member " + m.path + " analyzed " +
+                             std::to_string(m.totalShards - m.droppedShards) +
+                             " of " + std::to_string(m.totalShards) +
+                             " shards (corrupt shards dropped)");
+    }
+    okMembers.push_back(&m);
+  }
+  if (okMembers.size() < 3) {
+    std::string detail;
+    for (const auto& w : out.warnings) detail += "\n  " + w;
+    throw AnalysisError(
+        "campaign needs at least 3 analyzable members to fit scaling models, got " +
+        std::to_string(okMembers.size()) + " of " + std::to_string(members.size()) +
+        detail);
+  }
+
+  double maxParam = 0.0;
+  for (const auto* m : okMembers) maxParam = std::max(maxParam, m->param);
+  out.projectAt = options.projectAt;
+  if (out.projectAt.empty()) out.projectAt.push_back(4.0 * maxParam);
+
+  std::vector<const PipelineResult*> runs;
+  runs.reserve(okMembers.size());
+  for (const auto* m : okMembers) runs.push_back(&m->result);
+  const MatchResult match = matchAcross(runs);
+  out.structureMatched = match.structureMatched;
+  out.unmatched = match.unmatched;
+  if (!match.structureMatched && okMembers.size() > 1) {
+    out.warnings.push_back(
+        "iteration periods differ across members; clusters matched by "
+        "feature-space similarity, not structure");
+  }
+
+  for (const MatchedPhase& row : match.phases) {
+    PhaseScaling ph;
+    ph.position = row.position;
+    ph.byStructure = row.byStructure;
+    ph.clusterIds = row.clusterIds;
+    // Rate curves of the previous present member, for evolution distances.
+    const folding::RateCurve* prevCurve = nullptr;
+    for (std::size_t mi = 0; mi < okMembers.size(); ++mi) {
+      const int id = row.clusterIds[mi];
+      if (id < 0) continue;
+      const CampaignMember& m = *okMembers[mi];
+      const ClusterReport& c = m.result.clusters[static_cast<std::size_t>(id)];
+      ph.durationNs.params.push_back(m.param);
+      ph.durationNs.values.push_back(c.meanDurationNs);
+      ph.mips.params.push_back(m.param);
+      ph.mips.values.push_back(c.avgMips);
+      ph.ipc.params.push_back(m.param);
+      ph.ipc.values.push_back(c.avgIpc);
+      ph.phaseTimeNs.params.push_back(m.param);
+      ph.phaseTimeNs.values.push_back(c.totalTimeFraction * m.totalBurstTimeNs);
+      ph.sharePercent.push_back(c.totalTimeFraction * 100.0);
+
+      const auto rate = c.rates.find(counters::CounterId::TotIns);
+      const folding::RateCurve* curve =
+          rate != c.rates.end() ? &rate->second : nullptr;
+      if (ph.durationNs.params.size() > 1) {
+        double dist = -1.0;
+        if (prevCurve && curve &&
+            prevCurve->normRate.size() == curve->normRate.size() &&
+            !curve->normRate.empty()) {
+          dist = folding::meanAbsDiffPercent(curve->normRate, prevCurve->normRate);
+        }
+        ph.evolutionDistancePercent.push_back(dist);
+      }
+      prevCurve = curve;
+    }
+    fitMetric(ph.durationNs, phaseContext(ph, "duration_ns"));
+    fitMetric(ph.mips, phaseContext(ph, "mips"));
+    fitMetric(ph.ipc, phaseContext(ph, "ipc"));
+    fitMetric(ph.phaseTimeNs, phaseContext(ph, "phase_time_ns"));
+    out.phases.push_back(std::move(ph));
+  }
+
+  // Projected shares: the phase-time models composed over all modelled
+  // phases — T_i(p) / sum_j T_j(p), the Extra-P-style answer to "who
+  // dominates at p you have not run".
+  for (const double p : out.projectAt) {
+    double total = 0.0;
+    for (const auto& ph : out.phases)
+      if (ph.phaseTimeNs.model.valid) total += ph.phaseTimeNs.model.eval(p);
+    for (auto& ph : out.phases) {
+      double share = -1.0;
+      if (ph.phaseTimeNs.model.valid && total > 0.0)
+        share = ph.phaseTimeNs.model.eval(p) / total * 100.0;
+      ph.projectedSharePercent.push_back(share);
+    }
+  }
+
+  std::sort(out.phases.begin(), out.phases.end(),
+            [](const PhaseScaling& x, const PhaseScaling& y) {
+              const double px = x.projectedSharePercent.empty()
+                                    ? -1.0
+                                    : x.projectedSharePercent.back();
+              const double py = y.projectedSharePercent.empty()
+                                    ? -1.0
+                                    : y.projectedSharePercent.back();
+              if (px != py) return px > py;
+              const double sx = x.sharePercent.empty() ? -1.0 : x.sharePercent.back();
+              const double sy = y.sharePercent.empty() ? -1.0 : y.sharePercent.back();
+              if (sx != sy) return sx > sy;
+              return x.position < y.position;
+            });
+
+  out.members = std::move(members);
+  telemetry::count("campaign.phases", out.phases.size());
+  return out;
+}
+
+CampaignResult runCampaign(const std::vector<CampaignMemberSpec>& specs,
+                           const CampaignOptions& options) {
+  if (specs.size() < 3)
+    throw ConfigError("campaign requires at least 3 traces, got " +
+                      std::to_string(specs.size()));
+  if (options.paramName != "ranks") {
+    for (const auto& spec : specs) {
+      if (!spec.param) {
+        throw ConfigError("member '" + spec.path + "' needs a '" + spec.path +
+                          "=VALUE' annotation: parameter '" + options.paramName +
+                          "' cannot be inferred from the trace header");
+      }
+    }
+  }
+
+  telemetry::Span span("campaign.analyze");
+  std::vector<CampaignMember> members(specs.size());
+  auto& pool = support::globalPool();
+  std::vector<std::future<void>> pending;
+  pending.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    pending.push_back(pool.submit(
+        [&specs, &options, &members, i] { analyzeMember(specs[i], options, members[i]); }));
+  }
+  for (auto& f : pending) f.get();
+
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    members[i].param = specs[i].param
+                           ? *specs[i].param
+                           : static_cast<double>(members[i].numRanks);
+    if (!members[i].ok) ++failed;
+  }
+  telemetry::count("campaign.members", specs.size());
+  if (failed > 0) telemetry::count("campaign.members_failed", failed);
+
+  return buildCampaign(std::move(members), options);
+}
+
+namespace {
+
+std::string joinClusterIds(const std::vector<int>& ids) {
+  std::string out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += '/';
+    out += ids[i] >= 0 ? std::to_string(ids[i]) : std::string("-");
+  }
+  return out;
+}
+
+std::string modelCell(const MetricSeries& series, const std::string& paramName) {
+  return series.model.valid ? series.model.text(paramName) : "(no model)";
+}
+
+}  // namespace
+
+support::Table campaignTable(const CampaignResult& campaign) {
+  const double pMax =
+      campaign.projectAt.empty() ? 0.0 : campaign.projectAt.back();
+  support::Table t({"phase", "clusters", "share (%)",
+                    "duration model", "adj R^2",
+                    "MIPS model", "IPC model",
+                    "proj share @ " + campaign.paramName + "=" + fmtG(pMax) + " (%)"});
+  for (const auto& ph : campaign.phases) {
+    const double share = ph.sharePercent.empty() ? -1.0 : ph.sharePercent.back();
+    const double proj =
+        ph.projectedSharePercent.empty() ? -1.0 : ph.projectedSharePercent.back();
+    t.addRow({(ph.byStructure ? "pos " : "grp ") + std::to_string(ph.position),
+              joinClusterIds(ph.clusterIds), share,
+              modelCell(ph.durationNs, campaign.paramName),
+              ph.durationNs.model.valid ? ph.durationNs.model.adjR2 : -1.0,
+              modelCell(ph.mips, campaign.paramName),
+              modelCell(ph.ipc, campaign.paramName), proj});
+  }
+  return t;
+}
+
+void printCampaignReport(const CampaignResult& campaign, std::ostream& out) {
+  for (const auto& w : campaign.warnings) out << "warning: " << w << '\n';
+
+  out << "campaign over " << campaign.paramName << ": " << campaign.members.size()
+      << " member" << (campaign.members.size() == 1 ? "" : "s") << '\n';
+  for (const auto& m : campaign.members) {
+    out << "  " << campaign.paramName << '=' << fmtG(m.param) << "  " << m.path;
+    if (!m.ok) {
+      out << "  DEGRADED: " << m.error;
+    } else {
+      out << " (" << m.numRanks << " rank" << (m.numRanks == 1 ? "" : "s");
+      if (m.droppedShards > 0)
+        out << ", " << m.droppedShards << " shard"
+            << (m.droppedShards == 1 ? "" : "s") << " dropped";
+      out << ')';
+    }
+    out << '\n';
+  }
+
+  campaignTable(campaign).print(
+      out, "per-phase scaling models (ranked by projected share at " +
+               campaign.paramName + "=" +
+               fmtG(campaign.projectAt.empty() ? 0.0 : campaign.projectAt.back()) +
+               ")");
+
+  // Headline lines: what each phase's duration does with scale, and where
+  // the time goes at the projection point.
+  for (const auto& ph : campaign.phases) {
+    out << "phase " << (ph.byStructure ? "pos " : "grp ") << ph.position << ": ";
+    if (ph.durationNs.model.valid) {
+      const ScalingModel& m = ph.durationNs.model;
+      out << "duration ~ " << m.text(campaign.paramName) << " (adj R^2 "
+          << fmtG(m.adjR2, 4) << ")";
+    } else {
+      out << "duration model unavailable (" << ph.durationNs.fitError << ")";
+    }
+    if (!ph.projectedSharePercent.empty() && ph.projectedSharePercent.back() >= 0.0) {
+      out << "; projected share " << fmtG(ph.projectedSharePercent.back(), 4)
+          << "% at " << campaign.paramName << '=' << fmtG(campaign.projectAt.back());
+      if (!ph.sharePercent.empty())
+        out << " (" << fmtG(ph.sharePercent.back(), 4) << "% at "
+            << campaign.paramName << '=' << fmtG(ph.durationNs.params.back()) << ")";
+    }
+    double maxEvol = -1.0;
+    for (const double d : ph.evolutionDistancePercent) maxEvol = std::max(maxEvol, d);
+    if (maxEvol >= 0.0)
+      out << "; max internal-evolution distance " << fmtG(maxEvol, 4) << "%";
+    out << '\n';
+  }
+
+  // Unmatched clusters: reported per member, never silently dropped.
+  std::size_t okIdx = 0;
+  for (const auto& m : campaign.members) {
+    if (!m.ok) continue;
+    if (okIdx < campaign.unmatched.size() && !campaign.unmatched[okIdx].empty()) {
+      out << "unmatched in " << m.path << " (" << campaign.paramName << '='
+          << fmtG(m.param) << "):";
+      for (const int id : campaign.unmatched[okIdx]) out << " cluster " << id;
+      out << '\n';
+    }
+    ++okIdx;
+  }
+}
+
+namespace {
+
+void writeModelJson(const MetricSeries& series, std::ostream& out,
+                    const std::string& paramName) {
+  out << "{\"params\": [";
+  for (std::size_t i = 0; i < series.params.size(); ++i)
+    out << (i ? ", " : "") << fmtG(series.params[i], 9);
+  out << "], \"values\": [";
+  for (std::size_t i = 0; i < series.values.size(); ++i)
+    out << (i ? ", " : "") << fmtG(series.values[i], 9);
+  out << "]";
+  if (series.model.valid) {
+    const ScalingModel& m = series.model;
+    out << ", \"model\": {\"c\": " << fmtG(m.c, 9) << ", \"a\": " << fmtG(m.a, 9)
+        << ", \"b\": " << m.b << ", \"adj_r2\": " << fmtG(m.adjR2, 9)
+        << ", \"loo_error\": " << fmtG(m.looError, 9) << ", \"text\": \""
+        << telemetry::escapeJson(m.text(paramName)) << "\"}";
+  } else {
+    out << ", \"error\": \"" << telemetry::escapeJson(series.fitError) << "\"";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void writeCampaignJson(const CampaignResult& campaign, std::ostream& out) {
+  out << "{\n  \"param\": \"" << telemetry::escapeJson(campaign.paramName)
+      << "\",\n  \"structure_matched\": "
+      << (campaign.structureMatched ? "true" : "false") << ",\n  \"traces\": "
+      << campaign.members.size() << ",\n  \"project_at\": [";
+  for (std::size_t i = 0; i < campaign.projectAt.size(); ++i)
+    out << (i ? ", " : "") << fmtG(campaign.projectAt[i], 9);
+  out << "],\n  \"members\": [";
+  for (std::size_t i = 0; i < campaign.members.size(); ++i) {
+    const CampaignMember& m = campaign.members[i];
+    out << (i ? "," : "") << "\n    {\"path\": \"" << telemetry::escapeJson(m.path)
+        << "\", \"param\": " << fmtG(m.param, 9) << ", \"ok\": "
+        << (m.ok ? "true" : "false") << ", \"ranks\": " << m.numRanks
+        << ", \"dropped_shards\": " << m.droppedShards;
+    if (!m.ok)
+      out << ", \"error\": \"" << telemetry::escapeJson(m.error) << "\"";
+    out << "}";
+  }
+  out << "\n  ],\n  \"phases\": [";
+  for (std::size_t i = 0; i < campaign.phases.size(); ++i) {
+    const PhaseScaling& ph = campaign.phases[i];
+    out << (i ? "," : "") << "\n    {\"rank\": " << i << ", \"position\": "
+        << ph.position << ", \"by_structure\": "
+        << (ph.byStructure ? "true" : "false") << ", \"clusters\": [";
+    for (std::size_t j = 0; j < ph.clusterIds.size(); ++j)
+      out << (j ? ", " : "") << ph.clusterIds[j];
+    out << "], \"share_percent\": [";
+    for (std::size_t j = 0; j < ph.sharePercent.size(); ++j)
+      out << (j ? ", " : "") << fmtG(ph.sharePercent[j], 9);
+    out << "], \"projected_share_percent\": [";
+    for (std::size_t j = 0; j < ph.projectedSharePercent.size(); ++j)
+      out << (j ? ", " : "") << fmtG(ph.projectedSharePercent[j], 9);
+    out << "], \"evolution_distance_percent\": [";
+    for (std::size_t j = 0; j < ph.evolutionDistancePercent.size(); ++j)
+      out << (j ? ", " : "") << fmtG(ph.evolutionDistancePercent[j], 9);
+    out << "],\n     \"duration_ns\": ";
+    writeModelJson(ph.durationNs, out, campaign.paramName);
+    out << ",\n     \"mips\": ";
+    writeModelJson(ph.mips, out, campaign.paramName);
+    out << ",\n     \"ipc\": ";
+    writeModelJson(ph.ipc, out, campaign.paramName);
+    out << ",\n     \"phase_time_ns\": ";
+    writeModelJson(ph.phaseTimeNs, out, campaign.paramName);
+    out << "}";
+  }
+  out << "\n  ],\n  \"unmatched\": [";
+  for (std::size_t i = 0; i < campaign.unmatched.size(); ++i) {
+    out << (i ? ", " : "") << "[";
+    for (std::size_t j = 0; j < campaign.unmatched[i].size(); ++j)
+      out << (j ? ", " : "") << campaign.unmatched[i][j];
+    out << "]";
+  }
+  out << "],\n  \"warnings\": [";
+  for (std::size_t i = 0; i < campaign.warnings.size(); ++i)
+    out << (i ? ", " : "") << "\"" << telemetry::escapeJson(campaign.warnings[i])
+        << "\"";
+  out << "]\n}\n";
+}
+
+void writeExtrapText(const CampaignResult& campaign, std::ostream& out) {
+  // The classic Extra-P text input: one PARAMETER, the measured POINTS, and
+  // per METRIC/REGION one DATA line per point. The format cannot express a
+  // missing measurement, so phases absent at any point are declared in
+  // comments instead of being silently dropped.
+  std::vector<const CampaignMember*> ok;
+  for (const auto& m : campaign.members)
+    if (m.ok) ok.push_back(&m);
+
+  out << "# Extra-P text interchange written by `unveil campaign`\n";
+  out << "PARAMETER " << campaign.paramName << "\n\n";
+  out << "POINTS";
+  for (const auto* m : ok) out << ' ' << fmtG(m->param, 9);
+  out << "\n";
+
+  const std::array<std::pair<const char*, const MetricSeries PhaseScaling::*>, 4>
+      metrics = {{{"duration_ns", &PhaseScaling::durationNs},
+                  {"mips", &PhaseScaling::mips},
+                  {"ipc", &PhaseScaling::ipc},
+                  {"phase_time_ns", &PhaseScaling::phaseTimeNs}}};
+  for (const auto& [name, member] : metrics) {
+    out << "\nMETRIC " << name << "\n";
+    for (const auto& ph : campaign.phases) {
+      const MetricSeries& series = ph.*member;
+      const std::string region =
+          std::string(ph.byStructure ? "phase_pos" : "phase_grp") +
+          std::to_string(ph.position);
+      if (series.params.size() != ok.size()) {
+        out << "# REGION " << region << " omitted: present at "
+            << series.params.size() << " of " << ok.size() << " points\n";
+        continue;
+      }
+      out << "REGION " << region << "\n";
+      for (const double v : series.values) out << "DATA " << fmtG(v, 9) << "\n";
+    }
+  }
+}
+
+}  // namespace unveil::analysis

@@ -1,0 +1,183 @@
+#pragma once
+
+/// \file campaign.hpp
+/// N-trace fleet analysis: one scaling campaign (4/16/64/256 ranks, or any
+/// other scale parameter) analyzed in a single run, with per-phase scaling
+/// models fitted over the parameter.
+///
+/// The paper's contribution is seeing *inside* a phase of one run; the next
+/// question an analyst asks is "which phase will dominate at a scale I have
+/// not run yet?". In the spirit of Extra-P's compositional models, every
+/// trace of the campaign is pushed through the standard pipeline, clusters
+/// are matched across all N traces by iteration-structure position
+/// (analysis/match.hpp — the diffrun matcher generalized from 2 to N, with
+/// a greedy feature-space fallback and explicit unmatched reporting), and
+/// each matched phase gets log-log least-squares models over the parameter
+/// for duration, MIPS, IPC and absolute phase time, drawn from the family
+///
+///     y(p) = c * p^a * log2(p)^b        (b in {0, 1}, a free)
+///
+/// The best family member is chosen by adjusted R^2 with a leave-one-out
+/// cross-validation guard so 3-4 measured points cannot be overfitted.
+/// Phase-time models compose into a projected time-share at any unseen p —
+/// "phase 2 grows ~p^1.4 and will dominate at p=4096".
+///
+/// Per-trace analyses run as ThreadPool tasks with per-trace fault
+/// isolation: a corrupt member degrades that one series point (mirroring
+/// the per-shard degradation policy of trace reads) instead of failing the
+/// campaign. Output is byte-identical for any thread count.
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "unveil/analysis/match.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "unveil/support/table.hpp"
+#include "unveil/trace/binary_io.hpp"
+
+namespace unveil::analysis {
+
+/// One fitted scaling model y(p) = c * p^a * log2(p)^b.
+struct ScalingModel {
+  double c = 0.0;      ///< Coefficient (always > 0; fits run in log space).
+  double a = 0.0;      ///< Power exponent (0 in the constant/log families).
+  int b = 0;           ///< log2 exponent: 0 or 1.
+  double adjR2 = 0.0;  ///< Adjusted R^2 in log space.
+  /// Leave-one-out mean absolute prediction error in log space — the
+  /// cross-validation guard's metric.
+  double looError = 0.0;
+  bool valid = false;
+
+  /// Predicted value at \p p (p >= 1).
+  [[nodiscard]] double eval(double p) const;
+  /// Human-readable form, e.g. "1.41e+06 * ranks^1.40 * log2(ranks)".
+  [[nodiscard]] std::string text(const std::string& paramName) const;
+};
+
+/// Fits the model family to (p, y) by log-log least squares. Requires at
+/// least 3 points with at least 3 distinct positive p values and strictly
+/// positive y values; throws AnalysisError naming \p context and the
+/// offending value otherwise (degenerate inputs must fail loudly, never
+/// produce NaN models).
+[[nodiscard]] ScalingModel fitScalingModel(std::span<const double> p,
+                                           std::span<const double> y,
+                                           const std::string& context);
+
+/// One campaign input: a trace path, optionally annotated with its scale
+/// parameter value (otherwise inferred from the trace's rank count when the
+/// campaign parameter is "ranks").
+struct CampaignMemberSpec {
+  std::string path;
+  std::optional<double> param;
+};
+
+/// Campaign configuration.
+struct CampaignOptions {
+  PipelineConfig pipeline;
+  trace::ReadOptions read;
+  /// Stream UVTB2 members through the bounded-memory engine (non-streamable
+  /// formats fall back to the batch reader per member).
+  bool stream = false;
+  /// Name of the scale parameter ("ranks" enables inference from the trace
+  /// header; any other name requires explicit path=value annotations).
+  std::string paramName = "ranks";
+  /// Parameter values to project per-phase time shares at. When empty, one
+  /// projection at 4x the largest measured parameter is added.
+  std::vector<double> projectAt;
+};
+
+/// Per-trace outcome. A member that failed to analyze stays in the list
+/// with ok == false and the error text — degraded, never silently dropped.
+struct CampaignMember {
+  std::string path;
+  double param = 0.0;
+  bool ok = false;
+  std::string error;
+  trace::Rank numRanks = 0;
+  std::size_t droppedShards = 0;
+  std::size_t totalShards = 0;
+  /// Sum of all burst durations — the absolute base of time-share models.
+  double totalBurstTimeNs = 0.0;
+  PipelineResult result;
+};
+
+/// One metric's series and fitted model across the campaign.
+struct MetricSeries {
+  std::vector<double> params;  ///< p values where the phase was present.
+  std::vector<double> values;  ///< Metric at each of those p.
+  ScalingModel model;          ///< Invalid when fitError is nonempty.
+  std::string fitError;        ///< Why no model could be fitted.
+};
+
+/// One matched phase's scaling behavior.
+struct PhaseScaling {
+  /// Iteration-structure position (or anchor cluster id in fallback mode).
+  std::size_t position = 0;
+  bool byStructure = true;
+  /// Per-ok-member cluster id (-1 where the phase was not found), aligned
+  /// with the ok members of CampaignResult::members in param order.
+  std::vector<int> clusterIds;
+  MetricSeries durationNs;   ///< Mean instance duration.
+  MetricSeries mips;         ///< Average MIPS.
+  MetricSeries ipc;          ///< Average IPC.
+  MetricSeries phaseTimeNs;  ///< Absolute phase time (share x total burst time).
+  /// Observed time-share (percent) per present member.
+  std::vector<double> sharePercent;
+  /// Internal-evolution distance (mean abs diff of the normalized TOT_INS
+  /// fold curve, percent) between consecutive present members; -1 when a
+  /// side lacks a comparable curve.
+  std::vector<double> evolutionDistancePercent;
+  /// Projected time-share (percent) at each CampaignResult::projectAt value
+  /// (via the phase-time models of all modelled phases); -1 when this
+  /// phase has no valid phase-time model.
+  std::vector<double> projectedSharePercent;
+};
+
+/// Everything a campaign produced.
+struct CampaignResult {
+  std::string paramName;
+  std::vector<CampaignMember> members;  ///< Sorted by (param, path).
+  bool structureMatched = false;
+  /// Phases ranked by projected share at the last projection point,
+  /// descending (unmodelled phases last, by observed share).
+  std::vector<PhaseScaling> phases;
+  /// Per-ok-member unmatched cluster ids (aligned with ok members).
+  std::vector<std::vector<int>> unmatched;
+  std::vector<double> projectAt;
+  std::vector<std::string> warnings;
+};
+
+/// Runs the full campaign: per-trace pipeline (parallel, fault-isolated),
+/// N-way matching, model fitting, projection and ranking. Throws
+/// ConfigError on fewer than 3 specs or missing required annotations, and
+/// AnalysisError when fewer than 3 members survive analysis.
+[[nodiscard]] CampaignResult runCampaign(
+    const std::vector<CampaignMemberSpec>& specs, const CampaignOptions& options);
+
+/// Matching + fitting + ranking over already-analyzed members (params must
+/// be set; ok members need results). Exposed separately so the modeling
+/// layer is testable without trace files; runCampaign delegates to it.
+[[nodiscard]] CampaignResult buildCampaign(std::vector<CampaignMember> members,
+                                           const CampaignOptions& options);
+
+/// The ranked per-phase table of the text report.
+[[nodiscard]] support::Table campaignTable(const CampaignResult& campaign);
+
+/// Full human-readable report (warnings, member roster, table, headline
+/// projection lines, unmatched clusters).
+void printCampaignReport(const CampaignResult& campaign, std::ostream& out);
+
+/// Machine-readable campaign JSON.
+void writeCampaignJson(const CampaignResult& campaign, std::ostream& out);
+
+/// Extra-P text interchange format (PARAMETER/POINTS/METRIC/REGION/DATA) so
+/// campaign measurements load into external modeling tooling. Phases absent
+/// at any measured point are listed as comments (the format has no notion
+/// of missing measurements), never silently dropped.
+void writeExtrapText(const CampaignResult& campaign, std::ostream& out);
+
+}  // namespace unveil::analysis

@@ -3,39 +3,13 @@
 #include <algorithm>
 #include <map>
 
-#include "unveil/cluster/structure.hpp"
+#include "unveil/analysis/match.hpp"
 #include "unveil/folding/accuracy.hpp"
 #include "unveil/support/error.hpp"
 
 namespace unveil::analysis {
 
 namespace {
-
-/// Modal period position per cluster id (kNoiseLabel excluded).
-std::map<int, std::size_t> modalPositions(const PipelineResult& r) {
-  std::map<int, std::map<std::size_t, std::size_t>> hist;
-  const auto sequences = cluster::clusterSequences(r.bursts, r.clustering);
-  const std::size_t period = r.period.period;
-  if (period == 0) return {};
-  for (const auto& seq : sequences) {
-    for (std::size_t i = 0; i < seq.labels.size(); ++i) {
-      if (seq.labels[i] < 0) continue;
-      ++hist[seq.labels[i]][i % period];
-    }
-  }
-  std::map<int, std::size_t> out;
-  for (const auto& [label, positions] : hist) {
-    std::size_t best = 0, bestCount = 0;
-    for (const auto& [pos, count] : positions) {
-      if (count > bestCount) {
-        bestCount = count;
-        best = pos;
-      }
-    }
-    out[label] = best;
-  }
-  return out;
-}
 
 double percentDelta(double a, double b) {
   return a != 0.0 ? (b - a) / a * 100.0 : 0.0;
@@ -48,25 +22,11 @@ RunDiff diffRuns(const PipelineResult& a, const PipelineResult& b) {
   diff.periodsMatch =
       a.period.period != 0 && a.period.period == b.period.period;
 
-  // position -> cluster id (largest cluster wins a contested position).
-  auto assign = [](const PipelineResult& r,
-                   const std::map<int, std::size_t>& positions) {
-    std::map<std::size_t, int> byPosition;
-    for (const auto& [label, pos] : positions) {
-      auto it = byPosition.find(pos);
-      if (it == byPosition.end() ||
-          r.clusters[static_cast<std::size_t>(label)].instances >
-              r.clusters[static_cast<std::size_t>(it->second)].instances) {
-        byPosition[pos] = label;
-      }
-    }
-    return byPosition;
-  };
-
   std::map<std::size_t, int> posA, posB;
   if (diff.periodsMatch) {
-    posA = assign(a, modalPositions(a));
-    posB = assign(b, modalPositions(b));
+    // Shared with the N-trace campaign matcher (analysis/match.hpp).
+    posA = positionAssignment(a, modalPeriodPositions(a));
+    posB = positionAssignment(b, modalPeriodPositions(b));
   } else {
     // Fallback: pair by cluster id.
     for (std::size_t c = 0; c < a.clustering.numClusters; ++c)

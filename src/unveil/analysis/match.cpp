@@ -1,0 +1,183 @@
+#include "unveil/analysis/match.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "unveil/cluster/structure.hpp"
+
+namespace unveil::analysis {
+
+std::map<int, std::size_t> modalPeriodPositions(const PipelineResult& r) {
+  std::map<int, std::map<std::size_t, std::size_t>> hist;
+  const auto sequences = cluster::clusterSequences(r.bursts, r.clustering);
+  const std::size_t period = r.period.period;
+  if (period == 0) return {};
+  for (const auto& seq : sequences) {
+    for (std::size_t i = 0; i < seq.labels.size(); ++i) {
+      if (seq.labels[i] < 0) continue;
+      ++hist[seq.labels[i]][i % period];
+    }
+  }
+  std::map<int, std::size_t> out;
+  for (const auto& [label, positions] : hist) {
+    std::size_t best = 0, bestCount = 0;
+    for (const auto& [pos, count] : positions) {
+      if (count > bestCount) {
+        bestCount = count;
+        best = pos;
+      }
+    }
+    out[label] = best;
+  }
+  return out;
+}
+
+std::map<std::size_t, int> positionAssignment(
+    const PipelineResult& r, const std::map<int, std::size_t>& positions) {
+  std::map<std::size_t, int> byPosition;
+  for (const auto& [label, pos] : positions) {
+    auto it = byPosition.find(pos);
+    if (it == byPosition.end() ||
+        r.clusters[static_cast<std::size_t>(label)].instances >
+            r.clusters[static_cast<std::size_t>(it->second)].instances) {
+      byPosition[pos] = label;
+    }
+  }
+  return byPosition;
+}
+
+namespace {
+
+/// Per-cluster feature vector for the fallback matcher, z-scored within one
+/// run so scale-dependent absolute levels (a sweep is 10x longer at 64
+/// ranks) cancel and only the *relative* phase signature remains.
+std::vector<std::array<double, 3>> normalizedSignatures(const PipelineResult& r) {
+  const std::size_t n = r.clusters.size();
+  std::vector<std::array<double, 3>> raw(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    raw[i] = {std::log(std::max(1.0, r.clusters[i].meanDurationNs)),
+              r.clusters[i].avgIpc, r.clusters[i].avgMips};
+  }
+  for (std::size_t f = 0; f < 3; ++f) {
+    double mean = 0.0;
+    for (const auto& v : raw) mean += v[f];
+    if (n > 0) mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const auto& v : raw) var += (v[f] - mean) * (v[f] - mean);
+    const double sd = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+    for (auto& v : raw) v[f] = sd > 0.0 ? (v[f] - mean) / sd : 0.0;
+  }
+  return raw;
+}
+
+double signatureDistance(const std::array<double, 3>& a,
+                         const std::array<double, 3>& b) {
+  double d = 0.0;
+  for (std::size_t f = 0; f < 3; ++f) d += (a[f] - b[f]) * (a[f] - b[f]);
+  return d;
+}
+
+/// Greedy feature-space fallback: the run with the most clusters anchors the
+/// rows; every other run's clusters are assigned to the nearest unused
+/// anchor in z-scored (log duration, IPC, MIPS) space, cheapest pairs first.
+MatchResult matchByFeatures(std::span<const PipelineResult* const> runs) {
+  MatchResult out;
+  out.structureMatched = false;
+  out.unmatched.resize(runs.size());
+
+  std::size_t anchor = 0;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i]->clusters.size() > runs[anchor]->clusters.size()) anchor = i;
+  }
+  const auto anchorSig = normalizedSignatures(*runs[anchor]);
+  const std::size_t rows = anchorSig.size();
+  out.phases.resize(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    out.phases[row].position = row;
+    out.phases[row].byStructure = false;
+    out.phases[row].clusterIds.assign(runs.size(), -1);
+    out.phases[row].clusterIds[anchor] = static_cast<int>(row);
+  }
+
+  for (std::size_t ri = 0; ri < runs.size(); ++ri) {
+    if (ri == anchor) continue;
+    const auto sig = normalizedSignatures(*runs[ri]);
+    // All (row, cluster) pairs by ascending distance; ties by row then id so
+    // the assignment is deterministic.
+    struct Pair {
+      double dist;
+      std::size_t row;
+      std::size_t cluster;
+    };
+    std::vector<Pair> pairs;
+    pairs.reserve(rows * sig.size());
+    for (std::size_t row = 0; row < rows; ++row)
+      for (std::size_t c = 0; c < sig.size(); ++c)
+        pairs.push_back({signatureDistance(anchorSig[row], sig[c]), row, c});
+    std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+      if (a.dist != b.dist) return a.dist < b.dist;
+      if (a.row != b.row) return a.row < b.row;
+      return a.cluster < b.cluster;
+    });
+    std::vector<bool> rowUsed(rows, false), clusterUsed(sig.size(), false);
+    for (const Pair& p : pairs) {
+      if (rowUsed[p.row] || clusterUsed[p.cluster]) continue;
+      rowUsed[p.row] = true;
+      clusterUsed[p.cluster] = true;
+      out.phases[p.row].clusterIds[ri] = static_cast<int>(p.cluster);
+    }
+    for (std::size_t c = 0; c < sig.size(); ++c)
+      if (!clusterUsed[c]) out.unmatched[ri].push_back(static_cast<int>(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+MatchResult matchAcross(std::span<const PipelineResult* const> runs) {
+  MatchResult out;
+  out.unmatched.resize(runs.size());
+  if (runs.empty()) return out;
+
+  bool structural = runs[0]->period.period != 0;
+  for (const auto* r : runs)
+    structural = structural && r->period.period == runs[0]->period.period;
+  if (!structural) return matchByFeatures(runs);
+
+  out.structureMatched = true;
+  std::vector<std::map<std::size_t, int>> byPosition(runs.size());
+  std::set<std::size_t> allPositions;
+  for (std::size_t ri = 0; ri < runs.size(); ++ri) {
+    byPosition[ri] = positionAssignment(*runs[ri], modalPeriodPositions(*runs[ri]));
+    for (const auto& [pos, id] : byPosition[ri]) {
+      (void)id;
+      allPositions.insert(pos);
+    }
+  }
+  for (const std::size_t pos : allPositions) {
+    MatchedPhase row;
+    row.position = pos;
+    row.byStructure = true;
+    row.clusterIds.assign(runs.size(), -1);
+    for (std::size_t ri = 0; ri < runs.size(); ++ri) {
+      const auto it = byPosition[ri].find(pos);
+      if (it != byPosition[ri].end()) row.clusterIds[ri] = it->second;
+    }
+    out.phases.push_back(std::move(row));
+  }
+  // Anything not placed in a row — contested-position losers — is reported,
+  // never dropped on the floor.
+  for (std::size_t ri = 0; ri < runs.size(); ++ri) {
+    std::set<int> placed;
+    for (const auto& row : out.phases)
+      if (row.clusterIds[ri] >= 0) placed.insert(row.clusterIds[ri]);
+    for (std::size_t c = 0; c < runs[ri]->clusters.size(); ++c)
+      if (!placed.contains(static_cast<int>(c)))
+        out.unmatched[ri].push_back(static_cast<int>(c));
+  }
+  return out;
+}
+
+}  // namespace unveil::analysis

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file match.hpp
+/// Cross-run cluster matching, shared by diffrun (pairwise) and campaign
+/// (N-trace).
+///
+/// The stable invariant under both optimization and scale is a phase's
+/// *position in the iteration structure*: feature-space positions move (that
+/// is the point of comparing runs), but a stencil sweep stays the second
+/// phase of every iteration whether it runs on 4 ranks or 256. Matching
+/// therefore aligns clusters by their modal period position whenever every
+/// run detected the same period, and falls back to a greedy feature-space
+/// assignment (z-scored duration/MIPS/IPC distance) when the structures
+/// disagree. Clusters no assignment can place are reported explicitly —
+/// never silently dropped.
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "unveil/analysis/pipeline.hpp"
+
+namespace unveil::analysis {
+
+/// Modal period position per cluster id (noise excluded). Empty when the
+/// run has no detected period.
+[[nodiscard]] std::map<int, std::size_t> modalPeriodPositions(
+    const PipelineResult& r);
+
+/// position -> cluster id; the largest cluster wins a contested position.
+[[nodiscard]] std::map<std::size_t, int> positionAssignment(
+    const PipelineResult& r, const std::map<int, std::size_t>& positions);
+
+/// One phase matched across N runs.
+struct MatchedPhase {
+  /// Period position (structure matching) or anchor-run cluster id
+  /// (feature-space fallback) — the row's stable identity.
+  std::size_t position = 0;
+  /// Per-run cluster id, aligned with the runs passed to matchAcross();
+  /// -1 when the run has no cluster at this position.
+  std::vector<int> clusterIds;
+  /// True when the row was aligned by iteration structure, false when it
+  /// came from the greedy feature-space fallback.
+  bool byStructure = true;
+};
+
+/// Outcome of an N-way match.
+struct MatchResult {
+  /// Matched rows, ordered by position (structure) / anchor id (fallback).
+  std::vector<MatchedPhase> phases;
+  /// Per-run cluster ids that ended up in no row (contested-position losers
+  /// and fallback leftovers). Same length as the run span.
+  std::vector<std::vector<int>> unmatched;
+  /// True when every run detected the same nonzero period and rows were
+  /// aligned by structure.
+  bool structureMatched = false;
+};
+
+/// Matches clusters across \p runs (>= 1). Structure alignment when all
+/// periods agree, greedy feature-space assignment otherwise.
+[[nodiscard]] MatchResult matchAcross(
+    std::span<const PipelineResult* const> runs);
+
+}  // namespace unveil::analysis

@@ -26,12 +26,17 @@ std::string boundsText(T min, T max, bool openMin, bool openMax) {
 
 }  // namespace
 
-Args Args::parse(const std::vector<std::string>& argv) {
+Args Args::parse(const std::vector<std::string>& argv, bool allowPositionals) {
   Args args;
   for (std::size_t i = 0; i < argv.size(); ++i) {
     const std::string& tok = argv[i];
-    if (tok.rfind("--", 0) != 0 || tok.size() <= 2)
+    if (tok.rfind("--", 0) != 0 || tok.size() <= 2) {
+      if (allowPositionals && tok.rfind("--", 0) != 0) {
+        args.positionals_.push_back(tok);
+        continue;
+      }
       throw ConfigError("unexpected argument '" + tok + "' (flags are --name [value])");
+    }
     std::string name = tok.substr(2);
     std::string value;
     // --name=value and --name value are equivalent; '=' wins so values that

@@ -2,8 +2,10 @@
 
 /// \file args.hpp
 /// Minimal command-line option parser for the unveil tool. Flags are
-/// `--name value`, `--name=value`, or boolean `--name`; positional
-/// arguments are rejected to keep invocations explicit.
+/// `--name value`, `--name=value`, or boolean `--name`. Positional
+/// arguments are rejected by default to keep invocations explicit;
+/// commands that take a variable-length trace list (campaign,
+/// telemetry-diff) opt in via parse(..., allowPositionals).
 
 #include <limits>
 #include <map>
@@ -17,8 +19,14 @@ namespace unveil::cli {
 class Args {
  public:
   /// Parses `--key [value]` / `--key=value` pairs from \p argv. Throws
-  /// ConfigError on malformed input (positional args, missing flag names).
-  static Args parse(const std::vector<std::string>& argv);
+  /// ConfigError on malformed input (positional args unless
+  /// \p allowPositionals, missing flag names). With \p allowPositionals,
+  /// tokens not starting with "--" that are not consumed as flag values
+  /// are collected in order into positionals(). Note the pre-existing
+  /// binding rule: `--boolflag token` binds token as the flag's value —
+  /// list positionals first or use --flag=value forms to avoid ambiguity.
+  static Args parse(const std::vector<std::string>& argv,
+                    bool allowPositionals = false);
 
   /// True when the flag was given (with or without value).
   [[nodiscard]] bool has(const std::string& name) const;
@@ -41,8 +49,15 @@ class Args {
   /// Names that were parsed but never queried — used to reject typos.
   [[nodiscard]] std::vector<std::string> unusedFlags() const;
 
+  /// Positional arguments in command-line order (empty unless parse was
+  /// called with allowPositionals).
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
   mutable std::map<std::string, bool> used_;
 };
 

@@ -6,6 +6,11 @@
 #include <fstream>
 #include <memory>
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "unveil/analysis/campaign.hpp"
 #include "unveil/analysis/diffrun.hpp"
 #include "unveil/analysis/evolution.hpp"
 #include "unveil/analysis/experiments.hpp"
@@ -271,6 +276,19 @@ std::string usage() {
          "          [--mem-threshold PCT]  peak-RSS threshold (default 25)\n"
          "          [--min-wall-ms X]      ignore spans below X ms (default 1)\n"
          "          exit 0 = no regressions, 3 = regressions found\n"
+         "  campaign TRACE[=PARAM] TRACE[=PARAM] TRACE[=PARAM] ...\n"
+         "          per-phase scaling models over >= 3 traces at different\n"
+         "          scales; list traces before any flags\n"
+         "          [--param NAME]   scale parameter name (default ranks,\n"
+         "                           inferred from each trace's rank count;\n"
+         "                           other names need TRACE=VALUE annotations)\n"
+         "          [--project LIST] comma-separated parameter values to\n"
+         "                           project time shares at (default: 4x the\n"
+         "                           largest measured value)\n"
+         "          [--json-out FILE]   machine-readable campaign JSON\n"
+         "          [--extrap-out FILE] Extra-P text interchange file\n"
+         "          [--stream]       stream UVTB2 members (bounded memory)\n"
+         "          plus the analyze pipeline flags (--eps, --mpi-gaps, ...)\n"
          "global flags (any command):\n"
          "  --threads N         worker threads for parallel stages (default:\n"
          "                      $UNVEIL_THREADS, then hardware concurrency);\n"
@@ -628,27 +646,124 @@ int cmdTelemetryDiff(const std::vector<std::string>& paths, const Args& args,
   return 0;
 }
 
+namespace {
+
+/// Splits one positional campaign token into path and optional =PARAM
+/// annotation. The value is range-validated like every numeric flag; a
+/// malformed annotation names the offending token in full.
+analysis::CampaignMemberSpec parseCampaignMember(const std::string& tok) {
+  analysis::CampaignMemberSpec spec;
+  const auto eq = tok.rfind('=');
+  if (eq == std::string::npos) {
+    spec.path = tok;
+    return spec;
+  }
+  const std::string valueText = tok.substr(eq + 1);
+  const std::string path = tok.substr(0, eq);
+  if (path.empty())
+    throw ConfigError("malformed trace annotation '" + tok +
+                      "': empty trace path before '=' (expected TRACE=VALUE)");
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(valueText.c_str(), &end);
+  if (valueText.empty() || end == nullptr || *end != '\0')
+    throw ConfigError("malformed trace annotation '" + tok + "': '" + valueText +
+                      "' is not a number (expected TRACE=VALUE)");
+  if (errno == ERANGE || !std::isfinite(v) || v < 1e-6 || v > 1e12)
+    throw ConfigError("trace annotation '" + tok +
+                      "' must carry a value in [1e-06, 1e+12], got " + valueText);
+  spec.path = path;
+  spec.param = v;
+  return spec;
+}
+
+}  // namespace
+
+int cmdCampaign(const Args& args, std::ostream& out) {
+  std::vector<analysis::CampaignMemberSpec> specs;
+  specs.reserve(args.positionals().size());
+  for (const auto& tok : args.positionals())
+    specs.push_back(parseCampaignMember(tok));
+  if (specs.size() < 3) {
+    out << "error: campaign requires at least 3 trace arguments, got "
+        << specs.size() << "\n"
+        << "usage: unveil campaign TRACE[=PARAM] TRACE[=PARAM] TRACE[=PARAM] "
+           "... [--param NAME] [--project LIST] [--json-out FILE] "
+           "[--extrap-out FILE]\n";
+    return 2;
+  }
+
+  analysis::CampaignOptions options;
+  options.pipeline = analyzeConfigFromArgs(args);
+  options.read = readOptionsFromArgs(args);
+  options.stream = args.has("stream");
+  options.paramName = args.get("param", "ranks");
+  if (options.paramName.empty())
+    throw ConfigError("flag --param expects a nonempty parameter name");
+  if (args.has("project")) {
+    const std::string list = args.get("project");
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string item = list.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(item.c_str(), &end);
+      if (item.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+          !std::isfinite(v) || v < 1e-6 || v > 1e12)
+        throw ConfigError("flag --project expects comma-separated values in "
+                          "[1e-06, 1e+12], got '" + item + "' in '" + list + "'");
+      options.projectAt.push_back(v);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  const std::string jsonPath = args.get("json-out", "");
+  const std::string extrapPath = args.get("extrap-out", "");
+  if (const int rc = failOnUnused(args, out)) return rc;
+
+  // Output sinks open before the (potentially long) analysis so a bad path
+  // fails in seconds, not hours.
+  std::ofstream jsonOut, extrapOut;
+  if (!jsonPath.empty()) {
+    jsonOut.open(jsonPath);
+    if (!jsonOut)
+      throw ConfigError("cannot open --json-out path '" + jsonPath + "'");
+  }
+  if (!extrapPath.empty()) {
+    extrapOut.open(extrapPath);
+    if (!extrapOut)
+      throw ConfigError("cannot open --extrap-out path '" + extrapPath + "'");
+  }
+
+  const auto campaign = analysis::runCampaign(specs, options);
+  analysis::printCampaignReport(campaign, out);
+  if (jsonOut.is_open()) {
+    analysis::writeCampaignJson(campaign, jsonOut);
+    out << "campaign JSON -> " << jsonPath << '\n';
+  }
+  if (extrapOut.is_open()) {
+    analysis::writeExtrapText(campaign, extrapOut);
+    out << "Extra-P text -> " << extrapPath << '\n';
+  }
+  return 0;
+}
+
 int runCli(const std::vector<std::string>& argv, std::ostream& out) {
   if (argv.empty()) {
     out << usage();
     return 2;
   }
   const std::string command = argv.front();
-  std::vector<std::string> rest(argv.begin() + 1, argv.end());
-  // telemetry-diff takes its two inputs positionally (unveil telemetry-diff
-  // A.json B.json --threshold 5); peel leading non-flag tokens off before
-  // the flag parser, which rejects positionals for every other command.
-  std::vector<std::string> positionals;
-  if (command == "telemetry-diff") {
-    auto it = rest.begin();
-    while (it != rest.end() && it->rfind("--", 0) != 0) {
-      positionals.push_back(std::move(*it));
-      it = rest.erase(it);
-    }
-  }
+  const std::vector<std::string> rest(argv.begin() + 1, argv.end());
+  // telemetry-diff and campaign take variable-length input lists
+  // positionally (unveil campaign a.uvtb b.uvtb c.uvtb --param ranks); every
+  // other command keeps the strict flags-only grammar.
+  const bool wantsPositionals = command == "telemetry-diff" || command == "campaign";
   bool flightrec = false;
   try {
-    const Args args = Args::parse(rest);
+    const Args args = Args::parse(rest, wantsPositionals);
     // --strict is consumed lazily (by loadTrace, after unused-flag
     // checking); touch it here so it registers as a known global flag.
     (void)args.has("strict");
@@ -669,7 +784,8 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out) {
       if (command == "serve") return cmdServe(args, out);
       if (command == "client") return cmdClient(args, out);
       if (command == "telemetry-diff")
-        return cmdTelemetryDiff(positionals, args, out);
+        return cmdTelemetryDiff(args.positionals(), args, out);
+      if (command == "campaign") return cmdCampaign(args, out);
       out << "error: unknown command '" << command << "'\n" << usage();
       return 2;
     };

@@ -17,6 +17,10 @@
 ///   export-paraver  convert a trace file to a Paraver .prv/.pcf/.row triple.
 ///   telemetry-diff  A/B-compare two --metrics-out dumps stage by stage;
 ///                   exits 3 when run B regresses past the noise threshold.
+///   campaign        N-trace scaling campaign: per-phase scaling models
+///                   (Extra-P-style c*p^a*log2(p)^b) over a series of traces
+///                   at different scales, with projected time shares at
+///                   unseen scales.
 
 #include <iosfwd>
 #include <optional>
@@ -44,6 +48,8 @@ int cmdExportParaver(const Args& args, std::ostream& out);
 /// \p paths are the two positional metrics-JSON files (baseline, candidate).
 int cmdTelemetryDiff(const std::vector<std::string>& paths, const Args& args,
                      std::ostream& out);
+/// Trace paths come in as positionals, optionally annotated TRACE=PARAM.
+int cmdCampaign(const Args& args, std::ostream& out);
 
 /// cmdAnalyze's implementation, shared with the serve daemon (server.hpp):
 /// \p fault optionally injects I/O faults into this one invocation's

@@ -1,0 +1,330 @@
+/// Tests for the N-trace scaling campaign (analysis/campaign.hpp): the
+/// model fitter against series with known exponents, degenerate-input
+/// rejection, and the end-to-end campaign on simulated scaling series.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "unveil/analysis/campaign.hpp"
+#include "unveil/analysis/experiments.hpp"
+#include "unveil/support/error.hpp"
+#include "unveil/trace/binary_io.hpp"
+#include "test_util.hpp"
+
+namespace unveil::analysis {
+namespace {
+
+std::vector<double> apply(const std::vector<double>& p,
+                          double (*f)(double)) {
+  std::vector<double> y;
+  for (const double v : p) y.push_back(f(v));
+  return y;
+}
+
+const std::vector<double> kP = {4.0, 8.0, 16.0, 32.0};
+
+TEST(FitScalingModel, RecoversLinear) {
+  const auto y = apply(kP, +[](double p) { return 3.5 * p; });
+  const auto m = fitScalingModel(kP, y, "linear");
+  ASSERT_TRUE(m.valid);
+  EXPECT_NEAR(m.a, 1.0, 0.05);
+  EXPECT_EQ(m.b, 0);
+  EXPECT_NEAR(m.c, 3.5, 0.2);
+  EXPECT_GT(m.adjR2, 0.999);
+}
+
+TEST(FitScalingModel, RecoversQuadratic) {
+  const auto y = apply(kP, +[](double p) { return 0.25 * p * p; });
+  const auto m = fitScalingModel(kP, y, "quadratic");
+  ASSERT_TRUE(m.valid);
+  EXPECT_NEAR(m.a, 2.0, 0.05);
+  EXPECT_EQ(m.b, 0);
+}
+
+TEST(FitScalingModel, RecoversPLogP) {
+  const auto y = apply(kP, +[](double p) { return 2.0 * p * std::log2(p); });
+  const auto m = fitScalingModel(kP, y, "plogp");
+  ASSERT_TRUE(m.valid);
+  EXPECT_EQ(m.b, 1);
+  EXPECT_NEAR(m.a, 1.0, 0.05);
+  EXPECT_NEAR(m.c, 2.0, 0.2);
+}
+
+TEST(FitScalingModel, RecoversConstant) {
+  const std::vector<double> y = {7.0, 7.0, 7.0, 7.0};
+  const auto m = fitScalingModel(kP, y, "constant");
+  ASSERT_TRUE(m.valid);
+  EXPECT_DOUBLE_EQ(m.a, 0.0);
+  EXPECT_EQ(m.b, 0);
+  EXPECT_NEAR(m.c, 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.adjR2, 1.0);
+}
+
+TEST(FitScalingModel, NoisyConstantStaysConstant) {
+  // 1% noise must not promote the model past the LOO guard into a bogus
+  // power law on 4 points.
+  const std::vector<double> y = {7.0, 7.05, 6.96, 7.02};
+  const auto m = fitScalingModel(kP, y, "noisy");
+  ASSERT_TRUE(m.valid);
+  EXPECT_NEAR(m.eval(64.0), 7.0, 1.0);
+  EXPECT_LT(std::abs(m.a), 0.15);
+}
+
+TEST(FitScalingModel, ProjectionAtUnseenScale) {
+  const auto y = apply(kP, +[](double p) { return 10.0 * p; });
+  const auto m = fitScalingModel(kP, y, "proj");
+  ASSERT_TRUE(m.valid);
+  EXPECT_NEAR(m.eval(256.0), 2560.0, 2560.0 * 0.02);
+}
+
+TEST(FitScalingModel, RejectsTooFewPoints) {
+  const std::vector<double> p = {4.0, 8.0};
+  const std::vector<double> y = {1.0, 2.0};
+  try {
+    (void)fitScalingModel(p, y, "duration of phase 3");
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    EXPECT_NE(std::string(e.what()).find("duration of phase 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos);
+  }
+}
+
+TEST(FitScalingModel, RejectsZeroVarianceScales) {
+  const std::vector<double> p = {8.0, 8.0, 8.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  try {
+    (void)fitScalingModel(p, y, "ctx");
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    EXPECT_NE(std::string(e.what()).find("distinct"), std::string::npos);
+  }
+}
+
+TEST(FitScalingModel, RejectsNegativeValues) {
+  const std::vector<double> p = {4.0, 8.0, 16.0};
+  const std::vector<double> y = {1.0, -2.0, 3.0};
+  try {
+    (void)fitScalingModel(p, y, "ctx");
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    EXPECT_NE(std::string(e.what()).find("-2"), std::string::npos);
+  }
+}
+
+TEST(FitScalingModel, RejectsNonPositiveScale) {
+  const std::vector<double> p = {0.0, 8.0, 16.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)fitScalingModel(p, y, "ctx"), AnalysisError);
+}
+
+TEST(FitScalingModel, RejectsLengthMismatch) {
+  const std::vector<double> p = {4.0, 8.0, 16.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW((void)fitScalingModel(p, y, "ctx"), AnalysisError);
+}
+
+TEST(FitScalingModel, NeverReturnsNaN) {
+  // A wild but legal series still yields finite parameters.
+  const std::vector<double> p = {2.0, 4.0, 8.0, 16.0};
+  const std::vector<double> y = {1e-9, 1e3, 2.0, 1e9};
+  const auto m = fitScalingModel(p, y, "wild");
+  ASSERT_TRUE(m.valid);
+  EXPECT_TRUE(std::isfinite(m.c));
+  EXPECT_TRUE(std::isfinite(m.a));
+  EXPECT_TRUE(std::isfinite(m.adjR2));
+  EXPECT_TRUE(std::isfinite(m.eval(64.0)));
+}
+
+/// The simulated scaling series: wavesim phase durations scale linearly
+/// with AppParams::scale, so traces at scale 1/4/16 annotated ranks=4/16/64
+/// plant exponent 1.0 in every phase.
+class CampaignFixture : public ::testing::Test {
+ protected:
+  static const std::vector<sim::RunResult>& runs() {
+    static const std::vector<sim::RunResult> r = [] {
+      std::vector<sim::RunResult> out;
+      for (const double scale : {1.0, 4.0, 16.0}) {
+        sim::apps::AppParams p;
+        p.ranks = 4;
+        p.iterations = 30;
+        p.seed = 7;
+        p.scale = scale;
+        out.push_back(
+            analysis::runMeasured("wavesim", p, sim::MeasurementConfig::folding()));
+      }
+      return out;
+    }();
+    return r;
+  }
+
+  static std::vector<CampaignMember> members() {
+    const double params[] = {4.0, 16.0, 64.0};
+    std::vector<CampaignMember> out;
+    for (std::size_t i = 0; i < 3; ++i) {
+      CampaignMember m;
+      m.path = "trace" + std::to_string(i);
+      m.param = params[i];
+      m.ok = true;
+      m.numRanks = 4;
+      m.result = analyze(runs()[i].trace);
+      out.push_back(std::move(m));
+    }
+    return out;
+  }
+};
+
+TEST_F(CampaignFixture, RecoversPlantedExponentAndRanking) {
+  const auto campaign = buildCampaign(members(), CampaignOptions{});
+  EXPECT_TRUE(campaign.structureMatched);
+  ASSERT_EQ(campaign.phases.size(), 3u);
+  // Every wavesim phase scales linearly with the planted parameter.
+  for (const auto& ph : campaign.phases) {
+    ASSERT_TRUE(ph.durationNs.model.valid)
+        << ph.durationNs.fitError;
+    EXPECT_NEAR(ph.durationNs.model.a, 1.0, 0.15);
+    EXPECT_EQ(ph.durationNs.model.b, 0);
+  }
+  // The stencil sweep dominates at every scale and therefore at the
+  // projection point: it must be ranked first.
+  EXPECT_GT(campaign.phases[0].sharePercent.back(), 50.0);
+  ASSERT_FALSE(campaign.phases[0].projectedSharePercent.empty());
+  EXPECT_GT(campaign.phases[0].projectedSharePercent.back(), 50.0);
+}
+
+TEST_F(CampaignFixture, ProjectsSharesAtUnseenScale) {
+  CampaignOptions options;
+  options.projectAt = {256.0};
+  const auto campaign = buildCampaign(members(), options);
+  double total = 0.0;
+  for (const auto& ph : campaign.phases) {
+    ASSERT_EQ(ph.projectedSharePercent.size(), 1u);
+    EXPECT_GE(ph.projectedSharePercent[0], 0.0);
+    total += ph.projectedSharePercent[0];
+  }
+  EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST_F(CampaignFixture, DefaultProjectionIsFourTimesMax) {
+  const auto campaign = buildCampaign(members(), CampaignOptions{});
+  ASSERT_EQ(campaign.projectAt.size(), 1u);
+  EXPECT_DOUBLE_EQ(campaign.projectAt[0], 256.0);
+}
+
+TEST_F(CampaignFixture, EvolutionDistancesPresent) {
+  const auto campaign = buildCampaign(members(), CampaignOptions{});
+  for (const auto& ph : campaign.phases) {
+    // 3 members -> 2 consecutive distances per fully-present phase.
+    EXPECT_EQ(ph.evolutionDistancePercent.size(), ph.sharePercent.size() - 1);
+    for (const double d : ph.evolutionDistancePercent)
+      if (d >= 0.0) EXPECT_LT(d, 50.0);
+  }
+}
+
+TEST_F(CampaignFixture, DegradedMemberKeptWithWarning) {
+  auto m = members();
+  CampaignMember bad;
+  bad.path = "broken.uvtb";
+  bad.param = 32.0;
+  bad.ok = false;
+  bad.error = "trace error: all shards corrupt";
+  m.push_back(bad);
+  const auto campaign = buildCampaign(std::move(m), CampaignOptions{});
+  ASSERT_EQ(campaign.members.size(), 4u);
+  // Members are sorted by param; the degraded one sits at param=32.
+  EXPECT_FALSE(campaign.members[2].ok);
+  ASSERT_FALSE(campaign.warnings.empty());
+  EXPECT_NE(campaign.warnings[0].find("broken.uvtb"), std::string::npos);
+  // The surviving 3 points still model cleanly.
+  ASSERT_EQ(campaign.phases.size(), 3u);
+  EXPECT_NEAR(campaign.phases[0].durationNs.model.a, 1.0, 0.15);
+}
+
+TEST_F(CampaignFixture, TooFewSurvivorsThrows) {
+  auto m = members();
+  m[0].ok = false;
+  m[0].error = "boom";
+  EXPECT_THROW((void)buildCampaign(std::move(m), CampaignOptions{}), AnalysisError);
+}
+
+TEST_F(CampaignFixture, ReportAndJsonRender) {
+  const auto campaign = buildCampaign(members(), CampaignOptions{});
+  std::ostringstream report;
+  printCampaignReport(campaign, report);
+  EXPECT_NE(report.str().find("per-phase scaling models"), std::string::npos);
+  EXPECT_NE(report.str().find("ranks^1.00"), std::string::npos);
+
+  std::ostringstream json;
+  writeCampaignJson(campaign, json);
+  EXPECT_NE(json.str().find("\"param\": \"ranks\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"phases\""), std::string::npos);
+
+  std::ostringstream extrap;
+  writeExtrapText(campaign, extrap);
+  EXPECT_NE(extrap.str().find("PARAMETER ranks"), std::string::npos);
+  EXPECT_NE(extrap.str().find("POINTS 4 16 64"), std::string::npos);
+  EXPECT_NE(extrap.str().find("REGION phase_pos"), std::string::npos);
+  EXPECT_NE(extrap.str().find("DATA "), std::string::npos);
+}
+
+TEST_F(CampaignFixture, RunCampaignOverFilesWithCorruptMember) {
+  const std::string dir = ::testing::TempDir();
+  std::vector<CampaignMemberSpec> specs;
+  const double params[] = {4.0, 16.0, 64.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string path =
+        dir + "/campaign_t" + std::to_string(i) + "." + std::to_string(getpid()) +
+        ".uvtb";
+    trace::writeBinaryFile(runs()[i].trace, path);
+    specs.push_back({path, params[i]});
+  }
+  // A fourth, truncated member: its shard table points past EOF.
+  const std::string broken =
+      dir + "/campaign_bad." + std::to_string(getpid()) + ".uvtb";
+  {
+    std::ifstream in(specs[1].path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream outF(broken, std::ios::binary);
+    outF.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  specs.push_back({broken, 32.0});
+
+  const auto campaign = runCampaign(specs, CampaignOptions{});
+  ASSERT_EQ(campaign.members.size(), 4u);
+  std::size_t okCount = 0;
+  for (const auto& m : campaign.members) okCount += m.ok ? 1 : 0;
+  EXPECT_EQ(okCount, 3u);
+  ASSERT_FALSE(campaign.warnings.empty());
+  EXPECT_NE(campaign.warnings[0].find(broken), std::string::npos);
+  ASSERT_FALSE(campaign.phases.empty());
+  EXPECT_NEAR(campaign.phases[0].durationNs.model.a, 1.0, 0.15);
+  for (const auto& spec : specs) std::filesystem::remove(spec.path);
+}
+
+TEST(Campaign, RunCampaignRejectsTooFewSpecs) {
+  EXPECT_THROW((void)runCampaign({{"a.uvtb", 1.0}, {"b.uvtb", 2.0}},
+                                 CampaignOptions{}),
+               ConfigError);
+}
+
+TEST(Campaign, NonRankParamRequiresAnnotations) {
+  CampaignOptions options;
+  options.paramName = "gridsize";
+  try {
+    (void)runCampaign({{"a.uvtb", 1.0}, {"b.uvtb", {}}, {"c.uvtb", 3.0}}, options);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("b.uvtb"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("gridsize"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace unveil::analysis

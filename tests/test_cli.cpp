@@ -41,6 +41,57 @@ TEST(Args, RejectsPositional) {
   EXPECT_THROW((void)Args::parse({"--=value"}), ConfigError);
 }
 
+TEST(Args, CollectsPositionalsWhenAllowed) {
+  const auto args =
+      Args::parse({"a.uvtb=4", "b.uvtb", "--param", "ranks", "c.uvtb"}, true);
+  // "--param ranks" consumes its value; the flag-value binding rule means
+  // positionals after a valued flag still land in positionals().
+  ASSERT_EQ(args.positionals().size(), 3u);
+  EXPECT_EQ(args.positionals()[0], "a.uvtb=4");
+  EXPECT_EQ(args.positionals()[1], "b.uvtb");
+  EXPECT_EQ(args.positionals()[2], "c.uvtb");
+  EXPECT_EQ(args.get("param"), "ranks");
+}
+
+TEST(Args, PositionalsEmptyByDefaultAndMalformedFlagStillRejected) {
+  const auto args = Args::parse({"--x", "1"});
+  EXPECT_TRUE(args.positionals().empty());
+  EXPECT_THROW((void)Args::parse({"--=v", "pos"}, true), ConfigError);
+}
+
+TEST(Campaign, RequiresThreeTraces) {
+  std::ostringstream out;
+  const int rc = runCli({"campaign", "a.uvtb", "b.uvtb", "--no-telemetry"}, out);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.str().find("at least 3 trace arguments"), std::string::npos);
+}
+
+TEST(Campaign, MalformedAnnotationNamesToken) {
+  std::ostringstream out;
+  const int rc = runCli(
+      {"campaign", "a.uvtb=4", "b.uvtb=banana", "c.uvtb=64", "--no-telemetry"},
+      out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("b.uvtb=banana"), std::string::npos);
+  EXPECT_NE(out.str().find("banana"), std::string::npos);
+}
+
+TEST(Campaign, OutOfRangeAnnotationRejected) {
+  std::ostringstream out;
+  const int rc = runCli(
+      {"campaign", "a.uvtb=4", "b.uvtb=-16", "c.uvtb=64", "--no-telemetry"}, out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("b.uvtb=-16"), std::string::npos);
+}
+
+TEST(Campaign, EmptyPathAnnotationRejected) {
+  std::ostringstream out;
+  const int rc =
+      runCli({"campaign", "=4", "b.uvtb=16", "c.uvtb=64", "--no-telemetry"}, out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("empty trace path"), std::string::npos);
+}
+
 TEST(Args, RejectsBadNumbers) {
   const auto args = Args::parse({"--n", "abc", "--x", "1.2.3"});
   EXPECT_THROW((void)args.getInt("n", 0), ConfigError);

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+
 #include "unveil/analysis/diffrun.hpp"
 #include "unveil/analysis/experiments.hpp"
+#include "unveil/cli/commands.hpp"
 #include "test_util.hpp"
 
 namespace unveil::analysis {
@@ -87,6 +93,51 @@ TEST(Diff, FallbackWithoutPeriods) {
   const auto diff = diffRuns(a, b);
   EXPECT_FALSE(diff.periodsMatch);
   EXPECT_TRUE(diff.clusters.empty());
+}
+
+// Byte-for-byte regression guard for the matcher refactor: `unveil diff`
+// output captured before the modal-position logic moved to analysis/match
+// must be reproduced exactly by the shared implementation. Note the table
+// rows carry trailing padding spaces — they are part of the contract.
+TEST(Diff, CliOutputMatchesGolden) {
+  const std::string golden =
+      "== run comparison (B relative to A) ==\n"
+      "position  cluster A  cluster B  duration delta (%)  MIPS delta (%)  "
+      "IPC delta (%)  profile distance (%)  time share A->B (%)\n"
+      "------------------------------------------------------------------------"
+      "----------------------------------------------------\n"
+      "0         0          0          -0.6923             -0.2775         "
+      "-0.0917        7.6384                5.2 -> 6.3         \n"
+      "1         1          2          -24.8545            26.2067         "
+      "22.7088        28.0998               73.6 -> 67.0       \n"
+      "2         2          1          0.3414              0.2062          "
+      "-0.2844        4.3723                20.2 -> 25.2       \n"
+      "total runtime: 0.122014 s -> 0.0984128 s (-19.3427%)\n";
+
+  const std::string dir = ::testing::TempDir();
+  const std::string a =
+      dir + "/diff_golden_a." + std::to_string(getpid()) + ".uvtb";
+  const std::string b =
+      dir + "/diff_golden_b." + std::to_string(getpid()) + ".uvtb";
+  std::ostringstream sink;
+  ASSERT_EQ(cli::runCli({"simulate", "--app", "wavesim", "--ranks", "4",
+                         "--iterations", "40", "--seed", "41", "--out", a,
+                         "--binary", "--no-telemetry", "--quiet"},
+                        sink),
+            0);
+  ASSERT_EQ(cli::runCli({"simulate", "--app", "wavesim-blocked", "--ranks", "4",
+                         "--iterations", "40", "--seed", "41", "--out", b,
+                         "--binary", "--no-telemetry", "--quiet"},
+                        sink),
+            0);
+  std::ostringstream out;
+  ASSERT_EQ(cli::runCli({"diff", "--trace", a, "--trace-b", b, "--no-telemetry",
+                         "--quiet"},
+                        out),
+            0);
+  EXPECT_EQ(out.str(), golden);
+  std::filesystem::remove(a);
+  std::filesystem::remove(b);
 }
 
 }  // namespace

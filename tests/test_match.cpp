@@ -1,0 +1,98 @@
+/// Tests for N-way cross-run cluster matching (analysis/match.hpp).
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "unveil/analysis/match.hpp"
+#include "unveil/analysis/pipeline.hpp"
+#include "test_util.hpp"
+
+namespace unveil::analysis {
+namespace {
+
+const PipelineResult& wavesimResult() {
+  static const PipelineResult r = analyze(testutil::smallWavesimRun().trace);
+  return r;
+}
+
+TEST(Match, SameRunThreeWaysAlignsByStructure) {
+  const auto& r = wavesimResult();
+  const std::array<const PipelineResult*, 3> runs = {&r, &r, &r};
+  const auto match = matchAcross(runs);
+  EXPECT_TRUE(match.structureMatched);
+  EXPECT_EQ(match.phases.size(), r.clusters.size());
+  for (const auto& row : match.phases) {
+    EXPECT_TRUE(row.byStructure);
+    ASSERT_EQ(row.clusterIds.size(), 3u);
+    EXPECT_EQ(row.clusterIds[0], row.clusterIds[1]);
+    EXPECT_EQ(row.clusterIds[1], row.clusterIds[2]);
+    EXPECT_GE(row.clusterIds[0], 0);
+  }
+  for (const auto& u : match.unmatched) EXPECT_TRUE(u.empty());
+}
+
+TEST(Match, PositionsAgreeWithDiffrunHelpers) {
+  const auto& r = wavesimResult();
+  const auto assignment = positionAssignment(r, modalPeriodPositions(r));
+  const std::array<const PipelineResult*, 2> runs = {&r, &r};
+  const auto match = matchAcross(runs);
+  ASSERT_EQ(match.phases.size(), assignment.size());
+  for (const auto& row : match.phases) {
+    const auto it = assignment.find(row.position);
+    ASSERT_NE(it, assignment.end());
+    EXPECT_EQ(row.clusterIds[0], it->second);
+  }
+}
+
+TEST(Match, FallbackWhenPeriodsDisagree) {
+  const auto& r = wavesimResult();
+  PipelineResult other = r;
+  other.period.period = r.period.period + 1;  // structures no longer agree
+  const std::array<const PipelineResult*, 2> runs = {&r, &other};
+  const auto match = matchAcross(runs);
+  EXPECT_FALSE(match.structureMatched);
+  EXPECT_EQ(match.phases.size(), r.clusters.size());
+  for (const auto& row : match.phases) {
+    EXPECT_FALSE(row.byStructure);
+    // Identical cluster stats: the greedy assignment must map each anchor
+    // cluster onto itself (distance 0 beats everything else).
+    EXPECT_EQ(row.clusterIds[0], row.clusterIds[1]);
+  }
+}
+
+TEST(Match, FallbackReportsLeftoverClusters) {
+  const auto& r = wavesimResult();
+  ASSERT_GE(r.clusters.size(), 2u);
+  PipelineResult smaller = r;
+  smaller.period.period = 0;  // force feature-space fallback
+  smaller.clusters.pop_back();
+  const std::array<const PipelineResult*, 2> runs = {&smaller, &r};
+  const auto match = matchAcross(runs);
+  EXPECT_FALSE(match.structureMatched);
+  // The larger run anchors; the smaller run cannot fill every row.
+  EXPECT_EQ(match.phases.size(), r.clusters.size());
+  std::size_t unfilled = 0;
+  for (const auto& row : match.phases)
+    if (row.clusterIds[0] < 0) ++unfilled;
+  EXPECT_EQ(unfilled, 1u);
+  EXPECT_TRUE(match.unmatched[0].empty());
+  EXPECT_TRUE(match.unmatched[1].empty());
+}
+
+TEST(Match, EmptyInput) {
+  const auto match = matchAcross({});
+  EXPECT_TRUE(match.phases.empty());
+  EXPECT_FALSE(match.structureMatched);
+}
+
+TEST(Match, ZeroPeriodFallsBack) {
+  PipelineResult a;  // no period, no clusters
+  const std::array<const PipelineResult*, 2> runs = {&a, &a};
+  const auto match = matchAcross(runs);
+  EXPECT_FALSE(match.structureMatched);
+  EXPECT_TRUE(match.phases.empty());
+}
+
+}  // namespace
+}  // namespace unveil::analysis

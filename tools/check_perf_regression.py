@@ -17,6 +17,11 @@ gated, with a separate, much looser --mem-threshold: allocator high-water
 marks wobble run to run, but a doubling of a stage's peak RSS is a real
 finding. Small baselines never flag (see the noise floors below).
 
+The campaign block (counters and trace count of one instrumented `unveil
+campaign` run) is printed as context only: on first appearance it is an
+ungated addition, and a trace-count mismatch between baseline and current
+is flagged because campaign wall times only compare at equal N.
+
 Usage: tools/check_perf_regression.py BASELINE CURRENT [--threshold PCT]
                                       [--mem-threshold PCT]
 """
@@ -39,7 +44,7 @@ def load_file(path):
         if "ns_per_op" in entry
     }
     build_type = data.get("context", {}).get("build_type", "")
-    return benchmarks, build_type, load_resources(data)
+    return benchmarks, build_type, load_resources(data), data.get("campaign", {})
 
 
 def load_resources(data):
@@ -99,8 +104,8 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline, base_type, base_resources = load_file(args.baseline)
-    current, cur_type, cur_resources = load_file(args.current)
+    baseline, base_type, base_resources, base_campaign = load_file(args.baseline)
+    current, cur_type, cur_resources, cur_campaign = load_file(args.current)
 
     regressions = []
     additions = []
@@ -164,6 +169,27 @@ def main():
             base_s = f"{base:14.1f}" if base is not None else f"{'-':>14}"
             cur_s = f"{cur:14.1f}" if cur is not None else f"{'-':>14}"
             print(f"{name:<{rwidth}}  {base_s}  {cur_s}  {status}")
+
+    # Campaign context (never gated): the number of traces the instrumented
+    # campaign run covered. Campaign wall times are only comparable between
+    # runs with the same trace count, so a mismatch is called out — on first
+    # appearance the campaign block (like any new benchmark) is an ungated
+    # addition.
+    if base_campaign or cur_campaign:
+        base_n = base_campaign.get("traces")
+        cur_n = cur_campaign.get("traces")
+        print(
+            f"\ncampaign context: baseline {base_n if base_n is not None else '-'}"
+            f" trace(s), current {cur_n if cur_n is not None else '-'} trace(s)"
+        )
+        if base_n is None:
+            print("  campaign block is new in this run (not gated)")
+        elif cur_n is not None and base_n != cur_n:
+            print(
+                "  WARNING: trace counts differ — campaign timing deltas are "
+                "not meaningful",
+                file=sys.stderr,
+            )
 
     for warning in check_build_types(base_type, cur_type):
         print(f"\nWARNING: {warning}", file=sys.stderr)

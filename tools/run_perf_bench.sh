@@ -78,6 +78,8 @@ fi
 cli="$build_dir/src/unveil/cli/unveil"
 metrics=""
 metrics_sampled=""
+metrics_campaign=""
+campaign_traces=0
 if [ -x "$cli" ]; then
   "$cli" simulate --app wavesim --ranks 8 --iterations 60 --seed 7 \
     --out "$workdir/perf.trace" --binary --quiet > /dev/null
@@ -87,12 +89,26 @@ if [ -x "$cli" ]; then
   "$cli" analyze --trace "$workdir/perf.trace" --cluster-sample \
     --metrics-out "$workdir/metrics_sampled.json" --quiet > /dev/null
   metrics_sampled="$workdir/metrics_sampled.json"
+  # One instrumented 3-trace scaling campaign (wavesim at scale 1/4/16,
+  # annotated as 4/16/64 ranks) so the cross-trace layer's counters land in
+  # BENCH_perf.json next to the micro numbers. The trace count is recorded
+  # alongside: campaign wall times only compare across runs with the same N.
+  for i in 1 4 16; do
+    "$cli" simulate --app wavesim --ranks 4 --iterations 40 --seed 7 \
+      --scale "$i" --out "$workdir/campaign_$i.trace" --binary --quiet > /dev/null
+    campaign_traces=$((campaign_traces + 1))
+  done
+  "$cli" campaign "$workdir/campaign_1.trace=4" "$workdir/campaign_4.trace=16" \
+    "$workdir/campaign_16.trace=64" \
+    --metrics-out "$workdir/metrics_campaign.json" --quiet > /dev/null
+  metrics_campaign="$workdir/metrics_campaign.json"
 else
   echo "note: $cli not found; skipping per-stage pipeline metrics" >&2
 fi
 
 UNVEIL_BENCH_BUILD_TYPE="$build_type" \
-  python3 - "$raw" "$out" "$metrics" "$metrics_sampled" <<'EOF'
+UNVEIL_BENCH_CAMPAIGN_TRACES="$campaign_traces" \
+  python3 - "$raw" "$out" "$metrics" "$metrics_sampled" "$metrics_campaign" <<'EOF'
 import json
 import os
 import sys
@@ -112,6 +128,11 @@ for b in raw.get("benchmarks", []):
     entry = {"ns_per_op": b["real_time"] * scale}
     if "items_per_second" in b:
         entry["items_per_s"] = b["items_per_second"]
+    # BM_Campaign exports the number of traces per campaign run; carry it so
+    # later runs can tell whether a wall-time delta is a real regression or
+    # just a different campaign size.
+    if "traces" in b:
+        entry["traces"] = b["traces"]
     bench[b["name"]] = entry
 
 result = {
@@ -168,9 +189,32 @@ if sampled_path:
         }
     }
 
+# The instrumented campaign run: its campaign.* counters plus the number of
+# traces it covered (wall times across different N are not comparable, so
+# the count travels with the numbers).
+campaign_path = sys.argv[5] if len(sys.argv) > 5 else ""
+if campaign_path:
+    with open(campaign_path) as f:
+        campaign = json.load(f)
+    result["campaign"] = {
+        "traces": int(os.environ.get("UNVEIL_BENCH_CAMPAIGN_TRACES", "0")),
+        "counters": {
+            name: value
+            for name, value in campaign.get("counters", {}).items()
+            if name.startswith("campaign.")
+        },
+        "spans": {
+            name: entry
+            for name, entry in campaign.get("spans", {}).items()
+            if name.startswith("campaign.")
+        },
+    }
+
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=False)
     f.write("\n")
 stage_note = " + pipeline stages" if metrics_path else ""
+if campaign_path:
+    stage_note += " + campaign"
 print(f"wrote {out_path} ({len(bench)} benchmarks{stage_note})")
 EOF
