@@ -93,8 +93,7 @@ folding::FoldedCounter makeCloud(std::size_t n) {
     p.y = p.t * p.t;  // quadratic cumulative profile
     f.points.push_back(p);
   }
-  std::sort(f.points.begin(), f.points.end(),
-            [](const auto& a, const auto& b) { return a.t < b.t; });
+  f.points.sortCanonical();
   return f;
 }
 
@@ -178,6 +177,8 @@ struct FoldWorkload {
   sim::RunResult run;
   std::vector<cluster::Burst> bursts;
   std::vector<std::size_t> members;
+  /// Built once and shared by every fold, as analyze() does per analysis.
+  folding::SampleColumns columns;
 };
 
 const FoldWorkload& foldWorkload() {
@@ -195,12 +196,13 @@ const FoldWorkload& foldWorkload() {
     for (auto& report : result.clusters) {
       std::size_t samples = 0;
       for (std::size_t i : report.memberIdx)
-        samples += out.bursts[i].sampleIdx.size();
+        samples += out.bursts[i].sampleCount;
       if (samples > bestSamples) {
         bestSamples = samples;
         out.members = report.memberIdx;
       }
     }
+    out.columns.build(out.run.trace);
     return out;
   }();
   return w;
@@ -221,10 +223,14 @@ void BM_FoldPerCounter(benchmark::State& state) {
 BENCHMARK(BM_FoldPerCounter);
 
 void BM_FoldMulti(benchmark::State& state) {
+  // Columns are prebuilt in the workload — the pipeline builds them once
+  // per analysis and amortizes across every cluster's fold, so the timed
+  // region here is the marginal per-cluster cost analyze() actually pays.
+  // BM_FoldColumnar/cold below covers the build-included variant.
   const auto& w = foldWorkload();
   for (auto _ : state) {
     auto entries =
-        folding::foldClusterMulti(w.run.trace, w.bursts, w.members, kFoldCounters);
+        folding::foldClusterMulti(w.columns, w.bursts, w.members, kFoldCounters);
     benchmark::DoNotOptimize(entries.size());
   }
   state.SetItemsProcessed(
@@ -232,6 +238,28 @@ void BM_FoldMulti(benchmark::State& state) {
       static_cast<std::int64_t>(kFoldCounters.size() * w.members.size()));
 }
 BENCHMARK(BM_FoldMulti);
+
+/// A-B pair for the columnar store itself: `cold` rebuilds the SampleColumns
+/// from the trace inside the timed region (the convenience overload), `warm`
+/// folds against the shared prebuilt columns. The A-B margin is the column
+/// build — the one-time cost the pipeline amortizes over all clusters.
+void BM_FoldColumnar(benchmark::State& state) {
+  const auto& w = foldWorkload();
+  const bool cold = state.range(0) == 0;
+  for (auto _ : state) {
+    auto entries =
+        cold ? folding::foldClusterMulti(w.run.trace, w.bursts, w.members,
+                                         kFoldCounters)
+             : folding::foldClusterMulti(w.columns, w.bursts, w.members,
+                                         kFoldCounters);
+    benchmark::DoNotOptimize(entries.size());
+  }
+  state.SetLabel(cold ? "cold:build+fold" : "warm:shared-columns");
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(kFoldCounters.size() * w.members.size()));
+}
+BENCHMARK(BM_FoldColumnar)->Arg(0)->Arg(1);
 
 void BM_KernelFit(benchmark::State& state, bool windowed) {
   const auto cloud = makeCloud(50000);

@@ -50,11 +50,15 @@ PipelineResult analyze(const trace::Trace& trace, const PipelineConfig& config) 
     detail::StageScope stage("pipeline.fold", "fold", result.telemetry);
     stage.items(folds.size());
     stage.span().attr("threads", std::min(pool.threads(), folds.size()));
+    // One columnar view of the trace samples, shared read-only by every
+    // cluster's fold.
+    folding::SampleColumns sampleColumns;
+    sampleColumns.build(trace);
     // parallelFor re-parents worker spans under the fold stage span.
     pool.parallelFor(folds.size(), [&](std::size_t j) {
       detail::ClusterFoldEntries& fold = folds[j];
       fold.entries = folding::foldClusterMulti(
-          trace, result.bursts, result.clusters[fold.clusterIdx].memberIdx,
+          sampleColumns, result.bursts, result.clusters[fold.clusterIdx].memberIdx,
           config.rateCounters, config.reconstruct.fold);
     });
     telemetry::count("fold.clusters", folds.size());

@@ -33,7 +33,8 @@ StreamingResult analyzeStreaming(const std::string& path,
   telemetry::Span rootSpan("pipeline.analyze_streaming");
 
   // Pass A: one shard resident at a time; keep only burst metadata. The
-  // shard's samples die with the shard — sampleIdx is re-derived in pass B.
+  // shard's samples die with the shard — the sample windows are re-derived
+  // in pass B.
   std::vector<std::size_t> shardBurstCount;  // per rank, 0 for dropped
   std::vector<char> shardDropped;
   {
@@ -58,10 +59,10 @@ StreamingResult analyzeStreaming(const std::string& path,
       std::vector<cluster::Burst> bursts = extractShard(shard->trace, config.pipeline);
       shardBurstCount[shard->rank] = bursts.size();
       for (cluster::Burst& b : bursts) {
-        // Free the per-burst sample index; it points into the shard trace
-        // being dropped right below, and pass B rebuilds it.
-        b.sampleIdx.clear();
-        b.sampleIdx.shrink_to_fit();
+        // Zero the sample window; it indexes the shard trace being dropped
+        // right below, and pass B rebuilds it.
+        b.sampleFirst = 0;
+        b.sampleCount = 0;
         result.bursts.push_back(std::move(b));
       }
     }
@@ -119,6 +120,8 @@ StreamingResult analyzeStreaming(const std::string& path,
     std::size_t globalBase = 0;
     // Per-slot member lists within the current shard (slot-local, ascending).
     std::vector<std::vector<std::size_t>> shardMembers(folds.size());
+    // Columnar sample view of the current shard (buffers reused across shards).
+    folding::SampleColumns shardColumns;
     while (auto shard = reader.next()) {
       const bool droppedA = shardDropped[shard->rank] != 0;
       if (shard->dropped != droppedA)
@@ -137,9 +140,9 @@ StreamingResult analyzeStreaming(const std::string& path,
         const std::int32_t f = foldSlotOfBurst[globalBase + i];
         if (f != kNoFold) shardMembers[static_cast<std::size_t>(f)].push_back(i);
       }
-      const trace::Trace& shardTrace = shard->trace;
+      shardColumns.build(shard->trace);
       pool.parallelFor(folds.size(), [&](std::size_t f) {
-        for (std::size_t i : shardMembers[f]) accs[f].add(shardTrace, bursts[i]);
+        for (std::size_t i : shardMembers[f]) accs[f].add(shardColumns, bursts[i]);
       });
       globalBase += bursts.size();
     }

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/parse.hpp"
 
 namespace unveil::cli {
 
@@ -94,12 +95,11 @@ double Args::getDouble(const std::string& name, double fallback, double min,
                        double max) const {
   const std::string v = get(name, "");
   if (v.empty() && values_.find(name) == values_.end()) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const double out = std::strtod(v.c_str(), &end);
-  if (v.empty() || end == nullptr || *end != '\0')
+  double out = 0.0;
+  const support::ParseStatus st = support::parseDouble(v, out);
+  if (st == support::ParseStatus::Malformed)
     throw ConfigError("flag --" + name + " expects a number, got '" + v + "'");
-  if (errno == ERANGE || !std::isfinite(out))
+  if (st == support::ParseStatus::OutOfRange || !std::isfinite(out))
     throw ConfigError("flag --" + name + " value '" + v + "' overflows");
   if (out < min || out > max) {
     const bool openMin = min == std::numeric_limits<double>::lowest();

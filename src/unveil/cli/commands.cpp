@@ -25,6 +25,7 @@
 #include "unveil/support/error.hpp"
 #include "unveil/support/flight_recorder.hpp"
 #include "unveil/support/log.hpp"
+#include "unveil/support/parse.hpp"
 #include "unveil/support/sampler.hpp"
 #include "unveil/support/telemetry.hpp"
 #include "unveil/support/thread_pool.hpp"
@@ -646,11 +647,11 @@ int cmdTelemetryDiff(const std::vector<std::string>& paths, const Args& args,
   return 0;
 }
 
-namespace {
-
-/// Splits one positional campaign token into path and optional =PARAM
-/// annotation. The value is range-validated like every numeric flag; a
-/// malformed annotation names the offending token in full.
+/// Only the suffix after the LAST '=' is considered, and only when it
+/// parses as a number: a token like run=3/trace.uvtb is a plain path whose
+/// name contains '=' (campaigns without annotations derive the parameter
+/// from trace metadata). A numeric suffix that falls outside the
+/// admissible range is a genuine annotation and errors with full context.
 analysis::CampaignMemberSpec parseCampaignMember(const std::string& tok) {
   analysis::CampaignMemberSpec spec;
   const auto eq = tok.rfind('=');
@@ -659,25 +660,24 @@ analysis::CampaignMemberSpec parseCampaignMember(const std::string& tok) {
     return spec;
   }
   const std::string valueText = tok.substr(eq + 1);
+  double v = 0.0;
+  const support::ParseStatus st = support::parseDouble(valueText, v);
+  if (st == support::ParseStatus::Malformed) {
+    spec.path = tok;
+    return spec;
+  }
   const std::string path = tok.substr(0, eq);
   if (path.empty())
     throw ConfigError("malformed trace annotation '" + tok +
                       "': empty trace path before '=' (expected TRACE=VALUE)");
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(valueText.c_str(), &end);
-  if (valueText.empty() || end == nullptr || *end != '\0')
-    throw ConfigError("malformed trace annotation '" + tok + "': '" + valueText +
-                      "' is not a number (expected TRACE=VALUE)");
-  if (errno == ERANGE || !std::isfinite(v) || v < 1e-6 || v > 1e12)
+  if (st == support::ParseStatus::OutOfRange || !std::isfinite(v) ||
+      v < 1e-6 || v > 1e12)
     throw ConfigError("trace annotation '" + tok +
                       "' must carry a value in [1e-06, 1e+12], got " + valueText);
   spec.path = path;
   spec.param = v;
   return spec;
 }
-
-}  // namespace
 
 int cmdCampaign(const Args& args, std::ostream& out) {
   std::vector<analysis::CampaignMemberSpec> specs;
@@ -707,10 +707,8 @@ int cmdCampaign(const Args& args, std::ostream& out) {
       const std::size_t comma = list.find(',', start);
       const std::string item = list.substr(
           start, comma == std::string::npos ? std::string::npos : comma - start);
-      char* end = nullptr;
-      errno = 0;
-      const double v = std::strtod(item.c_str(), &end);
-      if (item.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      double v = 0.0;
+      if (support::parseDouble(item, v) != support::ParseStatus::Ok ||
           !std::isfinite(v) || v < 1e-6 || v > 1e12)
         throw ConfigError("flag --project expects comma-separated values in "
                           "[1e-06, 1e+12], got '" + item + "' in '" + list + "'");

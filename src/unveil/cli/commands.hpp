@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "unveil/analysis/campaign.hpp"
 #include "unveil/cli/args.hpp"
 #include "unveil/support/faulty_stream.hpp"
 
@@ -50,6 +51,12 @@ int cmdTelemetryDiff(const std::vector<std::string>& paths, const Args& args,
                      std::ostream& out);
 /// Trace paths come in as positionals, optionally annotated TRACE=PARAM.
 int cmdCampaign(const Args& args, std::ostream& out);
+
+/// Splits one positional campaign token into path and optional =PARAM
+/// annotation. The suffix after the LAST '=' counts as an annotation only
+/// when it parses as a number; otherwise the whole token is a path (so
+/// run=3/trace.uvtb names a file). Exposed for tests.
+analysis::CampaignMemberSpec parseCampaignMember(const std::string& tok);
 
 /// cmdAnalyze's implementation, shared with the serve daemon (server.hpp):
 /// \p fault optionally injects I/O faults into this one invocation's

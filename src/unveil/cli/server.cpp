@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "unveil/cli/commands.hpp"
+#include "unveil/cli/sockio.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/faulty_stream.hpp"
 #include "unveil/support/flight_recorder.hpp"
@@ -88,50 +89,6 @@ sockaddr_un socketAddress(const std::string& path) {
                       ") [socket=" + path + "]");
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   return addr;
-}
-
-void setIoTimeout(int fd, double seconds) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(seconds);
-  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-/// Sends the whole buffer; returns false on error/timeout. MSG_NOSIGNAL so
-/// a peer that hung up cannot SIGPIPE the daemon.
-bool sendAll(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Reads up to (and including) the first '\n'. Returns the line without the
-/// newline; nullopt on EOF-before-newline, timeout, or an over-long line.
-std::optional<std::string> recvLine(int fd) {
-  std::string line;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return std::nullopt;
-    }
-    if (n == 0) return std::nullopt;
-    for (ssize_t i = 0; i < n; ++i) {
-      if (buf[i] == '\n') return line;
-      line.push_back(buf[i]);
-      if (line.size() > kMaxLineBytes) return std::nullopt;
-    }
-  }
 }
 
 /// Shared mutable state of one serve run. Handlers run on pool workers; the
@@ -298,14 +255,15 @@ std::string handleRequest(const std::string& line, ServerState& state) {
 
 void handleConnection(int rawFd, ServerState& state) {
   const Fd conn(rawFd);
-  setIoTimeout(conn.get(), kServerIoTimeoutSec);
-  const std::optional<std::string> line = recvLine(conn.get());
+  sockio::setIoTimeout(conn.get(), kServerIoTimeoutSec);
+  const std::optional<std::string> line =
+      sockio::recvLine(conn.get(), kMaxLineBytes);
   if (!line) {
     // Dead, silent, or over-chatty peer; nothing sensible to answer.
     return;
   }
   const std::string response = handleRequest(*line, state);
-  if (!sendAll(conn.get(), response))
+  if (!sockio::sendAll(conn.get(), response))
     support::logWarn("serve: failed to send response: " + errnoString());
 }
 
@@ -419,18 +377,19 @@ std::string serverRoundTrip(const std::string& socketPath,
   const sockaddr_un addr = socketAddress(socketPath);
   Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) throw Error("cannot create socket: " + errnoString());
-  setIoTimeout(fd.get(), timeoutSeconds);
+  sockio::setIoTimeout(fd.get(), timeoutSeconds);
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0)
     throw Error("cannot connect to daemon [socket=" + socketPath +
                 "]: " + errnoString());
   std::string request = requestLine;
   if (request.empty() || request.back() != '\n') request.push_back('\n');
-  if (!sendAll(fd.get(), request))
+  if (!sockio::sendAll(fd.get(), request))
     throw Error("request send failed [socket=" + socketPath +
                 "]: " + errnoString());
   ::shutdown(fd.get(), SHUT_WR);
-  const std::optional<std::string> line = recvLine(fd.get());
+  const std::optional<std::string> line =
+      sockio::recvLine(fd.get(), kMaxLineBytes);
   if (!line)
     throw Error("no response from daemon (timeout, hangup, or over-long "
                 "reply) [socket=" + socketPath + "]");

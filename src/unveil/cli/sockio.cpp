@@ -1,0 +1,82 @@
+#include "unveil/cli/sockio.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <cerrno>
+
+namespace unveil::cli::sockio {
+
+namespace {
+
+ssize_t realSend(int fd, const void* buf, std::size_t len, int flags) {
+  return ::send(fd, buf, len, flags);
+}
+
+ssize_t realRecv(int fd, void* buf, std::size_t len, int flags) {
+  return ::recv(fd, buf, len, flags);
+}
+
+}  // namespace
+
+Hooks& hooks() {
+  static Hooks active{realSend, realRecv};
+  return active;
+}
+
+ScopedHooks::ScopedHooks(const Hooks& replacement) : saved_(hooks()) {
+  hooks() = replacement;
+}
+
+ScopedHooks::~ScopedHooks() { hooks() = saved_; }
+
+void setIoTimeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool sendAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  int interrupts = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        hooks().send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR && ++interrupts <= kMaxEintrRetries) continue;
+      return false;
+    }
+    if (n == 0) {
+      // A stream send never legitimately accepts zero bytes; looping on it
+      // would spin forever against a broken stack (or fault shim).
+      errno = EIO;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> recvLine(int fd, std::size_t maxLineBytes) {
+  std::string line;
+  char buf[4096];
+  int interrupts = 0;
+  for (;;) {
+    const ssize_t n = hooks().recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR && ++interrupts <= kMaxEintrRetries) continue;
+      return std::nullopt;
+    }
+    if (n == 0) return std::nullopt;  // EOF before the newline
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buf[i] == '\n') return line;
+      line.push_back(buf[i]);
+      if (line.size() > maxLineBytes) return std::nullopt;
+    }
+  }
+}
+
+}  // namespace unveil::cli::sockio

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file sockio.hpp
+/// Socket I/O primitives for the serve daemon and its client, extracted so
+/// the short-write / EINTR / timeout handling is testable without a live
+/// daemon. The syscall layer is injectable: tests swap the hooks for fault
+/// shims (partial writes, EINTR storms, mid-line hangups) and restore them.
+///
+/// Semantics under SO_SNDTIMEO/SO_RCVTIMEO:
+///  - a timeout surfaces as -1 with EAGAIN/EWOULDBLOCK and is a hard
+///    failure (the peer gets no partial protocol line it could act on);
+///  - EINTR restarts the call, but each restart also restarts the kernel
+///    timeout, so retries are bounded — a steady signal stream must not be
+///    able to pin a pool worker past its I/O deadline forever.
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace unveil::cli::sockio {
+
+/// Syscall-shaped hooks; defaults call ::send / ::recv. Tests install fault
+/// shims via ScopedHooks. Not thread-safe to swap while connections are in
+/// flight — tests run their faulty exchanges single-threaded.
+struct Hooks {
+  ssize_t (*send)(int fd, const void* buf, std::size_t len, int flags);
+  ssize_t (*recv)(int fd, void* buf, std::size_t len, int flags);
+};
+
+/// The active hooks (process-wide).
+[[nodiscard]] Hooks& hooks();
+
+/// RAII swap of the active hooks; restores the previous set on destruction.
+class ScopedHooks {
+ public:
+  explicit ScopedHooks(const Hooks& replacement);
+  ~ScopedHooks();
+  ScopedHooks(const ScopedHooks&) = delete;
+  ScopedHooks& operator=(const ScopedHooks&) = delete;
+
+ private:
+  Hooks saved_;
+};
+
+/// Upper bound on EINTR restarts per call. Each EINTR restarts the kernel's
+/// SO_*TIMEO clock, so without a cap a signal every few ms extends a
+/// "30-second" I/O deadline indefinitely.
+inline constexpr int kMaxEintrRetries = 256;
+
+/// Arms SO_RCVTIMEO and SO_SNDTIMEO on \p fd.
+void setIoTimeout(int fd, double seconds);
+
+/// Sends the whole buffer, riding out short writes and (bounded) EINTR.
+/// MSG_NOSIGNAL so a peer that hung up cannot SIGPIPE the process. Returns
+/// false on error, timeout, or EINTR-retry exhaustion, with errno telling
+/// why; a zero-length send result is treated as an error, not progress.
+[[nodiscard]] bool sendAll(int fd, std::string_view data);
+
+/// Reads up to (and including) the first '\n'; returns the line without the
+/// newline. nullopt on EOF-before-newline, error, timeout, EINTR-retry
+/// exhaustion, or a line longer than \p maxLineBytes.
+[[nodiscard]] std::optional<std::string> recvLine(int fd,
+                                                  std::size_t maxLineBytes);
+
+}  // namespace unveil::cli::sockio

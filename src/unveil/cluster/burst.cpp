@@ -56,10 +56,10 @@ std::vector<Burst> extractPerRank(const trace::Trace& trace,
   return bursts;
 }
 
-/// Attaches sample indices to bursts. Both inputs are sorted by
+/// Attaches sample ranges to bursts. Both inputs are sorted by
 /// (rank, time) and bursts never overlap within a rank, so each rank is an
 /// independent merge pass; ranks run in parallel, each writing only its own
-/// bursts' sampleIdx lists.
+/// bursts' [sampleFirst, sampleCount) windows.
 void attachSamples(const trace::Trace& trace, std::vector<Burst>& bursts) {
   const auto& samples = trace.samples();
   // Per-rank burst ranges (bursts are concatenated in rank order).
@@ -91,10 +91,10 @@ void attachSamples(const trace::Trace& trace, std::vector<Burst>& bursts) {
         ++si;
       std::size_t sj = si;
       while (sj < samples.size() && samples[sj].rank == b.rank &&
-             samples[sj].time < b.end) {
-        b.sampleIdx.push_back(sj);
+             samples[sj].time < b.end)
         ++sj;
-      }
+      b.sampleFirst = si;
+      b.sampleCount = sj - si;
       // Do not advance si past sj: bursts never overlap per rank, so the
       // next burst starts at or after b.end; si catches up in its skip loop.
     }

@@ -36,8 +36,15 @@ struct Burst {
   trace::TimeNs end = 0;
   counters::CounterSet beginCounters;  ///< Snapshot at burst start.
   counters::CounterSet endCounters;    ///< Snapshot at burst end.
-  /// Indices into Trace::samples() of samples with begin <= time < end.
-  std::vector<std::size_t> sampleIdx;
+  /// Samples with begin <= time < end are rows
+  /// [sampleFirst, sampleFirst + sampleCount) of Trace::samples(). The
+  /// attachment is always one contiguous run: samples are (rank, time)-
+  /// sorted and bursts never overlap within a rank, so a [first, count)
+  /// range replaces the index-per-sample list an AoS layout would need —
+  /// and lets the fold kernels stream the window straight out of the
+  /// columnar sample store.
+  std::size_t sampleFirst = 0;
+  std::size_t sampleCount = 0;
   /// Ground-truth phase id for evaluation only; kNoPhase when unknown.
   std::uint32_t truthPhase = kNoPhase;
 

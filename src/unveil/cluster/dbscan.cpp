@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "unveil/cluster/distance.hpp"
 #include "unveil/cluster/eps_grid.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/stats.hpp"
@@ -58,14 +59,8 @@ namespace {
 
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 
-double dist2(std::span<const double> p, std::span<const double> q) {
-  double d2 = 0.0;
-  for (std::size_t k = 0; k < p.size(); ++k) {
-    const double diff = p[k] - q[k];
-    d2 += diff * diff;
-  }
-  return d2;
-}
+// Core-count and connectivity loops below early-exit mid-scan, so they use
+// the shared scalar distance2 from distance.hpp rather than a batch form.
 
 /// Plain sequential union-find over cell indices. Unions are collected in
 /// parallel (slot-per-cell edge lists) and applied here in one pass, so the
@@ -182,14 +177,14 @@ RawClusters gridDbscan(const FeatureMatrix& features, const DbscanParams& params
         std::size_t count = sameCellWithinEps ? members.size() : 0;
         if (!sameCellWithinEps) {
           for (std::size_t j : members) {
-            if (dist2(p, features.row(j)) <= eps2 && ++count >= params.minPts)
+            if (distance2(p, features.row(j)) <= eps2 && ++count >= params.minPts)
               break;
           }
         }
         if (count < params.minPts) {
           for (std::size_t b : neigh) {
             for (std::size_t j : grid.cellMembers(b)) {
-              if (dist2(p, features.row(j)) <= eps2 && ++count >= params.minPts)
+              if (distance2(p, features.row(j)) <= eps2 && ++count >= params.minPts)
                 break;
             }
             if (count >= params.minPts) break;
@@ -221,7 +216,7 @@ RawClusters gridDbscan(const FeatureMatrix& features, const DbscanParams& params
         if (!raw.core[i]) continue;
         const auto p = features.row(i);
         for (std::size_t j : grid.cellMembers(b)) {
-          if (raw.core[j] && dist2(p, features.row(j)) <= eps2) {
+          if (raw.core[j] && distance2(p, features.row(j)) <= eps2) {
             connected = true;
             break;
           }
@@ -270,7 +265,7 @@ RawClusters gridDbscan(const FeatureMatrix& features, const DbscanParams& params
       std::size_t bestCore = kNone;
       auto consider = [&](std::size_t j) {
         if (!raw.core[j]) return;
-        const double d2v = dist2(p, features.row(j));
+        const double d2v = distance2(p, features.row(j));
         if (d2v > eps2) return;
         if (d2v < bestD2 || (d2v == bestD2 && j < bestCore)) {
           bestD2 = d2v;
@@ -309,7 +304,7 @@ RawClusters bruteDbscan(const FeatureMatrix& features, const DbscanParams& param
     const auto p = features.row(i);
     std::size_t count = 0;
     for (std::size_t j = 0; j < n; ++j) {
-      if (dist2(p, features.row(j)) <= eps2 && ++count >= params.minPts) break;
+      if (distance2(p, features.row(j)) <= eps2 && ++count >= params.minPts) break;
     }
     raw.core[i] = count >= params.minPts ? 1 : 0;
   });
@@ -330,7 +325,7 @@ RawClusters bruteDbscan(const FeatureMatrix& features, const DbscanParams& param
       const auto p = features.row(cur);
       for (std::size_t j = 0; j < n; ++j) {
         if (!raw.core[j] || raw.compOf[j] != kNone) continue;
-        if (dist2(p, features.row(j)) <= eps2) {
+        if (distance2(p, features.row(j)) <= eps2) {
           raw.compOf[j] = comp;
           queue.push_back(j);
         }
@@ -346,7 +341,7 @@ RawClusters bruteDbscan(const FeatureMatrix& features, const DbscanParams& param
     std::size_t bestCore = kNone;
     for (std::size_t j = 0; j < n; ++j) {
       if (!raw.core[j]) continue;
-      const double d2v = dist2(p, features.row(j));
+      const double d2v = distance2(p, features.row(j));
       if (d2v <= eps2 && d2v < bestD2) {
         bestD2 = d2v;
         bestCore = j;
@@ -426,13 +421,7 @@ double estimateEps(const FeatureMatrix& features, std::size_t minPts, double qua
     const auto p = features.row(i);
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) continue;
-      double d2 = 0.0;
-      const auto q = features.row(j);
-      for (std::size_t k = 0; k < p.size(); ++k) {
-        const double diff = p[k] - q[k];
-        d2 += diff * diff;
-      }
-      dists.push_back(d2);
+      dists.push_back(distance2(p, features.row(j)));
     }
     std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(kth),
                      dists.end());

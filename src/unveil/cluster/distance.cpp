@@ -1,0 +1,112 @@
+#include "unveil/cluster/distance.hpp"
+
+#include "unveil/support/simd.hpp"
+
+namespace unveil::cluster {
+
+#if defined(UNVEIL_HAVE_AVX2)
+// Implemented in distance_avx2.cpp (compiled with -mavx2).
+void distance2BatchAvx2(const double* q, std::size_t d, const double* base,
+                        std::size_t stride, const std::size_t* idx,
+                        std::size_t count, double* out);
+void distance2BatchRowsAvx2(const double* q, std::size_t d, const double* base,
+                            std::size_t stride, std::size_t firstRow,
+                            std::size_t count, double* out);
+#endif
+
+namespace {
+
+inline bool useAvx2() noexcept {
+  return support::simdLevel() == support::SimdLevel::Avx2;
+}
+
+/// Four candidate lanes per iteration; each lane's accumulator advances in
+/// ascending k exactly like the scalar loop, so the compiler may keep the
+/// four sums in one vector register without changing any rounding.
+void batchPortable(const double* q, std::size_t d, const double* base,
+                   std::size_t stride, const std::size_t* idx,
+                   std::size_t count, double* out) {
+  std::size_t c = 0;
+  for (; c + 4 <= count; c += 4) {
+    const double* r0 = base + idx[c] * stride;
+    const double* r1 = base + idx[c + 1] * stride;
+    const double* r2 = base + idx[c + 2] * stride;
+    const double* r3 = base + idx[c + 3] * stride;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double qk = q[k];
+      const double d0 = qk - r0[k];
+      const double d1 = qk - r1[k];
+      const double d2v = qk - r2[k];
+      const double d3 = qk - r3[k];
+      a0 += d0 * d0;
+      a1 += d1 * d1;
+      a2 += d2v * d2v;
+      a3 += d3 * d3;
+    }
+    out[c] = a0;
+    out[c + 1] = a1;
+    out[c + 2] = a2;
+    out[c + 3] = a3;
+  }
+  for (; c < count; ++c)
+    out[c] = distance2({q, d}, {base + idx[c] * stride, d});
+}
+
+void batchRowsPortable(const double* q, std::size_t d, const double* base,
+                       std::size_t stride, std::size_t firstRow,
+                       std::size_t count, double* out) {
+  std::size_t c = 0;
+  for (; c + 4 <= count; c += 4) {
+    const double* r0 = base + (firstRow + c) * stride;
+    const double* r1 = r0 + stride;
+    const double* r2 = r1 + stride;
+    const double* r3 = r2 + stride;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double qk = q[k];
+      const double d0 = qk - r0[k];
+      const double d1 = qk - r1[k];
+      const double d2v = qk - r2[k];
+      const double d3 = qk - r3[k];
+      a0 += d0 * d0;
+      a1 += d1 * d1;
+      a2 += d2v * d2v;
+      a3 += d3 * d3;
+    }
+    out[c] = a0;
+    out[c + 1] = a1;
+    out[c + 2] = a2;
+    out[c + 3] = a3;
+  }
+  for (; c < count; ++c)
+    out[c] = distance2({q, d}, {base + (firstRow + c) * stride, d});
+}
+
+}  // namespace
+
+void distance2Batch(const double* q, std::size_t d, const double* base,
+                    std::size_t stride, const std::size_t* idx,
+                    std::size_t count, double* out) {
+#if defined(UNVEIL_HAVE_AVX2)
+  if (useAvx2()) {
+    distance2BatchAvx2(q, d, base, stride, idx, count, out);
+    return;
+  }
+#endif
+  batchPortable(q, d, base, stride, idx, count, out);
+}
+
+void distance2BatchRows(const double* q, std::size_t d, const double* base,
+                        std::size_t stride, std::size_t firstRow,
+                        std::size_t count, double* out) {
+#if defined(UNVEIL_HAVE_AVX2)
+  if (useAvx2()) {
+    distance2BatchRowsAvx2(q, d, base, stride, firstRow, count, out);
+    return;
+  }
+#endif
+  batchRowsPortable(q, d, base, stride, firstRow, count, out);
+}
+
+}  // namespace unveil::cluster

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file distance.hpp
+/// The z-scored feature distance kernel shared by EpsGrid, DBSCAN (grid and
+/// brute backends) and the sampled-clustering classifier. Historically each
+/// of those carried its own identical dist2 copy; this header is the single
+/// definition, plus batch forms that evaluate one query against many
+/// candidate rows with vectorized lanes.
+///
+/// Determinism contract (DESIGN.md §16): every form accumulates in
+/// ascending dimension order per candidate, exactly like the scalar loop,
+/// and no build flag enables FMA contraction — so scalar, portable-batch
+/// and explicit-AVX2 paths return bit-identical doubles.
+
+#include <cstddef>
+#include <span>
+
+namespace unveil::cluster {
+
+/// Squared Euclidean distance between a query and one candidate row,
+/// accumulated in ascending dimension order — the canonical order every
+/// caller historically used.
+[[nodiscard]] inline double distance2(std::span<const double> q,
+                                      std::span<const double> r) noexcept {
+  double d2 = 0.0;
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    const double diff = q[k] - r[k];
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
+/// out[c] = distance2(q, row idx[c]) over a row-major matrix (\p base with
+/// \p stride doubles per row), for c in [0, count). Lanes are candidates;
+/// each lane accumulates in ascending dimension order, so every out[c] is
+/// bit-identical to the scalar distance2 call.
+void distance2Batch(const double* q, std::size_t d, const double* base,
+                    std::size_t stride, const std::size_t* idx,
+                    std::size_t count, double* out);
+
+/// out[c] = distance2(q, row firstRow + c): the contiguous-row form of
+/// distance2Batch (full-matrix scans, core-table classification).
+void distance2BatchRows(const double* q, std::size_t d, const double* base,
+                        std::size_t stride, std::size_t firstRow,
+                        std::size_t count, double* out);
+
+}  // namespace unveil::cluster

@@ -1,0 +1,69 @@
+/// \file distance_avx2.cpp
+/// Explicit AVX2 variants of the batch distance kernels. The only cluster TU
+/// compiled with -mavx2; callable only when support::simdLevel() is Avx2.
+/// No fmadd is used (and -mavx2 does not enable FMA contraction), so each
+/// lane rounds exactly like the scalar distance2 loop — bit-identical.
+
+#include "unveil/cluster/distance.hpp"
+
+#if defined(UNVEIL_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace unveil::cluster {
+
+namespace {
+
+/// Four candidates in the lanes of one __m256d; dimension k advances
+/// together, so each lane's accumulation order equals the scalar loop's.
+inline __m256d accumulate4(const double* q, std::size_t d, const double* r0,
+                           const double* r1, const double* r2,
+                           const double* r3) noexcept {
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t k = 0; k < d; ++k) {
+    const __m256d qk = _mm256_set1_pd(q[k]);
+    const __m256d rk = _mm256_set_pd(r3[k], r2[k], r1[k], r0[k]);
+    const __m256d diff = _mm256_sub_pd(qk, rk);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+  }
+  return acc;
+}
+
+}  // namespace
+
+void distance2BatchAvx2(const double* q, std::size_t d, const double* base,
+                        std::size_t stride, const std::size_t* idx,
+                        std::size_t count, double* out) {
+  std::size_t c = 0;
+  for (; c + 4 <= count; c += 4) {
+    const __m256d acc = accumulate4(q, d, base + idx[c] * stride,
+                                    base + idx[c + 1] * stride,
+                                    base + idx[c + 2] * stride,
+                                    base + idx[c + 3] * stride);
+    _mm256_storeu_pd(out + c, acc);
+  }
+  for (; c < count; ++c)
+    out[c] = distance2({q, d}, {base + idx[c] * stride, d});
+}
+
+void distance2BatchRowsAvx2(const double* q, std::size_t d, const double* base,
+                            std::size_t stride, std::size_t firstRow,
+                            std::size_t count, double* out) {
+  std::size_t c = 0;
+  for (; c + 4 <= count; c += 4) {
+    const double* r0 = base + (firstRow + c) * stride;
+    const __m256d acc =
+        accumulate4(q, d, r0, r0 + stride, r0 + 2 * stride, r0 + 3 * stride);
+    _mm256_storeu_pd(out + c, acc);
+  }
+  for (; c < count; ++c)
+    out[c] = distance2({q, d}, {base + (firstRow + c) * stride, d});
+}
+
+}  // namespace unveil::cluster
+
+#else  // !UNVEIL_HAVE_AVX2: TU intentionally empty (CMake should not add it).
+
+namespace unveil::cluster {}
+
+#endif

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "unveil/cluster/distance.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/telemetry.hpp"
 
@@ -11,15 +12,39 @@ namespace unveil::cluster {
 
 namespace {
 
-/// Squared Euclidean distance between two rows (same accumulation order as
-/// the historical brute-force loops, so results are bit-identical).
-double dist2(std::span<const double> p, std::span<const double> q) {
-  double d2 = 0.0;
-  for (std::size_t k = 0; k < p.size(); ++k) {
-    const double diff = p[k] - q[k];
-    d2 += diff * diff;
+/// Batch-evaluates squared distances from \p p to the listed rows in chunks
+/// and invokes `fn(row, d2)` in ascending list order: the distance math runs
+/// through the vectorized kernel while callers keep their selection logic
+/// scalar (and their tie rules intact).
+template <typename Fn>
+void forEachDist2(std::span<const double> p, const FeatureMatrix& m,
+                  std::span<const std::size_t> rows, Fn&& fn) {
+  constexpr std::size_t kChunk = 64;
+  double d2buf[kChunk];
+  if (rows.empty()) return;
+  const double* base = m.row(0).data();
+  for (std::size_t c = 0; c < rows.size(); c += kChunk) {
+    const std::size_t cnt = std::min(kChunk, rows.size() - c);
+    distance2Batch(p.data(), p.size(), base, m.dims(), rows.data() + c, cnt,
+                   d2buf);
+    for (std::size_t t = 0; t < cnt; ++t) fn(rows[c + t], d2buf[t]);
   }
-  return d2;
+}
+
+/// Contiguous-row form of forEachDist2, for full-matrix scans.
+template <typename Fn>
+void forEachDist2Rows(std::span<const double> p, const FeatureMatrix& m,
+                      std::size_t first, std::size_t count, Fn&& fn) {
+  constexpr std::size_t kChunk = 64;
+  double d2buf[kChunk];
+  if (count == 0) return;
+  const double* base = m.row(0).data();
+  for (std::size_t c = 0; c < count; c += kChunk) {
+    const std::size_t cnt = std::min(kChunk, count - c);
+    distance2BatchRows(p.data(), p.size(), base, m.dims(), first + c, cnt,
+                       d2buf);
+    for (std::size_t t = 0; t < cnt; ++t) fn(first + c + t, d2buf[t]);
+  }
 }
 
 /// Cell indices are kept well inside int64 so ring arithmetic (index ± reach)
@@ -166,8 +191,9 @@ void EpsGrid::neighborsImpl(std::span<const double> p,
       // widen it by one cell edge before discarding.
       const double slack = std::sqrt(radius2) + cell_;
       if (boxD2 > slack * slack) continue;
-      for (std::size_t j : cellMembers(c))
-        if (dist2(p, m_.row(j)) <= radius2) out.push_back(j);
+      forEachDist2(p, m_, cellMembers(c), [&](std::size_t j, double d2v) {
+        if (d2v <= radius2) out.push_back(j);
+      });
     }
     return;
   }
@@ -179,8 +205,9 @@ void EpsGrid::neighborsImpl(std::span<const double> p,
     for (std::size_t k = 0; k < d; ++k) coord[k] = base[k] + offs[k];
     const std::size_t cell = findCell(coord, d);
     if (cell != kNoCell) {
-      for (std::size_t j : cellMembers(cell))
-        if (dist2(p, m_.row(j)) <= radius2) out.push_back(j);
+      forEachDist2(p, m_, cellMembers(cell), [&](std::size_t j, double d2v) {
+        if (d2v <= radius2) out.push_back(j);
+      });
     }
     std::size_t k = 0;
     while (k < d && offs[k] == reach) {
@@ -211,8 +238,9 @@ void EpsGrid::neighbors(std::span<const double> p, double radius2,
       // The query point lies outside the indexable range; scan every cell
       // via the box-pruned path by forcing an oversized window.
       for (std::size_t c = 0; c < cellCount(); ++c)
-        for (std::size_t j : cellMembers(c))
-          if (dist2(p, m_.row(j)) <= radius2) out.push_back(j);
+        forEachDist2(p, m_, cellMembers(c), [&](std::size_t j, double d2v) {
+          if (d2v <= radius2) out.push_back(j);
+        });
       return;
     }
     base[k] = static_cast<std::int64_t>(std::floor(scaled));
@@ -226,8 +254,7 @@ std::size_t EpsGrid::nearest(std::span<const double> p, double radius2) const {
   const std::size_t d = p.size();
   double bestD2 = std::numeric_limits<double>::infinity();
   std::size_t best = kNoRow;
-  auto consider = [&](std::size_t j) {
-    const double d2v = dist2(p, m_.row(j));
+  auto consider = [&](std::size_t j, double d2v) {
     if (d2v > radius2) return;
     if (d2v < bestD2 || (d2v == bestD2 && j < best)) {
       bestD2 = d2v;
@@ -252,7 +279,7 @@ std::size_t EpsGrid::nearest(std::span<const double> p, double radius2) const {
   for (std::size_t k = 0; k < d; ++k)
     window *= static_cast<double>(2 * reach + 1);
   if (!inRange || window > static_cast<double>(cellCount())) {
-    for (std::size_t j = 0; j < m_.rows(); ++j) consider(j);
+    forEachDist2Rows(p, m_, 0, m_.rows(), consider);
     return best;
   }
 
@@ -274,7 +301,7 @@ std::size_t EpsGrid::nearest(std::span<const double> p, double radius2) const {
       }
     }
     if (boxD2 > std::min(bestD2, radius2)) return;
-    for (std::size_t j : cellMembers(c)) consider(j);
+    forEachDist2(p, m_, cellMembers(c), consider);
   };
 
   std::array<std::int64_t, kMaxDims> cell{};
@@ -327,10 +354,11 @@ double EpsGrid::kthNearestDist(std::size_t i, std::size_t k) const {
   auto scanCell = [&](const std::array<std::int64_t, kMaxDims>& coord) {
     const std::size_t c = findCell(coord, d);
     if (c == kNoCell) return;
-    for (std::size_t j : cellMembers(c)) {
-      if (j == i) continue;
-      offer(dist2(p, m_.row(j)));
-    }
+    // The batch kernel also computes row i's own (zero) distance; it is
+    // skipped at offer time, so the offer sequence matches the scalar loop.
+    forEachDist2(p, m_, cellMembers(c), [&](std::size_t j, double d2v) {
+      if (j != i) offer(d2v);
+    });
   };
 
   // Recursive enumeration of cells at Chebyshev ring r (max |offset| == r).

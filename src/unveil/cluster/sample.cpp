@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "unveil/cluster/distance.hpp"
 #include "unveil/cluster/eps_grid.hpp"
 #include "unveil/support/error.hpp"
 #include "unveil/support/rng.hpp"
@@ -30,15 +31,6 @@ void SampledDbscanParams::validate() const {
 namespace {
 
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
-
-double dist2(std::span<const double> p, std::span<const double> q) {
-  double d2 = 0.0;
-  for (std::size_t k = 0; k < p.size(); ++k) {
-    const double diff = p[k] - q[k];
-    d2 += diff * diff;
-  }
-  return d2;
-}
 
 /// Per-dimension equal-width bucket edges over the column's observed
 /// [min, max] range. Equal-width — not quantile — bucketing is deliberate:
@@ -237,14 +229,24 @@ SampledClustering dbscanSampled(const FeatureMatrix& features,
         const std::size_t hit = coreGrid.nearest(p, eps2);
         if (hit != EpsGrid::kNoRow) bestCore = coreRows[hit];
       } else {
+        // Batch the distance math over the contiguous core table; the
+        // selection stays scalar in ascending c, preserving the tie rule.
         double bestD2 = std::numeric_limits<double>::infinity();
         std::size_t bestC = kNone;
-        for (std::size_t c = 0; c < coreRows.size(); ++c) {
-          const double d2v = dist2(p, cores.row(c));
-          if (d2v > eps2) continue;
-          if (d2v < bestD2 || (d2v == bestD2 && c < bestC)) {
-            bestD2 = d2v;
-            bestC = c;
+        constexpr std::size_t kChunk = 64;
+        double d2buf[kChunk];
+        const double* coreBase = cores.row(0).data();
+        for (std::size_t c0 = 0; c0 < coreRows.size(); c0 += kChunk) {
+          const std::size_t cnt = std::min(kChunk, coreRows.size() - c0);
+          distance2BatchRows(p.data(), d, coreBase, d, c0, cnt, d2buf);
+          for (std::size_t t = 0; t < cnt; ++t) {
+            const double d2v = d2buf[t];
+            if (d2v > eps2) continue;
+            const std::size_t c = c0 + t;
+            if (d2v < bestD2 || (d2v == bestD2 && c < bestC)) {
+              bestD2 = d2v;
+              bestC = c;
+            }
           }
         }
         if (bestC != kNone) bestCore = coreRows[bestC];

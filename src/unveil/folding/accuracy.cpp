@@ -45,10 +45,10 @@ std::vector<double> empiricalNormalizedRate(const trace::Trace& trace,
   for (std::size_t mi : memberIdx) {
     UNVEIL_ASSERT(mi < bursts.size(), "empirical member index out of range");
     const cluster::Burst& b = bursts[mi];
-    if (b.sampleIdx.size() < params.minSamplesPerInstance) continue;
+    if (b.sampleCount < params.minSamplesPerInstance) continue;
     const double overhead =
         params.probeOverheadNs +
-        params.perSampleOverheadNs * static_cast<double>(b.sampleIdx.size());
+        params.perSampleOverheadNs * static_cast<double>(b.sampleCount);
     const double duration =
         std::max(static_cast<double>(b.durationNs()) - overhead, 1.0);
     const double total = static_cast<double>(b.endCounters[counter]) -
@@ -69,7 +69,8 @@ std::vector<double> empiricalNormalizedRate(const trace::Trace& trace,
       ++binCount[bin];
     };
     std::size_t samplesBefore = 0;
-    for (std::size_t si : b.sampleIdx) {
+    const std::size_t sEnd = b.sampleFirst + b.sampleCount;
+    for (std::size_t si = b.sampleFirst; si < sEnd; ++si) {
       const trace::Sample& s = samples[si];
       if (!trace::maskHas(s.validMask, counter)) {
         ++samplesBefore;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "unveil/support/error.hpp"
 #include "unveil/support/math.hpp"
@@ -27,12 +28,16 @@ FoldBand foldBand(const FoldedCounter& folded, const BandParams& params) {
   // per-bin spread of y would conflate the curve's own slope across the bin
   // with genuine cross-instance variation.
   const auto centralFit = fitCumulative(folded, FitParams{});
+  const std::span<const double> tsCol = folded.points.ts();
+  const std::span<const double> ysCol = folded.points.ys();
   std::vector<std::vector<double>> binResidual(bins), binT(bins);
-  for (const auto& p : folded.points) {
-    const double t = std::clamp(p.t, 0.0, 1.0);
-    auto b = static_cast<std::size_t>(t * static_cast<double>(bins));
-    b = std::min(b, bins - 1);
-    binResidual[b].push_back(p.y - centralFit->value(t));
+  for (std::size_t i = 0; i < tsCol.size(); ++i) {
+    const double t = std::clamp(tsCol[i], 0.0, 1.0);
+    std::size_t b = 0;
+    if (t == t)
+      b = std::min(static_cast<std::size_t>(t * static_cast<double>(bins)),
+                   bins - 1);
+    binResidual[b].push_back(ysCol[i] - centralFit->value(t));
     binT[b].push_back(t);
   }
   std::vector<double> xs{0.0}, lo{0.0}, hi{0.0};

@@ -1,0 +1,324 @@
+#include "unveil/folding/columnar.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "unveil/support/error.hpp"
+#include "unveil/support/simd.hpp"
+
+namespace unveil::folding {
+
+// ---------------------------------------------------------------------------
+// PointColumns
+
+void PointColumns::reserve(std::size_t n) {
+  t_.reserve(n);
+  y_.reserve(n);
+  burst_.reserve(n);
+  rank_.reserve(n);
+}
+
+void PointColumns::clear() noexcept {
+  t_.clear();
+  y_.clear();
+  burst_.clear();
+  rank_.clear();
+}
+
+void PointColumns::shrink_to_fit() {
+  t_.shrink_to_fit();
+  y_.shrink_to_fit();
+  burst_.shrink_to_fit();
+  rank_.shrink_to_fit();
+}
+
+void PointColumns::push_back(const FoldedPoint& p) {
+  t_.push_back(p.t);
+  y_.push_back(p.y);
+  burst_.push_back(static_cast<std::uint32_t>(p.burstIdx));
+  rank_.push_back(p.rank);
+}
+
+void PointColumns::set(std::size_t i, const FoldedPoint& p) noexcept {
+  t_[i] = p.t;
+  y_[i] = p.y;
+  burst_[i] = static_cast<std::uint32_t>(p.burstIdx);
+  rank_[i] = p.rank;
+}
+
+std::size_t PointColumns::grow(std::size_t extra) {
+  const std::size_t first = t_.size();
+  t_.resize(first + extra);
+  y_.resize(first + extra);
+  burst_.resize(first + extra);
+  rank_.resize(first + extra);
+  return first;
+}
+
+namespace {
+
+/// Below this size a plain comparison sort beats the bucketing overhead.
+constexpr std::size_t kMinBucketSortPoints = 2048;
+
+/// Total order on doubles with NaN sorting before every number. For the
+/// fold-produced clouds (never NaN) this is plain operator<, so the sorted
+/// sequence matches the historical comparator byte-for-byte; hand-built
+/// clouds with non-finite values get a deterministic order instead of the
+/// undefined behaviour a NaN comparator hands std::sort.
+inline bool ltTotal(double a, double b) noexcept {
+  const bool na = a != a;
+  const bool nb = b != b;
+  if (na || nb) return na && !nb;
+  return a < b;
+}
+
+}  // namespace
+
+void PointColumns::sortCanonical() {
+  SortScratch scratch;
+  sortCanonical(scratch);
+}
+
+void PointColumns::sortCanonical(SortScratch& scratch) {
+  (void)sortCanonicalRetainPerm(scratch);
+}
+
+void PointColumns::applyPermutation(std::span<const std::uint32_t> perm,
+                                    SortScratch& scratch) {
+  const std::size_t n = size();
+  UNVEIL_ASSERT(perm.size() == n, "permutation size mismatch");
+  auto& tmpT = scratch.tmpT;
+  auto& tmpY = scratch.tmpY;
+  auto& tmpB = scratch.tmpB;
+  auto& tmpR = scratch.tmpR;
+  tmpT.resize(n);
+  tmpY.resize(n);
+  tmpB.resize(n);
+  tmpR.resize(n);
+  // One fused pass: the four random gathers issue together, so their miss
+  // latencies overlap instead of serializing across four loops.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t p = perm[i];
+    tmpT[i] = t_[p];
+    tmpY[i] = y_[p];
+    tmpB[i] = burst_[p];
+    tmpR[i] = rank_[p];
+  }
+  t_.swap(tmpT);
+  y_.swap(tmpY);
+  burst_.swap(tmpB);
+  rank_.swap(tmpR);
+}
+
+bool PointColumns::sortCanonicalRetainPerm(SortScratch& scratch) {
+  const std::size_t n = size();
+  if (n < 2) {
+    scratch.perm.resize(n);
+    if (n == 1) scratch.perm[0] = 0;
+    return true;
+  }
+  UNVEIL_ASSERT(n <= std::numeric_limits<std::uint32_t>::max(),
+                "point cloud exceeds 2^32 rows");
+  const double* t = t_.data();
+  const double* y = y_.data();
+  const std::uint32_t* bi = burst_.data();
+  // Canonical order: (t, burstIdx, y); equal points are identical.
+  const auto less = [t, y, bi](std::uint32_t a, std::uint32_t b) noexcept {
+    if (ltTotal(t[a], t[b])) return true;
+    if (ltTotal(t[b], t[a])) return false;
+    if (bi[a] != bi[b]) return bi[a] < bi[b];
+    return ltTotal(y[a], y[b]);
+  };
+
+  auto& perm = scratch.perm;
+  perm.resize(n);
+  if (n < kMinBucketSortPoints) {
+    std::iota(perm.begin(), perm.end(), std::uint32_t{0});
+    std::sort(perm.begin(), perm.end(), less);
+  } else {
+    // O(n) distribution on t ∈ [0, 1]: about one point per bucket, so the
+    // per-bucket finishing sorts all but vanish while the cursor working
+    // set stays in cache. Out-of-contract values route deterministically:
+    // anything not > 0 (including NaN) to bucket 0, anything >= 1 to the
+    // last bucket — consistent with the NaN-first comparator that finishes
+    // each bucket.
+    const std::size_t nb =
+        std::min<std::size_t>(std::size_t{1} << 17, std::bit_ceil(n));
+    const auto bucketOf = [nb](double x) noexcept -> std::uint32_t {
+      if (!(x > 0.0)) return 0;
+      if (x >= 1.0) return static_cast<std::uint32_t>(nb - 1);
+      return static_cast<std::uint32_t>(x * static_cast<double>(nb));
+    };
+    auto& offset = scratch.offset;
+    auto& bucket = scratch.bucket;
+    offset.assign(nb, 0);
+    bucket.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bucket[i] = bucketOf(t[i]);
+      ++offset[bucket[i]];
+    }
+    std::uint32_t sum = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::uint32_t count = offset[b];
+      offset[b] = sum;  // exclusive prefix: bucket start position
+      sum += count;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      perm[offset[bucket[i]]++] = static_cast<std::uint32_t>(i);
+    // Finish each bucket. Buckets are tiny on the designed-for
+    // distribution, so an inline insertion sort beats std::sort's
+    // call-and-setup overhead; big piles (e.g. clamp-produced t == 0 runs)
+    // still take the introsort path. The canonical order is total with
+    // "equal implies identical", so either finisher yields the same bytes.
+    constexpr std::uint32_t kInsertionMax = 24;
+    std::uint32_t begin = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::uint32_t end = offset[b];  // scatter left it at bucket end
+      const std::uint32_t count = end - begin;
+      if (count > 1) {
+        if (count <= kInsertionMax) {
+          for (std::uint32_t i = begin + 1; i < end; ++i) {
+            const std::uint32_t v = perm[i];
+            std::uint32_t j = i;
+            while (j > begin && less(v, perm[j - 1])) {
+              perm[j] = perm[j - 1];
+              --j;
+            }
+            perm[j] = v;
+          }
+        } else {
+          std::sort(perm.begin() + begin, perm.begin() + end, less);
+        }
+      }
+      begin = end;
+    }
+  }
+
+  applyPermutation(perm, scratch);
+
+  // Tie scan for permutation reuse: adjacent sorted points equal on
+  // (t, burstIdx) mean the order consulted y, so the permutation is not
+  // transferable to a sibling cloud with different y values.
+  const double* ts = t_.data();
+  const std::uint32_t* bs = burst_.data();
+  for (std::size_t i = 1; i < n; ++i) {
+    const bool tEqual = !ltTotal(ts[i - 1], ts[i]) && !ltTotal(ts[i], ts[i - 1]);
+    if (tEqual && bs[i - 1] == bs[i]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SampleColumns
+
+void SampleColumns::build(const trace::Trace& trace) {
+  const auto& samples = trace.samples();
+  const std::size_t n = samples.size();
+  time_.resize(n);
+  mask_.resize(n);
+  rank_.resize(n);
+  for (auto& column : value_) column.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::Sample& s = samples[i];
+    time_[i] = s.time;
+    mask_[i] = s.validMask;
+    rank_[i] = s.rank;
+    for (std::size_t k = 0; k < counters::kNumCounters; ++k)
+      value_[k][i] = s.counters.values[k];
+  }
+}
+
+trace::CounterMask SampleColumns::maskAnd(std::size_t first,
+                                          std::size_t count) const noexcept {
+  trace::CounterMask m = trace::kAllCountersMask;
+  const std::size_t end = first + count;
+  for (std::size_t i = first; i < end; ++i)
+    m = static_cast<trace::CounterMask>(m & mask_[i]);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+
+namespace kernels {
+
+#if defined(UNVEIL_HAVE_AVX2)
+// Explicit AVX2 implementations, compiled with -mavx2 in columnar_avx2.cpp.
+void normalizedTimesAvx2(const std::uint64_t* time, std::size_t n,
+                         std::uint64_t begin, double probeNs, double perSampleNs,
+                         double workNs, double* out);
+void counterDeltasAvx2(const std::uint64_t* value, std::size_t n,
+                       std::uint64_t c0, double increment, double* out);
+#endif
+
+namespace {
+
+inline bool useAvx2() noexcept {
+  return support::simdLevel() == support::SimdLevel::Avx2;
+}
+
+void normalizedTimesPortable(const std::uint64_t* time, std::size_t n,
+                             std::uint64_t begin, double probeNs,
+                             double perSampleNs, double workNs, double* out) {
+  // Phase 1: ticks since burst begin. The u64 → f64 convert has no baseline
+  // vector form, so it gets its own tight loop; everything after it is
+  // elementwise double arithmetic the compiler vectorizes.
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<double>(time[i] - begin);
+  const auto ni = static_cast<std::ptrdiff_t>(n);
+  if (perSampleNs == 0.0 && !std::signbit(perSampleNs)) {
+    // With a zero per-sample overhead the index term is exactly +0.0 for
+    // every i, and x − probe − 0.0 ≡ x − probe bit-for-bit — which frees
+    // the loop from the (unvectorizable) index-to-double convert.
+#pragma omp simd
+    for (std::ptrdiff_t i = 0; i < ni; ++i)
+      out[i] = std::clamp((out[i] - probeNs) / workNs, 0.0, 1.0);
+    return;
+  }
+  for (std::ptrdiff_t i = 0; i < ni; ++i) {
+    const double elapsed =
+        out[i] - probeNs - perSampleNs * static_cast<double>(i);
+    out[i] = std::clamp(elapsed / workNs, 0.0, 1.0);
+  }
+}
+
+void counterDeltasPortable(const std::uint64_t* value, std::size_t n,
+                           std::uint64_t c0, double increment, double* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<double>(value[i] - c0);
+  const auto ni = static_cast<std::ptrdiff_t>(n);
+#pragma omp simd
+  for (std::ptrdiff_t i = 0; i < ni; ++i) out[i] = out[i] / increment;
+}
+
+}  // namespace
+
+void normalizedTimes(const std::uint64_t* time, std::size_t n,
+                     std::uint64_t begin, double probeNs, double perSampleNs,
+                     double workNs, double* out) {
+#if defined(UNVEIL_HAVE_AVX2)
+  if (useAvx2()) {
+    normalizedTimesAvx2(time, n, begin, probeNs, perSampleNs, workNs, out);
+    return;
+  }
+#endif
+  normalizedTimesPortable(time, n, begin, probeNs, perSampleNs, workNs, out);
+}
+
+void counterDeltas(const std::uint64_t* value, std::size_t n, std::uint64_t c0,
+                   double increment, double* out) {
+#if defined(UNVEIL_HAVE_AVX2)
+  if (useAvx2()) {
+    counterDeltasAvx2(value, n, c0, increment, out);
+    return;
+  }
+#endif
+  counterDeltasPortable(value, n, c0, increment, out);
+}
+
+}  // namespace kernels
+
+}  // namespace unveil::folding

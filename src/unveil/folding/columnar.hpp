@@ -1,0 +1,229 @@
+#pragma once
+
+/// \file columnar.hpp
+/// Columnar (structure-of-arrays) stores for the folding hot path.
+///
+/// The fold inner loops touch millions of tiny records — trace samples on
+/// the way in, folded (t, y) points on the way out. Stored as
+/// arrays-of-structs, every loop pays for the fields it does not read and
+/// defeats vectorization; stored as columns, the three hot kernels
+/// (normalized-time projection, counter-delta normalization, canonical
+/// sorting) stream over contiguous, kColumnAlignment-aligned arrays.
+///
+/// Two stores live here:
+///  - SampleColumns: per-field views of Trace::samples(), built once per
+///    analysis (or once per shard in the streaming engine) and shared by
+///    every cluster fold;
+///  - PointColumns: the folded cloud of one (cluster, counter) pair —
+///    normalized time, normalized delta, source burst, source rank.
+///
+/// Determinism contract: all kernels perform the same IEEE operations in
+/// the same order as the historical scalar loops, and no build flag enables
+/// FMA contraction, so scalar / auto-vectorized / explicit-AVX2 runs are
+/// bit-identical (DESIGN.md §16). The canonical sort is pinned by the
+/// canonical *total* order on points, under which equal points are
+/// identical — any correct sort yields the same bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <span>
+
+#include "unveil/counters/counter.hpp"
+#include "unveil/support/aligned.hpp"
+#include "unveil/trace/trace.hpp"
+
+namespace unveil::folding {
+
+/// One folded sample.
+struct FoldedPoint {
+  double t = 0.0;            ///< Normalized intra-instance time.
+  double y = 0.0;            ///< Normalized cumulative counter fraction.
+  std::size_t burstIdx = 0;  ///< Index of the source burst (into the member list).
+  trace::Rank rank = 0;      ///< Source rank.
+};
+
+/// Columnar store of folded points. Presents enough of the std::vector
+/// surface (size, push_back, operator[], iteration) that point-consuming
+/// code reads naturally, while the fold/fit kernels go straight at the
+/// column spans. burstIdx and rank are stored as 32 bits — a cluster with
+/// 2^32 member bursts is beyond any trace this tool ingests, and the two
+/// narrow columns halve the bandwidth of the sort's gather passes.
+class PointColumns {
+ public:
+  using value_type = FoldedPoint;
+
+  [[nodiscard]] std::size_t size() const noexcept { return t_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return t_.empty(); }
+
+  void reserve(std::size_t n);
+  void clear() noexcept;
+  void shrink_to_fit();
+
+  void push_back(const FoldedPoint& p);
+  /// Overwrites point \p i (reservoir replacement).
+  void set(std::size_t i, const FoldedPoint& p) noexcept;
+
+  [[nodiscard]] FoldedPoint operator[](std::size_t i) const noexcept {
+    return {t_[i], y_[i], static_cast<std::size_t>(burst_[i]), rank_[i]};
+  }
+
+  /// Column views (read-only).
+  [[nodiscard]] std::span<const double> ts() const noexcept { return t_; }
+  [[nodiscard]] std::span<const double> ys() const noexcept { return y_; }
+  [[nodiscard]] std::span<const std::uint32_t> burstIdxs() const noexcept {
+    return burst_;
+  }
+  [[nodiscard]] std::span<const trace::Rank> ranks() const noexcept {
+    return rank_;
+  }
+
+  /// Bulk-append seam for the fold kernels: grows every column by \p extra
+  /// default-initialized rows and returns the first new row's index. The
+  /// caller fills [first, first+extra) through the mutable column pointers.
+  std::size_t grow(std::size_t extra);
+  [[nodiscard]] double* tData() noexcept { return t_.data(); }
+  [[nodiscard]] double* yData() noexcept { return y_.data(); }
+  [[nodiscard]] std::uint32_t* burstData() noexcept { return burst_.data(); }
+  [[nodiscard]] trace::Rank* rankData() noexcept { return rank_.data(); }
+
+  /// Scratch reused across several sortCanonical() calls.
+  struct SortScratch {
+    support::AlignedVector<std::uint32_t> offset;  ///< Bucket cursors.
+    support::AlignedVector<std::uint32_t> bucket;  ///< Per-point bucket ids.
+    support::AlignedVector<std::uint32_t> perm;    ///< Applied permutation.
+    /// Gather targets, column-swapped with the store afterwards.
+    support::AlignedVector<double> tmpT;
+    support::AlignedVector<double> tmpY;
+    support::AlignedVector<std::uint32_t> tmpB;
+    support::AlignedVector<std::uint32_t> tmpR;
+  };
+
+  /// Sorts into the canonical total order: t, then source burst, then y.
+  /// Points equal under it are identical in every field, so the result is
+  /// the unique sorted sequence — byte-for-byte what a comparison sort of
+  /// the equivalent FoldedPoint array produces. Exploits t ∈ [0, 1] with an
+  /// O(n) bucket distribution on t above a size threshold. Non-finite t or
+  /// y (impossible for fold-produced clouds, possible for hand-built ones)
+  /// are ordered deterministically: NaN sorts before every number.
+  void sortCanonical();
+  void sortCanonical(SortScratch& scratch);
+
+  /// sortCanonical(), additionally leaving the applied permutation in
+  /// scratch.perm (sorted position i came from old row perm[i]) and
+  /// returning true when no two adjacent sorted points are equal on
+  /// (t, burstIdx) — i.e. the permutation is fully determined by the
+  /// (t, burstIdx) columns alone, independent of y. A sibling cloud whose
+  /// pre-sort (t, burstIdx) columns are bitwise identical then sorts to the
+  /// same permutation, so applyPermutation() reproduces its canonical sort
+  /// without re-sorting (the multi-counter fold's clouds share one sample
+  /// walk and differ only in y).
+  bool sortCanonicalRetainPerm(SortScratch& scratch);
+
+  /// Reorders the columns by \p perm (from a sibling's
+  /// sortCanonicalRetainPerm; see there for when this is sound).
+  void applyPermutation(std::span<const std::uint32_t> perm,
+                        SortScratch& scratch);
+
+  /// Value-returning proxy iterator — enough for range-for and simple
+  /// forward traversal.
+  class ConstIterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = FoldedPoint;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = FoldedPoint;
+
+    ConstIterator() noexcept = default;
+    ConstIterator(const PointColumns* c, std::size_t i) noexcept : c_(c), i_(i) {}
+    [[nodiscard]] FoldedPoint operator*() const noexcept { return (*c_)[i_]; }
+    ConstIterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    ConstIterator operator++(int) noexcept {
+      ConstIterator old = *this;
+      ++i_;
+      return old;
+    }
+    [[nodiscard]] friend bool operator==(const ConstIterator& a,
+                                         const ConstIterator& b) noexcept {
+      return a.i_ == b.i_;
+    }
+
+   private:
+    const PointColumns* c_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] ConstIterator begin() const noexcept { return {this, 0}; }
+  [[nodiscard]] ConstIterator end() const noexcept { return {this, size()}; }
+
+ private:
+  support::AlignedVector<double> t_;
+  support::AlignedVector<double> y_;
+  support::AlignedVector<std::uint32_t> burst_;
+  support::AlignedVector<trace::Rank> rank_;
+};
+
+/// Columnar view of a trace's sample records: one aligned array per field
+/// the fold kernels read. Built once per analysis (batch) or once per shard
+/// (streaming pass B) and shared read-only by every cluster fold. Row i
+/// corresponds to Trace::samples()[i], so burst sample ranges index both.
+class SampleColumns {
+ public:
+  SampleColumns() = default;
+
+  /// Populates the columns from \p trace's samples (replacing any previous
+  /// content).
+  void build(const trace::Trace& trace);
+
+  [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
+
+  [[nodiscard]] const std::uint64_t* timeData() const noexcept {
+    return time_.data();
+  }
+  [[nodiscard]] const std::uint64_t* valueData(counters::CounterId id) const noexcept {
+    return value_[static_cast<std::size_t>(id)].data();
+  }
+  [[nodiscard]] const trace::CounterMask* maskData() const noexcept {
+    return mask_.data();
+  }
+  [[nodiscard]] const trace::Rank* rankData() const noexcept {
+    return rank_.data();
+  }
+
+  /// Bitwise AND of the valid masks over rows [first, first+count): a set
+  /// bit means *every* sample in the range read that counter, unlocking the
+  /// branch-free bulk fold path for it.
+  [[nodiscard]] trace::CounterMask maskAnd(std::size_t first,
+                                           std::size_t count) const noexcept;
+
+ private:
+  support::AlignedVector<std::uint64_t> time_;
+  std::array<support::AlignedVector<std::uint64_t>, counters::kNumCounters> value_;
+  support::AlignedVector<trace::CounterMask> mask_;
+  support::AlignedVector<trace::Rank> rank_;
+};
+
+namespace kernels {
+
+/// out[i] = clamp(((double)(time[i] − begin) − probeNs − perSampleNs·i) /
+/// workNs, 0, 1) — the normalized-time projection of one burst's sample
+/// window, index i being the sample's position inside the burst (all
+/// samples dilate the burst, valid or not). Bit-identical to the scalar
+/// per-sample expression in every dispatch path.
+void normalizedTimes(const std::uint64_t* time, std::size_t n,
+                     std::uint64_t begin, double probeNs, double perSampleNs,
+                     double workNs, double* out);
+
+/// out[i] = (double)(value[i] − c0) / increment — the normalized counter
+/// delta of one burst's sample window. Counter monotonicity guarantees
+/// value[i] >= c0. Bit-identical across dispatch paths.
+void counterDeltas(const std::uint64_t* value, std::size_t n, std::uint64_t c0,
+                   double increment, double* out);
+
+}  // namespace kernels
+
+}  // namespace unveil::folding

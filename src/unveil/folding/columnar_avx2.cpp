@@ -1,0 +1,108 @@
+/// \file columnar_avx2.cpp
+/// Explicit AVX2 variants of the fold kernels. This is the only folding TU
+/// compiled with -mavx2 (see folding/CMakeLists.txt); nothing here may be
+/// called unless support::simdLevel() reports Avx2. Note -mavx2 does NOT
+/// enable FMA, and no fmadd intrinsic is used, so every operation below
+/// rounds exactly like its scalar counterpart — bit-identical results.
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(UNVEIL_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace unveil::folding::kernels {
+
+namespace {
+
+/// Exact unsigned 64-bit → double conversion (AVX2 has no native u64→f64).
+/// Split into high and low 32-bit halves, each represented exactly inside a
+/// biased double, recombine with one rounding add — the result equals the
+/// correctly rounded static_cast<double>(x) for every u64.
+inline __m256d u64ToDouble(__m256i x) noexcept {
+  const __m256i hiBias = _mm256_castpd_si256(_mm256_set1_pd(0x1p84));
+  const __m256i loBias = _mm256_castpd_si256(_mm256_set1_pd(0x1p52));
+  const __m256i hi = _mm256_or_si256(_mm256_srli_epi64(x, 32), hiBias);
+  const __m256i lo = _mm256_blend_epi32(x, loBias, 0xaa);
+  const __m256d hiVal =
+      _mm256_sub_pd(_mm256_castsi256_pd(hi), _mm256_set1_pd(0x1p84 + 0x1p52));
+  return _mm256_add_pd(hiVal, _mm256_castsi256_pd(lo));
+}
+
+/// min(1, max(0, v)) with operand order chosen so NaN propagates exactly
+/// like std::clamp(v, 0.0, 1.0) and -0.0 survives (maxpd/minpd return the
+/// second operand on NaN or signed-zero ties).
+inline __m256d clamp01(__m256d v) noexcept {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  return _mm256_min_pd(one, _mm256_max_pd(zero, v));
+}
+
+}  // namespace
+
+void normalizedTimesAvx2(const std::uint64_t* time, std::size_t n,
+                         std::uint64_t begin, double probeNs, double perSampleNs,
+                         double workNs, double* out) {
+  const __m256i vbegin = _mm256_set1_epi64x(static_cast<long long>(begin));
+  const __m256d vprobe = _mm256_set1_pd(probeNs);
+  const __m256d vwork = _mm256_set1_pd(workNs);
+  std::size_t i = 0;
+  if (perSampleNs == 0.0 && !std::signbit(perSampleNs)) {
+    // Index term is exactly +0.0 — same shortcut as the portable kernel.
+    for (; i + 4 <= n; i += 4) {
+      const __m256i ticks = _mm256_sub_epi64(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(time + i)),
+          vbegin);
+      const __m256d elapsed = _mm256_sub_pd(u64ToDouble(ticks), vprobe);
+      _mm256_storeu_pd(out + i, clamp01(_mm256_div_pd(elapsed, vwork)));
+    }
+    for (; i < n; ++i) {
+      const double elapsed = static_cast<double>(time[i] - begin) - probeNs;
+      out[i] = std::clamp(elapsed / workNs, 0.0, 1.0);
+    }
+    return;
+  }
+  const __m256d vper = _mm256_set1_pd(perSampleNs);
+  // Index vector {i, i+1, i+2, i+3} as doubles — exact for any realistic n.
+  __m256d vidx = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+  const __m256d vfour = _mm256_set1_pd(4.0);
+  for (; i + 4 <= n; i += 4) {
+    const __m256i ticks = _mm256_sub_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(time + i)), vbegin);
+    const __m256d elapsed = _mm256_sub_pd(
+        _mm256_sub_pd(u64ToDouble(ticks), vprobe), _mm256_mul_pd(vper, vidx));
+    _mm256_storeu_pd(out + i, clamp01(_mm256_div_pd(elapsed, vwork)));
+    vidx = _mm256_add_pd(vidx, vfour);
+  }
+  for (; i < n; ++i) {
+    const double elapsed = static_cast<double>(time[i] - begin) - probeNs -
+                           perSampleNs * static_cast<double>(i);
+    out[i] = std::clamp(elapsed / workNs, 0.0, 1.0);
+  }
+}
+
+void counterDeltasAvx2(const std::uint64_t* value, std::size_t n,
+                       std::uint64_t c0, double increment, double* out) {
+  const __m256i vc0 = _mm256_set1_epi64x(static_cast<long long>(c0));
+  const __m256d vinc = _mm256_set1_pd(increment);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i delta = _mm256_sub_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(value + i)), vc0);
+    _mm256_storeu_pd(out + i, _mm256_div_pd(u64ToDouble(delta), vinc));
+  }
+  for (; i < n; ++i)
+    out[i] = static_cast<double>(value[i] - c0) / increment;
+}
+
+}  // namespace unveil::folding::kernels
+
+#else  // !UNVEIL_HAVE_AVX2: TU intentionally empty (CMake should not add it).
+
+namespace unveil::folding::kernels {}
+
+#endif

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "unveil/support/error.hpp"
@@ -37,31 +38,52 @@ namespace {
 
 /// Robust knots from binned medians, with (0,0) and (1,1) anchors.
 /// Returns parallel xs/ys with strictly increasing xs.
+///
+/// The cloud arrives in canonical order (sorted by t — every producer sorts
+/// before fitting), so each bin is one contiguous subrange of the t column:
+/// bin boundaries fall out of a partition_point per edge on the *exact* bin
+/// function, after which the statistics stream straight over column spans —
+/// no per-point scatter into per-bin vectors.
 void binnedKnots(const FoldedCounter& folded, std::size_t bins, bool useMedian,
                  std::vector<double>& xs, std::vector<double>& ys) {
-  std::vector<std::vector<double>> binY(bins);
-  std::vector<std::vector<double>> binT(bins);
-  for (const auto& p : folded.points) {
-    const double t = std::clamp(p.t, 0.0, 1.0);
-    auto b = static_cast<std::size_t>(t * static_cast<double>(bins));
-    b = std::min(b, bins - 1);
-    binY[b].push_back(p.y);
-    binT[b].push_back(t);
-  }
+  const std::span<const double> ts = folded.points.ts();
+  const std::span<const double> ysCol = folded.points.ys();
+  const std::size_t n = ts.size();
+  // Bin of one point; NaN t (impossible for fold output, deterministic for
+  // hand-built clouds) lands in bin 0, matching its NaN-first sort position
+  // so the subranges stay contiguous.
+  const auto binOf = [bins](double raw) noexcept -> std::size_t {
+    const double t = std::clamp(raw, 0.0, 1.0);
+    if (t != t) return 0;
+    const auto b = static_cast<std::size_t>(t * static_cast<double>(bins));
+    return std::min(b, bins - 1);
+  };
   xs.clear();
   ys.clear();
   xs.push_back(0.0);
   ys.push_back(0.0);
-  for (std::size_t b = 0; b < bins; ++b) {
-    if (binY[b].empty()) continue;
+  std::vector<double> binT, binY;
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < bins && begin < n; ++b) {
+    const std::size_t end = static_cast<std::size_t>(
+        std::partition_point(ts.begin() + static_cast<std::ptrdiff_t>(begin),
+                             ts.end(),
+                             [&](double t) { return binOf(t) <= b; }) -
+        ts.begin());
+    if (end == begin) continue;
+    binT.resize(end - begin);
+    binY.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      binT[i - begin] = std::clamp(ts[i], 0.0, 1.0);
+      binY[i - begin] = ysCol[i];
+    }
+    begin = end;
     // Pair matching statistics: the median of y equals the curve at the
     // median of t for any monotone profile (medians commute with monotone
     // maps), so median/median knots lie exactly on noise-free data. Mixing
     // mean(t) with median(y) would bias knots off the curve.
-    const double x =
-        useMedian ? support::median(binT[b]) : support::mean(binT[b]);
-    const double y =
-        useMedian ? support::median(binY[b]) : support::mean(binY[b]);
+    const double x = useMedian ? support::median(binT) : support::mean(binT);
+    const double y = useMedian ? support::median(binY) : support::mean(binY);
     if (x <= xs.back() + 1e-9) continue;
     if (x >= 1.0 - 1e-9) continue;
     xs.push_back(x);
@@ -206,9 +228,11 @@ class KernelFit final : public CumulativeFit {
     ts_.push_back(0.0);
     ys_.push_back(0.0);
     ws_.push_back(anchorWeight);
-    for (const auto& p : folded.points) {
-      ts_.push_back(std::clamp(p.t, 0.0, 1.0));
-      ys_.push_back(p.y);
+    const std::span<const double> ts = folded.points.ts();
+    const std::span<const double> ys = folded.points.ys();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      ts_.push_back(std::clamp(ts[i], 0.0, 1.0));
+      ys_.push_back(ys[i]);
       ws_.push_back(1.0);
     }
     ts_.push_back(1.0);
@@ -239,12 +263,27 @@ class KernelFit final : public CumulativeFit {
 
  private:
   [[nodiscard]] double sumRange(double t, std::size_t lo, std::size_t hi) const {
+    // Chunked so the kernel-argument loop vectorizes while the accumulation
+    // stays in the original index order (order-dependent FP sums) — the
+    // result is bit-identical to the historical fused loop: same z and
+    // -0.5·z·z expressions, same scalar libm exp, same num/den sequence.
     double num = 0.0, den = 0.0;
-    for (std::size_t i = lo; i < hi; ++i) {
-      const double z = (t - ts_[i]) / h_;
-      const double k = ws_[i] * std::exp(-0.5 * z * z);
-      num += k * ys_[i];
-      den += k;
+    constexpr std::size_t kChunk = 128;
+    double arg[kChunk];
+    for (std::size_t base = lo; base < hi; base += kChunk) {
+      const std::size_t m = std::min(kChunk, hi - base);
+      const double* ts = ts_.data() + base;
+      const auto mi = static_cast<std::ptrdiff_t>(m);
+#pragma omp simd
+      for (std::ptrdiff_t i = 0; i < mi; ++i) {
+        const double z = (t - ts[i]) / h_;
+        arg[i] = -0.5 * z * z;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        const double k = ws_[base + i] * std::exp(arg[i]);
+        num += k * ys_[base + i];
+        den += k;
+      }
     }
     return den > 0.0 ? num / den : 0.0;
   }

@@ -1,8 +1,8 @@
 #include "unveil/folding/folded.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cstdint>
+#include <cstring>
 
 #include "unveil/support/error.hpp"
 #include "unveil/support/rng.hpp"
@@ -12,69 +12,6 @@ namespace unveil::folding {
 
 namespace {
 
-/// Canonical total order on folded points. Sorting primarily by t, ties are
-/// broken by source burst and then by y; two points equal under this order
-/// are bit-identical (rank is determined by the burst), so *any* correct
-/// sorting algorithm produces the same byte sequence. This is what lets
-/// foldClusterMulti() use a distribution sort while staying bit-identical
-/// to the std::sort in foldCluster().
-bool pointLess(const FoldedPoint& a, const FoldedPoint& b) noexcept {
-  if (a.t != b.t) return a.t < b.t;
-  if (a.burstIdx != b.burstIdx) return a.burstIdx < b.burstIdx;
-  return a.y < b.y;
-}
-
-/// Below this size a plain std::sort beats the bucketing overhead.
-constexpr std::size_t kMinBucketSortPoints = 2048;
-
-/// Reusable buffers for sortPointsCanonical(); callers sorting several
-/// clouds back to back (foldClusterMulti) pay the allocations only once.
-struct SortScratch {
-  std::vector<std::uint32_t> offset;
-  std::vector<FoldedPoint> tmp;
-};
-
-/// Sorts \p pts into the canonical order. Exploits t ∈ [0, 1] (guaranteed by
-/// the clamp in the fold loop) with a single-pass bucket distribution on t
-/// followed by tiny per-bucket sorts: O(n) for the uniform-ish clouds folding
-/// produces, against std::sort's O(n log n) comparison floor.
-void sortPointsCanonical(std::vector<FoldedPoint>& pts, SortScratch& scratch) {
-  const std::size_t n = pts.size();
-  if (n < kMinBucketSortPoints) {
-    std::sort(pts.begin(), pts.end(), pointLess);
-    return;
-  }
-  // About one point per bucket: the per-bucket sorts all but vanish and the
-  // scatter's working set (a few hundred KB of cursors) still sits in cache.
-  const std::size_t nb =
-      std::min<std::size_t>(std::size_t{1} << 17, std::bit_ceil(n));
-  const auto bucketOf = [nb](double t) noexcept {
-    const auto i = static_cast<std::size_t>(t * static_cast<double>(nb));
-    return i < nb ? i : nb - 1;
-  };
-  scratch.offset.assign(nb, 0);
-  auto& offset = scratch.offset;
-  for (const FoldedPoint& p : pts) ++offset[bucketOf(p.t)];
-  std::uint32_t sum = 0;
-  for (std::size_t b = 0; b < nb; ++b) {
-    const std::uint32_t count = offset[b];
-    offset[b] = sum;  // exclusive prefix: bucket start position
-    sum += count;
-  }
-  scratch.tmp.resize(n);
-  auto& tmp = scratch.tmp;
-  for (const FoldedPoint& p : pts) tmp[offset[bucketOf(p.t)]++] = p;
-  // The scatter advanced each offset to its bucket's end position.
-  std::uint32_t begin = 0;
-  for (std::size_t b = 0; b < nb; ++b) {
-    const std::uint32_t end = offset[b];
-    if (end - begin > 1)
-      std::sort(tmp.begin() + begin, tmp.begin() + end, pointLess);
-    begin = end;
-  }
-  pts.swap(tmp);
-}
-
 /// Root seed of the per-counter reservoir substreams. The stream depends
 /// only on the counter name, so every fold path (single, multi, batch,
 /// streaming) draws the same replacement sequence for the same cloud.
@@ -83,8 +20,8 @@ constexpr std::uint64_t kReservoirRoot = 0x666f6c64;  // "fold"
 /// Algorithm R reservoir step: retain the first `cap` points, then replace
 /// a uniformly chosen survivor with decreasing probability. cap == 0 keeps
 /// everything.
-void offerPoint(std::vector<FoldedPoint>& pts, const FoldedPoint& p,
-                std::size_t cap, std::uint64_t& seen, support::Rng& rng) {
+void offerPoint(PointColumns& pts, const FoldedPoint& p, std::size_t cap,
+                std::uint64_t& seen, support::Rng& rng) {
   ++seen;
   if (cap == 0 || pts.size() < cap) {
     pts.push_back(p);
@@ -92,7 +29,7 @@ void offerPoint(std::vector<FoldedPoint>& pts, const FoldedPoint& p,
   }
   const auto j = static_cast<std::uint64_t>(
       rng.uniformInt(0, static_cast<std::int64_t>(seen) - 1));
-  if (j < cap) pts[static_cast<std::size_t>(j)] = p;
+  if (j < cap) pts.set(static_cast<std::size_t>(j), p);
 }
 
 }  // namespace
@@ -125,7 +62,7 @@ FoldedCounter foldCluster(const trace::Trace& trace,
     // Work duration after removing the measurement's own intrusion.
     const double overhead =
         options.probeOverheadNs +
-        options.perSampleOverheadNs * static_cast<double>(b.sampleIdx.size());
+        options.perSampleOverheadNs * static_cast<double>(b.sampleCount);
     const double workNs =
         std::max(static_cast<double>(duration) - overhead, 1.0);
 
@@ -135,7 +72,8 @@ FoldedCounter foldCluster(const trace::Trace& trace,
 
     bool any = false;
     std::size_t samplesBefore = 0;
-    for (std::size_t si : b.sampleIdx) {
+    const std::size_t sEnd = b.sampleFirst + b.sampleCount;
+    for (std::size_t si = b.sampleFirst; si < sEnd; ++si) {
       const trace::Sample& s = samples[si];
       UNVEIL_ASSERT(s.rank == b.rank, "sample attached to wrong rank");
       UNVEIL_ASSERT(s.time >= b.begin && s.time < b.end,
@@ -170,9 +108,11 @@ FoldedCounter foldCluster(const trace::Trace& trace,
 
   out.meanDurationNs = durationSum / static_cast<double>(out.instances);
   out.meanTotal = totalSum / static_cast<double>(out.instances);
-  // Reference implementation: a plain comparison sort into the canonical
-  // order. foldClusterMulti() reaches the same bytes via distribution sort.
-  std::sort(out.points.begin(), out.points.end(), pointLess);
+  // Reference implementation: the scalar per-sample walk above, finished by
+  // the canonical sort. foldClusterMulti() reaches the same bytes through
+  // the vectorized kernels — the canonical total order makes the sorted
+  // sequence unique, so the sort algorithm cannot matter.
+  out.points.sortCanonical();
   span.attr("points", out.points.size());
   telemetry::count("fold.points", out.points.size());
   telemetry::count("fold.instances", out.instances);
@@ -226,7 +166,7 @@ std::size_t MultiFoldAccumulator::pointsHeld() const noexcept {
   return n;
 }
 
-void MultiFoldAccumulator::add(const trace::Trace& trace,
+void MultiFoldAccumulator::add(const SampleColumns& samples,
                                const cluster::Burst& b) {
   const std::size_t nc = counterSet_.size();
   // The member index baked into every emitted point counts *all* members,
@@ -234,7 +174,6 @@ void MultiFoldAccumulator::add(const trace::Trace& trace,
   // like the `bi` loop variable of the batch walk.
   const std::size_t bi = members_++;
   if (nc == 0) return;
-  const auto& samples = trace.samples();
 
   const auto duration = b.durationNs();
   if (duration < options_.minDurationNs) return;
@@ -249,11 +188,27 @@ void MultiFoldAccumulator::add(const trace::Trace& trace,
   }
   if (!anyQualifies) return;
 
+  const std::size_t first = b.sampleFirst;
+  const std::size_t count = b.sampleCount;
+  UNVEIL_ASSERT(first + count <= samples.size(),
+                "burst sample window out of range");
+  if (count > 0) {
+    // Samples are (rank, time)-sorted and the window is contiguous, so
+    // checking the endpoints covers every row in between — O(1) where the
+    // per-sample walk paid the invariant check n times.
+    const trace::Rank* ranks = samples.rankData();
+    const std::uint64_t* times = samples.timeData();
+    UNVEIL_ASSERT(ranks[first] == b.rank && ranks[first + count - 1] == b.rank,
+                  "sample attached to wrong rank");
+    UNVEIL_ASSERT(times[first] >= b.begin && times[first + count - 1] < b.end,
+                  "sample outside its burst window");
+  }
+
   // Work duration after removing the measurement's own intrusion
   // (counter-independent, computed once for the burst).
   const double overhead =
       options_.probeOverheadNs +
-      options_.perSampleOverheadNs * static_cast<double>(b.sampleIdx.size());
+      options_.perSampleOverheadNs * static_cast<double>(count);
   const double workNs = std::max(static_cast<double>(duration) - overhead, 1.0);
 
   for (std::size_t k = 0; k < nc; ++k) {
@@ -262,37 +217,57 @@ void MultiFoldAccumulator::add(const trace::Trace& trace,
     acc_[k].durationSum += workNs;
     acc_[k].totalSum += increment_[k];
   }
+  if (count == 0) return;
 
-  std::size_t samplesBefore = 0;
-  for (std::size_t si : b.sampleIdx) {
-    const trace::Sample& s = samples[si];
-    UNVEIL_ASSERT(s.rank == b.rank, "sample attached to wrong rank");
-    UNVEIL_ASSERT(s.time >= b.begin && s.time < b.end,
-                  "sample outside its burst window");
-    // The normalized time depends only on the sample's position inside the
-    // burst, never on the counter — project once, reuse for every counter.
-    const double elapsed =
-        static_cast<double>(s.time - b.begin) - options_.probeOverheadNs -
-        options_.perSampleOverheadNs * static_cast<double>(samplesBefore);
-    const double t = std::clamp(elapsed / workNs, 0.0, 1.0);
-    for (std::size_t k = 0; k < nc; ++k) {
-      // Multiplexed samples that did not read this counter still dilate
-      // the burst (samplesBefore advances below) but emit no point.
-      if (!qualifies_[k] || !trace::maskHas(s.validMask, counterSet_[k]))
-        continue;
-      FoldedPoint p;
-      p.t = t;
-      // Counter monotonicity guarantees c0 <= sample <= c1, so y in [0,1].
-      p.y = static_cast<double>(s.counters[counterSet_[k]] - c0_[k]) /
-            increment_[k];
-      p.burstIdx = bi;
-      p.rank = b.rank;
-      Accum& a = acc_[k];
-      offerPoint(a.folded.points, p, options_.maxPointsPerCounter,
-                 a.seenPoints, a.reservoirRng);
+  // The normalized time depends only on the sample's position inside the
+  // burst (every sample dilates it, valid or not) — project the whole
+  // window once, reuse for every counter.
+  t_.resize(count);
+  kernels::normalizedTimes(samples.timeData() + first, count, b.begin,
+                           options_.probeOverheadNs,
+                           options_.perSampleOverheadNs, workNs, t_.data());
+
+  const std::size_t cap = options_.maxPointsPerCounter;
+  // A set bit means every sample in the window read that counter, unlocking
+  // the branch-free bulk append for it.
+  const trace::CounterMask windowMask = samples.maskAnd(first, count);
+
+  for (std::size_t k = 0; k < nc; ++k) {
+    if (!qualifies_[k]) continue;
+    const counters::CounterId counter = counterSet_[k];
+    Accum& a = acc_[k];
+    if (cap == 0 && trace::maskHas(windowMask, counter)) {
+      // Bulk path: grow the columns by the whole window and fill them with
+      // the vectorized kernels. Same values in the same per-counter order
+      // as the scalar walk — the t column is shared, the y kernel computes
+      // the identical (double)(v − c0) / increment expression.
+      PointColumns& pts = a.folded.points;
+      const std::size_t dst = pts.grow(count);
+      std::memcpy(pts.tData() + dst, t_.data(), count * sizeof(double));
+      kernels::counterDeltas(samples.valueData(counter) + first, count, c0_[k],
+                             increment_[k], pts.yData() + dst);
+      std::fill_n(pts.burstData() + dst, count, static_cast<std::uint32_t>(bi));
+      std::fill_n(pts.rankData() + dst, count, b.rank);
+      a.seenPoints += count;
       any_[k] = 1;
+    } else {
+      // Scalar path: multiplexed windows (some samples missed the counter)
+      // or an active reservoir, whose replacement draws must replay the
+      // per-point offer sequence exactly.
+      const std::uint64_t* value = samples.valueData(counter);
+      const trace::CounterMask* mask = samples.maskData();
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!trace::maskHas(mask[first + i], counter)) continue;
+        FoldedPoint p;
+        p.t = t_[i];
+        // Counter monotonicity guarantees c0 <= sample <= c1, so y in [0,1].
+        p.y = static_cast<double>(value[first + i] - c0_[k]) / increment_[k];
+        p.burstIdx = bi;
+        p.rank = b.rank;
+        offerPoint(a.folded.points, p, cap, a.seenPoints, a.reservoirRng);
+        any_[k] = 1;
+      }
     }
-    ++samplesBefore;
   }
   for (std::size_t k = 0; k < nc; ++k)
     if (any_[k]) ++acc_[k].folded.instancesWithSamples;
@@ -304,10 +279,38 @@ std::vector<MultiFoldEntry> MultiFoldAccumulator::finish() {
   for (std::size_t k = 0; k < nc; ++k) out[k].counter = counterSet_[k];
 
   // Finalize each counter. The canonical order makes the sorted sequence
-  // unique, so the O(n) distribution sort here yields exactly the bytes the
-  // std::sort in foldCluster() would — without its comparison floor, which
-  // is what dominates the per-counter path on dense clouds.
-  SortScratch scratch;
+  // unique, so the O(n) distribution sort inside sortCanonical yields
+  // exactly the bytes a comparison sort would.
+  //
+  // The clouds of one multi-fold share a single sample walk, so on the
+  // common path (no multiplexing, no reservoir) every counter's (t, burst)
+  // columns are bitwise identical and only y differs. Sorting is the
+  // dominant cost here, and the canonical order consults y only to break
+  // (t, burst) ties — so when the first cloud sorts tie-free, its
+  // permutation is reused verbatim on every sibling whose pre-sort
+  // (t, burst) columns match, replacing a full sort with one gather pass.
+  PointColumns::SortScratch scratch;
+  std::size_t ref = nc;  // index of the permutation-donor cloud
+  std::vector<char> reuse(nc, 0);
+  for (std::size_t k = 0; k < nc; ++k) {
+    Accum& a = acc_[k];
+    if (a.folded.instances == 0) continue;
+    if (ref == nc) {
+      ref = k;
+      continue;
+    }
+    const PointColumns& r = acc_[ref].folded.points;
+    const PointColumns& p = a.folded.points;
+    const std::size_t n = r.size();
+    reuse[k] = p.size() == n &&
+               std::memcmp(p.ts().data(), r.ts().data(), n * sizeof(double)) == 0 &&
+               std::memcmp(p.burstIdxs().data(), r.burstIdxs().data(),
+                           n * sizeof(std::uint32_t)) == 0;
+  }
+  bool permValid = false;
+  if (ref != nc)
+    permValid = acc_[ref].folded.points.sortCanonicalRetainPerm(scratch);
+
   for (std::size_t k = 0; k < nc; ++k) {
     Accum& a = acc_[k];
     if (a.folded.instances == 0) {
@@ -318,7 +321,12 @@ std::vector<MultiFoldEntry> MultiFoldAccumulator::finish() {
     a.folded.meanDurationNs =
         a.durationSum / static_cast<double>(a.folded.instances);
     a.folded.meanTotal = a.totalSum / static_cast<double>(a.folded.instances);
-    sortPointsCanonical(a.folded.points, scratch);
+    if (k != ref) {
+      if (permValid && reuse[k])
+        a.folded.points.applyPermutation(scratch.perm, scratch);
+      else
+        a.folded.points.sortCanonical(scratch);
+    }
     a.folded.points.shrink_to_fit();
     out[k].folded = std::move(a.folded);
   }
@@ -326,7 +334,7 @@ std::vector<MultiFoldEntry> MultiFoldAccumulator::finish() {
 }
 
 std::vector<MultiFoldEntry> foldClusterMulti(
-    const trace::Trace& trace, std::span<const cluster::Burst> bursts,
+    const SampleColumns& samples, std::span<const cluster::Burst> bursts,
     std::span<const std::size_t> memberIdx,
     std::span<const counters::CounterId> counterSet, const FoldOptions& options) {
   telemetry::Span span("fold.cluster");
@@ -344,10 +352,10 @@ std::vector<MultiFoldEntry> foldClusterMulti(
   for (std::size_t mi : memberIdx) {
     UNVEIL_ASSERT(mi < bursts.size(), "fold member index out of range");
     const cluster::Burst& b = bursts[mi];
-    if (b.durationNs() >= options.minDurationNs) maxPoints += b.sampleIdx.size();
+    if (b.durationNs() >= options.minDurationNs) maxPoints += b.sampleCount;
   }
   acc.reservePoints(maxPoints);
-  for (std::size_t mi : memberIdx) acc.add(trace, bursts[mi]);
+  for (std::size_t mi : memberIdx) acc.add(samples, bursts[mi]);
   std::vector<MultiFoldEntry> out = acc.finish();
 
   if (span.active()) {
@@ -365,6 +373,15 @@ std::vector<MultiFoldEntry> foldClusterMulti(
     telemetry::count("fold.instances", totalInstances);
   }
   return out;
+}
+
+std::vector<MultiFoldEntry> foldClusterMulti(
+    const trace::Trace& trace, std::span<const cluster::Burst> bursts,
+    std::span<const std::size_t> memberIdx,
+    std::span<const counters::CounterId> counterSet, const FoldOptions& options) {
+  SampleColumns samples;
+  samples.build(trace);
+  return foldClusterMulti(samples, bursts, memberIdx, counterSet, options);
 }
 
 }  // namespace unveil::folding

@@ -24,23 +24,17 @@
 
 #include "unveil/cluster/burst.hpp"
 #include "unveil/counters/counter.hpp"
+#include "unveil/folding/columnar.hpp"
 #include "unveil/trace/trace.hpp"
 
 namespace unveil::folding {
 
-/// One folded sample.
-struct FoldedPoint {
-  double t = 0.0;           ///< Normalized intra-instance time.
-  double y = 0.0;           ///< Normalized cumulative counter fraction.
-  std::size_t burstIdx = 0; ///< Index of the source burst (into the member list).
-  trace::Rank rank = 0;     ///< Source rank.
-};
-
 /// All folded samples of one (cluster, counter) pair plus the statistics
 /// needed to convert normalized rates back to physical units.
+/// FoldedPoint and the columnar PointColumns store live in columnar.hpp.
 struct FoldedCounter {
   counters::CounterId counter = counters::CounterId::TotIns;
-  std::vector<FoldedPoint> points;  ///< Sorted by t after foldCluster().
+  PointColumns points;  ///< Sorted canonically after foldCluster().
   std::size_t instances = 0;        ///< Burst instances contributing >= 0 samples.
   std::size_t instancesWithSamples = 0;  ///< Instances contributing >= 1 sample.
   double meanDurationNs = 0.0;      ///< Mean instance duration.
@@ -100,18 +94,28 @@ struct MultiFoldEntry {
 
 /// Folds every counter in \p counterSet over one walk of the member bursts'
 /// samples, instead of |counterSet| independent foldCluster() scans.
+/// \p samples is the columnar view of the trace the bursts index into —
+/// build it once per analysis and share it across every cluster's fold.
 ///
 /// The result is bit-identical to calling foldCluster() once per counter:
 /// instance qualification, accumulation order and the normalized-time
-/// projection replay the single-counter code path exactly, and both paths
-/// sort into the same *canonical total order* (t, then source burst, then y
-/// — points equal under it are identical in every field), so the sorted
-/// sequence is unique no matter which sorting algorithm produced it. That
-/// frees this path to use an O(n) distribution sort on t ∈ [0, 1] where
-/// foldCluster() uses a plain comparison sort.
+/// projection replay the single-counter code path exactly (the vectorized
+/// kernels perform the same IEEE operations in the same order), and both
+/// paths sort into the same *canonical total order* (t, then source burst,
+/// then y — points equal under it are identical in every field), so the
+/// sorted sequence is unique no matter which sorting algorithm produced it.
 ///
 /// Unlike foldCluster(), a counter with no qualifying instance does not
 /// throw; its entry reports the error so the remaining counters still fold.
+[[nodiscard]] std::vector<MultiFoldEntry> foldClusterMulti(
+    const SampleColumns& samples, std::span<const cluster::Burst> bursts,
+    std::span<const std::size_t> memberIdx,
+    std::span<const counters::CounterId> counterSet,
+    const FoldOptions& options = {});
+
+/// Convenience overload: builds the columnar sample view from \p trace and
+/// folds. Callers folding more than one cluster should build SampleColumns
+/// themselves and use the overload above.
 [[nodiscard]] std::vector<MultiFoldEntry> foldClusterMulti(
     const trace::Trace& trace, std::span<const cluster::Burst> bursts,
     std::span<const std::size_t> memberIdx,
@@ -122,9 +126,10 @@ struct MultiFoldEntry {
 /// in the cluster's global member order, then finish(). foldClusterMulti()
 /// is a thin wrapper over this class, so the two are bit-identical by
 /// construction — which is what lets the streaming engine fold a cluster
-/// whose members arrive shard by shard (each add() reads samples from the
-/// trace that burst's sampleIdx indexes into, so different members may come
-/// from different shard traces) and still reproduce batch output exactly.
+/// whose members arrive shard by shard (each add() reads the sample columns
+/// that burst's [sampleFirst, sampleCount) window indexes into, so
+/// different members may come from different shards' column sets) and still
+/// reproduce batch output exactly.
 ///
 /// Floating-point accumulation is order-dependent, so callers MUST add
 /// members in the same order batch folding walks them (ascending global
@@ -140,9 +145,9 @@ class MultiFoldAccumulator {
   /// Pre-sizes the point buffers for an expected upper bound (optional).
   void reservePoints(std::size_t maxPoints);
 
-  /// Folds the next member burst. \p trace provides the sample records that
-  /// \p burst.sampleIdx indexes into.
-  void add(const trace::Trace& trace, const cluster::Burst& burst);
+  /// Folds the next member burst. \p samples provides the sample columns
+  /// that \p burst's [sampleFirst, sampleCount) window indexes into.
+  void add(const SampleColumns& samples, const cluster::Burst& burst);
 
   /// Members added so far (including skipped ones — the member index baked
   /// into FoldedPoint::burstIdx counts every add()).
@@ -166,6 +171,7 @@ class MultiFoldAccumulator {
   std::vector<double> increment_;
   std::vector<char> qualifies_;
   std::vector<char> any_;
+  support::AlignedVector<double> t_;  ///< Normalized times of one window.
 };
 
 }  // namespace unveil::folding

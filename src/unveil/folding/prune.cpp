@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "unveil/support/error.hpp"
@@ -21,31 +22,38 @@ PruneResult pruneOutliers(const FoldedCounter& folded, const PruneParams& params
   result.pruned = folded;
   if (folded.points.empty()) return result;
 
-  // Bin membership by t.
+  const std::span<const double> ts = folded.points.ts();
+  const std::span<const double> ysCol = folded.points.ys();
+  const std::size_t n = ts.size();
+
+  // Bin membership by t. A NaN t (impossible for fold output) routes
+  // deterministically to bin 0 instead of an out-of-range index.
   std::vector<std::vector<std::size_t>> binPoints(params.bins);
-  for (std::size_t i = 0; i < folded.points.size(); ++i) {
-    const double t = std::clamp(folded.points[i].t, 0.0, 1.0);
-    auto bin = static_cast<std::size_t>(t * static_cast<double>(params.bins));
-    bin = std::min(bin, params.bins - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = std::clamp(ts[i], 0.0, 1.0);
+    std::size_t bin = 0;
+    if (t == t)
+      bin = std::min(static_cast<std::size_t>(t * static_cast<double>(params.bins)),
+                     params.bins - 1);
     binPoints[bin].push_back(i);
   }
 
-  std::vector<bool> keep(folded.points.size(), true);
+  std::vector<bool> keep(n, true);
   std::vector<double> ys;
   for (const auto& members : binPoints) {
     if (members.size() < 4) continue;
     ys.clear();
-    for (std::size_t i : members) ys.push_back(folded.points[i].y);
+    for (std::size_t i : members) ys.push_back(ysCol[i]);
     const double med = support::median(ys);
     const double sigma = std::max(support::madSigma(ys), params.minSigma);
     for (std::size_t i : members) {
-      if (std::abs(folded.points[i].y - med) > params.madK * sigma) keep[i] = false;
+      if (std::abs(ysCol[i] - med) > params.madK * sigma) keep[i] = false;
     }
   }
 
-  std::vector<FoldedPoint> kept;
-  kept.reserve(folded.points.size());
-  for (std::size_t i = 0; i < folded.points.size(); ++i) {
+  PointColumns kept;
+  kept.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     if (keep[i]) kept.push_back(folded.points[i]);
     else ++result.removed;
   }

@@ -29,10 +29,11 @@ RegionProfile regionProfile(const trace::Trace& trace,
     if (duration <= 0.0) continue;
     const double overhead =
         params.fold.probeOverheadNs +
-        params.fold.perSampleOverheadNs * static_cast<double>(b.sampleIdx.size());
+        params.fold.perSampleOverheadNs * static_cast<double>(b.sampleCount);
     const double workNs = std::max(duration - overhead, 1.0);
     std::size_t samplesBefore = 0;
-    for (std::size_t si : b.sampleIdx) {
+    const std::size_t sEnd = b.sampleFirst + b.sampleCount;
+    for (std::size_t si = b.sampleFirst; si < sEnd; ++si) {
       const trace::Sample& s = samples[si];
       ++out.totalSamples;
       const double elapsed =

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file aligned.hpp
+/// Aligned storage for the columnar (SoA) stores.
+///
+/// The alignment contract: every column allocated through AlignedVector
+/// starts on a kColumnAlignment-byte boundary (one full cache line, and the
+/// natural alignment of 256/512-bit vector loads). Kernels may therefore use
+/// aligned streaming loads on column *starts*; interior offsets are only
+/// guaranteed element-aligned, so ranged kernels (per-burst sample windows)
+/// must use unaligned loads — which on every AVX2-era core cost the same as
+/// aligned ones when the address happens to be aligned.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace unveil::support {
+
+/// Alignment (bytes) of every column allocation. 64 covers cache lines and
+/// AVX-512 vectors; AVX2 needs 32.
+inline constexpr std::size_t kColumnAlignment = 64;
+
+/// Minimal aligned allocator over ::operator new(size, align).
+template <typename T, std::size_t Alignment = kColumnAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment below natural");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// A std::vector whose buffer honours the column alignment contract.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace unveil::support

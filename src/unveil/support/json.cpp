@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "unveil/support/error.hpp"
+#include "unveil/support/parse.hpp"
 
 namespace unveil::support::json {
 
@@ -214,10 +215,8 @@ class Parser {
     }
     if (pos_ == start) fail("invalid value");
     const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    errno = 0;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
+    double v = 0.0;
+    if (parseDouble(token, v) != ParseStatus::Ok || !std::isfinite(v)) {
       pos_ = start;
       fail("invalid number '" + token + "'");
     }

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file parse.hpp
+/// Locale-independent numeric parsing. std::strtod honors the process-wide
+/// LC_NUMERIC category, so a host locale with a ',' decimal separator (or a
+/// library calling setlocale() behind our back) silently changes how CLI
+/// flags, campaign annotations and JSON numbers parse. std::from_chars is
+/// specified to parse the fixed C-locale format regardless of any locale.
+
+#include <charconv>
+#include <string_view>
+#include <system_error>
+
+namespace unveil::support {
+
+enum class ParseStatus {
+  Ok,          ///< Whole input consumed, value representable.
+  Malformed,   ///< Empty input, trailing characters, or not a number.
+  OutOfRange,  ///< Valid syntax but the value over/underflows a double.
+};
+
+/// Parses the entire \p text as a double in the C-locale format. Unlike
+/// strtod, leading whitespace, a leading '+', and hex floats are rejected —
+/// none of which any of our inputs legitimately carry.
+[[nodiscard]] inline ParseStatus parseDouble(std::string_view text,
+                                             double& out) noexcept {
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec == std::errc::result_out_of_range && ptr == last)
+    return ParseStatus::OutOfRange;
+  if (ec != std::errc{} || ptr != last) return ParseStatus::Malformed;
+  out = v;
+  return ParseStatus::Ok;
+}
+
+}  // namespace unveil::support

@@ -1,0 +1,40 @@
+#include "unveil/support/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace unveil::support {
+
+namespace {
+
+bool cpuHasAvx2() noexcept {
+#if defined(UNVEIL_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdLevel detect() noexcept {
+  const char* env = std::getenv("UNVEIL_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return SimdLevel::Scalar;
+    if (std::strcmp(env, "avx2") == 0)
+      return cpuHasAvx2() ? SimdLevel::Avx2 : SimdLevel::Scalar;
+    // Unknown value: fall through to auto-detection.
+  }
+  return cpuHasAvx2() ? SimdLevel::Avx2 : SimdLevel::Scalar;
+}
+
+}  // namespace
+
+SimdLevel simdLevel() noexcept {
+  static const SimdLevel level = detect();
+  return level;
+}
+
+const char* simdLevelName(SimdLevel level) noexcept {
+  return level == SimdLevel::Avx2 ? "avx2" : "scalar";
+}
+
+}  // namespace unveil::support

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file simd.hpp
+/// Runtime SIMD dispatch for the columnar kernels.
+///
+/// Every vectorized kernel in the tree exists in (at least) two
+/// implementations: a portable one the compiler vectorizes from plain C++
+/// (`#pragma omp simd`, baseline ISA), and an optional explicit AVX2 one
+/// compiled into its own translation unit with -mavx2. Which one runs is
+/// decided once per process:
+///
+///   UNVEIL_SIMD=scalar  force the portable path;
+///   UNVEIL_SIMD=avx2    request AVX2 (silently falls back when the CPU or
+///                       the build lacks it);
+///   unset / auto        AVX2 when compiled in and the CPU supports it.
+///
+/// Neither path is allowed to change results where the determinism gate
+/// applies: the fold kernels are elementwise IEEE operations in a fixed
+/// order, and no build flag enables FMA contraction, so scalar, compiler-
+/// vectorized and explicit-AVX2 runs are bit-identical (see DESIGN.md §16).
+
+namespace unveil::support {
+
+enum class SimdLevel { Scalar, Avx2 };
+
+/// The process-wide dispatch decision (computed once, thread-safe).
+[[nodiscard]] SimdLevel simdLevel() noexcept;
+
+/// "scalar" / "avx2".
+[[nodiscard]] const char* simdLevelName(SimdLevel level) noexcept;
+
+}  // namespace unveil::support

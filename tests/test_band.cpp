@@ -21,8 +21,7 @@ FoldedCounter noisyLinearCloud(std::size_t n, double noise, std::uint64_t seed =
     p.y = std::clamp(p.t + rng.normal(0.0, noise), 0.0, 1.0);
     f.points.push_back(p);
   }
-  std::sort(f.points.begin(), f.points.end(),
-            [](const auto& a, const auto& b) { return a.t < b.t; });
+  f.points.sortCanonical();
   return f;
 }
 

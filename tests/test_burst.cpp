@@ -20,7 +20,7 @@ TEST(BurstExtraction, PhaseEventsYieldOneBurstPerInstance) {
     EXPECT_EQ(b.rank, 0u);
     EXPECT_EQ(b.truthPhase, spec.phaseId);
     EXPECT_EQ(b.durationNs(), spec.burstNs);
-    EXPECT_EQ(b.sampleIdx.size(), 4u);
+    EXPECT_EQ(b.sampleCount, 4u);
     EXPECT_EQ(b.delta()[counters::CounterId::TotIns],
               static_cast<std::uint64_t>(spec.totalIns));
   }
@@ -34,7 +34,8 @@ TEST(BurstExtraction, SamplesAttachedAreInsideWindow) {
   const auto bursts = BurstExtraction{}.fromPhaseEvents(trace);
   std::size_t attached = 0;
   for (const auto& b : bursts) {
-    for (std::size_t si : b.sampleIdx) {
+    for (std::size_t si = b.sampleFirst; si < b.sampleFirst + b.sampleCount;
+         ++si) {
       const auto& s = trace.samples()[si];
       EXPECT_EQ(s.rank, b.rank);
       EXPECT_GE(s.time, b.begin);
@@ -129,7 +130,8 @@ TEST(BurstExtraction, SimulatedRunRoundTrip) {
   EXPECT_EQ(bursts.size(), run.truth.bursts.size());
   // Every attached sample's counters are bracketed by the burst endpoints.
   for (const auto& b : bursts) {
-    for (std::size_t si : b.sampleIdx) {
+    for (std::size_t si = b.sampleFirst; si < b.sampleFirst + b.sampleCount;
+         ++si) {
       const auto& s = run.trace.samples()[si];
       for (counters::CounterId id : counters::kAllCounters) {
         EXPECT_GE(s.counters[id], b.beginCounters[id]);

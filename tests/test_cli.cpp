@@ -9,8 +9,11 @@
 #include <fstream>
 #include <sstream>
 
+#include <clocale>
+
 #include "unveil/cli/commands.hpp"
 #include "unveil/support/error.hpp"
+#include "unveil/support/parse.hpp"
 
 namespace unveil::cli {
 namespace {
@@ -57,6 +60,80 @@ TEST(Args, PositionalsEmptyByDefaultAndMalformedFlagStillRejected) {
   const auto args = Args::parse({"--x", "1"});
   EXPECT_TRUE(args.positionals().empty());
   EXPECT_THROW((void)Args::parse({"--=v", "pos"}, true), ConfigError);
+}
+
+TEST(ParseDouble, AcceptsOnlyCLocaleNumbers) {
+  double v = 0.0;
+  EXPECT_EQ(support::parseDouble("1.5", v), support::ParseStatus::Ok);
+  EXPECT_EQ(v, 1.5);
+  EXPECT_EQ(support::parseDouble("-2e3", v), support::ParseStatus::Ok);
+  EXPECT_EQ(v, -2000.0);
+  // A decimal comma is never a number, whatever LC_NUMERIC says.
+  EXPECT_EQ(support::parseDouble("1,5", v), support::ParseStatus::Malformed);
+  EXPECT_EQ(support::parseDouble("", v), support::ParseStatus::Malformed);
+  EXPECT_EQ(support::parseDouble(" 1.5", v), support::ParseStatus::Malformed);
+  EXPECT_EQ(support::parseDouble("1.5x", v), support::ParseStatus::Malformed);
+  EXPECT_EQ(support::parseDouble("1e9999", v), support::ParseStatus::OutOfRange);
+}
+
+/// Restores the previous LC_NUMERIC when the scope ends.
+class ScopedNumericLocale {
+ public:
+  explicit ScopedNumericLocale(const char* name)
+      : saved_(std::setlocale(LC_NUMERIC, nullptr)),
+        applied_(std::setlocale(LC_NUMERIC, name) != nullptr) {}
+  ~ScopedNumericLocale() {
+    if (applied_) std::setlocale(LC_NUMERIC, saved_.c_str());
+  }
+  [[nodiscard]] bool applied() const { return applied_; }
+
+ private:
+  std::string saved_;
+  bool applied_;
+};
+
+TEST(Args, GetDoubleIgnoresNumericLocale) {
+  // Regression: strtod honours LC_NUMERIC, so under a comma-decimal locale
+  // it parsed "2.5" as 2 (trailing garbage ".5" silently dropped by partial
+  // conversion, or rejected, depending on libc). getDouble must parse the
+  // C-locale spelling identically whatever the process locale is.
+  ScopedNumericLocale locale("de_DE.UTF-8");
+  if (!locale.applied()) GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  const auto args = Args::parse({"--scale", "2.5", "--comma", "2,5"});
+  EXPECT_EQ(args.getDouble("scale", 0.0), 2.5);
+  EXPECT_THROW((void)args.getDouble("comma", 0.0), ConfigError);
+}
+
+TEST(CampaignMember, SplitsOnLastEqualsOnlyWhenNumeric) {
+  // Plain path, no annotation.
+  auto spec = parseCampaignMember("trace.uvtb");
+  EXPECT_EQ(spec.path, "trace.uvtb");
+  EXPECT_FALSE(spec.param.has_value());
+
+  // Annotated path.
+  spec = parseCampaignMember("trace.uvtb=4");
+  EXPECT_EQ(spec.path, "trace.uvtb");
+  ASSERT_TRUE(spec.param.has_value());
+  EXPECT_EQ(*spec.param, 4.0);
+
+  // Regression: a '=' inside a directory name is part of the path when the
+  // suffix is not a number.
+  spec = parseCampaignMember("run=3/trace.uvtb");
+  EXPECT_EQ(spec.path, "run=3/trace.uvtb");
+  EXPECT_FALSE(spec.param.has_value());
+
+  // Only the LAST '=' splits, so earlier ones stay in the path.
+  spec = parseCampaignMember("a=b=2");
+  EXPECT_EQ(spec.path, "a=b");
+  ASSERT_TRUE(spec.param.has_value());
+  EXPECT_EQ(*spec.param, 2.0);
+
+  // Numeric suffix but empty path: contextual error, not a silent path.
+  EXPECT_THROW((void)parseCampaignMember("=5"), ConfigError);
+  // Numeric suffix outside the sane parameter range: contextual error.
+  EXPECT_THROW((void)parseCampaignMember("trace.uvtb=1e99"), ConfigError);
+  EXPECT_THROW((void)parseCampaignMember("trace.uvtb=-16"), ConfigError);
+  EXPECT_THROW((void)parseCampaignMember("trace.uvtb=nan"), ConfigError);
 }
 
 TEST(Campaign, RequiresThreeTraces) {

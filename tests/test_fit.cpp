@@ -26,8 +26,7 @@ FoldedCounter cloudFromCdf(const std::function<double(double)>& cdf, std::size_t
     p.y = std::clamp(cdf(p.t) + rng.normal(0.0, noise), 0.0, 1.0);
     f.points.push_back(p);
   }
-  std::sort(f.points.begin(), f.points.end(),
-            [](const auto& a, const auto& b) { return a.t < b.t; });
+  f.points.sortCanonical();
   return f;
 }
 
@@ -118,8 +117,7 @@ TEST_P(PchipMonotone, ValueMonotoneDerivativeNonNegative) {
     p.y = rng.uniform(0.0, 1.0);  // pure noise, not even monotone
     f.points.push_back(p);
   }
-  std::sort(f.points.begin(), f.points.end(),
-            [](const auto& a, const auto& b) { return a.t < b.t; });
+  f.points.sortCanonical();
   const auto fit = fitCumulative(f, FitParams{});
   double prev = -1e-9;
   for (double t : support::linspace(0.0, 1.0, 501)) {

@@ -188,7 +188,8 @@ TEST(Pipeline, ParallelAnalysisMatchesSequentialBitExact) {
     EXPECT_EQ(a.bursts[i].rank, b.bursts[i].rank);
     EXPECT_EQ(a.bursts[i].begin, b.bursts[i].begin);
     EXPECT_EQ(a.bursts[i].end, b.bursts[i].end);
-    EXPECT_EQ(a.bursts[i].sampleIdx, b.bursts[i].sampleIdx);
+    EXPECT_EQ(a.bursts[i].sampleFirst, b.bursts[i].sampleFirst);
+    EXPECT_EQ(a.bursts[i].sampleCount, b.bursts[i].sampleCount);
   }
   EXPECT_EQ(a.clustering.labels, b.clustering.labels);
   EXPECT_EQ(a.epsUsed, b.epsUsed);

@@ -23,8 +23,7 @@ FoldedCounter linearCloud(std::size_t n) {
     p.y = p.t;
     f.points.push_back(p);
   }
-  std::sort(f.points.begin(), f.points.end(),
-            [](const auto& a, const auto& b) { return a.t < b.t; });
+  f.points.sortCanonical();
   return f;
 }
 
@@ -57,8 +56,7 @@ TEST(Rate, NegativeDerivativesClampedInPhysOnly) {
     p.y = (p.t < 0.5) ? 0.9 * p.t * 2.0 : 0.9 - (p.t - 0.5) * 0.5;  // dips down
     f.points.push_back(p);
   }
-  std::sort(f.points.begin(), f.points.end(),
-            [](const auto& a, const auto& b) { return a.t < b.t; });
+  f.points.sortCanonical();
   FitParams params;
   params.method = FitMethod::Kernel;
   const auto fit = fitCumulative(f, params);

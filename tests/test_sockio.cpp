@@ -1,0 +1,200 @@
+/// Fault-injection tests for the serve daemon's socket I/O primitives
+/// (cli/sockio.hpp): short writes, EINTR storms, zero-byte sends, mid-line
+/// hangups and real SO_RCVTIMEO timeouts — each exercised through the
+/// injectable syscall hooks over a local socketpair.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <optional>
+#include <string>
+
+#include "unveil/cli/sockio.hpp"
+
+namespace unveil::cli::sockio {
+namespace {
+
+/// A connected AF_UNIX stream pair, closed on destruction.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  [[nodiscard]] int a() const { return fds[0]; }
+  [[nodiscard]] int b() const { return fds[1]; }
+};
+
+/// Shim state shared with the capture-less hook functions. Tests reset it
+/// before installing a shim; everything runs single-threaded.
+struct ShimState {
+  int sendCalls = 0;
+  int recvCalls = 0;
+  int failuresToServe = 0;   ///< EINTR failures before succeeding.
+  std::size_t sendCap = 0;   ///< Max bytes per send when > 0.
+};
+ShimState shim;
+
+ssize_t cappedSend(int fd, const void* buf, std::size_t len, int flags) {
+  ++shim.sendCalls;
+  if (shim.sendCap > 0 && len > shim.sendCap) len = shim.sendCap;
+  return ::send(fd, buf, len, flags);
+}
+
+ssize_t eintrThenSend(int fd, const void* buf, std::size_t len, int flags) {
+  ++shim.sendCalls;
+  if (shim.failuresToServe > 0) {
+    --shim.failuresToServe;
+    errno = EINTR;
+    return -1;
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+ssize_t alwaysEintrSend(int, const void*, std::size_t, int) {
+  ++shim.sendCalls;
+  errno = EINTR;
+  return -1;
+}
+
+ssize_t zeroSend(int, const void*, std::size_t, int) {
+  ++shim.sendCalls;
+  return 0;
+}
+
+ssize_t eintrThenRecv(int fd, void* buf, std::size_t len, int flags) {
+  ++shim.recvCalls;
+  if (shim.failuresToServe > 0) {
+    --shim.failuresToServe;
+    errno = EINTR;
+    return -1;
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t oneByteRecv(int fd, void* buf, std::size_t len, int flags) {
+  ++shim.recvCalls;
+  return ::recv(fd, buf, len > 1 ? 1 : len, flags);
+}
+
+std::string drain(int fd, std::size_t expect) {
+  std::string got(expect, '\0');
+  std::size_t off = 0;
+  while (off < expect) {
+    const ssize_t n = ::recv(fd, got.data() + off, expect - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  got.resize(off);
+  return got;
+}
+
+TEST(SockIo, PlainRoundTrip) {
+  SocketPair sp;
+  ASSERT_TRUE(sendAll(sp.a(), "hello line\n"));
+  const auto line = recvLine(sp.b(), 1 << 20);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "hello line");
+}
+
+TEST(SockIo, SendAllCompletesAcrossShortWrites) {
+  SocketPair sp;
+  shim = {};
+  shim.sendCap = 3;  // every kernel send accepts at most 3 bytes
+  ScopedHooks guard(Hooks{cappedSend, hooks().recv});
+  const std::string msg = "0123456789abcdefghij";
+  ASSERT_TRUE(sendAll(sp.a(), msg));
+  EXPECT_GE(shim.sendCalls, 7);  // ceil(20 / 3)
+  EXPECT_EQ(drain(sp.b(), msg.size()), msg);
+}
+
+TEST(SockIo, SendAllRidesOutBoundedEintr) {
+  SocketPair sp;
+  shim = {};
+  shim.failuresToServe = 2;
+  ScopedHooks guard(Hooks{eintrThenSend, hooks().recv});
+  ASSERT_TRUE(sendAll(sp.a(), "payload\n"));
+  EXPECT_EQ(shim.sendCalls, 3);  // 2 EINTR + 1 real
+  EXPECT_EQ(drain(sp.b(), 8), "payload\n");
+}
+
+TEST(SockIo, SendAllGivesUpAfterEintrStorm) {
+  SocketPair sp;
+  shim = {};
+  ScopedHooks guard(Hooks{alwaysEintrSend, hooks().recv});
+  errno = 0;
+  EXPECT_FALSE(sendAll(sp.a(), "x"));
+  EXPECT_EQ(errno, EINTR);
+  // The cap allows kMaxEintrRetries restarts of the first failed call.
+  EXPECT_EQ(shim.sendCalls, kMaxEintrRetries + 1);
+}
+
+TEST(SockIo, SendAllTreatsZeroReturnAsError) {
+  SocketPair sp;
+  shim = {};
+  ScopedHooks guard(Hooks{zeroSend, hooks().recv});
+  errno = 0;
+  EXPECT_FALSE(sendAll(sp.a(), "x"));
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(shim.sendCalls, 1);  // no spinning on zero-byte progress
+}
+
+TEST(SockIo, RecvLineRidesOutBoundedEintr) {
+  SocketPair sp;
+  ASSERT_TRUE(sendAll(sp.a(), "interrupted\n"));
+  shim = {};
+  shim.failuresToServe = 3;
+  ScopedHooks guard(Hooks{hooks().send, eintrThenRecv});
+  const auto line = recvLine(sp.b(), 1 << 20);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "interrupted");
+  EXPECT_EQ(shim.recvCalls, 4);  // 3 EINTR + 1 real
+}
+
+TEST(SockIo, RecvLineAssemblesAcrossFragmentedReads) {
+  SocketPair sp;
+  ASSERT_TRUE(sendAll(sp.a(), "byte by byte\n"));
+  shim = {};
+  ScopedHooks guard(Hooks{hooks().send, oneByteRecv});
+  const auto line = recvLine(sp.b(), 1 << 20);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "byte by byte");
+  EXPECT_EQ(shim.recvCalls, 13);  // one call per byte including '\n'
+}
+
+TEST(SockIo, RecvLineReturnsNulloptOnEofBeforeNewline) {
+  SocketPair sp;
+  ASSERT_TRUE(sendAll(sp.a(), "no terminator"));
+  ::close(sp.fds[0]);
+  sp.fds[0] = -1;
+  EXPECT_FALSE(recvLine(sp.b(), 1 << 20).has_value());
+}
+
+TEST(SockIo, RecvLineRejectsOverlongLine) {
+  SocketPair sp;
+  ASSERT_TRUE(sendAll(sp.a(), "0123456789abcdef-too-long\n"));
+  EXPECT_FALSE(recvLine(sp.b(), 16).has_value());
+  // Exactly at the cap is fine.
+  ASSERT_TRUE(sendAll(sp.a(), "16-bytes-exactly\n"));
+  const auto line = recvLine(sp.b(), 16);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "16-bytes-exactly");
+}
+
+TEST(SockIo, RecvLineTimesOutUnderRcvtimeo) {
+  SocketPair sp;
+  setIoTimeout(sp.b(), 0.1);
+  errno = 0;
+  const auto line = recvLine(sp.b(), 1 << 20);  // peer sends nothing
+  EXPECT_FALSE(line.has_value());
+  EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK) << "errno=" << errno;
+}
+
+}  // namespace
+}  // namespace unveil::cli::sockio
